@@ -1,0 +1,561 @@
+//! The 214-instance violation corpus, reconstructed from Section VI-B.
+//!
+//! Each [`Violation`] is a concrete malicious transition: a partial state
+//! context (which devices must be in which states for the scenario) plus the
+//! joint action the attacker executes. Scenarios are drawn from the
+//! violation catalogues of the works the paper cites (Soteria's policy
+//! violations, IoTGuard's dynamic violations, physical-interaction attacks)
+//! instantiated on the eleven-device evaluation home, then crossed with
+//! benign context variants to reach the paper's per-type counts
+//! (114/40/40/10/10).
+
+use crate::types::ViolationType;
+use jarvis_iot_model::{DeviceId, EnvAction, EnvState, MiniAction, StateIdx};
+use jarvis_smart_home::SmartHome;
+
+/// One concrete security violation: context + malicious action.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Violation {
+    /// Corpus index (0..213).
+    pub id: usize,
+    /// The paper's violation type.
+    pub vtype: ViolationType,
+    /// Human-readable scenario.
+    pub description: String,
+    /// Devices pinned to specific states for the scenario.
+    pub context: Vec<(DeviceId, StateIdx)>,
+    /// The malicious joint action.
+    pub action: EnvAction,
+}
+
+impl Violation {
+    /// Overlay this violation's context onto a base state.
+    #[must_use]
+    pub fn apply_context(&self, base: &EnvState) -> EnvState {
+        let mut s = base.clone();
+        for &(d, st) in &self.context {
+            s.set_device(d, st);
+        }
+        s
+    }
+}
+
+/// A partially-built scenario before context crossing.
+struct Scenario {
+    description: &'static str,
+    context: Vec<(DeviceId, StateIdx)>,
+    action: Vec<MiniAction>,
+}
+
+/// Build the full 214-instance corpus on `home` (the evaluation home).
+///
+/// # Panics
+///
+/// Panics when `home` lacks any of the eleven catalogue devices.
+#[must_use]
+pub fn build_corpus(home: &SmartHome) -> Vec<Violation> {
+    let d = |name: &str| home.device_id(name);
+    let s = |dev: &str, state: &str| (d(dev), home.state_idx(dev, state));
+    let a = |dev: &str, action: &str| home.mini_action(dev, action);
+
+    // Context variants used to multiply base scenarios: each sets bystander
+    // devices into benign configurations so every crossed instance is a
+    // distinct full-state transition.
+    let variants: Vec<(&str, Vec<(DeviceId, StateIdx)>)> = vec![
+        ("lights off, tv off", vec![s("light", "off"), s("tv", "off")]),
+        ("lights on, tv off", vec![s("light", "on"), s("tv", "off")]),
+        ("lights off, tv on", vec![s("light", "off"), s("tv", "on")]),
+        ("lights on, tv on", vec![s("light", "on"), s("tv", "on")]),
+        ("washer running", vec![s("washer", "running"), s("tv", "off")]),
+        ("dishwasher running", vec![s("dishwasher", "running"), s("light", "off")]),
+    ];
+
+    // --- Type 1: 19 base T/A safety scenarios × 6 variants = 114. ---
+    let away = vec![s("lock", "locked_outside"), s("door_sensor", "sensing")];
+    // Night-time ("asleep") attack contexts include a stranger at the door:
+    // with a time-less P_safe, a 3am unlock is state-identical to a 7am
+    // departure unlock, so the reconstructed scenarios carry the intruder
+    // context that the cited attack catalogues describe (see DESIGN.md).
+    let asleep = vec![s("lock", "locked_inside"), s("door_sensor", "unauth_user")];
+    let type1: Vec<Scenario> = vec![
+        Scenario {
+            description: "door unlocked while nobody is home",
+            context: away.clone(),
+            action: vec![a("lock", "unlock")],
+        },
+        Scenario {
+            description: "door unlocked at night with a stranger at the door",
+            context: asleep.clone(),
+            action: vec![a("lock", "unlock")],
+        },
+        Scenario {
+            description: "smart lock powered off",
+            context: vec![s("lock", "locked_outside")],
+            action: vec![a("lock", "power_off")],
+        },
+        Scenario {
+            description: "door touch sensor powered off",
+            context: vec![s("door_sensor", "sensing")],
+            action: vec![a("door_sensor", "power_off")],
+        },
+        Scenario {
+            description: "temperature/fire sensor powered off",
+            context: vec![s("temp_sensor", "optimal")],
+            action: vec![a("temp_sensor", "power_off")],
+        },
+        Scenario {
+            description: "heater disabled remotely while away in freezing weather",
+            context: vec![s("temp_sensor", "below_optimal"), s("thermostat", "heat"),
+                          s("lock", "locked_outside"), s("door_sensor", "sensing")],
+            action: vec![a("thermostat", "power_off")],
+        },
+        Scenario {
+            description: "cooling forced while home is already cold",
+            context: vec![s("temp_sensor", "below_optimal"), s("thermostat", "off")],
+            action: vec![a("thermostat", "set_cool")],
+        },
+        Scenario {
+            description: "heating forced while home is already hot",
+            context: vec![s("temp_sensor", "above_optimal"), s("thermostat", "off")],
+            action: vec![a("thermostat", "set_heat")],
+        },
+        Scenario {
+            description: "oven turned on while nobody is home",
+            context: {
+                let mut c = away.clone();
+                c.push(s("oven", "off"));
+                c
+            },
+            action: vec![a("oven", "power_on")],
+        },
+        Scenario {
+            description: "oven turned on at night with a stranger at the door",
+            context: {
+                let mut c = asleep.clone();
+                c.push(s("oven", "off"));
+                c
+            },
+            action: vec![a("oven", "power_on")],
+        },
+        Scenario {
+            description: "refrigerator powered off",
+            context: vec![s("fridge", "running")],
+            action: vec![a("fridge", "power_off")],
+        },
+        Scenario {
+            description: "water heater started while nobody is home",
+            context: {
+                let mut c = away.clone();
+                c.push(s("water_heater", "idle"));
+                c
+            },
+            action: vec![a("water_heater", "start")],
+        },
+        Scenario {
+            description: "washer started while nobody is home",
+            context: {
+                let mut c = away.clone();
+                c.push(s("washer", "idle"));
+                c
+            },
+            action: vec![a("washer", "start")],
+        },
+        Scenario {
+            description: "door unlocked while an unauthorized user is at the door",
+            context: vec![s("lock", "locked_outside"), s("door_sensor", "unauth_user")],
+            action: vec![a("lock", "unlock")],
+        },
+        Scenario {
+            description: "lock powered off during a fire alarm",
+            context: vec![s("temp_sensor", "fire_alarm")],
+            action: vec![a("lock", "power_off")],
+        },
+        Scenario {
+            description: "heater forced on during a fire alarm",
+            context: vec![s("temp_sensor", "fire_alarm"), s("thermostat", "off")],
+            action: vec![a("thermostat", "set_heat")],
+        },
+        Scenario {
+            description: "door sensor powered off while away",
+            context: away.clone(),
+            action: vec![a("door_sensor", "power_off")],
+        },
+        Scenario {
+            description: "temperature sensor powered off at night",
+            context: asleep.clone(),
+            action: vec![a("temp_sensor", "power_off")],
+        },
+        Scenario {
+            description: "dishwasher started while nobody is home",
+            context: {
+                let mut c = away.clone();
+                c.push(s("dishwasher", "idle"));
+                c
+            },
+            action: vec![a("dishwasher", "start")],
+        },
+    ];
+
+    // --- Type 2: 10 devices × 4 contexts = 40 access-control scenarios. ---
+    let t2_actions = [
+        ("lock", "unlock"),
+        ("lock", "power_off"),
+        ("light", "power_on"),
+        ("thermostat", "set_heat"),
+        ("temp_sensor", "power_off"),
+        ("oven", "power_on"),
+        ("tv", "power_on"),
+        ("washer", "start"),
+        ("dishwasher", "start"),
+        ("water_heater", "start"),
+    ];
+    let t2_contexts: [(&str, Vec<(DeviceId, StateIdx)>); 4] = [
+        ("while away", away.clone()),
+        ("while asleep with a stranger at the door", asleep.clone()),
+        (
+            "with unauthorized user present",
+            vec![s("lock", "locked_outside"), s("door_sensor", "unauth_user")],
+        ),
+        (
+            "with sensors disabled",
+            vec![s("door_sensor", "off"), s("temp_sensor", "off")],
+        ),
+    ];
+
+    // --- Type 3: 10 conflicting joint actions × 4 contexts = 40. ---
+    let t3_pairs: [(&str, [MiniAction; 2]); 10] = [
+        ("heat while killing the temp sensor", [a("thermostat", "set_heat"), a("temp_sensor", "power_off")]),
+        ("unlock while killing the door sensor", [a("lock", "unlock"), a("door_sensor", "power_off")]),
+        ("oven on while killing the fire sensor", [a("oven", "power_on"), a("temp_sensor", "power_off")]),
+        ("cool and start the water heater", [a("thermostat", "set_cool"), a("water_heater", "start")]),
+        ("unlock and darken the entrance", [a("lock", "unlock"), a("light", "power_off")]),
+        ("washer and dishwasher surge together", [a("washer", "start"), a("dishwasher", "start")]),
+        ("oven on while opening the fridge", [a("oven", "power_on"), a("fridge", "open_door")]),
+        ("heat while disabling the lock", [a("thermostat", "set_heat"), a("lock", "power_off")]),
+        ("tv on while killing the door sensor", [a("tv", "power_on"), a("door_sensor", "power_off")]),
+        ("water heater while killing temp sensor", [a("water_heater", "start"), a("temp_sensor", "power_off")]),
+    ];
+
+    // --- Type 4: 10 malicious-app scenarios. ---
+    let type4: Vec<Scenario> = vec![
+        Scenario {
+            description: "malicious app unlocks on a spoofed fire alarm",
+            context: vec![s("temp_sensor", "optimal"), s("lock", "locked_outside")],
+            action: vec![a("lock", "unlock"), a("light", "power_on")],
+        },
+        Scenario {
+            description: "malicious app turns everything off on arrival",
+            context: vec![s("lock", "locked_outside"), s("door_sensor", "auth_user"),
+                          s("light", "on"), s("thermostat", "heat")],
+            action: vec![a("light", "power_off"), a("thermostat", "power_off")],
+        },
+        Scenario {
+            description: "malicious surveillance app kills sensors at night",
+            context: asleep.clone(),
+            action: vec![a("door_sensor", "power_off"), a("temp_sensor", "power_off")],
+        },
+        Scenario {
+            description: "malicious app heats the house while away",
+            context: away.clone(),
+            action: vec![a("thermostat", "set_heat"), a("water_heater", "start")],
+        },
+        Scenario {
+            description: "malicious app floods the grid at peak",
+            context: vec![s("oven", "off"), s("washer", "idle")],
+            action: vec![a("oven", "power_on"), a("washer", "start")],
+        },
+        Scenario {
+            description: "malicious app opens the fridge and kills its power",
+            context: vec![s("fridge", "running")],
+            action: vec![a("fridge", "open_door"), a("tv", "power_on")],
+        },
+        Scenario {
+            description: "malicious app unlocks for an unauthorized user",
+            context: vec![s("door_sensor", "unauth_user"), s("lock", "locked_inside"),
+                          s("tv", "on")],
+            action: vec![a("lock", "unlock"), a("light", "power_off")],
+        },
+        Scenario {
+            description: "malicious app disables heating during a cold night",
+            context: {
+                let mut c = asleep.clone();
+                c.push(s("temp_sensor", "below_optimal"));
+                c.push(s("thermostat", "heat"));
+                c
+            },
+            action: vec![a("thermostat", "power_off"), a("water_heater", "stop")],
+        },
+        Scenario {
+            description: "malicious app blasts cooling during a fire alarm",
+            context: vec![s("temp_sensor", "fire_alarm"), s("thermostat", "off")],
+            action: vec![a("thermostat", "set_cool"), a("tv", "power_on")],
+        },
+        Scenario {
+            description: "malicious app locks the owner out and kills lights",
+            context: vec![s("lock", "unlocked"), s("door_sensor", "auth_user")],
+            action: vec![a("lock", "power_off"), a("light", "power_off")],
+        },
+    ];
+
+    // --- Type 5: 10 insider-attack scenarios (authorized but abusive). ---
+    let type5: Vec<Scenario> = vec![
+        Scenario {
+            description: "insider unlocks the door at 3am",
+            context: {
+                let mut c = asleep.clone();
+                c.push(s("light", "off"));
+                c
+            },
+            action: vec![a("lock", "unlock")],
+        },
+        Scenario {
+            description: "insider runs the oven overnight",
+            context: {
+                let mut c = asleep.clone();
+                c.push(s("oven", "off"));
+                c.push(s("tv", "off"));
+                c
+            },
+            action: vec![a("oven", "power_on")],
+        },
+        Scenario {
+            description: "insider disables the lock before leaving",
+            context: vec![s("lock", "unlocked"), s("door_sensor", "auth_user"),
+                          s("light", "on")],
+            action: vec![a("lock", "power_off")],
+        },
+        Scenario {
+            description: "insider turns off the fridge before a trip",
+            context: {
+                let mut c = away.clone();
+                c.push(s("fridge", "running"));
+                c
+            },
+            action: vec![a("fridge", "power_off")],
+        },
+        Scenario {
+            description: "insider overrides heat in summer at night",
+            context: {
+                let mut c = asleep.clone();
+                c.push(s("temp_sensor", "above_optimal"));
+                c.push(s("thermostat", "off"));
+                c
+            },
+            action: vec![a("thermostat", "set_heat")],
+        },
+        Scenario {
+            description: "insider leaves the water heater on and departs",
+            context: {
+                let mut c = away.clone();
+                c.push(s("water_heater", "idle"));
+                c.push(s("light", "on"));
+                c
+            },
+            action: vec![a("water_heater", "start")],
+        },
+        Scenario {
+            description: "insider kills the temp sensor before cooking",
+            context: vec![s("temp_sensor", "optimal"), s("oven", "on")],
+            action: vec![a("temp_sensor", "power_off")],
+        },
+        Scenario {
+            description: "insider runs the washer at 4am",
+            context: {
+                let mut c = asleep.clone();
+                c.push(s("washer", "idle"));
+                c.push(s("dishwasher", "idle"));
+                c
+            },
+            action: vec![a("washer", "start")],
+        },
+        Scenario {
+            description: "insider opens the fridge and leaves the house",
+            context: {
+                let mut c = away.clone();
+                c.push(s("fridge", "running"));
+                c.push(s("tv", "on"));
+                c
+            },
+            action: vec![a("fridge", "open_door")],
+        },
+        Scenario {
+            description: "insider turns every light off during arrival",
+            context: vec![s("door_sensor", "auth_user"), s("lock", "locked_outside"),
+                          s("light", "on")],
+            action: vec![a("light", "power_off")],
+        },
+    ];
+
+    let mut corpus: Vec<Violation> = Vec::with_capacity(214);
+    let mut id = 0usize;
+    let mut push = |corpus: &mut Vec<Violation>,
+                    vtype: ViolationType,
+                    description: String,
+                    context: Vec<(DeviceId, StateIdx)>,
+                    action: Vec<MiniAction>| {
+        let action = EnvAction::try_from_minis(action).expect("one action per device");
+        corpus.push(Violation { id, vtype, description, context, action });
+        id += 1;
+    };
+
+    // Type 1: cross with the 6 variants.
+    for sc in &type1 {
+        for (vname, vctx) in &variants {
+            let mut context = sc.context.clone();
+            // Variant slots not already pinned by the scenario.
+            for &(dev, st) in vctx {
+                if !context.iter().any(|&(cd, _)| cd == dev)
+                    && !sc.action.iter().any(|m| m.device == dev)
+                {
+                    context.push((dev, st));
+                }
+            }
+            push(
+                &mut corpus,
+                ViolationType::TaSafety,
+                format!("{} ({vname})", sc.description),
+                context,
+                sc.action.clone(),
+            );
+        }
+    }
+    // A context pin on an actuated device is kept only when the malicious
+    // action stays effective from the pinned state; pins that would turn the
+    // attack into a no-op are dropped.
+    let keep_pin = |pin: &(DeviceId, StateIdx), minis: &[MiniAction]| -> bool {
+        match minis.iter().find(|m| m.device == pin.0) {
+            None => true,
+            Some(m) => home
+                .fsm()
+                .device(m.device)
+                .and_then(|dev| dev.delta(pin.1, m.action))
+                .map(|next| next != pin.1)
+                .unwrap_or(false),
+        }
+    };
+
+    // Type 2.
+    for (dev, action) in t2_actions {
+        let mini = a(dev, action);
+        for (cname, ctx) in &t2_contexts {
+            push(
+                &mut corpus,
+                ViolationType::IntegrityAccess,
+                format!("unauthorized app actuates {dev}.{action} {cname}"),
+                ctx.iter().filter(|p| keep_pin(p, &[mini])).copied().collect(),
+                vec![mini],
+            );
+        }
+    }
+    // Type 3.
+    for (desc, minis) in &t3_pairs {
+        for (cname, ctx) in &t2_contexts {
+            push(
+                &mut corpus,
+                ViolationType::RaceCondition,
+                format!("{desc} {cname}"),
+                ctx.iter().filter(|p| keep_pin(p, minis)).copied().collect(),
+                minis.to_vec(),
+            );
+        }
+    }
+    // Types 4 and 5.
+    for sc in &type4 {
+        push(
+            &mut corpus,
+            ViolationType::MaliciousApp,
+            sc.description.to_owned(),
+            sc.context.clone(),
+            sc.action.clone(),
+        );
+    }
+    for sc in &type5 {
+        push(
+            &mut corpus,
+            ViolationType::Insider,
+            sc.description.to_owned(),
+            sc.context.clone(),
+            sc.action.clone(),
+        );
+    }
+    corpus
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    fn corpus() -> (SmartHome, Vec<Violation>) {
+        let home = SmartHome::evaluation_home();
+        let c = build_corpus(&home);
+        (home, c)
+    }
+
+    #[test]
+    fn corpus_has_exactly_214_instances() {
+        let (_, c) = corpus();
+        assert_eq!(c.len(), 214);
+    }
+
+    #[test]
+    fn per_type_counts_match_paper() {
+        let (_, c) = corpus();
+        for vtype in ViolationType::all() {
+            let n = c.iter().filter(|v| v.vtype == vtype).count();
+            assert_eq!(n, vtype.paper_count(), "{vtype}");
+        }
+    }
+
+    #[test]
+    fn ids_are_sequential_and_unique() {
+        let (_, c) = corpus();
+        for (i, v) in c.iter().enumerate() {
+            assert_eq!(v.id, i);
+        }
+    }
+
+    #[test]
+    fn instances_are_distinct_transitions() {
+        let (_, c) = corpus();
+        let mut seen = HashSet::new();
+        for v in &c {
+            let mut ctx = v.context.clone();
+            ctx.sort_by_key(|&(d, _)| d);
+            assert!(
+                seen.insert((ctx, v.action.clone())),
+                "duplicate transition: {}",
+                v.description
+            );
+        }
+    }
+
+    #[test]
+    fn contexts_and_actions_are_valid_for_the_home() {
+        let (home, c) = corpus();
+        let base = home.midnight_state();
+        for v in &c {
+            let state = v.apply_context(&base);
+            home.fsm().validate_state(&state).unwrap();
+            // The malicious action must be applicable (δ total, so step
+            // succeeds) and must actually change the state: an ineffective
+            // "attack" would be invisible by construction.
+            let next = home.fsm().step(&state, &v.action).unwrap();
+            assert_ne!(next, state, "ineffective violation: {}", v.description);
+        }
+    }
+
+    #[test]
+    fn apply_context_overlays_only_pinned_devices() {
+        let (home, c) = corpus();
+        let base = home.midnight_state();
+        let v = &c[0];
+        let s = v.apply_context(&base);
+        for (id, st) in s.iter() {
+            match v.context.iter().find(|&&(d, _)| d == id) {
+                Some(&(_, pinned)) => assert_eq!(st, pinned),
+                None => assert_eq!(st, base.device(id).unwrap()),
+            }
+        }
+    }
+}

@@ -1,0 +1,215 @@
+//! Episode engineering: splicing violations and benign anomalies into
+//! otherwise-benign episodes.
+//!
+//! Section VI-B engineers "each of the 214 malicious state transitions in
+//! random episodes of the RF environment to generate 21,400 malicious
+//! episodes"; Section VI-C does the same with SIMADL benign anomalies to
+//! generate 18,120 benign-anomalous episodes. [`inject_violation`] and
+//! [`inject_anomaly`] perform one splice each: the environment is placed
+//! into the scenario's context at the chosen time instance, the malicious or
+//! anomalous action executes, and the rest of the day replays through `Δ`.
+
+use crate::corpus::Violation;
+use jarvis_iot_model::{
+    Actor, AppId, DeviceId, EnvAction, Episode, Fsm, ModelError, StateIdx, TimeStep, Transition,
+    UserId,
+};
+use jarvis_sim::anomaly::AnomalyInstance;
+use jarvis_smart_home::{anomaly_signature, SmartHome};
+
+/// An episode with one engineered transition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InjectedEpisode {
+    /// The engineered episode.
+    pub episode: Episode,
+    /// Time instance of the engineered transition.
+    pub injected_step: TimeStep,
+    /// Corpus/violation or anomaly index this episode was built from.
+    pub source_id: usize,
+}
+
+/// Splice `(context overlay, action)` into `base` at `step`, replaying the
+/// remaining actions through `Δ` so the suffix stays dynamics-consistent.
+fn splice(
+    fsm: &Fsm,
+    base: &Episode,
+    context: &[(DeviceId, StateIdx)],
+    action: &EnvAction,
+    step: TimeStep,
+    actor: Actor,
+) -> Result<Episode, ModelError> {
+    let mut transitions = Vec::with_capacity(base.len());
+    let mut state = base.initial().clone();
+    for tr in base.transitions() {
+        let (cur_action, actors) = if tr.step == step {
+            for &(d, s) in context {
+                state.set_device(d, s);
+            }
+            // Keep the engineered action effective: if the base state left
+            // an actuated device where the action is a no-op (e.g. the
+            // thermostat already heating), move it to the first state the
+            // action is effective from — part of "engineering" the scenario.
+            for m in action.iter() {
+                let dev = fsm.device(m.device)?;
+                let cur = state.device(m.device).unwrap_or_default();
+                if dev.delta(cur, m.action)? == cur {
+                    if let Some(pre) = dev
+                        .state_indices()
+                        .find(|&s| dev.delta(s, m.action).map(|n| n != s).unwrap_or(false))
+                    {
+                        state.set_device(m.device, pre);
+                    }
+                }
+            }
+            (action.clone(), vec![actor; action.len()])
+        } else {
+            (tr.action.clone(), tr.actors.clone())
+        };
+        let next = fsm.step(&state, &cur_action)?;
+        transitions.push(Transition {
+            step: tr.step,
+            state: state.clone(),
+            action: cur_action,
+            next: next.clone(),
+            actors,
+        });
+        state = next;
+    }
+    Episode::from_parts(fsm, base.config(), base.initial().clone(), transitions)
+}
+
+/// Engineer one violation into `base` at `step`.
+///
+/// # Errors
+///
+/// Returns a [`ModelError`] when `step` is outside the episode or the
+/// violation does not fit the FSM (corpus/home mismatch).
+pub fn inject_violation(
+    home: &SmartHome,
+    base: &Episode,
+    violation: &Violation,
+    step: TimeStep,
+) -> Result<InjectedEpisode, ModelError> {
+    if step.0 as usize >= base.len() {
+        return Err(ModelError::InvalidTimeStep {
+            step,
+            steps: base.config().steps(),
+        });
+    }
+    // Attackers act through a compromised app identity.
+    let actor = Actor { user: UserId(99), app: AppId(99) };
+    let episode = splice(home.fsm(), base, &violation.context, &violation.action, step, actor)?;
+    Ok(InjectedEpisode { episode, injected_step: step, source_id: violation.id })
+}
+
+/// Engineer one benign anomaly into `base` at the instance's start minute.
+///
+/// # Errors
+///
+/// Returns a [`ModelError`] when the anomaly's start minute is outside the
+/// episode.
+pub fn inject_anomaly(
+    home: &SmartHome,
+    base: &Episode,
+    anomaly: &AnomalyInstance,
+    source_id: usize,
+) -> Result<InjectedEpisode, ModelError> {
+    let step = base.config().step_at(anomaly.start_minute * 60);
+    if step.0 as usize >= base.len() {
+        return Err(ModelError::InvalidTimeStep { step, steps: base.config().steps() });
+    }
+    let (context, action) = anomaly_signature(home, anomaly.class);
+    let actor = Actor::manual(UserId(0)); // anomalies are human errors
+    let episode = splice(home.fsm(), base, &context, &action, step, actor)?;
+    Ok(InjectedEpisode { episode, injected_step: step, source_id })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::build_corpus;
+    use jarvis_iot_model::EpisodeConfig;
+    use jarvis_smart_home::EventLog;
+    use jarvis_sim::{AnomalyGenerator, HomeDataset};
+
+    fn base_episode(home: &SmartHome) -> Episode {
+        let data = HomeDataset::home_a(3);
+        let mut log = EventLog::new();
+        log.record_activity(home, &data.activity(2));
+        log.parse_episodes(home, EpisodeConfig::DAILY_MINUTES)
+            .unwrap()
+            .episodes
+            .remove(0)
+    }
+
+    #[test]
+    fn injected_step_carries_the_malicious_action() {
+        let home = SmartHome::evaluation_home();
+        let base = base_episode(&home);
+        let corpus = build_corpus(&home);
+        let v = &corpus[0];
+        let out = inject_violation(&home, &base, v, TimeStep(700)).unwrap();
+        let tr = &out.episode.transitions()[700];
+        assert_eq!(tr.action, v.action);
+        for &(d, s) in &v.context {
+            assert_eq!(tr.state.device(d), Some(s), "{}", v.description);
+        }
+        assert_eq!(out.source_id, v.id);
+    }
+
+    #[test]
+    fn suffix_stays_dynamics_consistent() {
+        let home = SmartHome::evaluation_home();
+        let base = base_episode(&home);
+        let corpus = build_corpus(&home);
+        let out = inject_violation(&home, &base, &corpus[10], TimeStep(300)).unwrap();
+        let trs = out.episode.transitions();
+        for w in trs.windows(2) {
+            // After the splice, each transition's state is the previous next
+            // except at the injection point itself (context teleport).
+            if w[1].step != TimeStep(300) {
+                assert_eq!(w[0].next, w[1].state, "broken chain at {}", w[1].step);
+            }
+        }
+        // Every transition obeys Δ.
+        for tr in trs {
+            assert_eq!(home.fsm().step(&tr.state, &tr.action).unwrap(), tr.next);
+        }
+    }
+
+    #[test]
+    fn out_of_range_step_rejected() {
+        let home = SmartHome::evaluation_home();
+        let base = base_episode(&home);
+        let corpus = build_corpus(&home);
+        assert!(inject_violation(&home, &base, &corpus[0], TimeStep(5000)).is_err());
+    }
+
+    #[test]
+    fn every_corpus_violation_injects_cleanly() {
+        let home = SmartHome::evaluation_home();
+        let base = base_episode(&home);
+        let corpus = build_corpus(&home);
+        for v in &corpus {
+            let out = inject_violation(&home, &base, v, TimeStep(600)).unwrap();
+            let tr = &out.episode.transitions()[600];
+            assert_ne!(tr.state, tr.next, "no-op injection for `{}`", v.description);
+        }
+    }
+
+    #[test]
+    fn inject_anomaly_uses_instance_start() {
+        let home = SmartHome::evaluation_home();
+        let base = base_episode(&home);
+        let gen = AnomalyGenerator::new(1);
+        let instances = gen.generate(20, 1);
+        for (i, inst) in instances.iter().enumerate() {
+            let out = inject_anomaly(&home, &base, inst, i).unwrap();
+            assert_eq!(out.injected_step.0, inst.start_minute);
+            let tr = &out.episode.transitions()[out.injected_step.0 as usize];
+            assert!(!tr.is_idle());
+            // The anomaly is attributed to a human, not an attacker app.
+            assert_eq!(tr.actors[0].app, AppId::MANUAL);
+        }
+    }
+}

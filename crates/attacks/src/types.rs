@@ -1,0 +1,93 @@
+//! The five violation types of Section VI-B.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Classification of a security violation, following Section VI-B.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum ViolationType {
+    /// Type 1: trigger-action safety violations.
+    TaSafety,
+    /// Type 2: integrity / access-control violations.
+    IntegrityAccess,
+    /// Type 3: general security / conflicting actions / race conditions.
+    RaceCondition,
+    /// Type 4: malicious apps causing safety violations.
+    MaliciousApp,
+    /// Type 5: insider attacks.
+    Insider,
+}
+
+impl ViolationType {
+    /// All five types, in paper order.
+    #[must_use]
+    pub fn all() -> [ViolationType; 5] {
+        [
+            ViolationType::TaSafety,
+            ViolationType::IntegrityAccess,
+            ViolationType::RaceCondition,
+            ViolationType::MaliciousApp,
+            ViolationType::Insider,
+        ]
+    }
+
+    /// The paper's instance count for this type (114/40/40/10/10).
+    #[must_use]
+    pub fn paper_count(&self) -> usize {
+        match self {
+            ViolationType::TaSafety => 114,
+            ViolationType::IntegrityAccess => 40,
+            ViolationType::RaceCondition => 40,
+            ViolationType::MaliciousApp => 10,
+            ViolationType::Insider => 10,
+        }
+    }
+
+    /// Paper type number (1–5).
+    #[must_use]
+    pub fn number(&self) -> u8 {
+        match self {
+            ViolationType::TaSafety => 1,
+            ViolationType::IntegrityAccess => 2,
+            ViolationType::RaceCondition => 3,
+            ViolationType::MaliciousApp => 4,
+            ViolationType::Insider => 5,
+        }
+    }
+}
+
+impl fmt::Display for ViolationType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            ViolationType::TaSafety => "T/A safety",
+            ViolationType::IntegrityAccess => "integrity/access control",
+            ViolationType::RaceCondition => "race/conflicting actions",
+            ViolationType::MaliciousApp => "malicious app",
+            ViolationType::Insider => "insider attack",
+        };
+        write!(f, "Type {} ({name})", self.number())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_counts_sum_to_214() {
+        let total: usize = ViolationType::all().iter().map(ViolationType::paper_count).sum();
+        assert_eq!(total, 214);
+    }
+
+    #[test]
+    fn numbers_are_one_to_five() {
+        let nums: Vec<u8> = ViolationType::all().iter().map(ViolationType::number).collect();
+        assert_eq!(nums, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn display_includes_type_number() {
+        assert!(ViolationType::TaSafety.to_string().starts_with("Type 1"));
+        assert!(ViolationType::Insider.to_string().starts_with("Type 5"));
+    }
+}

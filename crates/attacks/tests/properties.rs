@@ -1,0 +1,82 @@
+//! Property-based tests for violation/anomaly engineering.
+
+use jarvis_attacks::{build_corpus, inject_anomaly, inject_violation};
+use jarvis_iot_model::{EpisodeConfig, TimeStep};
+use jarvis_sim::{AnomalyGenerator, HomeDataset};
+use jarvis_smart_home::{EventLog, SmartHome};
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+struct Fixture {
+    home: SmartHome,
+    episodes: Vec<jarvis_iot_model::Episode>,
+    corpus: Vec<jarvis_attacks::Violation>,
+}
+
+fn fixture() -> &'static Fixture {
+    static FIXTURE: OnceLock<Fixture> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let home = SmartHome::evaluation_home();
+        let data = HomeDataset::home_a(77);
+        let mut log = EventLog::new();
+        for day in 0..3 {
+            log.record_activity(&home, &data.activity(day));
+        }
+        let episodes = log
+            .parse_episodes(&home, EpisodeConfig::DAILY_MINUTES)
+            .expect("parse")
+            .episodes;
+        let corpus = build_corpus(&home);
+        Fixture { home, episodes, corpus }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any corpus violation injected at any step produces a well-formed,
+    /// Δ-consistent episode whose injected transition is effective.
+    #[test]
+    fn injection_is_total_and_effective(vid in 0usize..214, step in 0u32..1440, base in 0usize..3) {
+        let f = fixture();
+        let v = &f.corpus[vid];
+        let out = inject_violation(&f.home, &f.episodes[base], v, TimeStep(step)).unwrap();
+        prop_assert_eq!(out.episode.len(), 1440);
+        prop_assert_eq!(out.injected_step, TimeStep(step));
+        let tr = &out.episode.transitions()[step as usize];
+        prop_assert_eq!(&tr.action, &v.action);
+        prop_assert_ne!(&tr.state, &tr.next, "engineered transition must be effective");
+        // Every transition still satisfies Δ.
+        for tr in out.episode.transitions().iter().step_by(97) {
+            prop_assert_eq!(&f.home.fsm().step(&tr.state, &tr.action).unwrap(), &tr.next);
+        }
+    }
+
+    /// The violation context survives the splice except where the
+    /// effectiveness repair legitimately had to move the actuated device.
+    #[test]
+    fn context_pins_survive(vid in 0usize..214, step in 0u32..1440) {
+        let f = fixture();
+        let v = &f.corpus[vid];
+        let out = inject_violation(&f.home, &f.episodes[0], v, TimeStep(step)).unwrap();
+        let tr = &out.episode.transitions()[step as usize];
+        for &(d, s) in &v.context {
+            if v.action.on_device(d).is_none() {
+                prop_assert_eq!(tr.state.device(d), Some(s), "pin on {} lost", d);
+            }
+        }
+    }
+
+    /// Any generated benign anomaly injects cleanly and lands at its start
+    /// minute with a non-idle, effective transition.
+    #[test]
+    fn anomaly_injection_is_total(seed in any::<u64>(), base in 0usize..3) {
+        let f = fixture();
+        let inst = AnomalyGenerator::new(seed).generate(1, 1).remove(0);
+        let out = inject_anomaly(&f.home, &f.episodes[base], &inst, 0).unwrap();
+        prop_assert_eq!(out.injected_step.0, inst.start_minute);
+        let tr = &out.episode.transitions()[out.injected_step.0 as usize];
+        prop_assert!(!tr.is_idle());
+        prop_assert_ne!(&tr.state, &tr.next);
+    }
+}

@@ -1,0 +1,65 @@
+//! Kernel benchmark: FSM transition throughput (`Δ`) and state validation —
+//! the hot inner loop behind every simulated episode.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use jarvis_iot_model::{EnvAction, MiniAction};
+use jarvis_smart_home::SmartHome;
+
+fn bench_fsm(c: &mut Criterion) {
+    let home = SmartHome::evaluation_home();
+    let fsm = home.fsm();
+    let state = home.midnight_state();
+    let minis = home.agent_mini_actions();
+
+    c.bench_function("fsm/step_single_mini", |b| {
+        let action = EnvAction::single(minis[0]);
+        b.iter(|| fsm.step(std::hint::black_box(&state), std::hint::black_box(&action)).unwrap())
+    });
+
+    c.bench_function("fsm/step_joint_three", |b| {
+        let action = EnvAction::try_from_minis(vec![
+            home.mini_action("light", "power_on"),
+            home.mini_action("thermostat", "set_heat"),
+            home.mini_action("tv", "power_on"),
+        ])
+        .unwrap();
+        b.iter(|| fsm.step(std::hint::black_box(&state), std::hint::black_box(&action)).unwrap())
+    });
+
+    c.bench_function("fsm/validate_state", |b| {
+        b.iter(|| fsm.validate_state(std::hint::black_box(&state)).unwrap())
+    });
+
+    c.bench_function("fsm/one_hot_encode", |b| {
+        let sizes = fsm.state_sizes();
+        b.iter(|| std::hint::black_box(&state).one_hot(&sizes))
+    });
+
+    c.bench_function("fsm/full_idle_episode_1440", |b| {
+        b.iter_batched(
+            || home.midnight_state(),
+            |mut s| {
+                let noop = EnvAction::noop();
+                for _ in 0..1440 {
+                    s = fsm.step(&s, &noop).unwrap();
+                }
+                s
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    c.bench_function("fsm/mini_action_index_round_trip", |b| {
+        b.iter(|| {
+            for flat in 0..fsm.num_mini_actions() {
+                let mini = fsm.mini_action_at(flat);
+                std::hint::black_box(fsm.mini_action_index(mini));
+            }
+        })
+    });
+
+    let _ = MiniAction::new(jarvis_iot_model::DeviceId(0), 0);
+}
+
+criterion_group!(benches, bench_fsm);
+criterion_main!(benches);

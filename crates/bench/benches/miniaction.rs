@@ -1,0 +1,63 @@
+//! Ablation benchmark: mini-action decomposition (Section V-A-7).
+//!
+//! The paper motivates mini-actions by action-space explosion: with `k`
+//! two-state devices a joint action has `3^k` combinations (each device: do
+//! nothing / off / on) while the mini-action space grows as `2k + 1`. This
+//! bench measures the per-decision cost of (a) scanning a tabular Q row over
+//! the joint space vs (b) a DQN forward pass over the mini-action heads, as
+//! `k` doubles.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use jarvis_iot_model::{DeviceSpec, Fsm};
+use jarvis_neural::{Activation, Loss, Network, OptimizerKind};
+
+fn onoff_device(i: usize) -> DeviceSpec {
+    DeviceSpec::builder(format!("dev{i}"))
+        .states(["off", "on"])
+        .actions(["power_off", "power_on"])
+        .transition("off", "power_on", "on")
+        .transition("on", "power_off", "off")
+        .build()
+        .expect("valid device")
+}
+
+fn bench_miniaction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("miniaction_ablation");
+    for k in [2usize, 4, 8, 12] {
+        let fsm = Fsm::new((0..k).map(onoff_device).collect()).expect("fsm");
+        let joint = fsm.joint_action_space_size().expect("fits") as usize;
+        let minis = fsm.num_mini_actions();
+
+        // (a) Tabular joint-action argmax: scan 3^k Q entries.
+        let joint_q: Vec<f64> = (0..joint).map(|i| (i % 97) as f64 / 97.0).collect();
+        group.bench_with_input(BenchmarkId::new("joint_table_argmax", k), &k, |b, _| {
+            b.iter(|| {
+                joint_q
+                    .iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                    .map(|(i, _)| i)
+            })
+        });
+
+        // (b) DQN forward pass over 2k+1 mini-action heads.
+        let state_dim = 2 * k;
+        let net = Network::builder(state_dim)
+            .layer(64, Activation::Relu)
+            .layer(64, Activation::Relu)
+            .layer(minis, Activation::Linear)
+            .loss(Loss::Mse)
+            .optimizer(OptimizerKind::adam(0.001))
+            .seed(k as u64)
+            .build()
+            .expect("valid network");
+        let obs = vec![0.5; state_dim];
+        group.bench_with_input(BenchmarkId::new("dqn_mini_heads", k), &k, |b, _| {
+            b.iter(|| net.predict(std::hint::black_box(&obs)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_miniaction);
+criterion_main!(benches);

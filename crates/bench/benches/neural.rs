@@ -1,0 +1,59 @@
+//! Kernel benchmark: the neural substrate — forward passes, training
+//! batches, and the ANN filter inference that gates every SPL decision.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use jarvis_neural::{Activation, Loss, Matrix, Network, OptimizerKind};
+
+fn paper_dnn(inputs: usize, outputs: usize) -> Network {
+    Network::builder(inputs)
+        .layer(64, Activation::Relu)
+        .layer(64, Activation::Relu)
+        .layer(outputs, Activation::Linear)
+        .loss(Loss::Mse)
+        .optimizer(OptimizerKind::adam(0.001))
+        .seed(1)
+        .build()
+        .expect("valid network")
+}
+
+fn bench_neural(c: &mut Criterion) {
+    // Shapes match the evaluation home: ~45 input features, 35 action heads.
+    let net = paper_dnn(45, 35);
+    let input = vec![0.3; 45];
+
+    c.bench_function("neural/dnn_predict_single", |b| {
+        b.iter(|| net.predict(std::hint::black_box(&input)).unwrap())
+    });
+
+    c.bench_function("neural/dnn_train_batch32", |b| {
+        let mut net = paper_dnn(45, 35);
+        let inputs: Vec<Vec<f64>> = (0..32).map(|i| vec![i as f64 / 32.0; 45]).collect();
+        let targets: Vec<Vec<f64>> = (0..32).map(|_| vec![0.5; 35]).collect();
+        let input_refs: Vec<&[f64]> = inputs.iter().map(Vec::as_slice).collect();
+        let target_refs: Vec<&[f64]> = targets.iter().map(Vec::as_slice).collect();
+        b.iter(|| net.train_batch(&input_refs, &target_refs).unwrap())
+    });
+
+    c.bench_function("neural/matmul_64x64", |b| {
+        let a = Matrix::from_fn(64, 64, |r, c| (r * 7 + c) as f64 / 64.0);
+        let m = Matrix::from_fn(64, 64, |r, c| (r + c * 3) as f64 / 64.0);
+        b.iter(|| a.matmul(std::hint::black_box(&m)).unwrap())
+    });
+
+    c.bench_function("neural/filter_mlp_predict", |b| {
+        // The SPL filter: single hidden layer, sigmoid head.
+        let filter = Network::builder(60)
+            .layer(32, Activation::Tanh)
+            .layer(1, Activation::Sigmoid)
+            .loss(Loss::BinaryCrossEntropy)
+            .optimizer(OptimizerKind::adam(0.01))
+            .seed(2)
+            .build()
+            .expect("valid network");
+        let x = vec![0.1; 60];
+        b.iter(|| filter.predict(std::hint::black_box(&x)).unwrap())
+    });
+}
+
+criterion_group!(benches, bench_neural);
+criterion_main!(benches);

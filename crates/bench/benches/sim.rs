@@ -1,0 +1,61 @@
+//! Kernel benchmark: the dataset simulators — day-trace generation, activity
+//! event derivation, anomaly synthesis, and the physical models.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use jarvis_sim::thermal::HvacMode;
+use jarvis_sim::{AnomalyGenerator, DamPrices, HomeDataset, ThermalModel, WeatherModel};
+
+fn bench_sim(c: &mut Criterion) {
+    let data = HomeDataset::home_a(42);
+
+    c.bench_function("sim/day_trace", |b| {
+        let mut day = 0u32;
+        b.iter(|| {
+            day = (day + 1) % 365;
+            data.trace(std::hint::black_box(day))
+        })
+    });
+
+    c.bench_function("sim/day_activity_events", |b| {
+        let mut day = 0u32;
+        b.iter(|| {
+            day = (day + 1) % 365;
+            data.activity(std::hint::black_box(day))
+        })
+    });
+
+    c.bench_function("sim/anomaly_generate_1000", |b| {
+        let g = AnomalyGenerator::new(7);
+        b.iter(|| g.generate(1_000, 30))
+    });
+
+    c.bench_function("sim/weather_day_1440", |b| {
+        let w = WeatherModel::new(3);
+        b.iter(|| {
+            let mut acc = 0.0;
+            for m in 0..1440 {
+                acc += w.outdoor_temp(10, m);
+            }
+            acc
+        })
+    });
+
+    c.bench_function("sim/prices_day_curve", |b| {
+        let p = DamPrices::new(3);
+        b.iter(|| p.day_curve(std::hint::black_box(5)))
+    });
+
+    c.bench_function("sim/thermal_simulate_day", |b| {
+        let t = ThermalModel::typical_home();
+        b.iter(|| {
+            t.simulate_day(
+                18.0,
+                |m| 5.0 + (m as f64 / 1440.0),
+                |m| if m % 3 == 0 { HvacMode::Heat } else { HvacMode::Off },
+            )
+        })
+    });
+}
+
+criterion_group!(benches, bench_sim);
+criterion_main!(benches);

@@ -1,0 +1,96 @@
+//! Kernel benchmark: the Security Policy Learner — Algorithm 1 over a week
+//! of episodes, safe-transition queries in each match mode, and violation
+//! scanning (the per-table-VI-B detection kernel).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use jarvis_iot_model::EpisodeConfig;
+use jarvis_policy::{flag_violations, learn_safe_transitions, MatchMode, SplConfig};
+use jarvis_smart_home::{EventLog, SmartHome};
+use jarvis_sim::HomeDataset;
+
+fn bench_spl(c: &mut Criterion) {
+    let home = SmartHome::evaluation_home();
+    let data = HomeDataset::home_a(42);
+    let mut log = EventLog::new();
+    for day in 0..7 {
+        log.record_activity(&home, &data.activity(day));
+    }
+    let episodes = log
+        .parse_episodes(&home, EpisodeConfig::DAILY_MINUTES)
+        .expect("parse")
+        .episodes;
+
+    c.bench_function("spl/learn_week_algorithm1", |b| {
+        b.iter(|| {
+            learn_safe_transitions(
+                home.fsm(),
+                std::hint::black_box(&episodes),
+                None,
+                &SplConfig::default(),
+            )
+        })
+    });
+
+    let outcome =
+        learn_safe_transitions(home.fsm(), &episodes, None, &SplConfig::default());
+    let sample = episodes[0]
+        .transitions()
+        .iter()
+        .find(|tr| !tr.is_idle())
+        .expect("active transition");
+
+    for mode in [MatchMode::Exact, MatchMode::DeviceContext, MatchMode::Generalized] {
+        c.bench_function(&format!("spl/is_safe_action_{mode:?}"), |b| {
+            b.iter(|| {
+                outcome.table.is_safe_action(
+                    std::hint::black_box(&sample.state),
+                    std::hint::black_box(&sample.action),
+                    mode,
+                )
+            })
+        });
+    }
+
+    c.bench_function("spl/flag_violations_one_day", |b| {
+        b.iter(|| {
+            flag_violations(&outcome.table, std::hint::black_box(&episodes[0]), MatchMode::Exact)
+        })
+    });
+
+    c.bench_function("spl/parse_one_day_of_logs", |b| {
+        let mut one_day = EventLog::new();
+        one_day.record_activity(&home, &data.activity(2));
+        b.iter(|| one_day.parse_episodes(&home, EpisodeConfig::DAILY_MINUTES).unwrap())
+    });
+
+    // Runtime-monitor throughput: the per-event cost a deployed Jarvis adds
+    // between the platform and the devices.
+    c.bench_function("spl/runtime_monitor_observe", |b| {
+        use jarvis::RuntimeMonitor;
+        let rules = jarvis_smart_home::emergency_rules(&home);
+        let unlock = home.mini_action("lock", "unlock");
+        let lock_inside = home.mini_action("lock", "lock_inside");
+        b.iter_batched(
+            || {
+                RuntimeMonitor::new(
+                    &home,
+                    &outcome.table,
+                    MatchMode::Generalized,
+                    home.midnight_state(),
+                )
+                .with_manual(&rules)
+            },
+            |mut mon| {
+                for _ in 0..32 {
+                    let _ = mon.observe(unlock);
+                    let _ = mon.observe(lock_inside);
+                }
+                mon.alarms().len()
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(benches, bench_spl);
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! Run every table and figure of the evaluation in sequence.
+
+fn main() {
+    let args = jarvis_bench::Args::parse();
+    use jarvis_bench::experiments as e;
+    e::table1(&args);
+    e::table2(&args);
+    e::table3(&args);
+    e::security_detection(&args);
+    e::fig5_roc(&args);
+    e::fig6_energy(&args);
+    e::fig7_cost(&args);
+    e::fig8_temp(&args);
+    e::fig9_benefit(&args);
+    e::ablation_modes(&args);
+    e::ablation_filter(&args);
+    e::ablation_optimizer(&args);
+    e::ablation_agents(&args);
+    e::active_learning(&args);
+}

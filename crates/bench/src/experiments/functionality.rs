@@ -1,0 +1,221 @@
+//! Figures 6–9: the functionality benefit-space experiments.
+
+use crate::{banner, learned_testbed, row, Args};
+use jarvis::{DayPlan, HomeRlEnv, Optimizer, RewardWeights, SmartReward};
+use jarvis_policy::MatchMode;
+use jarvis_sim::HomeDataset;
+
+/// Which metric a functionality sweep reports.
+struct SweepSpec {
+    functionality: &'static str,
+    metric_label: &'static str,
+    extract: fn(&DayPlan) -> (f64, f64),
+}
+
+/// Run one `f_j` sweep: learn once per weight, optimize `args.days` Home B
+/// days, and print paper-style `normal vs optimized` rows.
+fn sweep(args: &Args, spec: &SweepSpec) {
+    let widths = [8usize, 16, 16, 12];
+    println!(
+        "{}",
+        row(
+            &[
+                format!("f_{}", spec.functionality),
+                format!("normal {}", spec.metric_label),
+                format!("optimized {}", spec.metric_label),
+                "gain %".into(),
+            ],
+            &widths
+        )
+    );
+    let eval_data = HomeDataset::home_b(args.seed ^ 0xB);
+    for &f in &args.weight_sweep() {
+        let weights = RewardWeights::emphasizing(spec.functionality, f);
+        let testbed = learned_testbed(args, weights);
+        let days: Vec<u32> = (0..args.days).map(|d| 10 + d).collect();
+        // Parallel day evaluation: each day trains an independent agent.
+        let plans: Vec<DayPlan> = crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = days
+                .iter()
+                .map(|&day| {
+                    let jarvis = &testbed.jarvis;
+                    let data = &eval_data;
+                    scope.spawn(move |_| jarvis.optimize_day(data, day).expect("optimize"))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("day thread")).collect()
+        })
+        .expect("scope");
+
+        let mut normal_total = 0.0;
+        let mut optimized_total = 0.0;
+        for plan in &plans {
+            assert_eq!(plan.optimized.violations, 0, "constrained agent violated safety");
+            let (normal, optimized) = (spec.extract)(plan);
+            normal_total += normal;
+            optimized_total += optimized;
+        }
+        let n = plans.len() as f64;
+        let (normal, optimized) = (normal_total / n, optimized_total / n);
+        let gain = if normal.abs() > 1e-9 { 100.0 * (normal - optimized) / normal } else { 0.0 };
+        println!(
+            "{}",
+            row(
+                &[
+                    format!("{f:.1}"),
+                    format!("{normal:.3}"),
+                    format!("{optimized:.3}"),
+                    format!("{gain:.1}"),
+                ],
+                &widths
+            )
+        );
+    }
+}
+
+/// Figure 6: energy conservation (kWh/day), normal vs optimized over the
+/// `f_energy` sweep.
+pub fn fig6_energy(args: &Args) {
+    banner(
+        "Figure 6: Energy Conservation",
+        "kWh per day, normal vs Jarvis-optimized, sweeping f_energy over Home B days",
+    );
+    sweep(
+        args,
+        &SweepSpec {
+            functionality: "energy",
+            metric_label: "kWh",
+            extract: |p| (p.normal.energy_kwh, p.optimized.energy_kwh),
+        },
+    );
+    println!("\n(paper shape: optimized below normal across the sweep, gap grows with f)");
+}
+
+/// Figure 7: electricity-cost minimization ($/day) over the `f_cost` sweep.
+pub fn fig7_cost(args: &Args) {
+    banner(
+        "Figure 7: Energy Price Minimization",
+        "$ per day under DAM prices, normal vs Jarvis-optimized, sweeping f_cost",
+    );
+    sweep(
+        args,
+        &SweepSpec {
+            functionality: "cost",
+            metric_label: "$",
+            extract: |p| (p.normal.cost_usd, p.optimized.cost_usd),
+        },
+    );
+    println!("\n(paper shape: optimized cost below normal; actions shift to off-peak hours)");
+}
+
+/// Figure 8: temperature-difference optimization (mean °C from target) over
+/// the `f_comfort` sweep.
+pub fn fig8_temp(args: &Args) {
+    banner(
+        "Figure 8: Temperature Difference Optimization",
+        "mean |indoor - 21 °C|, normal vs Jarvis-optimized, sweeping f_comfort",
+    );
+    sweep(
+        args,
+        &SweepSpec {
+            functionality: "comfort",
+            metric_label: "°C dev",
+            extract: |p| (p.normal.mean_temp_dev_c(), p.optimized.mean_temp_dev_c()),
+        },
+    );
+    println!("\n(paper shape: optimized deviation at or below normal, shrinking as f grows)");
+}
+
+/// Figure 9: constrained vs unconstrained exploration — per-episode training
+/// reward and safety violations.
+pub fn fig9_benefit(args: &Args) {
+    banner(
+        "Figure 9: Unconstrained vs Constrained Exploration Benefit Space",
+        "per-episode training reward and safety violations (evaluation home, one day)",
+    );
+    // Energy-heavy weights make the unconstrained advantage visible: the
+    // biggest savings beyond the safe space come from shutting down sensors,
+    // the fridge, and the lock — exactly the unsafe actions of Table III.
+    let weights = RewardWeights::emphasizing("energy", 0.7);
+    let testbed = learned_testbed(args, weights);
+    let jarvis = &testbed.jarvis;
+    let outcome = jarvis.outcome().expect("policies learned");
+    let data = HomeDataset::home_b(args.seed ^ 0xB);
+    let day = 10;
+
+    let scenario = jarvis::DayScenario::from_dataset(jarvis.home(), &data, day);
+    let behavior = outcome.behavior.clone();
+    let reward = SmartReward::evaluation(
+        weights,
+        scenario.peak_price(),
+        behavior,
+        scenario.config(),
+        jarvis.home().fsm().num_devices(),
+    );
+
+    let train = |constrained: bool| {
+        let mut env = HomeRlEnv::new(jarvis.home(), &scenario, &reward)
+            .with_detector(&outcome.table, MatchMode::Generalized);
+        if constrained {
+            env = env.constrained(&outcome.table, MatchMode::Generalized);
+        }
+        let mut cfg = jarvis.config().optimizer.clone();
+        cfg.episodes = args.episodes.max(8);
+        let mut opt = Optimizer::new(&env, cfg).expect("optimizer");
+        let stats = opt.train(&mut env).expect("training");
+        let rollout = opt.rollout(&mut env).expect("rollout");
+        (stats, rollout)
+    };
+
+    let (con_stats, con_final) = train(true);
+    let (unc_stats, unc_final) = train(false);
+
+    let widths = [6usize, 20, 22, 24];
+    println!(
+        "{}",
+        row(
+            &[
+                "ep".into(),
+                "constrained reward".into(),
+                "unconstrained reward".into(),
+                "unconstrained violations".into(),
+            ],
+            &widths
+        )
+    );
+    for ep in 0..con_stats.episode_rewards.len() {
+        println!(
+            "{}",
+            row(
+                &[
+                    format!("{ep}"),
+                    format!("{:.1}", con_stats.episode_rewards[ep]),
+                    format!("{:.1}", unc_stats.episode_rewards[ep]),
+                    format!("{}", unc_stats.episode_violations[ep]),
+                ],
+                &widths
+            )
+        );
+    }
+    println!(
+        "\nconstrained:   greedy-policy reward {:.1}, safety violations {} per day",
+        con_final.reward, con_final.violations
+    );
+    println!(
+        "unconstrained: greedy-policy reward {:.1}, safety violations {} per day (paper: ~32)",
+        unc_final.reward, unc_final.violations
+    );
+    println!(
+        "exploration violations/episode: constrained {:.1}, unconstrained {:.1}",
+        con_stats.mean_violations(),
+        unc_stats.mean_violations()
+    );
+    println!(
+        "(paper shape: unconstrained exploration incurs violations every episode while\n \
+         constrained exploration incurs none. In our substrate the constrained agent\n \
+         also converges faster — its safe action set is far smaller — so at equal\n \
+         training budget its realized reward is higher; the unconstrained agent's\n \
+         theoretical edge is limited to shutting down standby/safety loads.\n \
+         See EXPERIMENTS.md for the discussion of this deviation.)"
+    );
+}

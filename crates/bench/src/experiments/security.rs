@@ -1,0 +1,202 @@
+//! Section VI-B/VI-C: security detection and the Figure 5 ROC.
+
+use crate::{banner, learned_testbed, row, Args};
+use jarvis::RewardWeights;
+use jarvis_attacks::{
+    build_corpus, eval::evaluate_filter, evaluate_detection, inject_anomaly, inject_violation,
+    ViolationType,
+};
+use jarvis_iot_model::TimeStep;
+use jarvis_neural::metrics::{auc, roc_curve, Confusion};
+use jarvis_policy::MatchMode;
+use jarvis_sim::AnomalyGenerator;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Section VI-B: engineer the 214-violation corpus into random episodes
+/// (the paper's 21,400 malicious episodes at 100 per violation) and measure
+/// the SPL's detection rate. Expected: 100 %.
+pub fn security_detection(args: &Args) {
+    banner(
+        "Security Analysis (Section VI-B)",
+        "214 crafted violations x random episodes -> SPL detection rate",
+    );
+    let per_violation = if args.full {
+        100
+    } else if args.quick {
+        5
+    } else {
+        100
+    };
+    let testbed = learned_testbed(args, RewardWeights::balanced());
+    let jarvis = &testbed.jarvis;
+    let outcome = jarvis.outcome().expect("policies learned");
+    let corpus = build_corpus(jarvis.home());
+    let episodes = jarvis.episodes();
+    let mut rng = ChaCha8Rng::seed_from_u64(args.seed ^ 0x5EC);
+
+    // Engineer and evaluate one episode at a time: the paper-scale run is
+    // 21,400 day-long episodes, far too much to hold in memory at once.
+    let mut per_type: std::collections::BTreeMap<ViolationType, (usize, usize)> =
+        ViolationType::all().iter().map(|&t| (t, (0, 0))).collect();
+    let mut missed: Vec<usize> = Vec::new();
+    for v in &corpus {
+        for _ in 0..per_violation {
+            let base = &episodes[rng.gen_range(0..episodes.len())];
+            let step = TimeStep(rng.gen_range(0..base.len() as u32));
+            let injected =
+                inject_violation(jarvis.home(), base, v, step).expect("inject");
+            let hit = evaluate_detection(
+                &outcome.table,
+                std::slice::from_ref(&injected),
+                MatchMode::Exact,
+            )
+            .detected
+                == 1;
+            let entry = per_type.get_mut(&v.vtype).expect("all types present");
+            entry.0 += 1;
+            if hit {
+                entry.1 += 1;
+            } else {
+                missed.push(v.id);
+            }
+        }
+    }
+
+    let widths = [34usize, 10, 12, 12];
+    println!(
+        "{}",
+        row(
+            &["violation type".into(), "corpus".into(), "episodes".into(), "detected %".into()],
+            &widths
+        )
+    );
+    let (mut total, mut detected) = (0usize, 0usize);
+    for vtype in ViolationType::all() {
+        let (t, d) = per_type[&vtype];
+        total += t;
+        detected += d;
+        let n_corpus = corpus.iter().filter(|v| v.vtype == vtype).count();
+        println!(
+            "{}",
+            row(
+                &[
+                    vtype.to_string(),
+                    format!("{n_corpus}"),
+                    format!("{t}"),
+                    format!("{:.1}", 100.0 * d as f64 / t.max(1) as f64),
+                ],
+                &widths
+            )
+        );
+    }
+    println!(
+        "{}",
+        row(
+            &[
+                "TOTAL".into(),
+                format!("{}", corpus.len()),
+                format!("{total}"),
+                format!("{:.1}", 100.0 * detected as f64 / total.max(1) as f64),
+            ],
+            &widths
+        )
+    );
+    missed.sort_unstable();
+    missed.dedup();
+    if missed.is_empty() {
+        println!("\nall engineered violations detected (paper: 100%)");
+    } else {
+        println!("\nMISSED violation ids: {missed:?}");
+    }
+}
+
+/// Section VI-C + Figure 5: the ANN filter's classification of benign
+/// anomalies, with the ROC curve. Expected: ~99 % correctly filtered.
+pub fn fig5_roc(args: &Args) {
+    banner(
+        "Figure 5 + Section VI-C: SPL filter accuracy on benign anomalies",
+        "benign-anomalous episodes correctly filtered, false positives, ROC",
+    );
+    let n_anomalous = if args.full {
+        18_120
+    } else if args.quick {
+        300
+    } else {
+        4_000
+    };
+    let testbed = learned_testbed(args, RewardWeights::balanced());
+    let jarvis = &testbed.jarvis;
+    let filter = jarvis.filter().expect("filter trained");
+    let episodes = jarvis.episodes();
+    let mut rng = ChaCha8Rng::seed_from_u64(args.seed ^ 0xF16);
+
+    // Engineer benign-anomalous episodes from a *held-out* anomaly stream,
+    // scoring each one immediately so only the scores stay resident.
+    let generator = AnomalyGenerator::new(args.seed ^ 0xA11);
+    let instances = generator.generate(n_anomalous, 30);
+    let mut anomaly_scores: Vec<f64> = Vec::with_capacity(instances.len());
+    let mut correctly = 0usize;
+    for (i, inst) in instances.iter().enumerate() {
+        let base = &episodes[rng.gen_range(0..episodes.len())];
+        let injected = inject_anomaly(jarvis.home(), base, inst, i).expect("inject");
+        let one = evaluate_filter(filter, std::slice::from_ref(&injected));
+        correctly += one.correctly_filtered;
+        anomaly_scores.extend(one.scores);
+    }
+    let report = jarvis_attacks::eval::FilterReport {
+        total: instances.len(),
+        correctly_filtered: correctly,
+        scores: anomaly_scores,
+    };
+
+    // Negatives: routine transitions from the learning episodes.
+    let routine_scores: Vec<f64> = episodes
+        .iter()
+        .flat_map(|ep| ep.transitions())
+        .filter(|tr| !tr.is_idle())
+        .map(|tr| filter.score(&tr.state, &tr.action, tr.step).unwrap_or(0.0))
+        .collect();
+
+    let mut scores = report.scores.clone();
+    let mut labels = vec![true; scores.len()];
+    scores.extend(&routine_scores);
+    labels.extend(std::iter::repeat_n(false, routine_scores.len()));
+
+    println!("benign anomalous episodes:      {}", report.total);
+    println!(
+        "correctly filtered as benign:   {} ({:.1}%, paper: 99.2%)",
+        report.correctly_filtered,
+        100.0 * report.accuracy()
+    );
+    println!(
+        "false positives (flagged):      {:.1}% (paper: 0.8%)",
+        100.0 * report.false_positive_rate()
+    );
+    let routine_conf = Confusion::at_threshold(&routine_scores, &vec![false; routine_scores.len()], filter.threshold());
+    println!(
+        "routine transitions mis-filtered: {:.1}% of {}",
+        100.0 * routine_conf.fpr(),
+        routine_scores.len()
+    );
+    println!("AUC: {:.4}", auc(&scores, &labels));
+
+    println!("\nROC curve (threshold sweep):");
+    let widths = [12usize, 10, 10];
+    println!("{}", row(&["threshold".into(), "FPR".into(), "TPR".into()], &widths));
+    let curve = roc_curve(&scores, &labels);
+    let step = (curve.len() / 12).max(1);
+    for p in curve.iter().step_by(step) {
+        println!(
+            "{}",
+            row(
+                &[
+                    format!("{:.3}", p.threshold.clamp(0.0, 1.0)),
+                    format!("{:.3}", p.fpr),
+                    format!("{:.3}", p.tpr),
+                ],
+                &widths
+            )
+        );
+    }
+}

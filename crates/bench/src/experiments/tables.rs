@@ -1,0 +1,266 @@
+//! Tables I–III: the qualitative analyses of Section V.
+
+use crate::{banner, learned_testbed, row, Args};
+use jarvis::{suggest::suggest, HomeRlEnv, Optimizer, RewardWeights, SmartReward};
+use jarvis_iot_model::{EnvAction, EnvState, EpisodeConfig, TimeStep};
+use jarvis_policy::{learn_safe_transitions, MatchMode, SplConfig};
+use jarvis_sim::HomeDataset;
+use jarvis_smart_home::{AppEngine, EventLog, SmartHome};
+
+/// Table I: the smart-home environment FSM of the five-device example home.
+pub fn table1(_args: &Args) {
+    banner(
+        "Table I: Smart Home Environment FSM",
+        "the five-device example home (Section V-B)",
+    );
+    let home = SmartHome::example_home();
+    let widths = [14usize, 52, 54];
+    println!(
+        "{}",
+        row(&["device".into(), "device-states p_i".into(), "device-actions a_i".into()], &widths)
+    );
+    for (_, dev) in home.fsm().devices() {
+        let states: Vec<&str> = dev
+            .state_indices()
+            .filter_map(|s| dev.state_name(s))
+            .collect();
+        let actions: Vec<&str> = dev
+            .action_indices()
+            .filter_map(|a| dev.action_name(a))
+            .collect();
+        println!(
+            "{}",
+            row(
+                &[dev.name().to_owned(), states.join(", "), actions.join(", ")],
+                &widths
+            )
+        );
+    }
+    println!(
+        "\nstate space |SS| = {}, joint actions = {}, mini-actions = {}",
+        home.fsm().state_space_size().unwrap_or(0),
+        home.fsm().joint_action_space_size().unwrap_or(0),
+        home.fsm().num_mini_actions()
+    );
+}
+
+/// Table II: app-declared trigger-action behavior vs the safe T/A behavior
+/// learned by Algorithm 1 from a one-week learning phase.
+pub fn table2(args: &Args) {
+    banner(
+        "Table II: Normal vs Safe T/A Behavior",
+        "five IFTTT apps on the example home; learned safe triggers use the X notation",
+    );
+    let mut home = SmartHome::example_home();
+    let engine = AppEngine::install_table2_apps(&mut home);
+
+    // Learning phase on the example home (events for absent devices are
+    // dropped by the logger, exactly as a 5-device deployment would see).
+    let data = HomeDataset::home_a(args.seed);
+    let mut log = EventLog::new();
+    for day in 0..7 {
+        log.record_activity(&home, &data.activity(day));
+    }
+    let episodes = log
+        .parse_episodes(&home, EpisodeConfig::DAILY_MINUTES)
+        .expect("parse")
+        .episodes;
+    let outcome = learn_safe_transitions(home.fsm(), &episodes, None, &SplConfig::default());
+
+    for app in engine.apps() {
+        println!("\nApp {} — {}", app.id.0, app.description);
+        for (trigger, actions) in &app.rules {
+            let action_names: Vec<String> = actions
+                .iter()
+                .map(|m| {
+                    home.fsm()
+                        .describe_action(&EnvAction::single(*m))
+                        .join(",")
+                })
+                .collect();
+            println!("  app trigger:  {trigger}");
+            println!("  app action:   {}", action_names.join(" + "));
+            for m in actions {
+                let dev = home.fsm().device(m.device).expect("valid");
+                let mut any = false;
+                for pre in dev.state_indices() {
+                    if let Some(p) = outcome.table.generalized_pattern(m.device, pre, m.action) {
+                        println!(
+                            "  learned safe: {} -> {}.{} (from {})",
+                            p,
+                            dev.name(),
+                            dev.action_name(m.action).unwrap_or("?"),
+                            dev.state_name(pre).unwrap_or("?"),
+                        );
+                        any = true;
+                    }
+                }
+                if !any {
+                    println!(
+                        "  learned safe: (none — {}.{} never occurs naturally; \
+                         the SPL would block it, cf. the fire-alarm caveat of Section V-B)",
+                        dev.name(),
+                        dev.action_name(m.action).unwrap_or("?"),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// One Table III row: a trigger state and which functionality it probes.
+struct Table3Row {
+    functionality: &'static str,
+    description: &'static str,
+    pins: &'static [(&'static str, &'static str)],
+    t: u32,
+}
+
+const TABLE3_ROWS: &[Table3Row] = &[
+    Table3Row {
+        functionality: "energy",
+        description: "user leaves the house and locks the door",
+        pins: &[
+            ("lock", "locked_outside"),
+            ("door_sensor", "sensing"),
+            ("light", "on"),
+            ("thermostat", "heat"),
+        ],
+        t: 8 * 60,
+    },
+    Table3Row {
+        functionality: "energy",
+        description: "optimal temperature is reached",
+        pins: &[("lock", "unlocked"), ("temp_sensor", "optimal"), ("thermostat", "heat")],
+        t: 10 * 60,
+    },
+    Table3Row {
+        functionality: "cost",
+        description: "temperature drops below optimum and user at home",
+        pins: &[("lock", "unlocked"), ("temp_sensor", "below_optimal"), ("thermostat", "off")],
+        t: 17 * 60,
+    },
+    Table3Row {
+        functionality: "cost",
+        description: "temperature goes above optimum and user at home",
+        pins: &[("lock", "unlocked"), ("temp_sensor", "above_optimal"), ("thermostat", "off")],
+        t: 17 * 60,
+    },
+    Table3Row {
+        functionality: "cost",
+        description: "optimal temperature is reached",
+        pins: &[("lock", "unlocked"), ("temp_sensor", "optimal"), ("thermostat", "heat")],
+        t: 17 * 60,
+    },
+    Table3Row {
+        functionality: "comfort",
+        description: "temperature drops below optimum (house empty)",
+        pins: &[
+            ("lock", "locked_outside"),
+            ("door_sensor", "sensing"),
+            ("temp_sensor", "below_optimal"),
+            ("thermostat", "off"),
+        ],
+        t: 16 * 60,
+    },
+    Table3Row {
+        functionality: "comfort",
+        description: "temperature goes above optimum (house empty)",
+        pins: &[
+            ("lock", "locked_outside"),
+            ("door_sensor", "sensing"),
+            ("temp_sensor", "above_optimal"),
+            ("thermostat", "off"),
+        ],
+        t: 16 * 60,
+    },
+    Table3Row {
+        functionality: "comfort",
+        description: "optimal temperature is reached",
+        pins: &[("lock", "unlocked"), ("temp_sensor", "optimal"), ("thermostat", "heat")],
+        t: 12 * 60,
+    },
+];
+
+/// Table III: the highest-quality action of an *unconstrained* optimizer vs
+/// the highest-quality *safe* action of the Jarvis-constrained optimizer, at
+/// the paper's eight common triggers.
+pub fn table3(args: &Args) {
+    banner(
+        "Table III: Action Quality, Unconstrained vs Constrained Exploration",
+        "greedy policy actions at eight common triggers, per functionality",
+    );
+    let data = HomeDataset::home_b(args.seed ^ 0xB);
+    let describe = |home: &SmartHome, action: Option<jarvis_iot_model::MiniAction>| match action {
+        None => "(no action)".to_owned(),
+        Some(m) => home
+            .fsm()
+            .describe_action(&EnvAction::single(m))
+            .join(","),
+    };
+
+    for functionality in ["energy", "cost", "comfort"] {
+        let weights = RewardWeights::emphasizing(functionality, 0.7);
+        let testbed = learned_testbed(args, weights);
+        let jarvis = &testbed.jarvis;
+        let outcome = jarvis.outcome().expect("policies learned");
+        let scenario = jarvis::DayScenario::from_dataset(jarvis.home(), &data, 10);
+        let reward = SmartReward::evaluation(
+            weights,
+            scenario.peak_price(),
+            outcome.behavior.clone(),
+            scenario.config(),
+            jarvis.home().fsm().num_devices(),
+        );
+
+        // One unconstrained and one constrained agent, trained on the day.
+        let mut unc_env = HomeRlEnv::new(jarvis.home(), &scenario, &reward);
+        let mut cfg = jarvis.config().optimizer.clone();
+        cfg.episodes = args.episodes.max(4);
+        let mut unc = Optimizer::new(&unc_env, cfg.clone()).expect("optimizer");
+        unc.train(&mut unc_env).expect("train");
+        let mut con_env = HomeRlEnv::new(jarvis.home(), &scenario, &reward)
+            .constrained(&outcome.table, MatchMode::Generalized);
+        let mut con = Optimizer::new(&con_env, cfg).expect("optimizer");
+        con.train(&mut con_env).expect("train");
+
+        println!("\n== functionality: {functionality} (f = 0.7) ==");
+        let widths = [50usize, 30, 30];
+        println!(
+            "{}",
+            row(
+                &["trigger".into(), "high-quality action".into(), "high-quality safe action".into()],
+                &widths
+            )
+        );
+        for r in TABLE3_ROWS.iter().filter(|r| r.functionality == functionality) {
+            let state = pinned_state(jarvis.home(), r.pins);
+            unc_env.force_state(state.clone(), TimeStep(r.t));
+            con_env.force_state(state, TimeStep(r.t));
+            let unsafe_best = suggest(unc.agent(), &unc_env).expect("suggest");
+            let safe_best = suggest(con.agent(), &con_env).expect("suggest");
+            println!(
+                "{}",
+                row(
+                    &[
+                        r.description.to_owned(),
+                        describe(jarvis.home(), unsafe_best.action),
+                        describe(jarvis.home(), safe_best.action),
+                    ],
+                    &widths
+                )
+            );
+        }
+    }
+    println!(
+        "\n(paper shape: unconstrained quality actions include unsafe device\n shutdowns; constrained actions stay within learned safe behavior)"
+    );
+}
+
+fn pinned_state(home: &SmartHome, pins: &[(&str, &str)]) -> EnvState {
+    let mut s = home.midnight_state();
+    for (dev, state) in pins {
+        s.set_device(home.device_id(dev), home.state_idx(dev, state));
+    }
+    s
+}

@@ -1,0 +1,206 @@
+//! Shared harness utilities for the experiment binaries.
+//!
+//! Every binary regenerates one table or figure of the paper's evaluation
+//! (see DESIGN.md's experiment index). All binaries accept:
+//!
+//! * `--seed N` — base RNG seed (default 42);
+//! * `--days N` — evaluation days for the functionality sweeps (default 10;
+//!   the paper uses 30, pass `--days 30` for the full run);
+//! * `--episodes N` — optimizer training episodes per day (default 12);
+//! * `--full` — paper-scale settings everywhere (slower);
+//! * `--quick` — miniature settings for smoke-testing the harness.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+
+use jarvis::{Jarvis, JarvisConfig, OptimizerConfig, RewardWeights};
+use jarvis_policy::FilterConfig;
+use jarvis_sim::HomeDataset;
+use jarvis_smart_home::SmartHome;
+
+/// Parsed command-line options shared by every experiment binary.
+#[derive(Debug, Clone)]
+pub struct Args {
+    /// Base RNG seed.
+    pub seed: u64,
+    /// Number of evaluation days for functionality sweeps.
+    pub days: u32,
+    /// Optimizer training episodes per evaluated day.
+    pub episodes: usize,
+    /// Paper-scale run.
+    pub full: bool,
+    /// Miniature smoke-test run.
+    pub quick: bool,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args { seed: 42, days: 10, episodes: 16, full: false, quick: false }
+    }
+}
+
+impl Args {
+    /// Parse from `std::env::args()`. Unknown flags are ignored so binaries
+    /// can add their own.
+    #[must_use]
+    pub fn parse() -> Args {
+        let mut args = Args::default();
+        let argv: Vec<String> = std::env::args().collect();
+        let (mut days_set, mut episodes_set) = (false, false);
+        let mut i = 1;
+        while i < argv.len() {
+            match argv[i].as_str() {
+                "--seed" => {
+                    if let Some(v) = argv.get(i + 1).and_then(|s| s.parse().ok()) {
+                        args.seed = v;
+                        i += 1;
+                    }
+                }
+                "--days" => {
+                    if let Some(v) = argv.get(i + 1).and_then(|s| s.parse().ok()) {
+                        args.days = v;
+                        days_set = true;
+                        i += 1;
+                    }
+                }
+                "--episodes" => {
+                    if let Some(v) = argv.get(i + 1).and_then(|s| s.parse().ok()) {
+                        args.episodes = v;
+                        episodes_set = true;
+                        i += 1;
+                    }
+                }
+                "--full" => args.full = true,
+                "--quick" => args.quick = true,
+                _ => {}
+            }
+            i += 1;
+        }
+        // Presets fill in whatever was not explicitly given.
+        if args.full {
+            if !days_set {
+                args.days = 30;
+            }
+            if !episodes_set {
+                args.episodes = 24;
+            }
+        }
+        if args.quick {
+            if !days_set {
+                args.days = 2;
+            }
+            if !episodes_set {
+                args.episodes = 3;
+            }
+        }
+        args
+    }
+
+    /// The functionality-weight sweep: the paper's `f_j ∈ [0.1, 0.9]`.
+    #[must_use]
+    pub fn weight_sweep(&self) -> Vec<f64> {
+        if self.full {
+            vec![0.1, 0.3, 0.5, 0.7, 0.9]
+        } else if self.quick {
+            vec![0.1, 0.9]
+        } else {
+            vec![0.1, 0.5, 0.9]
+        }
+    }
+
+    /// The Jarvis configuration used by the functionality experiments, with
+    /// `weights` emphasizing one functionality.
+    #[must_use]
+    pub fn jarvis_config(&self, weights: RewardWeights) -> JarvisConfig {
+        JarvisConfig {
+            weights,
+            anomaly_training_samples: if self.full { 55_156 } else { 2_000 },
+            filter: Some(FilterConfig {
+                epochs: if self.full { 12 } else { 6 },
+                seed: self.seed,
+                ..FilterConfig::default()
+            }),
+            optimizer: OptimizerConfig {
+                episodes: self.episodes,
+                replay_every: if self.full { 4 } else { 8 },
+                seed: self.seed,
+                ..OptimizerConfig::default()
+            },
+            ..JarvisConfig::default()
+        }
+    }
+}
+
+/// A learned testbed: the evaluation home with one week of Home A learning
+/// episodes and the SPL run on them.
+pub struct Testbed {
+    /// The Jarvis instance after `learning_phase` + `learn_policies`.
+    pub jarvis: Jarvis,
+    /// The Home A dataset driving it.
+    pub data: HomeDataset,
+}
+
+/// Build the standard testbed: evaluation home, one-week learning phase
+/// (`L` = 1 week, Section V-A-2) on Home A, SPL policies learned.
+///
+/// # Panics
+///
+/// Panics if the pipeline fails — harness binaries are expected to run on a
+/// consistent catalogue.
+#[must_use]
+pub fn learned_testbed(args: &Args, weights: RewardWeights) -> Testbed {
+    let home = SmartHome::evaluation_home();
+    let data = HomeDataset::home_a(args.seed);
+    let mut jarvis = Jarvis::new(home, args.jarvis_config(weights));
+    jarvis.learning_phase(&data, 0..7).expect("learning phase");
+    jarvis.train_filter(args.seed).expect("filter training");
+    jarvis.learn_policies().expect("policy learning");
+    Testbed { jarvis, data }
+}
+
+/// Print a figure/table banner.
+pub fn banner(title: &str, what: &str) {
+    println!("{}", "=".repeat(72));
+    println!("{title}");
+    println!("{what}");
+    println!("{}", "=".repeat(72));
+}
+
+/// Render one row of a fixed-width table.
+#[must_use]
+pub fn row(cells: &[String], widths: &[usize]) -> String {
+    cells
+        .iter()
+        .zip(widths)
+        .map(|(c, w)| format!("{c:>w$}"))
+        .collect::<Vec<_>>()
+        .join("  ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_args() {
+        let a = Args::default();
+        assert_eq!(a.seed, 42);
+        assert_eq!(a.weight_sweep(), vec![0.1, 0.5, 0.9]);
+    }
+
+    #[test]
+    fn full_and_quick_presets() {
+        let full = Args { full: true, ..Args::default() };
+        assert_eq!(full.weight_sweep().len(), 5);
+        let quick = Args { quick: true, ..Args::default() };
+        assert_eq!(quick.weight_sweep().len(), 2);
+    }
+
+    #[test]
+    fn row_renders_fixed_width() {
+        let r = row(&["a".into(), "bb".into()], &[3, 4]);
+        assert_eq!(r, "  a    bb");
+    }
+}

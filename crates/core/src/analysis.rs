@@ -1,0 +1,114 @@
+//! Benefit-space analysis: the metrics behind Figures 6–9.
+
+use jarvis_sim::HomeDataset;
+use jarvis_smart_home::SmartHome;
+use serde::{Deserialize, Serialize};
+
+/// Aggregate metrics of one simulated day (normal or optimized).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct DayMetrics {
+    /// Total smart reward accrued (0 for replayed normal days, which are
+    /// not scored by an agent).
+    pub reward: f64,
+    /// Whole-home energy, kWh.
+    pub energy_kwh: f64,
+    /// Electricity cost, $.
+    pub cost_usd: f64,
+    /// Sum over instances of |indoor − 21 °C|.
+    pub temp_dev_sum: f64,
+    /// Number of time instances accumulated.
+    pub steps: u32,
+    /// Safety violations committed (actions outside `P_safe`).
+    pub violations: u32,
+}
+
+impl DayMetrics {
+    /// Mean absolute deviation from the comfort target, °C.
+    #[must_use]
+    pub fn mean_temp_dev_c(&self) -> f64 {
+        if self.steps == 0 {
+            return 0.0;
+        }
+        self.temp_dev_sum / f64::from(self.steps)
+    }
+}
+
+/// Metrics of the *normal* (user-behavior) day, measured directly from the
+/// recorded trace — the baseline of Figures 6–8.
+#[must_use]
+pub fn normal_day_metrics(home: &SmartHome, data: &HomeDataset, day: u32) -> DayMetrics {
+    let _ = home; // the trace already reflects the home's devices
+    let trace = data.trace(day);
+    let prices = data.prices();
+    let mut m = DayMetrics { steps: 1440, ..DayMetrics::default() };
+    m.energy_kwh = trace.total_energy_kwh();
+    for minute in 0..1440u32 {
+        let kwh = trace.total_power_w(minute) / 60.0 / 1000.0;
+        m.cost_usd += kwh * prices.price_per_kwh(day, minute / 60);
+        m.temp_dev_sum += (trace.indoor_temp[minute as usize] - 21.0).abs();
+    }
+    m
+}
+
+/// One point of a benefit-space figure: the baseline vs the optimized value
+/// of a metric at one functionality weight `f_j`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BenefitPoint {
+    /// The emphasized functionality weight `f_j`.
+    pub weight: f64,
+    /// Metric value under normal user behavior.
+    pub normal: f64,
+    /// Metric value under Jarvis-optimized behavior.
+    pub optimized: f64,
+}
+
+impl BenefitPoint {
+    /// Relative improvement of optimized over normal (positive = better,
+    /// i.e. lower metric).
+    #[must_use]
+    pub fn improvement(&self) -> f64 {
+        if self.normal == 0.0 {
+            return 0.0;
+        }
+        (self.normal - self.optimized) / self.normal
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normal_day_metrics_are_plausible() {
+        let home = SmartHome::evaluation_home();
+        let data = HomeDataset::home_b(3);
+        let m = normal_day_metrics(&home, &data, 10); // winter weekday
+        assert!(m.energy_kwh > 2.0 && m.energy_kwh < 60.0, "{} kWh", m.energy_kwh);
+        assert!(m.cost_usd > 0.01 && m.cost_usd < 10.0, "${}", m.cost_usd);
+        assert!(m.mean_temp_dev_c() < 8.0, "{} °C", m.mean_temp_dev_c());
+        assert_eq!(m.violations, 0);
+    }
+
+    #[test]
+    fn mean_temp_dev_handles_zero_steps() {
+        assert_eq!(DayMetrics::default().mean_temp_dev_c(), 0.0);
+    }
+
+    #[test]
+    fn improvement_is_relative() {
+        let p = BenefitPoint { weight: 0.5, normal: 10.0, optimized: 8.0 };
+        assert!((p.improvement() - 0.2).abs() < 1e-12);
+        let z = BenefitPoint { weight: 0.5, normal: 0.0, optimized: 1.0 };
+        assert_eq!(z.improvement(), 0.0);
+    }
+
+    #[test]
+    fn cost_tracks_energy_and_prices() {
+        let home = SmartHome::evaluation_home();
+        let data = HomeDataset::home_a(9);
+        let m = normal_day_metrics(&home, &data, 3);
+        // Cost should be within peak/valley bounds of energy * price.
+        assert!(m.cost_usd <= m.energy_kwh * 0.2);
+        assert!(m.cost_usd >= m.energy_kwh * 0.001);
+    }
+}

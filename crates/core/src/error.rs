@@ -1,0 +1,82 @@
+//! Error type for the Jarvis framework facade.
+
+use jarvis_iot_model::ModelError;
+use jarvis_neural::NeuralError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the Jarvis pipeline.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum JarvisError {
+    /// An FSM/episode-level failure.
+    Model(ModelError),
+    /// A neural-network failure (ANN filter or DQN).
+    Neural(NeuralError),
+    /// The pipeline was driven out of order (e.g. optimizing before the
+    /// learning phase).
+    Pipeline {
+        /// What was attempted.
+        what: &'static str,
+        /// What must happen first.
+        requires: &'static str,
+    },
+    /// A log serialization failure, carrying the underlying message.
+    Serde(String),
+}
+
+impl fmt::Display for JarvisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JarvisError::Model(e) => write!(f, "model error: {e}"),
+            JarvisError::Neural(e) => write!(f, "neural error: {e}"),
+            JarvisError::Pipeline { what, requires } => {
+                write!(f, "cannot {what}: run {requires} first")
+            }
+            JarvisError::Serde(msg) => write!(f, "serialization error: {msg}"),
+        }
+    }
+}
+
+impl Error for JarvisError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            JarvisError::Model(e) => Some(e),
+            JarvisError::Neural(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ModelError> for JarvisError {
+    fn from(e: ModelError) -> Self {
+        JarvisError::Model(e)
+    }
+}
+
+impl From<NeuralError> for JarvisError {
+    fn from(e: NeuralError) -> Self {
+        JarvisError::Neural(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_and_sources() {
+        let e = JarvisError::from(ModelError::EmptyFsm);
+        assert!(e.to_string().contains("model error"));
+        assert!(e.source().is_some());
+        let p = JarvisError::Pipeline { what: "optimize", requires: "learn_policies" };
+        assert!(p.to_string().contains("learn_policies"));
+        assert!(p.source().is_none());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<JarvisError>();
+    }
+}

@@ -1,0 +1,513 @@
+//! The end-to-end Jarvis facade: learning phase → SPL → constrained
+//! optimization.
+
+use crate::analysis::{normal_day_metrics, DayMetrics};
+use crate::env::HomeRlEnv;
+use crate::error::JarvisError;
+use crate::optimizer::{Optimizer, OptimizerConfig, TrainingStats};
+use crate::reward::{RewardWeights, SmartReward};
+use crate::scenario::DayScenario;
+use jarvis_iot_model::{Episode, EpisodeConfig, TimeStep};
+use jarvis_policy::{
+    learn_safe_transitions, AnomalyFilter, FilterConfig, LearnOutcome, ManualPolicy, MatchMode,
+    SplConfig,
+};
+use jarvis_sim::{AnomalyGenerator, HomeDataset};
+use jarvis_smart_home::{anomaly_signature, EventLog, SmartHome};
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::ops::Range;
+
+/// Top-level configuration of a Jarvis deployment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JarvisConfig {
+    /// Episode shape (`T`, `I`); the prototype uses one-day episodes at
+    /// one-minute intervals.
+    pub episode: EpisodeConfig,
+    /// SPL threshold configuration.
+    pub spl: SplConfig,
+    /// ANN filter configuration (`None` disables benign-anomaly filtering —
+    /// an ablation).
+    pub filter: Option<FilterConfig>,
+    /// Labelled benign-anomaly samples to synthesize for filter training
+    /// (the paper uses 55,156; smaller values train faster).
+    pub anomaly_training_samples: usize,
+    /// Functionality weights `f_j`.
+    pub weights: RewardWeights,
+    /// Utility/dis-utility ratio `χ` (1 in the evaluation).
+    pub chi: f64,
+    /// Match mode used to constrain the optimizer (detection always uses
+    /// [`MatchMode::Exact`]).
+    pub constraint_mode: MatchMode,
+    /// Manually specified emergency rules stacked over the learned table
+    /// (Section V-B); `None` = learned behavior only.
+    pub manual: Option<ManualPolicy>,
+    /// Optimizer (Algorithm 2) configuration.
+    pub optimizer: OptimizerConfig,
+}
+
+impl Default for JarvisConfig {
+    fn default() -> Self {
+        JarvisConfig {
+            episode: EpisodeConfig::DAILY_MINUTES,
+            spl: SplConfig::default(),
+            filter: Some(FilterConfig::default()),
+            anomaly_training_samples: 2_000,
+            weights: RewardWeights::balanced(),
+            chi: 1.0,
+            constraint_mode: MatchMode::Generalized,
+            manual: None,
+            optimizer: OptimizerConfig::default(),
+        }
+    }
+}
+
+/// Everything a deployment persists between restarts: the learned table,
+/// the aggregated behavior (for dis-utility), and the trained ANN filter.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PolicySnapshot {
+    /// The learned safe-transition table.
+    pub table: jarvis_policy::SafeTransitionTable,
+    /// Aggregated trigger-action behavior.
+    pub behavior: jarvis_policy::TaBehavior,
+    /// The trained benign-anomaly filter, when one was trained.
+    pub filter: Option<AnomalyFilter>,
+}
+
+/// The optimized plan for one day, with its baseline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DayPlan {
+    /// The planned day.
+    pub day: u32,
+    /// Metrics of the recorded normal-behavior day.
+    pub normal: DayMetrics,
+    /// Metrics of the Jarvis-optimized day (greedy rollout).
+    pub optimized: DayMetrics,
+    /// Telemetry of the optimization run.
+    pub stats: TrainingStats,
+}
+
+/// The Jarvis framework instance for one home.
+#[derive(Debug)]
+pub struct Jarvis {
+    home: SmartHome,
+    config: JarvisConfig,
+    log: EventLog,
+    episodes: Vec<Episode>,
+    filter: Option<AnomalyFilter>,
+    outcome: Option<LearnOutcome>,
+}
+
+impl Jarvis {
+    /// A fresh Jarvis deployment on `home`.
+    #[must_use]
+    pub fn new(home: SmartHome, config: JarvisConfig) -> Self {
+        Jarvis { home, config, log: EventLog::new(), episodes: Vec::new(), filter: None, outcome: None }
+    }
+
+    /// The monitored home.
+    #[must_use]
+    pub fn home(&self) -> &SmartHome {
+        &self.home
+    }
+
+    /// The configuration.
+    #[must_use]
+    pub fn config(&self) -> &JarvisConfig {
+        &self.config
+    }
+
+    /// Parsed learning episodes.
+    #[must_use]
+    pub fn episodes(&self) -> &[Episode] {
+        &self.episodes
+    }
+
+    /// The SPL outcome, once [`Jarvis::learn_policies`] has run.
+    #[must_use]
+    pub fn outcome(&self) -> Option<&LearnOutcome> {
+        self.outcome.as_ref()
+    }
+
+    /// The trained benign-anomaly filter, if enabled.
+    #[must_use]
+    pub fn filter(&self) -> Option<&AnomalyFilter> {
+        self.filter.as_ref()
+    }
+
+    /// Observe the environment for a learning phase: log `days` of activity
+    /// and parse them into episodes. Returns the number of episodes parsed.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JarvisError::Model`] if replaying the logs through the
+    /// FSM fails (catalogue/normalization mismatch).
+    pub fn learning_phase(
+        &mut self,
+        data: &HomeDataset,
+        days: Range<u32>,
+    ) -> Result<usize, JarvisError> {
+        for day in days {
+            self.log.record_activity(&self.home, &data.activity(day));
+        }
+        let parsed = self.log.parse_episodes(&self.home, self.config.episode)?;
+        self.episodes = parsed.episodes;
+        Ok(self.episodes.len())
+    }
+
+    /// Train the ANN benign-anomaly filter from synthesized labelled
+    /// anomalies plus routine transitions sampled from the learning
+    /// episodes. Returns the final training loss, or `None` when filtering
+    /// is disabled.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JarvisError::Pipeline`] before the learning phase, or a
+    /// neural error from training itself.
+    pub fn train_filter(&mut self, anomaly_seed: u64) -> Result<Option<f64>, JarvisError> {
+        let Some(fcfg) = self.config.filter else {
+            return Ok(None);
+        };
+        if self.episodes.is_empty() {
+            return Err(JarvisError::Pipeline {
+                what: "train the filter",
+                requires: "learning_phase",
+            });
+        }
+        // Routine samples: every non-idle learned transition.
+        let routine: Vec<_> = self
+            .episodes
+            .iter()
+            .flat_map(Episode::transitions)
+            .filter(|tr| !tr.is_idle())
+            .map(|tr| (tr.state.clone(), tr.action.clone(), tr.step))
+            .collect();
+        // Benign anomalies: synthesized labelled samples (SIMADL stand-in).
+        // The anomaly state is sampled from a *real* learning episode at the
+        // instance's start minute with the class context overlaid, so the
+        // filter trains on the same state distribution it will score.
+        let generator = AnomalyGenerator::new(anomaly_seed);
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(anomaly_seed ^ 0x5A17);
+        let anomalous: Vec<_> = generator
+            .generate(self.config.anomaly_training_samples, 30)
+            .iter()
+            .map(|inst| {
+                let (context, action) = anomaly_signature(&self.home, inst.class);
+                let base = &self.episodes[rng.gen_range(0..self.episodes.len())];
+                let step = base.config().step_at(inst.start_minute * 60);
+                let mut state = base
+                    .transitions()
+                    .get(step.0 as usize)
+                    .map_or_else(|| base.initial().clone(), |tr| tr.state.clone());
+                for &(d, st) in &context {
+                    state.set_device(d, st);
+                }
+                (state, action, TimeStep(inst.start_minute))
+            })
+            .collect();
+        let mut filter = AnomalyFilter::new(self.home.fsm(), self.config.episode, fcfg)?;
+        let loss = filter.train(&routine, &anomalous, &fcfg)?;
+        self.filter = Some(filter);
+        Ok(Some(loss))
+    }
+
+    /// Run Algorithm 1: learn `P_safe` from the learning episodes (through
+    /// the filter when one was trained). The result is available via
+    /// [`Jarvis::outcome`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JarvisError::Pipeline`] before the learning phase.
+    pub fn learn_policies(&mut self) -> Result<(), JarvisError> {
+        if self.episodes.is_empty() {
+            return Err(JarvisError::Pipeline {
+                what: "learn policies",
+                requires: "learning_phase",
+            });
+        }
+        let outcome = learn_safe_transitions(
+            self.home.fsm(),
+            &self.episodes,
+            self.filter.as_ref(),
+            &self.config.spl,
+        );
+        self.outcome = Some(outcome);
+        Ok(())
+    }
+
+    /// Persist the learned policies (table, behavior, filter) as JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JarvisError::Pipeline`] before [`Jarvis::learn_policies`],
+    /// or [`JarvisError::Serde`] on serialization failure.
+    pub fn save_policies(&self) -> Result<String, JarvisError> {
+        let outcome = self.outcome.as_ref().ok_or(JarvisError::Pipeline {
+            what: "save policies",
+            requires: "learn_policies",
+        })?;
+        let snapshot = PolicySnapshot {
+            table: outcome.table.clone(),
+            behavior: outcome.behavior.clone(),
+            filter: self.filter.clone(),
+        };
+        serde_json::to_string(&snapshot).map_err(|e| JarvisError::Serde(e.to_string()))
+    }
+
+    /// Restore policies saved with [`Jarvis::save_policies`], skipping the
+    /// learning phase entirely (a restarted deployment).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JarvisError::Serde`] when the snapshot does not parse.
+    pub fn load_policies(&mut self, json: &str) -> Result<(), JarvisError> {
+        let snapshot: PolicySnapshot =
+            serde_json::from_str(json).map_err(|e| JarvisError::Serde(e.to_string()))?;
+        self.outcome = Some(LearnOutcome {
+            table: snapshot.table,
+            behavior: snapshot.behavior,
+            filtered_out: 0,
+        });
+        self.filter = snapshot.filter;
+        Ok(())
+    }
+
+    /// Plan several consecutive days with one *warm-started* agent: the DQN
+    /// persists across days, so later days start from an already-useful Q
+    /// function instead of retraining from scratch.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Jarvis::optimize_day`].
+    pub fn optimize_days(
+        &self,
+        data: &HomeDataset,
+        days: Range<u32>,
+    ) -> Result<Vec<DayPlan>, JarvisError> {
+        let outcome = self.outcome.as_ref().ok_or(JarvisError::Pipeline {
+            what: "optimize days",
+            requires: "learn_policies",
+        })?;
+        let mut plans = Vec::new();
+        let mut optimizer: Option<Optimizer> = None;
+        for day in days {
+            let scenario = DayScenario::from_dataset(&self.home, data, day);
+            let mut reward = SmartReward::evaluation(
+                self.config.weights,
+                scenario.peak_price(),
+                outcome.behavior.clone(),
+                self.config.episode,
+                self.home.fsm().num_devices(),
+            );
+            reward.set_chi(self.config.chi);
+            let mut env = HomeRlEnv::new(&self.home, &scenario, &reward)
+                .constrained(&outcome.table, self.config.constraint_mode)
+                .with_detector(&outcome.table, self.config.constraint_mode);
+            if let Some(manual) = &self.config.manual {
+                env = env.with_manual(manual);
+            }
+            let opt = match optimizer.as_mut() {
+                Some(existing) => existing,
+                None => {
+                    optimizer = Some(Optimizer::new(&env, self.config.optimizer.clone())?);
+                    optimizer.as_mut().expect("just set")
+                }
+            };
+            let stats = opt.train(&mut env)?;
+            let optimized = opt.rollout(&mut env)?;
+            plans.push(DayPlan {
+                day,
+                normal: normal_day_metrics(&self.home, data, day),
+                optimized,
+                stats,
+            });
+        }
+        Ok(plans)
+    }
+
+    /// A runtime safety monitor over the learned policies, starting from the
+    /// home's midnight state. Uses the stacked manual rules and the trained
+    /// ANN filter when configured.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JarvisError::Pipeline`] before [`Jarvis::learn_policies`].
+    pub fn monitor(&self) -> Result<crate::monitor::RuntimeMonitor<'_>, JarvisError> {
+        let outcome = self.outcome.as_ref().ok_or(JarvisError::Pipeline {
+            what: "monitor the home",
+            requires: "learn_policies",
+        })?;
+        let mut mon = crate::monitor::RuntimeMonitor::new(
+            &self.home,
+            &outcome.table,
+            self.config.constraint_mode,
+            self.home.midnight_state(),
+        );
+        if let Some(manual) = &self.config.manual {
+            mon = mon.with_manual(manual);
+        }
+        if let Some(filter) = &self.filter {
+            mon = mon.with_filter(filter);
+        }
+        Ok(mon)
+    }
+
+    /// Run Algorithm 2 for one upcoming day: build the scripted scenario,
+    /// train a constrained agent, and return the optimized plan next to the
+    /// normal-behavior baseline.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JarvisError::Pipeline`] before [`Jarvis::learn_policies`],
+    /// or a neural error from the optimizer.
+    pub fn optimize_day(&self, data: &HomeDataset, day: u32) -> Result<DayPlan, JarvisError> {
+        let outcome = self.outcome.as_ref().ok_or(JarvisError::Pipeline {
+            what: "optimize a day",
+            requires: "learn_policies",
+        })?;
+        let scenario = DayScenario::from_dataset(&self.home, data, day);
+        let mut reward = SmartReward::evaluation(
+            self.config.weights,
+            scenario.peak_price(),
+            outcome.behavior.clone(),
+            self.config.episode,
+            self.home.fsm().num_devices(),
+        );
+        reward.set_chi(self.config.chi);
+        let mut env = HomeRlEnv::new(&self.home, &scenario, &reward)
+            .constrained(&outcome.table, self.config.constraint_mode)
+            .with_detector(&outcome.table, self.config.constraint_mode);
+        if let Some(manual) = &self.config.manual {
+            env = env.with_manual(manual);
+        }
+        let mut optimizer = Optimizer::new(&env, self.config.optimizer.clone())?;
+        let stats = optimizer.train(&mut env)?;
+        let optimized = optimizer.rollout(&mut env)?;
+        let normal = normal_day_metrics(&self.home, data, day);
+        Ok(DayPlan { day, normal, optimized, stats })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast_config() -> JarvisConfig {
+        JarvisConfig {
+            optimizer: OptimizerConfig::fast(),
+            anomaly_training_samples: 300,
+            filter: Some(FilterConfig { epochs: 4, ..FilterConfig::default() }),
+            ..JarvisConfig::default()
+        }
+    }
+
+    #[test]
+    fn pipeline_order_is_enforced() {
+        let mut j = Jarvis::new(SmartHome::evaluation_home(), fast_config());
+        assert!(matches!(
+            j.learn_policies(),
+            Err(JarvisError::Pipeline { requires: "learning_phase", .. })
+        ));
+        assert!(matches!(
+            j.train_filter(0),
+            Err(JarvisError::Pipeline { requires: "learning_phase", .. })
+        ));
+        let data = HomeDataset::home_a(2);
+        assert!(matches!(
+            j.optimize_day(&data, 8),
+            Err(JarvisError::Pipeline { requires: "learn_policies", .. })
+        ));
+    }
+
+    #[test]
+    fn full_pipeline_produces_a_plan() {
+        let home = SmartHome::evaluation_home();
+        let data = HomeDataset::home_a(7);
+        let mut j = Jarvis::new(home, fast_config());
+        let n = j.learning_phase(&data, 0..3).unwrap();
+        assert_eq!(n, 3);
+        let loss = j.train_filter(1).unwrap();
+        assert!(loss.is_some());
+        j.learn_policies().unwrap();
+        assert!(j.outcome().unwrap().table.len() > 0);
+        let plan = j.optimize_day(&data, 4).unwrap();
+        assert_eq!(plan.optimized.steps, 1440);
+        assert_eq!(
+            plan.optimized.violations, 0,
+            "a constrained agent never violates its own table"
+        );
+        assert!(plan.normal.energy_kwh > 0.0);
+    }
+
+    #[test]
+    fn monitor_requires_learned_policies_then_works() {
+        let home = SmartHome::evaluation_home();
+        let data = HomeDataset::home_a(7);
+        let mut config = fast_config();
+        config.manual = Some(jarvis_smart_home::emergency_rules(&home));
+        let mut j = Jarvis::new(home, config);
+        assert!(j.monitor().is_err());
+        j.learning_phase(&data, 0..3).unwrap();
+        j.learn_policies().unwrap();
+        let mut mon = j.monitor().unwrap();
+        // Sensor integrity is enforced by the manual deny rule.
+        let v = mon
+            .observe(j.home().mini_action("temp_sensor", "power_off"))
+            .unwrap();
+        assert_eq!(v, crate::monitor::Verdict::Violation);
+    }
+
+    #[test]
+    fn policies_survive_a_save_load_cycle() {
+        let home = SmartHome::evaluation_home();
+        let data = HomeDataset::home_a(7);
+        let mut j = Jarvis::new(home, fast_config());
+        j.learning_phase(&data, 0..3).unwrap();
+        j.train_filter(1).unwrap();
+        j.learn_policies().unwrap();
+        let json = j.save_policies().unwrap();
+
+        // A fresh deployment restores without any learning phase.
+        let mut restored = Jarvis::new(SmartHome::evaluation_home(), fast_config());
+        restored.load_policies(&json).unwrap();
+        assert_eq!(
+            restored.outcome().unwrap().table,
+            j.outcome().unwrap().table
+        );
+        assert!(restored.filter().is_some());
+        // And it can plan immediately.
+        let plan = restored.optimize_day(&data, 4).unwrap();
+        assert_eq!(plan.optimized.violations, 0);
+        // Garbage does not parse.
+        assert!(restored.load_policies("not json").is_err());
+    }
+
+    #[test]
+    fn warm_started_multi_day_planning() {
+        let home = SmartHome::evaluation_home();
+        let data = HomeDataset::home_a(7);
+        let mut j = Jarvis::new(home, fast_config());
+        j.learning_phase(&data, 0..3).unwrap();
+        j.learn_policies().unwrap();
+        let plans = j.optimize_days(&data, 4..7).unwrap();
+        assert_eq!(plans.len(), 3);
+        for p in &plans {
+            assert_eq!(p.optimized.steps, 1440);
+            assert_eq!(p.optimized.violations, 0);
+        }
+    }
+
+    #[test]
+    fn filter_can_be_disabled() {
+        let home = SmartHome::evaluation_home();
+        let data = HomeDataset::home_a(7);
+        let mut config = fast_config();
+        config.filter = None;
+        let mut j = Jarvis::new(home, config);
+        j.learning_phase(&data, 0..2).unwrap();
+        assert_eq!(j.train_filter(0).unwrap(), None);
+        assert!(j.filter().is_none());
+        j.learn_policies().unwrap();
+        assert_eq!(j.outcome().unwrap().filtered_out, 0);
+    }
+}

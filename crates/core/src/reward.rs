@@ -1,0 +1,437 @@
+//! The smart reward function `R_smart` of Section IV-B.
+//!
+//! `R_smart(S, A, t) = Σ_j f_j · F_j(s, a, t) − (I/kT) Σ_i ω_i(s_i, a)(t − t')`
+//!
+//! The first sum is the user's functionality requirements: normalized reward
+//! functions `F_j` weighted by `f_j`. The second is the estimated
+//! dis-utility: per device, the normalized dis-utility `ω_i` times the
+//! distance from the *closest preferred time instance* `t'` learned from
+//! past behavior — acting far from when the user habitually acts is
+//! uncomfortable even if it optimizes the goal.
+
+use jarvis_iot_model::{EnvAction, EnvState, EpisodeConfig, Fsm, TimeStep};
+use jarvis_policy::TaBehavior;
+
+/// Everything a functionality reward may observe about one time instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Snapshot<'a> {
+    /// Environment state after the interval's action.
+    pub state: &'a EnvState,
+    /// The time instance.
+    pub t: TimeStep,
+    /// Indoor temperature, °C.
+    pub indoor_c: f64,
+    /// Outdoor temperature, °C.
+    pub outdoor_c: f64,
+    /// Day-ahead forecast temperature for this instance, °C.
+    pub forecast_c: f64,
+    /// Current electricity price, $/kWh.
+    pub price_per_kwh: f64,
+    /// Whole-home power, watts.
+    pub power_w: f64,
+    /// Maximum possible whole-home power, watts (for normalization).
+    pub max_power_w: f64,
+}
+
+/// A normalized functionality reward `F_j : (S, A, t) → [0, 1]`.
+pub trait FunctionalityReward: Send + Sync {
+    /// Short identifier (`"energy"`, `"cost"`, `"comfort"`).
+    fn name(&self) -> &'static str;
+
+    /// Reward for the interval described by `snap`; must lie in `[0, 1]`.
+    fn reward(&self, snap: &Snapshot<'_>) -> f64;
+}
+
+/// `F_0`: energy conservation — reward inversely proportional to metered
+/// power (Section VI-D's "meter readings of power usage").
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EnergyUse;
+
+impl FunctionalityReward for EnergyUse {
+    fn name(&self) -> &'static str {
+        "energy"
+    }
+
+    fn reward(&self, snap: &Snapshot<'_>) -> f64 {
+        if snap.max_power_w <= 0.0 {
+            return 1.0;
+        }
+        (1.0 - snap.power_w / snap.max_power_w).clamp(0.0, 1.0)
+    }
+}
+
+/// `F_1`: electricity-cost minimization under day-ahead-market prices.
+///
+/// Normalized by the worst case (maximum power at the day's peak price).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyCost {
+    /// The day's peak price, $/kWh, for normalization.
+    pub peak_price_per_kwh: f64,
+}
+
+impl FunctionalityReward for EnergyCost {
+    fn name(&self) -> &'static str {
+        "cost"
+    }
+
+    fn reward(&self, snap: &Snapshot<'_>) -> f64 {
+        let worst = snap.max_power_w * self.peak_price_per_kwh;
+        if worst <= 0.0 {
+            return 1.0;
+        }
+        (1.0 - (snap.power_w * snap.price_per_kwh) / worst).clamp(0.0, 1.0)
+    }
+}
+
+/// `F_3`: temperature optimization — reward falls with the difference
+/// between the comfort target and the HVAC (indoor) reading.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TemperatureComfort {
+    /// Comfort target, °C (21 °C in the evaluation home).
+    pub target_c: f64,
+    /// Temperature difference at which the reward reaches zero.
+    pub span_c: f64,
+}
+
+impl Default for TemperatureComfort {
+    fn default() -> Self {
+        TemperatureComfort { target_c: 21.0, span_c: 10.0 }
+    }
+}
+
+impl FunctionalityReward for TemperatureComfort {
+    fn name(&self) -> &'static str {
+        "comfort"
+    }
+
+    fn reward(&self, snap: &Snapshot<'_>) -> f64 {
+        if self.span_c <= 0.0 {
+            return 0.0;
+        }
+        (1.0 - (snap.indoor_c - self.target_c).abs() / self.span_c).clamp(0.0, 1.0)
+    }
+}
+
+/// The weights `f_j` of the three evaluation functionalities. The paper
+/// sweeps each in `[0.1, 0.9]` with `f_1 + f_2 + f_3 = 1`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RewardWeights {
+    /// Weight of energy conservation.
+    pub energy: f64,
+    /// Weight of cost minimization.
+    pub cost: f64,
+    /// Weight of temperature comfort.
+    pub comfort: f64,
+}
+
+impl RewardWeights {
+    /// Equal thirds.
+    #[must_use]
+    pub fn balanced() -> Self {
+        RewardWeights { energy: 1.0 / 3.0, cost: 1.0 / 3.0, comfort: 1.0 / 3.0 }
+    }
+
+    /// Put weight `f` on one functionality (by [`FunctionalityReward::name`])
+    /// and split the rest evenly — the per-figure sweep configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics for unknown names or `f` outside `[0, 1]`.
+    #[must_use]
+    pub fn emphasizing(name: &str, f: f64) -> Self {
+        assert!((0.0..=1.0).contains(&f), "weight {f} out of range");
+        let rest = (1.0 - f) / 2.0;
+        match name {
+            "energy" => RewardWeights { energy: f, cost: rest, comfort: rest },
+            "cost" => RewardWeights { energy: rest, cost: f, comfort: rest },
+            "comfort" => RewardWeights { energy: rest, cost: rest, comfort: f },
+            other => panic!("unknown functionality `{other}`"),
+        }
+    }
+
+    /// Sum of the weights (the paper keeps this at 1).
+    #[must_use]
+    pub fn total(&self) -> f64 {
+        self.energy + self.cost + self.comfort
+    }
+}
+
+impl Default for RewardWeights {
+    fn default() -> Self {
+        RewardWeights::balanced()
+    }
+}
+
+/// The assembled smart reward `R_smart`.
+pub struct SmartReward {
+    components: Vec<(f64, Box<dyn FunctionalityReward>)>,
+    behavior: TaBehavior,
+    config: EpisodeConfig,
+    num_devices: usize,
+    /// Scale applied to the dis-utility sum: `I/(kT)` by default, times the
+    /// utility/dis-utility balance `χ` adjustment.
+    disutility_scale: f64,
+}
+
+impl std::fmt::Debug for SmartReward {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SmartReward")
+            .field("components", &self.components.iter().map(|(w, c)| (w, c.name())).collect::<Vec<_>>())
+            .field("num_devices", &self.num_devices)
+            .field("disutility_scale", &self.disutility_scale)
+            .finish()
+    }
+}
+
+impl SmartReward {
+    /// Build the evaluation reward: the three functionality rewards weighted
+    /// by `weights`, with dis-utility estimated from `behavior`. `χ = 1`
+    /// (utility and dis-utility balanced) per Section VI-D.
+    #[must_use]
+    pub fn evaluation(
+        weights: RewardWeights,
+        peak_price_per_kwh: f64,
+        behavior: TaBehavior,
+        config: EpisodeConfig,
+        num_devices: usize,
+    ) -> Self {
+        SmartReward {
+            components: vec![
+                (weights.energy, Box::new(EnergyUse)),
+                (weights.cost, Box::new(EnergyCost { peak_price_per_kwh })),
+                (weights.comfort, Box::new(TemperatureComfort::default())),
+            ],
+            behavior,
+            config,
+            num_devices,
+            disutility_scale: config.disutility_scale(num_devices),
+        }
+    }
+
+    /// Build from explicit components.
+    #[must_use]
+    pub fn from_components(
+        components: Vec<(f64, Box<dyn FunctionalityReward>)>,
+        behavior: TaBehavior,
+        config: EpisodeConfig,
+        num_devices: usize,
+    ) -> Self {
+        SmartReward {
+            disutility_scale: config.disutility_scale(num_devices),
+            components,
+            behavior,
+            config,
+            num_devices,
+        }
+    }
+
+    /// Scale the dis-utility term to set the utility/dis-utility ratio `χ`:
+    /// values below 1 weaken dis-utility (comfort matters less), above 1
+    /// strengthen it.
+    pub fn set_chi(&mut self, chi: f64) {
+        let base = self.config.disutility_scale(self.num_devices);
+        // χ multiplies utility relative to dis-utility; implemented by
+        // dividing the dis-utility scale.
+        self.disutility_scale = if chi > 0.0 { base / chi } else { base };
+    }
+
+    /// The utility part `Σ f_j F_j` for one snapshot.
+    #[must_use]
+    pub fn utility(&self, snap: &Snapshot<'_>) -> f64 {
+        self.components.iter().map(|(w, c)| w * c.reward(snap)).sum()
+    }
+
+    /// The dis-utility part for taking `action` in `state` at `t`:
+    /// `(I/kT) Σ_i ω_i(s_i, a_i)·|t − t'|`, where `t'` is the closest
+    /// preferred time from learned behavior. Actions never observed anywhere
+    /// incur the maximum delay penalty.
+    #[must_use]
+    pub fn disutility(&self, fsm: &Fsm, state: &EnvState, action: &EnvAction, t: TimeStep) -> f64 {
+        let steps = self.config.steps();
+        let mut total = 0.0;
+        for m in action.iter() {
+            let omega = fsm
+                .device(m.device)
+                .ok()
+                .and_then(|dev| {
+                    state.device(m.device).and_then(|s| dev.omega(s, m.action).ok())
+                })
+                .unwrap_or(0.0);
+            let single = EnvAction::single(*m);
+            let preferred = self
+                .behavior
+                .closest_preferred_time(state, &single, t)
+                .or_else(|| self.behavior.closest_preferred_time_any_state(&single, t));
+            let delay = match preferred {
+                Some(tp) => f64::from(tp.distance(t)),
+                None => f64::from(steps), // never done before: maximal discomfort
+            };
+            total += omega * delay;
+        }
+        total * self.disutility_scale
+    }
+
+    /// The dis-utility accrued at one instance by *overdue* habitual
+    /// actions: `(I/kT) Σ_h ω_h·(t − t'_h)` over pending habits. This is
+    /// the term that stops a pure-functionality agent from simply never
+    /// operating any appliance (the pitfall Section IV-B calls out).
+    #[must_use]
+    pub fn pending_disutility(
+        &self,
+        pending: impl IntoIterator<Item = (f64, u32)>,
+    ) -> f64 {
+        pending
+            .into_iter()
+            .map(|(omega, delay)| omega * f64::from(delay))
+            .sum::<f64>()
+            * self.disutility_scale
+    }
+
+    /// The full smart reward `R_smart(S, A, t)` for one interval.
+    #[must_use]
+    pub fn reward(
+        &self,
+        fsm: &Fsm,
+        snap: &Snapshot<'_>,
+        action: &EnvAction,
+    ) -> f64 {
+        self.utility(snap) - self.disutility(fsm, snap.state, action, snap.t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jarvis_iot_model::{DeviceId, DeviceSpec, MiniAction, StateIdx};
+
+    fn snap<'a>(state: &'a EnvState, power_w: f64, indoor_c: f64, price: f64) -> Snapshot<'a> {
+        Snapshot {
+            state,
+            t: TimeStep(600),
+            indoor_c,
+            outdoor_c: 5.0,
+            forecast_c: 6.0,
+            price_per_kwh: price,
+            power_w,
+            max_power_w: 8000.0,
+        }
+    }
+
+    fn st() -> EnvState {
+        EnvState::new(vec![StateIdx(0)])
+    }
+
+    #[test]
+    fn energy_reward_decreases_with_power() {
+        let s = st();
+        let low = EnergyUse.reward(&snap(&s, 100.0, 21.0, 0.05));
+        let high = EnergyUse.reward(&snap(&s, 6000.0, 21.0, 0.05));
+        assert!(low > high);
+        assert!((0.0..=1.0).contains(&low) && (0.0..=1.0).contains(&high));
+        // Zero power = full reward.
+        assert_eq!(EnergyUse.reward(&snap(&s, 0.0, 21.0, 0.05)), 1.0);
+    }
+
+    #[test]
+    fn cost_reward_depends_on_price_times_power() {
+        let s = st();
+        let c = EnergyCost { peak_price_per_kwh: 0.12 };
+        let cheap = c.reward(&snap(&s, 4000.0, 21.0, 0.02));
+        let peak = c.reward(&snap(&s, 4000.0, 21.0, 0.12));
+        assert!(cheap > peak);
+        assert_eq!(c.reward(&snap(&s, 0.0, 21.0, 0.12)), 1.0);
+    }
+
+    #[test]
+    fn comfort_reward_peaks_at_target() {
+        let s = st();
+        let c = TemperatureComfort::default();
+        assert_eq!(c.reward(&snap(&s, 0.0, 21.0, 0.05)), 1.0);
+        let off = c.reward(&snap(&s, 0.0, 16.0, 0.05));
+        assert!((off - 0.5).abs() < 1e-12);
+        assert_eq!(c.reward(&snap(&s, 0.0, 50.0, 0.05)), 0.0);
+    }
+
+    #[test]
+    fn weights_emphasizing_sums_to_one() {
+        for f in [0.1, 0.5, 0.9] {
+            for name in ["energy", "cost", "comfort"] {
+                let w = RewardWeights::emphasizing(name, f);
+                assert!((w.total() - 1.0).abs() < 1e-12);
+            }
+        }
+        let w = RewardWeights::emphasizing("energy", 0.9);
+        assert!((w.energy - 0.9).abs() < 1e-12);
+        assert!((w.cost - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown functionality")]
+    fn unknown_weight_name_panics() {
+        let _ = RewardWeights::emphasizing("bogus", 0.5);
+    }
+
+    fn one_device_fsm() -> Fsm {
+        let light = DeviceSpec::builder("light")
+            .states(["off", "on"])
+            .actions(["power_off", "power_on"])
+            .transition("off", "power_on", "on")
+            .transition("on", "power_off", "off")
+            .disutility(0.8)
+            .build()
+            .unwrap();
+        Fsm::new(vec![light]).unwrap()
+    }
+
+    #[test]
+    fn disutility_grows_with_distance_from_preferred_time() {
+        let fsm = one_device_fsm();
+        let cfg = EpisodeConfig::DAILY_MINUTES;
+        let mut behavior = TaBehavior::new();
+        let state = st();
+        let action = EnvAction::single(MiniAction::new(DeviceId(0), 1));
+        behavior.observe(state.clone(), action.clone(), TimeStep(1080)); // 18:00 habit
+        let r = SmartReward::evaluation(RewardWeights::balanced(), 0.12, behavior, cfg, 1);
+        let near = r.disutility(&fsm, &state, &action, TimeStep(1085));
+        let far = r.disutility(&fsm, &state, &action, TimeStep(300));
+        assert!(far > near, "far {far} near {near}");
+        // An action never seen before incurs the maximal penalty.
+        let unseen = EnvAction::single(MiniAction::new(DeviceId(0), 0));
+        let max_pen = r.disutility(&fsm, &state, &unseen, TimeStep(300));
+        assert!(max_pen > far);
+        // No-op costs nothing.
+        assert_eq!(r.disutility(&fsm, &state, &EnvAction::noop(), TimeStep(0)), 0.0);
+    }
+
+    #[test]
+    fn reward_combines_utility_and_disutility() {
+        let fsm = one_device_fsm();
+        let cfg = EpisodeConfig::DAILY_MINUTES;
+        let mut behavior = TaBehavior::new();
+        let state = st();
+        let action = EnvAction::single(MiniAction::new(DeviceId(0), 1));
+        behavior.observe(state.clone(), action.clone(), TimeStep(600));
+        let r = SmartReward::evaluation(RewardWeights::balanced(), 0.12, behavior, cfg, 1);
+        let s = snap(&state, 100.0, 21.0, 0.03);
+        let total = r.reward(&fsm, &s, &action);
+        let expected = r.utility(&s) - r.disutility(&fsm, &state, &action, s.t);
+        assert!((total - expected).abs() < 1e-12);
+        assert!(r.utility(&s) > 0.9, "low power, on target, cheap hour");
+    }
+
+    #[test]
+    fn chi_scales_disutility() {
+        let fsm = one_device_fsm();
+        let cfg = EpisodeConfig::DAILY_MINUTES;
+        let state = st();
+        let action = EnvAction::single(MiniAction::new(DeviceId(0), 1));
+        let mut behavior = TaBehavior::new();
+        behavior.observe(state.clone(), action.clone(), TimeStep(0));
+        let mut r =
+            SmartReward::evaluation(RewardWeights::balanced(), 0.12, behavior, cfg, 1);
+        let base = r.disutility(&fsm, &state, &action, TimeStep(700));
+        r.set_chi(2.0); // utility twice as important → dis-utility halves
+        let halved = r.disutility(&fsm, &state, &action, TimeStep(700));
+        assert!((halved - base / 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,228 @@
+//! A simulated day for the RF environment: exogenous occupant events,
+//! weather, prices, and the user's habitual action schedule.
+//!
+//! The RF environment of Section V-A-5 is "a simulated virtual environment"
+//! built from the home FSM. The parts of the world the agent does *not*
+//! control — occupants arriving and leaving (lock/door-sensor events),
+//! outdoor temperature, electricity prices — are scripted here from the same
+//! generators that produce the learning data, so an optimized day is
+//! directly comparable to the recorded normal day.
+
+use jarvis_iot_model::{EpisodeConfig, MiniAction, TimeStep};
+use jarvis_sim::HomeDataset;
+use jarvis_smart_home::{logger::normalize_action, SmartHome};
+
+/// One occupant habit: the action the user would have performed, when, and
+/// how uncomfortable delaying it is.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Habit {
+    /// The time instance the user habitually acts at (`t'`).
+    pub step: TimeStep,
+    /// The habitual mini-action.
+    pub mini: MiniAction,
+    /// The device's normalized dis-utility `ω_i`.
+    pub omega: f64,
+}
+
+/// A fully scripted day.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DayScenario {
+    /// Day index in the dataset.
+    pub day: u32,
+    config: EpisodeConfig,
+    /// Exogenous mini-actions per time instance (occupant movement: lock and
+    /// door-sensor events).
+    exogenous: Vec<Vec<MiniAction>>,
+    /// The user's habitual appliance/comfort actions with preferred times —
+    /// the source of the dis-utility estimate.
+    habits: Vec<Habit>,
+    outdoor_c: Vec<f64>,
+    forecast_c: Vec<f64>,
+    price_per_kwh: Vec<f64>,
+    /// Indoor temperature at midnight.
+    pub initial_indoor_c: f64,
+}
+
+/// Devices whose events are exogenous to the agent (driven by occupants and
+/// physics, not by the optimizer).
+const EXOGENOUS_DEVICES: [&str; 2] = ["lock", "door_sensor"];
+
+impl DayScenario {
+    /// Script `day` of `data` for `home` at the standard daily/minutes
+    /// episode configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `home` lacks the catalogue devices referenced by the
+    /// dataset (use the evaluation home).
+    #[must_use]
+    pub fn from_dataset(home: &SmartHome, data: &HomeDataset, day: u32) -> Self {
+        let config = EpisodeConfig::DAILY_MINUTES;
+        let steps = config.steps() as usize;
+        let activity = data.activity(day);
+        let mut exogenous: Vec<Vec<MiniAction>> = vec![Vec::new(); steps];
+        let mut habits = Vec::new();
+        for e in &activity.events {
+            if home.fsm().device_by_name(&e.device).is_none() || e.device == "temp_sensor" {
+                // Temperature readings are recomputed from the thermal model
+                // under the agent's own HVAC choices.
+                continue;
+            }
+            let Some(name) = normalize_action(&e.device, &e.name) else { continue };
+            let dev_id = home.device_id(&e.device);
+            let Some(action) =
+                home.fsm().device(dev_id).ok().and_then(|d| d.action_idx(&name))
+            else {
+                continue;
+            };
+            let mini = MiniAction { device: dev_id, action };
+            let step = (e.minute as usize).min(steps - 1);
+            if EXOGENOUS_DEVICES.contains(&e.device.as_str()) {
+                exogenous[step].push(mini);
+            } else {
+                let omega = home
+                    .fsm()
+                    .device(dev_id)
+                    .map(|d| d.max_omega())
+                    .unwrap_or(0.0);
+                habits.push(Habit { step: TimeStep(e.minute), mini, omega });
+            }
+        }
+
+        let weather = data.weather();
+        let prices = data.prices();
+        let outdoor_c: Vec<f64> =
+            (0..steps).map(|m| weather.outdoor_temp(day, m as u32)).collect();
+        let forecast_c: Vec<f64> =
+            (0..steps).map(|m| weather.forecast_temp(day, m as u32)).collect();
+        let price_per_kwh: Vec<f64> = (0..steps)
+            .map(|m| prices.price_per_kwh(day, (m as u32 / 60).min(23)))
+            .collect();
+        DayScenario {
+            day,
+            config,
+            exogenous,
+            habits,
+            outdoor_c,
+            forecast_c,
+            price_per_kwh,
+            initial_indoor_c: data.traces().setback,
+        }
+    }
+
+    /// The episode configuration.
+    #[must_use]
+    pub fn config(&self) -> EpisodeConfig {
+        self.config
+    }
+
+    /// Exogenous mini-actions at a time instance.
+    #[must_use]
+    pub fn exogenous_at(&self, t: TimeStep) -> &[MiniAction] {
+        self.exogenous
+            .get(t.0 as usize)
+            .map_or(&[], Vec::as_slice)
+    }
+
+    /// The user's habitual actions for the day.
+    #[must_use]
+    pub fn habits(&self) -> &[Habit] {
+        &self.habits
+    }
+
+    /// Outdoor temperature at a time instance, °C.
+    #[must_use]
+    pub fn outdoor_at(&self, t: TimeStep) -> f64 {
+        lookup(&self.outdoor_c, t)
+    }
+
+    /// Day-ahead forecast at a time instance, °C.
+    #[must_use]
+    pub fn forecast_at(&self, t: TimeStep) -> f64 {
+        lookup(&self.forecast_c, t)
+    }
+
+    /// Electricity price at a time instance, $/kWh.
+    #[must_use]
+    pub fn price_at(&self, t: TimeStep) -> f64 {
+        lookup(&self.price_per_kwh, t)
+    }
+
+    /// The day's peak price, $/kWh (normalizes the cost reward).
+    #[must_use]
+    pub fn peak_price(&self) -> f64 {
+        self.price_per_kwh.iter().copied().fold(0.0, f64::max)
+    }
+}
+
+fn lookup(v: &[f64], t: TimeStep) -> f64 {
+    let i = (t.0 as usize).min(v.len().saturating_sub(1));
+    v.get(i).copied().unwrap_or(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scenario() -> (SmartHome, DayScenario) {
+        let home = SmartHome::evaluation_home();
+        let data = HomeDataset::home_a(13);
+        let s = DayScenario::from_dataset(&home, &data, 2);
+        (home, s)
+    }
+
+    #[test]
+    fn scripts_full_day() {
+        let (_, s) = scenario();
+        assert_eq!(s.config().steps(), 1440);
+        assert!(s.peak_price() > 0.05);
+        assert!(s.outdoor_at(TimeStep(720)).is_finite());
+        assert!((s.forecast_at(TimeStep(720)) - s.outdoor_at(TimeStep(720))).abs() < 4.0);
+    }
+
+    #[test]
+    fn exogenous_holds_only_lock_and_door_events() {
+        let (home, s) = scenario();
+        let lock = home.device_id("lock");
+        let door = home.device_id("door_sensor");
+        let mut any = false;
+        for t in 0..1440 {
+            for m in s.exogenous_at(TimeStep(t)) {
+                any = true;
+                assert!(m.device == lock || m.device == door, "{m:?}");
+            }
+        }
+        assert!(any, "a weekday must have occupant movement");
+    }
+
+    #[test]
+    fn habits_cover_appliances_not_sensors() {
+        let (home, s) = scenario();
+        assert!(!s.habits().is_empty());
+        let lock = home.device_id("lock");
+        let door = home.device_id("door_sensor");
+        let temp = home.device_id("temp_sensor");
+        for h in s.habits() {
+            assert!(h.mini.device != lock && h.mini.device != door && h.mini.device != temp);
+            assert!(h.omega >= 0.0);
+        }
+        // Habits include the evening routine (some habit after 17:00).
+        assert!(s.habits().iter().any(|h| h.step.0 >= 17 * 60));
+    }
+
+    #[test]
+    fn prices_follow_hourly_curve() {
+        let (_, s) = scenario();
+        // Within one hour the price is constant.
+        assert_eq!(s.price_at(TimeStep(600)), s.price_at(TimeStep(601)));
+        // Peak hour beats night valley.
+        assert!(s.price_at(TimeStep(17 * 60)) > s.price_at(TimeStep(3 * 60)));
+    }
+
+    #[test]
+    fn out_of_range_lookups_clamp() {
+        let (_, s) = scenario();
+        assert_eq!(s.outdoor_at(TimeStep(9999)), s.outdoor_at(TimeStep(1439)));
+        assert!(s.exogenous_at(TimeStep(9999)).is_empty());
+    }
+}

@@ -1,0 +1,250 @@
+//! Joint environment actions `A_t` and per-device *mini-actions*.
+//!
+//! Section V-A-7 of the paper decomposes a joint action (one entry per device,
+//! exponential space) into *mini-actions*, each targeting a single device, so
+//! that the action space grows linearly with the number of devices. An
+//! [`EnvAction`] is a set of at most one mini-action per device — exactly the
+//! `A_t = {a_0^t, …, a_k^t}` of Section III-B under constraint 1.
+
+use crate::error::ModelError;
+use crate::ids::{ActionIdx, DeviceId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An intermediate action performed on exactly one device in one interval.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct MiniAction {
+    /// The device acted on.
+    pub device: DeviceId,
+    /// The device-action taken.
+    pub action: ActionIdx,
+}
+
+impl MiniAction {
+    /// Build a mini-action on `device` executing device-action index `action`.
+    #[must_use]
+    pub fn new(device: DeviceId, action: u8) -> Self {
+        MiniAction { device, action: ActionIdx(action) }
+    }
+}
+
+impl fmt::Display for MiniAction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.device, self.action)
+    }
+}
+
+/// A joint action `A_t`: a set of mini-actions, at most one per device,
+/// applied in a single interval of an episode.
+///
+/// The empty action (no device actuated) is legal and common — most intervals
+/// of a real home see no commands.
+///
+/// ```
+/// use jarvis_iot_model::{EnvAction, MiniAction, DeviceId};
+///
+/// let a = EnvAction::try_from_minis(vec![
+///     MiniAction::new(DeviceId(2), 1),
+///     MiniAction::new(DeviceId(0), 0),
+/// ])?;
+/// assert_eq!(a.len(), 2);
+/// // Mini-actions are kept sorted by device for canonical hashing.
+/// assert_eq!(a.minis()[0].device, DeviceId(0));
+/// # Ok::<(), jarvis_iot_model::ModelError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct EnvAction(Vec<MiniAction>);
+
+impl EnvAction {
+    /// The empty action: no device actuated this interval.
+    #[must_use]
+    pub fn noop() -> Self {
+        EnvAction(Vec::new())
+    }
+
+    /// An action consisting of a single mini-action.
+    #[must_use]
+    pub fn single(mini: MiniAction) -> Self {
+        EnvAction(vec![mini])
+    }
+
+    /// Build a joint action from mini-actions, enforcing constraint 1
+    /// (one action per device per interval). Mini-actions are canonically
+    /// sorted by device id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::DuplicateDeviceAction`] if two mini-actions
+    /// target the same device.
+    pub fn try_from_minis(mut minis: Vec<MiniAction>) -> Result<Self, ModelError> {
+        minis.sort_by_key(|m| m.device);
+        for w in minis.windows(2) {
+            if w[0].device == w[1].device {
+                return Err(ModelError::DuplicateDeviceAction { device: w[0].device });
+            }
+        }
+        Ok(EnvAction(minis))
+    }
+
+    /// Number of mini-actions in this joint action.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True for the no-op action.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// The mini-actions, sorted by device id.
+    #[must_use]
+    pub fn minis(&self) -> &[MiniAction] {
+        &self.0
+    }
+
+    /// The action taken on `device`, if any.
+    #[must_use]
+    pub fn on_device(&self, device: DeviceId) -> Option<ActionIdx> {
+        self.0
+            .binary_search_by_key(&device, |m| m.device)
+            .ok()
+            .map(|i| self.0[i].action)
+    }
+
+    /// A copy of this action with one more mini-action merged in.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::DuplicateDeviceAction`] if the device is already
+    /// actuated by this action.
+    pub fn with_mini(&self, mini: MiniAction) -> Result<Self, ModelError> {
+        let mut v = self.0.clone();
+        v.push(mini);
+        EnvAction::try_from_minis(v)
+    }
+
+    /// Iterate over the mini-actions.
+    pub fn iter(&self) -> impl Iterator<Item = &MiniAction> {
+        self.0.iter()
+    }
+}
+
+impl fmt::Display for EnvAction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0.is_empty() {
+            return write!(f, "{{noop}}");
+        }
+        write!(f, "{{")?;
+        for (i, m) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{m}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl FromIterator<MiniAction> for EnvAction {
+    /// Collect mini-actions into a joint action.
+    ///
+    /// # Panics
+    ///
+    /// Panics if two mini-actions target the same device; use
+    /// [`EnvAction::try_from_minis`] for fallible construction.
+    fn from_iter<I: IntoIterator<Item = MiniAction>>(iter: I) -> Self {
+        EnvAction::try_from_minis(iter.into_iter().collect())
+            .expect("duplicate device in EnvAction::from_iter")
+    }
+}
+
+impl From<MiniAction> for EnvAction {
+    fn from(m: MiniAction) -> Self {
+        EnvAction::single(m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noop_is_empty() {
+        let a = EnvAction::noop();
+        assert!(a.is_empty());
+        assert_eq!(a.len(), 0);
+        assert_eq!(a.to_string(), "{noop}");
+    }
+
+    #[test]
+    fn minis_sorted_by_device() {
+        let a = EnvAction::try_from_minis(vec![
+            MiniAction::new(DeviceId(3), 0),
+            MiniAction::new(DeviceId(1), 2),
+        ])
+        .unwrap();
+        assert_eq!(a.minis()[0].device, DeviceId(1));
+        assert_eq!(a.minis()[1].device, DeviceId(3));
+    }
+
+    #[test]
+    fn duplicate_device_rejected() {
+        let err = EnvAction::try_from_minis(vec![
+            MiniAction::new(DeviceId(0), 0),
+            MiniAction::new(DeviceId(0), 1),
+        ])
+        .unwrap_err();
+        assert_eq!(err, ModelError::DuplicateDeviceAction { device: DeviceId(0) });
+    }
+
+    #[test]
+    fn canonical_form_hashes_equal() {
+        let a = EnvAction::try_from_minis(vec![
+            MiniAction::new(DeviceId(2), 1),
+            MiniAction::new(DeviceId(0), 0),
+        ])
+        .unwrap();
+        let b = EnvAction::try_from_minis(vec![
+            MiniAction::new(DeviceId(0), 0),
+            MiniAction::new(DeviceId(2), 1),
+        ])
+        .unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn on_device_lookup() {
+        let a = EnvAction::try_from_minis(vec![
+            MiniAction::new(DeviceId(4), 3),
+            MiniAction::new(DeviceId(1), 0),
+        ])
+        .unwrap();
+        assert_eq!(a.on_device(DeviceId(4)), Some(ActionIdx(3)));
+        assert_eq!(a.on_device(DeviceId(2)), None);
+    }
+
+    #[test]
+    fn with_mini_merges() {
+        let a = EnvAction::single(MiniAction::new(DeviceId(0), 1));
+        let b = a.with_mini(MiniAction::new(DeviceId(1), 0)).unwrap();
+        assert_eq!(b.len(), 2);
+        assert!(a.with_mini(MiniAction::new(DeviceId(0), 0)).is_err());
+    }
+
+    #[test]
+    fn display_form() {
+        let a = EnvAction::single(MiniAction::new(DeviceId(2), 1));
+        assert_eq!(a.to_string(), "{D2:a1}");
+    }
+
+    #[test]
+    fn from_iterator_collects() {
+        let a: EnvAction =
+            vec![MiniAction::new(DeviceId(1), 1), MiniAction::new(DeviceId(0), 0)]
+                .into_iter()
+                .collect();
+        assert_eq!(a.len(), 2);
+    }
+}

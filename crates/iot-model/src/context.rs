@@ -1,0 +1,260 @@
+//! Containers and authorization: users, locations, groups, apps, and the
+//! device/app subscription policies of Section III-A.
+//!
+//! Devices live inside hierarchically organized containers (user accounts →
+//! locations → groups). A device `D_i` may only be accessed by its authorized
+//! user set `u_i`, and only subscribed apps may actuate it. The pseudo-app
+//! `ap_0` denotes manual operation and is always authorized.
+
+use crate::error::ModelError;
+use crate::ids::DeviceId;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// Identifier of a user `U_j`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct UserId(pub u32);
+
+/// Identifier of an app `ap_j`. `AppId(0)` is the pseudo-app for manual
+/// operations (`ap_0` in the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct AppId(pub u32);
+
+/// Identifier of a location container (e.g. "Home A").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct LocationId(pub u32);
+
+/// Identifier of a group container within a location (e.g. "kitchen").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct GroupId(pub u32);
+
+impl AppId {
+    /// The pseudo-app denoting manual operation, `ap_0`.
+    pub const MANUAL: AppId = AppId(0);
+}
+
+impl fmt::Display for UserId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "U{}", self.0)
+    }
+}
+
+impl fmt::Display for AppId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ap{}", self.0)
+    }
+}
+
+/// A human user of the environment.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct User {
+    /// Unique id.
+    pub id: UserId,
+    /// Display name.
+    pub name: String,
+}
+
+/// A physical location container (Section III-A's container hierarchy).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Location {
+    /// Unique id.
+    pub id: LocationId,
+    /// Display name, e.g. `"Home A"`.
+    pub name: String,
+}
+
+/// A device group inside a location, e.g. `"kitchen"`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Group {
+    /// Unique id.
+    pub id: GroupId,
+    /// Owning location.
+    pub location: LocationId,
+    /// Display name.
+    pub name: String,
+}
+
+/// An installed app (trigger-action program or platform app).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct App {
+    /// Unique id; [`AppId::MANUAL`] is reserved for manual operation.
+    pub id: AppId,
+    /// Display name.
+    pub name: String,
+}
+
+/// The authorization state of the environment: which users may use which
+/// apps, and which apps are subscribed to which devices.
+///
+/// Enforces constraints 2 and 3 of Section III-B. Policies default to *deny*;
+/// the manual pseudo-app [`AppId::MANUAL`] is always allowed for every user
+/// and device (a human physically operating a device is outside platform
+/// mediation).
+///
+/// ```
+/// use jarvis_iot_model::{AuthzPolicy, UserId, AppId, DeviceId};
+///
+/// let mut authz = AuthzPolicy::new();
+/// authz.allow_user_app(UserId(1), AppId(2));
+/// authz.subscribe_app_device(AppId(2), DeviceId(0));
+/// assert!(authz.check(UserId(1), AppId(2), DeviceId(0)).is_ok());
+/// assert!(authz.check(UserId(3), AppId(2), DeviceId(0)).is_err());
+/// // Manual operation is always authorized.
+/// assert!(authz.check(UserId(3), AppId::MANUAL, DeviceId(0)).is_ok());
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AuthzPolicy {
+    user_apps: BTreeMap<UserId, BTreeSet<AppId>>,
+    app_devices: BTreeMap<AppId, BTreeSet<DeviceId>>,
+    device_users: BTreeMap<DeviceId, BTreeSet<UserId>>,
+}
+
+impl AuthzPolicy {
+    /// An empty (deny-all, except manual) policy.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Authorize `user` to use `app` (app subscription policy).
+    pub fn allow_user_app(&mut self, user: UserId, app: AppId) {
+        self.user_apps.entry(user).or_default().insert(app);
+    }
+
+    /// Subscribe `app` to `device` (device subscription policy).
+    pub fn subscribe_app_device(&mut self, app: AppId, device: DeviceId) {
+        self.app_devices.entry(app).or_default().insert(device);
+    }
+
+    /// Restrict `device` to an explicit authorized-user set `u_i`. When a
+    /// device has no explicit set, all users are considered authorized.
+    pub fn restrict_device_users(
+        &mut self,
+        device: DeviceId,
+        users: impl IntoIterator<Item = UserId>,
+    ) {
+        self.device_users.entry(device).or_default().extend(users);
+    }
+
+    /// True if `user` may use `app` (constraint 2).
+    #[must_use]
+    pub fn user_may_use_app(&self, user: UserId, app: AppId) -> bool {
+        app == AppId::MANUAL
+            || self.user_apps.get(&user).is_some_and(|apps| apps.contains(&app))
+    }
+
+    /// True if `app` is subscribed to `device` (constraint 3).
+    #[must_use]
+    pub fn app_may_actuate(&self, app: AppId, device: DeviceId) -> bool {
+        app == AppId::MANUAL
+            || self
+                .app_devices
+                .get(&app)
+                .is_some_and(|devices| devices.contains(&device))
+    }
+
+    /// True if `user` belongs to the device's authorized-user set `u_i`.
+    #[must_use]
+    pub fn user_may_access_device(&self, user: UserId, device: DeviceId) -> bool {
+        match self.device_users.get(&device) {
+            Some(users) => users.contains(&user),
+            None => true,
+        }
+    }
+
+    /// Check the full authorization chain for one actuation: user → app →
+    /// device.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::UnauthorizedUser`] or
+    /// [`ModelError::UnauthorizedApp`] when a link in the chain is denied.
+    pub fn check(&self, user: UserId, app: AppId, device: DeviceId) -> Result<(), ModelError> {
+        if !self.user_may_use_app(user, app) || !self.user_may_access_device(user, device) {
+            return Err(ModelError::UnauthorizedUser { user: user.0, app: app.0 });
+        }
+        if !self.app_may_actuate(app, device) {
+            return Err(ModelError::UnauthorizedApp { app: app.0, device });
+        }
+        Ok(())
+    }
+
+    /// Apps subscribed to `device`, manual pseudo-app excluded.
+    #[must_use]
+    pub fn apps_for_device(&self, device: DeviceId) -> Vec<AppId> {
+        self.app_devices
+            .iter()
+            .filter(|(_, devs)| devs.contains(&device))
+            .map(|(app, _)| *app)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manual_app_always_authorized() {
+        let authz = AuthzPolicy::new();
+        assert!(authz.user_may_use_app(UserId(9), AppId::MANUAL));
+        assert!(authz.app_may_actuate(AppId::MANUAL, DeviceId(4)));
+        assert!(authz.check(UserId(9), AppId::MANUAL, DeviceId(4)).is_ok());
+    }
+
+    #[test]
+    fn deny_by_default() {
+        let authz = AuthzPolicy::new();
+        assert!(!authz.user_may_use_app(UserId(1), AppId(1)));
+        assert!(!authz.app_may_actuate(AppId(1), DeviceId(0)));
+        assert!(matches!(
+            authz.check(UserId(1), AppId(1), DeviceId(0)),
+            Err(ModelError::UnauthorizedUser { .. })
+        ));
+    }
+
+    #[test]
+    fn grant_chain() {
+        let mut authz = AuthzPolicy::new();
+        authz.allow_user_app(UserId(1), AppId(1));
+        // App allowed for user but not subscribed to the device.
+        assert!(matches!(
+            authz.check(UserId(1), AppId(1), DeviceId(0)),
+            Err(ModelError::UnauthorizedApp { .. })
+        ));
+        authz.subscribe_app_device(AppId(1), DeviceId(0));
+        assert!(authz.check(UserId(1), AppId(1), DeviceId(0)).is_ok());
+    }
+
+    #[test]
+    fn device_user_restriction() {
+        let mut authz = AuthzPolicy::new();
+        authz.allow_user_app(UserId(1), AppId(1));
+        authz.allow_user_app(UserId(2), AppId(1));
+        authz.subscribe_app_device(AppId(1), DeviceId(0));
+        authz.restrict_device_users(DeviceId(0), [UserId(1)]);
+        assert!(authz.check(UserId(1), AppId(1), DeviceId(0)).is_ok());
+        assert!(authz.check(UserId(2), AppId(1), DeviceId(0)).is_err());
+        // Unrestricted device still open to all.
+        assert!(authz.user_may_access_device(UserId(2), DeviceId(5)));
+    }
+
+    #[test]
+    fn apps_for_device_lists_subscribers() {
+        let mut authz = AuthzPolicy::new();
+        authz.subscribe_app_device(AppId(1), DeviceId(0));
+        authz.subscribe_app_device(AppId(2), DeviceId(0));
+        authz.subscribe_app_device(AppId(2), DeviceId(1));
+        let mut apps = authz.apps_for_device(DeviceId(0));
+        apps.sort();
+        assert_eq!(apps, vec![AppId(1), AppId(2)]);
+        assert_eq!(authz.apps_for_device(DeviceId(9)), vec![]);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(UserId(2).to_string(), "U2");
+        assert_eq!(AppId(0).to_string(), "ap0");
+    }
+}

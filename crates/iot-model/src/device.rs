@@ -1,0 +1,503 @@
+//! Device specifications: discrete states, actions, the per-device transition
+//! function `δ_i`, and the dis-utility function `ω_i` of Section III-A.
+
+use crate::error::ModelError;
+use crate::ids::{ActionIdx, StateIdx};
+use serde::{Deserialize, Serialize};
+
+/// Broad category of an IoT device.
+///
+/// The category drives sensible defaults elsewhere in the framework: the paper
+/// assigns *high* dis-utility to devices requiring immediate action (lights,
+/// locks, doorbells) and *low* dis-utility to deferrable high-power loads
+/// (HVAC, washers) — see Section V-A-4.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[non_exhaustive]
+#[derive(Default)]
+pub enum DeviceKind {
+    /// Passive sensing device (motion, temperature, door-touch, smoke…).
+    Sensor,
+    /// Low-power actuator needing immediate response (lock, light, doorbell).
+    Actuator,
+    /// Deferrable household appliance (washer, dishwasher, oven, TV…).
+    Appliance,
+    /// Heating/ventilation/air-conditioning equipment.
+    Hvac,
+    /// Anything else.
+    #[default]
+    Other,
+}
+
+
+/// Immutable specification of one device `D_i`: its device-states
+/// `{p_{i_0}, …}`, device-actions `{a_{i_0}, …}`, transition function `δ_i`,
+/// and dis-utility function `ω_i`.
+///
+/// Construct with [`DeviceSpec::builder`]. Actions without an explicit
+/// transition rule for a state leave that state unchanged (the action is a
+/// no-op there), which matches how IoT commands behave when they do not apply
+/// — e.g. sending `power_on` to a device that is already on.
+///
+/// ```
+/// use jarvis_iot_model::{DeviceSpec, DeviceKind, StateIdx, ActionIdx};
+///
+/// let lock = DeviceSpec::builder("lock")
+///     .kind(DeviceKind::Actuator)
+///     .states(["locked", "unlocked", "off"])
+///     .actions(["lock", "unlock", "power_off", "power_on"])
+///     .transition("locked", "unlock", "unlocked")
+///     .transition("unlocked", "lock", "locked")
+///     .transition("locked", "power_off", "off")
+///     .transition("unlocked", "power_off", "off")
+///     .transition("off", "power_on", "locked")
+///     .disutility(0.9)
+///     .build()?;
+/// assert_eq!(lock.delta(StateIdx(0), ActionIdx(1))?, StateIdx(1));
+/// // `unlock` on an already-unlocked lock is a no-op.
+/// assert_eq!(lock.delta(StateIdx(1), ActionIdx(1))?, StateIdx(1));
+/// # Ok::<(), jarvis_iot_model::ModelError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceSpec {
+    name: String,
+    kind: DeviceKind,
+    states: Vec<String>,
+    actions: Vec<String>,
+    /// `delta[s][a]` = next state when action `a` executes in state `s`.
+    delta: Vec<Vec<StateIdx>>,
+    /// `omega[s][a]` = normalized dis-utility per time instance of delaying
+    /// action `a` while in state `s` (0 = fully deferrable, 1 = urgent).
+    omega: Vec<Vec<f64>>,
+    initial: StateIdx,
+}
+
+impl DeviceSpec {
+    /// Start building a device with the given human-readable name.
+    pub fn builder(name: impl Into<String>) -> DeviceBuilder {
+        DeviceBuilder {
+            name: name.into(),
+            kind: DeviceKind::default(),
+            states: Vec::new(),
+            actions: Vec::new(),
+            transitions: Vec::new(),
+            base_disutility: 0.0,
+            disutility_overrides: Vec::new(),
+            initial: None,
+        }
+    }
+
+    /// Human-readable device name (e.g. `"thermostat"`).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Device category.
+    #[must_use]
+    pub fn kind(&self) -> DeviceKind {
+        self.kind
+    }
+
+    /// Number of device-states (`i_ss` in the paper).
+    #[must_use]
+    pub fn num_states(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Number of device-actions (`i_as` in the paper).
+    #[must_use]
+    pub fn num_actions(&self) -> usize {
+        self.actions.len()
+    }
+
+    /// The state this device starts an episode in.
+    #[must_use]
+    pub fn initial_state(&self) -> StateIdx {
+        self.initial
+    }
+
+    /// Name of a state index, if in range.
+    #[must_use]
+    pub fn state_name(&self, s: StateIdx) -> Option<&str> {
+        self.states.get(s.0 as usize).map(String::as_str)
+    }
+
+    /// Name of an action index, if in range.
+    #[must_use]
+    pub fn action_name(&self, a: ActionIdx) -> Option<&str> {
+        self.actions.get(a.0 as usize).map(String::as_str)
+    }
+
+    /// Resolve a state name to its index.
+    #[must_use]
+    pub fn state_idx(&self, name: &str) -> Option<StateIdx> {
+        self.states.iter().position(|s| s == name).map(|i| StateIdx(i as u8))
+    }
+
+    /// Resolve an action name to its index.
+    #[must_use]
+    pub fn action_idx(&self, name: &str) -> Option<ActionIdx> {
+        self.actions.iter().position(|a| a == name).map(|i| ActionIdx(i as u8))
+    }
+
+    /// Iterate over all state indices of this device.
+    pub fn state_indices(&self) -> impl Iterator<Item = StateIdx> + '_ {
+        (0..self.states.len()).map(|i| StateIdx(i as u8))
+    }
+
+    /// Iterate over all action indices of this device.
+    pub fn action_indices(&self) -> impl Iterator<Item = ActionIdx> + '_ {
+        (0..self.actions.len()).map(|i| ActionIdx(i as u8))
+    }
+
+    /// The per-device transition function `δ_i(p_{i_x}, a_{i_y}) = p_{i_x'}`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidState`] / [`ModelError::InvalidAction`]
+    /// (with a placeholder device id of 0 — callers inside an [`Fsm`]
+    /// re-attribute the id) when an index is out of range.
+    ///
+    /// [`Fsm`]: crate::Fsm
+    pub fn delta(&self, s: StateIdx, a: ActionIdx) -> Result<StateIdx, ModelError> {
+        self.check(s, a)?;
+        Ok(self.delta[s.0 as usize][a.0 as usize])
+    }
+
+    /// The dis-utility function `ω_i(p_{i_x}, a_{i_y})`: normalized cost per
+    /// time instance of delaying action `a` while in state `s`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`DeviceSpec::delta`].
+    pub fn omega(&self, s: StateIdx, a: ActionIdx) -> Result<f64, ModelError> {
+        self.check(s, a)?;
+        Ok(self.omega[s.0 as usize][a.0 as usize])
+    }
+
+    /// Maximum dis-utility across all (state, action) pairs of this device.
+    #[must_use]
+    pub fn max_omega(&self) -> f64 {
+        self.omega
+            .iter()
+            .flatten()
+            .copied()
+            .fold(0.0, f64::max)
+    }
+
+    /// True if `a` changes the device state when executed in `s`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`DeviceSpec::delta`].
+    pub fn is_effective(&self, s: StateIdx, a: ActionIdx) -> Result<bool, ModelError> {
+        Ok(self.delta(s, a)? != s)
+    }
+
+    fn check(&self, s: StateIdx, a: ActionIdx) -> Result<(), ModelError> {
+        use crate::ids::DeviceId;
+        if s.0 as usize >= self.states.len() {
+            return Err(ModelError::InvalidState { device: DeviceId(0), state: s });
+        }
+        if a.0 as usize >= self.actions.len() {
+            return Err(ModelError::InvalidAction { device: DeviceId(0), action: a });
+        }
+        Ok(())
+    }
+}
+
+/// Incremental builder for a [`DeviceSpec`]; see [`DeviceSpec::builder`].
+#[derive(Debug, Clone)]
+pub struct DeviceBuilder {
+    name: String,
+    kind: DeviceKind,
+    states: Vec<String>,
+    actions: Vec<String>,
+    transitions: Vec<(String, String, String)>,
+    base_disutility: f64,
+    disutility_overrides: Vec<(String, String, f64)>,
+    initial: Option<String>,
+}
+
+impl DeviceBuilder {
+    /// Set the device category.
+    #[must_use]
+    pub fn kind(mut self, kind: DeviceKind) -> Self {
+        self.kind = kind;
+        self
+    }
+
+    /// Declare the device-states, in index order (`p_{i_0}`, `p_{i_1}`, …).
+    #[must_use]
+    pub fn states<I, S>(mut self, names: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.states.extend(names.into_iter().map(Into::into));
+        self
+    }
+
+    /// Declare the device-actions, in index order (`a_{i_0}`, `a_{i_1}`, …).
+    #[must_use]
+    pub fn actions<I, S>(mut self, names: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.actions.extend(names.into_iter().map(Into::into));
+        self
+    }
+
+    /// Declare a transition rule `δ(from, action) = to` by name.
+    #[must_use]
+    pub fn transition(
+        mut self,
+        from: impl Into<String>,
+        action: impl Into<String>,
+        to: impl Into<String>,
+    ) -> Self {
+        self.transitions.push((from.into(), action.into(), to.into()));
+        self
+    }
+
+    /// Set the uniform base dis-utility applied to every (state, action) pair.
+    #[must_use]
+    pub fn disutility(mut self, omega: f64) -> Self {
+        self.base_disutility = omega;
+        self
+    }
+
+    /// Override the dis-utility for one specific (state, action) pair by name.
+    #[must_use]
+    pub fn disutility_for(
+        mut self,
+        state: impl Into<String>,
+        action: impl Into<String>,
+        omega: f64,
+    ) -> Self {
+        self.disutility_overrides.push((state.into(), action.into(), omega));
+        self
+    }
+
+    /// Set the initial state by name (defaults to the first declared state).
+    #[must_use]
+    pub fn initial(mut self, state: impl Into<String>) -> Self {
+        self.initial = Some(state.into());
+        self
+    }
+
+    /// Finish building the device.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the device has no states, more than 256
+    /// states/actions, duplicate names, or a rule references an unknown name.
+    pub fn build(self) -> Result<DeviceSpec, ModelError> {
+        let name = self.name;
+        if self.states.is_empty() {
+            return Err(ModelError::EmptyStates { device: name });
+        }
+        if self.states.len() > 256 || self.actions.len() > 256 {
+            return Err(ModelError::TooManyVariants {
+                device: name,
+                count: self.states.len().max(self.actions.len()),
+            });
+        }
+        for (i, s) in self.states.iter().enumerate() {
+            if self.states[..i].contains(s) {
+                return Err(ModelError::DuplicateName { device: name, name: s.clone() });
+            }
+        }
+        for (i, a) in self.actions.iter().enumerate() {
+            if self.actions[..i].contains(a) {
+                return Err(ModelError::DuplicateName { device: name, name: a.clone() });
+            }
+        }
+
+        let find_state = |n: &str| -> Result<usize, ModelError> {
+            self.states
+                .iter()
+                .position(|s| s == n)
+                .ok_or_else(|| ModelError::UnknownName { device: name.clone(), name: n.into() })
+        };
+        let find_action = |n: &str| -> Result<usize, ModelError> {
+            self.actions
+                .iter()
+                .position(|a| a == n)
+                .ok_or_else(|| ModelError::UnknownName { device: name.clone(), name: n.into() })
+        };
+
+        // Default: every action is a no-op in every state, overridden by rules.
+        let mut delta: Vec<Vec<StateIdx>> = (0..self.states.len())
+            .map(|s| vec![StateIdx(s as u8); self.actions.len()])
+            .collect();
+        for (from, action, to) in &self.transitions {
+            let (f, a, t) = (find_state(from)?, find_action(action)?, find_state(to)?);
+            delta[f][a] = StateIdx(t as u8);
+        }
+
+        let mut omega =
+            vec![vec![self.base_disutility; self.actions.len()]; self.states.len()];
+        for (state, action, w) in &self.disutility_overrides {
+            let (s, a) = (find_state(state)?, find_action(action)?);
+            omega[s][a] = *w;
+        }
+
+        let initial = match &self.initial {
+            Some(n) => StateIdx(find_state(n)? as u8),
+            None => StateIdx(0),
+        };
+
+        Ok(DeviceSpec {
+            name,
+            kind: self.kind,
+            states: self.states,
+            actions: self.actions,
+            delta,
+            omega,
+            initial,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn light() -> DeviceSpec {
+        DeviceSpec::builder("light")
+            .kind(DeviceKind::Actuator)
+            .states(["off", "on"])
+            .actions(["power_off", "power_on"])
+            .transition("off", "power_on", "on")
+            .transition("on", "power_off", "off")
+            .disutility(0.8)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn builder_resolves_names() {
+        let d = light();
+        assert_eq!(d.num_states(), 2);
+        assert_eq!(d.num_actions(), 2);
+        assert_eq!(d.state_idx("on"), Some(StateIdx(1)));
+        assert_eq!(d.action_idx("power_on"), Some(ActionIdx(1)));
+        assert_eq!(d.state_name(StateIdx(0)), Some("off"));
+        assert_eq!(d.action_name(ActionIdx(0)), Some("power_off"));
+        assert_eq!(d.state_idx("nope"), None);
+    }
+
+    #[test]
+    fn delta_follows_rules_and_defaults_to_noop() {
+        let d = light();
+        assert_eq!(d.delta(StateIdx(0), ActionIdx(1)).unwrap(), StateIdx(1));
+        assert_eq!(d.delta(StateIdx(1), ActionIdx(0)).unwrap(), StateIdx(0));
+        // No rule: no-op.
+        assert_eq!(d.delta(StateIdx(0), ActionIdx(0)).unwrap(), StateIdx(0));
+        assert_eq!(d.delta(StateIdx(1), ActionIdx(1)).unwrap(), StateIdx(1));
+    }
+
+    #[test]
+    fn is_effective_detects_state_change() {
+        let d = light();
+        assert!(d.is_effective(StateIdx(0), ActionIdx(1)).unwrap());
+        assert!(!d.is_effective(StateIdx(0), ActionIdx(0)).unwrap());
+    }
+
+    #[test]
+    fn omega_base_and_override() {
+        let d = DeviceSpec::builder("lock")
+            .states(["locked", "unlocked"])
+            .actions(["lock", "unlock"])
+            .disutility(0.5)
+            .disutility_for("locked", "unlock", 0.95)
+            .build()
+            .unwrap();
+        assert_eq!(d.omega(StateIdx(0), ActionIdx(1)).unwrap(), 0.95);
+        assert_eq!(d.omega(StateIdx(1), ActionIdx(0)).unwrap(), 0.5);
+        assert_eq!(d.max_omega(), 0.95);
+    }
+
+    #[test]
+    fn out_of_range_indices_error() {
+        let d = light();
+        assert!(d.delta(StateIdx(9), ActionIdx(0)).is_err());
+        assert!(d.delta(StateIdx(0), ActionIdx(9)).is_err());
+        assert!(d.omega(StateIdx(9), ActionIdx(0)).is_err());
+    }
+
+    #[test]
+    fn empty_states_rejected() {
+        let err = DeviceSpec::builder("x").actions(["a"]).build().unwrap_err();
+        assert_eq!(err, ModelError::EmptyStates { device: "x".into() });
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let err = DeviceSpec::builder("x").states(["s", "s"]).build().unwrap_err();
+        assert!(matches!(err, ModelError::DuplicateName { .. }));
+        let err = DeviceSpec::builder("x")
+            .states(["s"])
+            .actions(["a", "a"])
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ModelError::DuplicateName { .. }));
+    }
+
+    #[test]
+    fn unknown_rule_name_rejected() {
+        let err = DeviceSpec::builder("x")
+            .states(["s"])
+            .actions(["a"])
+            .transition("s", "bogus", "s")
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ModelError::UnknownName { .. }));
+    }
+
+    #[test]
+    fn initial_state_by_name() {
+        let d = DeviceSpec::builder("x")
+            .states(["a", "b"])
+            .actions(["noop"])
+            .initial("b")
+            .build()
+            .unwrap();
+        assert_eq!(d.initial_state(), StateIdx(1));
+        // Default is the first state.
+        assert_eq!(light().initial_state(), StateIdx(0));
+    }
+
+    #[test]
+    fn unknown_initial_rejected() {
+        let err = DeviceSpec::builder("x")
+            .states(["a"])
+            .actions(["noop"])
+            .initial("zzz")
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ModelError::UnknownName { .. }));
+    }
+
+    #[test]
+    fn device_with_no_actions_is_allowed() {
+        // Pure sensors may expose states that only the physical world changes.
+        let d = DeviceSpec::builder("motion")
+            .kind(DeviceKind::Sensor)
+            .states(["idle", "motion"])
+            .build()
+            .unwrap();
+        assert_eq!(d.num_actions(), 0);
+        assert_eq!(d.max_omega(), 0.0);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let d = light();
+        let json = serde_json::to_string(&d).unwrap();
+        let back: DeviceSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(d, back);
+    }
+}

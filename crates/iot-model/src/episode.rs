@@ -1,0 +1,554 @@
+//! Episodes (Definition 2) and the episode recorder that enforces the five
+//! state-transition constraints of Section III-B.
+
+use crate::action::{EnvAction, MiniAction};
+use crate::context::{AppId, AuthzPolicy, UserId};
+use crate::error::ModelError;
+use crate::fsm::Fsm;
+use crate::ids::TimeStep;
+use crate::state::EnvState;
+use serde::{Deserialize, Serialize};
+
+/// Episode configuration: time period `T` and interval `I`, both in seconds.
+///
+/// An episode consists of `n = ⌈T/I⌉` time instances; the environment state
+/// is recorded every `I` seconds until the timestamp reaches `T`, then resets
+/// (Section III-B). The paper's smart-home prototype uses `T` = 1 day and
+/// `I` = 1 minute ([`EpisodeConfig::DAILY_MINUTES`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct EpisodeConfig {
+    period_s: u32,
+    interval_s: u32,
+}
+
+impl EpisodeConfig {
+    /// The prototype configuration of Section V-A-2: `T` = 1 day,
+    /// `I` = 1 minute, i.e. 1440 time instances per episode.
+    pub const DAILY_MINUTES: EpisodeConfig =
+        EpisodeConfig { period_s: 86_400, interval_s: 60 };
+
+    /// Build a configuration from a period and interval in seconds.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidEpisodeConfig`] when either value is zero
+    /// or the interval exceeds the period.
+    pub fn new(period_s: u32, interval_s: u32) -> Result<Self, ModelError> {
+        if period_s == 0 || interval_s == 0 || interval_s > period_s {
+            return Err(ModelError::InvalidEpisodeConfig { period_s, interval_s });
+        }
+        Ok(EpisodeConfig { period_s, interval_s })
+    }
+
+    /// The time period `T` in seconds.
+    #[must_use]
+    pub fn period_s(&self) -> u32 {
+        self.period_s
+    }
+
+    /// The interval `I` in seconds.
+    #[must_use]
+    pub fn interval_s(&self) -> u32 {
+        self.interval_s
+    }
+
+    /// Number of time instances per episode, `n = ⌈T/I⌉`.
+    #[must_use]
+    pub fn steps(&self) -> u32 {
+        self.period_s.div_ceil(self.interval_s)
+    }
+
+    /// The wall-clock second (offset from episode start) of a time instance.
+    #[must_use]
+    pub fn second_of(&self, step: TimeStep) -> u32 {
+        step.0 * self.interval_s
+    }
+
+    /// The time instance containing a wall-clock second offset, clamped to
+    /// the episode.
+    #[must_use]
+    pub fn step_at(&self, second: u32) -> TimeStep {
+        TimeStep((second / self.interval_s).min(self.steps().saturating_sub(1)))
+    }
+
+    /// Ratio `I/(kT)` — the dis-utility normalizer of the smart reward
+    /// function (Section IV-B) for an FSM of `k` devices.
+    #[must_use]
+    pub fn disutility_scale(&self, k: usize) -> f64 {
+        f64::from(self.interval_s) / (k.max(1) as f64 * f64::from(self.period_s))
+    }
+}
+
+impl Default for EpisodeConfig {
+    fn default() -> Self {
+        EpisodeConfig::DAILY_MINUTES
+    }
+}
+
+/// Attribution of one mini-action: who did it, through which app.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Actor {
+    /// The acting user.
+    pub user: UserId,
+    /// The mediating app ([`AppId::MANUAL`] for manual operations).
+    pub app: AppId,
+}
+
+impl Actor {
+    /// A manual operation by `user` (through the pseudo-app `ap_0`).
+    #[must_use]
+    pub fn manual(user: UserId) -> Self {
+        Actor { user, app: AppId::MANUAL }
+    }
+}
+
+/// One recorded state transition `(S_t, A_t) → S_{t+1}`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Transition {
+    /// Time instance `t` at which the action was taken.
+    pub step: TimeStep,
+    /// State `S_t` before the action.
+    pub state: EnvState,
+    /// The joint action `A_t`.
+    pub action: EnvAction,
+    /// State `S_{t+1}` after the action.
+    pub next: EnvState,
+    /// Attribution per mini-action, parallel to `action.minis()`.
+    pub actors: Vec<Actor>,
+}
+
+impl Transition {
+    /// True when this interval saw no actuation (self-loop on `S_t`).
+    #[must_use]
+    pub fn is_idle(&self) -> bool {
+        self.action.is_empty()
+    }
+}
+
+/// A completed episode: the ordered list of states `N = {S_0, …, S_n}`
+/// reached under the recorded joint actions (Definition 2).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Episode {
+    config: EpisodeConfig,
+    initial: EnvState,
+    transitions: Vec<Transition>,
+}
+
+impl Episode {
+    /// Assemble an episode from explicit parts, bypassing the recorder.
+    ///
+    /// Used by evaluation code that *engineers* transitions into episodes
+    /// (e.g. splicing security violations, Section VI-B). States and actions
+    /// are validated against `fsm`; chain continuity between consecutive
+    /// transitions is deliberately **not** required — an engineered episode
+    /// may teleport the environment into an attack context.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ModelError`] when any state or action is invalid for
+    /// `fsm`, or when there are more transitions than the configuration's
+    /// time instances.
+    pub fn from_parts(
+        fsm: &crate::fsm::Fsm,
+        config: EpisodeConfig,
+        initial: EnvState,
+        transitions: Vec<Transition>,
+    ) -> Result<Self, ModelError> {
+        fsm.validate_state(&initial)?;
+        if transitions.len() > config.steps() as usize {
+            return Err(ModelError::InvalidTimeStep {
+                step: TimeStep(transitions.len() as u32),
+                steps: config.steps(),
+            });
+        }
+        for tr in &transitions {
+            fsm.validate_state(&tr.state)?;
+            fsm.validate_state(&tr.next)?;
+            if tr.step.0 >= config.steps() {
+                return Err(ModelError::InvalidTimeStep { step: tr.step, steps: config.steps() });
+            }
+        }
+        Ok(Episode { config, initial, transitions })
+    }
+
+    /// The episode configuration `(T, I)`.
+    #[must_use]
+    pub fn config(&self) -> EpisodeConfig {
+        self.config
+    }
+
+    /// The initial state `S_0`.
+    #[must_use]
+    pub fn initial(&self) -> &EnvState {
+        &self.initial
+    }
+
+    /// The recorded transitions, one per time instance.
+    #[must_use]
+    pub fn transitions(&self) -> &[Transition] {
+        &self.transitions
+    }
+
+    /// Number of recorded time instances.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.transitions.len()
+    }
+
+    /// True when no time instance has been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.transitions.is_empty()
+    }
+
+    /// The ordered list of states `N` including `S_0`.
+    #[must_use]
+    pub fn states(&self) -> Vec<EnvState> {
+        let mut v = Vec::with_capacity(self.transitions.len() + 1);
+        v.push(self.initial.clone());
+        v.extend(self.transitions.iter().map(|t| t.next.clone()));
+        v
+    }
+
+    /// The final state reached.
+    #[must_use]
+    pub fn final_state(&self) -> &EnvState {
+        self.transitions.last().map_or(&self.initial, |t| &t.next)
+    }
+
+    /// Number of non-idle transitions (intervals with at least one action).
+    #[must_use]
+    pub fn num_active(&self) -> usize {
+        self.transitions.iter().filter(|t| !t.is_idle()).count()
+    }
+}
+
+/// Records one episode step by step, enforcing the Section III-B constraints:
+///
+/// 1. one action per device per interval;
+/// 2. only authorized users may use an app;
+/// 3. only subscribed apps may actuate a device;
+/// 4. one app per device per interval, conflicts resolved first-come-first-serve;
+/// 5. each device changes state at most once per interval (follows from 1).
+///
+/// ```
+/// use jarvis_iot_model::*;
+/// use jarvis_iot_model::episode::Actor;
+///
+/// let light = DeviceSpec::builder("light")
+///     .states(["off", "on"]).actions(["power_off", "power_on"])
+///     .transition("off", "power_on", "on")
+///     .transition("on", "power_off", "off")
+///     .build()?;
+/// let fsm = Fsm::new(vec![light])?;
+/// let authz = AuthzPolicy::new();
+/// let cfg = EpisodeConfig::new(300, 60)?; // 5 instances
+///
+/// let mut rec = EpisodeRecorder::new(&fsm, &authz, cfg, fsm.initial_state())?;
+/// rec.submit(Actor::manual(UserId(0)), MiniAction::new(DeviceId(0), 1))?;
+/// rec.advance()?; // light turns on at t0
+/// while !rec.is_complete() { rec.advance()?; }
+/// let ep = rec.finish();
+/// assert_eq!(ep.len(), 5);
+/// assert_eq!(ep.num_active(), 1);
+/// # Ok::<(), jarvis_iot_model::ModelError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct EpisodeRecorder<'a> {
+    fsm: &'a Fsm,
+    authz: &'a AuthzPolicy,
+    config: EpisodeConfig,
+    initial: EnvState,
+    current: EnvState,
+    step: TimeStep,
+    pending: Vec<(Actor, MiniAction)>,
+    transitions: Vec<Transition>,
+}
+
+impl<'a> EpisodeRecorder<'a> {
+    /// Start recording an episode from `initial`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when `initial` is not a valid state of `fsm`.
+    pub fn new(
+        fsm: &'a Fsm,
+        authz: &'a AuthzPolicy,
+        config: EpisodeConfig,
+        initial: EnvState,
+    ) -> Result<Self, ModelError> {
+        fsm.validate_state(&initial)?;
+        Ok(EpisodeRecorder {
+            fsm,
+            authz,
+            config,
+            current: initial.clone(),
+            initial,
+            step: TimeStep(0),
+            pending: Vec::new(),
+            transitions: Vec::new(),
+        })
+    }
+
+    /// The current time instance.
+    #[must_use]
+    pub fn step(&self) -> TimeStep {
+        self.step
+    }
+
+    /// The current environment state `S_t`.
+    #[must_use]
+    pub fn current(&self) -> &EnvState {
+        &self.current
+    }
+
+    /// True once all `⌈T/I⌉` time instances have been recorded.
+    #[must_use]
+    pub fn is_complete(&self) -> bool {
+        self.step.0 >= self.config.steps()
+    }
+
+    /// Submit a mini-action attempt for the *current* interval.
+    ///
+    /// Returns `Ok(true)` when the action is accepted, `Ok(false)` when it
+    /// lost a first-come-first-serve conflict on its device (constraint 4).
+    ///
+    /// # Errors
+    ///
+    /// Returns an authorization error (constraints 2–3), or
+    /// [`ModelError::EpisodeComplete`] after the final instance.
+    pub fn submit(&mut self, actor: Actor, mini: MiniAction) -> Result<bool, ModelError> {
+        if self.is_complete() {
+            return Err(ModelError::EpisodeComplete { steps: self.config.steps() });
+        }
+        // Validate device/action range early for a clear error.
+        let dev = self.fsm.device(mini.device)?;
+        if (mini.action.0 as usize) >= dev.num_actions() {
+            return Err(ModelError::InvalidAction { device: mini.device, action: mini.action });
+        }
+        self.authz.check(actor.user, actor.app, mini.device)?;
+        if self.pending.iter().any(|(_, m)| m.device == mini.device) {
+            return Ok(false); // first come, first serve
+        }
+        self.pending.push((actor, mini));
+        Ok(true)
+    }
+
+    /// Close the current interval: apply all accepted mini-actions through
+    /// `Δ`, record the transition, and move to the next time instance.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::EpisodeComplete`] when the episode already holds
+    /// all of its time instances.
+    pub fn advance(&mut self) -> Result<&Transition, ModelError> {
+        if self.is_complete() {
+            return Err(ModelError::EpisodeComplete { steps: self.config.steps() });
+        }
+        let pending = std::mem::take(&mut self.pending);
+        let actors: Vec<Actor> = {
+            // Keep actor order aligned with the canonical (device-sorted)
+            // mini order inside EnvAction.
+            let mut pairs = pending.clone();
+            pairs.sort_by_key(|(_, m)| m.device);
+            pairs.iter().map(|(a, _)| *a).collect()
+        };
+        let action =
+            EnvAction::try_from_minis(pending.into_iter().map(|(_, m)| m).collect())
+                .expect("submit() enforces one action per device");
+        let next = self.fsm.step(&self.current, &action)?;
+        let transition = Transition {
+            step: self.step,
+            state: self.current.clone(),
+            action,
+            next: next.clone(),
+            actors,
+        };
+        self.transitions.push(transition);
+        self.current = next;
+        self.step = self.step.next();
+        Ok(self.transitions.last().expect("just pushed"))
+    }
+
+    /// Finish recording, producing the (possibly partial) [`Episode`].
+    #[must_use]
+    pub fn finish(self) -> Episode {
+        Episode {
+            config: self.config,
+            initial: self.initial,
+            transitions: self.transitions,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::DeviceSpec;
+    use crate::ids::DeviceId;
+
+    fn fsm() -> Fsm {
+        let light = DeviceSpec::builder("light")
+            .states(["off", "on"])
+            .actions(["power_off", "power_on"])
+            .transition("off", "power_on", "on")
+            .transition("on", "power_off", "off")
+            .build()
+            .unwrap();
+        let lock = DeviceSpec::builder("lock")
+            .states(["locked", "unlocked"])
+            .actions(["lock", "unlock"])
+            .transition("locked", "unlock", "unlocked")
+            .transition("unlocked", "lock", "locked")
+            .build()
+            .unwrap();
+        Fsm::new(vec![light, lock]).unwrap()
+    }
+
+    #[test]
+    fn config_steps_and_rounding() {
+        let c = EpisodeConfig::new(3600, 60).unwrap();
+        assert_eq!(c.steps(), 60);
+        let c = EpisodeConfig::new(100, 60).unwrap();
+        assert_eq!(c.steps(), 2); // ceil(100/60)
+        assert_eq!(EpisodeConfig::DAILY_MINUTES.steps(), 1440);
+    }
+
+    #[test]
+    fn config_rejects_degenerate() {
+        assert!(EpisodeConfig::new(0, 60).is_err());
+        assert!(EpisodeConfig::new(60, 0).is_err());
+        assert!(EpisodeConfig::new(30, 60).is_err());
+    }
+
+    #[test]
+    fn config_time_mapping() {
+        let c = EpisodeConfig::new(600, 60).unwrap();
+        assert_eq!(c.second_of(TimeStep(3)), 180);
+        assert_eq!(c.step_at(180), TimeStep(3));
+        assert_eq!(c.step_at(9999), TimeStep(9)); // clamped
+    }
+
+    #[test]
+    fn disutility_scale_matches_formula() {
+        let c = EpisodeConfig::new(86_400, 60).unwrap();
+        let k = 11;
+        let expected = 60.0 / (11.0 * 86_400.0);
+        assert!((c.disutility_scale(k) - expected).abs() < 1e-15);
+        // k = 0 guarded.
+        assert!(c.disutility_scale(0).is_finite());
+    }
+
+    #[test]
+    fn recorder_records_transitions() {
+        let fsm = fsm();
+        let authz = AuthzPolicy::new();
+        let cfg = EpisodeConfig::new(180, 60).unwrap();
+        let mut rec = EpisodeRecorder::new(&fsm, &authz, cfg, fsm.initial_state()).unwrap();
+
+        rec.submit(Actor::manual(UserId(0)), MiniAction::new(DeviceId(0), 1)).unwrap();
+        let t = rec.advance().unwrap();
+        assert_eq!(t.step, TimeStep(0));
+        assert!(!t.is_idle());
+
+        rec.advance().unwrap(); // idle
+        rec.advance().unwrap(); // idle
+        assert!(rec.is_complete());
+        assert!(rec.advance().is_err());
+
+        let ep = rec.finish();
+        assert_eq!(ep.len(), 3);
+        assert_eq!(ep.num_active(), 1);
+        assert_eq!(ep.states().len(), 4);
+        assert_eq!(ep.final_state().device(DeviceId(0)), Some(crate::ids::StateIdx(1)));
+    }
+
+    #[test]
+    fn fcfs_conflict_resolution() {
+        let fsm = fsm();
+        let authz = AuthzPolicy::new();
+        let cfg = EpisodeConfig::new(60, 60).unwrap();
+        let mut rec = EpisodeRecorder::new(&fsm, &authz, cfg, fsm.initial_state()).unwrap();
+
+        // First submission wins, the second (same device) loses FCFS.
+        assert!(rec.submit(Actor::manual(UserId(0)), MiniAction::new(DeviceId(0), 1)).unwrap());
+        assert!(!rec.submit(Actor::manual(UserId(1)), MiniAction::new(DeviceId(0), 0)).unwrap());
+        let t = rec.advance().unwrap();
+        assert_eq!(t.action.len(), 1);
+        assert_eq!(t.actors.len(), 1);
+        assert_eq!(t.actors[0].user, UserId(0));
+        // The winning power_on applied.
+        assert_eq!(t.next.device(DeviceId(0)), Some(crate::ids::StateIdx(1)));
+    }
+
+    #[test]
+    fn authorization_enforced() {
+        let fsm = fsm();
+        let mut authz = AuthzPolicy::new();
+        authz.allow_user_app(UserId(1), AppId(1));
+        // App 1 not subscribed to device 1.
+        authz.subscribe_app_device(AppId(1), DeviceId(0));
+        let cfg = EpisodeConfig::new(60, 60).unwrap();
+        let mut rec = EpisodeRecorder::new(&fsm, &authz, cfg, fsm.initial_state()).unwrap();
+
+        let actor = Actor { user: UserId(1), app: AppId(1) };
+        assert!(rec.submit(actor, MiniAction::new(DeviceId(0), 1)).is_ok());
+        assert!(matches!(
+            rec.submit(actor, MiniAction::new(DeviceId(1), 1)),
+            Err(ModelError::UnauthorizedApp { .. })
+        ));
+        let unknown = Actor { user: UserId(9), app: AppId(1) };
+        // User 9 was never allowed app 1.
+        assert!(matches!(
+            rec.submit(unknown, MiniAction::new(DeviceId(0), 1)),
+            Err(ModelError::UnauthorizedUser { .. })
+        ));
+    }
+
+    #[test]
+    fn actors_align_with_sorted_minis() {
+        let fsm = fsm();
+        let authz = AuthzPolicy::new();
+        let cfg = EpisodeConfig::new(60, 60).unwrap();
+        let mut rec = EpisodeRecorder::new(&fsm, &authz, cfg, fsm.initial_state()).unwrap();
+        // Submit out of device order.
+        rec.submit(Actor::manual(UserId(7)), MiniAction::new(DeviceId(1), 1)).unwrap();
+        rec.submit(Actor::manual(UserId(3)), MiniAction::new(DeviceId(0), 1)).unwrap();
+        let t = rec.advance().unwrap().clone();
+        assert_eq!(t.action.minis()[0].device, DeviceId(0));
+        assert_eq!(t.actors[0].user, UserId(3));
+        assert_eq!(t.actors[1].user, UserId(7));
+    }
+
+    #[test]
+    fn invalid_action_index_rejected_at_submit() {
+        let fsm = fsm();
+        let authz = AuthzPolicy::new();
+        let cfg = EpisodeConfig::new(60, 60).unwrap();
+        let mut rec = EpisodeRecorder::new(&fsm, &authz, cfg, fsm.initial_state()).unwrap();
+        assert!(matches!(
+            rec.submit(Actor::manual(UserId(0)), MiniAction::new(DeviceId(0), 9)),
+            Err(ModelError::InvalidAction { .. })
+        ));
+    }
+
+    #[test]
+    fn recorder_rejects_bad_initial_state() {
+        let fsm = fsm();
+        let authz = AuthzPolicy::new();
+        let cfg = EpisodeConfig::new(60, 60).unwrap();
+        let bad = EnvState::new(vec![crate::ids::StateIdx(0)]);
+        assert!(EpisodeRecorder::new(&fsm, &authz, cfg, bad).is_err());
+    }
+
+    #[test]
+    fn empty_episode_final_state_is_initial() {
+        let fsm = fsm();
+        let authz = AuthzPolicy::new();
+        let cfg = EpisodeConfig::new(60, 60).unwrap();
+        let rec = EpisodeRecorder::new(&fsm, &authz, cfg, fsm.initial_state()).unwrap();
+        let ep = rec.finish();
+        assert!(ep.is_empty());
+        assert_eq!(ep.final_state(), ep.initial());
+    }
+}

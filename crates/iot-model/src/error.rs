@@ -1,0 +1,205 @@
+//! Error types for the IoT model.
+
+use crate::ids::{ActionIdx, DeviceId, StateIdx, TimeStep};
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced when building or operating on the IoT environment model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ModelError {
+    /// A device was declared with no states.
+    EmptyStates {
+        /// Name of the offending device.
+        device: String,
+    },
+    /// A device declares more states or actions than the `u8` index space.
+    TooManyVariants {
+        /// Name of the offending device.
+        device: String,
+        /// Number of variants declared.
+        count: usize,
+    },
+    /// A transition rule referenced an unknown state or action name.
+    UnknownName {
+        /// Name of the offending device.
+        device: String,
+        /// The unresolved state/action name.
+        name: String,
+    },
+    /// Duplicate state or action name within one device.
+    DuplicateName {
+        /// Name of the offending device.
+        device: String,
+        /// The duplicated name.
+        name: String,
+    },
+    /// An FSM was constructed with no devices.
+    EmptyFsm,
+    /// A device id is out of range for the FSM.
+    UnknownDevice {
+        /// The out-of-range device id.
+        device: DeviceId,
+    },
+    /// A state index is out of range for the device.
+    InvalidState {
+        /// Device whose state space was violated.
+        device: DeviceId,
+        /// The out-of-range state index.
+        state: StateIdx,
+    },
+    /// An action index is out of range for the device.
+    InvalidAction {
+        /// Device whose action space was violated.
+        device: DeviceId,
+        /// The out-of-range action index.
+        action: ActionIdx,
+    },
+    /// An environment state has the wrong number of device slots.
+    StateArity {
+        /// Number of devices in the FSM.
+        expected: usize,
+        /// Number of slots in the offending state.
+        got: usize,
+    },
+    /// More than one mini-action targeted the same device in one interval
+    /// (constraint 1 of Section III-B).
+    DuplicateDeviceAction {
+        /// The device targeted twice.
+        device: DeviceId,
+    },
+    /// A user is not authorized for the app they attempted to use
+    /// (constraint 2 of Section III-B).
+    UnauthorizedUser {
+        /// The unauthorized user id.
+        user: u32,
+        /// The app they attempted to use.
+        app: u32,
+    },
+    /// An app is not authorized (subscribed) for the device it acted on
+    /// (constraint 3 of Section III-B).
+    UnauthorizedApp {
+        /// The unauthorized app id.
+        app: u32,
+        /// The device it attempted to actuate.
+        device: DeviceId,
+    },
+    /// An episode recording attempted to step past its final time instance.
+    EpisodeComplete {
+        /// The episode length in steps.
+        steps: u32,
+    },
+    /// A timestep is out of range for the episode configuration.
+    InvalidTimeStep {
+        /// The offending step.
+        step: TimeStep,
+        /// The episode length in steps.
+        steps: u32,
+    },
+    /// The episode configuration is degenerate (zero period or interval, or
+    /// interval longer than period).
+    InvalidEpisodeConfig {
+        /// Time period `T` in seconds.
+        period_s: u32,
+        /// Interval `I` in seconds.
+        interval_s: u32,
+    },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::EmptyStates { device } => {
+                write!(f, "device `{device}` declares no states")
+            }
+            ModelError::TooManyVariants { device, count } => {
+                write!(f, "device `{device}` declares {count} variants, more than 256")
+            }
+            ModelError::UnknownName { device, name } => {
+                write!(f, "device `{device}` references unknown name `{name}`")
+            }
+            ModelError::DuplicateName { device, name } => {
+                write!(f, "device `{device}` declares duplicate name `{name}`")
+            }
+            ModelError::EmptyFsm => write!(f, "an FSM requires at least one device"),
+            ModelError::UnknownDevice { device } => {
+                write!(f, "device {device} does not exist in this FSM")
+            }
+            ModelError::InvalidState { device, state } => {
+                write!(f, "state {state} is out of range for device {device}")
+            }
+            ModelError::InvalidAction { device, action } => {
+                write!(f, "action {action} is out of range for device {device}")
+            }
+            ModelError::StateArity { expected, got } => {
+                write!(f, "environment state has {got} slots, FSM has {expected} devices")
+            }
+            ModelError::DuplicateDeviceAction { device } => {
+                write!(f, "more than one action targeted device {device} in one interval")
+            }
+            ModelError::UnauthorizedUser { user, app } => {
+                write!(f, "user U{user} is not authorized for app ap{app}")
+            }
+            ModelError::UnauthorizedApp { app, device } => {
+                write!(f, "app ap{app} is not subscribed to device {device}")
+            }
+            ModelError::EpisodeComplete { steps } => {
+                write!(f, "episode already holds all {steps} time instances")
+            }
+            ModelError::InvalidTimeStep { step, steps } => {
+                write!(f, "time instance {step} is out of range for an episode of {steps} steps")
+            }
+            ModelError::InvalidEpisodeConfig { period_s, interval_s } => {
+                write!(
+                    f,
+                    "invalid episode configuration: period {period_s}s, interval {interval_s}s"
+                )
+            }
+        }
+    }
+}
+
+impl Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_informative() {
+        let e = ModelError::UnknownDevice { device: DeviceId(9) };
+        let msg = e.to_string();
+        assert!(msg.contains("D9"));
+        assert!(msg.starts_with(char::is_lowercase));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ModelError>();
+    }
+
+    #[test]
+    fn all_variants_render() {
+        let variants: Vec<ModelError> = vec![
+            ModelError::EmptyStates { device: "x".into() },
+            ModelError::TooManyVariants { device: "x".into(), count: 300 },
+            ModelError::UnknownName { device: "x".into(), name: "y".into() },
+            ModelError::DuplicateName { device: "x".into(), name: "y".into() },
+            ModelError::EmptyFsm,
+            ModelError::UnknownDevice { device: DeviceId(1) },
+            ModelError::InvalidState { device: DeviceId(1), state: StateIdx(9) },
+            ModelError::InvalidAction { device: DeviceId(1), action: ActionIdx(9) },
+            ModelError::StateArity { expected: 5, got: 4 },
+            ModelError::DuplicateDeviceAction { device: DeviceId(0) },
+            ModelError::UnauthorizedUser { user: 1, app: 2 },
+            ModelError::UnauthorizedApp { app: 2, device: DeviceId(3) },
+            ModelError::EpisodeComplete { steps: 1440 },
+            ModelError::InvalidTimeStep { step: TimeStep(2000), steps: 1440 },
+            ModelError::InvalidEpisodeConfig { period_s: 0, interval_s: 60 },
+        ];
+        for v in variants {
+            assert!(!v.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,171 @@
+//! Normalized edge-readable events in the JSON record format of the paper's
+//! logging system (Section V-A-1).
+//!
+//! The SmartThings logger app subscribes to all device capabilities and
+//! stores each attribute change as a JSON record:
+//!
+//! ```text
+//! (Event.date, Event.data, User.info, App.info, Group.info, Location.info,
+//!  Device.label, Capability.name, Attribute.name, Attribute.value,
+//!  Capability.command)
+//! ```
+//!
+//! [`Event`] mirrors that record exactly. The smart-home crate's logger emits
+//! these; its parser normalizes them back into FSM device states and actions.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Where an event originated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum EventSource {
+    /// A physical/manual operation on the device.
+    Manual,
+    /// An app command mediated by the platform.
+    App,
+    /// The device itself (sensor reading, internal state change).
+    Device,
+}
+
+/// One logged event record, matching the JSON schema of Section V-A-1.
+///
+/// This is a passive data record (all fields public) so downstream parsers
+/// and serializers can consume it directly.
+///
+/// ```
+/// use jarvis_iot_model::{Event, EventSource};
+///
+/// let e = Event {
+///     date: 1_600_000_000,
+///     data: None,
+///     user: Some("alice".into()),
+///     app: Some("lights-on-arrival".into()),
+///     group: Some("hallway".into()),
+///     location: Some("Home A".into()),
+///     device_label: "light".into(),
+///     capability: "switch".into(),
+///     attribute: "switch".into(),
+///     attribute_value: "on".into(),
+///     command: Some("power_on".into()),
+///     source: EventSource::App,
+/// };
+/// let json = serde_json::to_string(&e).unwrap();
+/// let back: Event = serde_json::from_str(&json).unwrap();
+/// assert_eq!(e, back);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Event {
+    /// `Event.date`: epoch seconds of the event.
+    pub date: u64,
+    /// `Event.data`: optional opaque payload.
+    pub data: Option<String>,
+    /// `User.info`: the acting user, when known.
+    pub user: Option<String>,
+    /// `App.info`: the mediating app, when known.
+    pub app: Option<String>,
+    /// `Group.info`: the device's group container.
+    pub group: Option<String>,
+    /// `Location.info`: the device's location container.
+    pub location: Option<String>,
+    /// `Device.label`: the device's display label.
+    pub device_label: String,
+    /// `Capability.name`: the capability whose attribute changed.
+    pub capability: String,
+    /// `Attribute.name`: the attribute that changed.
+    pub attribute: String,
+    /// `Attribute.value`: the raw new value (string, number, enum…).
+    pub attribute_value: String,
+    /// `Capability.command`: the command that caused the change, if any.
+    pub command: Option<String>,
+    /// Provenance of the event.
+    pub source: EventSource,
+}
+
+impl Event {
+    /// Serialize the record to the JSON wire form used by the logger.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`serde_json::Error`] if serialization fails (practically
+    /// impossible for this plain record).
+    pub fn to_json(&self) -> Result<String, serde_json::Error> {
+        serde_json::to_string(self)
+    }
+
+    /// Parse a record from its JSON wire form.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`serde_json::Error`] when the input is not a valid record.
+    pub fn from_json(s: &str) -> Result<Event, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{}] {}.{}={}{}",
+            self.date,
+            self.device_label,
+            self.attribute,
+            self.attribute_value,
+            match &self.command {
+                Some(c) => format!(" (cmd {c})"),
+                None => String::new(),
+            }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Event {
+        Event {
+            date: 42,
+            data: None,
+            user: None,
+            app: None,
+            group: None,
+            location: Some("Home B".into()),
+            device_label: "thermostat".into(),
+            capability: "thermostatMode".into(),
+            attribute: "mode".into(),
+            attribute_value: "heat".into(),
+            command: Some("power_on".into()),
+            source: EventSource::Device,
+        }
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let e = sample();
+        let back = Event::from_json(&e.to_json().unwrap()).unwrap();
+        assert_eq!(e, back);
+    }
+
+    #[test]
+    fn json_contains_paper_fields() {
+        let json = sample().to_json().unwrap();
+        for field in ["date", "device_label", "capability", "attribute", "attribute_value"] {
+            assert!(json.contains(field), "missing field {field} in {json}");
+        }
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let s = sample().to_string();
+        assert!(s.contains("thermostat.mode=heat"));
+        assert!(s.contains("cmd power_on"));
+    }
+
+    #[test]
+    fn malformed_json_errors() {
+        assert!(Event::from_json("{not json").is_err());
+        assert!(Event::from_json("{}").is_err());
+    }
+}

@@ -1,0 +1,505 @@
+//! The environment FSM `(SS, AS, Δ)` of Definition 1.
+
+use crate::action::{EnvAction, MiniAction};
+use crate::device::DeviceSpec;
+use crate::error::ModelError;
+use crate::ids::{ActionIdx, DeviceId, StateIdx};
+use crate::state::EnvState;
+use serde::{Deserialize, Serialize};
+
+/// The finite state machine of an IoT environment: `k` devices, the overall
+/// state space `SS`, the action space `AS`, and the overall transition
+/// function `Δ(S_t, A_t)`.
+///
+/// ```
+/// use jarvis_iot_model::{DeviceSpec, Fsm, EnvAction, MiniAction, DeviceId};
+///
+/// let lock = DeviceSpec::builder("lock")
+///     .states(["locked", "unlocked"])
+///     .actions(["lock", "unlock"])
+///     .transition("locked", "unlock", "unlocked")
+///     .transition("unlocked", "lock", "locked")
+///     .build()?;
+/// let light = DeviceSpec::builder("light")
+///     .states(["off", "on"])
+///     .actions(["power_off", "power_on"])
+///     .transition("off", "power_on", "on")
+///     .transition("on", "power_off", "off")
+///     .build()?;
+///
+/// let fsm = Fsm::new(vec![lock, light])?;
+/// assert_eq!(fsm.num_devices(), 2);
+/// assert_eq!(fsm.state_space_size(), Some(4));
+/// // Unlock the lock and turn the light on in one interval.
+/// let a = EnvAction::try_from_minis(vec![
+///     MiniAction::new(DeviceId(0), 1),
+///     MiniAction::new(DeviceId(1), 1),
+/// ])?;
+/// let s1 = fsm.step(&fsm.initial_state(), &a)?;
+/// assert_eq!(fsm.describe_state(&s1), vec!["lock=unlocked", "light=on"]);
+/// # Ok::<(), jarvis_iot_model::ModelError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fsm {
+    devices: Vec<DeviceSpec>,
+}
+
+impl Fsm {
+    /// Build an FSM from its device specifications.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::EmptyFsm`] when no devices are supplied.
+    pub fn new(devices: Vec<DeviceSpec>) -> Result<Self, ModelError> {
+        if devices.is_empty() {
+            return Err(ModelError::EmptyFsm);
+        }
+        Ok(Fsm { devices })
+    }
+
+    /// Number of devices `k`.
+    #[must_use]
+    pub fn num_devices(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// The device specification for `id`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::UnknownDevice`] for out-of-range ids.
+    pub fn device(&self, id: DeviceId) -> Result<&DeviceSpec, ModelError> {
+        self.devices.get(id.0).ok_or(ModelError::UnknownDevice { device: id })
+    }
+
+    /// Iterate over `(DeviceId, &DeviceSpec)` pairs.
+    pub fn devices(&self) -> impl Iterator<Item = (DeviceId, &DeviceSpec)> {
+        self.devices.iter().enumerate().map(|(i, d)| (DeviceId(i), d))
+    }
+
+    /// Look up a device id by its name.
+    #[must_use]
+    pub fn device_by_name(&self, name: &str) -> Option<DeviceId> {
+        self.devices.iter().position(|d| d.name() == name).map(DeviceId)
+    }
+
+    /// The initial environment state `S_0` (each device in its declared
+    /// initial state).
+    #[must_use]
+    pub fn initial_state(&self) -> EnvState {
+        self.devices.iter().map(DeviceSpec::initial_state).collect()
+    }
+
+    /// Per-device state-space sizes, used for one-hot encoding and state
+    /// enumeration.
+    #[must_use]
+    pub fn state_sizes(&self) -> Vec<usize> {
+        self.devices.iter().map(DeviceSpec::num_states).collect()
+    }
+
+    /// Size of the overall state space `ν = Π i_ss`, or `None` on overflow.
+    #[must_use]
+    pub fn state_space_size(&self) -> Option<u128> {
+        self.devices
+            .iter()
+            .try_fold(1u128, |acc, d| acc.checked_mul(d.num_states() as u128))
+    }
+
+    /// Size of the joint action space: every combination of (do nothing |
+    /// one action) per device, i.e. `Π (i_as + 1)`. Grows exponentially in
+    /// `k` — the motivation for mini-actions (Section V-A-7).
+    #[must_use]
+    pub fn joint_action_space_size(&self) -> Option<u128> {
+        self.devices
+            .iter()
+            .try_fold(1u128, |acc, d| acc.checked_mul(d.num_actions() as u128 + 1))
+    }
+
+    /// Size of the mini-action space: `Σ i_as`, plus one for the no-op.
+    /// Grows linearly in `k`.
+    #[must_use]
+    pub fn num_mini_actions(&self) -> usize {
+        self.devices.iter().map(DeviceSpec::num_actions).sum::<usize>() + 1
+    }
+
+    /// Enumerate every mini-action of the environment, no-op excluded.
+    #[must_use]
+    pub fn mini_actions(&self) -> Vec<MiniAction> {
+        let mut v = Vec::new();
+        for (id, d) in self.devices() {
+            for a in d.action_indices() {
+                v.push(MiniAction { device: id, action: a });
+            }
+        }
+        v
+    }
+
+    /// Map a flat mini-action index (0 = no-op, then device-major order) to
+    /// the corresponding optional mini-action. This is the output layout of
+    /// the DQN head.
+    #[must_use]
+    pub fn mini_action_at(&self, flat: usize) -> Option<MiniAction> {
+        if flat == 0 {
+            return None;
+        }
+        let mut rest = flat - 1;
+        for (id, d) in self.devices() {
+            if rest < d.num_actions() {
+                return Some(MiniAction { device: id, action: ActionIdx(rest as u8) });
+            }
+            rest -= d.num_actions();
+        }
+        None
+    }
+
+    /// Inverse of [`Fsm::mini_action_at`]: the flat index of a mini-action
+    /// (`Some(m)`) or of the no-op (`None`).
+    #[must_use]
+    pub fn mini_action_index(&self, mini: Option<MiniAction>) -> Option<usize> {
+        match mini {
+            None => Some(0),
+            Some(m) => {
+                let mut offset = 1usize;
+                for (id, d) in self.devices() {
+                    if id == m.device {
+                        if (m.action.0 as usize) < d.num_actions() {
+                            return Some(offset + m.action.0 as usize);
+                        }
+                        return None;
+                    }
+                    offset += d.num_actions();
+                }
+                None
+            }
+        }
+    }
+
+    /// Validate that `state` has the right arity and every slot is in range.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::StateArity`] or [`ModelError::InvalidState`].
+    pub fn validate_state(&self, state: &EnvState) -> Result<(), ModelError> {
+        if state.len() != self.devices.len() {
+            return Err(ModelError::StateArity {
+                expected: self.devices.len(),
+                got: state.len(),
+            });
+        }
+        for (id, s) in state.iter() {
+            if (s.0 as usize) >= self.devices[id.0].num_states() {
+                return Err(ModelError::InvalidState { device: id, state: s });
+            }
+        }
+        Ok(())
+    }
+
+    /// The overall transition function
+    /// `S_{t+1} = Δ(S_t, A_t) = (δ_0(s_0, a_0), …, δ_k(s_k, a_k))`.
+    ///
+    /// Devices without a mini-action keep their state (Section III-B).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the state is malformed or any mini-action
+    /// references an unknown device/action.
+    pub fn step(&self, state: &EnvState, action: &EnvAction) -> Result<EnvState, ModelError> {
+        self.validate_state(state)?;
+        let mut next = state.clone();
+        for m in action.iter() {
+            let dev = self.device(m.device)?;
+            let cur = state.device(m.device).expect("validated arity");
+            let new = dev.delta(cur, m.action).map_err(|e| match e {
+                ModelError::InvalidState { state, .. } => {
+                    ModelError::InvalidState { device: m.device, state }
+                }
+                ModelError::InvalidAction { action, .. } => {
+                    ModelError::InvalidAction { device: m.device, action }
+                }
+                other => other,
+            })?;
+            next.set_device(m.device, new);
+        }
+        Ok(next)
+    }
+
+    /// Dense mixed-radix index of a state in `0..state_space_size()` —
+    /// the key layout tabular learners and `P_safe` dumps use.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when `state` is invalid for this FSM.
+    pub fn state_index(&self, state: &EnvState) -> Result<u128, ModelError> {
+        self.validate_state(state)?;
+        let mut idx: u128 = 0;
+        for (slot, d) in state.as_slice().iter().zip(&self.devices) {
+            idx = idx * d.num_states() as u128 + u128::from(slot.0);
+        }
+        Ok(idx)
+    }
+
+    /// Inverse of [`Fsm::state_index`]: the state at a dense index, or
+    /// `None` when the index is out of range.
+    #[must_use]
+    pub fn state_at(&self, mut index: u128) -> Option<EnvState> {
+        if index >= self.state_space_size()? {
+            return None;
+        }
+        let mut slots = vec![StateIdx(0); self.devices.len()];
+        for (slot, d) in slots.iter_mut().zip(&self.devices).rev() {
+            let size = d.num_states() as u128;
+            *slot = StateIdx((index % size) as u8);
+            index /= size;
+        }
+        Some(EnvState::new(slots))
+    }
+
+    /// Enumerate the full state space `SS`. Intended for small FSMs (tests,
+    /// tabular agents); the iterator is lazy so enumeration cost is bounded
+    /// by how far the caller drives it.
+    pub fn enumerate_states(&self) -> StateEnumerator {
+        StateEnumerator { sizes: self.state_sizes(), current: Some(vec![0; self.devices.len()]) }
+    }
+
+    /// Human-readable rendering of a state as `device=state` strings.
+    #[must_use]
+    pub fn describe_state(&self, state: &EnvState) -> Vec<String> {
+        state
+            .iter()
+            .map(|(id, s)| {
+                let dev = self.devices.get(id.0);
+                match dev {
+                    Some(d) => format!(
+                        "{}={}",
+                        d.name(),
+                        d.state_name(s).unwrap_or("<invalid>")
+                    ),
+                    None => format!("{id}={s}"),
+                }
+            })
+            .collect()
+    }
+
+    /// Human-readable rendering of an action as `device.action` strings.
+    #[must_use]
+    pub fn describe_action(&self, action: &EnvAction) -> Vec<String> {
+        action
+            .iter()
+            .map(|m| {
+                let dev = self.devices.get(m.device.0);
+                match dev {
+                    Some(d) => format!(
+                        "{}.{}",
+                        d.name(),
+                        d.action_name(m.action).unwrap_or("<invalid>")
+                    ),
+                    None => format!("{}.{}", m.device, m.action),
+                }
+            })
+            .collect()
+    }
+
+    /// Sum of the maximum dis-utilities of all devices, `Σ_i max ω_i` — the
+    /// denominator of the utility/dis-utility ratio `χ` (Section IV-B).
+    #[must_use]
+    pub fn total_max_omega(&self) -> f64 {
+        self.devices.iter().map(DeviceSpec::max_omega).sum()
+    }
+}
+
+/// Lazy iterator over every [`EnvState`] of an FSM, in lexicographic order;
+/// produced by [`Fsm::enumerate_states`].
+#[derive(Debug, Clone)]
+pub struct StateEnumerator {
+    sizes: Vec<usize>,
+    current: Option<Vec<u8>>,
+}
+
+impl StateEnumerator {
+    fn advance(&mut self) {
+        let cur = match &mut self.current {
+            Some(c) => c,
+            None => return,
+        };
+        for i in (0..cur.len()).rev() {
+            if (cur[i] as usize) + 1 < self.sizes[i] {
+                cur[i] += 1;
+                for slot in cur.iter_mut().skip(i + 1) {
+                    *slot = 0;
+                }
+                return;
+            }
+        }
+        self.current = None;
+    }
+}
+
+impl Iterator for StateEnumerator {
+    type Item = EnvState;
+
+    fn next(&mut self) -> Option<EnvState> {
+        if self.sizes.contains(&0) {
+            self.current = None;
+        }
+        let out = self
+            .current
+            .as_ref()
+            .map(|c| c.iter().map(|&x| StateIdx(x)).collect());
+        self.advance();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_device_fsm() -> Fsm {
+        let lock = DeviceSpec::builder("lock")
+            .states(["locked", "unlocked"])
+            .actions(["lock", "unlock"])
+            .transition("locked", "unlock", "unlocked")
+            .transition("unlocked", "lock", "locked")
+            .disutility(0.9)
+            .build()
+            .unwrap();
+        let thermostat = DeviceSpec::builder("thermostat")
+            .states(["heat", "cool", "off"])
+            .actions(["inc", "dec", "power_off", "power_on"])
+            .transition("heat", "power_off", "off")
+            .transition("cool", "power_off", "off")
+            .transition("off", "power_on", "heat")
+            .transition("heat", "dec", "cool")
+            .transition("cool", "inc", "heat")
+            .disutility(0.1)
+            .build()
+            .unwrap();
+        Fsm::new(vec![lock, thermostat]).unwrap()
+    }
+
+    #[test]
+    fn empty_fsm_rejected() {
+        assert_eq!(Fsm::new(vec![]).unwrap_err(), ModelError::EmptyFsm);
+    }
+
+    #[test]
+    fn space_sizes() {
+        let fsm = two_device_fsm();
+        assert_eq!(fsm.num_devices(), 2);
+        assert_eq!(fsm.state_space_size(), Some(6));
+        assert_eq!(fsm.joint_action_space_size(), Some(15)); // (2+1)*(4+1)
+        assert_eq!(fsm.num_mini_actions(), 7); // 2 + 4 + noop
+    }
+
+    #[test]
+    fn step_applies_deltas_and_noop_preserves() {
+        let fsm = two_device_fsm();
+        let s0 = fsm.initial_state();
+        let next = fsm.step(&s0, &EnvAction::noop()).unwrap();
+        assert_eq!(next, s0);
+
+        let a = EnvAction::try_from_minis(vec![
+            MiniAction::new(DeviceId(0), 1), // unlock
+            MiniAction::new(DeviceId(1), 2), // power_off
+        ])
+        .unwrap();
+        let s1 = fsm.step(&s0, &a).unwrap();
+        assert_eq!(
+            fsm.describe_state(&s1),
+            vec!["lock=unlocked", "thermostat=off"]
+        );
+    }
+
+    #[test]
+    fn step_validates_state_arity() {
+        let fsm = two_device_fsm();
+        let bad = EnvState::new(vec![StateIdx(0)]);
+        assert!(matches!(
+            fsm.step(&bad, &EnvAction::noop()),
+            Err(ModelError::StateArity { expected: 2, got: 1 })
+        ));
+    }
+
+    #[test]
+    fn step_validates_action_range() {
+        let fsm = two_device_fsm();
+        let s0 = fsm.initial_state();
+        let bad = EnvAction::single(MiniAction::new(DeviceId(0), 9));
+        assert!(matches!(
+            fsm.step(&s0, &bad),
+            Err(ModelError::InvalidAction { device: DeviceId(0), .. })
+        ));
+        let bad_dev = EnvAction::single(MiniAction::new(DeviceId(7), 0));
+        assert!(matches!(
+            fsm.step(&s0, &bad_dev),
+            Err(ModelError::UnknownDevice { device: DeviceId(7) })
+        ));
+    }
+
+    #[test]
+    fn validate_state_catches_out_of_range_slot() {
+        let fsm = two_device_fsm();
+        let bad = EnvState::new(vec![StateIdx(5), StateIdx(0)]);
+        assert!(matches!(
+            fsm.validate_state(&bad),
+            Err(ModelError::InvalidState { device: DeviceId(0), .. })
+        ));
+    }
+
+    #[test]
+    fn enumerate_states_covers_product() {
+        let fsm = two_device_fsm();
+        let all: Vec<_> = fsm.enumerate_states().collect();
+        assert_eq!(all.len(), 6);
+        // Lexicographic, starts at all-zero, no duplicates.
+        assert_eq!(all[0], fsm.initial_state());
+        let unique: std::collections::HashSet<_> = all.iter().cloned().collect();
+        assert_eq!(unique.len(), 6);
+    }
+
+    #[test]
+    fn mini_action_flat_round_trip() {
+        let fsm = two_device_fsm();
+        assert_eq!(fsm.mini_action_at(0), None);
+        for flat in 0..fsm.num_mini_actions() {
+            let mini = fsm.mini_action_at(flat);
+            assert_eq!(fsm.mini_action_index(mini), Some(flat));
+        }
+        assert_eq!(fsm.mini_action_at(99), None);
+        // mini_actions() enumerates all non-noop actions.
+        assert_eq!(fsm.mini_actions().len(), fsm.num_mini_actions() - 1);
+    }
+
+    #[test]
+    fn state_index_round_trips_and_matches_enumeration_order() {
+        let fsm = two_device_fsm();
+        for (i, state) in fsm.enumerate_states().enumerate() {
+            let idx = fsm.state_index(&state).unwrap();
+            assert_eq!(idx, i as u128, "enumeration is index order");
+            assert_eq!(fsm.state_at(idx), Some(state));
+        }
+        assert_eq!(fsm.state_at(fsm.state_space_size().unwrap()), None);
+        let bad = EnvState::new(vec![StateIdx(9), StateIdx(0)]);
+        assert!(fsm.state_index(&bad).is_err());
+    }
+
+    #[test]
+    fn device_by_name_lookup() {
+        let fsm = two_device_fsm();
+        assert_eq!(fsm.device_by_name("thermostat"), Some(DeviceId(1)));
+        assert_eq!(fsm.device_by_name("fridge"), None);
+    }
+
+    #[test]
+    fn describe_action_renders_names() {
+        let fsm = two_device_fsm();
+        let a = EnvAction::single(MiniAction::new(DeviceId(1), 3));
+        assert_eq!(fsm.describe_action(&a), vec!["thermostat.power_on"]);
+    }
+
+    #[test]
+    fn total_max_omega_sums_devices() {
+        let fsm = two_device_fsm();
+        assert!((fsm.total_max_omega() - 1.0).abs() < 1e-12); // 0.9 + 0.1
+    }
+}

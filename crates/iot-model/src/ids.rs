@@ -1,0 +1,127 @@
+//! Newtype identifiers used throughout the IoT model.
+//!
+//! Device-state and device-action indices are `u8`-backed because real IoT
+//! devices expose a handful of discrete attribute values and commands
+//! (Table I of the paper lists at most four of each per device).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Index of a device within an [`Fsm`](crate::Fsm) (the `i` in `D_i`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct DeviceId(pub usize);
+
+/// Index of a device-state within a device (the `x` in `p_{i_x}`).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct StateIdx(pub u8);
+
+/// Index of a device-action within a device (the `y` in `a_{i_y}`).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct ActionIdx(pub u8);
+
+/// A discrete *time instance* within an episode: step `t` of `n = ⌈T/I⌉`.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct TimeStep(pub u32);
+
+impl fmt::Display for DeviceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "D{}", self.0)
+    }
+}
+
+impl fmt::Display for StateIdx {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+impl fmt::Display for ActionIdx {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "a{}", self.0)
+    }
+}
+
+impl fmt::Display for TimeStep {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+impl From<usize> for DeviceId {
+    fn from(value: usize) -> Self {
+        DeviceId(value)
+    }
+}
+
+impl From<u8> for StateIdx {
+    fn from(value: u8) -> Self {
+        StateIdx(value)
+    }
+}
+
+impl From<u8> for ActionIdx {
+    fn from(value: u8) -> Self {
+        ActionIdx(value)
+    }
+}
+
+impl From<u32> for TimeStep {
+    fn from(value: u32) -> Self {
+        TimeStep(value)
+    }
+}
+
+impl TimeStep {
+    /// The step immediately after this one.
+    #[must_use]
+    pub fn next(self) -> TimeStep {
+        TimeStep(self.0 + 1)
+    }
+
+    /// Absolute difference between two steps, in steps.
+    #[must_use]
+    pub fn distance(self, other: TimeStep) -> u32 {
+        self.0.abs_diff(other.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(DeviceId(3).to_string(), "D3");
+        assert_eq!(StateIdx(1).to_string(), "p1");
+        assert_eq!(ActionIdx(2).to_string(), "a2");
+        assert_eq!(TimeStep(59).to_string(), "t59");
+    }
+
+    #[test]
+    fn timestep_next_and_distance() {
+        let t = TimeStep(5);
+        assert_eq!(t.next(), TimeStep(6));
+        assert_eq!(t.distance(TimeStep(2)), 3);
+        assert_eq!(TimeStep(2).distance(t), 3);
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(DeviceId::from(7usize), DeviceId(7));
+        assert_eq!(StateIdx::from(2u8), StateIdx(2));
+        assert_eq!(ActionIdx::from(4u8), ActionIdx(4));
+        assert_eq!(TimeStep::from(9u32), TimeStep(9));
+    }
+
+    #[test]
+    fn ordering_follows_inner_value() {
+        assert!(StateIdx(0) < StateIdx(1));
+        assert!(TimeStep(10) > TimeStep(9));
+    }
+}

@@ -1,0 +1,66 @@
+//! IoT environment finite-state-machine substrate for the Jarvis framework.
+//!
+//! This crate implements the system model of Section III of *Jarvis: Moving
+//! Towards a Smarter Internet of Things* (ICDCS 2020):
+//!
+//! * **Devices** ([`DeviceSpec`]) with discrete device-states, device-actions,
+//!   a per-device transition function `δ_i`, and a dis-utility function `ω_i`.
+//! * **Environment state** ([`EnvState`]): the tuple of all device states
+//!   `S_t = (s_0, …, s_k)` (Definition 1).
+//! * **Joint actions** ([`EnvAction`]): a set of at most one *mini-action* per
+//!   device taken in a single interval.
+//! * **The FSM** ([`Fsm`]): the overall transition function `Δ` plus state and
+//!   action space accounting.
+//! * **Episodes** ([`Episode`], [`EpisodeRecorder`]): state transitions
+//!   recorded every interval `I` for a time period `T` (Definition 2),
+//!   enforcing the five state-transition constraints of Section III-B.
+//! * **Containers and authorization** ([`context`]): users, locations, groups,
+//!   apps, and the device/app subscription policies.
+//! * **Events** ([`event`]): normalized edge-readable events in the JSON
+//!   record format of Section V-A.
+//!
+//! # Example
+//!
+//! ```
+//! use jarvis_iot_model::{DeviceSpec, Fsm, EnvAction, MiniAction, DeviceId};
+//!
+//! // A light with two states and two actions.
+//! let light = DeviceSpec::builder("light")
+//!     .states(["off", "on"])
+//!     .actions(["power_off", "power_on"])
+//!     .transition("off", "power_on", "on")
+//!     .transition("on", "power_off", "off")
+//!     .build()
+//!     .expect("valid device");
+//!
+//! let fsm = Fsm::new(vec![light]).expect("valid fsm");
+//! let s0 = fsm.initial_state();
+//! let a = EnvAction::single(MiniAction::new(DeviceId(0), 1)); // power_on
+//! let s1 = fsm.step(&s0, &a).expect("legal transition");
+//! assert_eq!(fsm.describe_state(&s1), vec!["light=on"]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod action;
+pub mod context;
+pub mod device;
+pub mod episode;
+pub mod error;
+pub mod event;
+pub mod fsm;
+pub mod ids;
+pub mod pattern;
+pub mod state;
+
+pub use action::{EnvAction, MiniAction};
+pub use context::{App, AppId, AuthzPolicy, Group, GroupId, Location, LocationId, User, UserId};
+pub use device::{DeviceBuilder, DeviceKind, DeviceSpec};
+pub use episode::{Actor, Episode, EpisodeConfig, EpisodeRecorder, Transition};
+pub use error::ModelError;
+pub use event::{Event, EventSource};
+pub use fsm::Fsm;
+pub use ids::{ActionIdx, DeviceId, StateIdx, TimeStep};
+pub use pattern::{ActionPattern, ActionSlot, StatePattern};
+pub use state::EnvState;

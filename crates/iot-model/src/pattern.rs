@@ -1,0 +1,276 @@
+//! Wildcard patterns over environment states and actions — the `X`/`O`
+//! notation of Tables II and III.
+//!
+//! A trigger like `(p_{0_0}, p_{1_1}, X, X, X)` means "lock in state 0,
+//! door sensor in state 1, any other device in any state". [`StatePattern`]
+//! expresses exactly that; [`ActionPattern`] does the same for joint actions,
+//! where `O` means "no action on this device" and `X` means "any action or
+//! none".
+
+use crate::action::EnvAction;
+use crate::ids::{ActionIdx, DeviceId, StateIdx};
+use crate::state::EnvState;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A pattern over [`EnvState`]: per device, either a required state or a
+/// wildcard (`X`).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct StatePattern(Vec<Option<StateIdx>>);
+
+impl StatePattern {
+    /// The all-wildcard pattern over `k` devices.
+    #[must_use]
+    pub fn any(k: usize) -> Self {
+        StatePattern(vec![None; k])
+    }
+
+    /// Build from per-device constraints (`None` = wildcard).
+    #[must_use]
+    pub fn new(slots: Vec<Option<StateIdx>>) -> Self {
+        StatePattern(slots)
+    }
+
+    /// Require device `d` to be in state `s`.
+    #[must_use]
+    pub fn with(mut self, d: DeviceId, s: StateIdx) -> Self {
+        if let Some(slot) = self.0.get_mut(d.0) {
+            *slot = Some(s);
+        }
+        self
+    }
+
+    /// Number of device slots.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True when the pattern covers zero devices.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// The constraint on device `d` (`None` = wildcard or out of range).
+    #[must_use]
+    pub fn slot(&self, d: DeviceId) -> Option<StateIdx> {
+        self.0.get(d.0).copied().flatten()
+    }
+
+    /// Number of non-wildcard slots (pattern specificity).
+    #[must_use]
+    pub fn specificity(&self) -> usize {
+        self.0.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// True when `state` satisfies every non-wildcard slot. A state shorter
+    /// than the pattern fails any constrained slot beyond its length.
+    #[must_use]
+    pub fn matches(&self, state: &EnvState) -> bool {
+        self.0.iter().enumerate().all(|(i, slot)| match slot {
+            None => true,
+            Some(required) => state.device(DeviceId(i)) == Some(*required),
+        })
+    }
+}
+
+impl fmt::Display for StatePattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, slot) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            match slot {
+                Some(s) => write!(f, "{s}")?,
+                None => write!(f, "X")?,
+            }
+        }
+        write!(f, ")")
+    }
+}
+
+/// Per-device action constraint inside an [`ActionPattern`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ActionSlot {
+    /// Any action, or none (`X`).
+    Any,
+    /// No action may be taken on this device (`O`).
+    NoAction,
+    /// Exactly this action must be taken.
+    Exactly(ActionIdx),
+}
+
+/// A pattern over joint [`EnvAction`]s, in the `X`/`O`/`a_{i_y}` notation of
+/// Table II.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ActionPattern(Vec<ActionSlot>);
+
+impl ActionPattern {
+    /// The all-wildcard pattern over `k` devices.
+    #[must_use]
+    pub fn any(k: usize) -> Self {
+        ActionPattern(vec![ActionSlot::Any; k])
+    }
+
+    /// Build from per-device slots.
+    #[must_use]
+    pub fn new(slots: Vec<ActionSlot>) -> Self {
+        ActionPattern(slots)
+    }
+
+    /// Require exactly `a` on device `d`.
+    #[must_use]
+    pub fn with(mut self, d: DeviceId, a: ActionIdx) -> Self {
+        if let Some(slot) = self.0.get_mut(d.0) {
+            *slot = ActionSlot::Exactly(a);
+        }
+        self
+    }
+
+    /// Forbid any action on device `d` (`O`).
+    #[must_use]
+    pub fn without(mut self, d: DeviceId) -> Self {
+        if let Some(slot) = self.0.get_mut(d.0) {
+            *slot = ActionSlot::NoAction;
+        }
+        self
+    }
+
+    /// Number of device slots.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True when the pattern covers zero devices.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// The slot for device `d` ([`ActionSlot::Any`] when out of range).
+    #[must_use]
+    pub fn slot(&self, d: DeviceId) -> ActionSlot {
+        self.0.get(d.0).copied().unwrap_or(ActionSlot::Any)
+    }
+
+    /// True when the joint action satisfies every slot.
+    #[must_use]
+    pub fn matches(&self, action: &EnvAction) -> bool {
+        self.0.iter().enumerate().all(|(i, slot)| {
+            let taken = action.on_device(DeviceId(i));
+            match slot {
+                ActionSlot::Any => true,
+                ActionSlot::NoAction => taken.is_none(),
+                ActionSlot::Exactly(a) => taken == Some(*a),
+            }
+        })
+    }
+}
+
+impl fmt::Display for ActionPattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, slot) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            match slot {
+                ActionSlot::Any => write!(f, "X")?,
+                ActionSlot::NoAction => write!(f, "O")?,
+                ActionSlot::Exactly(a) => write!(f, "{a}")?,
+            }
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::action::MiniAction;
+
+    fn state(v: &[u8]) -> EnvState {
+        v.iter().map(|&x| StateIdx(x)).collect()
+    }
+
+    #[test]
+    fn state_pattern_matching() {
+        let p = StatePattern::any(3)
+            .with(DeviceId(0), StateIdx(1))
+            .with(DeviceId(2), StateIdx(0));
+        assert!(p.matches(&state(&[1, 9, 0])));
+        assert!(!p.matches(&state(&[0, 9, 0])));
+        assert!(!p.matches(&state(&[1, 9, 2])));
+        assert_eq!(p.specificity(), 2);
+    }
+
+    #[test]
+    fn all_wildcards_match_everything() {
+        let p = StatePattern::any(2);
+        assert!(p.matches(&state(&[0, 0])));
+        assert!(p.matches(&state(&[3, 7])));
+        assert_eq!(p.specificity(), 0);
+    }
+
+    #[test]
+    fn short_state_fails_constrained_slot() {
+        let p = StatePattern::any(3).with(DeviceId(2), StateIdx(0));
+        assert!(!p.matches(&state(&[0, 0])));
+        // But wildcards beyond the state length are fine.
+        assert!(StatePattern::any(3).matches(&state(&[0, 0])));
+    }
+
+    #[test]
+    fn state_pattern_display_uses_x() {
+        let p = StatePattern::any(3).with(DeviceId(1), StateIdx(2));
+        assert_eq!(p.to_string(), "(X, p2, X)");
+    }
+
+    #[test]
+    fn action_pattern_matching() {
+        let p = ActionPattern::any(3)
+            .with(DeviceId(0), ActionIdx(1))
+            .without(DeviceId(1));
+        let ok: EnvAction = EnvAction::single(MiniAction::new(DeviceId(0), 1));
+        assert!(p.matches(&ok));
+        let with_extra = ok.with_mini(MiniAction::new(DeviceId(2), 0)).unwrap();
+        assert!(p.matches(&with_extra), "X slot allows any action");
+        let violates_o = ok.with_mini(MiniAction::new(DeviceId(1), 0)).unwrap();
+        assert!(!p.matches(&violates_o), "O slot forbids actions");
+        assert!(!p.matches(&EnvAction::noop()), "exact slot requires the action");
+    }
+
+    #[test]
+    fn action_pattern_display_uses_o_and_x() {
+        let p = ActionPattern::any(3)
+            .with(DeviceId(0), ActionIdx(1))
+            .without(DeviceId(2));
+        assert_eq!(p.to_string(), "(a1, X, O)");
+    }
+
+    #[test]
+    fn slot_accessors() {
+        let sp = StatePattern::any(2).with(DeviceId(0), StateIdx(3));
+        assert_eq!(sp.slot(DeviceId(0)), Some(StateIdx(3)));
+        assert_eq!(sp.slot(DeviceId(1)), None);
+        assert_eq!(sp.slot(DeviceId(9)), None);
+        let ap = ActionPattern::any(2).without(DeviceId(1));
+        assert_eq!(ap.slot(DeviceId(1)), ActionSlot::NoAction);
+        assert_eq!(ap.slot(DeviceId(9)), ActionSlot::Any);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let p = StatePattern::any(2).with(DeviceId(1), StateIdx(1));
+        let back: StatePattern =
+            serde_json::from_str(&serde_json::to_string(&p).unwrap()).unwrap();
+        assert_eq!(p, back);
+        let a = ActionPattern::any(2).without(DeviceId(0));
+        let back: ActionPattern =
+            serde_json::from_str(&serde_json::to_string(&a).unwrap()).unwrap();
+        assert_eq!(a, back);
+    }
+}

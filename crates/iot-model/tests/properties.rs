@@ -1,0 +1,142 @@
+//! Property-based tests for the FSM substrate's core invariants.
+
+use jarvis_iot_model::*;
+use proptest::prelude::*;
+
+/// A small random device: 2..=5 states, 1..=5 actions, random δ.
+fn arb_device(name: String) -> impl Strategy<Value = DeviceSpec> {
+    (2usize..=5, 1usize..=5, any::<u64>()).prop_map(move |(ns, na, seed)| {
+        let states: Vec<String> = (0..ns).map(|i| format!("s{i}")).collect();
+        let actions: Vec<String> = (0..na).map(|i| format!("a{i}")).collect();
+        let mut b = DeviceSpec::builder(name.clone())
+            .states(states.clone())
+            .actions(actions.clone())
+            .disutility((seed % 100) as f64 / 100.0);
+        let mut x = seed | 1;
+        for s in 0..ns {
+            for a in 0..na {
+                x = x.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+                b = b.transition(&states[s], &actions[a], &states[(x >> 32) as usize % ns]);
+            }
+        }
+        b.build().expect("generated device is valid")
+    })
+}
+
+fn arb_fsm() -> impl Strategy<Value = Fsm> {
+    prop::collection::vec(any::<u8>(), 1..=5).prop_flat_map(|v| {
+        let devices: Vec<_> = v
+            .iter()
+            .enumerate()
+            .map(|(i, _)| arb_device(format!("d{i}")))
+            .collect();
+        devices.prop_map(|specs| Fsm::new(specs).expect("non-empty"))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Name↔index lookups are inverse bijections on every device.
+    #[test]
+    fn name_index_bijection(fsm in arb_fsm()) {
+        for (_, dev) in fsm.devices() {
+            for s in dev.state_indices() {
+                let name = dev.state_name(s).unwrap();
+                prop_assert_eq!(dev.state_idx(name), Some(s));
+            }
+            for a in dev.action_indices() {
+                let name = dev.action_name(a).unwrap();
+                prop_assert_eq!(dev.action_idx(name), Some(a));
+            }
+        }
+    }
+
+    /// The state enumerator yields exactly the declared state-space size,
+    /// all distinct, all valid.
+    #[test]
+    fn enumerator_is_exact(fsm in arb_fsm()) {
+        let expected = fsm.state_space_size().unwrap() as usize;
+        prop_assume!(expected <= 4000);
+        let all: Vec<EnvState> = fsm.enumerate_states().collect();
+        prop_assert_eq!(all.len(), expected);
+        let unique: std::collections::HashSet<_> = all.iter().cloned().collect();
+        prop_assert_eq!(unique.len(), expected);
+        for s in &all {
+            prop_assert!(fsm.validate_state(s).is_ok());
+        }
+    }
+
+    /// Episode recording preserves the Δ chain: every recorded transition's
+    /// next state equals Δ(state, action), and states chain between steps.
+    #[test]
+    fn recorder_chains_transitions(
+        fsm in arb_fsm(),
+        picks in prop::collection::vec((any::<u16>(), any::<u16>()), 1..40),
+    ) {
+        let authz = AuthzPolicy::new();
+        let cfg = EpisodeConfig::new(picks.len() as u32 * 60, 60).unwrap();
+        let mut rec = EpisodeRecorder::new(&fsm, &authz, cfg, fsm.initial_state()).unwrap();
+        for &(d_raw, a_raw) in &picks {
+            let device = DeviceId(d_raw as usize % fsm.num_devices());
+            let na = fsm.device(device).unwrap().num_actions();
+            if na > 0 {
+                let mini = MiniAction::new(device, (a_raw as usize % na) as u8);
+                rec.submit(Actor::manual(UserId(0)), mini).unwrap();
+            }
+            rec.advance().unwrap();
+        }
+        let ep = rec.finish();
+        prop_assert_eq!(ep.len(), picks.len());
+        let mut prev = ep.initial().clone();
+        for tr in ep.transitions() {
+            prop_assert_eq!(&tr.state, &prev);
+            let expected = fsm.step(&tr.state, &tr.action).unwrap();
+            prop_assert_eq!(&tr.next, &expected);
+            prev = tr.next.clone();
+        }
+    }
+
+    /// Joint actions apply each mini-action's δ independently: stepping with
+    /// the joint action equals stepping device-by-device.
+    #[test]
+    fn joint_action_is_componentwise(fsm in arb_fsm(), seed in any::<u64>()) {
+        let state = fsm.initial_state();
+        // Build a joint action over every device with at least one action.
+        let mut minis = Vec::new();
+        let mut x = seed | 1;
+        for (id, dev) in fsm.devices() {
+            if dev.num_actions() > 0 {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                minis.push(MiniAction::new(id, ((x >> 33) as usize % dev.num_actions()) as u8));
+            }
+        }
+        prop_assume!(!minis.is_empty());
+        let joint = EnvAction::try_from_minis(minis.clone()).unwrap();
+        let joint_next = fsm.step(&state, &joint).unwrap();
+        let mut seq = state.clone();
+        for m in &minis {
+            seq = fsm.step(&seq, &EnvAction::single(*m)).unwrap();
+        }
+        prop_assert_eq!(joint_next, seq);
+    }
+
+    /// Serde round trips preserve the FSM exactly.
+    #[test]
+    fn fsm_serde_round_trip(fsm in arb_fsm()) {
+        let json = serde_json::to_string(&fsm).unwrap();
+        let back: Fsm = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(fsm, back);
+    }
+
+    /// `second_of` and `step_at` are consistent for every aligned second.
+    #[test]
+    fn episode_config_time_consistency(period in 60u32..10_000, interval in 1u32..600) {
+        prop_assume!(interval <= period);
+        let cfg = EpisodeConfig::new(period, interval).unwrap();
+        for step in (0..cfg.steps()).step_by(7) {
+            let sec = cfg.second_of(TimeStep(step));
+            prop_assert_eq!(cfg.step_at(sec), TimeStep(step));
+        }
+    }
+}

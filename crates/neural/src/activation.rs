@@ -1,0 +1,123 @@
+//! Activation functions and their derivatives.
+
+use serde::{Deserialize, Serialize};
+
+/// Activation function applied element-wise to a layer's pre-activations.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum Activation {
+    /// Identity: `f(z) = z`. Used on DQN output heads (Q values are
+    /// unbounded regression targets).
+    Linear,
+    /// Rectified linear unit: `f(z) = max(0, z)`.
+    Relu,
+    /// Leaky ReLU with slope `0.01` for `z < 0`.
+    LeakyRelu,
+    /// Logistic sigmoid: `f(z) = 1 / (1 + e^{-z})`. Used on the benign-
+    /// anomaly filter's output (a probability).
+    Sigmoid,
+    /// Hyperbolic tangent.
+    Tanh,
+}
+
+impl Activation {
+    /// Apply the activation to one pre-activation value.
+    #[must_use]
+    pub fn apply(self, z: f64) -> f64 {
+        match self {
+            Activation::Linear => z,
+            Activation::Relu => z.max(0.0),
+            Activation::LeakyRelu => {
+                if z >= 0.0 {
+                    z
+                } else {
+                    0.01 * z
+                }
+            }
+            Activation::Sigmoid => 1.0 / (1.0 + (-z).exp()),
+            Activation::Tanh => z.tanh(),
+        }
+    }
+
+    /// Derivative `f'(z)` with respect to the pre-activation value.
+    #[must_use]
+    pub fn derivative(self, z: f64) -> f64 {
+        match self {
+            Activation::Linear => 1.0,
+            Activation::Relu => {
+                if z > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Activation::LeakyRelu => {
+                if z >= 0.0 {
+                    1.0
+                } else {
+                    0.01
+                }
+            }
+            Activation::Sigmoid => {
+                let s = self.apply(z);
+                s * (1.0 - s)
+            }
+            Activation::Tanh => 1.0 - z.tanh().powi(2),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EPS: f64 = 1e-6;
+
+    /// Finite-difference check of every derivative.
+    #[test]
+    fn derivatives_match_finite_differences() {
+        let acts = [
+            Activation::Linear,
+            Activation::LeakyRelu,
+            Activation::Sigmoid,
+            Activation::Tanh,
+        ];
+        for act in acts {
+            for z in [-2.0, -0.5, 0.3, 1.7] {
+                let numeric = (act.apply(z + EPS) - act.apply(z - EPS)) / (2.0 * EPS);
+                let analytic = act.derivative(z);
+                assert!(
+                    (numeric - analytic).abs() < 1e-4,
+                    "{act:?} at {z}: numeric {numeric} vs analytic {analytic}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn relu_clamps_negative() {
+        assert_eq!(Activation::Relu.apply(-3.0), 0.0);
+        assert_eq!(Activation::Relu.apply(3.0), 3.0);
+        assert_eq!(Activation::Relu.derivative(-1.0), 0.0);
+        assert_eq!(Activation::Relu.derivative(1.0), 1.0);
+    }
+
+    #[test]
+    fn sigmoid_range_and_midpoint() {
+        let s = Activation::Sigmoid;
+        assert!((s.apply(0.0) - 0.5).abs() < 1e-12);
+        assert!(s.apply(50.0) > 0.999_999);
+        assert!(s.apply(-50.0) < 1e-6);
+    }
+
+    #[test]
+    fn tanh_is_odd() {
+        let t = Activation::Tanh;
+        assert!((t.apply(1.3) + t.apply(-1.3)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn leaky_relu_negative_slope() {
+        assert!((Activation::LeakyRelu.apply(-10.0) + 0.1).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,75 @@
+//! Error types for the neural-network library.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced when building or training a [`Network`](crate::Network).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NeuralError {
+    /// Matrix dimensions are incompatible for the attempted operation.
+    DimensionMismatch {
+        /// What was being computed.
+        op: &'static str,
+        /// Left operand shape `(rows, cols)`.
+        lhs: (usize, usize),
+        /// Right operand shape `(rows, cols)`.
+        rhs: (usize, usize),
+    },
+    /// An input/target slice has the wrong length for the network.
+    BadVectorLength {
+        /// What the vector was used as.
+        what: &'static str,
+        /// Expected length.
+        expected: usize,
+        /// Actual length.
+        got: usize,
+    },
+    /// The network was built with no layers.
+    EmptyNetwork,
+    /// A layer was declared with zero units.
+    ZeroUnits,
+    /// A training batch was empty or ragged.
+    BadBatch {
+        /// Explanation of what is wrong with the batch.
+        reason: &'static str,
+    },
+}
+
+impl fmt::Display for NeuralError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NeuralError::DimensionMismatch { op, lhs, rhs } => write!(
+                f,
+                "dimension mismatch in {op}: {}x{} vs {}x{}",
+                lhs.0, lhs.1, rhs.0, rhs.1
+            ),
+            NeuralError::BadVectorLength { what, expected, got } => {
+                write!(f, "{what} has length {got}, expected {expected}")
+            }
+            NeuralError::EmptyNetwork => write!(f, "a network requires at least one layer"),
+            NeuralError::ZeroUnits => write!(f, "a layer requires at least one unit"),
+            NeuralError::BadBatch { reason } => write!(f, "bad training batch: {reason}"),
+        }
+    }
+}
+
+impl Error for NeuralError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let e = NeuralError::DimensionMismatch { op: "matmul", lhs: (2, 3), rhs: (4, 5) };
+        assert_eq!(e.to_string(), "dimension mismatch in matmul: 2x3 vs 4x5");
+        assert!(NeuralError::EmptyNetwork.to_string().contains("layer"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NeuralError>();
+    }
+}

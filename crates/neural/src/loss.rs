@@ -1,0 +1,180 @@
+//! Loss functions: value and gradient with respect to the prediction.
+
+use crate::error::NeuralError;
+use crate::matrix::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// Loss function used to train a [`Network`](crate::Network).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum Loss {
+    /// Mean squared error — the regression loss of the DQN.
+    Mse,
+    /// Binary cross entropy — the classification loss of the benign-anomaly
+    /// filter ANN. Predictions are clamped to `(1e-12, 1-1e-12)`.
+    BinaryCrossEntropy,
+    /// Huber loss with transition point `delta`; a robust alternative for
+    /// Q-value regression in the presence of reward outliers.
+    Huber {
+        /// Quadratic-to-linear transition point.
+        delta: f64,
+    },
+}
+
+impl Loss {
+    /// Loss value averaged over every element of the batch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NeuralError::DimensionMismatch`] on shape mismatch.
+    pub fn value(&self, prediction: &Matrix, target: &Matrix) -> Result<f64, NeuralError> {
+        check(prediction, target)?;
+        let n = prediction.as_slice().len().max(1) as f64;
+        let total: f64 = prediction
+            .as_slice()
+            .iter()
+            .zip(target.as_slice())
+            .map(|(&p, &t)| self.pointwise(p, t))
+            .sum();
+        Ok(total / n)
+    }
+
+    /// Gradient of the loss with respect to each prediction element,
+    /// already divided by the element count (so layer gradients average
+    /// over the batch).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NeuralError::DimensionMismatch`] on shape mismatch.
+    pub fn gradient(&self, prediction: &Matrix, target: &Matrix) -> Result<Matrix, NeuralError> {
+        check(prediction, target)?;
+        let n = prediction.as_slice().len().max(1) as f64;
+        let data: Vec<f64> = prediction
+            .as_slice()
+            .iter()
+            .zip(target.as_slice())
+            .map(|(&p, &t)| self.pointwise_grad(p, t) / n)
+            .collect();
+        Matrix::from_vec(prediction.rows(), prediction.cols(), data)
+    }
+
+    fn pointwise(&self, p: f64, t: f64) -> f64 {
+        match *self {
+            Loss::Mse => (p - t).powi(2),
+            Loss::BinaryCrossEntropy => {
+                let p = p.clamp(1e-12, 1.0 - 1e-12);
+                -(t * p.ln() + (1.0 - t) * (1.0 - p).ln())
+            }
+            Loss::Huber { delta } => {
+                let e = (p - t).abs();
+                if e <= delta {
+                    0.5 * e * e
+                } else {
+                    delta * (e - 0.5 * delta)
+                }
+            }
+        }
+    }
+
+    fn pointwise_grad(&self, p: f64, t: f64) -> f64 {
+        match *self {
+            Loss::Mse => 2.0 * (p - t),
+            Loss::BinaryCrossEntropy => {
+                let p = p.clamp(1e-12, 1.0 - 1e-12);
+                (p - t) / (p * (1.0 - p))
+            }
+            Loss::Huber { delta } => {
+                let e = p - t;
+                if e.abs() <= delta {
+                    e
+                } else {
+                    delta * e.signum()
+                }
+            }
+        }
+    }
+}
+
+fn check(prediction: &Matrix, target: &Matrix) -> Result<(), NeuralError> {
+    if prediction.shape() != target.shape() {
+        return Err(NeuralError::DimensionMismatch {
+            op: "loss",
+            lhs: prediction.shape(),
+            rhs: target.shape(),
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(v: &[f64]) -> Matrix {
+        Matrix::row_from_slice(v)
+    }
+
+    #[test]
+    fn mse_value_and_gradient() {
+        let p = m(&[1.0, 2.0]);
+        let t = m(&[0.0, 4.0]);
+        let loss = Loss::Mse.value(&p, &t).unwrap();
+        assert!((loss - (1.0 + 4.0) / 2.0).abs() < 1e-12);
+        let g = Loss::Mse.gradient(&p, &t).unwrap();
+        assert_eq!(g.as_slice(), &[1.0, -2.0]); // 2(p-t)/n
+    }
+
+    #[test]
+    fn bce_perfect_prediction_near_zero() {
+        let p = m(&[0.999_999, 0.000_001]);
+        let t = m(&[1.0, 0.0]);
+        assert!(Loss::BinaryCrossEntropy.value(&p, &t).unwrap() < 1e-5);
+    }
+
+    #[test]
+    fn bce_clamps_extremes() {
+        let p = m(&[1.0, 0.0]);
+        let t = m(&[0.0, 1.0]);
+        let v = Loss::BinaryCrossEntropy.value(&p, &t).unwrap();
+        assert!(v.is_finite());
+        assert!(Loss::BinaryCrossEntropy.gradient(&p, &t).unwrap().as_slice()[0].is_finite());
+    }
+
+    #[test]
+    fn huber_is_quadratic_then_linear() {
+        let l = Loss::Huber { delta: 1.0 };
+        let small = l.value(&m(&[0.5]), &m(&[0.0])).unwrap();
+        assert!((small - 0.125).abs() < 1e-12);
+        let large = l.value(&m(&[3.0]), &m(&[0.0])).unwrap();
+        assert!((large - (3.0 - 0.5)).abs() < 1e-12);
+        // Gradient saturates at ±delta.
+        let g = l.gradient(&m(&[3.0]), &m(&[0.0])).unwrap();
+        assert_eq!(g.as_slice(), &[1.0]);
+    }
+
+    #[test]
+    fn gradients_match_finite_differences() {
+        let losses = [Loss::Mse, Loss::BinaryCrossEntropy, Loss::Huber { delta: 1.0 }];
+        for loss in losses {
+            for (p0, t0) in [(0.3, 0.9), (0.7, 0.2), (0.5, 0.5)] {
+                let eps = 1e-6;
+                let up = loss.value(&m(&[p0 + eps]), &m(&[t0])).unwrap();
+                let down = loss.value(&m(&[p0 - eps]), &m(&[t0])).unwrap();
+                let numeric = (up - down) / (2.0 * eps);
+                let analytic = loss.gradient(&m(&[p0]), &m(&[t0])).unwrap().as_slice()[0];
+                assert!(
+                    (numeric - analytic).abs() < 1e-4,
+                    "{loss:?} p={p0} t={t0}: {numeric} vs {analytic}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn shape_mismatch_rejected() {
+        let p = m(&[1.0, 2.0]);
+        let t = m(&[1.0]);
+        assert!(Loss::Mse.value(&p, &t).is_err());
+        assert!(Loss::Mse.gradient(&p, &t).is_err());
+    }
+}

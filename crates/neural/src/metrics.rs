@@ -1,0 +1,209 @@
+//! Binary-classification metrics: confusion matrix, accuracy, ROC curve and
+//! AUC — used to reproduce the SPL filter evaluation of Figure 5.
+
+use serde::{Deserialize, Serialize};
+
+/// Confusion-matrix counts for a binary classifier at a fixed threshold.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Confusion {
+    /// Positives classified positive.
+    pub tp: usize,
+    /// Negatives classified positive.
+    pub fp: usize,
+    /// Negatives classified negative.
+    pub tn: usize,
+    /// Positives classified negative.
+    pub fn_: usize,
+}
+
+impl Confusion {
+    /// Tally scores against binary labels at `threshold` (score ≥ threshold
+    /// → positive).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `scores` and `labels` differ in length.
+    #[must_use]
+    pub fn at_threshold(scores: &[f64], labels: &[bool], threshold: f64) -> Self {
+        assert_eq!(scores.len(), labels.len(), "scores/labels length mismatch");
+        let mut c = Confusion::default();
+        for (&s, &l) in scores.iter().zip(labels) {
+            match (s >= threshold, l) {
+                (true, true) => c.tp += 1,
+                (true, false) => c.fp += 1,
+                (false, false) => c.tn += 1,
+                (false, true) => c.fn_ += 1,
+            }
+        }
+        c
+    }
+
+    /// `(tp + tn) / total`, or 0 for an empty tally.
+    #[must_use]
+    pub fn accuracy(&self) -> f64 {
+        let total = self.tp + self.fp + self.tn + self.fn_;
+        if total == 0 {
+            return 0.0;
+        }
+        (self.tp + self.tn) as f64 / total as f64
+    }
+
+    /// True-positive rate (recall): `tp / (tp + fn)`, 0 when undefined.
+    #[must_use]
+    pub fn tpr(&self) -> f64 {
+        ratio(self.tp, self.tp + self.fn_)
+    }
+
+    /// False-positive rate: `fp / (fp + tn)`, 0 when undefined.
+    #[must_use]
+    pub fn fpr(&self) -> f64 {
+        ratio(self.fp, self.fp + self.tn)
+    }
+
+    /// Precision: `tp / (tp + fp)`, 0 when undefined.
+    #[must_use]
+    pub fn precision(&self) -> f64 {
+        ratio(self.tp, self.tp + self.fp)
+    }
+
+    /// F1 score, 0 when undefined.
+    #[must_use]
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.tpr();
+        if p + r == 0.0 {
+            return 0.0;
+        }
+        2.0 * p * r / (p + r)
+    }
+}
+
+fn ratio(num: usize, den: usize) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+/// One point of a ROC curve.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RocPoint {
+    /// Decision threshold producing this point.
+    pub threshold: f64,
+    /// False-positive rate at the threshold.
+    pub fpr: f64,
+    /// True-positive rate at the threshold.
+    pub tpr: f64,
+}
+
+/// Compute the ROC curve by sweeping the threshold across every distinct
+/// score. Points are ordered by increasing FPR, with the trivial `(0,0)` and
+/// `(1,1)` endpoints included.
+///
+/// # Panics
+///
+/// Panics when `scores` and `labels` differ in length.
+#[must_use]
+pub fn roc_curve(scores: &[f64], labels: &[bool]) -> Vec<RocPoint> {
+    assert_eq!(scores.len(), labels.len(), "scores/labels length mismatch");
+    let mut thresholds: Vec<f64> = scores.to_vec();
+    thresholds.sort_by(|a, b| b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal));
+    thresholds.dedup();
+
+    let mut points = vec![RocPoint { threshold: f64::INFINITY, fpr: 0.0, tpr: 0.0 }];
+    for t in thresholds {
+        let c = Confusion::at_threshold(scores, labels, t);
+        points.push(RocPoint { threshold: t, fpr: c.fpr(), tpr: c.tpr() });
+    }
+    points.push(RocPoint { threshold: f64::NEG_INFINITY, fpr: 1.0, tpr: 1.0 });
+    points.sort_by(|a, b| {
+        a.fpr
+            .partial_cmp(&b.fpr)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.tpr.partial_cmp(&b.tpr).unwrap_or(std::cmp::Ordering::Equal))
+    });
+    points
+}
+
+/// Area under the ROC curve via trapezoidal integration of
+/// [`roc_curve`]'s points.
+///
+/// # Panics
+///
+/// Panics when `scores` and `labels` differ in length.
+#[must_use]
+pub fn auc(scores: &[f64], labels: &[bool]) -> f64 {
+    let pts = roc_curve(scores, labels);
+    let mut area = 0.0;
+    for w in pts.windows(2) {
+        area += (w[1].fpr - w[0].fpr) * (w[0].tpr + w[1].tpr) / 2.0;
+    }
+    area
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn confusion_counts() {
+        let scores = [0.9, 0.8, 0.3, 0.1];
+        let labels = [true, false, true, false];
+        let c = Confusion::at_threshold(&scores, &labels, 0.5);
+        assert_eq!(c, Confusion { tp: 1, fp: 1, tn: 1, fn_: 1 });
+        assert_eq!(c.accuracy(), 0.5);
+        assert_eq!(c.tpr(), 0.5);
+        assert_eq!(c.fpr(), 0.5);
+        assert_eq!(c.precision(), 0.5);
+        assert_eq!(c.f1(), 0.5);
+    }
+
+    #[test]
+    fn empty_confusion_is_zero() {
+        let c = Confusion::default();
+        assert_eq!(c.accuracy(), 0.0);
+        assert_eq!(c.tpr(), 0.0);
+        assert_eq!(c.f1(), 0.0);
+    }
+
+    #[test]
+    fn perfect_classifier_auc_is_one() {
+        let scores = [0.9, 0.8, 0.2, 0.1];
+        let labels = [true, true, false, false];
+        assert!((auc(&scores, &labels) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn random_classifier_auc_is_half() {
+        // Scores identical for both classes → diagonal ROC.
+        let scores = [0.5, 0.5, 0.5, 0.5];
+        let labels = [true, false, true, false];
+        assert!((auc(&scores, &labels) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inverted_classifier_auc_is_zero() {
+        let scores = [0.1, 0.2, 0.8, 0.9];
+        let labels = [true, true, false, false];
+        assert!(auc(&scores, &labels) < 1e-12);
+    }
+
+    #[test]
+    fn roc_curve_is_monotone_in_fpr() {
+        let scores = [0.9, 0.7, 0.6, 0.55, 0.5, 0.3, 0.2, 0.1];
+        let labels = [true, true, false, true, false, true, false, false];
+        let pts = roc_curve(&scores, &labels);
+        assert_eq!(pts.first().map(|p| (p.fpr, p.tpr)), Some((0.0, 0.0)));
+        assert_eq!(pts.last().map(|p| (p.fpr, p.tpr)), Some((1.0, 1.0)));
+        for w in pts.windows(2) {
+            assert!(w[1].fpr >= w[0].fpr);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        Confusion::at_threshold(&[0.5], &[true, false], 0.5);
+    }
+}

@@ -1,0 +1,420 @@
+//! The [`Network`] type: a stack of dense layers with a loss, an optimizer,
+//! and seeded initialization.
+
+use crate::activation::Activation;
+use crate::error::NeuralError;
+use crate::layer::Dense;
+use crate::loss::Loss;
+use crate::matrix::Matrix;
+use crate::optimizer::OptimizerKind;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// A feed-forward neural network: dense layers, a loss, and an optimizer.
+///
+/// Construct with [`Network::builder`]. See the [crate docs](crate) for a
+/// complete training example.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Network {
+    layers: Vec<Dense>,
+    loss: Loss,
+    optimizer: OptimizerKind,
+    input_size: usize,
+}
+
+impl Network {
+    /// Start building a network taking `input_size` features.
+    #[must_use]
+    pub fn builder(input_size: usize) -> NetworkBuilder {
+        NetworkBuilder {
+            input_size,
+            layers: Vec::new(),
+            loss: Loss::Mse,
+            optimizer: OptimizerKind::adam(0.001),
+            seed: 0,
+        }
+    }
+
+    /// Number of input features.
+    #[must_use]
+    pub fn input_size(&self) -> usize {
+        self.input_size
+    }
+
+    /// Number of outputs (units of the last layer).
+    #[must_use]
+    pub fn output_size(&self) -> usize {
+        self.layers.last().map_or(0, Dense::units)
+    }
+
+    /// Number of layers.
+    #[must_use]
+    pub fn num_layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Total trainable parameters.
+    #[must_use]
+    pub fn num_params(&self) -> usize {
+        self.layers.iter().map(Dense::num_params).sum()
+    }
+
+    /// The configured loss function.
+    #[must_use]
+    pub fn loss_fn(&self) -> Loss {
+        self.loss
+    }
+
+    /// Run the network on one input vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NeuralError::BadVectorLength`] when `input` has the wrong
+    /// length.
+    pub fn predict(&self, input: &[f64]) -> Result<Vec<f64>, NeuralError> {
+        if input.len() != self.input_size {
+            return Err(NeuralError::BadVectorLength {
+                what: "input",
+                expected: self.input_size,
+                got: input.len(),
+            });
+        }
+        let out = self.predict_batch(&Matrix::row_from_slice(input))?;
+        Ok(out.row(0).to_vec())
+    }
+
+    /// Run the network on a batch (`batch × input_size`).
+    ///
+    /// # Errors
+    ///
+    /// Returns a dimension error when the batch width is wrong.
+    pub fn predict_batch(&self, input: &Matrix) -> Result<Matrix, NeuralError> {
+        let mut a = input.clone();
+        for layer in &self.layers {
+            a = layer.forward(&a)?.a;
+        }
+        Ok(a)
+    }
+
+    /// One gradient step on a batch; returns the pre-update batch loss.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NeuralError::BadBatch`] for empty/ragged batches or when
+    /// inputs and targets disagree in count, and dimension errors when the
+    /// vector widths do not match the network.
+    pub fn train_batch(
+        &mut self,
+        inputs: &[&[f64]],
+        targets: &[&[f64]],
+    ) -> Result<f64, NeuralError> {
+        self.train_batch_masked(inputs, targets, None)
+    }
+
+    /// One gradient step where only masked outputs contribute to the loss.
+    ///
+    /// `masks`, when present, holds one 0/1 vector per batch item; gradient
+    /// entries where the mask is `0` are zeroed. This is how the DQN trains
+    /// only the Q output of the action actually taken (Section V-A-7's
+    /// mini-action head) without disturbing the other heads.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Network::train_batch`].
+    pub fn train_batch_masked(
+        &mut self,
+        inputs: &[&[f64]],
+        targets: &[&[f64]],
+        masks: Option<&[&[f64]]>,
+    ) -> Result<f64, NeuralError> {
+        if inputs.is_empty() {
+            return Err(NeuralError::BadBatch { reason: "empty batch" });
+        }
+        if inputs.len() != targets.len() {
+            return Err(NeuralError::BadBatch { reason: "inputs/targets count mismatch" });
+        }
+        if let Some(m) = masks {
+            if m.len() != inputs.len() {
+                return Err(NeuralError::BadBatch { reason: "inputs/masks count mismatch" });
+            }
+        }
+        let x = Matrix::from_rows(inputs)?;
+        if x.cols() != self.input_size {
+            return Err(NeuralError::BadVectorLength {
+                what: "input",
+                expected: self.input_size,
+                got: x.cols(),
+            });
+        }
+        let y = Matrix::from_rows(targets)?;
+        if y.cols() != self.output_size() {
+            return Err(NeuralError::BadVectorLength {
+                what: "target",
+                expected: self.output_size(),
+                got: y.cols(),
+            });
+        }
+
+        // Forward, caching every layer's input and pre-activation.
+        let mut activations: Vec<Matrix> = vec![x];
+        let mut caches = Vec::with_capacity(self.layers.len());
+        for layer in &self.layers {
+            let cache = layer.forward(activations.last().expect("non-empty"))?;
+            activations.push(cache.a.clone());
+            caches.push(cache);
+        }
+        let prediction = activations.last().expect("non-empty").clone();
+        let loss_value = self.loss.value(&prediction, &y)?;
+
+        // Backward.
+        let mut grad = self.loss.gradient(&prediction, &y)?;
+        if let Some(masks) = masks {
+            let m = Matrix::from_rows(masks)?;
+            grad = grad.hadamard(&m)?;
+        }
+        for (i, layer) in self.layers.iter_mut().enumerate().rev() {
+            grad = layer.backward(&activations[i], &caches[i], &grad, &self.optimizer)?;
+        }
+        Ok(loss_value)
+    }
+
+    /// Train for `epochs` full passes over the dataset in mini-batches of
+    /// `batch_size`; returns the final epoch's mean batch loss.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Network::train_batch`].
+    pub fn fit(
+        &mut self,
+        inputs: &[Vec<f64>],
+        targets: &[Vec<f64>],
+        epochs: usize,
+        batch_size: usize,
+    ) -> Result<f64, NeuralError> {
+        if inputs.is_empty() || batch_size == 0 {
+            return Err(NeuralError::BadBatch { reason: "empty dataset or zero batch size" });
+        }
+        let mut last = 0.0;
+        for _ in 0..epochs {
+            let mut total = 0.0;
+            let mut batches = 0usize;
+            for chunk_start in (0..inputs.len()).step_by(batch_size) {
+                let end = (chunk_start + batch_size).min(inputs.len());
+                let xs: Vec<&[f64]> =
+                    inputs[chunk_start..end].iter().map(Vec::as_slice).collect();
+                let ys: Vec<&[f64]> =
+                    targets[chunk_start..end].iter().map(Vec::as_slice).collect();
+                total += self.train_batch(&xs, &ys)?;
+                batches += 1;
+            }
+            last = total / batches.max(1) as f64;
+        }
+        Ok(last)
+    }
+
+    /// Serialize the full model (architecture + weights + optimizer state)
+    /// to JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`serde_json::Error`] if serialization fails.
+    pub fn to_json(&self) -> Result<String, serde_json::Error> {
+        serde_json::to_string(self)
+    }
+
+    /// Restore a model serialized with [`Network::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`serde_json::Error`] when the input is not a valid model.
+    pub fn from_json(s: &str) -> Result<Network, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+}
+
+/// Builder for a [`Network`]; see [`Network::builder`].
+#[derive(Debug, Clone)]
+pub struct NetworkBuilder {
+    input_size: usize,
+    layers: Vec<(usize, Activation)>,
+    loss: Loss,
+    optimizer: OptimizerKind,
+    seed: u64,
+}
+
+impl NetworkBuilder {
+    /// Append a dense layer with `units` outputs.
+    #[must_use]
+    pub fn layer(mut self, units: usize, activation: Activation) -> Self {
+        self.layers.push((units, activation));
+        self
+    }
+
+    /// Set the loss function (default [`Loss::Mse`]).
+    #[must_use]
+    pub fn loss(mut self, loss: Loss) -> Self {
+        self.loss = loss;
+        self
+    }
+
+    /// Set the optimizer (default Adam at the paper's 0.001).
+    #[must_use]
+    pub fn optimizer(mut self, optimizer: OptimizerKind) -> Self {
+        self.optimizer = optimizer;
+        self
+    }
+
+    /// Set the RNG seed for weight initialization (default 0).
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Build the network.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NeuralError::EmptyNetwork`] with no layers,
+    /// [`NeuralError::ZeroUnits`] when any dimension is zero.
+    pub fn build(self) -> Result<Network, NeuralError> {
+        if self.layers.is_empty() {
+            return Err(NeuralError::EmptyNetwork);
+        }
+        if self.input_size == 0 {
+            return Err(NeuralError::ZeroUnits);
+        }
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
+        let mut layers = Vec::with_capacity(self.layers.len());
+        let mut fan_in = self.input_size;
+        for (units, activation) in self.layers {
+            layers.push(Dense::new(fan_in, units, activation, &mut rng, &self.optimizer)?);
+            fan_in = units;
+        }
+        Ok(Network {
+            layers,
+            loss: self.loss,
+            optimizer: self.optimizer,
+            input_size: self.input_size,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_net(seed: u64) -> Network {
+        Network::builder(2)
+            .layer(8, Activation::Tanh)
+            .layer(1, Activation::Sigmoid)
+            .loss(Loss::BinaryCrossEntropy)
+            .optimizer(OptimizerKind::adam(0.05))
+            .seed(seed)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn builder_validates() {
+        assert!(matches!(
+            Network::builder(2).build(),
+            Err(NeuralError::EmptyNetwork)
+        ));
+        assert!(Network::builder(0).layer(1, Activation::Linear).build().is_err());
+        assert!(Network::builder(2).layer(0, Activation::Linear).build().is_err());
+    }
+
+    #[test]
+    fn sizes_and_params() {
+        let n = tiny_net(0);
+        assert_eq!(n.input_size(), 2);
+        assert_eq!(n.output_size(), 1);
+        assert_eq!(n.num_layers(), 2);
+        assert_eq!(n.num_params(), 2 * 8 + 8 + 8 + 1);
+    }
+
+    #[test]
+    fn same_seed_same_predictions() {
+        let a = tiny_net(42);
+        let b = tiny_net(42);
+        let c = tiny_net(43);
+        let x = [0.3, -0.7];
+        assert_eq!(a.predict(&x).unwrap(), b.predict(&x).unwrap());
+        assert_ne!(a.predict(&x).unwrap(), c.predict(&x).unwrap());
+    }
+
+    #[test]
+    fn predict_validates_input_length() {
+        let n = tiny_net(0);
+        assert!(matches!(
+            n.predict(&[1.0]),
+            Err(NeuralError::BadVectorLength { what: "input", .. })
+        ));
+    }
+
+    #[test]
+    fn learns_xor() {
+        let mut n = tiny_net(7);
+        let xs: Vec<Vec<f64>> =
+            vec![vec![0.0, 0.0], vec![0.0, 1.0], vec![1.0, 0.0], vec![1.0, 1.0]];
+        let ys: Vec<Vec<f64>> = vec![vec![0.0], vec![1.0], vec![1.0], vec![0.0]];
+        let final_loss = n.fit(&xs, &ys, 600, 4).unwrap();
+        assert!(final_loss < 0.1, "final loss {final_loss}");
+        assert!(n.predict(&[0.0, 1.0]).unwrap()[0] > 0.5);
+        assert!(n.predict(&[0.0, 0.0]).unwrap()[0] < 0.5);
+    }
+
+    #[test]
+    fn train_batch_validates_counts() {
+        let mut n = tiny_net(0);
+        let x1 = [0.0, 0.0];
+        let y1 = [0.0];
+        assert!(n.train_batch(&[], &[]).is_err());
+        assert!(n.train_batch(&[&x1], &[&y1, &y1]).is_err());
+        assert!(n.train_batch(&[&x1[..1]], &[&y1]).is_err());
+    }
+
+    #[test]
+    fn masked_training_only_updates_masked_head() {
+        // Two-output linear network; train only output 0 via the mask and
+        // check output 1's prediction is unchanged.
+        let mut n = Network::builder(1)
+            .layer(2, Activation::Linear)
+            .loss(Loss::Mse)
+            .optimizer(OptimizerKind::sgd(0.1))
+            .seed(3)
+            .build()
+            .unwrap();
+        let x = [1.0];
+        let before = n.predict(&x).unwrap();
+        let target = [5.0, -100.0];
+        let mask = [1.0, 0.0];
+        for _ in 0..100 {
+            n.train_batch_masked(&[&x], &[&target], Some(&[&mask])).unwrap();
+        }
+        let after = n.predict(&x).unwrap();
+        assert!((after[0] - 5.0).abs() < 1e-2, "head 0 should fit: {after:?}");
+        assert!(
+            (after[1] - before[1]).abs() < 1e-9,
+            "head 1 must be untouched: {} -> {}",
+            before[1],
+            after[1]
+        );
+    }
+
+    #[test]
+    fn json_round_trip_preserves_predictions() {
+        let n = tiny_net(11);
+        let back = Network::from_json(&n.to_json().unwrap()).unwrap();
+        let x = [0.1, 0.9];
+        assert_eq!(n.predict(&x).unwrap(), back.predict(&x).unwrap());
+    }
+
+    #[test]
+    fn fit_rejects_zero_batch() {
+        let mut n = tiny_net(0);
+        assert!(n.fit(&[vec![0.0, 0.0]], &[vec![0.0]], 1, 0).is_err());
+    }
+}

@@ -1,0 +1,126 @@
+//! Property-based tests for the neural substrate: linear-algebra laws,
+//! loss-gradient consistency, and training invariants.
+
+use jarvis_neural::*;
+use proptest::prelude::*;
+
+fn arb_matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    prop::collection::vec(-10.0f64..10.0, rows * cols)
+        .prop_map(move |data| Matrix::from_vec(rows, cols, data).expect("sized"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// (A·B)ᵀ = Bᵀ·Aᵀ.
+    #[test]
+    fn matmul_transpose_law(a in arb_matrix(3, 4), b in arb_matrix(4, 2)) {
+        let left = a.matmul(&b).unwrap().transpose();
+        let right = b.transpose().matmul(&a.transpose()).unwrap();
+        for (x, y) in left.as_slice().iter().zip(right.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-9);
+        }
+    }
+
+    /// Distribution: A·(B + C) = A·B + A·C.
+    #[test]
+    fn matmul_distributes(a in arb_matrix(2, 3), b in arb_matrix(3, 2), c in arb_matrix(3, 2)) {
+        let left = a.matmul(&b.add(&c).unwrap()).unwrap();
+        let right = a.matmul(&b).unwrap().add(&a.matmul(&c).unwrap()).unwrap();
+        for (x, y) in left.as_slice().iter().zip(right.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-9);
+        }
+    }
+
+    /// `matmul_transpose(a, b)` equals the explicit `a · bᵀ`.
+    #[test]
+    fn fused_transpose_matches(a in arb_matrix(3, 5), b in arb_matrix(4, 5)) {
+        let fast = a.matmul_transpose(&b).unwrap();
+        let slow = a.matmul(&b.transpose()).unwrap();
+        for (x, y) in fast.as_slice().iter().zip(slow.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-9);
+        }
+    }
+
+    /// Activations are finite and monotone nondecreasing on every input.
+    #[test]
+    fn activations_are_monotone(z1 in -20.0f64..20.0, z2 in -20.0f64..20.0) {
+        let (lo, hi) = if z1 <= z2 { (z1, z2) } else { (z2, z1) };
+        for act in [Activation::Linear, Activation::Relu, Activation::LeakyRelu,
+                    Activation::Sigmoid, Activation::Tanh] {
+            let (a, b) = (act.apply(lo), act.apply(hi));
+            prop_assert!(a.is_finite() && b.is_finite());
+            prop_assert!(a <= b + 1e-12, "{act:?} not monotone: f({lo})={a} f({hi})={b}");
+            prop_assert!(act.derivative(lo) >= 0.0);
+        }
+    }
+
+    /// Every loss is nonnegative and exactly zero on a perfect prediction
+    /// (up to BCE's clamp).
+    #[test]
+    fn losses_are_nonnegative(p in prop::collection::vec(0.01f64..0.99, 1..8)) {
+        let pred = Matrix::row_from_slice(&p);
+        for loss in [Loss::Mse, Loss::BinaryCrossEntropy, Loss::Huber { delta: 1.0 }] {
+            let v = loss.value(&pred, &pred).unwrap();
+            prop_assert!(v >= 0.0);
+            if loss == Loss::Mse {
+                prop_assert!(v < 1e-12);
+            }
+        }
+    }
+
+    /// Network predictions are deterministic and shape-correct for any
+    /// (small) architecture.
+    #[test]
+    fn network_shapes(
+        input_dim in 1usize..6,
+        hidden in 1usize..8,
+        output_dim in 1usize..5,
+        seed in any::<u64>(),
+        x in prop::collection::vec(-2.0f64..2.0, 6),
+    ) {
+        let net = Network::builder(input_dim)
+            .layer(hidden, Activation::Tanh)
+            .layer(output_dim, Activation::Linear)
+            .seed(seed)
+            .build()
+            .unwrap();
+        prop_assert_eq!(net.output_size(), output_dim);
+        let out = net.predict(&x[..input_dim]).unwrap();
+        prop_assert_eq!(out.len(), output_dim);
+        prop_assert!(out.iter().all(|v| v.is_finite()));
+        prop_assert_eq!(&net.predict(&x[..input_dim]).unwrap(), &out);
+    }
+
+    /// One SGD step on a batch strictly reduces the loss on that batch for
+    /// a small-enough learning rate (descent property).
+    #[test]
+    fn training_descends(seed in any::<u64>(), target in -2.0f64..2.0) {
+        let mut net = Network::builder(2)
+            .layer(4, Activation::Tanh)
+            .layer(1, Activation::Linear)
+            .loss(Loss::Mse)
+            .optimizer(OptimizerKind::sgd(0.01))
+            .seed(seed)
+            .build()
+            .unwrap();
+        let x = [0.5, -0.3];
+        let y = [target];
+        let l1 = net.train_batch(&[&x], &[&y]).unwrap();
+        let l2 = net.train_batch(&[&x], &[&y]).unwrap();
+        prop_assume!(l1 > 1e-9); // already converged
+        prop_assert!(l2 <= l1 + 1e-12, "loss rose: {l1} -> {l2}");
+    }
+
+    /// ROC/AUC: relabeling by flipping every label maps AUC to 1 − AUC.
+    #[test]
+    fn auc_flip_symmetry(samples in prop::collection::vec((0.0f64..1.0, any::<bool>()), 4..64)) {
+        let scores: Vec<f64> = samples.iter().map(|&(s, _)| s).collect();
+        let labels: Vec<bool> = samples.iter().map(|&(_, l)| l).collect();
+        prop_assume!(labels.iter().any(|&l| l) && labels.iter().any(|&l| !l));
+        let flipped: Vec<bool> = labels.iter().map(|&l| !l).collect();
+        let a = metrics::auc(&scores, &labels);
+        let b = metrics::auc(&scores, &flipped);
+        prop_assert!((a + b - 1.0).abs() < 1e-9, "auc {a} + flipped {b} != 1");
+    }
+}

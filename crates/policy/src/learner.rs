@@ -1,0 +1,218 @@
+//! Algorithm 1: learning safe state transitions from learning-phase
+//! episodes.
+//!
+//! The learner (the SPL component of Section V-A-3) consumes the parsed
+//! learning episodes, filters benign anomalies with the ANN
+//! ([`AnomalyFilter`]), counts the surviving trigger-action pairs, and keeps
+//! those whose count exceeds `Thresh_env` in the safe-transition table
+//! `P_safe`. In a smart home "`Thresh_env` should ideally be 0 as safety is
+//! critical" — i.e. one clean observation suffices.
+
+use crate::filter::AnomalyFilter;
+use crate::psafe::{MatchMode, SafeTransitionTable};
+use crate::trigger_action::TaBehavior;
+use jarvis_iot_model::{Episode, Fsm, TimeStep};
+
+/// SPL configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Default)]
+pub struct SplConfig {
+    /// `Thresh_env`: minimum filtered instance count (exclusive) for a pair
+    /// to be considered safe. The smart-home prototype uses 0.
+    pub thresh_env: u64,
+}
+
+
+/// Result of a learning run.
+#[derive(Debug, Clone)]
+pub struct LearnOutcome {
+    /// The learned `P_safe`.
+    pub table: SafeTransitionTable,
+    /// The aggregated (filtered) T/A behavior behind it.
+    pub behavior: TaBehavior,
+    /// Transitions the ANN filtered out as benign anomalies.
+    pub filtered_out: usize,
+}
+
+/// Run Algorithm 1 over the learning episodes.
+///
+/// `filter`, when present, is the trained benign-anomaly ANN; transitions it
+/// classifies as anomalous are removed from the training dataset before
+/// counting (the `Filter_ANN(TD)` step). Idle (no-op) transitions are not
+/// counted — the no-op is implicitly safe in every state.
+#[must_use]
+pub fn learn_safe_transitions(
+    fsm: &Fsm,
+    episodes: &[Episode],
+    filter: Option<&AnomalyFilter>,
+    config: &SplConfig,
+) -> LearnOutcome {
+    let mut behavior = TaBehavior::new();
+    let mut filtered_out = 0usize;
+    for ep in episodes {
+        for tr in ep.transitions() {
+            if tr.is_idle() {
+                continue;
+            }
+            if let Some(f) = filter {
+                // A filter error means the episode disagrees with the FSM the
+                // filter was built for; treat the transition as unfiltered
+                // rather than silently unsafe.
+                if f.is_anomalous(&tr.state, &tr.action, tr.step).unwrap_or(false) {
+                    filtered_out += 1;
+                    continue;
+                }
+            }
+            behavior.observe(tr.state.clone(), tr.action.clone(), tr.step);
+        }
+    }
+    let table = SafeTransitionTable::from_behavior(fsm, &behavior, config.thresh_env);
+    LearnOutcome { table, behavior, filtered_out }
+}
+
+/// Scan an episode for transitions `P_safe` does not allow; returns the time
+/// instances of the violations. This is the SPL's runtime detection role
+/// (Section VI-B's security analysis).
+#[must_use]
+pub fn flag_violations(
+    table: &SafeTransitionTable,
+    episode: &Episode,
+    mode: MatchMode,
+) -> Vec<TimeStep> {
+    episode
+        .transitions()
+        .iter()
+        .filter(|tr| !tr.is_idle() && !table.is_safe_action(&tr.state, &tr.action, mode))
+        .map(|tr| tr.step)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jarvis_iot_model::{
+        Actor, AuthzPolicy, DeviceId, DeviceSpec, EnvAction, EpisodeConfig, EpisodeRecorder,
+        MiniAction, UserId,
+    };
+
+    fn fsm() -> Fsm {
+        let light = DeviceSpec::builder("light")
+            .states(["off", "on"])
+            .actions(["power_off", "power_on"])
+            .transition("off", "power_on", "on")
+            .transition("on", "power_off", "off")
+            .build()
+            .unwrap();
+        Fsm::new(vec![light]).unwrap()
+    }
+
+    /// Record an episode that turns the light on at step 2 and off at step 5.
+    fn routine_episode(fsm: &Fsm) -> Episode {
+        let authz = AuthzPolicy::new();
+        let cfg = EpisodeConfig::new(600, 60).unwrap();
+        let mut rec = EpisodeRecorder::new(fsm, &authz, cfg, fsm.initial_state()).unwrap();
+        for t in 0..10 {
+            if t == 2 {
+                rec.submit(Actor::manual(UserId(0)), MiniAction::new(DeviceId(0), 1)).unwrap();
+            }
+            if t == 5 {
+                rec.submit(Actor::manual(UserId(0)), MiniAction::new(DeviceId(0), 0)).unwrap();
+            }
+            rec.advance().unwrap();
+        }
+        rec.finish()
+    }
+
+    #[test]
+    fn learns_observed_transitions_only() {
+        let fsm = fsm();
+        let ep = routine_episode(&fsm);
+        let out = learn_safe_transitions(&fsm, &[ep], None, &SplConfig::default());
+        assert_eq!(out.filtered_out, 0);
+        assert_eq!(out.table.len(), 2); // on-from-off, off-from-on
+        let off = fsm.initial_state();
+        let on = off.with_device(DeviceId(0), jarvis_iot_model::StateIdx(1));
+        let power_on = EnvAction::single(MiniAction::new(DeviceId(0), 1));
+        let power_off = EnvAction::single(MiniAction::new(DeviceId(0), 0));
+        assert!(out.table.is_safe_action(&off, &power_on, MatchMode::Exact));
+        assert!(out.table.is_safe_action(&on, &power_off, MatchMode::Exact));
+        // Never observed: power_off while already off (a no-op transition in
+        // δ, but the *pair* was never seen).
+        assert!(!out.table.is_safe_action(&off, &power_off, MatchMode::Exact));
+    }
+
+    #[test]
+    fn threshold_excludes_rare_pairs() {
+        let fsm = fsm();
+        let eps: Vec<Episode> = (0..3).map(|_| routine_episode(&fsm)).collect();
+        // Each pair observed 3 times; threshold 2 keeps them, 3 drops them.
+        let keep = learn_safe_transitions(&fsm, &eps, None, &SplConfig { thresh_env: 2 });
+        assert_eq!(keep.table.len(), 2);
+        let drop = learn_safe_transitions(&fsm, &eps, None, &SplConfig { thresh_env: 3 });
+        assert_eq!(drop.table.len(), 0);
+    }
+
+    #[test]
+    fn flag_violations_finds_unseen_transitions() {
+        let fsm = fsm();
+        let learned = learn_safe_transitions(
+            &fsm,
+            &[routine_episode(&fsm)],
+            None,
+            &SplConfig::default(),
+        );
+        // A "malicious" episode: power_off at step 0 while already off —
+        // a pair never seen in the learning phase.
+        let authz = AuthzPolicy::new();
+        let cfg = EpisodeConfig::new(180, 60).unwrap();
+        let mut rec = EpisodeRecorder::new(&fsm, &authz, cfg, fsm.initial_state()).unwrap();
+        rec.submit(Actor::manual(UserId(0)), MiniAction::new(DeviceId(0), 0)).unwrap();
+        rec.advance().unwrap();
+        rec.advance().unwrap();
+        rec.advance().unwrap();
+        let malicious = rec.finish();
+        let flags = flag_violations(&learned.table, &malicious, MatchMode::Exact);
+        assert_eq!(flags, vec![TimeStep(0)]);
+    }
+
+    #[test]
+    fn idle_transitions_never_flagged() {
+        let fsm = fsm();
+        let authz = AuthzPolicy::new();
+        let cfg = EpisodeConfig::new(180, 60).unwrap();
+        let mut rec = EpisodeRecorder::new(&fsm, &authz, cfg, fsm.initial_state()).unwrap();
+        for _ in 0..3 {
+            rec.advance().unwrap();
+        }
+        let idle = rec.finish();
+        // Even with an empty table, an idle episode has no violations.
+        let table = SafeTransitionTable::new();
+        assert!(flag_violations(&table, &idle, MatchMode::Exact).is_empty());
+    }
+
+    #[test]
+    fn filter_removes_anomalies_from_training() {
+        use crate::filter::{AnomalyFilter, FilterConfig};
+        let fsm = fsm();
+        let cfg = EpisodeConfig::new(600, 60).unwrap();
+        // Train the filter so that power_on at step 2 is routine but
+        // power_off at step 5 is "anomalous".
+        let off = fsm.initial_state();
+        let on = off.with_device(DeviceId(0), jarvis_iot_model::StateIdx(1));
+        let power_on = EnvAction::single(MiniAction::new(DeviceId(0), 1));
+        let power_off = EnvAction::single(MiniAction::new(DeviceId(0), 0));
+        let routine: Vec<_> =
+            (0..80).map(|_| (off.clone(), power_on.clone(), TimeStep(2))).collect();
+        let anomalous: Vec<_> =
+            (0..80).map(|_| (on.clone(), power_off.clone(), TimeStep(5))).collect();
+        let fcfg = FilterConfig { epochs: 40, ..FilterConfig::default() };
+        let mut filter = AnomalyFilter::new(&fsm, cfg, fcfg).unwrap();
+        filter.train(&routine, &anomalous, &fcfg).unwrap();
+
+        let ep = routine_episode(&fsm);
+        let out = learn_safe_transitions(&fsm, &[ep], Some(&filter), &SplConfig::default());
+        assert_eq!(out.filtered_out, 1, "the power_off transition is filtered");
+        assert!(out.table.is_safe_action(&off, &power_on, MatchMode::Exact));
+        assert!(!out.table.is_safe_action(&on, &power_off, MatchMode::Exact));
+    }
+}

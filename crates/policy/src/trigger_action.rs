@@ -1,0 +1,285 @@
+//! Trigger-action (T/A) behavior records.
+//!
+//! The paper defines benign behavior as `T: current state S_t → A: next
+//! action A_{t+1}` pairs observed naturally in the environment.
+//! [`TaBehavior`] aggregates those pairs with instance counts — the
+//! `SafeMem` of Algorithm 1.
+
+use jarvis_iot_model::{EnvAction, EnvState, Episode, Fsm, StatePattern, TimeStep};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// One trigger-action pair: full environment state plus the joint action
+/// taken in it.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TaKey {
+    /// The trigger: the environment state `S_t`.
+    pub state: EnvState,
+    /// The action `A_{t+1}` taken in that state.
+    pub action: EnvAction,
+}
+
+/// Aggregated T/A observations with counts and preferred time instances.
+///
+/// Serializes as a flat list of `(key, count, times)` rows so JSON round
+/// trips work despite the struct-keyed maps used internally.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[serde(from = "TaRepr", into = "TaRepr")]
+pub struct TaBehavior {
+    counts: HashMap<TaKey, u64>,
+    /// Time instances at which each pair was observed (for the dis-utility
+    /// estimate's "closest preferred time instance `t'`", Section IV-B).
+    times: HashMap<TaKey, Vec<TimeStep>>,
+}
+
+/// JSON-friendly serialized form of [`TaBehavior`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct TaRepr {
+    rows: Vec<(TaKey, u64, Vec<TimeStep>)>,
+}
+
+impl From<TaBehavior> for TaRepr {
+    fn from(mut ta: TaBehavior) -> Self {
+        let mut rows: Vec<(TaKey, u64, Vec<TimeStep>)> = ta
+            .counts
+            .into_iter()
+            .map(|(k, c)| {
+                let times = ta.times.remove(&k).unwrap_or_default();
+                (k, c, times)
+            })
+            .collect();
+        rows.sort_by(|a, b| (&a.0.state, &a.0.action).cmp(&(&b.0.state, &b.0.action)));
+        TaRepr { rows }
+    }
+}
+
+impl From<TaRepr> for TaBehavior {
+    fn from(r: TaRepr) -> Self {
+        let mut ta = TaBehavior::new();
+        for (k, c, times) in r.rows {
+            ta.counts.insert(k.clone(), c);
+            ta.times.insert(k, times);
+        }
+        ta
+    }
+}
+
+impl TaBehavior {
+    /// An empty record.
+    #[must_use]
+    pub fn new() -> Self {
+        TaBehavior::default()
+    }
+
+    /// Record one observation of `(state, action)` at time instance `t`.
+    pub fn observe(&mut self, state: EnvState, action: EnvAction, t: TimeStep) {
+        let key = TaKey { state, action };
+        *self.counts.entry(key.clone()).or_insert(0) += 1;
+        self.times.entry(key).or_default().push(t);
+    }
+
+    /// Record every transition of an episode.
+    pub fn observe_episode(&mut self, episode: &Episode) {
+        for tr in episode.transitions() {
+            self.observe(tr.state.clone(), tr.action.clone(), tr.step);
+        }
+    }
+
+    /// Number of distinct (state, action) pairs observed.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// True when nothing has been observed.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// Instance count of one pair.
+    #[must_use]
+    pub fn count(&self, state: &EnvState, action: &EnvAction) -> u64 {
+        self.counts
+            .get(&TaKey { state: state.clone(), action: action.clone() })
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Iterate over `(key, count)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&TaKey, u64)> {
+        self.counts.iter().map(|(k, &c)| (k, c))
+    }
+
+    /// The time instance closest to `t` at which `(state, action)` was
+    /// observed — the `t'` of the dis-utility estimate. `None` when never
+    /// observed.
+    #[must_use]
+    pub fn closest_preferred_time(
+        &self,
+        state: &EnvState,
+        action: &EnvAction,
+        t: TimeStep,
+    ) -> Option<TimeStep> {
+        self.times
+            .get(&TaKey { state: state.clone(), action: action.clone() })?
+            .iter()
+            .copied()
+            .min_by_key(|pt| pt.distance(t))
+    }
+
+    /// The time instance closest to `t` at which `action` was observed in
+    /// *any* state — the device-level fallback when the exact trigger state
+    /// was never seen.
+    #[must_use]
+    pub fn closest_preferred_time_any_state(
+        &self,
+        action: &EnvAction,
+        t: TimeStep,
+    ) -> Option<TimeStep> {
+        self.times
+            .iter()
+            .filter(|(k, _)| &k.action == action)
+            .flat_map(|(_, ts)| ts.iter().copied())
+            .min_by_key(|pt| pt.distance(t))
+    }
+
+    /// The distinct trigger states in which `action` was observed — one row
+    /// group of Table II's "Safe Triggers" column.
+    #[must_use]
+    pub fn observed_triggers_for(&self, action: &EnvAction) -> Vec<EnvState> {
+        let mut v: Vec<EnvState> = self
+            .counts
+            .keys()
+            .filter(|k| &k.action == action)
+            .map(|k| k.state.clone())
+            .collect();
+        v.sort();
+        v.dedup();
+        v
+    }
+
+    /// Generalize the observed triggers of `action` into a single
+    /// [`StatePattern`]: devices whose state is identical across every
+    /// observation keep that state; devices that varied become wildcards.
+    /// Returns `None` when the action was never observed.
+    #[must_use]
+    pub fn generalized_trigger(&self, fsm: &Fsm, action: &EnvAction) -> Option<StatePattern> {
+        let triggers = self.observed_triggers_for(action);
+        let first = triggers.first()?;
+        let mut slots: Vec<Option<jarvis_iot_model::StateIdx>> =
+            first.iter().map(|(_, s)| Some(s)).collect();
+        for t in &triggers[1..] {
+            for (i, slot) in slots.iter_mut().enumerate() {
+                if let Some(required) = *slot {
+                    if t.device(jarvis_iot_model::DeviceId(i)) != Some(required) {
+                        *slot = None;
+                    }
+                }
+            }
+        }
+        slots.resize(fsm.num_devices(), None);
+        Some(StatePattern::new(slots))
+    }
+}
+
+impl Extend<(EnvState, EnvAction, TimeStep)> for TaBehavior {
+    fn extend<I: IntoIterator<Item = (EnvState, EnvAction, TimeStep)>>(&mut self, iter: I) {
+        for (s, a, t) in iter {
+            self.observe(s, a, t);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jarvis_iot_model::{DeviceId, MiniAction, StateIdx};
+
+    fn st(v: &[u8]) -> EnvState {
+        v.iter().map(|&x| StateIdx(x)).collect()
+    }
+
+    fn act(d: usize, a: u8) -> EnvAction {
+        EnvAction::single(MiniAction::new(DeviceId(d), a))
+    }
+
+    #[test]
+    fn counts_accumulate() {
+        let mut ta = TaBehavior::new();
+        ta.observe(st(&[0, 0]), act(0, 1), TimeStep(5));
+        ta.observe(st(&[0, 0]), act(0, 1), TimeStep(9));
+        ta.observe(st(&[1, 0]), act(0, 1), TimeStep(2));
+        assert_eq!(ta.count(&st(&[0, 0]), &act(0, 1)), 2);
+        assert_eq!(ta.count(&st(&[1, 0]), &act(0, 1)), 1);
+        assert_eq!(ta.count(&st(&[9, 9]), &act(0, 1)), 0);
+        assert_eq!(ta.len(), 2);
+    }
+
+    #[test]
+    fn closest_preferred_time() {
+        let mut ta = TaBehavior::new();
+        ta.observe(st(&[0]), act(0, 0), TimeStep(100));
+        ta.observe(st(&[0]), act(0, 0), TimeStep(500));
+        assert_eq!(
+            ta.closest_preferred_time(&st(&[0]), &act(0, 0), TimeStep(450)),
+            Some(TimeStep(500))
+        );
+        assert_eq!(
+            ta.closest_preferred_time(&st(&[0]), &act(0, 0), TimeStep(120)),
+            Some(TimeStep(100))
+        );
+        assert_eq!(ta.closest_preferred_time(&st(&[1]), &act(0, 0), TimeStep(0)), None);
+    }
+
+    #[test]
+    fn any_state_fallback() {
+        let mut ta = TaBehavior::new();
+        ta.observe(st(&[0]), act(0, 0), TimeStep(100));
+        ta.observe(st(&[1]), act(0, 0), TimeStep(300));
+        assert_eq!(
+            ta.closest_preferred_time_any_state(&act(0, 0), TimeStep(290)),
+            Some(TimeStep(300))
+        );
+        assert_eq!(ta.closest_preferred_time_any_state(&act(0, 1), TimeStep(0)), None);
+    }
+
+    #[test]
+    fn observed_triggers_sorted_unique() {
+        let mut ta = TaBehavior::new();
+        ta.observe(st(&[1, 0]), act(0, 0), TimeStep(1));
+        ta.observe(st(&[0, 0]), act(0, 0), TimeStep(2));
+        ta.observe(st(&[1, 0]), act(0, 0), TimeStep(3));
+        let triggers = ta.observed_triggers_for(&act(0, 0));
+        assert_eq!(triggers, vec![st(&[0, 0]), st(&[1, 0])]);
+    }
+
+    #[test]
+    fn generalized_trigger_wildcards_varying_devices() {
+        use jarvis_iot_model::{DeviceSpec, Fsm};
+        let dev = |name: &str| {
+            DeviceSpec::builder(name)
+                .states(["a", "b"])
+                .actions(["x"])
+                .build()
+                .unwrap()
+        };
+        let fsm = Fsm::new(vec![dev("d0"), dev("d1"), dev("d2")]).unwrap();
+        let mut ta = TaBehavior::new();
+        ta.observe(st(&[0, 0, 1]), act(0, 0), TimeStep(1));
+        ta.observe(st(&[0, 1, 1]), act(0, 0), TimeStep(2));
+        let p = ta.generalized_trigger(&fsm, &act(0, 0)).unwrap();
+        assert_eq!(p.to_string(), "(p0, X, p1)");
+        assert!(ta.generalized_trigger(&fsm, &act(1, 0)).is_none());
+    }
+
+    #[test]
+    fn extend_trait() {
+        let mut ta = TaBehavior::new();
+        ta.extend(vec![
+            (st(&[0]), act(0, 0), TimeStep(0)),
+            (st(&[0]), act(0, 0), TimeStep(1)),
+        ]);
+        assert_eq!(ta.count(&st(&[0]), &act(0, 0)), 2);
+    }
+}

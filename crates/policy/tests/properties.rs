@@ -1,0 +1,105 @@
+//! Property-based tests for the Security Policy Learner.
+
+use jarvis_iot_model::{
+    Actor, AuthzPolicy, DeviceId, DeviceSpec, EnvAction, EpisodeConfig, EpisodeRecorder, Fsm,
+    MiniAction, UserId,
+};
+use jarvis_policy::{learn_safe_transitions, MatchMode, SplConfig};
+use proptest::prelude::*;
+
+fn small_fsm() -> Fsm {
+    let mk = |name: &str| {
+        DeviceSpec::builder(name)
+            .states(["a", "b", "c"])
+            .actions(["x", "y"])
+            .transition("a", "x", "b")
+            .transition("b", "y", "c")
+            .transition("c", "x", "a")
+            .build()
+            .expect("valid device")
+    };
+    Fsm::new(vec![mk("d0"), mk("d1"), mk("d2")]).expect("non-empty")
+}
+
+/// Record an episode from a pick list of (device, action) choices.
+fn record(fsm: &Fsm, picks: &[(u8, u8)]) -> jarvis_iot_model::Episode {
+    let authz = AuthzPolicy::new();
+    let cfg = EpisodeConfig::new(picks.len().max(1) as u32 * 60, 60).expect("valid");
+    let mut rec = EpisodeRecorder::new(fsm, &authz, cfg, fsm.initial_state()).expect("valid");
+    for &(d, a) in picks {
+        let mini = MiniAction::new(DeviceId(d as usize % 3), a % 2);
+        rec.submit(Actor::manual(UserId(0)), mini).expect("authorized");
+        rec.advance().expect("in range");
+    }
+    rec.finish()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Soundness: every non-idle learned transition is safe under every
+    /// mode, and replaying the learning episodes never raises a violation.
+    #[test]
+    fn learning_is_sound(picks in prop::collection::vec((any::<u8>(), any::<u8>()), 1..60)) {
+        let fsm = small_fsm();
+        let ep = record(&fsm, &picks);
+        let out = learn_safe_transitions(&fsm, std::slice::from_ref(&ep), None, &SplConfig::default());
+        for tr in ep.transitions() {
+            if !tr.is_idle() {
+                for mode in [MatchMode::Exact, MatchMode::DeviceContext, MatchMode::Generalized] {
+                    prop_assert!(
+                        out.table.is_safe_action(&tr.state, &tr.action, mode),
+                        "{mode:?} rejected a learned pair"
+                    );
+                }
+            }
+        }
+        prop_assert!(jarvis_policy::flag_violations(&out.table, &ep, MatchMode::Exact).is_empty());
+    }
+
+    /// Mode ordering: Exact-safe ⇒ Generalized-safe ⇒ DeviceContext-safe
+    /// (each generalization only widens the safe set).
+    #[test]
+    fn match_modes_are_nested(
+        picks in prop::collection::vec((any::<u8>(), any::<u8>()), 1..40),
+        probe_state in prop::collection::vec(0u8..3, 3),
+        probe in (any::<u8>(), any::<u8>()),
+    ) {
+        let fsm = small_fsm();
+        let ep = record(&fsm, &picks);
+        let out = learn_safe_transitions(&fsm, std::slice::from_ref(&ep), None, &SplConfig::default());
+        let state: jarvis_iot_model::EnvState =
+            probe_state.iter().map(|&x| jarvis_iot_model::StateIdx(x)).collect();
+        let action = EnvAction::single(MiniAction::new(DeviceId(probe.0 as usize % 3), probe.1 % 2));
+        let exact = out.table.is_safe_action(&state, &action, MatchMode::Exact);
+        let generalized = out.table.is_safe_action(&state, &action, MatchMode::Generalized);
+        let device = out.table.is_safe_action(&state, &action, MatchMode::DeviceContext);
+        prop_assert!(!exact || generalized, "Exact-safe must be Generalized-safe");
+        prop_assert!(!generalized || device, "Generalized-safe must be DeviceContext-safe");
+    }
+
+    /// Threshold monotonicity: a higher Thresh_env never grows the table.
+    #[test]
+    fn threshold_is_monotone(picks in prop::collection::vec((any::<u8>(), any::<u8>()), 1..60)) {
+        let fsm = small_fsm();
+        let eps: Vec<_> = (0..3).map(|_| record(&fsm, &picks)).collect();
+        let mut prev = usize::MAX;
+        for thresh in 0..5u64 {
+            let out = learn_safe_transitions(&fsm, &eps, None, &SplConfig { thresh_env: thresh });
+            prop_assert!(out.table.len() <= prev);
+            prev = out.table.len();
+        }
+    }
+
+    /// The aggregated behavior's counts sum to the number of non-idle
+    /// transitions observed.
+    #[test]
+    fn behavior_counts_are_complete(picks in prop::collection::vec((any::<u8>(), any::<u8>()), 0..60)) {
+        let fsm = small_fsm();
+        let ep = record(&fsm, &picks);
+        let out = learn_safe_transitions(&fsm, std::slice::from_ref(&ep), None, &SplConfig::default());
+        let total: u64 = out.behavior.iter().map(|(_, c)| c).sum();
+        let non_idle = ep.transitions().iter().filter(|t| !t.is_idle()).count() as u64;
+        prop_assert_eq!(total, non_idle);
+    }
+}

@@ -1,0 +1,147 @@
+//! Constraining an environment's action set — the mechanism behind Jarvis's
+//! *constrained exploration* (Section IV-C).
+//!
+//! [`ConstrainedEnv`] wraps any [`Environment`] and intersects its
+//! `valid_actions()` with a caller-supplied predicate. Jarvis instantiates
+//! the predicate from the learned safe-transition table `P_safe`, so an agent
+//! exploring the wrapped environment can never take an unsafe action; the
+//! same agent on the raw environment is the paper's *unconstrained* baseline
+//! (Figure 9).
+
+use crate::env::{DiscreteEnvironment, Environment, Step};
+
+/// An [`Environment`] whose action set is filtered by a predicate over
+/// `(environment, action)`.
+///
+/// The wrapped environment is still stepped with raw actions, so a caller
+/// can deliberately bypass the constraint (used to *inject* violations when
+/// evaluating detection).
+#[derive(Debug, Clone)]
+pub struct ConstrainedEnv<E, F> {
+    inner: E,
+    allow: F,
+}
+
+impl<E, F> ConstrainedEnv<E, F>
+where
+    E: Environment,
+    F: Fn(&E, usize) -> bool,
+{
+    /// Wrap `inner`, keeping only actions for which `allow` returns true.
+    pub fn new(inner: E, allow: F) -> Self {
+        ConstrainedEnv { inner, allow }
+    }
+
+    /// Borrow the wrapped environment.
+    pub fn inner(&self) -> &E {
+        &self.inner
+    }
+
+    /// Mutably borrow the wrapped environment (e.g. to inject an unsafe
+    /// action past the constraint).
+    pub fn inner_mut(&mut self) -> &mut E {
+        &mut self.inner
+    }
+
+    /// Unwrap, returning the inner environment.
+    pub fn into_inner(self) -> E {
+        self.inner
+    }
+}
+
+impl<E, F> Environment for ConstrainedEnv<E, F>
+where
+    E: Environment,
+    F: Fn(&E, usize) -> bool,
+{
+    fn state_dim(&self) -> usize {
+        self.inner.state_dim()
+    }
+
+    fn num_actions(&self) -> usize {
+        self.inner.num_actions()
+    }
+
+    fn observe(&self) -> Vec<f64> {
+        self.inner.observe()
+    }
+
+    fn valid_actions(&self) -> Vec<usize> {
+        self.inner
+            .valid_actions()
+            .into_iter()
+            .filter(|&a| (self.allow)(&self.inner, a))
+            .collect()
+    }
+
+    fn reset(&mut self) -> Vec<f64> {
+        self.inner.reset()
+    }
+
+    fn step(&mut self, action: usize) -> Step {
+        self.inner.step(action)
+    }
+}
+
+impl<E, F> DiscreteEnvironment for ConstrainedEnv<E, F>
+where
+    E: DiscreteEnvironment,
+    F: Fn(&E, usize) -> bool,
+{
+    fn num_states(&self) -> usize {
+        self.inner.num_states()
+    }
+
+    fn state_id(&self) -> usize {
+        self.inner.state_id()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::testenv::Chain;
+
+    #[test]
+    fn filters_valid_actions() {
+        let env = Chain::new(4);
+        // Forbid moving left everywhere.
+        let constrained = ConstrainedEnv::new(env, |_, a| a != 0);
+        assert_eq!(constrained.valid_actions(), vec![1]);
+        assert_eq!(constrained.num_actions(), 2, "action space itself unchanged");
+    }
+
+    #[test]
+    fn predicate_sees_environment_state() {
+        let mut env = Chain::new(4);
+        env.reset();
+        // Forbid right moves from even positions.
+        let mut constrained =
+            ConstrainedEnv::new(env, |e: &Chain, a| !(a == 1 && e.pos % 2 == 0));
+        assert_eq!(constrained.valid_actions(), vec![0]); // pos 0: right blocked
+        constrained.step(1); // bypass via raw step (injection)
+        assert_eq!(constrained.valid_actions(), vec![0, 1]); // pos 1: allowed
+    }
+
+    #[test]
+    fn composes_with_inner_mask() {
+        let mut env = Chain::new(4);
+        env.blocked_right = vec![0];
+        let constrained = ConstrainedEnv::new(env, |_, a| a != 0);
+        // Inner forbids right at pos 0, constraint forbids left: nothing left.
+        assert!(constrained.valid_actions().is_empty());
+    }
+
+    #[test]
+    fn step_and_reset_delegate() {
+        let env = Chain::new(2);
+        let mut constrained = ConstrainedEnv::new(env, |_, _| true);
+        constrained.reset();
+        let s = constrained.step(1);
+        assert!(!s.done);
+        assert_eq!(constrained.state_id(), 1);
+        assert_eq!(constrained.num_states(), 3);
+        constrained.inner_mut().pos = 0;
+        assert_eq!(constrained.into_inner().pos, 0);
+    }
+}

@@ -1,0 +1,155 @@
+//! Gym-style environment traits.
+//!
+//! [`Environment`] is the minimal episodic-interaction contract used by every
+//! agent in this crate; [`DiscreteEnvironment`] additionally exposes a dense
+//! state index for tabular learners.
+
+/// Result of one environment step.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Step {
+    /// Observation (encoded state) after the step.
+    pub obs: Vec<f64>,
+    /// Immediate reward for the step.
+    pub reward: f64,
+    /// True when the episode has terminated.
+    pub done: bool,
+}
+
+/// An episodic environment with a flat, maskable action space.
+///
+/// Actions are dense indices in `0..num_actions()`; [`valid_actions`]
+/// returns the subset legal in the *current* state — this is where Jarvis's
+/// safe-transition constraint plugs in (the constrained agent simply never
+/// sees an unsafe action as valid).
+///
+/// [`valid_actions`]: Environment::valid_actions
+pub trait Environment {
+    /// Length of the observation vector.
+    fn state_dim(&self) -> usize;
+
+    /// Size of the flat action space.
+    fn num_actions(&self) -> usize;
+
+    /// Encode the current state as a feature vector of length
+    /// [`state_dim`](Environment::state_dim).
+    fn observe(&self) -> Vec<f64>;
+
+    /// Actions legal in the current state, as flat indices.
+    fn valid_actions(&self) -> Vec<usize>;
+
+    /// Reset to the initial state, returning the first observation.
+    fn reset(&mut self) -> Vec<f64>;
+
+    /// Execute one action.
+    fn step(&mut self, action: usize) -> Step;
+}
+
+/// An [`Environment`] whose states form a small dense set, enabling tabular
+/// Q-learning.
+pub trait DiscreteEnvironment: Environment {
+    /// Number of distinct states.
+    fn num_states(&self) -> usize;
+
+    /// Dense index of the current state in `0..num_states()`.
+    fn state_id(&self) -> usize;
+}
+
+#[cfg(test)]
+pub(crate) mod testenv {
+    //! A deterministic chain environment shared by the crate's tests:
+    //! positions `0..n`, action 0 = left, action 1 = right, reward 1 at the
+    //! right end (terminal), small step penalty elsewhere.
+
+    use super::*;
+
+    #[derive(Debug, Clone)]
+    pub struct Chain {
+        pub n: usize,
+        pub pos: usize,
+        /// Optional wall: positions from which action 1 (right) is invalid.
+        pub blocked_right: Vec<usize>,
+    }
+
+    impl Chain {
+        pub fn new(n: usize) -> Self {
+            Chain { n, pos: 0, blocked_right: Vec::new() }
+        }
+    }
+
+    impl Environment for Chain {
+        fn state_dim(&self) -> usize {
+            1
+        }
+        fn num_actions(&self) -> usize {
+            2
+        }
+        fn observe(&self) -> Vec<f64> {
+            vec![self.pos as f64 / self.n as f64]
+        }
+        fn valid_actions(&self) -> Vec<usize> {
+            if self.blocked_right.contains(&self.pos) {
+                vec![0]
+            } else {
+                vec![0, 1]
+            }
+        }
+        fn reset(&mut self) -> Vec<f64> {
+            self.pos = 0;
+            self.observe()
+        }
+        fn step(&mut self, action: usize) -> Step {
+            match action {
+                1 => self.pos = (self.pos + 1).min(self.n),
+                _ => self.pos = self.pos.saturating_sub(1),
+            }
+            let done = self.pos == self.n;
+            Step { obs: self.observe(), reward: if done { 1.0 } else { -0.05 }, done }
+        }
+    }
+
+    impl DiscreteEnvironment for Chain {
+        fn num_states(&self) -> usize {
+            self.n + 1
+        }
+        fn state_id(&self) -> usize {
+            self.pos
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::testenv::Chain;
+    use super::*;
+
+    #[test]
+    fn chain_dynamics() {
+        let mut env = Chain::new(3);
+        assert_eq!(env.reset(), vec![0.0]);
+        let s = env.step(1);
+        assert!(!s.done);
+        assert_eq!(env.state_id(), 1);
+        env.step(1);
+        let s = env.step(1);
+        assert!(s.done);
+        assert_eq!(s.reward, 1.0);
+    }
+
+    #[test]
+    fn left_saturates_at_zero() {
+        let mut env = Chain::new(3);
+        env.reset();
+        env.step(0);
+        assert_eq!(env.state_id(), 0);
+    }
+
+    #[test]
+    fn masking_hides_blocked_actions() {
+        let mut env = Chain::new(3);
+        env.blocked_right = vec![1];
+        env.reset();
+        assert_eq!(env.valid_actions(), vec![0, 1]);
+        env.step(1);
+        assert_eq!(env.valid_actions(), vec![0]);
+    }
+}

@@ -1,0 +1,141 @@
+//! Exploration-rate scheduling per Algorithm 2 of the paper.
+//!
+//! Algorithm 2 decays `ε` by `ε_decay` only while `ε ≥ ε_min` **and** the
+//! latest replay loss is at most the *preferable loss* `L_p` — the agent
+//! keeps exploring until its Q network has actually started fitting.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Exploration schedule `(ε, ε_min, ε_decay, L_p)`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EpsilonSchedule {
+    epsilon: f64,
+    min: f64,
+    decay: f64,
+    preferable_loss: f64,
+}
+
+impl EpsilonSchedule {
+    /// Build a schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 ≤ min ≤ epsilon ≤ 1` and `0 < decay ≤ 1`.
+    #[must_use]
+    pub fn new(epsilon: f64, min: f64, decay: f64, preferable_loss: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&epsilon) && (0.0..=epsilon).contains(&min),
+            "require 0 <= min <= epsilon <= 1"
+        );
+        assert!(decay > 0.0 && decay <= 1.0, "require 0 < decay <= 1");
+        EpsilonSchedule { epsilon, min, decay, preferable_loss }
+    }
+
+    /// A common default: `ε = 1.0`, `ε_min = 0.05`, `ε_decay = 0.995`,
+    /// `L_p = 1.0`.
+    #[must_use]
+    pub fn standard() -> Self {
+        EpsilonSchedule::new(1.0, 0.05, 0.995, 1.0)
+    }
+
+    /// Current exploration rate.
+    #[must_use]
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// Draw the explore/exploit decision for one step.
+    pub fn should_explore(&self, rng: &mut impl Rng) -> bool {
+        rng.gen::<f64>() <= self.epsilon
+    }
+
+    /// Apply Algorithm 2's decay rule after a replay: decay only when the
+    /// loss has reached the preferable level. Returns the new `ε`.
+    pub fn observe_loss(&mut self, loss: f64) -> f64 {
+        if self.epsilon >= self.min && loss <= self.preferable_loss {
+            self.epsilon = (self.epsilon * self.decay).max(self.min);
+        }
+        self.epsilon
+    }
+
+    /// Unconditional decay (for agents without a loss signal, e.g. tabular).
+    pub fn decay(&mut self) -> f64 {
+        if self.epsilon >= self.min {
+            self.epsilon = (self.epsilon * self.decay).max(self.min);
+        }
+        self.epsilon
+    }
+}
+
+impl Default for EpsilonSchedule {
+    fn default() -> Self {
+        EpsilonSchedule::standard()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn decays_only_when_loss_is_preferable() {
+        let mut s = EpsilonSchedule::new(1.0, 0.1, 0.5, 0.2);
+        // High loss: no decay.
+        assert_eq!(s.observe_loss(5.0), 1.0);
+        // Preferable loss: decay.
+        assert_eq!(s.observe_loss(0.1), 0.5);
+        assert_eq!(s.observe_loss(0.1), 0.25);
+    }
+
+    #[test]
+    fn floor_respected() {
+        let mut s = EpsilonSchedule::new(0.2, 0.1, 0.5, f64::INFINITY);
+        s.observe_loss(0.0);
+        assert_eq!(s.epsilon(), 0.1);
+        // At the floor, decay stops.
+        s.observe_loss(0.0);
+        assert!(s.epsilon() >= 0.1 * 0.5 - 1e-12);
+        assert_eq!(s.epsilon(), 0.1);
+    }
+
+    #[test]
+    fn unconditional_decay() {
+        let mut s = EpsilonSchedule::new(1.0, 0.0, 0.9, 0.0);
+        s.decay();
+        assert!((s.epsilon() - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn explore_frequency_tracks_epsilon() {
+        let s = EpsilonSchedule::new(0.3, 0.0, 1.0, 0.0);
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let n = 20_000;
+        let explored = (0..n).filter(|_| s.should_explore(&mut rng)).count();
+        let rate = explored as f64 / n as f64;
+        assert!((rate - 0.3).abs() < 0.02, "rate {rate}");
+    }
+
+    #[test]
+    fn epsilon_zero_never_explores() {
+        let s = EpsilonSchedule::new(0.0, 0.0, 1.0, 0.0);
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        // `gen::<f64>()` is in [0, 1); <= 0.0 only on an exact 0 draw, which
+        // is measure-zero; check a large sample stays un-explored.
+        assert_eq!((0..10_000).filter(|_| s.should_explore(&mut rng)).count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "min <= epsilon")]
+    fn invalid_bounds_panic() {
+        EpsilonSchedule::new(0.1, 0.5, 0.9, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "0 < decay")]
+    fn invalid_decay_panics() {
+        EpsilonSchedule::new(1.0, 0.0, 0.0, 0.0);
+    }
+}

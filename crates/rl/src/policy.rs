@@ -1,0 +1,91 @@
+//! Greedy-policy helpers over Q-value vectors, including the paper's
+//! `Max(Q, c)` — "the c-th highest quality action for the given state"
+//! (Algorithm 2) used to walk down the ranking until a safe action is found.
+
+/// Index of the maximum Q value among `valid` actions; `None` when `valid`
+/// is empty. Ties break toward the lower index for determinism.
+#[must_use]
+pub fn argmax(q: &[f64], valid: &[usize]) -> Option<usize> {
+    valid
+        .iter()
+        .copied()
+        .filter(|&a| a < q.len())
+        .max_by(|&a, &b| {
+            q[a].partial_cmp(&q[b])
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(b.cmp(&a)) // prefer the lower index on ties
+        })
+}
+
+/// Maximum Q value among `valid` actions, or `0.0` when none are valid
+/// (terminal states contribute no future reward).
+#[must_use]
+pub fn max_q(q: &[f64], valid: &[usize]) -> f64 {
+    argmax(q, valid).map_or(0.0, |a| q[a])
+}
+
+/// The paper's `Max(Q, c)`: the action with the `c`-th highest Q value
+/// (`c = 0` is the best) among `valid` actions. `None` when `c` is out of
+/// range. Ties order by ascending index.
+#[must_use]
+pub fn top_c(q: &[f64], valid: &[usize], c: usize) -> Option<usize> {
+    let mut ranked: Vec<usize> = valid.iter().copied().filter(|&a| a < q.len()).collect();
+    ranked.sort_by(|&a, &b| {
+        q[b].partial_cmp(&q[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+    ranked.get(c).copied()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const Q: [f64; 5] = [0.1, 0.9, 0.5, 0.9, -1.0];
+
+    #[test]
+    fn argmax_respects_mask() {
+        let all = [0, 1, 2, 3, 4];
+        assert_eq!(argmax(&Q, &all), Some(1)); // tie 1 vs 3 → lower index
+        assert_eq!(argmax(&Q, &[0, 2, 4]), Some(2));
+        assert_eq!(argmax(&Q, &[]), None);
+    }
+
+    #[test]
+    fn argmax_ignores_out_of_range() {
+        assert_eq!(argmax(&Q, &[99, 2]), Some(2));
+        assert_eq!(argmax(&Q, &[99]), None);
+    }
+
+    #[test]
+    fn max_q_defaults_to_zero() {
+        assert_eq!(max_q(&Q, &[]), 0.0);
+        assert_eq!(max_q(&Q, &[4]), -1.0);
+        assert_eq!(max_q(&Q, &[0, 1]), 0.9);
+    }
+
+    #[test]
+    fn top_c_ranks_descending() {
+        let all = [0, 1, 2, 3, 4];
+        assert_eq!(top_c(&Q, &all, 0), Some(1));
+        assert_eq!(top_c(&Q, &all, 1), Some(3)); // tie broken by index
+        assert_eq!(top_c(&Q, &all, 2), Some(2));
+        assert_eq!(top_c(&Q, &all, 3), Some(0));
+        assert_eq!(top_c(&Q, &all, 4), Some(4));
+        assert_eq!(top_c(&Q, &all, 5), None);
+    }
+
+    #[test]
+    fn top_c_with_mask() {
+        assert_eq!(top_c(&Q, &[0, 4], 0), Some(0));
+        assert_eq!(top_c(&Q, &[0, 4], 1), Some(4));
+    }
+
+    #[test]
+    fn top_zero_equals_argmax() {
+        for valid in [vec![0usize, 1, 2, 3, 4], vec![2, 4], vec![]] {
+            assert_eq!(top_c(&Q, &valid, 0), argmax(&Q, &valid));
+        }
+    }
+}

@@ -1,0 +1,150 @@
+//! Bounded experience-replay memory (the `Mem`/`Replay` of Algorithm 2).
+
+use rand::seq::index::sample;
+use rand::Rng;
+use std::collections::VecDeque;
+
+/// A bounded FIFO memory with uniform random sampling.
+///
+/// Stores the agent's experiences across episodes; [`ReplayBuffer::sample`]
+/// draws the random mini-batch that Algorithm 2's `Replay(BSize)` procedure
+/// replays through the DNN.
+#[derive(Debug, Clone)]
+pub struct ReplayBuffer<T> {
+    capacity: usize,
+    items: VecDeque<T>,
+}
+
+impl<T> ReplayBuffer<T> {
+    /// An empty buffer holding at most `capacity` experiences.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `capacity` is zero.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "replay capacity must be positive");
+        ReplayBuffer { capacity, items: VecDeque::with_capacity(capacity.min(4096)) }
+    }
+
+    /// Append an experience, evicting the oldest when full.
+    pub fn push(&mut self, item: T) {
+        if self.items.len() == self.capacity {
+            self.items.pop_front();
+        }
+        self.items.push_back(item);
+    }
+
+    /// Number of stored experiences.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when nothing is stored.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Maximum capacity.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Draw `n` distinct experiences uniformly at random; returns `None`
+    /// until at least `n` are stored (Algorithm 2 replays only once
+    /// `|Mem| > BSize`).
+    pub fn sample(&self, n: usize, rng: &mut impl Rng) -> Option<Vec<&T>> {
+        if n == 0 || self.items.len() < n {
+            return None;
+        }
+        let idx = sample(rng, self.items.len(), n);
+        Some(idx.iter().map(|i| &self.items[i]).collect())
+    }
+
+    /// Iterate over stored experiences, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.items.iter()
+    }
+
+    /// Drop all stored experiences.
+    pub fn clear(&mut self) {
+        self.items.clear();
+    }
+}
+
+impl<T> Extend<T> for ReplayBuffer<T> {
+    fn extend<I: IntoIterator<Item = T>>(&mut self, iter: I) {
+        for item in iter {
+            self.push(item);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn push_and_evict_fifo() {
+        let mut buf = ReplayBuffer::new(3);
+        buf.extend([1, 2, 3, 4]);
+        assert_eq!(buf.len(), 3);
+        let items: Vec<_> = buf.iter().copied().collect();
+        assert_eq!(items, vec![2, 3, 4]);
+        assert_eq!(buf.capacity(), 3);
+    }
+
+    #[test]
+    fn sample_requires_enough_items() {
+        let mut buf = ReplayBuffer::new(10);
+        buf.push(1);
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        assert!(buf.sample(2, &mut rng).is_none());
+        assert!(buf.sample(0, &mut rng).is_none());
+        buf.push(2);
+        assert_eq!(buf.sample(2, &mut rng).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn sample_is_distinct() {
+        let mut buf = ReplayBuffer::new(100);
+        buf.extend(0..100);
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let s = buf.sample(50, &mut rng).unwrap();
+        let unique: std::collections::HashSet<_> = s.iter().map(|&&x| x).collect();
+        assert_eq!(unique.len(), 50);
+    }
+
+    #[test]
+    fn sample_covers_buffer_over_draws() {
+        let mut buf = ReplayBuffer::new(8);
+        buf.extend(0..8);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..50 {
+            for &&x in &buf.sample(2, &mut rng).unwrap() {
+                seen.insert(x);
+            }
+        }
+        assert_eq!(seen.len(), 8, "uniform sampling should reach every item");
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut buf = ReplayBuffer::new(4);
+        buf.extend([1, 2]);
+        buf.clear();
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        let _ = ReplayBuffer::<i32>::new(0);
+    }
+}

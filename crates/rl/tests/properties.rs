@@ -1,0 +1,144 @@
+//! Property-based tests for the RL substrate.
+
+use jarvis_rl::*;
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Q-table updates keep values bounded by the discounted reward bound
+    /// |Q| ≤ r_max / (1 − γ) under arbitrary update sequences.
+    #[test]
+    fn qtable_values_bounded(
+        gamma in 0.0f64..0.99,
+        updates in prop::collection::vec(
+            (0usize..6, 0usize..3, -1.0f64..1.0, 0usize..6, any::<bool>()),
+            1..200,
+        ),
+    ) {
+        let mut q = QTable::new(3, 0.5, gamma);
+        for &(s, a, r, s2, done) in &updates {
+            q.update(s, a, r, s2, &[0, 1, 2], done);
+        }
+        let bound = 1.0 / (1.0 - gamma) + 1e-6;
+        for s in 0..6 {
+            for a in 0..3 {
+                prop_assert!(q.q(s, a).abs() <= bound, "Q({s},{a}) = {}", q.q(s, a));
+            }
+        }
+    }
+
+    /// ε-greedy with ε = 0 always takes the greedy action; with ε = 1 it
+    /// always stays within the valid set.
+    #[test]
+    fn epsilon_greedy_extremes(
+        valid in prop::collection::vec(0usize..4, 1..4),
+        seed in any::<u64>(),
+    ) {
+        let mut valid = valid;
+        valid.sort_unstable();
+        valid.dedup();
+        let mut q = QTable::new(4, 0.5, 0.9);
+        q.update(0, valid[0], 1.0, 0, &[], true); // make valid[0] the best
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let greedy = q.epsilon_greedy(0, &valid, 0.0, &mut rng);
+        prop_assert_eq!(Some(greedy), q.best_action(0, &valid));
+        for _ in 0..20 {
+            let a = q.epsilon_greedy(0, &valid, 1.0, &mut rng);
+            prop_assert!(valid.contains(&a));
+        }
+    }
+
+    /// The epsilon schedule never leaves [min, initial] no matter the loss
+    /// sequence.
+    #[test]
+    fn epsilon_schedule_bounds(
+        start in 0.2f64..1.0,
+        decay in 0.5f64..0.999,
+        losses in prop::collection::vec(0.0f64..10.0, 0..100),
+    ) {
+        let min = start / 4.0;
+        let mut s = EpsilonSchedule::new(start, min, decay, 1.0);
+        for &l in &losses {
+            let eps = s.observe_loss(l);
+            prop_assert!(eps >= min - 1e-12 && eps <= start + 1e-12);
+        }
+    }
+
+    /// Replay sampling returns distinct indices within bounds.
+    #[test]
+    fn replay_sampling_is_well_formed(
+        capacity in 2usize..64,
+        pushes in 0usize..200,
+        n in 1usize..16,
+        seed in any::<u64>(),
+    ) {
+        let mut buf = ReplayBuffer::new(capacity);
+        for i in 0..pushes {
+            buf.push(i);
+        }
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        match buf.sample(n, &mut rng) {
+            None => prop_assert!(buf.len() < n),
+            Some(sample) => {
+                prop_assert_eq!(sample.len(), n);
+                let set: std::collections::HashSet<_> = sample.iter().map(|&&x| x).collect();
+                prop_assert_eq!(set.len(), n, "duplicates in sample");
+                for &&x in &sample {
+                    prop_assert!(x < pushes, "sampled item never pushed");
+                }
+            }
+        }
+    }
+
+    /// A constrained environment's valid set is always a subset of the
+    /// base environment's.
+    #[test]
+    fn constraint_is_a_subset(mask in prop::collection::vec(any::<bool>(), 2)) {
+        use jarvis_rl::{ConstrainedEnv, Environment};
+
+        #[derive(Clone)]
+        struct TwoAction;
+        impl Environment for TwoAction {
+            fn state_dim(&self) -> usize { 1 }
+            fn num_actions(&self) -> usize { 2 }
+            fn observe(&self) -> Vec<f64> { vec![0.0] }
+            fn valid_actions(&self) -> Vec<usize> { vec![0, 1] }
+            fn reset(&mut self) -> Vec<f64> { self.observe() }
+            fn step(&mut self, _a: usize) -> Step {
+                Step { obs: self.observe(), reward: 0.0, done: false }
+            }
+        }
+
+        let m = mask.clone();
+        let env = ConstrainedEnv::new(TwoAction, move |_, a| m[a]);
+        let valid = env.valid_actions();
+        for &a in &valid {
+            prop_assert!(mask[a], "blocked action {a} leaked through");
+        }
+        prop_assert_eq!(valid.len(), mask.iter().filter(|&&b| b).count());
+    }
+
+    /// DQN action selection is always within the valid set, for any
+    /// observation.
+    #[test]
+    fn dqn_act_respects_valid_set(
+        obs in prop::collection::vec(-1.0f64..1.0, 3),
+        valid in prop::collection::vec(0usize..5, 1..5),
+        seed in any::<u64>(),
+    ) {
+        let mut valid = valid;
+        valid.sort_unstable();
+        valid.dedup();
+        let mut cfg = DqnConfig::new(3, 5);
+        cfg.hidden = vec![4];
+        cfg.seed = seed;
+        let mut agent = DqnAgent::new(cfg).unwrap();
+        for _ in 0..10 {
+            let a = agent.act(&obs, &valid).unwrap();
+            prop_assert!(valid.contains(&a));
+        }
+    }
+}

@@ -1,0 +1,372 @@
+//! Assembled home datasets: the virtual testbed of Section VI-A.
+//!
+//! The evaluation uses two homes: **Home A**, whose datasets come from the
+//! OpenSHS simulator driven by scripted daily activities, and **Home B**,
+//! whose datasets are simulated from real-world Smart\* user-study data.
+//! [`HomeDataset::home_a`] and [`HomeDataset::home_b`] reproduce both as
+//! seeded generators differing in household composition and behavioral
+//! noise.
+//!
+//! A [`DayActivity`] is the normalized *event stream* of one day — exactly
+//! what a SmartThings logger would capture — derived from the power traces,
+//! occupant schedules, and indoor-temperature trajectory.
+
+use crate::occupancy::{Household, OccupantProfile};
+use crate::prices::DamPrices;
+use crate::traces::{DayTrace, TraceGenerator};
+use crate::weather::WeatherModel;
+use serde::{Deserialize, Serialize};
+
+/// One normalized event in a day's activity stream.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ActivityEvent {
+    /// Day index.
+    pub day: u32,
+    /// Minute of day.
+    pub minute: u32,
+    /// Device name (smart-home catalogue naming).
+    pub device: String,
+    /// Command or attribute-value name (e.g. `power_on`, `unlock`,
+    /// `below_optimal`).
+    pub name: String,
+    /// True for a sensor attribute change, false for a command.
+    pub is_sensor: bool,
+    /// True when a user performed the action manually.
+    pub manual: bool,
+}
+
+/// The full event stream of one day plus the trace it derives from.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DayActivity {
+    /// Day index.
+    pub day: u32,
+    /// Events ordered by `(minute, device)`.
+    pub events: Vec<ActivityEvent>,
+    /// The underlying per-device trace.
+    pub trace: DayTrace,
+}
+
+impl DayActivity {
+    /// Events concerning one device.
+    pub fn events_for<'a>(&'a self, device: &'a str) -> impl Iterator<Item = &'a ActivityEvent> {
+        self.events.iter().filter(move |e| e.device == device)
+    }
+}
+
+/// A complete simulated home: occupants, weather, traces, prices.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HomeDataset {
+    name: String,
+    generator: TraceGenerator,
+    prices: DamPrices,
+}
+
+impl HomeDataset {
+    /// Home A of the testbed: a two-occupant home with regular, scripted
+    /// routines (OpenSHS-style simulated daily activities).
+    #[must_use]
+    pub fn home_a(seed: u64) -> Self {
+        let household = Household::new(
+            seed,
+            vec![OccupantProfile::worker(), OccupantProfile::homebody()],
+        );
+        HomeDataset {
+            name: "Home A".to_owned(),
+            generator: TraceGenerator::with_household(seed, household),
+            prices: DamPrices::new(seed ^ 0xDA11),
+        }
+    }
+
+    /// Home B of the testbed: a three-occupant home with noisier schedules
+    /// (Smart\*-style real-world data).
+    #[must_use]
+    pub fn home_b(seed: u64) -> Self {
+        let mut erratic = OccupantProfile::worker();
+        erratic.jitter_std = 55.0; // real households are messier
+        erratic.weekend_home_prob = 0.4;
+        let household = Household::new(
+            seed,
+            vec![OccupantProfile::worker(), OccupantProfile::homebody(), erratic],
+        );
+        HomeDataset {
+            name: "Home B".to_owned(),
+            generator: TraceGenerator::with_household(seed, household),
+            prices: DamPrices::new(seed ^ 0xDA11),
+        }
+    }
+
+    /// Display name (`"Home A"` / `"Home B"`).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The electricity price model of this home's market.
+    #[must_use]
+    pub fn prices(&self) -> &DamPrices {
+        &self.prices
+    }
+
+    /// The weather at this home.
+    #[must_use]
+    pub fn weather(&self) -> &WeatherModel {
+        self.generator.weather()
+    }
+
+    /// The household living in this home.
+    #[must_use]
+    pub fn household(&self) -> &Household {
+        self.generator.household()
+    }
+
+    /// The trace generator (device-level power behavior).
+    #[must_use]
+    pub fn traces(&self) -> &TraceGenerator {
+        &self.generator
+    }
+
+    /// The raw per-device trace for `day`.
+    #[must_use]
+    pub fn trace(&self, day: u32) -> DayTrace {
+        self.generator.day(day)
+    }
+
+    /// The normalized event stream for `day`, as the logging system would
+    /// record it.
+    #[must_use]
+    pub fn activity(&self, day: u32) -> DayActivity {
+        let trace = self.trace(day);
+        let schedules = self.household().day(day);
+        let mut events: Vec<ActivityEvent> = Vec::new();
+        let push = |events: &mut Vec<ActivityEvent>,
+                    minute: u32,
+                    device: &str,
+                    name: &str,
+                    is_sensor: bool,
+                    manual: bool| {
+            events.push(ActivityEvent {
+                day,
+                minute,
+                device: device.to_owned(),
+                name: name.to_owned(),
+                is_sensor,
+                manual,
+            });
+        };
+
+        // Appliance commands from power-trace edges.
+        for dev in &trace.devices {
+            match dev.name.as_str() {
+                // Sensors/lock/thermostat handled separately.
+                "lock" | "door_sensor" | "temp_sensor" | "thermostat" | "fridge" => {}
+                _ => {
+                    for (minute, turned_on) in dev.edges() {
+                        push(
+                            &mut events,
+                            minute,
+                            &dev.name,
+                            if turned_on { "power_on" } else { "power_off" },
+                            false,
+                            true,
+                        );
+                    }
+                }
+            }
+        }
+
+        // Thermostat mode transitions.
+        use crate::thermal::HvacMode;
+        for m in 1..trace.hvac_mode.len() {
+            let (prev, cur) = (trace.hvac_mode[m - 1], trace.hvac_mode[m]);
+            if prev == cur {
+                continue;
+            }
+            let name = match cur {
+                HvacMode::Heat => "set_heat",
+                HvacMode::Cool => "set_cool",
+                HvacMode::Off => "power_off",
+            };
+            push(&mut events, m as u32, "thermostat", name, false, true);
+        }
+
+        // Lock and door-sensor events from occupant movement.
+        //
+        // Departure: the occupant unlocks to step out, then locks one minute
+        // later — from *outside* when the house is now empty, from *inside*
+        // (on behalf of those remaining) otherwise. Arrival: the door sensor
+        // recognizes the authorized user one minute before the unlock (the
+        // sensor event is the IFTTT trigger, so it precedes the action
+        // interval), and clears one minute after.
+        for s in &schedules {
+            if let Some(leave) = s.leave {
+                push(&mut events, leave.saturating_sub(1), "lock", "unlock", false, true);
+                let house_empty = !schedules.iter().any(|o| o.in_house(leave));
+                push(
+                    &mut events,
+                    leave,
+                    "lock",
+                    if house_empty { "lock" } else { "lock_inside" },
+                    false,
+                    true,
+                );
+            }
+            if let Some(ret) = s.ret {
+                push(&mut events, ret.saturating_sub(1), "door_sensor", "auth_user", true, false);
+                push(&mut events, ret, "lock", "unlock", false, true);
+                if ret + 1 < crate::MINUTES_PER_DAY {
+                    push(&mut events, ret + 1, "door_sensor", "sensing", true, false);
+                }
+            }
+        }
+        // Last person to sleep locks from the inside.
+        if let Some(last_sleep) = schedules.iter().map(|s| s.sleep).max() {
+            push(&mut events, last_sleep, "lock", "lock_inside", false, true);
+        }
+
+        // Temperature-sensor discretized readings (comfort band 20–22 °C).
+        let band = |t: f64| -> &'static str {
+            if t < 20.0 {
+                "below_optimal"
+            } else if t > 22.0 {
+                "above_optimal"
+            } else {
+                "optimal"
+            }
+        };
+        let mut prev_band = band(trace.indoor_temp[0]);
+        push(&mut events, 0, "temp_sensor", prev_band, true, false);
+        for (m, &t) in trace.indoor_temp.iter().enumerate().skip(1) {
+            let b = band(t);
+            if b != prev_band {
+                push(&mut events, m as u32, "temp_sensor", b, true, false);
+                prev_band = b;
+            }
+        }
+
+        events.sort_by(|a, b| (a.minute, &a.device).cmp(&(b.minute, &b.device)));
+        DayActivity { day, events, trace }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn homes_differ() {
+        let a = HomeDataset::home_a(1);
+        let b = HomeDataset::home_b(1);
+        assert_eq!(a.name(), "Home A");
+        assert_eq!(b.name(), "Home B");
+        assert_eq!(a.household().len(), 2);
+        assert_eq!(b.household().len(), 3);
+    }
+
+    #[test]
+    fn activity_is_deterministic() {
+        let a1 = HomeDataset::home_a(5).activity(3);
+        let a2 = HomeDataset::home_a(5).activity(3);
+        assert_eq!(a1, a2);
+    }
+
+    #[test]
+    fn events_sorted_by_minute() {
+        let act = HomeDataset::home_a(2).activity(1);
+        for w in act.events.windows(2) {
+            assert!(w[0].minute <= w[1].minute);
+        }
+        assert!(!act.events.is_empty());
+    }
+
+    #[test]
+    fn lock_events_bracket_departures() {
+        let home = HomeDataset::home_a(7);
+        let day = 2; // weekday: the worker leaves
+        let act = home.activity(day);
+        let locks: Vec<&ActivityEvent> =
+            act.events_for("lock").filter(|e| e.name == "lock").collect();
+        let unlocks: Vec<&ActivityEvent> =
+            act.events_for("lock").filter(|e| e.name == "unlock").collect();
+        assert!(!locks.is_empty(), "no lock events on a weekday");
+        assert!(!unlocks.is_empty(), "no unlock events on a weekday");
+        // Each arrival (auth_user) is followed by an unlock one minute later
+        // (sensor trigger precedes the app's action interval).
+        for a in act.events.iter().filter(|e| e.name == "auth_user") {
+            assert!(
+                unlocks.iter().any(|u| u.minute == a.minute + 1),
+                "auth_user at {} without unlock",
+                a.minute
+            );
+        }
+        // Each departure lock is preceded by an unlock one minute earlier
+        // (the occupant steps out, then locks from outside).
+        for l in &locks {
+            assert!(
+                act.events.iter().any(|e| e.device == "lock"
+                    && e.name == "unlock"
+                    && e.minute + 1 == l.minute),
+                "lock at {} without preceding unlock",
+                l.minute
+            );
+        }
+    }
+
+    #[test]
+    fn thermostat_events_present_in_winter() {
+        let act = HomeDataset::home_a(3).activity(10);
+        let heats = act.events_for("thermostat").filter(|e| e.name == "set_heat").count();
+        assert!(heats > 0, "winter day without heating events");
+    }
+
+    #[test]
+    fn temp_sensor_events_track_bands() {
+        let act = HomeDataset::home_a(3).activity(10);
+        let names: std::collections::HashSet<&str> = act
+            .events_for("temp_sensor")
+            .map(|e| e.name.as_str())
+            .collect();
+        assert!(names.contains("below_optimal") || names.contains("optimal"));
+        for e in act.events_for("temp_sensor") {
+            assert!(e.is_sensor);
+            assert!(!e.manual);
+        }
+    }
+
+    #[test]
+    fn appliance_commands_are_manual_actions() {
+        let act = HomeDataset::home_a(4).activity(2);
+        for e in &act.events {
+            if e.device == "oven" || e.device == "tv" {
+                assert!(!e.is_sensor);
+                assert!(e.manual);
+                assert!(e.name == "power_on" || e.name == "power_off", "{e:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn home_b_is_noisier_than_home_a() {
+        // Home B's third occupant has a much wider jitter than Home A's
+        // worker; compare their per-occupant departure-time spreads.
+        let spread = |home: &HomeDataset, occupant: usize| {
+            let leaves: Vec<f64> = (0..60u32)
+                .filter_map(|day| home.household().day(day)[occupant].leave)
+                .map(f64::from)
+                .collect();
+            let mean = leaves.iter().sum::<f64>() / leaves.len() as f64;
+            (leaves.iter().map(|l| (l - mean).powi(2)).sum::<f64>() / leaves.len() as f64)
+                .sqrt()
+        };
+        let a = spread(&HomeDataset::home_a(9), 0);
+        let b = spread(&HomeDataset::home_b(9), 2);
+        assert!(b > a, "Home B erratic occupant std {b} should exceed Home A worker std {a}");
+    }
+
+    #[test]
+    fn events_for_filters_by_device() {
+        let act = HomeDataset::home_a(1).activity(0);
+        for e in act.events_for("lock") {
+            assert_eq!(e.device, "lock");
+        }
+    }
+}

@@ -1,0 +1,281 @@
+//! OpenSHS-style occupant simulation: daily schedules with stochastic
+//! jitter, producing per-minute presence states.
+//!
+//! The paper builds Home A's datasets with the Open Smart Home Simulator
+//! (\[17\]) driven by scripted daily user activities (\[18\]). This module
+//! regenerates equivalent data: each occupant follows a wake → leave →
+//! return → sleep routine whose times jitter day-to-day, with optional
+//! stay-home weekend behavior — the exact periodic-but-noisy structure the
+//! SPL's learning phase and the dis-utility estimate (closest preferred time
+//! `t'`) rely on.
+
+use crate::rng_util;
+use crate::MINUTES_PER_DAY;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Presence state of one occupant at a given minute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Presence {
+    /// Awake and at home.
+    Home,
+    /// Out of the house.
+    Away,
+    /// At home, asleep.
+    Asleep,
+}
+
+/// Habitual schedule of one occupant (mean minutes of day, with jitter
+/// standard deviations).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OccupantProfile {
+    /// Mean wake-up minute (e.g. 390 = 06:30).
+    pub wake_mean: u32,
+    /// Mean leave-for-work minute.
+    pub leave_mean: u32,
+    /// Mean return-home minute.
+    pub return_mean: u32,
+    /// Mean go-to-sleep minute.
+    pub sleep_mean: u32,
+    /// Jitter standard deviation in minutes applied to every time.
+    pub jitter_std: f64,
+    /// Probability of staying home all day on a weekend day.
+    pub weekend_home_prob: f64,
+}
+
+impl OccupantProfile {
+    /// A typical full-time worker: wake 06:30, leave 08:00, return 18:00,
+    /// sleep 23:00, 25-minute jitter, 60 % of weekend days at home.
+    #[must_use]
+    pub fn worker() -> Self {
+        OccupantProfile {
+            wake_mean: 6 * 60 + 30,
+            leave_mean: 8 * 60,
+            return_mean: 18 * 60,
+            sleep_mean: 23 * 60,
+            jitter_std: 25.0,
+            weekend_home_prob: 0.6,
+        }
+    }
+
+    /// A mostly-home occupant (retiree / remote worker): short errand
+    /// mid-day instead of a work block.
+    #[must_use]
+    pub fn homebody() -> Self {
+        OccupantProfile {
+            wake_mean: 7 * 60 + 30,
+            leave_mean: 11 * 60,
+            return_mean: 12 * 60 + 30,
+            sleep_mean: 22 * 60 + 30,
+            jitter_std: 40.0,
+            weekend_home_prob: 0.8,
+        }
+    }
+
+    /// Sample this occupant's concrete schedule for `day` under `seed`.
+    #[must_use]
+    pub fn sample_day(&self, seed: u64, occupant: u32, day: u32) -> DaySchedule {
+        let mut rng =
+            rng_util::derive(seed, (u64::from(occupant) << 32) | u64::from(day));
+        let jitter = |rng: &mut rand_chacha::ChaCha8Rng, mean: u32| -> u32 {
+            let v = rng_util::approx_normal(rng, f64::from(mean), self.jitter_std);
+            (v.round().max(0.0) as u32).min(MINUTES_PER_DAY - 1)
+        };
+        let wake = jitter(&mut rng, self.wake_mean);
+        let weekend = matches!(day % 7, 5 | 6);
+        let stays_home = weekend && rng.gen::<f64>() < self.weekend_home_prob;
+        let (leave, ret) = if stays_home {
+            (None, None)
+        } else {
+            let leave = jitter(&mut rng, self.leave_mean).max(wake + 1);
+            let ret = jitter(&mut rng, self.return_mean).max(leave + 1);
+            (Some(leave), Some(ret))
+        };
+        let sleep = jitter(&mut rng, self.sleep_mean)
+            .max(ret.map_or(wake + 1, |r| r + 1))
+            .min(MINUTES_PER_DAY - 1);
+        DaySchedule { wake, leave, ret, sleep }
+    }
+}
+
+/// One occupant's concrete schedule for a single day.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DaySchedule {
+    /// Wake-up minute.
+    pub wake: u32,
+    /// Leave-home minute (`None` = stays home all day).
+    pub leave: Option<u32>,
+    /// Return-home minute (`None` = stays home all day).
+    pub ret: Option<u32>,
+    /// Go-to-sleep minute.
+    pub sleep: u32,
+}
+
+impl DaySchedule {
+    /// Presence at `minute` of this day.
+    #[must_use]
+    pub fn presence(&self, minute: u32) -> Presence {
+        if minute < self.wake || minute >= self.sleep {
+            return Presence::Asleep;
+        }
+        if let (Some(leave), Some(ret)) = (self.leave, self.ret) {
+            if (leave..ret).contains(&minute) {
+                return Presence::Away;
+            }
+        }
+        Presence::Home
+    }
+
+    /// True when the occupant is in the house (home or asleep).
+    #[must_use]
+    pub fn in_house(&self, minute: u32) -> bool {
+        self.presence(minute) != Presence::Away
+    }
+}
+
+/// A household of occupants sharing one home and one seed.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Household {
+    seed: u64,
+    occupants: Vec<OccupantProfile>,
+}
+
+impl Household {
+    /// Build a household.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `occupants` is empty.
+    #[must_use]
+    pub fn new(seed: u64, occupants: Vec<OccupantProfile>) -> Self {
+        assert!(!occupants.is_empty(), "a household needs at least one occupant");
+        Household { seed, occupants }
+    }
+
+    /// Number of occupants.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.occupants.len()
+    }
+
+    /// True when the household has no occupants (never, by construction).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.occupants.is_empty()
+    }
+
+    /// Sampled schedules of every occupant for `day`.
+    #[must_use]
+    pub fn day(&self, day: u32) -> Vec<DaySchedule> {
+        self.occupants
+            .iter()
+            .enumerate()
+            .map(|(i, p)| p.sample_day(self.seed, i as u32, day))
+            .collect()
+    }
+
+    /// True when anyone is in the house (home or asleep) at `minute` of
+    /// `day`.
+    #[must_use]
+    pub fn anyone_in_house(&self, day: u32, minute: u32) -> bool {
+        self.day(day).iter().any(|s| s.in_house(minute))
+    }
+
+    /// True when anyone is awake at home at `minute` of `day`.
+    #[must_use]
+    pub fn anyone_home_awake(&self, day: u32, minute: u32) -> bool {
+        self.day(day).iter().any(|s| s.presence(minute) == Presence::Home)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_orders_events() {
+        let p = OccupantProfile::worker();
+        for day in 0..60 {
+            let s = p.sample_day(1, 0, day);
+            assert!(s.wake < s.sleep, "day {day}: {s:?}");
+            if let (Some(l), Some(r)) = (s.leave, s.ret) {
+                assert!(s.wake < l && l < r && r <= s.sleep, "day {day}: {s:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn presence_phases() {
+        let s = DaySchedule { wake: 390, leave: Some(480), ret: Some(1080), sleep: 1380 };
+        assert_eq!(s.presence(100), Presence::Asleep);
+        assert_eq!(s.presence(400), Presence::Home);
+        assert_eq!(s.presence(700), Presence::Away);
+        assert_eq!(s.presence(1100), Presence::Home);
+        assert_eq!(s.presence(1400), Presence::Asleep);
+        assert!(!s.in_house(700));
+        assert!(s.in_house(100));
+    }
+
+    #[test]
+    fn stay_home_day_has_no_away() {
+        let s = DaySchedule { wake: 400, leave: None, ret: None, sleep: 1350 };
+        for m in (0..MINUTES_PER_DAY).step_by(17) {
+            assert_ne!(s.presence(m), Presence::Away);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let p = OccupantProfile::worker();
+        assert_eq!(p.sample_day(9, 0, 3), p.sample_day(9, 0, 3));
+        assert_ne!(p.sample_day(9, 0, 3), p.sample_day(10, 0, 3));
+    }
+
+    #[test]
+    fn jitter_varies_across_days() {
+        let p = OccupantProfile::worker();
+        let wakes: std::collections::HashSet<u32> =
+            (0..20).map(|d| p.sample_day(4, 0, d).wake).collect();
+        assert!(wakes.len() > 5, "wake times should jitter: {wakes:?}");
+    }
+
+    #[test]
+    fn weekday_leave_times_cluster_around_mean() {
+        let p = OccupantProfile::worker();
+        let leaves: Vec<u32> = (0..200)
+            .filter(|d| d % 7 < 5)
+            .filter_map(|d| p.sample_day(2, 0, d).leave)
+            .collect();
+        let mean: f64 = leaves.iter().map(|&l| f64::from(l)).sum::<f64>() / leaves.len() as f64;
+        assert!((mean - 480.0).abs() < 15.0, "mean leave {mean}");
+    }
+
+    #[test]
+    fn some_weekends_are_stay_home() {
+        let p = OccupantProfile::worker();
+        let weekend_days: Vec<DaySchedule> =
+            (0..140).filter(|d| d % 7 >= 5).map(|d| p.sample_day(8, 0, d)).collect();
+        let home_days = weekend_days.iter().filter(|s| s.leave.is_none()).count();
+        assert!(home_days > 0, "expected some stay-home weekend days");
+        assert!(home_days < weekend_days.len(), "expected some outings too");
+    }
+
+    #[test]
+    fn household_aggregation() {
+        let h = Household::new(
+            5,
+            vec![OccupantProfile::worker(), OccupantProfile::homebody()],
+        );
+        assert_eq!(h.len(), 2);
+        assert_eq!(h.day(0).len(), 2);
+        // At 03:00 everyone is asleep → in house but not awake.
+        assert!(h.anyone_in_house(0, 180));
+        assert!(!h.anyone_home_awake(0, 180));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one occupant")]
+    fn empty_household_panics() {
+        let _ = Household::new(0, vec![]);
+    }
+}

@@ -1,0 +1,158 @@
+//! Day-ahead-market (DAM) electricity prices, standing in for the ERCOT data
+//! the paper's cost-minimization reward consumes (Section VI-D, Figure 7).
+//!
+//! The generator reproduces the structure cost optimization actually
+//! exploits: a deep night valley, a morning ramp, an afternoon/evening peak,
+//! cheaper weekends, and day-to-day noise.
+
+use crate::rng_util;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Hourly base curve in $/MWh (ERCOT-like weekday shape).
+const BASE_CURVE: [f64; 24] = [
+    19.0, 18.0, 17.5, 17.0, 17.5, 19.0, // 00–05: night valley
+    24.0, 32.0, 38.0, 42.0, 46.0, 52.0, // 06–11: morning ramp
+    58.0, 66.0, 78.0, 92.0, 105.0, 112.0, // 12–17: build to peak
+    98.0, 80.0, 60.0, 44.0, 32.0, 24.0, // 18–23: evening decline
+];
+
+/// Seeded day-ahead hourly electricity prices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DamPrices {
+    seed: u64,
+}
+
+impl DamPrices {
+    /// Price model seeded by `seed`.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        DamPrices { seed }
+    }
+
+    /// Price in $/kWh on `day` (0-based; day 0 is a Monday) during `hour`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `hour >= 24`.
+    #[must_use]
+    pub fn price_per_kwh(&self, day: u32, hour: u32) -> f64 {
+        assert!(hour < 24, "hour {hour} out of range");
+        let mut rng = rng_util::derive(self.seed, (u64::from(day) << 8) | u64::from(hour));
+        let weekend = matches!(day % 7, 5 | 6);
+        let scale = if weekend { 0.82 } else { 1.0 };
+        let noise = 1.0 + rng.gen_range(-0.15..=0.15);
+        (BASE_CURVE[hour as usize] * scale * noise / 1000.0).max(0.001)
+    }
+
+    /// The full 24-hour price vector of a day, $/kWh.
+    #[must_use]
+    pub fn day_curve(&self, day: u32) -> [f64; 24] {
+        std::array::from_fn(|h| self.price_per_kwh(day, h as u32))
+    }
+
+    /// The cheapest hour of `day` within `hours` (a half-open range of hour
+    /// indices); `None` for an empty range. This is the "closest off-peak
+    /// hour" query behind Table III's cost-minimization rows.
+    #[must_use]
+    pub fn cheapest_hour(&self, day: u32, hours: std::ops::Range<u32>) -> Option<u32> {
+        hours
+            .filter(|&h| h < 24)
+            .min_by(|&a, &b| {
+                self.price_per_kwh(day, a)
+                    .partial_cmp(&self.price_per_kwh(day, b))
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+    }
+
+    /// True in the conventional off-peak window (22:00–06:00).
+    #[must_use]
+    pub fn is_off_peak(hour: u32) -> bool {
+        !(6..22).contains(&hour)
+    }
+
+    /// Mean price of a day, $/kWh.
+    #[must_use]
+    pub fn day_mean(&self, day: u32) -> f64 {
+        self.day_curve(day).iter().sum::<f64>() / 24.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = DamPrices::new(1);
+        let b = DamPrices::new(1);
+        assert_eq!(a.day_curve(3), b.day_curve(3));
+        assert_ne!(a.day_curve(3), DamPrices::new(2).day_curve(3));
+    }
+
+    #[test]
+    fn peak_exceeds_valley() {
+        let p = DamPrices::new(7);
+        for day in 0..14 {
+            let peak = p.price_per_kwh(day, 17);
+            let valley = p.price_per_kwh(day, 3);
+            assert!(peak > 2.0 * valley, "day {day}: peak {peak} valley {valley}");
+        }
+    }
+
+    #[test]
+    fn weekends_cheaper_on_average() {
+        let p = DamPrices::new(7);
+        let weekday: f64 = (0..20).filter(|d| d % 7 < 5).map(|d| p.day_mean(d)).sum::<f64>();
+        let weekday = weekday / (0..20).filter(|d| d % 7 < 5).count() as f64;
+        let weekend: f64 = (0..20).filter(|d| d % 7 >= 5).map(|d| p.day_mean(d)).sum::<f64>();
+        let weekend = weekend / (0..20).filter(|d| d % 7 >= 5).count() as f64;
+        assert!(weekend < weekday, "weekend {weekend} weekday {weekday}");
+    }
+
+    #[test]
+    fn cheapest_hour_is_at_night() {
+        let p = DamPrices::new(3);
+        for day in 0..7 {
+            let h = p.cheapest_hour(day, 0..24).unwrap();
+            assert!(DamPrices::is_off_peak(h), "day {day}: cheapest hour {h}");
+        }
+    }
+
+    #[test]
+    fn cheapest_hour_respects_range() {
+        let p = DamPrices::new(3);
+        let h = p.cheapest_hour(0, 12..18).unwrap();
+        assert!((12..18).contains(&h));
+        assert_eq!(p.cheapest_hour(0, 10..10), None);
+        // Out-of-range hours are ignored.
+        assert_eq!(p.cheapest_hour(0, 24..30), None);
+    }
+
+    #[test]
+    fn prices_positive_and_plausible() {
+        let p = DamPrices::new(11);
+        for day in 0..30 {
+            for (h, price) in p.day_curve(day).iter().enumerate() {
+                assert!(
+                    (0.001..0.2).contains(price),
+                    "day {day} hour {h}: {price} $/kWh"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn hour_out_of_range_panics() {
+        let _ = DamPrices::new(0).price_per_kwh(0, 24);
+    }
+
+    #[test]
+    fn off_peak_window() {
+        assert!(DamPrices::is_off_peak(23));
+        assert!(DamPrices::is_off_peak(3));
+        assert!(!DamPrices::is_off_peak(12));
+        assert!(!DamPrices::is_off_peak(17));
+    }
+}

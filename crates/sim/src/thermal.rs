@@ -1,0 +1,178 @@
+//! First-order house thermal model coupling HVAC action to indoor
+//! temperature.
+//!
+//! The functionality experiments need indoor temperature to *respond* to the
+//! agent's thermostat actions: leaving the heater off lets the home drift
+//! toward the outdoor temperature; running it pulls the home toward comfort.
+//! A first-order RC (lumped-capacitance) model captures exactly that and is
+//! the standard substrate in the smart-home RL literature the paper builds
+//! on (\[7\], \[33\]).
+
+use serde::{Deserialize, Serialize};
+
+/// HVAC operating mode at one time instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum HvacMode {
+    /// Equipment off: the house drifts toward outdoor temperature.
+    Off,
+    /// Heating at full capacity.
+    Heat,
+    /// Cooling at full capacity.
+    Cool,
+}
+
+/// Lumped-capacitance thermal model:
+/// `T_in ← T_in + Δt·(T_out − T_in)/τ + Δt·hvac_rate`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ThermalModel {
+    /// Envelope time constant τ in minutes (bigger = better insulated).
+    tau_min: f64,
+    /// Heating rate, °C per minute at full capacity.
+    heat_rate: f64,
+    /// Cooling rate, °C per minute at full capacity (positive magnitude).
+    cool_rate: f64,
+}
+
+impl ThermalModel {
+    /// Build a model.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless all parameters are positive.
+    #[must_use]
+    pub fn new(tau_min: f64, heat_rate: f64, cool_rate: f64) -> Self {
+        assert!(
+            tau_min > 0.0 && heat_rate > 0.0 && cool_rate > 0.0,
+            "thermal parameters must be positive"
+        );
+        ThermalModel { tau_min, heat_rate, cool_rate }
+    }
+
+    /// A typical single-family home: τ = 180 min, heat 0.18 °C/min,
+    /// cool 0.15 °C/min (furnace sized to hold a 30 °C indoor-outdoor
+    /// difference, the standard design criterion).
+    #[must_use]
+    pub fn typical_home() -> Self {
+        ThermalModel::new(180.0, 0.18, 0.15)
+    }
+
+    /// Advance the indoor temperature by `dt_min` minutes.
+    #[must_use]
+    pub fn step(&self, t_in: f64, t_out: f64, mode: HvacMode, dt_min: f64) -> f64 {
+        let leak = (t_out - t_in) * (dt_min / self.tau_min);
+        let hvac = match mode {
+            HvacMode::Off => 0.0,
+            HvacMode::Heat => self.heat_rate * dt_min,
+            HvacMode::Cool => -self.cool_rate * dt_min,
+        };
+        t_in + leak + hvac
+    }
+
+    /// Simulate a whole day at 1-minute resolution.
+    ///
+    /// `outdoor(m)` gives the outdoor temperature at minute `m`; `mode(m)`
+    /// the HVAC mode chosen for minute `m`. Returns the 1440-sample indoor
+    /// trajectory starting from `t0` (sample `i` is the temperature entering
+    /// minute `i`).
+    pub fn simulate_day(
+        &self,
+        t0: f64,
+        outdoor: impl Fn(u32) -> f64,
+        mode: impl Fn(u32) -> HvacMode,
+    ) -> Vec<f64> {
+        let mut out = Vec::with_capacity(crate::MINUTES_PER_DAY as usize);
+        let mut t = t0;
+        for m in 0..crate::MINUTES_PER_DAY {
+            out.push(t);
+            t = self.step(t, outdoor(m), mode(m), 1.0);
+        }
+        out
+    }
+
+    /// Electrical power draw of the equipment in `mode`, in watts (typical
+    /// residential heat pump).
+    #[must_use]
+    pub fn power_w(mode: HvacMode) -> f64 {
+        match mode {
+            HvacMode::Off => 0.0,
+            HvacMode::Heat => 2_000.0,
+            HvacMode::Cool => 1_800.0,
+        }
+    }
+}
+
+impl Default for ThermalModel {
+    fn default() -> Self {
+        ThermalModel::typical_home()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn off_drifts_toward_outdoor() {
+        let m = ThermalModel::typical_home();
+        let mut t = 21.0;
+        for _ in 0..600 {
+            t = m.step(t, 0.0, HvacMode::Off, 1.0);
+        }
+        assert!(t < 5.0, "after 10 h unheated at 0 °C out: {t}");
+        assert!(t > -1.0, "cannot drop below outdoor: {t}");
+    }
+
+    #[test]
+    fn heating_beats_leakage_in_cold() {
+        let m = ThermalModel::typical_home();
+        let mut t = 15.0;
+        for _ in 0..120 {
+            t = m.step(t, -5.0, HvacMode::Heat, 1.0);
+        }
+        assert!(t > 17.0, "2 h of heating should warm the house: {t}");
+    }
+
+    #[test]
+    fn cooling_lowers_temperature_in_heat() {
+        let m = ThermalModel::typical_home();
+        let mut t = 28.0;
+        for _ in 0..120 {
+            t = m.step(t, 35.0, HvacMode::Cool, 1.0);
+        }
+        assert!(t < 26.0, "2 h of cooling should cool the house: {t}");
+    }
+
+    #[test]
+    fn equilibrium_is_outdoor_when_off() {
+        let m = ThermalModel::typical_home();
+        // At t_in == t_out, Off is a fixed point.
+        assert!((m.step(10.0, 10.0, HvacMode::Off, 1.0) - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn simulate_day_length_and_continuity() {
+        let m = ThermalModel::typical_home();
+        let traj = m.simulate_day(20.0, |_| 5.0, |_| HvacMode::Off);
+        assert_eq!(traj.len(), 1440);
+        assert_eq!(traj[0], 20.0);
+        for w in traj.windows(2) {
+            assert!((w[1] - w[0]).abs() < 0.3, "1-minute jump too large");
+        }
+        // Monotone decay toward 5 °C.
+        assert!(traj[1439] < traj[0]);
+        assert!(traj[1439] > 5.0);
+    }
+
+    #[test]
+    fn power_model() {
+        assert_eq!(ThermalModel::power_w(HvacMode::Off), 0.0);
+        assert!(ThermalModel::power_w(HvacMode::Heat) > 0.0);
+        assert!(ThermalModel::power_w(HvacMode::Cool) > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn invalid_parameters_panic() {
+        let _ = ThermalModel::new(0.0, 0.1, 0.1);
+    }
+}

@@ -1,0 +1,153 @@
+//! Outdoor temperature model with day-ahead forecasts.
+//!
+//! Used by the temperature-optimization experiment (Figure 8), whose reward
+//! `F_3` is "the temperature difference between day-ahead forecasted
+//! temperature and HVAC readings" (Section VI-D). The model is a seasonal +
+//! diurnal sinusoid with seeded per-day weather offsets and a forecast that
+//! differs from truth by a small error — exactly the structure that matters
+//! to the experiment.
+
+use crate::rng_util;
+use crate::MINUTES_PER_DAY;
+
+use serde::{Deserialize, Serialize};
+
+/// A deterministic, seeded outdoor-temperature model (°C).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WeatherModel {
+    seed: u64,
+}
+
+impl WeatherModel {
+    /// Model seeded by `seed`; the same seed reproduces the same weather.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        WeatherModel { seed }
+    }
+
+    /// True outdoor temperature on `day` (0-based, day 0 = January 1) at
+    /// `minute` of day.
+    #[must_use]
+    pub fn outdoor_temp(&self, day: u32, minute: u32) -> f64 {
+        let minute = minute.min(MINUTES_PER_DAY - 1);
+        self.seasonal_mean(day) + self.diurnal(minute) + self.day_offset(day)
+    }
+
+    /// Day-ahead forecast for `day` at `minute`: the truth plus a bounded
+    /// forecast error drawn per day.
+    #[must_use]
+    pub fn forecast_temp(&self, day: u32, minute: u32) -> f64 {
+        let mut rng = rng_util::derive(self.seed, 0x00F0_0000 | u64::from(day));
+        let err = rng_util::approx_normal(&mut rng, 0.0, 1.0).clamp(-3.0, 3.0);
+        self.outdoor_temp(day, minute) + err
+    }
+
+    /// Mean temperature of `day` (seasonal curve, no weather noise).
+    #[must_use]
+    pub fn seasonal_mean(&self, day: u32) -> f64 {
+        let doy = f64::from(day % 365);
+        // Coldest around mid-January, warmest around mid-July.
+        12.0 - 11.0 * (std::f64::consts::TAU * (doy - 15.0) / 365.0).cos()
+    }
+
+    fn diurnal(&self, minute: u32) -> f64 {
+        // Amplitude 4.5 °C, peaking at 14:00, coldest pre-dawn.
+        let m = f64::from(minute);
+        4.5 * (std::f64::consts::TAU * (m - 14.0 * 60.0) / f64::from(MINUTES_PER_DAY)).cos()
+    }
+
+    fn day_offset(&self, day: u32) -> f64 {
+        let mut rng = rng_util::derive(self.seed, 0x00D0_0000 | u64::from(day));
+        rng_util::approx_normal(&mut rng, 0.0, 2.5)
+    }
+
+    /// Mean absolute forecast error over one day, sampled hourly — a sanity
+    /// metric used in tests and EXPERIMENTS.md.
+    #[must_use]
+    pub fn forecast_mae(&self, day: u32) -> f64 {
+        let mut total = 0.0;
+        for h in 0..24 {
+            let m = h * 60;
+            total += (self.forecast_temp(day, m) - self.outdoor_temp(day, m)).abs();
+        }
+        total / 24.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = WeatherModel::new(5);
+        let b = WeatherModel::new(5);
+        let c = WeatherModel::new(6);
+        assert_eq!(a.outdoor_temp(10, 600), b.outdoor_temp(10, 600));
+        assert_ne!(a.outdoor_temp(10, 600), c.outdoor_temp(10, 600));
+    }
+
+    #[test]
+    fn summer_warmer_than_winter() {
+        let w = WeatherModel::new(1);
+        // Average over several days to wash out weather noise.
+        let avg = |days: std::ops::Range<u32>| {
+            let n = days.len() as f64;
+            days.map(|d| w.outdoor_temp(d, 720)).sum::<f64>() / n
+        };
+        let winter = avg(0..14);
+        let summer = avg(180..194);
+        assert!(summer > winter + 10.0, "summer {summer} vs winter {winter}");
+    }
+
+    #[test]
+    fn afternoon_warmer_than_predawn() {
+        let w = WeatherModel::new(1);
+        for day in [30, 120, 250] {
+            assert!(
+                w.outdoor_temp(day, 14 * 60) > w.outdoor_temp(day, 4 * 60),
+                "day {day}"
+            );
+        }
+    }
+
+    #[test]
+    fn forecast_error_is_bounded_and_nonzero() {
+        let w = WeatherModel::new(2);
+        let mut any_nonzero = false;
+        for day in 0..30 {
+            let mae = w.forecast_mae(day);
+            assert!(mae <= 3.0 + 1e-9, "day {day} mae {mae}");
+            if mae > 1e-9 {
+                any_nonzero = true;
+            }
+        }
+        assert!(any_nonzero, "forecast should not be perfect");
+    }
+
+    #[test]
+    fn forecast_error_constant_within_day() {
+        // The per-day error model shifts the whole day uniformly.
+        let w = WeatherModel::new(3);
+        let e1 = w.forecast_temp(7, 100) - w.outdoor_temp(7, 100);
+        let e2 = w.forecast_temp(7, 900) - w.outdoor_temp(7, 900);
+        assert!((e1 - e2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn minute_clamped() {
+        let w = WeatherModel::new(4);
+        assert_eq!(w.outdoor_temp(0, 5000), w.outdoor_temp(0, MINUTES_PER_DAY - 1));
+    }
+
+    #[test]
+    fn temperatures_in_plausible_range() {
+        let w = WeatherModel::new(9);
+        for day in (0..365).step_by(13) {
+            for minute in (0..MINUTES_PER_DAY).step_by(177) {
+                let t = w.outdoor_temp(day, minute);
+                assert!((-25.0..=45.0).contains(&t), "day {day} min {minute}: {t}");
+            }
+        }
+    }
+}

@@ -1,0 +1,88 @@
+//! Mapping from SIMADL-style benign-anomaly classes to concrete smart-home
+//! transitions.
+//!
+//! A benign anomaly manifests as a device action from a specific pre-state
+//! (a fridge door opening while the fridge runs, an oven turning on while
+//! off…). Both the violation-evaluation harness and the Jarvis facade's
+//! filter training need this mapping, so it lives with the device catalogue.
+
+use crate::home::SmartHome;
+use jarvis_iot_model::{DeviceId, EnvAction, StateIdx};
+use jarvis_sim::anomaly::AnomalyClass;
+
+/// The `(state context, action)` a benign anomaly class manifests as. The
+/// context always pins the actuated device to an effective pre-state; some
+/// classes pin additional devices (heating an *empty* house requires the
+/// lock to show everyone out).
+///
+/// # Panics
+///
+/// Panics when `home` lacks the catalogue device the class maps to, or for
+/// an anomaly class added upstream without a signature here.
+#[must_use]
+pub fn anomaly_signature(
+    home: &SmartHome,
+    class: AnomalyClass,
+) -> (Vec<(DeviceId, StateIdx)>, EnvAction) {
+    let pre = |dev: &str, state: &str| (home.device_id(dev), home.state_idx(dev, state));
+    let act = |dev: &str, action: &str| EnvAction::single(home.mini_action(dev, action));
+    match class {
+        AnomalyClass::FridgeDoorLeftOpen => {
+            (vec![pre("fridge", "running")], act("fridge", "open_door"))
+        }
+        AnomalyClass::OvenLeftOn => (vec![pre("oven", "off")], act("oven", "power_on")),
+        AnomalyClass::TvLeftOn => (vec![pre("tv", "off")], act("tv", "power_on")),
+        AnomalyClass::LightsLeftOn => (vec![pre("light", "off")], act("light", "power_on")),
+        AnomalyClass::DoorLeftUnlocked => {
+            (vec![pre("lock", "locked_inside")], act("lock", "unlock"))
+        }
+        AnomalyClass::HeaterLeftOn => (
+            // Heating forgotten on while the house is empty.
+            vec![
+                pre("thermostat", "off"),
+                pre("lock", "locked_outside"),
+                pre("door_sensor", "sensing"),
+            ],
+            act("thermostat", "set_heat"),
+        ),
+        AnomalyClass::WasherInterrupted => {
+            (vec![pre("washer", "running")], act("washer", "stop"))
+        }
+        AnomalyClass::WaterHeaterOddHour => {
+            (vec![pre("water_heater", "idle")], act("water_heater", "start"))
+        }
+        other => unreachable!("unmapped anomaly class {other:?}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_class_has_an_effective_signature() {
+        let home = SmartHome::evaluation_home();
+        for &class in AnomalyClass::all() {
+            let (context, action) = anomaly_signature(&home, class);
+            let mut state = home.midnight_state();
+            for (d, s) in &context {
+                state.set_device(*d, *s);
+            }
+            let next = home.fsm().step(&state, &action).unwrap();
+            assert_ne!(next, state, "{class:?} must change state");
+        }
+    }
+
+    #[test]
+    fn signature_context_pins_the_actuated_device() {
+        let home = SmartHome::evaluation_home();
+        for &class in AnomalyClass::all() {
+            let (context, _) = anomaly_signature(&home, class);
+            let dev = home.device_id(class.device());
+            assert!(
+                context.iter().any(|&(d, _)| d == dev),
+                "{class:?} context must pin {dev}"
+            );
+        }
+    }
+}

@@ -1,0 +1,351 @@
+//! IFTTT-style trigger-action apps and the engine that runs them — the five
+//! common apps of Table II.
+//!
+//! Each app is a set of rules `trigger pattern → mini-actions`. Apps are
+//! *edge-triggered*: a rule fires when the environment state enters the
+//! trigger pattern (matching IFTTT applet semantics, where the trigger is an
+//! event, not a level).
+
+use crate::home::SmartHome;
+use jarvis_iot_model::{
+    Actor, AppId, EnvState, EpisodeRecorder, MiniAction, ModelError, StatePattern, UserId,
+};
+
+/// One trigger-action app: a named set of `pattern → actions` rules.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TriggerActionApp {
+    /// Platform app id (used for authorization).
+    pub id: AppId,
+    /// Short name.
+    pub name: String,
+    /// Human description (the Table II "Description" column).
+    pub description: String,
+    /// Rules evaluated in order; every rule whose trigger is entered fires.
+    pub rules: Vec<(StatePattern, Vec<MiniAction>)>,
+}
+
+impl TriggerActionApp {
+    /// Mini-actions fired on the transition `prev → cur`: all actions of
+    /// rules whose trigger matches `cur` but did not match `prev`
+    /// (edge-triggered).
+    #[must_use]
+    pub fn fire_on_edge(&self, prev: &EnvState, cur: &EnvState) -> Vec<MiniAction> {
+        let mut out = Vec::new();
+        for (trigger, actions) in &self.rules {
+            if trigger.matches(cur) && !trigger.matches(prev) {
+                out.extend_from_slice(actions);
+            }
+        }
+        out
+    }
+
+    /// Mini-actions of rules matching `cur` regardless of history
+    /// (level-triggered; used by analysis code).
+    #[must_use]
+    pub fn fire_on_level(&self, cur: &EnvState) -> Vec<MiniAction> {
+        let mut out = Vec::new();
+        for (trigger, actions) in &self.rules {
+            if trigger.matches(cur) {
+                out.extend_from_slice(actions);
+            }
+        }
+        out
+    }
+
+    /// Devices this app actuates.
+    #[must_use]
+    pub fn actuated_devices(&self) -> Vec<jarvis_iot_model::DeviceId> {
+        let mut v: Vec<_> = self
+            .rules
+            .iter()
+            .flat_map(|(_, actions)| actions.iter().map(|m| m.device))
+            .collect();
+        v.sort();
+        v.dedup();
+        v
+    }
+}
+
+/// The installed app set of a home, evaluated every interval.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AppEngine {
+    apps: Vec<TriggerActionApp>,
+}
+
+impl AppEngine {
+    /// An engine over an explicit app list.
+    #[must_use]
+    pub fn new(apps: Vec<TriggerActionApp>) -> Self {
+        AppEngine { apps }
+    }
+
+    /// Build the five Table II apps for `home`'s example FSM and install
+    /// their device subscriptions into the home's authorization policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `home` lacks the five example devices (use
+    /// [`SmartHome::example_home`] or a superset like the evaluation home).
+    #[must_use]
+    pub fn install_table2_apps(home: &mut SmartHome) -> AppEngine {
+        let k = home.fsm().num_devices();
+        let lock = home.device_id("lock");
+        let door = home.device_id("door_sensor");
+        let temp = home.device_id("temp_sensor");
+
+        let locked_out = home.state_idx("lock", "locked_outside");
+        let auth = home.state_idx("door_sensor", "auth_user");
+        let sensing = home.state_idx("door_sensor", "sensing");
+        let below = home.state_idx("temp_sensor", "below_optimal");
+        let above = home.state_idx("temp_sensor", "above_optimal");
+        let fire = home.state_idx("temp_sensor", "fire_alarm");
+
+        let arrive = StatePattern::any(k).with(lock, locked_out).with(door, auth);
+        let apps = vec![
+            TriggerActionApp {
+                id: AppId(1),
+                name: "auto-unlock".to_owned(),
+                description: "Door unlocks when authenticated user arrives at the door"
+                    .to_owned(),
+                rules: vec![(arrive.clone(), vec![home.mini_action("lock", "unlock")])],
+            },
+            TriggerActionApp {
+                id: AppId(2),
+                name: "thermostat-maintain".to_owned(),
+                description: "Maintain optimal temperature in the house".to_owned(),
+                rules: vec![
+                    (
+                        StatePattern::any(k).with(temp, below),
+                        vec![home.mini_action("thermostat", "set_heat")],
+                    ),
+                    (
+                        StatePattern::any(k).with(temp, above),
+                        vec![home.mini_action("thermostat", "set_cool")],
+                    ),
+                ],
+            },
+            TriggerActionApp {
+                id: AppId(3),
+                name: "lights-on-arrival".to_owned(),
+                description: "Lights turn on when user arrives home".to_owned(),
+                rules: vec![(arrive, vec![home.mini_action("light", "power_on")])],
+            },
+            TriggerActionApp {
+                id: AppId(4),
+                name: "fire-egress".to_owned(),
+                description: "Door is opened/lights turned on when fire alarm is raised"
+                    .to_owned(),
+                rules: vec![(
+                    StatePattern::any(k).with(temp, fire),
+                    vec![
+                        home.mini_action("lock", "unlock"),
+                        home.mini_action("light", "power_on"),
+                    ],
+                )],
+            },
+            TriggerActionApp {
+                id: AppId(5),
+                name: "away-shutdown".to_owned(),
+                description: "Thermostat/lights turned off when user leaves the house"
+                    .to_owned(),
+                rules: vec![(
+                    StatePattern::any(k).with(lock, locked_out).with(door, sensing),
+                    vec![
+                        home.mini_action("light", "power_off"),
+                        home.mini_action("thermostat", "power_off"),
+                    ],
+                )],
+            },
+        ];
+
+        for app in &apps {
+            let names: Vec<String> = app
+                .actuated_devices()
+                .iter()
+                .map(|&d| home.fsm().device(d).expect("valid").name().to_owned())
+                .collect();
+            let name_refs: Vec<&str> = names.iter().map(String::as_str).collect();
+            home.install_app(app.id, &name_refs);
+        }
+        AppEngine::new(apps)
+    }
+
+    /// The installed apps.
+    #[must_use]
+    pub fn apps(&self) -> &[TriggerActionApp] {
+        &self.apps
+    }
+
+    /// Everything fired on the transition `prev → cur`, as
+    /// `(app, mini-action)` pairs in app order.
+    #[must_use]
+    pub fn fired_on_edge(&self, prev: &EnvState, cur: &EnvState) -> Vec<(AppId, MiniAction)> {
+        self.apps
+            .iter()
+            .flat_map(|app| {
+                app.fire_on_edge(prev, cur)
+                    .into_iter()
+                    .map(move |m| (app.id, m))
+            })
+            .collect()
+    }
+
+    /// Submit everything fired on `prev → recorder.current()` into the
+    /// recorder for the current interval, attributing each mini-action to
+    /// its app (run by `user`). First-come-first-serve conflicts follow the
+    /// recorder's policy.
+    ///
+    /// Returns how many mini-actions were accepted.
+    ///
+    /// # Errors
+    ///
+    /// Propagates authorization errors — an app acting on a device it is not
+    /// subscribed to indicates an installation bug (or a Type-4 attack
+    /// scenario in the evaluation corpus).
+    pub fn drive(
+        &self,
+        recorder: &mut EpisodeRecorder<'_>,
+        prev: &EnvState,
+        user: UserId,
+    ) -> Result<usize, ModelError> {
+        let cur = recorder.current().clone();
+        let mut accepted = 0;
+        for (app, mini) in self.fired_on_edge(prev, &cur) {
+            if recorder.submit(Actor { user, app }, mini)? {
+                accepted += 1;
+            }
+        }
+        Ok(accepted)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jarvis_iot_model::EpisodeConfig;
+
+    fn setup() -> (SmartHome, AppEngine) {
+        let mut home = SmartHome::example_home();
+        let engine = AppEngine::install_table2_apps(&mut home);
+        (home, engine)
+    }
+
+    #[test]
+    fn five_apps_installed() {
+        let (home, engine) = setup();
+        assert_eq!(engine.apps().len(), 5);
+        // Every app's subscriptions are present in authz.
+        for app in engine.apps() {
+            for d in app.actuated_devices() {
+                assert!(home.authz().app_may_actuate(app.id, d), "{} on {d}", app.name);
+            }
+        }
+    }
+
+    #[test]
+    fn auto_unlock_fires_on_arrival_edge() {
+        let (home, engine) = setup();
+        let away = home
+            .fsm()
+            .initial_state() // lock locked_outside, door sensing
+            .with_device(home.device_id("temp_sensor"), home.state_idx("temp_sensor", "optimal"));
+        let arrived = away.with_device(
+            home.device_id("door_sensor"),
+            home.state_idx("door_sensor", "auth_user"),
+        );
+        let fired = engine.fired_on_edge(&away, &arrived);
+        let unlock = home.mini_action("lock", "unlock");
+        let light_on = home.mini_action("light", "power_on");
+        assert!(fired.contains(&(AppId(1), unlock)));
+        assert!(fired.contains(&(AppId(3), light_on)), "app 3 shares the trigger");
+        // No fire while the state stays matched (edge semantics).
+        assert!(engine.fired_on_edge(&arrived, &arrived).is_empty());
+    }
+
+    #[test]
+    fn thermostat_app_heats_and_cools() {
+        let (home, engine) = setup();
+        let temp = home.device_id("temp_sensor");
+        let optimal = home.occupied_initial_state();
+        let cold = optimal.with_device(temp, home.state_idx("temp_sensor", "below_optimal"));
+        let hot = optimal.with_device(temp, home.state_idx("temp_sensor", "above_optimal"));
+        assert_eq!(
+            engine.fired_on_edge(&optimal, &cold),
+            vec![(AppId(2), home.mini_action("thermostat", "set_heat"))]
+        );
+        assert_eq!(
+            engine.fired_on_edge(&optimal, &hot),
+            vec![(AppId(2), home.mini_action("thermostat", "set_cool"))]
+        );
+    }
+
+    #[test]
+    fn fire_alarm_opens_door_and_lights() {
+        let (home, engine) = setup();
+        let normal = home.occupied_initial_state();
+        let alarm = normal.with_device(
+            home.device_id("temp_sensor"),
+            home.state_idx("temp_sensor", "fire_alarm"),
+        );
+        let fired = engine.fired_on_edge(&normal, &alarm);
+        assert_eq!(fired.len(), 2);
+        assert!(fired.iter().all(|(id, _)| *id == AppId(4)));
+    }
+
+    #[test]
+    fn away_shutdown_fires_when_leaving() {
+        let (home, engine) = setup();
+        // At home: unlocked. Leaving: locked_outside + door sensing.
+        let at_home = home.occupied_initial_state();
+        let left = at_home.with_device(
+            home.device_id("lock"),
+            home.state_idx("lock", "locked_outside"),
+        );
+        let fired = engine.fired_on_edge(&at_home, &left);
+        assert!(fired.contains(&(AppId(5), home.mini_action("light", "power_off"))));
+        assert!(fired.contains(&(AppId(5), home.mini_action("thermostat", "power_off"))));
+    }
+
+    #[test]
+    fn drive_submits_into_recorder() {
+        let (home, engine) = setup();
+        let cfg = EpisodeConfig::new(120, 60).unwrap();
+        // Start in the "user at door" state so apps 1 and 3 fire against the
+        // midnight baseline.
+        let arrived = home.fsm().initial_state().with_device(
+            home.device_id("door_sensor"),
+            home.state_idx("door_sensor", "auth_user"),
+        );
+        let prev = home.fsm().initial_state();
+        let mut rec =
+            EpisodeRecorder::new(home.fsm(), home.authz(), cfg, arrived.clone()).unwrap();
+        let accepted = engine.drive(&mut rec, &prev, UserId(0)).unwrap();
+        assert_eq!(accepted, 2, "unlock + light on");
+        let t = rec.advance().unwrap();
+        assert_eq!(
+            t.next.device(home.device_id("lock")),
+            Some(home.state_idx("lock", "unlocked"))
+        );
+        assert_eq!(
+            t.next.device(home.device_id("light")),
+            Some(home.state_idx("light", "on"))
+        );
+        // Attribution recorded the app ids, not the manual pseudo-app.
+        assert!(t.actors.iter().any(|a| a.app == AppId(1)));
+    }
+
+    #[test]
+    fn level_fire_reports_all_matching() {
+        let (home, engine) = setup();
+        let arrived = home.fsm().initial_state().with_device(
+            home.device_id("door_sensor"),
+            home.state_idx("door_sensor", "auth_user"),
+        );
+        let level: Vec<MiniAction> = engine
+            .apps()
+            .iter()
+            .flat_map(|a| a.fire_on_level(&arrived))
+            .collect();
+        assert!(level.len() >= 2);
+    }
+}

@@ -1,0 +1,361 @@
+//! The smart-home device catalogue.
+//!
+//! Builds the [`DeviceSpec`]s of the Table I example home and the
+//! eleven-device evaluation home. Device, state, and action names align with
+//! the trace generator of `jarvis-sim` so logged activity parses directly
+//! into FSM episodes.
+//!
+//! # Sensor pseudo-actions
+//!
+//! In the paper's model the environment state includes sensor states, and
+//! physical-world changes (an authorized user appearing at the door, the
+//! temperature crossing a band) arrive as state transitions. We model those
+//! exogenous changes as *pseudo-actions* named with the reserved prefixes
+//! `sense_`, `read_`, or `alarm_`. They keep the transition function `Δ`
+//! total and let the recorder capture sensor transitions, but they are
+//! **not** part of the agent's action space — [`is_agent_action`] filters
+//! them out, and dis-utility does not apply to them.
+
+use jarvis_iot_model::{DeviceKind, DeviceSpec};
+
+/// True when an action name is something an agent (user/app) can execute,
+/// i.e. not an exogenous sensor pseudo-action.
+#[must_use]
+pub fn is_agent_action(name: &str) -> bool {
+    !(name.starts_with("sense_") || name.starts_with("read_") || name.starts_with("alarm_"))
+}
+
+/// Smart lock (`D_0` of Table I): states `locked_outside`, `unlocked`,
+/// `off`, `locked_inside`.
+///
+/// Beyond Table I's four actions we add `lock_inside` so the fourth state is
+/// reachable by an explicit command (the paper leaves its trigger implicit).
+///
+/// # Panics
+///
+/// Panics only if the catalogue itself is inconsistent (compile-time data).
+#[must_use]
+pub fn lock() -> DeviceSpec {
+    DeviceSpec::builder("lock")
+        .kind(DeviceKind::Actuator)
+        .states(["locked_outside", "unlocked", "off", "locked_inside"])
+        .actions(["lock", "unlock", "power_off", "power_on", "lock_inside"])
+        .transition("locked_outside", "unlock", "unlocked")
+        .transition("locked_inside", "unlock", "unlocked")
+        .transition("unlocked", "lock", "locked_outside")
+        .transition("unlocked", "lock_inside", "locked_inside")
+        .transition("locked_outside", "power_off", "off")
+        .transition("locked_inside", "power_off", "off")
+        .transition("unlocked", "power_off", "off")
+        .transition("off", "power_on", "locked_outside")
+        .disutility(0.9) // locks need immediate response (Section V-A-4)
+        .build()
+        .expect("catalogue device is well-formed")
+}
+
+/// Door touch sensor (`D_1`): `sensing`, `auth_user`, `unauth_user`, `off`.
+#[must_use]
+pub fn door_sensor() -> DeviceSpec {
+    DeviceSpec::builder("door_sensor")
+        .kind(DeviceKind::Sensor)
+        .states(["sensing", "auth_user", "unauth_user", "off"])
+        .actions(["power_off", "power_on", "sense_auth", "sense_unauth", "sense_clear"])
+        .transition("sensing", "sense_auth", "auth_user")
+        .transition("sensing", "sense_unauth", "unauth_user")
+        .transition("auth_user", "sense_clear", "sensing")
+        .transition("unauth_user", "sense_clear", "sensing")
+        .transition("auth_user", "sense_unauth", "unauth_user")
+        .transition("unauth_user", "sense_auth", "auth_user")
+        .transition("sensing", "power_off", "off")
+        .transition("auth_user", "power_off", "off")
+        .transition("unauth_user", "power_off", "off")
+        .transition("off", "power_on", "sensing")
+        .disutility(0.85)
+        .build()
+        .expect("catalogue device is well-formed")
+}
+
+/// Smart light (`D_2`): `off`, `on`.
+#[must_use]
+pub fn light() -> DeviceSpec {
+    DeviceSpec::builder("light")
+        .kind(DeviceKind::Actuator)
+        .states(["off", "on"])
+        .actions(["power_off", "power_on"])
+        .transition("off", "power_on", "on")
+        .transition("on", "power_off", "off")
+        .disutility(0.8)
+        .build()
+        .expect("catalogue device is well-formed")
+}
+
+/// Smart thermostat controller (`D_3`): `heat`, `cool`, `off`.
+#[must_use]
+pub fn thermostat() -> DeviceSpec {
+    DeviceSpec::builder("thermostat")
+        .kind(DeviceKind::Hvac)
+        .states(["heat", "cool", "off"])
+        .actions(["set_heat", "set_cool", "power_off", "power_on"])
+        .transition("off", "set_heat", "heat")
+        .transition("off", "set_cool", "cool")
+        .transition("cool", "set_heat", "heat")
+        .transition("heat", "set_cool", "cool")
+        .transition("heat", "power_off", "off")
+        .transition("cool", "power_off", "off")
+        .transition("off", "power_on", "heat")
+        .disutility(0.1) // deferrable high-power load
+        .build()
+        .expect("catalogue device is well-formed")
+}
+
+/// Temperature sensor (`D_4`): `below_optimal`, `above_optimal`, `optimal`,
+/// `fire_alarm`, `off`.
+#[must_use]
+pub fn temp_sensor() -> DeviceSpec {
+    DeviceSpec::builder("temp_sensor")
+        .kind(DeviceKind::Sensor)
+        .states(["below_optimal", "above_optimal", "optimal", "fire_alarm", "off"])
+        .actions(["power_off", "power_on", "read_below", "read_above", "read_optimal", "alarm_fire"])
+        .transition("below_optimal", "read_above", "above_optimal")
+        .transition("below_optimal", "read_optimal", "optimal")
+        .transition("above_optimal", "read_below", "below_optimal")
+        .transition("above_optimal", "read_optimal", "optimal")
+        .transition("optimal", "read_below", "below_optimal")
+        .transition("optimal", "read_above", "above_optimal")
+        .transition("below_optimal", "alarm_fire", "fire_alarm")
+        .transition("above_optimal", "alarm_fire", "fire_alarm")
+        .transition("optimal", "alarm_fire", "fire_alarm")
+        .transition("fire_alarm", "read_optimal", "optimal")
+        .transition("below_optimal", "power_off", "off")
+        .transition("above_optimal", "power_off", "off")
+        .transition("optimal", "power_off", "off")
+        .transition("off", "power_on", "optimal")
+        .disutility(0.85)
+        .build()
+        .expect("catalogue device is well-formed")
+}
+
+/// Refrigerator: `running`, `door_open`, `off`.
+#[must_use]
+pub fn fridge() -> DeviceSpec {
+    DeviceSpec::builder("fridge")
+        .kind(DeviceKind::Appliance)
+        .states(["running", "door_open", "off"])
+        .actions(["open_door", "close_door", "power_off", "power_on"])
+        .transition("running", "open_door", "door_open")
+        .transition("door_open", "close_door", "running")
+        .transition("running", "power_off", "off")
+        .transition("door_open", "power_off", "off")
+        .transition("off", "power_on", "running")
+        .disutility(0.6)
+        .build()
+        .expect("catalogue device is well-formed")
+}
+
+/// Oven: `off`, `on`.
+#[must_use]
+pub fn oven() -> DeviceSpec {
+    DeviceSpec::builder("oven")
+        .kind(DeviceKind::Appliance)
+        .states(["off", "on"])
+        .actions(["power_off", "power_on"])
+        .transition("off", "power_on", "on")
+        .transition("on", "power_off", "off")
+        .disutility(0.3)
+        .build()
+        .expect("catalogue device is well-formed")
+}
+
+/// Television: `off`, `on`.
+#[must_use]
+pub fn tv() -> DeviceSpec {
+    DeviceSpec::builder("tv")
+        .kind(DeviceKind::Appliance)
+        .states(["off", "on"])
+        .actions(["power_off", "power_on"])
+        .transition("off", "power_on", "on")
+        .transition("on", "power_off", "off")
+        .disutility(0.4)
+        .build()
+        .expect("catalogue device is well-formed")
+}
+
+/// Washing machine: `idle`, `running`.
+#[must_use]
+pub fn washer() -> DeviceSpec {
+    DeviceSpec::builder("washer")
+        .kind(DeviceKind::Appliance)
+        .states(["idle", "running"])
+        .actions(["start", "stop"])
+        .transition("idle", "start", "running")
+        .transition("running", "stop", "idle")
+        .disutility(0.05) // highly deferrable
+        .build()
+        .expect("catalogue device is well-formed")
+}
+
+/// Dishwasher: `idle`, `running`.
+#[must_use]
+pub fn dishwasher() -> DeviceSpec {
+    DeviceSpec::builder("dishwasher")
+        .kind(DeviceKind::Appliance)
+        .states(["idle", "running"])
+        .actions(["start", "stop"])
+        .transition("idle", "start", "running")
+        .transition("running", "stop", "idle")
+        .disutility(0.05)
+        .build()
+        .expect("catalogue device is well-formed")
+}
+
+/// Electric water heater: `idle`, `heating`.
+#[must_use]
+pub fn water_heater() -> DeviceSpec {
+    DeviceSpec::builder("water_heater")
+        .kind(DeviceKind::Hvac)
+        .states(["idle", "heating"])
+        .actions(["start", "stop"])
+        .transition("idle", "start", "heating")
+        .transition("heating", "stop", "idle")
+        .disutility(0.1)
+        .build()
+        .expect("catalogue device is well-formed")
+}
+
+/// The five devices of the Table I example home, in `D_0..D_4` order.
+#[must_use]
+pub fn example_devices() -> Vec<DeviceSpec> {
+    vec![lock(), door_sensor(), light(), thermostat(), temp_sensor()]
+}
+
+/// The eleven devices of the Section VI-D evaluation home, matching
+/// `jarvis_sim::traces::DEVICE_NAMES` order.
+#[must_use]
+pub fn evaluation_devices() -> Vec<DeviceSpec> {
+    vec![
+        lock(),
+        door_sensor(),
+        light(),
+        thermostat(),
+        temp_sensor(),
+        fridge(),
+        oven(),
+        tv(),
+        washer(),
+        dishwasher(),
+        water_heater(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jarvis_iot_model::{ActionIdx, StateIdx};
+
+    #[test]
+    fn example_home_matches_table_one_shape() {
+        let devs = example_devices();
+        assert_eq!(devs.len(), 5);
+        assert_eq!(devs[0].name(), "lock");
+        assert_eq!(devs[0].num_states(), 4);
+        assert_eq!(devs[1].name(), "door_sensor");
+        assert_eq!(devs[2].name(), "light");
+        assert_eq!(devs[2].num_states(), 2);
+        assert_eq!(devs[3].name(), "thermostat");
+        assert_eq!(devs[3].num_states(), 3);
+        assert_eq!(devs[4].name(), "temp_sensor");
+    }
+
+    #[test]
+    fn evaluation_home_matches_sim_device_names() {
+        let devs = evaluation_devices();
+        assert_eq!(devs.len(), 11);
+        for (spec, name) in devs.iter().zip(jarvis_sim::traces::DEVICE_NAMES) {
+            assert_eq!(spec.name(), name);
+        }
+    }
+
+    #[test]
+    fn lock_cycle() {
+        let l = lock();
+        let locked = l.state_idx("locked_outside").unwrap();
+        let unlock = l.action_idx("unlock").unwrap();
+        let unlocked = l.delta(locked, unlock).unwrap();
+        assert_eq!(l.state_name(unlocked), Some("unlocked"));
+        let lock_in = l.action_idx("lock_inside").unwrap();
+        let inside = l.delta(unlocked, lock_in).unwrap();
+        assert_eq!(l.state_name(inside), Some("locked_inside"));
+    }
+
+    #[test]
+    fn thermostat_power_on_defaults_to_heat() {
+        let t = thermostat();
+        let off = t.state_idx("off").unwrap();
+        let on = t.action_idx("power_on").unwrap();
+        assert_eq!(t.state_name(t.delta(off, on).unwrap()), Some("heat"));
+    }
+
+    #[test]
+    fn sensor_pseudo_actions_are_filtered() {
+        assert!(is_agent_action("power_off"));
+        assert!(is_agent_action("unlock"));
+        assert!(!is_agent_action("sense_auth"));
+        assert!(!is_agent_action("read_below"));
+        assert!(!is_agent_action("alarm_fire"));
+    }
+
+    #[test]
+    fn fire_alarm_reachable_from_all_reading_states() {
+        let t = temp_sensor();
+        let alarm = t.action_idx("alarm_fire").unwrap();
+        let fire = t.state_idx("fire_alarm").unwrap();
+        for s in ["below_optimal", "above_optimal", "optimal"] {
+            let idx = t.state_idx(s).unwrap();
+            assert_eq!(t.delta(idx, alarm).unwrap(), fire, "from {s}");
+        }
+        // But not from off: a dead sensor cannot alarm.
+        let off = t.state_idx("off").unwrap();
+        assert_eq!(t.delta(off, alarm).unwrap(), off);
+    }
+
+    #[test]
+    fn disutility_ordering_matches_paper_guidance() {
+        // High dis-utility: immediate-response devices; low: deferrable loads.
+        assert!(lock().max_omega() > thermostat().max_omega());
+        assert!(light().max_omega() > washer().max_omega());
+        assert!(door_sensor().max_omega() > dishwasher().max_omega());
+    }
+
+    #[test]
+    fn every_catalogue_action_has_a_name_and_effect_somewhere() {
+        for dev in evaluation_devices() {
+            for a in dev.action_indices() {
+                assert!(dev.action_name(a).is_some());
+                // Every declared action changes state from at least one state
+                // (no dead actions in the catalogue).
+                let effective = dev
+                    .state_indices()
+                    .any(|s| dev.delta(s, a).unwrap() != s);
+                assert!(
+                    effective,
+                    "{}.{} never changes state",
+                    dev.name(),
+                    dev.action_name(a).unwrap()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn indices_are_stable_for_tables() {
+        // Table II/III patterns rely on these exact indices.
+        let l = lock();
+        assert_eq!(l.state_idx("locked_outside"), Some(StateIdx(0)));
+        assert_eq!(l.state_idx("unlocked"), Some(StateIdx(1)));
+        assert_eq!(l.action_idx("lock"), Some(ActionIdx(0)));
+        assert_eq!(l.action_idx("unlock"), Some(ActionIdx(1)));
+        let t = thermostat();
+        assert_eq!(t.action_idx("set_heat"), Some(ActionIdx(0)));
+        assert_eq!(t.action_idx("power_off"), Some(ActionIdx(2)));
+    }
+}

@@ -1,0 +1,154 @@
+//! Day simulation with installed apps in the loop.
+//!
+//! Section V's example home runs IFTTT apps *alongside* manual behavior:
+//! platform events trigger subscribed apps, whose actions land in the same
+//! episode stream and are learned as natural T/A behavior if the user keeps
+//! them installed through the learning phase. [`simulate_day_with_apps`]
+//! replays a dataset day through an [`EpisodeRecorder`] while letting the
+//! [`AppEngine`] fire on every state edge — producing the app-inclusive
+//! learning episodes the Table II comparison is about.
+
+use crate::apps::AppEngine;
+use crate::home::SmartHome;
+use crate::logger::normalize_action;
+use jarvis_iot_model::{
+    Actor, Episode, EpisodeConfig, EpisodeRecorder, MiniAction, ModelError, UserId,
+};
+use jarvis_sim::HomeDataset;
+
+/// Simulate one day: occupant/manual events from `data` drive the home, and
+/// after each interval the installed apps react to the state edge.
+///
+/// Returns the recorded episode. App actions are attributed to their
+/// [`AppId`](jarvis_iot_model::AppId)s, manual events to user 0.
+///
+/// # Errors
+///
+/// Returns a [`ModelError`] if an app actuates a device it is not subscribed
+/// to (an installation bug) or the FSM rejects a transition.
+pub fn simulate_day_with_apps(
+    home: &SmartHome,
+    engine: &AppEngine,
+    data: &HomeDataset,
+    day: u32,
+    config: EpisodeConfig,
+) -> Result<Episode, ModelError> {
+    let activity = data.activity(day);
+    // Bucket the dataset's events by time instance.
+    let mut by_step: std::collections::BTreeMap<u32, Vec<MiniAction>> =
+        std::collections::BTreeMap::new();
+    for e in &activity.events {
+        if home.fsm().device_by_name(&e.device).is_none() {
+            continue;
+        }
+        let Some(name) = normalize_action(&e.device, &e.name) else { continue };
+        let dev = home.device_id(&e.device);
+        let Some(action) = home.fsm().device(dev).ok().and_then(|d| d.action_idx(&name))
+        else {
+            continue;
+        };
+        by_step
+            .entry(config.step_at(e.minute * 60).0)
+            .or_default()
+            .push(MiniAction { device: dev, action });
+    }
+
+    let mut rec = EpisodeRecorder::new(home.fsm(), home.authz(), config, home.midnight_state())?;
+    let mut prev = rec.current().clone();
+    for t in 0..config.steps() {
+        // Apps react to the previous interval's edge first (they observed
+        // the event stream), then the scripted manual/world events land.
+        engine.drive(&mut rec, &prev, UserId(0))?;
+        if let Some(events) = by_step.get(&t) {
+            for &mini in events {
+                let _ = rec.submit(Actor::manual(UserId(0)), mini)?;
+            }
+        }
+        prev = rec.current().clone();
+        rec.advance()?;
+    }
+    Ok(rec.finish())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jarvis_iot_model::AppId;
+
+    fn setup() -> (SmartHome, AppEngine, HomeDataset) {
+        let mut home = SmartHome::evaluation_home();
+        let engine = AppEngine::install_table2_apps(&mut home);
+        (home, engine, HomeDataset::home_a(19))
+    }
+
+    #[test]
+    fn apps_fire_during_the_simulated_day() {
+        let (home, engine, data) = setup();
+        let ep = simulate_day_with_apps(
+            &home,
+            &engine,
+            &data,
+            2,
+            EpisodeConfig::DAILY_MINUTES,
+        )
+        .unwrap();
+        assert_eq!(ep.len(), 1440);
+        // Some transitions carry app attribution (not the manual pseudo-app).
+        let app_actions: Vec<_> = ep
+            .transitions()
+            .iter()
+            .flat_map(|tr| tr.actors.iter())
+            .filter(|a| a.app != AppId::MANUAL)
+            .collect();
+        assert!(!app_actions.is_empty(), "installed apps never fired");
+    }
+
+    #[test]
+    fn thermostat_app_reacts_to_cold_readings() {
+        let (home, engine, data) = setup();
+        let ep = simulate_day_with_apps(
+            &home,
+            &engine,
+            &data,
+            10, // winter day with below_optimal readings
+            EpisodeConfig::DAILY_MINUTES,
+        )
+        .unwrap();
+        // App 2 (thermostat-maintain) fires set_heat after a below_optimal
+        // edge; look for a thermostat action attributed to AppId(2).
+        let therm = home.device_id("thermostat");
+        let fired = ep.transitions().iter().any(|tr| {
+            tr.action
+                .minis()
+                .iter()
+                .zip(&tr.actors)
+                .any(|(m, a)| m.device == therm && a.app == AppId(2))
+        });
+        assert!(fired, "the thermostat app never reacted");
+    }
+
+    #[test]
+    fn app_inclusive_episodes_feed_the_spl() {
+        use jarvis_policy::{learn_safe_transitions, SplConfig};
+        let (home, engine, data) = setup();
+        let episodes: Vec<Episode> = (0..3)
+            .map(|d| {
+                simulate_day_with_apps(&home, &engine, &data, d, EpisodeConfig::DAILY_MINUTES)
+                    .unwrap()
+            })
+            .collect();
+        let with_apps =
+            learn_safe_transitions(home.fsm(), &episodes, None, &SplConfig::default());
+        // The app-driven unlock-on-arrival becomes learned safe behavior.
+        assert!(with_apps.table.len() > 0);
+        // And replaying the same days raises no violations.
+        for ep in &episodes {
+            assert!(jarvis_policy::flag_violations(
+                &with_apps.table,
+                ep,
+                jarvis_policy::MatchMode::Exact
+            )
+            .is_empty());
+        }
+    }
+}

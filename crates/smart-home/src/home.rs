@@ -1,0 +1,294 @@
+//! The assembled smart home: FSM + authorization + power metering.
+
+use crate::devices;
+use crate::power::PowerModel;
+use jarvis_iot_model::{
+    AppId, AuthzPolicy, DeviceId, EnvState, Fsm, MiniAction, StateIdx, User, UserId,
+};
+
+/// Comfort band used to discretize the temperature sensor (°C).
+pub const COMFORT_LOW_C: f64 = 20.0;
+/// Upper edge of the comfort band (°C).
+pub const COMFORT_HIGH_C: f64 = 22.0;
+
+/// A complete smart-home environment: the device FSM, the users and
+/// authorization policy, and the power model.
+///
+/// Use [`SmartHome::example_home`] for the five-device home of Table I and
+/// [`SmartHome::evaluation_home`] for the eleven-device home of the
+/// quantitative evaluation (Section VI).
+#[derive(Debug, Clone)]
+pub struct SmartHome {
+    fsm: Fsm,
+    authz: AuthzPolicy,
+    users: Vec<User>,
+    power: PowerModel,
+}
+
+impl SmartHome {
+    /// The five-device example home of Table I.
+    ///
+    /// # Panics
+    ///
+    /// Never panics in practice: the catalogue devices are statically valid.
+    #[must_use]
+    pub fn example_home() -> Self {
+        SmartHome::from_devices(devices::example_devices())
+    }
+
+    /// The eleven-device evaluation home of Section VI-D (`k = 11`).
+    ///
+    /// # Panics
+    ///
+    /// Never panics in practice: the catalogue devices are statically valid.
+    #[must_use]
+    pub fn evaluation_home() -> Self {
+        SmartHome::from_devices(devices::evaluation_devices())
+    }
+
+    /// Assemble a home from explicit device specs, with two default users
+    /// and an open (manual-only) authorization policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `specs` is empty.
+    #[must_use]
+    pub fn from_devices(specs: Vec<jarvis_iot_model::DeviceSpec>) -> Self {
+        let fsm = Fsm::new(specs).expect("non-empty device list");
+        let users = vec![
+            User { id: UserId(0), name: "alice".to_owned() },
+            User { id: UserId(1), name: "bob".to_owned() },
+        ];
+        SmartHome { fsm, authz: AuthzPolicy::new(), users, power: PowerModel::catalogue() }
+    }
+
+    /// The environment FSM.
+    #[must_use]
+    pub fn fsm(&self) -> &Fsm {
+        &self.fsm
+    }
+
+    /// The authorization policy (users ↔ apps ↔ devices).
+    #[must_use]
+    pub fn authz(&self) -> &AuthzPolicy {
+        &self.authz
+    }
+
+    /// Mutable access to the authorization policy, for installing apps.
+    pub fn authz_mut(&mut self) -> &mut AuthzPolicy {
+        &mut self.authz
+    }
+
+    /// The home's users.
+    #[must_use]
+    pub fn users(&self) -> &[User] {
+        &self.users
+    }
+
+    /// The power model.
+    #[must_use]
+    pub fn power(&self) -> &PowerModel {
+        &self.power
+    }
+
+    /// Device id by name.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the device does not exist — callers pass catalogue names.
+    #[must_use]
+    pub fn device_id(&self, name: &str) -> DeviceId {
+        self.fsm
+            .device_by_name(name)
+            .unwrap_or_else(|| panic!("unknown device `{name}`"))
+    }
+
+    /// State index of `state` on device `name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the device or state does not exist.
+    #[must_use]
+    pub fn state_idx(&self, name: &str, state: &str) -> StateIdx {
+        let id = self.device_id(name);
+        self.fsm
+            .device(id)
+            .expect("id valid")
+            .state_idx(state)
+            .unwrap_or_else(|| panic!("unknown state `{state}` on `{name}`"))
+    }
+
+    /// Build a mini-action from device and action names.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the device or action does not exist.
+    #[must_use]
+    pub fn mini_action(&self, device: &str, action: &str) -> MiniAction {
+        let id = self.device_id(device);
+        let a = self
+            .fsm
+            .device(id)
+            .expect("id valid")
+            .action_idx(action)
+            .unwrap_or_else(|| panic!("unknown action `{action}` on `{device}`"));
+        MiniAction { device: id, action: a }
+    }
+
+    /// The mini-actions an agent (user or app) may execute: every catalogue
+    /// action except sensor pseudo-actions (`sense_*`, `read_*`, `alarm_*`).
+    #[must_use]
+    pub fn agent_mini_actions(&self) -> Vec<MiniAction> {
+        self.fsm
+            .mini_actions()
+            .into_iter()
+            .filter(|m| {
+                self.fsm
+                    .device(m.device)
+                    .ok()
+                    .and_then(|d| d.action_name(m.action))
+                    .is_some_and(devices::is_agent_action)
+            })
+            .collect()
+    }
+
+    /// Total power of `state` in watts.
+    #[must_use]
+    pub fn state_power_w(&self, state: &EnvState) -> f64 {
+        self.power.state_power_w(&self.fsm, state)
+    }
+
+    /// An everyone-is-home initial state: lock unlocked, sensors sensing,
+    /// temperature optimal, everything else in its quiescent state.
+    #[must_use]
+    pub fn occupied_initial_state(&self) -> EnvState {
+        let mut s = self.fsm.initial_state();
+        s.set_device(self.device_id("lock"), self.state_idx("lock", "unlocked"));
+        if self.fsm.device_by_name("temp_sensor").is_some() {
+            s.set_device(
+                self.device_id("temp_sensor"),
+                self.state_idx("temp_sensor", "optimal"),
+            );
+        }
+        s
+    }
+
+    /// The state of the home at midnight, where daily episodes begin:
+    /// occupants asleep inside, door locked from the inside, lights off,
+    /// HVAC off, sensors reading.
+    #[must_use]
+    pub fn midnight_state(&self) -> EnvState {
+        let mut s = self.fsm.initial_state();
+        s.set_device(self.device_id("lock"), self.state_idx("lock", "locked_inside"));
+        if self.fsm.device_by_name("temp_sensor").is_some() {
+            s.set_device(
+                self.device_id("temp_sensor"),
+                self.state_idx("temp_sensor", "optimal"),
+            );
+        }
+        if self.fsm.device_by_name("thermostat").is_some() {
+            s.set_device(
+                self.device_id("thermostat"),
+                self.state_idx("thermostat", "off"),
+            );
+        }
+        s
+    }
+
+    /// Install an app subscription: the app may actuate the listed devices,
+    /// and every user may run the app (matching how consumer platforms
+    /// install IFTTT applets).
+    pub fn install_app(&mut self, app: AppId, device_names: &[&str]) {
+        for name in device_names {
+            let id = self.device_id(name);
+            self.authz.subscribe_app_device(app, id);
+        }
+        for user in &self.users {
+            self.authz.allow_user_app(user.id, app);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn homes_have_expected_sizes() {
+        let small = SmartHome::example_home();
+        assert_eq!(small.fsm().num_devices(), 5);
+        // Table I state space: 4 * 4 * 2 * 3 * 5.
+        assert_eq!(small.fsm().state_space_size(), Some(480));
+        let eval = SmartHome::evaluation_home();
+        assert_eq!(eval.fsm().num_devices(), 11);
+    }
+
+    #[test]
+    fn name_lookups() {
+        let home = SmartHome::example_home();
+        assert_eq!(home.device_id("lock"), DeviceId(0));
+        assert_eq!(home.state_idx("light", "on"), StateIdx(1));
+        let m = home.mini_action("thermostat", "power_off");
+        assert_eq!(m.device, DeviceId(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown device")]
+    fn unknown_device_panics() {
+        let _ = SmartHome::example_home().device_id("toaster");
+    }
+
+    #[test]
+    fn agent_actions_exclude_sensor_pseudo_actions() {
+        let home = SmartHome::example_home();
+        let agent = home.agent_mini_actions();
+        let all = home.fsm().mini_actions();
+        assert!(agent.len() < all.len());
+        for m in &agent {
+            let name = home
+                .fsm()
+                .device(m.device)
+                .unwrap()
+                .action_name(m.action)
+                .unwrap();
+            assert!(devices::is_agent_action(name), "{name}");
+        }
+        // Sensors can still be powered off by an agent (the Table III
+        // unsafe-but-high-quality case).
+        assert!(agent
+            .iter()
+            .any(|m| m.device == home.device_id("temp_sensor")));
+    }
+
+    #[test]
+    fn install_app_grants_chain() {
+        let mut home = SmartHome::example_home();
+        let app = AppId(1);
+        home.install_app(app, &["lock", "light"]);
+        let authz = home.authz();
+        assert!(authz.app_may_actuate(app, home.device_id("lock")));
+        assert!(!authz.app_may_actuate(app, home.device_id("thermostat")));
+        assert!(authz.user_may_use_app(UserId(0), app));
+    }
+
+    #[test]
+    fn occupied_state_is_valid_and_unlocked() {
+        let home = SmartHome::evaluation_home();
+        let s = home.occupied_initial_state();
+        home.fsm().validate_state(&s).unwrap();
+        assert_eq!(
+            s.device(home.device_id("lock")),
+            Some(home.state_idx("lock", "unlocked"))
+        );
+    }
+
+    #[test]
+    fn power_accessor_consistent_with_model() {
+        let home = SmartHome::evaluation_home();
+        let s = home.occupied_initial_state();
+        assert_eq!(
+            home.state_power_w(&s),
+            home.power().state_power_w(home.fsm(), &s)
+        );
+    }
+}

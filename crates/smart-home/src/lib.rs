@@ -1,0 +1,48 @@
+//! Smart-home instantiation of the Jarvis IoT model (Section V of the
+//! paper).
+//!
+//! Provides the concrete pieces the paper builds on the Samsung SmartThings
+//! platform:
+//!
+//! * a **device catalogue** ([`devices`]) with the five-device example home
+//!   of Table I and the eleven-device evaluation home of Section VI-D;
+//! * **power metering** ([`power`]): per-(device, state) wattages feeding the
+//!   energy/cost reward functions;
+//! * a **logging system** ([`logger`]) that captures every attribute change
+//!   as the JSON record of Section V-A-1 and parses logs back into
+//!   normalized FSM episodes (Section V-A-2);
+//! * an **IFTTT-style trigger-action app engine** ([`apps`]) with the five
+//!   apps of Table II.
+//!
+//! # Example
+//!
+//! ```
+//! use jarvis_smart_home::SmartHome;
+//!
+//! let home = SmartHome::example_home();
+//! assert_eq!(home.fsm().num_devices(), 5);
+//! let eval = SmartHome::evaluation_home();
+//! assert_eq!(eval.fsm().num_devices(), 11);
+//! // Sensor "read_*" pseudo-actions are excluded from what an agent may do.
+//! assert!(home.agent_mini_actions().len() < home.fsm().mini_actions().len());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod anomaly_map;
+pub mod apps;
+pub mod devices;
+pub mod driver;
+pub mod emergency;
+pub mod home;
+pub mod logger;
+pub mod power;
+
+pub use anomaly_map::anomaly_signature;
+pub use driver::simulate_day_with_apps;
+pub use emergency::emergency_rules;
+pub use apps::{AppEngine, TriggerActionApp};
+pub use home::SmartHome;
+pub use logger::{EventLog, ParsedEpisodes};
+pub use power::PowerModel;

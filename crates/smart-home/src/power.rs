@@ -1,0 +1,186 @@
+//! Per-(device, state) power metering.
+//!
+//! The energy reward `F_0` is "directly proportional to power consumed in
+//! all device state transitions for the particular time interval which can
+//! be monitored by power meters" (Section V-A-4). [`PowerModel`] is that
+//! meter: it assigns a wattage to every device state, so the power of an
+//! [`EnvState`] is the sum over devices.
+
+use jarvis_iot_model::{EnvState, Fsm};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Wattage table keyed by `(device name, state name)`.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct PowerModel {
+    watts: HashMap<(String, String), f64>,
+}
+
+impl PowerModel {
+    /// An empty model (every state draws 0 W).
+    #[must_use]
+    pub fn new() -> Self {
+        PowerModel::default()
+    }
+
+    /// The catalogue model: wattages consistent with the `jarvis-sim` trace
+    /// generator so measured and modelled energy agree.
+    #[must_use]
+    pub fn catalogue() -> Self {
+        let mut m = PowerModel::new();
+        let entries: &[(&str, &str, f64)] = &[
+            ("lock", "locked_outside", 2.0),
+            ("lock", "unlocked", 2.0),
+            ("lock", "locked_inside", 2.0),
+            ("lock", "off", 0.0),
+            ("door_sensor", "sensing", 1.0),
+            ("door_sensor", "auth_user", 1.0),
+            ("door_sensor", "unauth_user", 1.0),
+            ("door_sensor", "off", 0.0),
+            ("light", "on", 180.0),
+            ("light", "off", 0.0),
+            ("thermostat", "heat", 2_000.0),
+            ("thermostat", "cool", 1_800.0),
+            ("thermostat", "off", 0.0),
+            ("temp_sensor", "below_optimal", 1.0),
+            ("temp_sensor", "above_optimal", 1.0),
+            ("temp_sensor", "optimal", 1.0),
+            ("temp_sensor", "fire_alarm", 1.0),
+            ("temp_sensor", "off", 0.0),
+            ("fridge", "running", 45.0), // duty-cycle average
+            ("fridge", "door_open", 120.0),
+            ("fridge", "off", 0.0),
+            ("oven", "on", 2_000.0),
+            ("oven", "off", 0.0),
+            ("tv", "on", 110.0),
+            ("tv", "off", 0.0),
+            ("washer", "running", 500.0),
+            ("washer", "idle", 0.0),
+            ("dishwasher", "running", 1_200.0),
+            ("dishwasher", "idle", 0.0),
+            ("water_heater", "heating", 1_500.0),
+            ("water_heater", "idle", 0.0),
+        ];
+        for &(dev, state, w) in entries {
+            m.set(dev, state, w);
+        }
+        m
+    }
+
+    /// Set the wattage of one device state.
+    pub fn set(&mut self, device: impl Into<String>, state: impl Into<String>, watts: f64) {
+        self.watts.insert((device.into(), state.into()), watts);
+    }
+
+    /// Wattage of one device state (0 when unknown).
+    #[must_use]
+    pub fn watts(&self, device: &str, state: &str) -> f64 {
+        self.watts
+            .get(&(device.to_owned(), state.to_owned()))
+            .copied()
+            .unwrap_or(0.0)
+    }
+
+    /// Total power of an environment state under `fsm`, in watts.
+    /// Unknown devices/states contribute 0.
+    #[must_use]
+    pub fn state_power_w(&self, fsm: &Fsm, state: &EnvState) -> f64 {
+        state
+            .iter()
+            .map(|(id, s)| {
+                fsm.device(id)
+                    .ok()
+                    .and_then(|d| d.state_name(s).map(|name| self.watts(d.name(), name)))
+                    .unwrap_or(0.0)
+            })
+            .sum()
+    }
+
+    /// The maximum possible power of any state of `fsm`, in watts — used to
+    /// normalize the energy reward to `[0, 1]`.
+    #[must_use]
+    pub fn max_power_w(&self, fsm: &Fsm) -> f64 {
+        fsm.devices()
+            .map(|(_, d)| {
+                d.state_indices()
+                    .filter_map(|s| d.state_name(s).map(|n| self.watts(d.name(), n)))
+                    .fold(0.0, f64::max)
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::devices;
+    use jarvis_iot_model::{DeviceId, StateIdx};
+
+    fn eval_fsm() -> Fsm {
+        Fsm::new(devices::evaluation_devices()).unwrap()
+    }
+
+    #[test]
+    fn catalogue_covers_every_state() {
+        let fsm = eval_fsm();
+        let p = PowerModel::catalogue();
+        for (_, dev) in fsm.devices() {
+            for s in dev.state_indices() {
+                let name = dev.state_name(s).unwrap();
+                // Every (device, state) must be explicitly present in the
+                // catalogue table (0 W is fine, silently-missing is not).
+                assert!(
+                    p.watts.contains_key(&(dev.name().to_owned(), name.to_owned())),
+                    "missing wattage for {}.{}",
+                    dev.name(),
+                    name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn state_power_sums_devices() {
+        let fsm = eval_fsm();
+        let p = PowerModel::catalogue();
+        let mut state = fsm.initial_state();
+        let base = p.state_power_w(&fsm, &state);
+        // Turn the light on (device 2, state "on" = 1).
+        state.set_device(DeviceId(2), StateIdx(1));
+        assert!((p.state_power_w(&fsm, &state) - base - 180.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn max_power_exceeds_any_state() {
+        let fsm = eval_fsm();
+        let p = PowerModel::catalogue();
+        let max = p.max_power_w(&fsm);
+        assert!(max > 7_000.0, "max {max}");
+        for state in fsm.enumerate_states().take(2_000) {
+            assert!(p.state_power_w(&fsm, &state) <= max + 1e-9);
+        }
+    }
+
+    #[test]
+    fn unknown_state_draws_zero() {
+        let p = PowerModel::catalogue();
+        assert_eq!(p.watts("toaster", "on"), 0.0);
+    }
+
+    #[test]
+    fn set_overrides() {
+        let mut p = PowerModel::new();
+        p.set("light", "on", 60.0);
+        assert_eq!(p.watts("light", "on"), 60.0);
+        p.set("light", "on", 75.0);
+        assert_eq!(p.watts("light", "on"), 75.0);
+    }
+
+    #[test]
+    fn hvac_wattages_match_sim_thermal_model() {
+        use jarvis_sim::thermal::{HvacMode, ThermalModel};
+        let p = PowerModel::catalogue();
+        assert_eq!(p.watts("thermostat", "heat"), ThermalModel::power_w(HvacMode::Heat));
+        assert_eq!(p.watts("thermostat", "cool"), ThermalModel::power_w(HvacMode::Cool));
+    }
+}

@@ -1,0 +1,87 @@
+//! Property-based tests for the smart-home instantiation: the logging
+//! pipeline, normalization, and app engine under arbitrary seeds.
+
+use jarvis_iot_model::EpisodeConfig;
+use jarvis_smart_home::{AppEngine, EventLog, SmartHome};
+use jarvis_sim::HomeDataset;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The log → parse pipeline is total for any dataset seed/day: a full
+    /// 1440-step episode, Δ-consistent, zero unmapped events.
+    #[test]
+    fn logging_pipeline_is_total(seed in any::<u64>(), day in 0u32..40) {
+        let home = SmartHome::evaluation_home();
+        let data = HomeDataset::home_b(seed);
+        let mut log = EventLog::new();
+        log.record_activity(&home, &data.activity(day));
+        let parsed = log.parse_episodes(&home, EpisodeConfig::DAILY_MINUTES).unwrap();
+        prop_assert_eq!(parsed.episodes.len(), 1);
+        prop_assert_eq!(parsed.unmapped_events, 0);
+        let ep = &parsed.episodes[0];
+        prop_assert_eq!(ep.len(), 1440);
+        for tr in ep.transitions().iter().step_by(63) {
+            prop_assert_eq!(&home.fsm().step(&tr.state, &tr.action).unwrap(), &tr.next);
+        }
+    }
+
+    /// JSON-lines serialization of any day's log round-trips exactly.
+    #[test]
+    fn log_serialization_round_trips(seed in any::<u64>(), day in 0u32..40) {
+        let home = SmartHome::evaluation_home();
+        let data = HomeDataset::home_a(seed);
+        let mut log = EventLog::new();
+        log.record_activity(&home, &data.activity(day));
+        let text = log.to_json_lines().unwrap();
+        let back = EventLog::from_json_lines(&text).unwrap();
+        prop_assert_eq!(log, back);
+    }
+
+    /// App firing is edge-triggered: a state that keeps matching never
+    /// re-fires, and firing is deterministic in the (prev, cur) pair.
+    #[test]
+    fn app_engine_is_edge_triggered_and_deterministic(
+        lock_state in 0u8..4,
+        door_state in 0u8..4,
+        temp_state in 0u8..5,
+    ) {
+        let mut home = SmartHome::example_home();
+        let engine = AppEngine::install_table2_apps(&mut home);
+        let prev = home.midnight_state();
+        let cur = {
+            let mut s = prev.clone();
+            s.set_device(home.device_id("lock"), jarvis_iot_model::StateIdx(lock_state));
+            s.set_device(home.device_id("door_sensor"), jarvis_iot_model::StateIdx(door_state));
+            s.set_device(home.device_id("temp_sensor"), jarvis_iot_model::StateIdx(temp_state));
+            s
+        };
+        let fired1 = engine.fired_on_edge(&prev, &cur);
+        let fired2 = engine.fired_on_edge(&prev, &cur);
+        prop_assert_eq!(&fired1, &fired2, "firing must be deterministic");
+        // Holding the state yields no new firings.
+        prop_assert!(engine.fired_on_edge(&cur, &cur).is_empty());
+        // Every fired action is authorized for its app.
+        for (app, mini) in &fired1 {
+            prop_assert!(home.authz().app_may_actuate(*app, mini.device));
+        }
+    }
+
+    /// The power model never reports negative power, and total state power
+    /// is bounded by the declared maximum for arbitrary valid states.
+    #[test]
+    fn power_is_bounded(raw in prop::collection::vec(any::<u8>(), 11)) {
+        let home = SmartHome::evaluation_home();
+        let sizes = home.fsm().state_sizes();
+        let state: jarvis_iot_model::EnvState = raw
+            .iter()
+            .zip(&sizes)
+            .map(|(&r, &n)| jarvis_iot_model::StateIdx(r % n as u8))
+            .collect();
+        let p = home.state_power_w(&state);
+        let max = home.power().max_power_w(home.fsm());
+        prop_assert!(p >= 0.0);
+        prop_assert!(p <= max + 1e-9, "{p} W exceeds declared max {max} W");
+    }
+}

@@ -1,0 +1,144 @@
+//! Context independence: Jarvis on a *non-home* IoT environment.
+//!
+//! The framework claims to be "applicable to any IoT environment with
+//! minimum human effort" (Section I). This example builds a small greenhouse
+//! from scratch — vent, irrigation pump, grow light, moisture sensor —
+//! records a few days of manual operation through the episode recorder,
+//! learns the safe-transition table with Algorithm 1, and shows the
+//! constraint blocking an action the operator never performed.
+//!
+//! Run with:
+//!
+//! ```sh
+//! cargo run --release --example custom_environment
+//! ```
+
+use jarvis_repro::model::{
+    Actor, AuthzPolicy, DeviceKind, DeviceSpec, EnvAction, EpisodeConfig, EpisodeRecorder, Fsm,
+    UserId,
+};
+use jarvis_repro::policy::{learn_safe_transitions, MatchMode, SplConfig};
+
+fn greenhouse() -> Fsm {
+    let vent = DeviceSpec::builder("vent")
+        .kind(DeviceKind::Actuator)
+        .states(["closed", "open"])
+        .actions(["close", "open"])
+        .transition("closed", "open", "open")
+        .transition("open", "close", "closed")
+        .disutility(0.3)
+        .build()
+        .expect("valid device");
+    let pump = DeviceSpec::builder("pump")
+        .kind(DeviceKind::Appliance)
+        .states(["idle", "running"])
+        .actions(["stop", "start"])
+        .transition("idle", "start", "running")
+        .transition("running", "stop", "idle")
+        .disutility(0.2)
+        .build()
+        .expect("valid device");
+    let grow_light = DeviceSpec::builder("grow_light")
+        .kind(DeviceKind::Actuator)
+        .states(["off", "on"])
+        .actions(["power_off", "power_on"])
+        .transition("off", "power_on", "on")
+        .transition("on", "power_off", "off")
+        .disutility(0.4)
+        .build()
+        .expect("valid device");
+    let moisture = DeviceSpec::builder("moisture_sensor")
+        .kind(DeviceKind::Sensor)
+        .states(["dry", "moist", "wet"])
+        .actions(["read_dry", "read_moist", "read_wet"])
+        .transition("dry", "read_moist", "moist")
+        .transition("moist", "read_wet", "wet")
+        .transition("wet", "read_moist", "moist")
+        .transition("moist", "read_dry", "dry")
+        .build()
+        .expect("valid device");
+    Fsm::new(vec![vent, pump, grow_light, moisture]).expect("valid fsm")
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let fsm = greenhouse();
+    let authz = AuthzPolicy::new();
+    // Ten-hour episodes at 10-minute intervals: the operator's shift.
+    let config = EpisodeConfig::new(10 * 3600, 600)?;
+    let operator = Actor::manual(UserId(0));
+
+    // Record three days of manual operation: when the soil reads dry, the
+    // operator starts the pump and opens the vent; mid-shift the grow light
+    // runs; everything is shut down before leaving.
+    let mut episodes = Vec::new();
+    for day in 0..3u32 {
+        let mut rec = EpisodeRecorder::new(&fsm, &authz, config, fsm.initial_state())?;
+        let pump_at = 6 + (day % 2); // slight day-to-day variation
+        for t in 0..config.steps() {
+            match t {
+                2 => {
+                    rec.submit(operator, fsm_action(&fsm, "grow_light", "power_on"))?;
+                }
+                5 => {
+                    rec.submit(operator, fsm_action(&fsm, "moisture_sensor", "read_dry"))?;
+                }
+                _ if t == pump_at => {
+                    rec.submit(operator, fsm_action(&fsm, "pump", "start"))?;
+                    rec.submit(operator, fsm_action(&fsm, "vent", "open"))?;
+                }
+                _ if t == pump_at + 3 => {
+                    rec.submit(operator, fsm_action(&fsm, "moisture_sensor", "read_moist"))?;
+                    rec.submit(operator, fsm_action(&fsm, "pump", "stop"))?;
+                }
+                _ if t == config.steps() - 2 => {
+                    rec.submit(operator, fsm_action(&fsm, "vent", "close"))?;
+                    rec.submit(operator, fsm_action(&fsm, "grow_light", "power_off"))?;
+                }
+                _ => {}
+            }
+            rec.advance()?;
+        }
+        episodes.push(rec.finish());
+    }
+    println!("recorded {} operator episodes of {} instances", episodes.len(), config.steps());
+
+    // Algorithm 1 on a brand-new environment: zero smart-home assumptions.
+    let outcome = learn_safe_transitions(&fsm, &episodes, None, &SplConfig::default());
+    println!("learned {} safe (state, action) pairs", outcome.table.len());
+
+    // The constraint generalizes what the operator did...
+    let watering_state = episodes[0].transitions()[6].state.clone();
+    let start_pump = EnvAction::single(fsm_action(&fsm, "pump", "start"));
+    println!(
+        "pump.start in the watering context: safe = {}",
+        outcome.table.is_safe_action(&watering_state, &start_pump, MatchMode::Generalized)
+    );
+
+    // ...and blocks what they never did: running the pump with the vent
+    // closed at end of shift.
+    let mut closed_up = fsm.initial_state();
+    closed_up.set_device(
+        fsm.device_by_name("moisture_sensor").expect("exists"),
+        fsm.device(fsm.device_by_name("moisture_sensor").unwrap())?
+            .state_idx("wet")
+            .expect("exists"),
+    );
+    println!(
+        "pump.start on wet soil with everything closed: safe = {}",
+        outcome.table.is_safe_action(&closed_up, &start_pump, MatchMode::Generalized)
+    );
+    assert!(!outcome
+        .table
+        .is_safe_action(&closed_up, &start_pump, MatchMode::Generalized));
+    Ok(())
+}
+
+fn fsm_action(fsm: &Fsm, device: &str, action: &str) -> jarvis_repro::model::MiniAction {
+    let id = fsm.device_by_name(device).expect("device exists");
+    let a = fsm
+        .device(id)
+        .expect("valid id")
+        .action_idx(action)
+        .expect("action exists");
+    jarvis_repro::model::MiniAction { device: id, action: a }
+}

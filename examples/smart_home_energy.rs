@@ -1,0 +1,123 @@
+//! Energy management with Jarvis: the Figure 6/7 workload as a program.
+//!
+//! Optimizes three winter days of the Home B dataset under two different
+//! user "ethics" (Section VI-E): a highly energy-conscious configuration
+//! and a comfort-first configuration, and prints the per-day trade-offs.
+//! Afterwards, asks Jarvis for a live suggestion in a specific state — the
+//! "user takes some actions manually" flow of Section VI-D.
+//!
+//! Run with:
+//!
+//! ```sh
+//! cargo run --release --example smart_home_energy
+//! ```
+
+use jarvis_repro::core::suggest::suggest;
+use jarvis_repro::core::{
+    DayScenario, HomeRlEnv, Jarvis, JarvisConfig, JarvisError, Optimizer, OptimizerConfig,
+    RewardWeights, SmartReward,
+};
+use jarvis_repro::model::{EnvAction, TimeStep};
+use jarvis_repro::policy::MatchMode;
+use jarvis_repro::sim::HomeDataset;
+use jarvis_repro::smart_home::SmartHome;
+
+fn run_ethic(name: &str, weights: RewardWeights) -> Result<(), JarvisError> {
+    let home = SmartHome::evaluation_home();
+    let learn_data = HomeDataset::home_a(42);
+    let eval_data = HomeDataset::home_b(43);
+    let config = JarvisConfig {
+        weights,
+        optimizer: OptimizerConfig { episodes: 12, ..OptimizerConfig::default() },
+        ..JarvisConfig::default()
+    };
+    let mut jarvis = Jarvis::new(home, config);
+    jarvis.learning_phase(&learn_data, 0..7)?;
+    jarvis.learn_policies()?;
+
+    println!("\n=== ethic: {name} ===");
+    println!("{:>6}  {:>22}  {:>22}", "day", "normal kWh / $ / ΔT", "optimized kWh / $ / ΔT");
+    for day in 10..13 {
+        let plan = jarvis.optimize_day(&eval_data, day)?;
+        println!(
+            "{:>6}  {:>7.2} {:>6.2} {:>6.2}  {:>7.2} {:>6.2} {:>6.2}",
+            day,
+            plan.normal.energy_kwh,
+            plan.normal.cost_usd,
+            plan.normal.mean_temp_dev_c(),
+            plan.optimized.energy_kwh,
+            plan.optimized.cost_usd,
+            plan.optimized.mean_temp_dev_c(),
+        );
+    }
+    Ok(())
+}
+
+fn main() -> Result<(), JarvisError> {
+    // Two hypothetical ethics from Section VI-E.
+    run_ethic("highly energy-conscious (f = 0.9/0.05/0.05)", RewardWeights {
+        energy: 0.9,
+        cost: 0.05,
+        comfort: 0.05,
+    })?;
+    run_ethic("comfort-first (f = 0.2/0.2/0.6)", RewardWeights {
+        energy: 0.2,
+        cost: 0.2,
+        comfort: 0.6,
+    })?;
+
+    // Live suggestion: the user has manually driven the home into a state;
+    // Jarvis proposes the best safe next action.
+    let home = SmartHome::evaluation_home();
+    let learn_data = HomeDataset::home_a(42);
+    let mut jarvis = Jarvis::new(home, JarvisConfig {
+        weights: RewardWeights::emphasizing("energy", 0.7),
+        optimizer: OptimizerConfig { episodes: 12, ..OptimizerConfig::default() },
+        ..JarvisConfig::default()
+    });
+    jarvis.learning_phase(&learn_data, 0..7)?;
+    jarvis.learn_policies()?;
+    let (table, behavior) = {
+        let outcome = jarvis.outcome().expect("learned");
+        (outcome.table.clone(), outcome.behavior.clone())
+    };
+    let scenario = DayScenario::from_dataset(jarvis.home(), &learn_data, 8);
+    let reward = SmartReward::evaluation(
+        jarvis.config().weights,
+        scenario.peak_price(),
+        behavior,
+        scenario.config(),
+        jarvis.home().fsm().num_devices(),
+    );
+    let mut env = HomeRlEnv::new(jarvis.home(), &scenario, &reward)
+        .constrained(&table, MatchMode::Generalized);
+    let mut optimizer = Optimizer::new(&env, jarvis.config().optimizer.clone())?;
+    optimizer.train(&mut env)?;
+
+    // The user just left the house at 08:05 with the lights still on.
+    let mut state = jarvis.home().midnight_state();
+    state.set_device(
+        jarvis.home().device_id("lock"),
+        jarvis.home().state_idx("lock", "locked_outside"),
+    );
+    state.set_device(
+        jarvis.home().device_id("light"),
+        jarvis.home().state_idx("light", "on"),
+    );
+    env.force_state(state, TimeStep(8 * 60 + 5));
+    let s = suggest(optimizer.agent(), &env)?;
+    let rendered = match s.action {
+        None => "do nothing".to_owned(),
+        Some(m) => jarvis
+            .home()
+            .fsm()
+            .describe_action(&EnvAction::single(m))
+            .join(","),
+    };
+    println!(
+        "\nlive suggestion at 08:05 (user away, lights left on): {rendered} \
+         (Q = {:.2}, {} unsafe higher-Q actions skipped)",
+        s.q_value, s.rank
+    );
+    Ok(())
+}

@@ -1,0 +1,74 @@
+//! Weekly planning with a warm-started agent, plus policy persistence.
+//!
+//! A deployed Jarvis does not retrain from scratch every midnight: the DQN
+//! persists across days (`Jarvis::optimize_days`), and the learned policies
+//! survive restarts as a JSON snapshot (`save_policies`/`load_policies`).
+//! This example plans Monday–Friday, shows the warm-start effect on training
+//! reward, then simulates a restart from the snapshot.
+//!
+//! Run with:
+//!
+//! ```sh
+//! cargo run --release --example weekly_plan
+//! ```
+
+use jarvis_repro::core::{Jarvis, JarvisConfig, JarvisError, OptimizerConfig, RewardWeights};
+use jarvis_repro::sim::HomeDataset;
+use jarvis_repro::smart_home::SmartHome;
+
+fn main() -> Result<(), JarvisError> {
+    let home = SmartHome::evaluation_home();
+    let data = HomeDataset::home_a(42);
+    let config = JarvisConfig {
+        weights: RewardWeights::emphasizing("energy", 0.6),
+        manual: Some(jarvis_repro::smart_home::emergency_rules(&home)),
+        optimizer: OptimizerConfig { episodes: 8, ..OptimizerConfig::default() },
+        ..JarvisConfig::default()
+    };
+    let mut jarvis = Jarvis::new(home, config);
+    jarvis.learning_phase(&data, 0..7)?;
+    jarvis.train_filter(42)?;
+    jarvis.learn_policies()?;
+
+    // Plan the work week with one persistent agent.
+    println!("planning days 7..12 (warm-started agent):");
+    println!(
+        "{:>5}  {:>12} {:>12}  {:>12} {:>12}  {:>16}",
+        "day", "normal kWh", "opt kWh", "normal $", "opt $", "best train reward"
+    );
+    let plans = jarvis.optimize_days(&data, 7..12)?;
+    for p in &plans {
+        println!(
+            "{:>5}  {:>12.2} {:>12.2}  {:>12.2} {:>12.2}  {:>16.1}",
+            p.day,
+            p.normal.energy_kwh,
+            p.optimized.energy_kwh,
+            p.normal.cost_usd,
+            p.optimized.cost_usd,
+            p.stats.best_reward(),
+        );
+        assert_eq!(p.optimized.violations, 0);
+    }
+    let first = plans.first().expect("non-empty").stats.best_reward();
+    let last = plans.last().expect("non-empty").stats.best_reward();
+    println!("\nwarm start: best training reward day 7 = {first:.1}, day 11 = {last:.1}");
+
+    // Persist the learned policies and restart.
+    let snapshot = jarvis.save_policies()?;
+    println!("policy snapshot: {} bytes of JSON", snapshot.len());
+    let mut restarted = Jarvis::new(
+        SmartHome::evaluation_home(),
+        JarvisConfig {
+            weights: RewardWeights::emphasizing("energy", 0.6),
+            optimizer: OptimizerConfig { episodes: 8, ..OptimizerConfig::default() },
+            ..JarvisConfig::default()
+        },
+    );
+    restarted.load_policies(&snapshot)?;
+    let plan = restarted.optimize_day(&data, 13)?;
+    println!(
+        "restarted deployment plans day 13 without relearning: {:.2} kWh (normal {:.2}), {} violations",
+        plan.optimized.energy_kwh, plan.normal.energy_kwh, plan.optimized.violations
+    );
+    Ok(())
+}

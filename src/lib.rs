@@ -1,0 +1,49 @@
+//! # jarvis-repro — reproduction of *Jarvis: Moving Towards a Smarter
+//! # Internet of Things* (ICDCS 2020)
+//!
+//! This meta-crate re-exports every crate of the workspace under one roof
+//! and hosts the repo-level examples (`examples/`) and integration tests
+//! (`tests/`). Use the individual crates directly in downstream code:
+//!
+//! | Crate | Contents |
+//! |---|---|
+//! | [`model`] (`jarvis-iot-model`) | IoT environment FSM: devices, states, actions, episodes, authorization |
+//! | [`neural`] (`jarvis-neural`) | feed-forward NN library: layers, backprop, Adam, ROC metrics |
+//! | [`rl`] (`jarvis-rl`) | gym-style environments, replay buffer, tabular Q, DQN |
+//! | [`sim`] (`jarvis-sim`) | dataset simulators: occupancy, traces, anomalies, prices, weather |
+//! | [`smart_home`] (`jarvis-smart-home`) | device catalogue, JSON logging, IFTTT app engine |
+//! | [`policy`] (`jarvis-policy`) | the Security Policy Learner: Algorithm 1, ANN filter, `P_safe` |
+//! | [`attacks`] (`jarvis-attacks`) | the 214-violation corpus and episode engineering |
+//! | [`core`] (`jarvis`) | the framework: smart reward, constrained DQN optimizer, analysis |
+//!
+//! See the repository README for a walkthrough and DESIGN.md for the full
+//! system inventory and experiment index.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use jarvis_repro::core::{Jarvis, JarvisConfig};
+//! use jarvis_repro::sim::HomeDataset;
+//! use jarvis_repro::smart_home::SmartHome;
+//!
+//! let mut jarvis = Jarvis::new(SmartHome::evaluation_home(), JarvisConfig::default());
+//! let data = HomeDataset::home_a(42);
+//! jarvis.learning_phase(&data, 0..7)?;
+//! jarvis.train_filter(42)?;
+//! jarvis.learn_policies()?;
+//! let plan = jarvis.optimize_day(&data, 8)?;
+//! println!("{:.1} kWh (normal {:.1})", plan.optimized.energy_kwh, plan.normal.energy_kwh);
+//! # Ok::<(), jarvis_repro::core::JarvisError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use jarvis as core;
+pub use jarvis_attacks as attacks;
+pub use jarvis_iot_model as model;
+pub use jarvis_neural as neural;
+pub use jarvis_policy as policy;
+pub use jarvis_rl as rl;
+pub use jarvis_sim as sim;
+pub use jarvis_smart_home as smart_home;

@@ -1,0 +1,155 @@
+//! End-to-end runtime monitoring: learned table + manual rules + ANN filter
+//! classifying a live event stream.
+
+use jarvis_repro::core::{Jarvis, JarvisConfig, OptimizerConfig, RewardWeights, Verdict};
+use jarvis_repro::policy::FilterConfig;
+use jarvis_repro::sim::HomeDataset;
+use jarvis_repro::smart_home::{emergency_rules, SmartHome};
+
+fn deployed_jarvis() -> Jarvis {
+    let home = SmartHome::evaluation_home();
+    let config = JarvisConfig {
+        manual: Some(emergency_rules(&home)),
+        filter: Some(FilterConfig { epochs: 8, seed: 3, ..FilterConfig::default() }),
+        anomaly_training_samples: 1_200,
+        weights: RewardWeights::balanced(),
+        optimizer: OptimizerConfig::fast(),
+        ..JarvisConfig::default()
+    };
+    let data = HomeDataset::home_a(3);
+    let mut jarvis = Jarvis::new(home, config);
+    jarvis.learning_phase(&data, 0..7).unwrap();
+    jarvis.train_filter(3).unwrap();
+    jarvis.learn_policies().unwrap();
+    jarvis
+}
+
+#[test]
+fn monitor_classifies_a_mixed_event_stream() {
+    let jarvis = deployed_jarvis();
+    let home = jarvis.home();
+    let mut mon = jarvis.monitor().unwrap();
+
+    // Routine departure sequence: safe.
+    assert_eq!(mon.observe(home.mini_action("lock", "unlock")).unwrap(), Verdict::Safe);
+    assert_eq!(mon.observe(home.mini_action("lock", "lock_inside")).unwrap(), Verdict::Safe);
+
+    // Attack: disabling a sensor — blocked by the manual deny whatever the
+    // table says.
+    assert_eq!(
+        mon.observe(home.mini_action("door_sensor", "power_off")).unwrap(),
+        Verdict::Violation
+    );
+
+    // Benign anomaly: fridge door opens (never in routine logs) — the ANN
+    // excuses it instead of alarming.
+    let v = mon.observe(home.mini_action("fridge", "open_door")).unwrap();
+    assert_eq!(v, Verdict::Excused, "fridge-door events are the canonical benign anomaly");
+
+    // Fire: the alarm is exogenous; egress unlock is allowed by manual rule,
+    // heating is denied.
+    mon.observe_exogenous(home.mini_action("temp_sensor", "alarm_fire")).unwrap();
+    assert_eq!(mon.observe(home.mini_action("lock", "unlock")).unwrap(), Verdict::Safe);
+    assert_eq!(
+        mon.observe(home.mini_action("thermostat", "set_heat")).unwrap(),
+        Verdict::Violation
+    );
+
+    // Exactly the two violations were alarmed; excused events were not.
+    assert_eq!(mon.alarms().len(), 2);
+}
+
+#[test]
+fn monitor_replays_a_benign_day_quietly() {
+    let jarvis = deployed_jarvis();
+    let home = jarvis.home();
+    let filtered_out = jarvis.outcome().unwrap().filtered_out;
+    let episode = &jarvis.episodes()[4];
+    let mut mon = jarvis.monitor().unwrap();
+    let mut alarms = 0usize;
+    for tr in episode.transitions() {
+        // Keep the monitor clock aligned with the episode's real minutes.
+        while mon.time() < tr.step {
+            mon.tick();
+        }
+        for m in tr.action.minis() {
+            let name = home
+                .fsm()
+                .device(m.device)
+                .unwrap()
+                .action_name(m.action)
+                .unwrap();
+            if jarvis_repro::smart_home::devices::is_agent_action(name) {
+                if mon.observe(*m).unwrap() == Verdict::Violation {
+                    alarms += 1;
+                }
+            } else {
+                // Sensor readings are the physical world, not policy-checked.
+                mon.observe_exogenous(*m).unwrap();
+            }
+        }
+    }
+    // The only admissible alarms are transitions the ANN filtered during
+    // learning (its small false-positive rate).
+    assert!(
+        alarms <= filtered_out,
+        "{alarms} alarms on a benign day (filter removed {filtered_out})"
+    );
+}
+
+#[test]
+fn active_learning_widens_the_monitorable_space() {
+    use jarvis_repro::core::suggest::suggest;
+    use jarvis_repro::core::{
+        active_learning_round, DayScenario, DeviceAllowlistOracle, HomeRlEnv, Optimizer,
+        SmartReward,
+    };
+    use jarvis_repro::policy::MatchMode;
+
+    let jarvis = deployed_jarvis();
+    let data = HomeDataset::home_a(3);
+    let outcome = jarvis.outcome().unwrap();
+    let scenario = DayScenario::from_dataset(jarvis.home(), &data, 8);
+    let reward = SmartReward::evaluation(
+        RewardWeights::emphasizing("energy", 0.8),
+        scenario.peak_price(),
+        outcome.behavior.clone(),
+        scenario.config(),
+        jarvis.home().fsm().num_devices(),
+    );
+    let mut table = outcome.table.clone();
+    let before = table.len();
+
+    let mut scout_env = HomeRlEnv::new(jarvis.home(), &scenario, &reward);
+    let mut scout = Optimizer::new(&scout_env, OptimizerConfig::fast()).unwrap();
+    scout.train(&mut scout_env).unwrap();
+    let mut oracle = DeviceAllowlistOracle::new([
+        jarvis.home().device_id("washer"),
+        jarvis.home().device_id("tv"),
+        jarvis.home().device_id("light"),
+        jarvis.home().device_id("thermostat"),
+    ]);
+    let report = active_learning_round(
+        jarvis.home(),
+        &mut scout_env,
+        scout.agent(),
+        &mut table,
+        MatchMode::Generalized,
+        &mut oracle,
+        12,
+    )
+    .unwrap();
+    assert_eq!(table.len(), before + report.approved);
+
+    // Suggestions still come from the (possibly widened) safe set.
+    let env = HomeRlEnv::new(jarvis.home(), &scenario, &reward)
+        .constrained(&table, MatchMode::Generalized);
+    let s = suggest(scout.agent(), &env).unwrap();
+    if let Some(mini) = s.action {
+        assert!(table.is_safe_action(
+            env.current_state(),
+            &jarvis_repro::model::EnvAction::single(mini),
+            MatchMode::Generalized
+        ));
+    }
+}

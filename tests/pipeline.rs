@@ -1,0 +1,155 @@
+//! End-to-end integration: the full Jarvis pipeline across every crate.
+
+use jarvis_repro::core::{Jarvis, JarvisConfig, OptimizerConfig, RewardWeights};
+use jarvis_repro::policy::FilterConfig;
+use jarvis_repro::sim::HomeDataset;
+use jarvis_repro::smart_home::SmartHome;
+
+fn fast_config(weights: RewardWeights, seed: u64) -> JarvisConfig {
+    JarvisConfig {
+        weights,
+        anomaly_training_samples: 400,
+        filter: Some(FilterConfig { epochs: 5, seed, ..FilterConfig::default() }),
+        optimizer: OptimizerConfig {
+            episodes: 6,
+            hidden: vec![32],
+            replay_every: 16,
+            seed,
+            ..OptimizerConfig::default()
+        },
+        ..JarvisConfig::default()
+    }
+}
+
+#[test]
+fn full_pipeline_energy_shape() {
+    // The headline functionality claim: with an energy-heavy weight, the
+    // optimized day uses meaningfully less energy than normal behavior,
+    // with zero safety violations.
+    let data = HomeDataset::home_a(42);
+    let mut jarvis = Jarvis::new(
+        SmartHome::evaluation_home(),
+        fast_config(RewardWeights::emphasizing("energy", 0.8), 42),
+    );
+    jarvis.learning_phase(&data, 0..7).unwrap();
+    jarvis.train_filter(42).unwrap();
+    jarvis.learn_policies().unwrap();
+
+    let plan = jarvis.optimize_day(&data, 8).unwrap();
+    assert_eq!(plan.optimized.steps, 1440);
+    assert_eq!(plan.optimized.violations, 0);
+    assert!(
+        plan.optimized.energy_kwh < plan.normal.energy_kwh,
+        "optimized {} kWh should beat normal {} kWh",
+        plan.optimized.energy_kwh,
+        plan.normal.energy_kwh
+    );
+}
+
+#[test]
+fn pipeline_is_deterministic_per_seed() {
+    let run = || {
+        let data = HomeDataset::home_a(7);
+        let mut jarvis = Jarvis::new(
+            SmartHome::evaluation_home(),
+            fast_config(RewardWeights::balanced(), 7),
+        );
+        jarvis.learning_phase(&data, 0..3).unwrap();
+        jarvis.learn_policies().unwrap();
+        let plan = jarvis.optimize_day(&data, 4).unwrap();
+        (
+            jarvis.outcome().unwrap().table.len(),
+            plan.optimized.energy_kwh,
+            plan.optimized.reward,
+        )
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn learning_more_days_grows_the_safe_table() {
+    let data = HomeDataset::home_a(5);
+    let table_len = |days: u32| {
+        let mut jarvis = Jarvis::new(
+            SmartHome::evaluation_home(),
+            fast_config(RewardWeights::balanced(), 5),
+        );
+        jarvis.learning_phase(&data, 0..days).unwrap();
+        jarvis.learn_policies().unwrap();
+        jarvis.outcome().unwrap().table.len()
+    };
+    let short = table_len(2);
+    let long = table_len(7);
+    assert!(long > short, "7 days ({long}) should observe more than 2 ({short})");
+}
+
+#[test]
+fn thresh_env_ablation_shrinks_the_table() {
+    // Higher Thresh_env demands more repetitions before a pair is safe.
+    let data = HomeDataset::home_a(5);
+    let table_len = |thresh: u64| {
+        let mut config = fast_config(RewardWeights::balanced(), 5);
+        config.spl = jarvis_repro::policy::SplConfig { thresh_env: thresh };
+        let mut jarvis = Jarvis::new(SmartHome::evaluation_home(), config);
+        jarvis.learning_phase(&data, 0..7).unwrap();
+        jarvis.learn_policies().unwrap();
+        jarvis.outcome().unwrap().table.len()
+    };
+    let permissive = table_len(0);
+    let strict = table_len(3);
+    assert!(strict < permissive, "thresh 3 ({strict}) must prune vs 0 ({permissive})");
+    assert!(strict > 0, "weekly routines repeat often enough to survive");
+}
+
+#[test]
+fn chi_ablation_changes_comfort_tradeoff() {
+    // χ scales utility against dis-utility; an extreme χ (dis-utility
+    // negligible) frees the agent to ignore user habit timing entirely.
+    let data = HomeDataset::home_a(11);
+    let run = |chi: f64| {
+        let mut config = fast_config(RewardWeights::emphasizing("energy", 0.9), 11);
+        config.chi = chi;
+        let mut jarvis = Jarvis::new(SmartHome::evaluation_home(), config);
+        jarvis.learning_phase(&data, 0..5).unwrap();
+        jarvis.learn_policies().unwrap();
+        jarvis.optimize_day(&data, 6).unwrap().optimized
+    };
+    let balanced = run(1.0);
+    let utility_only = run(1_000.0);
+    // Both run; with dis-utility effectively disabled the reward cannot be
+    // lower (the penalty term vanished).
+    assert!(utility_only.reward >= balanced.reward - 1e-6);
+}
+
+#[test]
+fn unconstrained_mode_commits_violations() {
+    use jarvis_repro::core::{DayScenario, HomeRlEnv, Optimizer, SmartReward};
+    use jarvis_repro::policy::MatchMode;
+
+    let data = HomeDataset::home_a(3);
+    let mut jarvis = Jarvis::new(
+        SmartHome::evaluation_home(),
+        fast_config(RewardWeights::balanced(), 3),
+    );
+    jarvis.learning_phase(&data, 0..5).unwrap();
+    jarvis.learn_policies().unwrap();
+    let outcome = jarvis.outcome().unwrap();
+
+    let scenario = DayScenario::from_dataset(jarvis.home(), &data, 6);
+    let reward = SmartReward::evaluation(
+        RewardWeights::balanced(),
+        scenario.peak_price(),
+        outcome.behavior.clone(),
+        scenario.config(),
+        jarvis.home().fsm().num_devices(),
+    );
+    let mut env = HomeRlEnv::new(jarvis.home(), &scenario, &reward)
+        .with_detector(&outcome.table, MatchMode::Generalized);
+    let mut optimizer = Optimizer::new(&env, jarvis.config().optimizer.clone()).unwrap();
+    let stats = optimizer.train(&mut env).unwrap();
+    assert!(
+        stats.mean_violations() > 10.0,
+        "unconstrained exploration must rack up violations, got {}",
+        stats.mean_violations()
+    );
+}

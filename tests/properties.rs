@@ -1,0 +1,201 @@
+//! Property-based tests over the core data structures and invariants,
+//! spanning the workspace crates.
+
+use jarvis_repro::model::{
+    DeviceId, DeviceSpec, EnvAction, EnvState, Fsm, MiniAction, StateIdx, StatePattern,
+};
+use jarvis_repro::neural::metrics::{auc, Confusion};
+use jarvis_repro::policy::{MatchMode, SafeTransitionTable};
+use jarvis_repro::rl::{top_c, ReplayBuffer};
+use proptest::prelude::*;
+
+/// Strategy: a random small FSM of 1..=6 devices with 2..=4 states and
+/// 1..=4 actions each, and fully random (but valid) transition tables.
+fn arb_fsm() -> impl Strategy<Value = Fsm> {
+    prop::collection::vec((2usize..=4, 1usize..=4, any::<u64>()), 1..=6).prop_map(|devs| {
+        let specs: Vec<DeviceSpec> = devs
+            .iter()
+            .enumerate()
+            .map(|(i, &(ns, na, seed))| {
+                let states: Vec<String> = (0..ns).map(|s| format!("s{s}")).collect();
+                let actions: Vec<String> = (0..na).map(|a| format!("a{a}")).collect();
+                let mut b = DeviceSpec::builder(format!("d{i}"))
+                    .states(states.clone())
+                    .actions(actions.clone());
+                // Derive transitions deterministically from the seed.
+                let mut x = seed | 1;
+                for s in 0..ns {
+                    for a in 0..na {
+                        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                        let to = (x >> 33) as usize % ns;
+                        b = b.transition(&states[s], &actions[a], &states[to]);
+                    }
+                }
+                b.build().expect("valid device")
+            })
+            .collect();
+        Fsm::new(specs).expect("non-empty")
+    })
+}
+
+/// Strategy: a valid state of `fsm`.
+fn arb_state(fsm: &Fsm) -> impl Strategy<Value = EnvState> {
+    let sizes = fsm.state_sizes();
+    prop::collection::vec(any::<u8>(), sizes.len()).prop_map(move |raw| {
+        raw.iter()
+            .zip(&sizes)
+            .map(|(&r, &n)| StateIdx(r % n as u8))
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Δ always yields a valid state, and the no-op is the identity.
+    #[test]
+    fn fsm_step_closure((fsm, raw) in arb_fsm().prop_flat_map(|f| {
+        let s = arb_state(&f);
+        (Just(f), s)
+    })) {
+        prop_assert!(fsm.validate_state(&raw).is_ok());
+        let noop = fsm.step(&raw, &EnvAction::noop()).unwrap();
+        prop_assert_eq!(&noop, &raw);
+        // Every mini-action leads to another valid state differing in at
+        // most the actuated device.
+        for mini in fsm.mini_actions() {
+            let next = fsm.step(&raw, &EnvAction::single(mini)).unwrap();
+            prop_assert!(fsm.validate_state(&next).is_ok());
+            prop_assert!(raw.hamming(&next) <= 1);
+            for (id, s) in next.iter() {
+                if id != mini.device {
+                    prop_assert_eq!(raw.device(id), Some(s));
+                }
+            }
+        }
+    }
+
+    /// Mini-action flat indexing is a bijection over the whole action space.
+    #[test]
+    fn mini_action_bijection(fsm in arb_fsm()) {
+        let mut seen = std::collections::HashSet::new();
+        for flat in 0..fsm.num_mini_actions() {
+            let mini = fsm.mini_action_at(flat);
+            prop_assert_eq!(fsm.mini_action_index(mini), Some(flat));
+            prop_assert!(seen.insert(mini), "duplicate at {}", flat);
+        }
+        prop_assert_eq!(fsm.mini_action_at(fsm.num_mini_actions()), None);
+    }
+
+    /// EnvAction canonicalization: construction order never matters.
+    #[test]
+    fn env_action_canonical(mut minis in prop::collection::vec((0usize..8, 0u8..4), 0..6)) {
+        minis.sort();
+        minis.dedup_by_key(|m| m.0);
+        let forward: Vec<MiniAction> =
+            minis.iter().map(|&(d, a)| MiniAction::new(DeviceId(d), a)).collect();
+        let mut reversed = forward.clone();
+        reversed.reverse();
+        let a = EnvAction::try_from_minis(forward).unwrap();
+        let b = EnvAction::try_from_minis(reversed).unwrap();
+        prop_assert_eq!(&a, &b);
+        for m in a.minis() {
+            prop_assert_eq!(a.on_device(m.device), Some(m.action));
+        }
+    }
+
+    /// StatePattern: a fully pinned pattern matches exactly its source
+    /// state; widening any slot keeps it matching.
+    #[test]
+    fn pattern_widening_is_monotone((fsm, s) in arb_fsm().prop_flat_map(|f| {
+        let s = arb_state(&f);
+        (Just(f), s)
+    }), widen in prop::collection::vec(any::<bool>(), 6)) {
+        let full = StatePattern::new(s.iter().map(|(_, st)| Some(st)).collect());
+        prop_assert!(full.matches(&s));
+        let widened = StatePattern::new(
+            s.iter()
+                .enumerate()
+                .map(|(i, (_, st))| {
+                    if widen.get(i).copied().unwrap_or(false) { None } else { Some(st) }
+                })
+                .collect(),
+        );
+        prop_assert!(widened.matches(&s), "widening can never unmatch");
+        prop_assert!(widened.specificity() <= full.specificity());
+        let _ = fsm;
+    }
+
+    /// SafeTransitionTable: everything allowed is reported safe under every
+    /// mode; Exact never reports an unobserved pair safe.
+    #[test]
+    fn safe_table_soundness((fsm, states) in arb_fsm().prop_flat_map(|f| {
+        let s = prop::collection::vec(arb_state(&f), 1..5);
+        (Just(f), s)
+    })) {
+        let mut table = SafeTransitionTable::new();
+        let mut allowed = Vec::new();
+        for (i, s) in states.iter().enumerate() {
+            let minis = fsm.mini_actions();
+            let mini = minis[i % minis.len()];
+            let action = EnvAction::single(mini);
+            table.allow(&fsm, s, &action);
+            allowed.push((s.clone(), action));
+        }
+        for (s, a) in &allowed {
+            for mode in [MatchMode::Exact, MatchMode::DeviceContext, MatchMode::Generalized] {
+                prop_assert!(table.is_safe_action(s, a, mode), "{mode:?}");
+            }
+        }
+        // A pair never allowed is not Exact-safe (unless it is the no-op).
+        let unseen_state = states[0].clone();
+        for mini in fsm.mini_actions() {
+            let action = EnvAction::single(mini);
+            if !allowed.iter().any(|(s, a)| s == &unseen_state && a == &action) {
+                prop_assert!(!table.is_safe_action(&unseen_state, &action, MatchMode::Exact));
+            }
+        }
+    }
+
+    /// Replay buffer: never exceeds capacity, keeps the newest items.
+    #[test]
+    fn replay_buffer_bounds(capacity in 1usize..64, items in prop::collection::vec(any::<u32>(), 0..256)) {
+        let mut buf = ReplayBuffer::new(capacity);
+        for &x in &items {
+            buf.push(x);
+        }
+        prop_assert!(buf.len() <= capacity);
+        prop_assert_eq!(buf.len(), items.len().min(capacity));
+        let kept: Vec<u32> = buf.iter().copied().collect();
+        let expected: Vec<u32> =
+            items[items.len().saturating_sub(capacity)..].to_vec();
+        prop_assert_eq!(kept, expected);
+    }
+
+    /// `top_c` enumerates the valid set exactly once, in non-increasing
+    /// Q order.
+    #[test]
+    fn top_c_is_a_ranking(q in prop::collection::vec(-100.0f64..100.0, 1..20)) {
+        let valid: Vec<usize> = (0..q.len()).collect();
+        let ranking: Vec<usize> =
+            (0..q.len()).map(|c| top_c(&q, &valid, c).unwrap()).collect();
+        let mut sorted = ranking.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(&sorted, &valid, "must be a permutation");
+        for w in ranking.windows(2) {
+            prop_assert!(q[w[0]] >= q[w[1]]);
+        }
+        prop_assert_eq!(top_c(&q, &valid, q.len()), None);
+    }
+
+    /// Confusion counts always total the sample size; AUC is within [0, 1].
+    #[test]
+    fn metrics_invariants(samples in prop::collection::vec((0.0f64..1.0, any::<bool>()), 1..100), thr in 0.0f64..1.0) {
+        let scores: Vec<f64> = samples.iter().map(|&(s, _)| s).collect();
+        let labels: Vec<bool> = samples.iter().map(|&(_, l)| l).collect();
+        let c = Confusion::at_threshold(&scores, &labels, thr);
+        prop_assert_eq!(c.tp + c.fp + c.tn + c.fn_, samples.len());
+        let a = auc(&scores, &labels);
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&a), "auc {a}");
+    }
+}

@@ -1,0 +1,102 @@
+//! Serialization round trips across the workspace: everything a deployment
+//! would persist (device specs, logs, learned tables, trained networks)
+//! survives JSON without loss.
+
+use jarvis_repro::model::EpisodeConfig;
+use jarvis_repro::policy::{learn_safe_transitions, MatchMode, SplConfig};
+use jarvis_repro::sim::HomeDataset;
+use jarvis_repro::smart_home::{devices, EventLog, SmartHome};
+
+#[test]
+fn device_catalogue_round_trips() {
+    for dev in devices::evaluation_devices() {
+        let json = serde_json::to_string(&dev).unwrap();
+        let back: jarvis_repro::model::DeviceSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(dev, back);
+    }
+}
+
+#[test]
+fn event_log_round_trips_as_json_lines() {
+    let home = SmartHome::evaluation_home();
+    let data = HomeDataset::home_a(3);
+    let mut log = EventLog::new();
+    log.record_activity(&home, &data.activity(1));
+    let text = log.to_json_lines().unwrap();
+    let back = EventLog::from_json_lines(&text).unwrap();
+    assert_eq!(log, back);
+    // Parsed episodes from original and round-tripped logs agree.
+    let a = log.parse_episodes(&home, EpisodeConfig::DAILY_MINUTES).unwrap();
+    let b = back.parse_episodes(&home, EpisodeConfig::DAILY_MINUTES).unwrap();
+    assert_eq!(a.episodes, b.episodes);
+}
+
+#[test]
+fn learned_safe_table_round_trips_with_behavior() {
+    let home = SmartHome::evaluation_home();
+    let data = HomeDataset::home_a(9);
+    let mut log = EventLog::new();
+    for day in 0..3 {
+        log.record_activity(&home, &data.activity(day));
+    }
+    let episodes = log
+        .parse_episodes(&home, EpisodeConfig::DAILY_MINUTES)
+        .unwrap()
+        .episodes;
+    let outcome = learn_safe_transitions(home.fsm(), &episodes, None, &SplConfig::default());
+
+    let table_json = serde_json::to_string(&outcome.table).unwrap();
+    let table_back: jarvis_repro::policy::SafeTransitionTable =
+        serde_json::from_str(&table_json).unwrap();
+    assert_eq!(outcome.table, table_back);
+    // Deserialized table makes identical decisions.
+    for tr in episodes[0].transitions().iter().filter(|t| !t.is_idle()).take(50) {
+        for mode in [MatchMode::Exact, MatchMode::DeviceContext, MatchMode::Generalized] {
+            assert_eq!(
+                outcome.table.is_safe_action(&tr.state, &tr.action, mode),
+                table_back.is_safe_action(&tr.state, &tr.action, mode),
+            );
+        }
+    }
+
+    let behavior_json = serde_json::to_string(&outcome.behavior).unwrap();
+    let behavior_back: jarvis_repro::policy::TaBehavior =
+        serde_json::from_str(&behavior_json).unwrap();
+    assert_eq!(outcome.behavior, behavior_back);
+}
+
+#[test]
+fn trained_network_round_trips_exactly() {
+    use jarvis_repro::neural::{Activation, Loss, Network, OptimizerKind};
+    let mut net = Network::builder(4)
+        .layer(8, Activation::Tanh)
+        .layer(2, Activation::Linear)
+        .loss(Loss::Mse)
+        .optimizer(OptimizerKind::adam(0.01))
+        .seed(5)
+        .build()
+        .unwrap();
+    let x = [0.1, 0.2, 0.3, 0.4];
+    let y = [1.0, -1.0];
+    for _ in 0..20 {
+        net.train_batch(&[&x], &[&y]).unwrap();
+    }
+    let back = Network::from_json(&net.to_json().unwrap()).unwrap();
+    assert_eq!(net.predict(&x).unwrap(), back.predict(&x).unwrap());
+}
+
+#[test]
+fn episodes_round_trip() {
+    let home = SmartHome::evaluation_home();
+    let data = HomeDataset::home_a(13);
+    let mut log = EventLog::new();
+    log.record_activity(&home, &data.activity(2));
+    let ep = log
+        .parse_episodes(&home, EpisodeConfig::DAILY_MINUTES)
+        .unwrap()
+        .episodes
+        .remove(0);
+    let json = serde_json::to_string(&ep).unwrap();
+    let back: jarvis_repro::model::Episode = serde_json::from_str(&json).unwrap();
+    assert_eq!(ep, back);
+}
