@@ -108,7 +108,7 @@ mod tests {
     use jarvis_policy::{learn_safe_transitions, SplConfig};
     use jarvis_smart_home::{EventLog, SmartHome};
     use jarvis_sim::HomeDataset;
-    use rand::{Rng, SeedableRng};
+    use jarvis_stdkit::rng::{Rng, SeedableRng};
 
     fn learned_home() -> (SmartHome, SafeTransitionTable, Vec<jarvis_iot_model::Episode>) {
         let home = SmartHome::evaluation_home();
@@ -129,14 +129,14 @@ mod tests {
     fn spl_detects_all_corpus_violations() {
         let (home, table, episodes) = learned_home();
         let corpus = build_corpus(&home);
-        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(5);
+        let mut rng = jarvis_stdkit::rng::ChaCha8Rng::seed_from_u64(5);
         // 2 random episodes per violation keeps the test fast; the bench
         // harness runs the full 100.
         let mut injected = Vec::new();
         for v in &corpus {
             for _ in 0..2 {
                 let base = &episodes[rng.gen_range(0..episodes.len())];
-                let step = TimeStep(rng.gen_range(0..1440));
+                let step = TimeStep(rng.gen_range(0_u32..1440));
                 injected.push(inject_violation(&home, base, v, step).unwrap());
             }
         }

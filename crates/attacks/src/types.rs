@@ -1,10 +1,10 @@
 //! The five violation types of Section VI-B.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
+use jarvis_stdkit::{json_enum};
 
 /// Classification of a security violation, following Section VI-B.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum ViolationType {
     /// Type 1: trigger-action safety violations.
     TaSafety,
@@ -17,6 +17,8 @@ pub enum ViolationType {
     /// Type 5: insider attacks.
     Insider,
 }
+
+json_enum!(ViolationType { TaSafety, IntegrityAccess, RaceCondition, MaliciousApp, Insider });
 
 impl ViolationType {
     /// All five types, in paper order.

@@ -4,7 +4,10 @@ use jarvis_attacks::{build_corpus, inject_anomaly, inject_violation};
 use jarvis_iot_model::{EpisodeConfig, TimeStep};
 use jarvis_sim::{AnomalyGenerator, HomeDataset};
 use jarvis_smart_home::{EventLog, SmartHome};
-use proptest::prelude::*;
+use jarvis_stdkit::prop_assert;
+use jarvis_stdkit::prop_assert_eq;
+use jarvis_stdkit::prop_assert_ne;
+use jarvis_stdkit::propcheck::Config;
 use std::sync::OnceLock;
 
 struct Fixture {
@@ -31,13 +34,14 @@ fn fixture() -> &'static Fixture {
     })
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Any corpus violation injected at any step produces a well-formed,
-    /// Δ-consistent episode whose injected transition is effective.
-    #[test]
-    fn injection_is_total_and_effective(vid in 0usize..214, step in 0u32..1440, base in 0usize..3) {
+/// Any corpus violation injected at any step produces a well-formed,
+/// Δ-consistent episode whose injected transition is effective.
+#[test]
+fn injection_is_total_and_effective() {
+    Config::with_cases(64).run(|g| {
+        let vid = g.usize_in(0, 213);
+        let step = g.u32_in(0, 1439);
+        let base = g.usize_in(0, 2);
         let f = fixture();
         let v = &f.corpus[vid];
         let out = inject_violation(&f.home, &f.episodes[base], v, TimeStep(step)).unwrap();
@@ -50,12 +54,17 @@ proptest! {
         for tr in out.episode.transitions().iter().step_by(97) {
             prop_assert_eq!(&f.home.fsm().step(&tr.state, &tr.action).unwrap(), &tr.next);
         }
-    }
+        Ok(())
+    });
+}
 
-    /// The violation context survives the splice except where the
-    /// effectiveness repair legitimately had to move the actuated device.
-    #[test]
-    fn context_pins_survive(vid in 0usize..214, step in 0u32..1440) {
+/// The violation context survives the splice except where the
+/// effectiveness repair legitimately had to move the actuated device.
+#[test]
+fn context_pins_survive() {
+    Config::with_cases(64).run(|g| {
+        let vid = g.usize_in(0, 213);
+        let step = g.u32_in(0, 1439);
         let f = fixture();
         let v = &f.corpus[vid];
         let out = inject_violation(&f.home, &f.episodes[0], v, TimeStep(step)).unwrap();
@@ -65,12 +74,17 @@ proptest! {
                 prop_assert_eq!(tr.state.device(d), Some(s), "pin on {} lost", d);
             }
         }
-    }
+        Ok(())
+    });
+}
 
-    /// Any generated benign anomaly injects cleanly and lands at its start
-    /// minute with a non-idle, effective transition.
-    #[test]
-    fn anomaly_injection_is_total(seed in any::<u64>(), base in 0usize..3) {
+/// Any generated benign anomaly injects cleanly and lands at its start
+/// minute with a non-idle, effective transition.
+#[test]
+fn anomaly_injection_is_total() {
+    Config::with_cases(64).run(|g| {
+        let seed = g.u64();
+        let base = g.usize_in(0, 2);
         let f = fixture();
         let inst = AnomalyGenerator::new(seed).generate(1, 1).remove(0);
         let out = inject_anomaly(&f.home, &f.episodes[base], &inst, 0).unwrap();
@@ -78,5 +92,6 @@ proptest! {
         let tr = &out.episode.transitions()[out.injected_step.0 as usize];
         prop_assert!(!tr.is_idle());
         prop_assert_ne!(&tr.state, &tr.next);
-    }
+        Ok(())
+    });
 }

@@ -1,14 +1,15 @@
 //! Kernel benchmark: Algorithm 2's inner loop — environment steps, ε-greedy
 //! action selection, and experience replay through the DNN.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use jarvis_stdkit::bench::{BatchSize, Bench};
+use jarvis_stdkit::{bench_group, bench_main};
 use jarvis::{DayScenario, HomeRlEnv, RewardWeights, SmartReward};
 use jarvis_policy::TaBehavior;
 use jarvis_rl::{DqnAgent, DqnConfig, Environment, Experience};
 use jarvis_sim::HomeDataset;
 use jarvis_smart_home::SmartHome;
 
-fn bench_dqn(c: &mut Criterion) {
+fn bench_dqn(c: &mut Bench) {
     let home = SmartHome::evaluation_home();
     let data = HomeDataset::home_a(42);
     let scenario = DayScenario::from_dataset(&home, &data, 2);
@@ -77,5 +78,5 @@ fn bench_dqn(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_dqn);
-criterion_main!(benches);
+bench_group!(benches, bench_dqn);
+bench_main!(benches);

@@ -1,11 +1,12 @@
 //! Kernel benchmark: FSM transition throughput (`Δ`) and state validation —
 //! the hot inner loop behind every simulated episode.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use jarvis_stdkit::bench::{BatchSize, Bench};
+use jarvis_stdkit::{bench_group, bench_main};
 use jarvis_iot_model::{EnvAction, MiniAction};
 use jarvis_smart_home::SmartHome;
 
-fn bench_fsm(c: &mut Criterion) {
+fn bench_fsm(c: &mut Bench) {
     let home = SmartHome::evaluation_home();
     let fsm = home.fsm();
     let state = home.midnight_state();
@@ -61,5 +62,5 @@ fn bench_fsm(c: &mut Criterion) {
     let _ = MiniAction::new(jarvis_iot_model::DeviceId(0), 0);
 }
 
-criterion_group!(benches, bench_fsm);
-criterion_main!(benches);
+bench_group!(benches, bench_fsm);
+bench_main!(benches);

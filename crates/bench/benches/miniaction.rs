@@ -7,7 +7,8 @@
 //! the joint space vs (b) a DQN forward pass over the mini-action heads, as
 //! `k` doubles.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use jarvis_stdkit::bench::Bench;
+use jarvis_stdkit::{bench_group, bench_main};
 use jarvis_iot_model::{DeviceSpec, Fsm};
 use jarvis_neural::{Activation, Loss, Network, OptimizerKind};
 
@@ -21,8 +22,7 @@ fn onoff_device(i: usize) -> DeviceSpec {
         .expect("valid device")
 }
 
-fn bench_miniaction(c: &mut Criterion) {
-    let mut group = c.benchmark_group("miniaction_ablation");
+fn bench_miniaction(c: &mut Bench) {
     for k in [2usize, 4, 8, 12] {
         let fsm = Fsm::new((0..k).map(onoff_device).collect()).expect("fsm");
         let joint = fsm.joint_action_space_size().expect("fits") as usize;
@@ -30,7 +30,7 @@ fn bench_miniaction(c: &mut Criterion) {
 
         // (a) Tabular joint-action argmax: scan 3^k Q entries.
         let joint_q: Vec<f64> = (0..joint).map(|i| (i % 97) as f64 / 97.0).collect();
-        group.bench_with_input(BenchmarkId::new("joint_table_argmax", k), &k, |b, _| {
+        c.bench_function(&format!("miniaction_ablation/joint_table_argmax/{k}"), |b| {
             b.iter(|| {
                 joint_q
                     .iter()
@@ -52,12 +52,11 @@ fn bench_miniaction(c: &mut Criterion) {
             .build()
             .expect("valid network");
         let obs = vec![0.5; state_dim];
-        group.bench_with_input(BenchmarkId::new("dqn_mini_heads", k), &k, |b, _| {
+        c.bench_function(&format!("miniaction_ablation/dqn_mini_heads/{k}"), |b| {
             b.iter(|| net.predict(std::hint::black_box(&obs)).unwrap())
         });
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_miniaction);
-criterion_main!(benches);
+bench_group!(benches, bench_miniaction);
+bench_main!(benches);

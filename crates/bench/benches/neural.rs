@@ -1,7 +1,8 @@
 //! Kernel benchmark: the neural substrate — forward passes, training
 //! batches, and the ANN filter inference that gates every SPL decision.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use jarvis_stdkit::bench::Bench;
+use jarvis_stdkit::{bench_group, bench_main};
 use jarvis_neural::{Activation, Loss, Matrix, Network, OptimizerKind};
 
 fn paper_dnn(inputs: usize, outputs: usize) -> Network {
@@ -16,7 +17,7 @@ fn paper_dnn(inputs: usize, outputs: usize) -> Network {
         .expect("valid network")
 }
 
-fn bench_neural(c: &mut Criterion) {
+fn bench_neural(c: &mut Bench) {
     // Shapes match the evaluation home: ~45 input features, 35 action heads.
     let net = paper_dnn(45, 35);
     let input = vec![0.3; 45];
@@ -55,5 +56,5 @@ fn bench_neural(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_neural);
-criterion_main!(benches);
+bench_group!(benches, bench_neural);
+bench_main!(benches);

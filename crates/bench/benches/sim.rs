@@ -1,11 +1,12 @@
 //! Kernel benchmark: the dataset simulators — day-trace generation, activity
 //! event derivation, anomaly synthesis, and the physical models.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use jarvis_stdkit::bench::Bench;
+use jarvis_stdkit::{bench_group, bench_main};
 use jarvis_sim::thermal::HvacMode;
 use jarvis_sim::{AnomalyGenerator, DamPrices, HomeDataset, ThermalModel, WeatherModel};
 
-fn bench_sim(c: &mut Criterion) {
+fn bench_sim(c: &mut Bench) {
     let data = HomeDataset::home_a(42);
 
     c.bench_function("sim/day_trace", |b| {
@@ -57,5 +58,5 @@ fn bench_sim(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_sim);
-criterion_main!(benches);
+bench_group!(benches, bench_sim);
+bench_main!(benches);

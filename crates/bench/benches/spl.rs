@@ -2,13 +2,14 @@
 //! of episodes, safe-transition queries in each match mode, and violation
 //! scanning (the per-table-VI-B detection kernel).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use jarvis_stdkit::bench::Bench;
+use jarvis_stdkit::{bench_group, bench_main};
 use jarvis_iot_model::EpisodeConfig;
 use jarvis_policy::{flag_violations, learn_safe_transitions, MatchMode, SplConfig};
 use jarvis_smart_home::{EventLog, SmartHome};
 use jarvis_sim::HomeDataset;
 
-fn bench_spl(c: &mut Criterion) {
+fn bench_spl(c: &mut Bench) {
     let home = SmartHome::evaluation_home();
     let data = HomeDataset::home_a(42);
     let mut log = EventLog::new();
@@ -87,10 +88,10 @@ fn bench_spl(c: &mut Criterion) {
                 }
                 mon.alarms().len()
             },
-            criterion::BatchSize::SmallInput,
+            jarvis_stdkit::bench::BatchSize::SmallInput,
         )
     });
 }
 
-criterion_group!(benches, bench_spl);
-criterion_main!(benches);
+bench_group!(benches, bench_spl);
+bench_main!(benches);

@@ -10,8 +10,8 @@ use jarvis_attacks::{build_corpus, evaluate_detection, inject_violation};
 use jarvis_iot_model::{EnvAction, TimeStep};
 use jarvis_policy::MatchMode;
 use jarvis_sim::HomeDataset;
-use rand::{Rng, SeedableRng};
-use rand_chacha::ChaCha8Rng;
+use jarvis_stdkit::rng::{Rng, SeedableRng};
+use jarvis_stdkit::rng::ChaCha8Rng;
 
 /// Ablation: how the P_safe match mode trades detection against coverage.
 ///
@@ -34,7 +34,7 @@ pub fn ablation_modes(args: &Args) {
         .flat_map(|v| {
             (0..5).map(|_| {
                 let base = &episodes[rng.gen_range(0..episodes.len())];
-                let step = TimeStep(rng.gen_range(0..1440));
+                let step = TimeStep(rng.gen_range(0_u32..1440));
                 inject_violation(jarvis.home(), base, v, step).expect("inject")
             })
             .collect::<Vec<_>>()
@@ -149,7 +149,7 @@ pub fn ablation_filter(args: &Args) {
             .iter()
             .map(|v| {
                 let base = &episodes[rng.gen_range(0..episodes.len())];
-                inject_violation(jarvis.home(), base, v, TimeStep(rng.gen_range(0..1440)))
+                inject_violation(jarvis.home(), base, v, TimeStep(rng.gen_range(0_u32..1440)))
                     .expect("inject")
             })
             .collect();

@@ -34,18 +34,17 @@ fn sweep(args: &Args, spec: &SweepSpec) {
         let testbed = learned_testbed(args, weights);
         let days: Vec<u32> = (0..args.days).map(|d| 10 + d).collect();
         // Parallel day evaluation: each day trains an independent agent.
-        let plans: Vec<DayPlan> = crossbeam::thread::scope(|scope| {
+        let plans: Vec<DayPlan> = std::thread::scope(|scope| {
             let handles: Vec<_> = days
                 .iter()
                 .map(|&day| {
                     let jarvis = &testbed.jarvis;
                     let data = &eval_data;
-                    scope.spawn(move |_| jarvis.optimize_day(data, day).expect("optimize"))
+                    scope.spawn(move || jarvis.optimize_day(data, day).expect("optimize"))
                 })
                 .collect();
             handles.into_iter().map(|h| h.join().expect("day thread")).collect()
-        })
-        .expect("scope");
+        });
 
         let mut normal_total = 0.0;
         let mut optimized_total = 0.0;

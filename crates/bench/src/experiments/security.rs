@@ -10,8 +10,8 @@ use jarvis_iot_model::TimeStep;
 use jarvis_neural::metrics::{auc, roc_curve, Confusion};
 use jarvis_policy::MatchMode;
 use jarvis_sim::AnomalyGenerator;
-use rand::{Rng, SeedableRng};
-use rand_chacha::ChaCha8Rng;
+use jarvis_stdkit::rng::{Rng, SeedableRng};
+use jarvis_stdkit::rng::ChaCha8Rng;
 
 /// Section VI-B: engineer the 214-violation corpus into random episodes
 /// (the paper's 21,400 malicious episodes at 100 per violation) and measure

@@ -2,10 +2,10 @@
 
 use jarvis_sim::HomeDataset;
 use jarvis_smart_home::SmartHome;
-use serde::{Deserialize, Serialize};
+use jarvis_stdkit::{json_struct};
 
 /// Aggregate metrics of one simulated day (normal or optimized).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct DayMetrics {
     /// Total smart reward accrued (0 for replayed normal days, which are
     /// not scored by an agent).
@@ -21,6 +21,8 @@ pub struct DayMetrics {
     /// Safety violations committed (actions outside `P_safe`).
     pub violations: u32,
 }
+
+json_struct!(DayMetrics { reward, energy_kwh, cost_usd, temp_dev_sum, steps, violations });
 
 impl DayMetrics {
     /// Mean absolute deviation from the comfort target, °C.
@@ -52,7 +54,7 @@ pub fn normal_day_metrics(home: &SmartHome, data: &HomeDataset, day: u32) -> Day
 
 /// One point of a benefit-space figure: the baseline vs the optimized value
 /// of a metric at one functionality weight `f_j`.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BenefitPoint {
     /// The emphasized functionality weight `f_j`.
     pub weight: f64,
@@ -61,6 +63,8 @@ pub struct BenefitPoint {
     /// Metric value under Jarvis-optimized behavior.
     pub optimized: f64,
 }
+
+json_struct!(BenefitPoint { weight, normal, optimized });
 
 impl BenefitPoint {
     /// Relative improvement of optimized over normal (positive = better,

@@ -14,9 +14,9 @@ use jarvis_policy::{
 };
 use jarvis_sim::{AnomalyGenerator, HomeDataset};
 use jarvis_smart_home::{anomaly_signature, EventLog, SmartHome};
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
+use jarvis_stdkit::rng::{Rng, SeedableRng};
 use std::ops::Range;
+use jarvis_stdkit::{json_struct};
 
 /// Top-level configuration of a Jarvis deployment.
 #[derive(Debug, Clone, PartialEq)]
@@ -64,7 +64,7 @@ impl Default for JarvisConfig {
 
 /// Everything a deployment persists between restarts: the learned table,
 /// the aggregated behavior (for dis-utility), and the trained ANN filter.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct PolicySnapshot {
     /// The learned safe-transition table.
     pub table: jarvis_policy::SafeTransitionTable,
@@ -73,6 +73,8 @@ pub struct PolicySnapshot {
     /// The trained benign-anomaly filter, when one was trained.
     pub filter: Option<AnomalyFilter>,
 }
+
+json_struct!(PolicySnapshot { table, behavior, filter });
 
 /// The optimized plan for one day, with its baseline.
 #[derive(Debug, Clone, PartialEq)]
@@ -187,7 +189,7 @@ impl Jarvis {
         // instance's start minute with the class context overlaid, so the
         // filter trains on the same state distribution it will score.
         let generator = AnomalyGenerator::new(anomaly_seed);
-        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(anomaly_seed ^ 0x5A17);
+        let mut rng = jarvis_stdkit::rng::ChaCha8Rng::seed_from_u64(anomaly_seed ^ 0x5A17);
         let anomalous: Vec<_> = generator
             .generate(self.config.anomaly_training_samples, 30)
             .iter()
@@ -251,7 +253,7 @@ impl Jarvis {
             behavior: outcome.behavior.clone(),
             filter: self.filter.clone(),
         };
-        serde_json::to_string(&snapshot).map_err(|e| JarvisError::Serde(e.to_string()))
+        Ok(jarvis_stdkit::json::ToJson::to_json(&snapshot))
     }
 
     /// Restore policies saved with [`Jarvis::save_policies`], skipping the
@@ -261,8 +263,8 @@ impl Jarvis {
     ///
     /// Returns [`JarvisError::Serde`] when the snapshot does not parse.
     pub fn load_policies(&mut self, json: &str) -> Result<(), JarvisError> {
-        let snapshot: PolicySnapshot =
-            serde_json::from_str(json).map_err(|e| JarvisError::Serde(e.to_string()))?;
+        let snapshot: PolicySnapshot = jarvis_stdkit::json::FromJson::from_json(json)
+            .map_err(|e| JarvisError::Serde(e.to_string()))?;
         self.outcome = Some(LearnOutcome {
             table: snapshot.table,
             behavior: snapshot.behavior,

@@ -217,19 +217,19 @@ pub struct TabularOptimizer {
     table: jarvis_rl::QTable,
     schedule: jarvis_rl::EpsilonSchedule,
     episodes: usize,
-    rng: rand_chacha::ChaCha8Rng,
+    rng: jarvis_stdkit::rng::ChaCha8Rng,
 }
 
 impl TabularOptimizer {
     /// Build a tabular learner for `env` with learning rate `alpha`.
     #[must_use]
     pub fn new(env: &HomeRlEnv<'_>, episodes: usize, alpha: f64, gamma: f64, seed: u64) -> Self {
-        use rand::SeedableRng;
+        use jarvis_stdkit::rng::SeedableRng;
         TabularOptimizer {
             table: jarvis_rl::QTable::new(env.num_actions(), alpha, gamma),
             schedule: jarvis_rl::EpsilonSchedule::new(1.0, 0.05, 0.9, f64::INFINITY),
             episodes,
-            rng: rand_chacha::ChaCha8Rng::seed_from_u64(seed),
+            rng: jarvis_stdkit::rng::ChaCha8Rng::seed_from_u64(seed),
         }
     }
 

@@ -8,17 +8,19 @@
 
 use crate::error::ModelError;
 use crate::ids::{ActionIdx, DeviceId};
-use serde::{Deserialize, Serialize};
+use jarvis_stdkit::{json_newtype, json_struct};
 use std::fmt;
 
 /// An intermediate action performed on exactly one device in one interval.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct MiniAction {
     /// The device acted on.
     pub device: DeviceId,
     /// The device-action taken.
     pub action: ActionIdx,
 }
+
+json_struct!(MiniAction { device, action });
 
 impl MiniAction {
     /// Build a mini-action on `device` executing device-action index `action`.
@@ -52,8 +54,10 @@ impl fmt::Display for MiniAction {
 /// assert_eq!(a.minis()[0].device, DeviceId(0));
 /// # Ok::<(), jarvis_iot_model::ModelError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct EnvAction(Vec<MiniAction>);
+
+json_newtype!(EnvAction);
 
 impl EnvAction {
     /// The empty action: no device actuated this interval.

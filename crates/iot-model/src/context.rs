@@ -8,26 +8,33 @@
 
 use crate::error::ModelError;
 use crate::ids::DeviceId;
-use serde::{Deserialize, Serialize};
+use jarvis_stdkit::{json_key_newtype, json_newtype, json_struct};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
 /// Identifier of a user `U_j`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct UserId(pub u32);
 
 /// Identifier of an app `ap_j`. `AppId(0)` is the pseudo-app for manual
 /// operations (`ap_0` in the paper).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct AppId(pub u32);
 
 /// Identifier of a location container (e.g. "Home A").
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct LocationId(pub u32);
 
 /// Identifier of a group container within a location (e.g. "kitchen").
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct GroupId(pub u32);
+
+json_newtype!(UserId);
+json_key_newtype!(UserId);
+json_newtype!(AppId);
+json_key_newtype!(AppId);
+json_newtype!(LocationId);
+json_newtype!(GroupId);
 
 impl AppId {
     /// The pseudo-app denoting manual operation, `ap_0`.
@@ -47,7 +54,7 @@ impl fmt::Display for AppId {
 }
 
 /// A human user of the environment.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct User {
     /// Unique id.
     pub id: UserId,
@@ -55,8 +62,10 @@ pub struct User {
     pub name: String,
 }
 
+json_struct!(User { id, name });
+
 /// A physical location container (Section III-A's container hierarchy).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Location {
     /// Unique id.
     pub id: LocationId,
@@ -64,8 +73,10 @@ pub struct Location {
     pub name: String,
 }
 
+json_struct!(Location { id, name });
+
 /// A device group inside a location, e.g. `"kitchen"`.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Group {
     /// Unique id.
     pub id: GroupId,
@@ -75,14 +86,18 @@ pub struct Group {
     pub name: String,
 }
 
+json_struct!(Group { id, location, name });
+
 /// An installed app (trigger-action program or platform app).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct App {
     /// Unique id; [`AppId::MANUAL`] is reserved for manual operation.
     pub id: AppId,
     /// Display name.
     pub name: String,
 }
+
+json_struct!(App { id, name });
 
 /// The authorization state of the environment: which users may use which
 /// apps, and which apps are subscribed to which devices.
@@ -103,12 +118,14 @@ pub struct App {
 /// // Manual operation is always authorized.
 /// assert!(authz.check(UserId(3), AppId::MANUAL, DeviceId(0)).is_ok());
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct AuthzPolicy {
     user_apps: BTreeMap<UserId, BTreeSet<AppId>>,
     app_devices: BTreeMap<AppId, BTreeSet<DeviceId>>,
     device_users: BTreeMap<DeviceId, BTreeSet<UserId>>,
 }
+
+json_struct!(AuthzPolicy { user_apps, app_devices, device_users });
 
 impl AuthzPolicy {
     /// An empty (deny-all, except manual) policy.

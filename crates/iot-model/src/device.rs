@@ -3,7 +3,7 @@
 
 use crate::error::ModelError;
 use crate::ids::{ActionIdx, StateIdx};
-use serde::{Deserialize, Serialize};
+use jarvis_stdkit::{json_enum, json_struct};
 
 /// Broad category of an IoT device.
 ///
@@ -11,7 +11,7 @@ use serde::{Deserialize, Serialize};
 /// assigns *high* dis-utility to devices requiring immediate action (lights,
 /// locks, doorbells) and *low* dis-utility to deferrable high-power loads
 /// (HVAC, washers) — see Section V-A-4.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[non_exhaustive]
 #[derive(Default)]
 pub enum DeviceKind {
@@ -28,6 +28,7 @@ pub enum DeviceKind {
     Other,
 }
 
+json_enum!(DeviceKind { Sensor, Actuator, Appliance, Hvac, Other });
 
 /// Immutable specification of one device `D_i`: its device-states
 /// `{p_{i_0}, …}`, device-actions `{a_{i_0}, …}`, transition function `δ_i`,
@@ -57,7 +58,7 @@ pub enum DeviceKind {
 /// assert_eq!(lock.delta(StateIdx(1), ActionIdx(1))?, StateIdx(1));
 /// # Ok::<(), jarvis_iot_model::ModelError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DeviceSpec {
     name: String,
     kind: DeviceKind,
@@ -70,6 +71,8 @@ pub struct DeviceSpec {
     omega: Vec<Vec<f64>>,
     initial: StateIdx,
 }
+
+json_struct!(DeviceSpec { name, kind, states, actions, delta, omega, initial });
 
 impl DeviceSpec {
     /// Start building a device with the given human-readable name.
@@ -495,9 +498,10 @@ mod tests {
 
     #[test]
     fn serde_round_trip() {
+        use jarvis_stdkit::json::{FromJson, ToJson};
         let d = light();
-        let json = serde_json::to_string(&d).unwrap();
-        let back: DeviceSpec = serde_json::from_str(&json).unwrap();
+        let json = d.to_json();
+        let back = DeviceSpec::from_json(&json).unwrap();
         assert_eq!(d, back);
     }
 }

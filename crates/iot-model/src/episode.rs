@@ -7,7 +7,7 @@ use crate::error::ModelError;
 use crate::fsm::Fsm;
 use crate::ids::TimeStep;
 use crate::state::EnvState;
-use serde::{Deserialize, Serialize};
+use jarvis_stdkit::json_struct;
 
 /// Episode configuration: time period `T` and interval `I`, both in seconds.
 ///
@@ -15,11 +15,13 @@ use serde::{Deserialize, Serialize};
 /// is recorded every `I` seconds until the timestamp reaches `T`, then resets
 /// (Section III-B). The paper's smart-home prototype uses `T` = 1 day and
 /// `I` = 1 minute ([`EpisodeConfig::DAILY_MINUTES`]).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct EpisodeConfig {
     period_s: u32,
     interval_s: u32,
 }
+
+json_struct!(EpisodeConfig { period_s, interval_s });
 
 impl EpisodeConfig {
     /// The prototype configuration of Section V-A-2: `T` = 1 day,
@@ -86,13 +88,15 @@ impl Default for EpisodeConfig {
 }
 
 /// Attribution of one mini-action: who did it, through which app.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Actor {
     /// The acting user.
     pub user: UserId,
     /// The mediating app ([`AppId::MANUAL`] for manual operations).
     pub app: AppId,
 }
+
+json_struct!(Actor { user, app });
 
 impl Actor {
     /// A manual operation by `user` (through the pseudo-app `ap_0`).
@@ -103,7 +107,7 @@ impl Actor {
 }
 
 /// One recorded state transition `(S_t, A_t) → S_{t+1}`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Transition {
     /// Time instance `t` at which the action was taken.
     pub step: TimeStep,
@@ -117,6 +121,8 @@ pub struct Transition {
     pub actors: Vec<Actor>,
 }
 
+json_struct!(Transition { step, state, action, next, actors });
+
 impl Transition {
     /// True when this interval saw no actuation (self-loop on `S_t`).
     #[must_use]
@@ -127,12 +133,14 @@ impl Transition {
 
 /// A completed episode: the ordered list of states `N = {S_0, …, S_n}`
 /// reached under the recorded joint actions (Definition 2).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Episode {
     config: EpisodeConfig,
     initial: EnvState,
     transitions: Vec<Transition>,
 }
+
+json_struct!(Episode { config, initial, transitions });
 
 impl Episode {
     /// Assemble an episode from explicit parts, bypassing the recorder.

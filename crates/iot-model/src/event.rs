@@ -13,11 +13,12 @@
 //! [`Event`] mirrors that record exactly. The smart-home crate's logger emits
 //! these; its parser normalizes them back into FSM device states and actions.
 
-use serde::{Deserialize, Serialize};
+use jarvis_stdkit::json::JsonError;
+use jarvis_stdkit::{json_enum, json_struct};
 use std::fmt;
 
 /// Where an event originated.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[non_exhaustive]
 pub enum EventSource {
     /// A physical/manual operation on the device.
@@ -27,6 +28,8 @@ pub enum EventSource {
     /// The device itself (sensor reading, internal state change).
     Device,
 }
+
+json_enum!(EventSource { Manual, App, Device });
 
 /// One logged event record, matching the JSON schema of Section V-A-1.
 ///
@@ -50,11 +53,11 @@ pub enum EventSource {
 ///     command: Some("power_on".into()),
 ///     source: EventSource::App,
 /// };
-/// let json = serde_json::to_string(&e).unwrap();
-/// let back: Event = serde_json::from_str(&json).unwrap();
+/// let json = e.to_json().unwrap();
+/// let back = Event::from_json(&json).unwrap();
 /// assert_eq!(e, back);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Event {
     /// `Event.date`: epoch seconds of the event.
     pub date: u64,
@@ -82,24 +85,39 @@ pub struct Event {
     pub source: EventSource,
 }
 
+json_struct!(Event {
+    date,
+    data,
+    user,
+    app,
+    group,
+    location,
+    device_label,
+    capability,
+    attribute,
+    attribute_value,
+    command,
+    source,
+});
+
 impl Event {
     /// Serialize the record to the JSON wire form used by the logger.
     ///
     /// # Errors
     ///
-    /// Returns a [`serde_json::Error`] if serialization fails (practically
-    /// impossible for this plain record).
-    pub fn to_json(&self) -> Result<String, serde_json::Error> {
-        serde_json::to_string(self)
+    /// Kept fallible for wire-format compatibility with earlier versions;
+    /// encoding a plain record cannot actually fail.
+    pub fn to_json(&self) -> Result<String, JsonError> {
+        Ok(jarvis_stdkit::json::ToJson::to_json(self))
     }
 
     /// Parse a record from its JSON wire form.
     ///
     /// # Errors
     ///
-    /// Returns a [`serde_json::Error`] when the input is not a valid record.
-    pub fn from_json(s: &str) -> Result<Event, serde_json::Error> {
-        serde_json::from_str(s)
+    /// Returns a [`JsonError`] when the input is not a valid record.
+    pub fn from_json(s: &str) -> Result<Event, JsonError> {
+        jarvis_stdkit::json::FromJson::from_json(s)
     }
 }
 

@@ -5,7 +5,7 @@ use crate::device::DeviceSpec;
 use crate::error::ModelError;
 use crate::ids::{ActionIdx, DeviceId, StateIdx};
 use crate::state::EnvState;
-use serde::{Deserialize, Serialize};
+use jarvis_stdkit::json_struct;
 
 /// The finite state machine of an IoT environment: `k` devices, the overall
 /// state space `SS`, the action space `AS`, and the overall transition
@@ -39,10 +39,12 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(fsm.describe_state(&s1), vec!["lock=unlocked", "light=on"]);
 /// # Ok::<(), jarvis_iot_model::ModelError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Fsm {
     devices: Vec<DeviceSpec>,
 }
+
+json_struct!(Fsm { devices });
 
 impl Fsm {
     /// Build an FSM from its device specifications.

@@ -4,30 +4,36 @@
 //! devices expose a handful of discrete attribute values and commands
 //! (Table I of the paper lists at most four of each per device).
 
-use serde::{Deserialize, Serialize};
+use jarvis_stdkit::{json_key_newtype, json_newtype};
 use std::fmt;
 
 /// Index of a device within an [`Fsm`](crate::Fsm) (the `i` in `D_i`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct DeviceId(pub usize);
 
 /// Index of a device-state within a device (the `x` in `p_{i_x}`).
 #[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
 )]
 pub struct StateIdx(pub u8);
 
 /// Index of a device-action within a device (the `y` in `a_{i_y}`).
 #[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
 )]
 pub struct ActionIdx(pub u8);
 
 /// A discrete *time instance* within an episode: step `t` of `n = ⌈T/I⌉`.
 #[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
 )]
 pub struct TimeStep(pub u32);
+
+json_newtype!(DeviceId);
+json_key_newtype!(DeviceId);
+json_newtype!(StateIdx);
+json_newtype!(ActionIdx);
+json_newtype!(TimeStep);
 
 impl fmt::Display for DeviceId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {

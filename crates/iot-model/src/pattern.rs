@@ -10,13 +10,15 @@
 use crate::action::EnvAction;
 use crate::ids::{ActionIdx, DeviceId, StateIdx};
 use crate::state::EnvState;
-use serde::{Deserialize, Serialize};
+use jarvis_stdkit::{json_enum, json_newtype};
 use std::fmt;
 
 /// A pattern over [`EnvState`]: per device, either a required state or a
 /// wildcard (`X`).
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct StatePattern(Vec<Option<StateIdx>>);
+
+json_newtype!(StatePattern);
 
 impl StatePattern {
     /// The all-wildcard pattern over `k` devices.
@@ -92,7 +94,7 @@ impl fmt::Display for StatePattern {
 }
 
 /// Per-device action constraint inside an [`ActionPattern`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ActionSlot {
     /// Any action, or none (`X`).
     Any,
@@ -102,10 +104,14 @@ pub enum ActionSlot {
     Exactly(ActionIdx),
 }
 
+json_enum!(ActionSlot { Any, NoAction, Exactly(inner) });
+
 /// A pattern over joint [`EnvAction`]s, in the `X`/`O`/`a_{i_y}` notation of
 /// Table II.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct ActionPattern(Vec<ActionSlot>);
+
+json_newtype!(ActionPattern);
 
 impl ActionPattern {
     /// The all-wildcard pattern over `k` devices.
@@ -264,13 +270,12 @@ mod tests {
 
     #[test]
     fn serde_round_trip() {
+        use jarvis_stdkit::json::{FromJson, ToJson};
         let p = StatePattern::any(2).with(DeviceId(1), StateIdx(1));
-        let back: StatePattern =
-            serde_json::from_str(&serde_json::to_string(&p).unwrap()).unwrap();
+        let back = StatePattern::from_json(&p.to_json()).unwrap();
         assert_eq!(p, back);
         let a = ActionPattern::any(2).without(DeviceId(0));
-        let back: ActionPattern =
-            serde_json::from_str(&serde_json::to_string(&a).unwrap()).unwrap();
+        let back = ActionPattern::from_json(&a.to_json()).unwrap();
         assert_eq!(a, back);
     }
 }

@@ -1,7 +1,7 @@
 //! The overall environment state `S_t = (s_0, s_1, …, s_k)` of Definition 1.
 
 use crate::ids::{DeviceId, StateIdx};
-use serde::{Deserialize, Serialize};
+use jarvis_stdkit::json_newtype;
 use std::fmt;
 
 /// The state of the whole environment at one time instance: one
@@ -18,8 +18,10 @@ use std::fmt;
 /// let s2 = s.with_device(DeviceId(0), StateIdx(1));
 /// assert_eq!(s2.device(DeviceId(0)), Some(StateIdx(1)));
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct EnvState(Vec<StateIdx>);
+
+json_newtype!(EnvState);
 
 impl EnvState {
     /// Build an environment state from per-device state indices.

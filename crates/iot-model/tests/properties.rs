@@ -1,45 +1,39 @@
 //! Property-based tests for the FSM substrate's core invariants.
 
 use jarvis_iot_model::*;
-use proptest::prelude::*;
+use jarvis_stdkit::json::{FromJson, ToJson};
+use jarvis_stdkit::propcheck::{Config, Gen};
+use jarvis_stdkit::{prop_assert, prop_assert_eq};
 
 /// A small random device: 2..=5 states, 1..=5 actions, random δ.
-fn arb_device(name: String) -> impl Strategy<Value = DeviceSpec> {
-    (2usize..=5, 1usize..=5, any::<u64>()).prop_map(move |(ns, na, seed)| {
-        let states: Vec<String> = (0..ns).map(|i| format!("s{i}")).collect();
-        let actions: Vec<String> = (0..na).map(|i| format!("a{i}")).collect();
-        let mut b = DeviceSpec::builder(name.clone())
-            .states(states.clone())
-            .actions(actions.clone())
-            .disutility((seed % 100) as f64 / 100.0);
-        let mut x = seed | 1;
-        for s in 0..ns {
-            for a in 0..na {
-                x = x.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
-                b = b.transition(&states[s], &actions[a], &states[(x >> 32) as usize % ns]);
-            }
+fn gen_device(g: &mut Gen, name: String) -> DeviceSpec {
+    let ns = g.usize_in(2, 5);
+    let na = g.usize_in(1, 5);
+    let states: Vec<String> = (0..ns).map(|i| format!("s{i}")).collect();
+    let actions: Vec<String> = (0..na).map(|i| format!("a{i}")).collect();
+    let mut b = DeviceSpec::builder(name)
+        .states(states.clone())
+        .actions(actions.clone())
+        .disutility(g.unit_f64());
+    for s in 0..ns {
+        for a in 0..na {
+            b = b.transition(&states[s], &actions[a], &states[g.usize_in(0, ns - 1)]);
         }
-        b.build().expect("generated device is valid")
-    })
+    }
+    b.build().expect("generated device is valid")
 }
 
-fn arb_fsm() -> impl Strategy<Value = Fsm> {
-    prop::collection::vec(any::<u8>(), 1..=5).prop_flat_map(|v| {
-        let devices: Vec<_> = v
-            .iter()
-            .enumerate()
-            .map(|(i, _)| arb_device(format!("d{i}")))
-            .collect();
-        devices.prop_map(|specs| Fsm::new(specs).expect("non-empty"))
-    })
+fn gen_fsm(g: &mut Gen) -> Fsm {
+    let k = g.usize_in(1, 5);
+    let devices = (0..k).map(|i| gen_device(g, format!("d{i}"))).collect();
+    Fsm::new(devices).expect("non-empty")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Name↔index lookups are inverse bijections on every device.
-    #[test]
-    fn name_index_bijection(fsm in arb_fsm()) {
+/// Name↔index lookups are inverse bijections on every device.
+#[test]
+fn name_index_bijection() {
+    Config::with_cases(48).run(|g| {
+        let fsm = gen_fsm(g);
         for (_, dev) in fsm.devices() {
             for s in dev.state_indices() {
                 let name = dev.state_name(s).unwrap();
@@ -50,14 +44,20 @@ proptest! {
                 prop_assert_eq!(dev.action_idx(name), Some(a));
             }
         }
-    }
+        Ok(())
+    });
+}
 
-    /// The state enumerator yields exactly the declared state-space size,
-    /// all distinct, all valid.
-    #[test]
-    fn enumerator_is_exact(fsm in arb_fsm()) {
+/// The state enumerator yields exactly the declared state-space size,
+/// all distinct, all valid.
+#[test]
+fn enumerator_is_exact() {
+    Config::with_cases(48).run(|g| {
+        let fsm = gen_fsm(g);
         let expected = fsm.state_space_size().unwrap() as usize;
-        prop_assume!(expected <= 4000);
+        if expected > 4000 {
+            return Ok(());
+        }
         let all: Vec<EnvState> = fsm.enumerate_states().collect();
         prop_assert_eq!(all.len(), expected);
         let unique: std::collections::HashSet<_> = all.iter().cloned().collect();
@@ -65,29 +65,31 @@ proptest! {
         for s in &all {
             prop_assert!(fsm.validate_state(s).is_ok());
         }
-    }
+        Ok(())
+    });
+}
 
-    /// Episode recording preserves the Δ chain: every recorded transition's
-    /// next state equals Δ(state, action), and states chain between steps.
-    #[test]
-    fn recorder_chains_transitions(
-        fsm in arb_fsm(),
-        picks in prop::collection::vec((any::<u16>(), any::<u16>()), 1..40),
-    ) {
+/// Episode recording preserves the Δ chain: every recorded transition's
+/// next state equals Δ(state, action), and states chain between steps.
+#[test]
+fn recorder_chains_transitions() {
+    Config::with_cases(48).run(|g| {
+        let fsm = gen_fsm(g);
+        let steps = g.usize_in(1, 39);
         let authz = AuthzPolicy::new();
-        let cfg = EpisodeConfig::new(picks.len() as u32 * 60, 60).unwrap();
+        let cfg = EpisodeConfig::new(steps as u32 * 60, 60).unwrap();
         let mut rec = EpisodeRecorder::new(&fsm, &authz, cfg, fsm.initial_state()).unwrap();
-        for &(d_raw, a_raw) in &picks {
-            let device = DeviceId(d_raw as usize % fsm.num_devices());
+        for _ in 0..steps {
+            let device = DeviceId(g.usize_in(0, fsm.num_devices() - 1));
             let na = fsm.device(device).unwrap().num_actions();
             if na > 0 {
-                let mini = MiniAction::new(device, (a_raw as usize % na) as u8);
+                let mini = MiniAction::new(device, g.u8_in(0, na as u8 - 1));
                 rec.submit(Actor::manual(UserId(0)), mini).unwrap();
             }
             rec.advance().unwrap();
         }
         let ep = rec.finish();
-        prop_assert_eq!(ep.len(), picks.len());
+        prop_assert_eq!(ep.len(), steps);
         let mut prev = ep.initial().clone();
         for tr in ep.transitions() {
             prop_assert_eq!(&tr.state, &prev);
@@ -95,23 +97,27 @@ proptest! {
             prop_assert_eq!(&tr.next, &expected);
             prev = tr.next.clone();
         }
-    }
+        Ok(())
+    });
+}
 
-    /// Joint actions apply each mini-action's δ independently: stepping with
-    /// the joint action equals stepping device-by-device.
-    #[test]
-    fn joint_action_is_componentwise(fsm in arb_fsm(), seed in any::<u64>()) {
+/// Joint actions apply each mini-action's δ independently: stepping with
+/// the joint action equals stepping device-by-device.
+#[test]
+fn joint_action_is_componentwise() {
+    Config::with_cases(48).run(|g| {
+        let fsm = gen_fsm(g);
         let state = fsm.initial_state();
         // Build a joint action over every device with at least one action.
         let mut minis = Vec::new();
-        let mut x = seed | 1;
         for (id, dev) in fsm.devices() {
             if dev.num_actions() > 0 {
-                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
-                minis.push(MiniAction::new(id, ((x >> 33) as usize % dev.num_actions()) as u8));
+                minis.push(MiniAction::new(id, g.u8_in(0, dev.num_actions() as u8 - 1)));
             }
         }
-        prop_assume!(!minis.is_empty());
+        if minis.is_empty() {
+            return Ok(());
+        }
         let joint = EnvAction::try_from_minis(minis.clone()).unwrap();
         let joint_next = fsm.step(&state, &joint).unwrap();
         let mut seq = state.clone();
@@ -119,24 +125,36 @@ proptest! {
             seq = fsm.step(&seq, &EnvAction::single(*m)).unwrap();
         }
         prop_assert_eq!(joint_next, seq);
-    }
+        Ok(())
+    });
+}
 
-    /// Serde round trips preserve the FSM exactly.
-    #[test]
-    fn fsm_serde_round_trip(fsm in arb_fsm()) {
-        let json = serde_json::to_string(&fsm).unwrap();
-        let back: Fsm = serde_json::from_str(&json).unwrap();
+/// JSON round trips preserve the FSM exactly.
+#[test]
+fn fsm_serde_round_trip() {
+    Config::with_cases(48).run(|g| {
+        let fsm = gen_fsm(g);
+        let json = fsm.to_json();
+        let back = Fsm::from_json(&json).map_err(|e| e.to_string())?;
         prop_assert_eq!(fsm, back);
-    }
+        Ok(())
+    });
+}
 
-    /// `second_of` and `step_at` are consistent for every aligned second.
-    #[test]
-    fn episode_config_time_consistency(period in 60u32..10_000, interval in 1u32..600) {
-        prop_assume!(interval <= period);
+/// `second_of` and `step_at` are consistent for every aligned second.
+#[test]
+fn episode_config_time_consistency() {
+    Config::with_cases(48).run(|g| {
+        let period = g.u32_in(60, 9_999);
+        let interval = g.u32_in(1, 600);
+        if interval > period {
+            return Ok(());
+        }
         let cfg = EpisodeConfig::new(period, interval).unwrap();
         for step in (0..cfg.steps()).step_by(7) {
             let sec = cfg.second_of(TimeStep(step));
             prop_assert_eq!(cfg.step_at(sec), TimeStep(step));
         }
-    }
+        Ok(())
+    });
 }

@@ -1,9 +1,9 @@
 //! Activation functions and their derivatives.
 
-use serde::{Deserialize, Serialize};
 
+use jarvis_stdkit::{json_enum};
 /// Activation function applied element-wise to a layer's pre-activations.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 #[non_exhaustive]
 pub enum Activation {
     /// Identity: `f(z) = z`. Used on DQN output heads (Q values are
@@ -19,6 +19,8 @@ pub enum Activation {
     /// Hyperbolic tangent.
     Tanh,
 }
+
+json_enum!(Activation { Linear, Relu, LeakyRelu, Sigmoid, Tanh });
 
 impl Activation {
     /// Apply the activation to one pre-activation value.

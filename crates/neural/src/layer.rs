@@ -4,8 +4,8 @@ use crate::activation::Activation;
 use crate::error::NeuralError;
 use crate::matrix::Matrix;
 use crate::optimizer::{OptState, OptimizerKind};
-use rand::Rng;
-use serde::{Deserialize, Serialize};
+use jarvis_stdkit::rng::Rng;
+use jarvis_stdkit::{json_struct};
 
 /// A fully connected layer `a = f(x·Wᵀ + b)`.
 ///
@@ -13,7 +13,7 @@ use serde::{Deserialize, Serialize};
 /// Xavier-uniform otherwise, using the RNG supplied by the owning
 /// [`Network`](crate::Network) so the whole model is reproducible from a
 /// seed.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Dense {
     /// `units × inputs` weight matrix.
     weights: Matrix,
@@ -22,6 +22,8 @@ pub struct Dense {
     w_state: OptState,
     b_state: OptState,
 }
+
+json_struct!(Dense { weights, bias, activation, w_state, b_state });
 
 /// Cached forward-pass tensors needed for the backward pass.
 #[derive(Debug, Clone)]
@@ -135,8 +137,8 @@ impl Dense {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
-    use rand_chacha::ChaCha8Rng;
+    use jarvis_stdkit::rng::SeedableRng;
+    use jarvis_stdkit::rng::ChaCha8Rng;
 
     fn layer(inputs: usize, units: usize, act: Activation) -> Dense {
         let mut rng = ChaCha8Rng::seed_from_u64(1);
@@ -162,8 +164,9 @@ mod tests {
         let limit = (6.0f64 / 15.0).sqrt();
         // Serialized weights all within the Xavier limit.
         let d = layer(10, 5, Activation::Tanh);
-        let json = serde_json::to_value(&d).unwrap();
-        let data = json["weights"]["data"].as_array().unwrap();
+        let json = jarvis_stdkit::json::ToJson::to_json_value(&d);
+        let data =
+            json.get("weights").unwrap().get("data").unwrap().as_array().unwrap();
         for w in data {
             assert!(w.as_f64().unwrap().abs() <= limit + 1e-12);
         }

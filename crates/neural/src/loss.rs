@@ -2,10 +2,10 @@
 
 use crate::error::NeuralError;
 use crate::matrix::Matrix;
-use serde::{Deserialize, Serialize};
+use jarvis_stdkit::{json_enum};
 
 /// Loss function used to train a [`Network`](crate::Network).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 #[non_exhaustive]
 pub enum Loss {
     /// Mean squared error — the regression loss of the DQN.
@@ -20,6 +20,8 @@ pub enum Loss {
         delta: f64,
     },
 }
+
+json_enum!(Loss { Mse, BinaryCrossEntropy, Huber { delta } });
 
 impl Loss {
     /// Loss value averaged over every element of the batch.

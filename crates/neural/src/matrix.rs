@@ -2,20 +2,22 @@
 //! batch-processing feed-forward networks.
 
 use crate::error::NeuralError;
-use serde::{Deserialize, Serialize};
 use std::fmt;
+use jarvis_stdkit::{json_struct};
 
 /// Dense row-major matrix of `f64`.
 ///
 /// All binary operations validate shapes and return
 /// [`NeuralError::DimensionMismatch`] rather than panicking, so training code
 /// can propagate shape bugs as errors.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Matrix {
     rows: usize,
     cols: usize,
     data: Vec<f64>,
 }
+
+json_struct!(Matrix { rows, cols, data });
 
 impl Matrix {
     /// A `rows × cols` matrix of zeros.
@@ -437,8 +439,9 @@ mod tests {
     #[test]
     fn serde_round_trip() {
         let a = m(2, 2, &[1.0, 2.0, 3.0, 4.0]);
-        let json = serde_json::to_string(&a).unwrap();
-        let back: Matrix = serde_json::from_str(&json).unwrap();
+        use jarvis_stdkit::json::{FromJson, ToJson};
+        let json = a.to_json();
+        let back = Matrix::from_json(&json).unwrap();
         assert_eq!(a, back);
     }
 }

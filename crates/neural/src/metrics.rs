@@ -1,10 +1,10 @@
 //! Binary-classification metrics: confusion matrix, accuracy, ROC curve and
 //! AUC — used to reproduce the SPL filter evaluation of Figure 5.
 
-use serde::{Deserialize, Serialize};
 
+use jarvis_stdkit::{json_struct};
 /// Confusion-matrix counts for a binary classifier at a fixed threshold.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct Confusion {
     /// Positives classified positive.
     pub tp: usize,
@@ -15,6 +15,8 @@ pub struct Confusion {
     /// Positives classified negative.
     pub fn_: usize,
 }
+
+json_struct!(Confusion { tp, fp, tn, fn_ });
 
 impl Confusion {
     /// Tally scores against binary labels at `threshold` (score ≥ threshold
@@ -87,7 +89,7 @@ fn ratio(num: usize, den: usize) -> f64 {
 }
 
 /// One point of a ROC curve.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RocPoint {
     /// Decision threshold producing this point.
     pub threshold: f64,
@@ -96,6 +98,8 @@ pub struct RocPoint {
     /// True-positive rate at the threshold.
     pub tpr: f64,
 }
+
+json_struct!(RocPoint { threshold, fpr, tpr });
 
 /// Compute the ROC curve by sweeping the threshold across every distinct
 /// score. Points are ordered by increasing FPR, with the trivial `(0,0)` and

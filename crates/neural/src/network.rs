@@ -7,21 +7,23 @@ use crate::layer::Dense;
 use crate::loss::Loss;
 use crate::matrix::Matrix;
 use crate::optimizer::OptimizerKind;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
-use serde::{Deserialize, Serialize};
+use jarvis_stdkit::rng::SeedableRng;
+use jarvis_stdkit::rng::ChaCha8Rng;
+use jarvis_stdkit::{json_struct};
 
 /// A feed-forward neural network: dense layers, a loss, and an optimizer.
 ///
 /// Construct with [`Network::builder`]. See the [crate docs](crate) for a
 /// complete training example.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Network {
     layers: Vec<Dense>,
     loss: Loss,
     optimizer: OptimizerKind,
     input_size: usize,
 }
+
+json_struct!(Network { layers, loss, optimizer, input_size });
 
 impl Network {
     /// Start building a network taking `input_size` features.
@@ -218,18 +220,20 @@ impl Network {
     ///
     /// # Errors
     ///
-    /// Returns a [`serde_json::Error`] if serialization fails.
-    pub fn to_json(&self) -> Result<String, serde_json::Error> {
-        serde_json::to_string(self)
+    /// Returns a [`JsonError`](jarvis_stdkit::json::JsonError) if
+    /// serialization fails (it cannot in practice).
+    pub fn to_json(&self) -> Result<String, jarvis_stdkit::json::JsonError> {
+        Ok(jarvis_stdkit::json::ToJson::to_json(self))
     }
 
     /// Restore a model serialized with [`Network::to_json`].
     ///
     /// # Errors
     ///
-    /// Returns a [`serde_json::Error`] when the input is not a valid model.
-    pub fn from_json(s: &str) -> Result<Network, serde_json::Error> {
-        serde_json::from_str(s)
+    /// Returns a [`JsonError`](jarvis_stdkit::json::JsonError) when the
+    /// input is not a valid model.
+    pub fn from_json(s: &str) -> Result<Network, jarvis_stdkit::json::JsonError> {
+        jarvis_stdkit::json::FromJson::from_json(s)
     }
 }
 

@@ -4,10 +4,10 @@
 //! at a learning rate of 0.001 (Section V-A-6) — i.e. Adam at its canonical
 //! configuration, which [`OptimizerKind::adam`] reproduces.
 
-use serde::{Deserialize, Serialize};
 
+use jarvis_stdkit::{json_enum, json_struct};
 /// Optimizer configuration, shared by all parameter tensors of a network.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 #[non_exhaustive]
 pub enum OptimizerKind {
     /// Stochastic gradient descent with classical momentum.
@@ -29,6 +29,8 @@ pub enum OptimizerKind {
         eps: f64,
     },
 }
+
+json_enum!(OptimizerKind { Sgd { lr, momentum }, Adam { lr, beta1, beta2, eps } });
 
 impl OptimizerKind {
     /// Plain SGD without momentum.
@@ -98,12 +100,14 @@ impl OptimizerKind {
 }
 
 /// Per-parameter-tensor optimizer state (momentum / Adam moments).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub(crate) struct OptState {
     m: Vec<f64>,
     v: Vec<f64>,
     t: u64,
 }
+
+json_struct!(OptState { m, v, t });
 
 #[cfg(test)]
 mod tests {

@@ -2,63 +2,91 @@
 //! loss-gradient consistency, and training invariants.
 
 use jarvis_neural::*;
-use proptest::prelude::*;
+use jarvis_stdkit::prop_assert;
+use jarvis_stdkit::prop_assert_eq;
+use jarvis_stdkit::propcheck::{Config, Gen};
 
-fn arb_matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
-    prop::collection::vec(-10.0f64..10.0, rows * cols)
-        .prop_map(move |data| Matrix::from_vec(rows, cols, data).expect("sized"))
+fn gen_matrix(g: &mut Gen, rows: usize, cols: usize) -> Matrix {
+    let data: Vec<f64> = (0..rows * cols).map(|_| g.f64_in(-10.0, 10.0)).collect();
+    Matrix::from_vec(rows, cols, data).expect("sized")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// (A·B)ᵀ = Bᵀ·Aᵀ.
-    #[test]
-    fn matmul_transpose_law(a in arb_matrix(3, 4), b in arb_matrix(4, 2)) {
+/// (A·B)ᵀ = Bᵀ·Aᵀ.
+#[test]
+fn matmul_transpose_law() {
+    Config::with_cases(48).run(|g| {
+        let a = gen_matrix(g, 3, 4);
+        let b = gen_matrix(g, 4, 2);
         let left = a.matmul(&b).unwrap().transpose();
         let right = b.transpose().matmul(&a.transpose()).unwrap();
         for (x, y) in left.as_slice().iter().zip(right.as_slice()) {
             prop_assert!((x - y).abs() < 1e-9);
         }
-    }
+        Ok(())
+    });
+}
 
-    /// Distribution: A·(B + C) = A·B + A·C.
-    #[test]
-    fn matmul_distributes(a in arb_matrix(2, 3), b in arb_matrix(3, 2), c in arb_matrix(3, 2)) {
+/// Distribution: A·(B + C) = A·B + A·C.
+#[test]
+fn matmul_distributes() {
+    Config::with_cases(48).run(|g| {
+        let a = gen_matrix(g, 2, 3);
+        let b = gen_matrix(g, 3, 2);
+        let c = gen_matrix(g, 3, 2);
         let left = a.matmul(&b.add(&c).unwrap()).unwrap();
         let right = a.matmul(&b).unwrap().add(&a.matmul(&c).unwrap()).unwrap();
         for (x, y) in left.as_slice().iter().zip(right.as_slice()) {
             prop_assert!((x - y).abs() < 1e-9);
         }
-    }
+        Ok(())
+    });
+}
 
-    /// `matmul_transpose(a, b)` equals the explicit `a · bᵀ`.
-    #[test]
-    fn fused_transpose_matches(a in arb_matrix(3, 5), b in arb_matrix(4, 5)) {
+/// `matmul_transpose(a, b)` equals the explicit `a · bᵀ`.
+#[test]
+fn fused_transpose_matches() {
+    Config::with_cases(48).run(|g| {
+        let a = gen_matrix(g, 3, 5);
+        let b = gen_matrix(g, 4, 5);
         let fast = a.matmul_transpose(&b).unwrap();
         let slow = a.matmul(&b.transpose()).unwrap();
         for (x, y) in fast.as_slice().iter().zip(slow.as_slice()) {
             prop_assert!((x - y).abs() < 1e-9);
         }
-    }
+        Ok(())
+    });
+}
 
-    /// Activations are finite and monotone nondecreasing on every input.
-    #[test]
-    fn activations_are_monotone(z1 in -20.0f64..20.0, z2 in -20.0f64..20.0) {
+/// Activations are finite and monotone nondecreasing on every input.
+#[test]
+fn activations_are_monotone() {
+    Config::with_cases(48).run(|g| {
+        let z1 = g.f64_in(-20.0, 20.0);
+        let z2 = g.f64_in(-20.0, 20.0);
         let (lo, hi) = if z1 <= z2 { (z1, z2) } else { (z2, z1) };
-        for act in [Activation::Linear, Activation::Relu, Activation::LeakyRelu,
-                    Activation::Sigmoid, Activation::Tanh] {
+        for act in [
+            Activation::Linear,
+            Activation::Relu,
+            Activation::LeakyRelu,
+            Activation::Sigmoid,
+            Activation::Tanh,
+        ] {
             let (a, b) = (act.apply(lo), act.apply(hi));
             prop_assert!(a.is_finite() && b.is_finite());
             prop_assert!(a <= b + 1e-12, "{act:?} not monotone: f({lo})={a} f({hi})={b}");
             prop_assert!(act.derivative(lo) >= 0.0);
         }
-    }
+        Ok(())
+    });
+}
 
-    /// Every loss is nonnegative and exactly zero on a perfect prediction
-    /// (up to BCE's clamp).
-    #[test]
-    fn losses_are_nonnegative(p in prop::collection::vec(0.01f64..0.99, 1..8)) {
+/// Every loss is nonnegative and exactly zero on a perfect prediction
+/// (up to BCE's clamp).
+#[test]
+fn losses_are_nonnegative() {
+    Config::with_cases(48).run(|g| {
+        let n = g.usize_in(1, 7);
+        let p: Vec<f64> = (0..n).map(|_| g.f64_in(0.01, 0.99)).collect();
         let pred = Matrix::row_from_slice(&p);
         for loss in [Loss::Mse, Loss::BinaryCrossEntropy, Loss::Huber { delta: 1.0 }] {
             let v = loss.value(&pred, &pred).unwrap();
@@ -67,18 +95,20 @@ proptest! {
                 prop_assert!(v < 1e-12);
             }
         }
-    }
+        Ok(())
+    });
+}
 
-    /// Network predictions are deterministic and shape-correct for any
-    /// (small) architecture.
-    #[test]
-    fn network_shapes(
-        input_dim in 1usize..6,
-        hidden in 1usize..8,
-        output_dim in 1usize..5,
-        seed in any::<u64>(),
-        x in prop::collection::vec(-2.0f64..2.0, 6),
-    ) {
+/// Network predictions are deterministic and shape-correct for any
+/// (small) architecture.
+#[test]
+fn network_shapes() {
+    Config::with_cases(48).run(|g| {
+        let input_dim = g.usize_in(1, 5);
+        let hidden = g.usize_in(1, 7);
+        let output_dim = g.usize_in(1, 4);
+        let seed = g.u64();
+        let x: Vec<f64> = (0..6).map(|_| g.f64_in(-2.0, 2.0)).collect();
         let net = Network::builder(input_dim)
             .layer(hidden, Activation::Tanh)
             .layer(output_dim, Activation::Linear)
@@ -90,12 +120,17 @@ proptest! {
         prop_assert_eq!(out.len(), output_dim);
         prop_assert!(out.iter().all(|v| v.is_finite()));
         prop_assert_eq!(&net.predict(&x[..input_dim]).unwrap(), &out);
-    }
+        Ok(())
+    });
+}
 
-    /// One SGD step on a batch strictly reduces the loss on that batch for
-    /// a small-enough learning rate (descent property).
-    #[test]
-    fn training_descends(seed in any::<u64>(), target in -2.0f64..2.0) {
+/// One SGD step on a batch strictly reduces the loss on that batch for
+/// a small-enough learning rate (descent property).
+#[test]
+fn training_descends() {
+    Config::with_cases(48).run(|g| {
+        let seed = g.u64();
+        let target = g.f64_in(-2.0, 2.0);
         let mut net = Network::builder(2)
             .layer(4, Activation::Tanh)
             .layer(1, Activation::Linear)
@@ -108,19 +143,28 @@ proptest! {
         let y = [target];
         let l1 = net.train_batch(&[&x], &[&y]).unwrap();
         let l2 = net.train_batch(&[&x], &[&y]).unwrap();
-        prop_assume!(l1 > 1e-9); // already converged
+        if l1 <= 1e-9 {
+            return Ok(()); // already converged
+        }
         prop_assert!(l2 <= l1 + 1e-12, "loss rose: {l1} -> {l2}");
-    }
+        Ok(())
+    });
+}
 
-    /// ROC/AUC: relabeling by flipping every label maps AUC to 1 − AUC.
-    #[test]
-    fn auc_flip_symmetry(samples in prop::collection::vec((0.0f64..1.0, any::<bool>()), 4..64)) {
-        let scores: Vec<f64> = samples.iter().map(|&(s, _)| s).collect();
-        let labels: Vec<bool> = samples.iter().map(|&(_, l)| l).collect();
-        prop_assume!(labels.iter().any(|&l| l) && labels.iter().any(|&l| !l));
+/// ROC/AUC: relabeling by flipping every label maps AUC to 1 − AUC.
+#[test]
+fn auc_flip_symmetry() {
+    Config::with_cases(48).run(|g| {
+        let n = g.usize_in(4, 63);
+        let scores: Vec<f64> = (0..n).map(|_| g.f64_in(0.0, 1.0)).collect();
+        let labels: Vec<bool> = (0..n).map(|_| g.bool(0.5)).collect();
+        if !(labels.iter().any(|&l| l) && labels.iter().any(|&l| !l)) {
+            return Ok(()); // need both classes present
+        }
         let flipped: Vec<bool> = labels.iter().map(|&l| !l).collect();
         let a = metrics::auc(&scores, &labels);
         let b = metrics::auc(&scores, &flipped);
         prop_assert!((a + b - 1.0).abs() < 1e-9, "auc {a} + flipped {b} != 1");
-    }
+        Ok(())
+    });
 }

@@ -11,13 +11,14 @@
 use crate::psafe::MatchMode;
 use jarvis_iot_model::{EnvAction, EnvState, EpisodeConfig, Fsm, TimeStep};
 use jarvis_neural::{Activation, Loss, Network, NeuralError, OptimizerKind};
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
+use jarvis_stdkit::rng::SliceRandom;
+use jarvis_stdkit::rng::SeedableRng;
+use jarvis_stdkit::rng::ChaCha8Rng;
+use jarvis_stdkit::{json_struct};
 
 /// Encodes a transition `(S, A, t)` as the ANN input vector:
 /// one-hot device states ++ multi-hot mini-actions ++ time-of-day phase.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TransitionFeaturizer {
     state_sizes: Vec<usize>,
     num_minis: usize,
@@ -25,6 +26,8 @@ pub struct TransitionFeaturizer {
     // Cached flat index mapping (device-major, as in Fsm::mini_action_index).
     mini_offsets: Vec<usize>,
 }
+
+json_struct!(TransitionFeaturizer { state_sizes, num_minis, steps, mini_offsets });
 
 impl TransitionFeaturizer {
     /// Featurizer for `fsm` under episode configuration `config`.
@@ -111,13 +114,15 @@ pub type Sample = (EnvState, EnvAction, TimeStep);
 
 /// The single-hidden-layer MLP that filters benign anomalies out of the
 /// SPL's training data.
-#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone)]
 pub struct AnomalyFilter {
     featurizer: TransitionFeaturizer,
     net: Network,
     threshold: f64,
     seed: u64,
 }
+
+json_struct!(AnomalyFilter { featurizer, net, threshold, seed });
 
 impl AnomalyFilter {
     /// Build an untrained filter for `fsm`.

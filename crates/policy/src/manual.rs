@@ -11,10 +11,10 @@
 
 use crate::psafe::{MatchMode, SafeTransitionTable};
 use jarvis_iot_model::{ActionPattern, EnvAction, EnvState, StatePattern};
-use serde::{Deserialize, Serialize};
+use jarvis_stdkit::{json_enum, json_struct};
 
 /// What a matching rule does.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum RuleEffect {
     /// Force the action safe, regardless of the learned table.
     Allow,
@@ -22,9 +22,11 @@ pub enum RuleEffect {
     Deny,
 }
 
+json_enum!(RuleEffect { Allow, Deny });
+
 /// One manual rule: when the state matches `trigger` and the action matches
 /// `action`, apply `effect`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ManualRule {
     /// Human-readable rule name.
     pub name: String,
@@ -36,6 +38,8 @@ pub struct ManualRule {
     pub effect: RuleEffect,
 }
 
+json_struct!(ManualRule { name, trigger, action, effect });
+
 impl ManualRule {
     /// True when the rule governs this `(state, action)`.
     #[must_use]
@@ -45,10 +49,12 @@ impl ManualRule {
 }
 
 /// An ordered list of manual rules; the first matching rule wins.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct ManualPolicy {
     rules: Vec<ManualRule>,
 }
+
+json_struct!(ManualPolicy { rules });
 
 impl ManualPolicy {
     /// An empty policy (defers everything to the learned table).
@@ -265,8 +271,8 @@ mod tests {
     #[test]
     fn serde_round_trip() {
         let p = fire_rules();
-        let back: ManualPolicy =
-            serde_json::from_str(&serde_json::to_string(&p).unwrap()).unwrap();
+        use jarvis_stdkit::json::{FromJson, ToJson};
+        let back = ManualPolicy::from_json(&p.to_json()).unwrap();
         assert_eq!(p, back);
     }
 }

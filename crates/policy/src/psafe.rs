@@ -17,11 +17,11 @@
 
 use crate::trigger_action::TaBehavior;
 use jarvis_iot_model::{DeviceId, EnvAction, EnvState, Fsm, StateIdx, StatePattern};
-use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, HashSet};
+use jarvis_stdkit::{json_enum, json_struct};
 
 /// How safe-transition queries match against learned behavior.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum MatchMode {
     /// Full-state exact matching (Algorithm 1 as written). Used for the
     /// security-detection experiments.
@@ -39,12 +39,13 @@ pub enum MatchMode {
     Generalized,
 }
 
+json_enum!(MatchMode { Exact, DeviceContext, Generalized });
+
 /// The learned safe-transition table.
 ///
 /// Serializes as flat pair lists (`TableRepr`) so JSON round trips work
 /// despite the struct-keyed maps used internally.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
-#[serde(from = "TableRepr", into = "TableRepr")]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct SafeTransitionTable {
     /// Safe (state, action) pairs.
     safe_pairs: HashSet<(EnvState, EnvAction)>,
@@ -82,13 +83,29 @@ fn intersect(p: &StatePattern, state: &EnvState) -> StatePattern {
 }
 
 /// JSON-friendly serialized form of [`SafeTransitionTable`].
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 struct TableRepr {
     pairs: Vec<(EnvState, EnvAction)>,
     next: Vec<(EnvState, Vec<EnvState>)>,
     triples: Vec<(DeviceId, StateIdx, jarvis_iot_model::ActionIdx)>,
     patterns: Vec<((DeviceId, StateIdx, jarvis_iot_model::ActionIdx), StatePattern)>,
     allow_noop: bool,
+}
+
+json_struct!(TableRepr { pairs, next, triples, patterns, allow_noop });
+
+impl jarvis_stdkit::json::ToJson for SafeTransitionTable {
+    fn to_json_value(&self) -> jarvis_stdkit::json::Json {
+        TableRepr::from(self.clone()).to_json_value()
+    }
+}
+
+impl jarvis_stdkit::json::FromJson for SafeTransitionTable {
+    fn from_json_value(
+        v: &jarvis_stdkit::json::Json,
+    ) -> Result<Self, jarvis_stdkit::json::JsonError> {
+        TableRepr::from_json_value(v).map(SafeTransitionTable::from)
+    }
 }
 
 impl From<SafeTransitionTable> for TableRepr {
@@ -405,8 +422,9 @@ mod tests {
         let fsm = fsm();
         let mut t = SafeTransitionTable::new();
         t.allow(&fsm, &st(&[0, 0]), &act(0, 1));
-        let json = serde_json::to_string(&t).unwrap();
-        let back: SafeTransitionTable = serde_json::from_str(&json).unwrap();
+        use jarvis_stdkit::json::{FromJson, ToJson};
+        let json = t.to_json();
+        let back = SafeTransitionTable::from_json(&json).unwrap();
         assert_eq!(t, back);
     }
 }

@@ -6,12 +6,12 @@
 //! `SafeMem` of Algorithm 1.
 
 use jarvis_iot_model::{EnvAction, EnvState, Episode, Fsm, StatePattern, TimeStep};
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use jarvis_stdkit::{json_struct};
 
 /// One trigger-action pair: full environment state plus the joint action
 /// taken in it.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct TaKey {
     /// The trigger: the environment state `S_t`.
     pub state: EnvState,
@@ -19,12 +19,13 @@ pub struct TaKey {
     pub action: EnvAction,
 }
 
+json_struct!(TaKey { state, action });
+
 /// Aggregated T/A observations with counts and preferred time instances.
 ///
 /// Serializes as a flat list of `(key, count, times)` rows so JSON round
 /// trips work despite the struct-keyed maps used internally.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
-#[serde(from = "TaRepr", into = "TaRepr")]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct TaBehavior {
     counts: HashMap<TaKey, u64>,
     /// Time instances at which each pair was observed (for the dis-utility
@@ -32,11 +33,27 @@ pub struct TaBehavior {
     times: HashMap<TaKey, Vec<TimeStep>>,
 }
 
+impl jarvis_stdkit::json::ToJson for TaBehavior {
+    fn to_json_value(&self) -> jarvis_stdkit::json::Json {
+        TaRepr::from(self.clone()).to_json_value()
+    }
+}
+
+impl jarvis_stdkit::json::FromJson for TaBehavior {
+    fn from_json_value(
+        v: &jarvis_stdkit::json::Json,
+    ) -> Result<Self, jarvis_stdkit::json::JsonError> {
+        TaRepr::from_json_value(v).map(TaBehavior::from)
+    }
+}
+
 /// JSON-friendly serialized form of [`TaBehavior`].
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 struct TaRepr {
     rows: Vec<(TaKey, u64, Vec<TimeStep>)>,
 }
+
+json_struct!(TaRepr { rows });
 
 impl From<TaBehavior> for TaRepr {
     fn from(mut ta: TaBehavior) -> Self {

@@ -5,7 +5,9 @@ use jarvis_iot_model::{
     MiniAction, UserId,
 };
 use jarvis_policy::{learn_safe_transitions, MatchMode, SplConfig};
-use proptest::prelude::*;
+use jarvis_stdkit::prop_assert;
+use jarvis_stdkit::prop_assert_eq;
+use jarvis_stdkit::propcheck::{Config, Gen};
 
 fn small_fsm() -> Fsm {
     let mk = |name: &str| {
@@ -21,6 +23,11 @@ fn small_fsm() -> Fsm {
     Fsm::new(vec![mk("d0"), mk("d1"), mk("d2")]).expect("non-empty")
 }
 
+/// Draw a pick list of (device, action) choices.
+fn gen_picks(g: &mut Gen, lo: usize, hi: usize) -> Vec<(u8, u8)> {
+    (0..g.usize_in(lo, hi)).map(|_| (g.u8(), g.u8())).collect()
+}
+
 /// Record an episode from a pick list of (device, action) choices.
 fn record(fsm: &Fsm, picks: &[(u8, u8)]) -> jarvis_iot_model::Episode {
     let authz = AuthzPolicy::new();
@@ -34,16 +41,16 @@ fn record(fsm: &Fsm, picks: &[(u8, u8)]) -> jarvis_iot_model::Episode {
     rec.finish()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Soundness: every non-idle learned transition is safe under every
-    /// mode, and replaying the learning episodes never raises a violation.
-    #[test]
-    fn learning_is_sound(picks in prop::collection::vec((any::<u8>(), any::<u8>()), 1..60)) {
+/// Soundness: every non-idle learned transition is safe under every
+/// mode, and replaying the learning episodes never raises a violation.
+#[test]
+fn learning_is_sound() {
+    Config::with_cases(48).run(|g| {
+        let picks = gen_picks(g, 1, 59);
         let fsm = small_fsm();
         let ep = record(&fsm, &picks);
-        let out = learn_safe_transitions(&fsm, std::slice::from_ref(&ep), None, &SplConfig::default());
+        let out =
+            learn_safe_transitions(&fsm, std::slice::from_ref(&ep), None, &SplConfig::default());
         for tr in ep.transitions() {
             if !tr.is_idle() {
                 for mode in [MatchMode::Exact, MatchMode::DeviceContext, MatchMode::Generalized] {
@@ -55,32 +62,40 @@ proptest! {
             }
         }
         prop_assert!(jarvis_policy::flag_violations(&out.table, &ep, MatchMode::Exact).is_empty());
-    }
+        Ok(())
+    });
+}
 
-    /// Mode ordering: Exact-safe ⇒ Generalized-safe ⇒ DeviceContext-safe
-    /// (each generalization only widens the safe set).
-    #[test]
-    fn match_modes_are_nested(
-        picks in prop::collection::vec((any::<u8>(), any::<u8>()), 1..40),
-        probe_state in prop::collection::vec(0u8..3, 3),
-        probe in (any::<u8>(), any::<u8>()),
-    ) {
+/// Mode ordering: Exact-safe ⇒ Generalized-safe ⇒ DeviceContext-safe
+/// (each generalization only widens the safe set).
+#[test]
+fn match_modes_are_nested() {
+    Config::with_cases(48).run(|g| {
+        let picks = gen_picks(g, 1, 39);
+        let probe_state: Vec<u8> = (0..3).map(|_| g.u8_in(0, 2)).collect();
+        let probe = (g.u8(), g.u8());
         let fsm = small_fsm();
         let ep = record(&fsm, &picks);
-        let out = learn_safe_transitions(&fsm, std::slice::from_ref(&ep), None, &SplConfig::default());
+        let out =
+            learn_safe_transitions(&fsm, std::slice::from_ref(&ep), None, &SplConfig::default());
         let state: jarvis_iot_model::EnvState =
             probe_state.iter().map(|&x| jarvis_iot_model::StateIdx(x)).collect();
-        let action = EnvAction::single(MiniAction::new(DeviceId(probe.0 as usize % 3), probe.1 % 2));
+        let action =
+            EnvAction::single(MiniAction::new(DeviceId(probe.0 as usize % 3), probe.1 % 2));
         let exact = out.table.is_safe_action(&state, &action, MatchMode::Exact);
         let generalized = out.table.is_safe_action(&state, &action, MatchMode::Generalized);
         let device = out.table.is_safe_action(&state, &action, MatchMode::DeviceContext);
         prop_assert!(!exact || generalized, "Exact-safe must be Generalized-safe");
         prop_assert!(!generalized || device, "Generalized-safe must be DeviceContext-safe");
-    }
+        Ok(())
+    });
+}
 
-    /// Threshold monotonicity: a higher Thresh_env never grows the table.
-    #[test]
-    fn threshold_is_monotone(picks in prop::collection::vec((any::<u8>(), any::<u8>()), 1..60)) {
+/// Threshold monotonicity: a higher Thresh_env never grows the table.
+#[test]
+fn threshold_is_monotone() {
+    Config::with_cases(48).run(|g| {
+        let picks = gen_picks(g, 1, 59);
         let fsm = small_fsm();
         let eps: Vec<_> = (0..3).map(|_| record(&fsm, &picks)).collect();
         let mut prev = usize::MAX;
@@ -89,17 +104,23 @@ proptest! {
             prop_assert!(out.table.len() <= prev);
             prev = out.table.len();
         }
-    }
+        Ok(())
+    });
+}
 
-    /// The aggregated behavior's counts sum to the number of non-idle
-    /// transitions observed.
-    #[test]
-    fn behavior_counts_are_complete(picks in prop::collection::vec((any::<u8>(), any::<u8>()), 0..60)) {
+/// The aggregated behavior's counts sum to the number of non-idle
+/// transitions observed.
+#[test]
+fn behavior_counts_are_complete() {
+    Config::with_cases(48).run(|g| {
+        let picks = gen_picks(g, 0, 59);
         let fsm = small_fsm();
         let ep = record(&fsm, &picks);
-        let out = learn_safe_transitions(&fsm, std::slice::from_ref(&ep), None, &SplConfig::default());
+        let out =
+            learn_safe_transitions(&fsm, std::slice::from_ref(&ep), None, &SplConfig::default());
         let total: u64 = out.behavior.iter().map(|(_, c)| c).sum();
         let non_idle = ep.transitions().iter().filter(|t| !t.is_idle()).count() as u64;
         prop_assert_eq!(total, non_idle);
-    }
+        Ok(())
+    });
 }

@@ -15,9 +15,9 @@ use crate::explore::EpsilonSchedule;
 use crate::policy;
 use crate::replay::ReplayBuffer;
 use jarvis_neural::{Activation, Loss, Network, NeuralError, OptimizerKind};
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
+use jarvis_stdkit::rng::SliceRandom;
+use jarvis_stdkit::rng::SeedableRng;
+use jarvis_stdkit::rng::ChaCha8Rng;
 
 /// One stored transition `(S, A, R, S', valid(S'), done)`.
 #[derive(Debug, Clone, PartialEq)]

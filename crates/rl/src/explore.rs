@@ -4,17 +4,19 @@
 //! latest replay loss is at most the *preferable loss* `L_p` — the agent
 //! keeps exploring until its Q network has actually started fitting.
 
-use rand::Rng;
-use serde::{Deserialize, Serialize};
+use jarvis_stdkit::rng::Rng;
+use jarvis_stdkit::{json_struct};
 
 /// Exploration schedule `(ε, ε_min, ε_decay, L_p)`.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EpsilonSchedule {
     epsilon: f64,
     min: f64,
     decay: f64,
     preferable_loss: f64,
 }
+
+json_struct!(EpsilonSchedule { epsilon, min, decay, preferable_loss });
 
 impl EpsilonSchedule {
     /// Build a schedule.
@@ -77,8 +79,8 @@ impl Default for EpsilonSchedule {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
-    use rand_chacha::ChaCha8Rng;
+    use jarvis_stdkit::rng::SeedableRng;
+    use jarvis_stdkit::rng::ChaCha8Rng;
 
     #[test]
     fn decays_only_when_loss_is_preferable() {

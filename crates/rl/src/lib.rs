@@ -13,7 +13,7 @@
 //!
 //! ```
 //! use jarvis_rl::{DiscreteEnvironment, Environment, QTable, Step};
-//! use rand::SeedableRng;
+//! use jarvis_stdkit::rng::SeedableRng;
 //!
 //! struct Corridor { pos: usize }
 //! impl Environment for Corridor {
@@ -35,7 +35,7 @@
 //!
 //! let mut env = Corridor { pos: 0 };
 //! let mut q = QTable::new(2, 0.5, 0.9);
-//! let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
+//! let mut rng = jarvis_stdkit::rng::ChaCha8Rng::seed_from_u64(1);
 //! for _ in 0..200 {
 //!     env.reset();
 //!     for _ in 0..32 {

@@ -8,8 +8,8 @@
 //! DQN).
 
 use crate::policy;
-use rand::seq::SliceRandom;
-use rand::Rng;
+use jarvis_stdkit::rng::SliceRandom;
+use jarvis_stdkit::rng::Rng;
 use std::collections::HashMap;
 
 /// A sparse tabular Q function over dense state ids and flat action indices.
@@ -133,8 +133,8 @@ mod tests {
     use super::*;
     use crate::env::testenv::Chain;
     use crate::env::{DiscreteEnvironment, Environment};
-    use rand::SeedableRng;
-    use rand_chacha::ChaCha8Rng;
+    use jarvis_stdkit::rng::SeedableRng;
+    use jarvis_stdkit::rng::ChaCha8Rng;
 
     #[test]
     fn single_update_follows_td_equation() {

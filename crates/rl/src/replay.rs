@@ -1,7 +1,7 @@
 //! Bounded experience-replay memory (the `Mem`/`Replay` of Algorithm 2).
 
-use rand::seq::index::sample;
-use rand::Rng;
+use jarvis_stdkit::rng::sample_indices;
+use jarvis_stdkit::rng::Rng;
 use std::collections::VecDeque;
 
 /// A bounded FIFO memory with uniform random sampling.
@@ -60,8 +60,8 @@ impl<T> ReplayBuffer<T> {
         if n == 0 || self.items.len() < n {
             return None;
         }
-        let idx = sample(rng, self.items.len(), n);
-        Some(idx.iter().map(|i| &self.items[i]).collect())
+        let idx = sample_indices(rng, self.items.len(), n);
+        Some(idx.into_iter().map(|i| &self.items[i]).collect())
     }
 
     /// Iterate over stored experiences, oldest first.
@@ -86,8 +86,8 @@ impl<T> Extend<T> for ReplayBuffer<T> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
-    use rand_chacha::ChaCha8Rng;
+    use jarvis_stdkit::rng::SeedableRng;
+    use jarvis_stdkit::rng::ChaCha8Rng;
 
     #[test]
     fn push_and_evict_fifo() {

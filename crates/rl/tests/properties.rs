@@ -1,25 +1,25 @@
 //! Property-based tests for the RL substrate.
 
 use jarvis_rl::*;
-use proptest::prelude::*;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
+use jarvis_stdkit::prop_assert;
+use jarvis_stdkit::prop_assert_eq;
+use jarvis_stdkit::propcheck::Config;
+use jarvis_stdkit::rng::{ChaCha8Rng, SeedableRng};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Q-table updates keep values bounded by the discounted reward bound
-    /// |Q| ≤ r_max / (1 − γ) under arbitrary update sequences.
-    #[test]
-    fn qtable_values_bounded(
-        gamma in 0.0f64..0.99,
-        updates in prop::collection::vec(
-            (0usize..6, 0usize..3, -1.0f64..1.0, 0usize..6, any::<bool>()),
-            1..200,
-        ),
-    ) {
+/// Q-table updates keep values bounded by the discounted reward bound
+/// |Q| ≤ r_max / (1 − γ) under arbitrary update sequences.
+#[test]
+fn qtable_values_bounded() {
+    Config::with_cases(48).run(|g| {
+        let gamma = g.f64_in(0.0, 0.99);
+        let n_updates = g.usize_in(1, 199);
         let mut q = QTable::new(3, 0.5, gamma);
-        for &(s, a, r, s2, done) in &updates {
+        for _ in 0..n_updates {
+            let s = g.usize_in(0, 5);
+            let a = g.usize_in(0, 2);
+            let r = g.f64_in(-1.0, 1.0);
+            let s2 = g.usize_in(0, 5);
+            let done = g.bool(0.5);
             q.update(s, a, r, s2, &[0, 1, 2], done);
         }
         let bound = 1.0 / (1.0 - gamma) + 1e-6;
@@ -28,16 +28,17 @@ proptest! {
                 prop_assert!(q.q(s, a).abs() <= bound, "Q({s},{a}) = {}", q.q(s, a));
             }
         }
-    }
+        Ok(())
+    });
+}
 
-    /// ε-greedy with ε = 0 always takes the greedy action; with ε = 1 it
-    /// always stays within the valid set.
-    #[test]
-    fn epsilon_greedy_extremes(
-        valid in prop::collection::vec(0usize..4, 1..4),
-        seed in any::<u64>(),
-    ) {
-        let mut valid = valid;
+/// ε-greedy with ε = 0 always takes the greedy action; with ε = 1 it
+/// always stays within the valid set.
+#[test]
+fn epsilon_greedy_extremes() {
+    Config::with_cases(48).run(|g| {
+        let mut valid: Vec<usize> = (0..g.usize_in(1, 3)).map(|_| g.usize_in(0, 3)).collect();
+        let seed = g.u64();
         valid.sort_unstable();
         valid.dedup();
         let mut q = QTable::new(4, 0.5, 0.9);
@@ -49,32 +50,36 @@ proptest! {
             let a = q.epsilon_greedy(0, &valid, 1.0, &mut rng);
             prop_assert!(valid.contains(&a));
         }
-    }
+        Ok(())
+    });
+}
 
-    /// The epsilon schedule never leaves [min, initial] no matter the loss
-    /// sequence.
-    #[test]
-    fn epsilon_schedule_bounds(
-        start in 0.2f64..1.0,
-        decay in 0.5f64..0.999,
-        losses in prop::collection::vec(0.0f64..10.0, 0..100),
-    ) {
+/// The epsilon schedule never leaves [min, initial] no matter the loss
+/// sequence.
+#[test]
+fn epsilon_schedule_bounds() {
+    Config::with_cases(48).run(|g| {
+        let start = g.f64_in(0.2, 1.0);
+        let decay = g.f64_in(0.5, 0.999);
+        let n_losses = g.usize_in(0, 99);
         let min = start / 4.0;
         let mut s = EpsilonSchedule::new(start, min, decay, 1.0);
-        for &l in &losses {
-            let eps = s.observe_loss(l);
+        for _ in 0..n_losses {
+            let eps = s.observe_loss(g.f64_in(0.0, 10.0));
             prop_assert!(eps >= min - 1e-12 && eps <= start + 1e-12);
         }
-    }
+        Ok(())
+    });
+}
 
-    /// Replay sampling returns distinct indices within bounds.
-    #[test]
-    fn replay_sampling_is_well_formed(
-        capacity in 2usize..64,
-        pushes in 0usize..200,
-        n in 1usize..16,
-        seed in any::<u64>(),
-    ) {
+/// Replay sampling returns distinct indices within bounds.
+#[test]
+fn replay_sampling_is_well_formed() {
+    Config::with_cases(48).run(|g| {
+        let capacity = g.usize_in(2, 63);
+        let pushes = g.usize_in(0, 199);
+        let n = g.usize_in(1, 15);
+        let seed = g.u64();
         let mut buf = ReplayBuffer::new(capacity);
         for i in 0..pushes {
             buf.push(i);
@@ -91,27 +96,39 @@ proptest! {
                 }
             }
         }
+        Ok(())
+    });
+}
+
+/// A constrained environment's valid set is always a subset of the
+/// base environment's.
+#[test]
+fn constraint_is_a_subset() {
+    #[derive(Clone)]
+    struct TwoAction;
+    impl Environment for TwoAction {
+        fn state_dim(&self) -> usize {
+            1
+        }
+        fn num_actions(&self) -> usize {
+            2
+        }
+        fn observe(&self) -> Vec<f64> {
+            vec![0.0]
+        }
+        fn valid_actions(&self) -> Vec<usize> {
+            vec![0, 1]
+        }
+        fn reset(&mut self) -> Vec<f64> {
+            self.observe()
+        }
+        fn step(&mut self, _a: usize) -> Step {
+            Step { obs: self.observe(), reward: 0.0, done: false }
+        }
     }
 
-    /// A constrained environment's valid set is always a subset of the
-    /// base environment's.
-    #[test]
-    fn constraint_is_a_subset(mask in prop::collection::vec(any::<bool>(), 2)) {
-        use jarvis_rl::{ConstrainedEnv, Environment};
-
-        #[derive(Clone)]
-        struct TwoAction;
-        impl Environment for TwoAction {
-            fn state_dim(&self) -> usize { 1 }
-            fn num_actions(&self) -> usize { 2 }
-            fn observe(&self) -> Vec<f64> { vec![0.0] }
-            fn valid_actions(&self) -> Vec<usize> { vec![0, 1] }
-            fn reset(&mut self) -> Vec<f64> { self.observe() }
-            fn step(&mut self, _a: usize) -> Step {
-                Step { obs: self.observe(), reward: 0.0, done: false }
-            }
-        }
-
+    Config::with_cases(48).run(|g| {
+        let mask = vec![g.bool(0.5), g.bool(0.5)];
         let m = mask.clone();
         let env = ConstrainedEnv::new(TwoAction, move |_, a| m[a]);
         let valid = env.valid_actions();
@@ -119,17 +136,18 @@ proptest! {
             prop_assert!(mask[a], "blocked action {a} leaked through");
         }
         prop_assert_eq!(valid.len(), mask.iter().filter(|&&b| b).count());
-    }
+        Ok(())
+    });
+}
 
-    /// DQN action selection is always within the valid set, for any
-    /// observation.
-    #[test]
-    fn dqn_act_respects_valid_set(
-        obs in prop::collection::vec(-1.0f64..1.0, 3),
-        valid in prop::collection::vec(0usize..5, 1..5),
-        seed in any::<u64>(),
-    ) {
-        let mut valid = valid;
+/// DQN action selection is always within the valid set, for any
+/// observation.
+#[test]
+fn dqn_act_respects_valid_set() {
+    Config::with_cases(48).run(|g| {
+        let obs: Vec<f64> = (0..3).map(|_| g.f64_in(-1.0, 1.0)).collect();
+        let mut valid: Vec<usize> = (0..g.usize_in(1, 4)).map(|_| g.usize_in(0, 4)).collect();
+        let seed = g.u64();
         valid.sort_unstable();
         valid.dedup();
         let mut cfg = DqnConfig::new(3, 5);
@@ -140,5 +158,6 @@ proptest! {
             let a = agent.act(&obs, &valid).unwrap();
             prop_assert!(valid.contains(&a));
         }
-    }
+        Ok(())
+    });
 }

@@ -10,13 +10,13 @@
 
 use crate::rng_util;
 use crate::MINUTES_PER_DAY;
-use rand::seq::SliceRandom;
-use rand::Rng;
-use serde::{Deserialize, Serialize};
+use jarvis_stdkit::rng::SliceRandom;
+use jarvis_stdkit::rng::Rng;
+use jarvis_stdkit::{json_enum, json_struct};
 
 /// The benign-anomaly classes reconstructed from Section V-A-3 and the
 /// SIMADL activity list.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[non_exhaustive]
 pub enum AnomalyClass {
     /// Fridge door left open for a short period.
@@ -36,6 +36,8 @@ pub enum AnomalyClass {
     /// Water heater re-triggered at an unusual hour.
     WaterHeaterOddHour,
 }
+
+json_enum!(AnomalyClass { FridgeDoorLeftOpen, OvenLeftOn, TvLeftOn, LightsLeftOn, DoorLeftUnlocked, HeaterLeftOn, WasherInterrupted, WaterHeaterOddHour });
 
 impl AnomalyClass {
     /// Every class, for uniform sampling and exhaustive tests.
@@ -108,7 +110,7 @@ impl AnomalyClass {
 }
 
 /// One concrete benign anomaly to inject into an episode.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct AnomalyInstance {
     /// Anomaly class.
     pub class: AnomalyClass,
@@ -119,6 +121,8 @@ pub struct AnomalyInstance {
     /// Duration in minutes.
     pub duration_min: u32,
 }
+
+json_struct!(AnomalyInstance { class, day, start_minute, duration_min });
 
 impl AnomalyInstance {
     /// The device the anomaly manifests on.
@@ -135,10 +139,12 @@ impl AnomalyInstance {
 }
 
 /// Seeded generator of labelled benign anomalies.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct AnomalyGenerator {
     seed: u64,
 }
+
+json_struct!(AnomalyGenerator { seed });
 
 impl AnomalyGenerator {
     /// Generator under `seed`.

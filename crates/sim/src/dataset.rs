@@ -15,10 +15,10 @@ use crate::occupancy::{Household, OccupantProfile};
 use crate::prices::DamPrices;
 use crate::traces::{DayTrace, TraceGenerator};
 use crate::weather::WeatherModel;
-use serde::{Deserialize, Serialize};
+use jarvis_stdkit::{json_struct};
 
 /// One normalized event in a day's activity stream.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ActivityEvent {
     /// Day index.
     pub day: u32,
@@ -35,8 +35,10 @@ pub struct ActivityEvent {
     pub manual: bool,
 }
 
+json_struct!(ActivityEvent { day, minute, device, name, is_sensor, manual });
+
 /// The full event stream of one day plus the trace it derives from.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DayActivity {
     /// Day index.
     pub day: u32,
@@ -46,6 +48,8 @@ pub struct DayActivity {
     pub trace: DayTrace,
 }
 
+json_struct!(DayActivity { day, events, trace });
+
 impl DayActivity {
     /// Events concerning one device.
     pub fn events_for<'a>(&'a self, device: &'a str) -> impl Iterator<Item = &'a ActivityEvent> {
@@ -54,12 +58,14 @@ impl DayActivity {
 }
 
 /// A complete simulated home: occupants, weather, traces, prices.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct HomeDataset {
     name: String,
     generator: TraceGenerator,
     prices: DamPrices,
 }
+
+json_struct!(HomeDataset { name, generator, prices });
 
 impl HomeDataset {
     /// Home A of the testbed: a two-occupant home with regular, scripted

@@ -46,8 +46,8 @@ pub(crate) mod rng_util {
     //! Seed-derivation helpers so independent streams (per day, per device)
     //! never correlate.
 
-    use rand::SeedableRng;
-    use rand_chacha::ChaCha8Rng;
+    use jarvis_stdkit::rng::SeedableRng;
+    use jarvis_stdkit::rng::ChaCha8Rng;
 
     /// A ChaCha stream derived from a base seed and a stream label.
     pub fn derive(seed: u64, stream: u64) -> ChaCha8Rng {
@@ -59,7 +59,7 @@ pub(crate) mod rng_util {
     }
 
     /// Approximately normal sample via the sum of 12 uniforms (Irwin–Hall).
-    pub fn approx_normal(rng: &mut impl rand::Rng, mean: f64, std: f64) -> f64 {
+    pub fn approx_normal(rng: &mut impl jarvis_stdkit::rng::Rng, mean: f64, std: f64) -> f64 {
         let sum: f64 = (0..12).map(|_| rng.gen::<f64>()).sum();
         mean + (sum - 6.0) * std
     }
@@ -67,7 +67,7 @@ pub(crate) mod rng_util {
     #[cfg(test)]
     mod tests {
         use super::*;
-        use rand::RngCore;
+        use jarvis_stdkit::rng::RngCore;
 
         #[test]
         fn derive_is_deterministic_and_stream_separated() {

@@ -11,11 +11,11 @@
 
 use crate::rng_util;
 use crate::MINUTES_PER_DAY;
-use rand::Rng;
-use serde::{Deserialize, Serialize};
+use jarvis_stdkit::rng::Rng;
+use jarvis_stdkit::{json_enum, json_struct};
 
 /// Presence state of one occupant at a given minute.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Presence {
     /// Awake and at home.
     Home,
@@ -25,9 +25,11 @@ pub enum Presence {
     Asleep,
 }
 
+json_enum!(Presence { Home, Away, Asleep });
+
 /// Habitual schedule of one occupant (mean minutes of day, with jitter
 /// standard deviations).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct OccupantProfile {
     /// Mean wake-up minute (e.g. 390 = 06:30).
     pub wake_mean: u32,
@@ -42,6 +44,8 @@ pub struct OccupantProfile {
     /// Probability of staying home all day on a weekend day.
     pub weekend_home_prob: f64,
 }
+
+json_struct!(OccupantProfile { wake_mean, leave_mean, return_mean, sleep_mean, jitter_std, weekend_home_prob });
 
 impl OccupantProfile {
     /// A typical full-time worker: wake 06:30, leave 08:00, return 18:00,
@@ -77,7 +81,7 @@ impl OccupantProfile {
     pub fn sample_day(&self, seed: u64, occupant: u32, day: u32) -> DaySchedule {
         let mut rng =
             rng_util::derive(seed, (u64::from(occupant) << 32) | u64::from(day));
-        let jitter = |rng: &mut rand_chacha::ChaCha8Rng, mean: u32| -> u32 {
+        let jitter = |rng: &mut jarvis_stdkit::rng::ChaCha8Rng, mean: u32| -> u32 {
             let v = rng_util::approx_normal(rng, f64::from(mean), self.jitter_std);
             (v.round().max(0.0) as u32).min(MINUTES_PER_DAY - 1)
         };
@@ -99,7 +103,7 @@ impl OccupantProfile {
 }
 
 /// One occupant's concrete schedule for a single day.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DaySchedule {
     /// Wake-up minute.
     pub wake: u32,
@@ -110,6 +114,8 @@ pub struct DaySchedule {
     /// Go-to-sleep minute.
     pub sleep: u32,
 }
+
+json_struct!(DaySchedule { wake, leave, ret, sleep });
 
 impl DaySchedule {
     /// Presence at `minute` of this day.
@@ -134,11 +140,13 @@ impl DaySchedule {
 }
 
 /// A household of occupants sharing one home and one seed.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Household {
     seed: u64,
     occupants: Vec<OccupantProfile>,
 }
+
+json_struct!(Household { seed, occupants });
 
 impl Household {
     /// Build a household.

@@ -6,8 +6,8 @@
 //! cheaper weekends, and day-to-day noise.
 
 use crate::rng_util;
-use rand::Rng;
-use serde::{Deserialize, Serialize};
+use jarvis_stdkit::rng::Rng;
+use jarvis_stdkit::{json_struct};
 
 /// Hourly base curve in $/MWh (ERCOT-like weekday shape).
 const BASE_CURVE: [f64; 24] = [
@@ -18,10 +18,12 @@ const BASE_CURVE: [f64; 24] = [
 ];
 
 /// Seeded day-ahead hourly electricity prices.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DamPrices {
     seed: u64,
 }
+
+json_struct!(DamPrices { seed });
 
 impl DamPrices {
     /// Price model seeded by `seed`.
@@ -41,7 +43,7 @@ impl DamPrices {
         let mut rng = rng_util::derive(self.seed, (u64::from(day) << 8) | u64::from(hour));
         let weekend = matches!(day % 7, 5 | 6);
         let scale = if weekend { 0.82 } else { 1.0 };
-        let noise = 1.0 + rng.gen_range(-0.15..=0.15);
+        let noise = 1.0 + rng.gen_range(-0.15_f64..=0.15);
         (BASE_CURVE[hour as usize] * scale * noise / 1000.0).max(0.001)
     }
 

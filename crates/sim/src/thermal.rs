@@ -8,10 +8,11 @@
 //! the standard substrate in the smart-home RL literature the paper builds
 //! on (\[7\], \[33\]).
 
-use serde::{Deserialize, Serialize};
+
+use jarvis_stdkit::{json_enum, json_struct};
 
 /// HVAC operating mode at one time instance.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum HvacMode {
     /// Equipment off: the house drifts toward outdoor temperature.
     Off,
@@ -21,9 +22,11 @@ pub enum HvacMode {
     Cool,
 }
 
+json_enum!(HvacMode { Off, Heat, Cool });
+
 /// Lumped-capacitance thermal model:
 /// `T_in ← T_in + Δt·(T_out − T_in)/τ + Δt·hvac_rate`.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ThermalModel {
     /// Envelope time constant τ in minutes (bigger = better insulated).
     tau_min: f64,
@@ -32,6 +35,8 @@ pub struct ThermalModel {
     /// Cooling rate, °C per minute at full capacity (positive magnitude).
     cool_rate: f64,
 }
+
+json_struct!(ThermalModel { tau_min, heat_rate, cool_rate });
 
 impl ThermalModel {
     /// Build a model.

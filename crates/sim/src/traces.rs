@@ -13,11 +13,11 @@ use crate::rng_util;
 use crate::thermal::{HvacMode, ThermalModel};
 use crate::weather::WeatherModel;
 use crate::MINUTES_PER_DAY;
-use rand::Rng;
-use serde::{Deserialize, Serialize};
+use jarvis_stdkit::rng::Rng;
+use jarvis_stdkit::{json_struct};
 
 /// One device's day at 1-minute resolution.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DeviceTrace {
     /// Device name, matching the smart-home catalogue.
     pub name: String,
@@ -26,6 +26,8 @@ pub struct DeviceTrace {
     /// Instantaneous power draw in watts at each minute.
     pub power_w: Vec<f64>,
 }
+
+json_struct!(DeviceTrace { name, on, power_w });
 
 impl DeviceTrace {
     fn flat(name: &str, on: bool, watts: f64) -> Self {
@@ -63,7 +65,7 @@ impl DeviceTrace {
 
 /// A full household day: every device trace plus the indoor-temperature
 /// trajectory under the household's own (normal) HVAC behavior.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DayTrace {
     /// Day index.
     pub day: u32,
@@ -74,6 +76,8 @@ pub struct DayTrace {
     /// HVAC mode actually run at each minute.
     pub hvac_mode: Vec<HvacMode>,
 }
+
+json_struct!(DayTrace { day, devices, indoor_temp, hvac_mode });
 
 impl DayTrace {
     /// Find a device trace by name.
@@ -100,7 +104,7 @@ impl DayTrace {
 
 /// Generates household day traces from occupancy, weather, and a thermal
 /// model.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TraceGenerator {
     seed: u64,
     household: Household,
@@ -111,6 +115,8 @@ pub struct TraceGenerator {
     /// Setback target while asleep (°C).
     pub setback: f64,
 }
+
+json_struct!(TraceGenerator { seed, household, weather, thermal, setpoint, setback });
 
 /// The eleven devices of the evaluation home (`k = 11` in Section VI-D).
 pub const DEVICE_NAMES: [&str; 11] = [
@@ -191,7 +197,7 @@ impl TraceGenerator {
         // HVAC under normal (hysteresis) behavior, coupled to weather.
         let mut indoor = Vec::with_capacity(n);
         let mut hvac_mode = Vec::with_capacity(n);
-        let mut t_in = self.setback + rng.gen_range(-0.5..=0.5);
+        let mut t_in = self.setback + rng.gen_range(-0.5_f64..=0.5);
         let mut mode = HvacMode::Off;
         for m in 0..MINUTES_PER_DAY {
             let t_out = self.weather.outdoor_temp(day, m);

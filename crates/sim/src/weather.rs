@@ -9,14 +9,16 @@
 
 use crate::rng_util;
 use crate::MINUTES_PER_DAY;
+use jarvis_stdkit::{json_struct};
 
-use serde::{Deserialize, Serialize};
 
 /// A deterministic, seeded outdoor-temperature model (°C).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct WeatherModel {
     seed: u64,
 }
+
+json_struct!(WeatherModel { seed });
 
 impl WeatherModel {
     /// Model seeded by `seed`; the same seed reproduces the same weather.

@@ -3,14 +3,16 @@
 
 use jarvis_sim::thermal::HvacMode;
 use jarvis_sim::*;
-use proptest::prelude::*;
+use jarvis_stdkit::prop_assert;
+use jarvis_stdkit::propcheck::Config;
+use jarvis_stdkit::prop_assert_eq;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    /// Every generator is a pure function of (seed, inputs).
-    #[test]
-    fn generators_are_deterministic(seed in any::<u64>(), day in 0u32..365) {
+/// Every generator is a pure function of (seed, inputs).
+#[test]
+fn generators_are_deterministic() {
+    Config::with_cases(32).run(|g| {
+        let seed = g.u64();
+        let day = g.u32_in(0, 364);
         prop_assert_eq!(
             WeatherModel::new(seed).outdoor_temp(day, 600),
             WeatherModel::new(seed).outdoor_temp(day, 600)
@@ -20,12 +22,18 @@ proptest! {
             HomeDataset::home_a(seed).activity(day % 30),
             HomeDataset::home_a(seed).activity(day % 30)
         );
-    }
+        Ok(())
+    });
+}
 
-    /// Occupant schedules are coherent on any day: wake < sleep, and the
-    /// away window (when present) sits inside the waking hours.
-    #[test]
-    fn schedules_are_coherent(seed in any::<u64>(), day in 0u32..400, occ in 0u32..3) {
+/// Occupant schedules are coherent on any day: wake < sleep, and the
+/// away window (when present) sits inside the waking hours.
+#[test]
+fn schedules_are_coherent() {
+    Config::with_cases(32).run(|g| {
+        let seed = g.u64();
+        let day = g.u32_in(0, 399);
+        let occ = g.u32_in(0, 2);
         let profiles = [OccupantProfile::worker(), OccupantProfile::homebody()];
         let p = profiles[occ as usize % 2];
         let s = p.sample_day(seed, occ, day);
@@ -37,12 +45,17 @@ proptest! {
         for m in (0..1440).step_by(97) {
             prop_assert_eq!(s.in_house(m), s.presence(m) != Presence::Away);
         }
-    }
+        Ok(())
+    });
+}
 
-    /// Day traces are physically plausible for any seed: nonnegative power,
-    /// bounded indoor temperature, eleven devices.
-    #[test]
-    fn traces_are_plausible(seed in any::<u64>(), day in 0u32..365) {
+/// Day traces are physically plausible for any seed: nonnegative power,
+/// bounded indoor temperature, eleven devices.
+#[test]
+fn traces_are_plausible() {
+    Config::with_cases(32).run(|g| {
+        let seed = g.u64();
+        let day = g.u32_in(0, 364);
         let t = TraceGenerator::new(seed).day(day);
         prop_assert_eq!(t.devices.len(), 11);
         for dev in &t.devices {
@@ -52,35 +65,47 @@ proptest! {
         prop_assert!(t.indoor_temp.iter().all(|&c| (-15.0..45.0).contains(&c)));
         let kwh = t.total_energy_kwh();
         prop_assert!((0.0..80.0).contains(&kwh), "{kwh} kWh");
-    }
+        Ok(())
+    });
+}
 
-    /// The thermal model is a contraction toward the outdoor temperature
-    /// when off: the gap never grows.
-    #[test]
-    fn thermal_off_contracts(
-        t_in in -10.0f64..40.0,
-        t_out in -10.0f64..40.0,
-        dt in 0.1f64..5.0,
-    ) {
+/// The thermal model is a contraction toward the outdoor temperature
+/// when off: the gap never grows.
+#[test]
+fn thermal_off_contracts() {
+    Config::with_cases(32).run(|g| {
+        let t_in = g.f64_in(-10.0, 40.0);
+        let t_out = g.f64_in(-10.0, 40.0);
+        let dt = g.f64_in(0.1, 5.0);
         let m = ThermalModel::typical_home();
         let next = m.step(t_in, t_out, HvacMode::Off, dt);
         prop_assert!((next - t_out).abs() <= (t_in - t_out).abs() + 1e-9);
-    }
+        Ok(())
+    });
+}
 
-    /// Heating always ends warmer than the off trajectory; cooling colder.
-    #[test]
-    fn hvac_orders_trajectories(t_in in -5.0f64..35.0, t_out in -10.0f64..40.0) {
+/// Heating always ends warmer than the off trajectory; cooling colder.
+#[test]
+fn hvac_orders_trajectories() {
+    Config::with_cases(32).run(|g| {
+        let t_in = g.f64_in(-5.0, 35.0);
+        let t_out = g.f64_in(-10.0, 40.0);
         let m = ThermalModel::typical_home();
         let off = m.step(t_in, t_out, HvacMode::Off, 1.0);
         let heat = m.step(t_in, t_out, HvacMode::Heat, 1.0);
         let cool = m.step(t_in, t_out, HvacMode::Cool, 1.0);
         prop_assert!(heat > off && cool < off);
-    }
+        Ok(())
+    });
+}
 
-    /// Prices are always positive, and the generated anomaly instances
-    /// always respect their class windows.
-    #[test]
-    fn prices_and_anomalies_in_range(seed in any::<u64>(), day in 0u32..365) {
+/// Prices are always positive, and the generated anomaly instances
+/// always respect their class windows.
+#[test]
+fn prices_and_anomalies_in_range() {
+    Config::with_cases(32).run(|g| {
+        let seed = g.u64();
+        let day = g.u32_in(0, 364);
         let p = DamPrices::new(seed);
         for h in 0..24 {
             prop_assert!(p.price_per_kwh(day, h) > 0.0);
@@ -90,12 +115,17 @@ proptest! {
             prop_assert!((s0..=s1).contains(&a.start_minute));
             prop_assert!(a.end_minute() <= MINUTES_PER_DAY);
         }
-    }
+        Ok(())
+    });
+}
 
-    /// Activity events are well-formed for any seed: sorted by minute,
-    /// devices drawn from the catalogue names, minute within the day.
-    #[test]
-    fn activity_events_well_formed(seed in any::<u64>(), day in 0u32..60) {
+/// Activity events are well-formed for any seed: sorted by minute,
+/// devices drawn from the catalogue names, minute within the day.
+#[test]
+fn activity_events_well_formed() {
+    Config::with_cases(32).run(|g| {
+        let seed = g.u64();
+        let day = g.u32_in(0, 59);
         let act = HomeDataset::home_b(seed).activity(day);
         let mut prev = 0u32;
         for e in &act.events {
@@ -108,5 +138,6 @@ proptest! {
                 e.device
             );
         }
-    }
+        Ok(())
+    });
 }

@@ -13,13 +13,15 @@ use jarvis_iot_model::{
     UserId,
 };
 use jarvis_sim::dataset::DayActivity;
-use serde::{Deserialize, Serialize};
+use jarvis_stdkit::{json_struct};
 
 /// An append-only log of normalized device events.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct EventLog {
     records: Vec<Event>,
 }
+
+json_struct!(EventLog { records });
 
 /// The result of parsing a log into daily episodes.
 #[derive(Debug, Clone, PartialEq)]
@@ -108,8 +110,9 @@ impl EventLog {
     ///
     /// # Errors
     ///
-    /// Returns a [`serde_json::Error`] if serialization fails.
-    pub fn to_json_lines(&self) -> Result<String, serde_json::Error> {
+    /// Returns a [`JsonError`](jarvis_stdkit::json::JsonError) if
+    /// serialization fails (it cannot in practice).
+    pub fn to_json_lines(&self) -> Result<String, jarvis_stdkit::json::JsonError> {
         let mut out = String::new();
         for r in &self.records {
             out.push_str(&r.to_json()?);
@@ -122,8 +125,9 @@ impl EventLog {
     ///
     /// # Errors
     ///
-    /// Returns a [`serde_json::Error`] on the first malformed line.
-    pub fn from_json_lines(s: &str) -> Result<Self, serde_json::Error> {
+    /// Returns a [`JsonError`](jarvis_stdkit::json::JsonError) on the first
+    /// malformed line.
+    pub fn from_json_lines(s: &str) -> Result<Self, jarvis_stdkit::json::JsonError> {
         let mut records = Vec::new();
         for line in s.lines().filter(|l| !l.trim().is_empty()) {
             records.push(Event::from_json(line)?);

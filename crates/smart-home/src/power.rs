@@ -7,13 +7,47 @@
 //! [`EnvState`] is the sum over devices.
 
 use jarvis_iot_model::{EnvState, Fsm};
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use jarvis_stdkit::{json_struct};
 
 /// Wattage table keyed by `(device name, state name)`.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct PowerModel {
     watts: HashMap<(String, String), f64>,
+}
+
+/// JSON-friendly serialized form: sorted `(device, state, watts)` rows,
+/// since JSON objects cannot key on tuples.
+#[derive(Debug, Clone)]
+struct PowerRepr {
+    rows: Vec<(String, String, f64)>,
+}
+
+json_struct!(PowerRepr { rows });
+
+impl jarvis_stdkit::json::ToJson for PowerModel {
+    fn to_json_value(&self) -> jarvis_stdkit::json::Json {
+        let mut rows: Vec<(String, String, f64)> = self
+            .watts
+            .iter()
+            .map(|((d, s), &w)| (d.clone(), s.clone(), w))
+            .collect();
+        rows.sort_by(|a, b| (&a.0, &a.1).cmp(&(&b.0, &b.1)));
+        PowerRepr { rows }.to_json_value()
+    }
+}
+
+impl jarvis_stdkit::json::FromJson for PowerModel {
+    fn from_json_value(
+        v: &jarvis_stdkit::json::Json,
+    ) -> Result<Self, jarvis_stdkit::json::JsonError> {
+        let repr = PowerRepr::from_json_value(v)?;
+        let mut m = PowerModel::new();
+        for (d, s, w) in repr.rows {
+            m.watts.insert((d, s), w);
+        }
+        Ok(m)
+    }
 }
 
 impl PowerModel {

@@ -2,17 +2,19 @@
 //! pipeline, normalization, and app engine under arbitrary seeds.
 
 use jarvis_iot_model::EpisodeConfig;
-use jarvis_smart_home::{AppEngine, EventLog, SmartHome};
 use jarvis_sim::HomeDataset;
-use proptest::prelude::*;
+use jarvis_smart_home::{AppEngine, EventLog, SmartHome};
+use jarvis_stdkit::prop_assert;
+use jarvis_stdkit::prop_assert_eq;
+use jarvis_stdkit::propcheck::Config;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// The log → parse pipeline is total for any dataset seed/day: a full
-    /// 1440-step episode, Δ-consistent, zero unmapped events.
-    #[test]
-    fn logging_pipeline_is_total(seed in any::<u64>(), day in 0u32..40) {
+/// The log → parse pipeline is total for any dataset seed/day: a full
+/// 1440-step episode, Δ-consistent, zero unmapped events.
+#[test]
+fn logging_pipeline_is_total() {
+    Config::with_cases(24).run(|g| {
+        let seed = g.u64();
+        let day = g.u32_in(0, 39);
         let home = SmartHome::evaluation_home();
         let data = HomeDataset::home_b(seed);
         let mut log = EventLog::new();
@@ -25,11 +27,16 @@ proptest! {
         for tr in ep.transitions().iter().step_by(63) {
             prop_assert_eq!(&home.fsm().step(&tr.state, &tr.action).unwrap(), &tr.next);
         }
-    }
+        Ok(())
+    });
+}
 
-    /// JSON-lines serialization of any day's log round-trips exactly.
-    #[test]
-    fn log_serialization_round_trips(seed in any::<u64>(), day in 0u32..40) {
+/// JSON-lines serialization of any day's log round-trips exactly.
+#[test]
+fn log_serialization_round_trips() {
+    Config::with_cases(24).run(|g| {
+        let seed = g.u64();
+        let day = g.u32_in(0, 39);
         let home = SmartHome::evaluation_home();
         let data = HomeDataset::home_a(seed);
         let mut log = EventLog::new();
@@ -37,16 +44,18 @@ proptest! {
         let text = log.to_json_lines().unwrap();
         let back = EventLog::from_json_lines(&text).unwrap();
         prop_assert_eq!(log, back);
-    }
+        Ok(())
+    });
+}
 
-    /// App firing is edge-triggered: a state that keeps matching never
-    /// re-fires, and firing is deterministic in the (prev, cur) pair.
-    #[test]
-    fn app_engine_is_edge_triggered_and_deterministic(
-        lock_state in 0u8..4,
-        door_state in 0u8..4,
-        temp_state in 0u8..5,
-    ) {
+/// App firing is edge-triggered: a state that keeps matching never
+/// re-fires, and firing is deterministic in the (prev, cur) pair.
+#[test]
+fn app_engine_is_edge_triggered_and_deterministic() {
+    Config::with_cases(24).run(|g| {
+        let lock_state = g.u8_in(0, 3);
+        let door_state = g.u8_in(0, 3);
+        let temp_state = g.u8_in(0, 4);
         let mut home = SmartHome::example_home();
         let engine = AppEngine::install_table2_apps(&mut home);
         let prev = home.midnight_state();
@@ -66,12 +75,16 @@ proptest! {
         for (app, mini) in &fired1 {
             prop_assert!(home.authz().app_may_actuate(*app, mini.device));
         }
-    }
+        Ok(())
+    });
+}
 
-    /// The power model never reports negative power, and total state power
-    /// is bounded by the declared maximum for arbitrary valid states.
-    #[test]
-    fn power_is_bounded(raw in prop::collection::vec(any::<u8>(), 11)) {
+/// The power model never reports negative power, and total state power
+/// is bounded by the declared maximum for arbitrary valid states.
+#[test]
+fn power_is_bounded() {
+    Config::with_cases(24).run(|g| {
+        let raw: Vec<u8> = (0..11).map(|_| g.u8()).collect();
         let home = SmartHome::evaluation_home();
         let sizes = home.fsm().state_sizes();
         let state: jarvis_iot_model::EnvState = raw
@@ -83,5 +96,6 @@ proptest! {
         let max = home.power().max_power_w(home.fsm());
         prop_assert!(p >= 0.0);
         prop_assert!(p <= max + 1e-9, "{p} W exceeds declared max {max} W");
-    }
+        Ok(())
+    });
 }

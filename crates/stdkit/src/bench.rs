@@ -1,0 +1,238 @@
+//! Micro-benchmark harness: a small, offline replacement for `criterion`.
+//!
+//! Mirrors the criterion call surface the workspace uses — a [`Bench`]
+//! context with `bench_function`, a [`Bencher`] with `iter`/`iter_batched`,
+//! a [`BatchSize`] hint, and the [`crate::bench_group!`]/[`crate::bench_main!`]
+//! macro pair for `harness = false` bench targets.
+//!
+//! Methodology: each benchmark is warmed up for a fixed wall-clock budget,
+//! then sampled in batches sized so one batch lasts roughly a millisecond;
+//! the report shows the median, mean, and min of the per-iteration times.
+//! Passing any command-line argument filters benchmarks by substring
+//! (mirroring `cargo bench <filter>`); `--quick` cuts the budgets 10×.
+
+use std::time::{Duration, Instant};
+
+/// Re-export so bench code can use `black_box` through the harness.
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortizes setup cost; accepted for criterion
+/// compatibility (the harness re-runs setup per measured batch regardless).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// Setup re-run for every routine call.
+    PerIteration,
+}
+
+/// Timing loop handle passed to each benchmark closure.
+pub struct Bencher {
+    warmup: Duration,
+    measure: Duration,
+    samples: Vec<f64>,
+}
+
+impl Bencher {
+    /// Measure `routine` repeatedly, recording per-iteration nanoseconds.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm up and estimate the per-iteration cost.
+        let warm_start = Instant::now();
+        let mut iters: u64 = 0;
+        while warm_start.elapsed() < self.warmup {
+            black_box(routine());
+            iters += 1;
+        }
+        let per_iter = self.warmup.as_secs_f64() / iters.max(1) as f64;
+        // Size batches to ~1ms so Instant overhead stays negligible.
+        let batch = ((1e-3 / per_iter.max(1e-9)) as u64).clamp(1, 1 << 20);
+        let measure_start = Instant::now();
+        while measure_start.elapsed() < self.measure {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let elapsed = t0.elapsed().as_secs_f64();
+            self.samples.push(elapsed * 1e9 / batch as f64);
+        }
+    }
+
+    /// Measure `routine` on fresh inputs from `setup`, excluding setup time.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let warm_start = Instant::now();
+        let mut iters: u64 = 0;
+        while warm_start.elapsed() < self.warmup {
+            let input = setup();
+            black_box(routine(input));
+            iters += 1;
+        }
+        let per_iter = self.warmup.as_secs_f64() / iters.max(1) as f64;
+        let batch = ((1e-3 / per_iter.max(1e-9)) as u64).clamp(1, 1 << 16) as usize;
+        let measure_start = Instant::now();
+        while measure_start.elapsed() < self.measure {
+            let inputs: Vec<I> = (0..batch).map(|_| setup()).collect();
+            let t0 = Instant::now();
+            for input in inputs {
+                black_box(routine(input));
+            }
+            let elapsed = t0.elapsed().as_secs_f64();
+            self.samples.push(elapsed * 1e9 / batch as f64);
+        }
+    }
+}
+
+/// Benchmark registry and runner; the `c` in `fn bench_x(c: &mut Bench)`.
+pub struct Bench {
+    filter: Option<String>,
+    warmup: Duration,
+    measure: Duration,
+    ran: usize,
+}
+
+impl Default for Bench {
+    fn default() -> Self {
+        Bench::from_args(std::env::args().skip(1))
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:8.1} ns")
+    } else if ns < 1e6 {
+        format!("{:8.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:8.2} ms", ns / 1e6)
+    } else {
+        format!("{:8.2} s ", ns / 1e9)
+    }
+}
+
+impl Bench {
+    /// Build from an iterator of CLI arguments (first non-flag argument is
+    /// the name filter; `--quick` shortens budgets 10×).
+    pub fn from_args(args: impl Iterator<Item = String>) -> Bench {
+        let mut filter = None;
+        let mut quick = false;
+        for arg in args {
+            match arg.as_str() {
+                "--quick" => quick = true,
+                // Ignore cargo-bench plumbing flags.
+                "--bench" | "--test" => {}
+                a if a.starts_with('-') => {}
+                a => filter = Some(a.to_string()),
+            }
+        }
+        let (warmup, measure) = if quick {
+            (Duration::from_millis(5), Duration::from_millis(20))
+        } else {
+            (Duration::from_millis(50), Duration::from_millis(200))
+        };
+        Bench { filter, warmup, measure, ran: 0 }
+    }
+
+    /// Run one named benchmark (skipped unless it matches the filter).
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return self;
+            }
+        }
+        let mut bencher =
+            Bencher { warmup: self.warmup, measure: self.measure, samples: Vec::new() };
+        f(&mut bencher);
+        let mut samples = bencher.samples;
+        if samples.is_empty() {
+            println!("{name:<40} (no samples)");
+            return self;
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        let median = samples[samples.len() / 2];
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let min = samples[0];
+        println!(
+            "{name:<40} median {}  mean {}  min {}  ({} samples)",
+            fmt_ns(median),
+            fmt_ns(mean),
+            fmt_ns(min),
+            samples.len()
+        );
+        self.ran += 1;
+        self
+    }
+
+    /// Number of benchmarks actually executed (post-filter).
+    #[must_use]
+    pub fn executed(&self) -> usize {
+        self.ran
+    }
+}
+
+/// Declare a bench group: `bench_group!(group_name, bench_fn_a, bench_fn_b);`
+/// generates `fn group_name(c: &mut Bench)` running each function in order.
+#[macro_export]
+macro_rules! bench_group {
+    ($group:ident, $($function:path),+ $(,)?) => {
+        fn $group(c: &mut $crate::bench::Bench) {
+            $($function(c);)+
+        }
+    };
+}
+
+/// Declare the bench entry point: `bench_main!(group_a, group_b);` generates
+/// `fn main()` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! bench_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut bench = $crate::bench::Bench::default();
+            $($group(&mut bench);)+
+            eprintln!("ran {} benchmark(s)", bench.executed());
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_bench() -> Bench {
+        Bench::from_args(["--quick".to_string()].into_iter())
+    }
+
+    #[test]
+    fn iter_measures_and_reports() {
+        let mut b = quick_bench();
+        b.bench_function("smoke/iter", |b| {
+            b.iter(|| (0..100u64).sum::<u64>())
+        });
+        assert_eq!(b.executed(), 1);
+    }
+
+    #[test]
+    fn iter_batched_consumes_setup_inputs() {
+        let mut b = quick_bench();
+        b.bench_function("smoke/batched", |b| {
+            b.iter_batched(
+                || vec![1u64; 64],
+                |v| v.into_iter().sum::<u64>(),
+                BatchSize::SmallInput,
+            )
+        });
+        assert_eq!(b.executed(), 1);
+    }
+
+    #[test]
+    fn filter_skips_non_matching() {
+        let mut b = Bench::from_args(["--quick".into(), "only_this".into()].into_iter());
+        b.bench_function("other/name", |b| b.iter(|| 1u32 + 1));
+        assert_eq!(b.executed(), 0);
+        b.bench_function("group/only_this_one", |b| b.iter(|| 1u32 + 1));
+        assert_eq!(b.executed(), 1);
+    }
+}

@@ -1,0 +1,50 @@
+//! Codec error type.
+
+use std::fmt;
+
+/// Error produced by JSON parsing or typed decoding. Carries a human-readable
+/// message with a trail of `field`/`struct` context frames.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    message: String,
+}
+
+impl JsonError {
+    /// Build an error from a message.
+    #[must_use]
+    pub fn msg(message: impl Into<String>) -> Self {
+        JsonError { message: message.into() }
+    }
+
+    /// A type-mismatch error: `expected X, found Y`.
+    #[must_use]
+    pub fn expected(what: &str, found: &super::value::Json) -> Self {
+        JsonError::msg(format!("expected {what}, found {}", found.type_name()))
+    }
+
+    /// Wrap with a `field \`name\`` context frame.
+    #[must_use]
+    pub fn in_field(self, field: &str) -> Self {
+        JsonError::msg(format!("field `{field}`: {}", self.message))
+    }
+
+    /// Wrap with an `in TypeName` context frame.
+    #[must_use]
+    pub fn in_type(self, type_name: &str) -> Self {
+        JsonError::msg(format!("in {type_name}: {}", self.message))
+    }
+
+    /// The formatted message.
+    #[must_use]
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json error: {}", self.message)
+    }
+}
+
+impl std::error::Error for JsonError {}

@@ -1,0 +1,293 @@
+//! Derive-by-macro for the JSON codec.
+//!
+//! Three macro-by-example "derives" replace the workspace's former
+//! `#[derive(Serialize, Deserialize)]` attributes:
+//!
+//! * [`json_struct!`] — named-field structs, encoded as objects. Decoding is
+//!   strict: missing, mistyped, and unknown fields are all errors.
+//! * [`json_newtype!`] — one-field tuple structs, encoded transparently as
+//!   the inner value (matching serde's newtype behaviour).
+//! * [`json_enum!`] — enums with unit, one-field-tuple, and struct variants,
+//!   encoded externally tagged (`"Variant"`, `{"Variant": inner}`,
+//!   `{"Variant": {…fields}}`) exactly as serde encodes them.
+//!
+//! ```
+//! use jarvis_stdkit::json::{FromJson, ToJson};
+//! use jarvis_stdkit::{json_enum, json_struct};
+//!
+//! #[derive(Debug, PartialEq)]
+//! enum Mode { Auto, Fixed(u8), Tuned { gain: f64 } }
+//! json_enum!(Mode { Auto, Fixed(inner), Tuned { gain } });
+//!
+//! #[derive(Debug, PartialEq)]
+//! struct Config { name: String, mode: Mode }
+//! json_struct!(Config { name, mode });
+//!
+//! let c = Config { name: "x".into(), mode: Mode::Tuned { gain: 0.5 } };
+//! let text = c.to_json();
+//! assert_eq!(text, r#"{"name":"x","mode":{"Tuned":{"gain":0.5}}}"#);
+//! assert_eq!(Config::from_json(&text).unwrap(), c);
+//! ```
+
+/// Implement `ToJson`/`FromJson` for a named-field struct.
+///
+/// `json_struct!(TypeName { field_a, field_b })` — every listed field must
+/// itself implement the codec traits. Unknown fields are rejected on decode.
+#[macro_export]
+macro_rules! json_struct {
+    ($name:ident { $($field:ident),+ $(,)? }) => {
+        impl $crate::json::ToJson for $name {
+            fn to_json_value(&self) -> $crate::json::Json {
+                $crate::json::Json::Obj(vec![
+                    $((stringify!($field).to_string(), $crate::json::ToJson::to_json_value(&self.$field)),)+
+                ])
+            }
+        }
+
+        impl $crate::json::FromJson for $name {
+            fn from_json_value(
+                v: &$crate::json::Json,
+            ) -> Result<Self, $crate::json::JsonError> {
+                $crate::json::check_object(v, stringify!($name), &[$(stringify!($field)),+])?;
+                Ok(Self {
+                    $($field: $crate::json::field(v, stringify!($field))
+                        .map_err(|e| e.in_type(stringify!($name)))?,)+
+                })
+            }
+        }
+    };
+}
+
+/// Implement `ToJson`/`FromJson` for a one-field tuple struct, encoding it
+/// transparently as its inner value: `json_newtype!(DeviceId)`.
+#[macro_export]
+macro_rules! json_newtype {
+    ($name:ident) => {
+        impl $crate::json::ToJson for $name {
+            fn to_json_value(&self) -> $crate::json::Json {
+                $crate::json::ToJson::to_json_value(&self.0)
+            }
+        }
+
+        impl $crate::json::FromJson for $name {
+            fn from_json_value(
+                v: &$crate::json::Json,
+            ) -> Result<Self, $crate::json::JsonError> {
+                $crate::json::FromJson::from_json_value(v)
+                    .map($name)
+                    .map_err(|e| e.in_type(stringify!($name)))
+            }
+        }
+    };
+}
+
+/// Implement `JsonKey` for a one-field tuple struct whose inner type is
+/// already a key (an integer or `String`), so the newtype can be used as a
+/// map key: `json_key_newtype!(DeviceId)`. Matches serde_json's behaviour of
+/// stringifying integer-keyed maps.
+#[macro_export]
+macro_rules! json_key_newtype {
+    ($name:ident) => {
+        impl $crate::json::JsonKey for $name {
+            fn to_key(&self) -> String {
+                $crate::json::JsonKey::to_key(&self.0)
+            }
+
+            fn from_key(s: &str) -> Result<Self, $crate::json::JsonError> {
+                $crate::json::JsonKey::from_key(s).map($name)
+            }
+        }
+    };
+}
+
+/// Implement `ToJson`/`FromJson` for an enum, externally tagged like serde.
+///
+/// Variants may be unit (`Idle`), one-field tuples (`Exactly(inner)` — the
+/// identifier is just a binding name), or struct-like (`Sgd { lr, momentum }`).
+#[macro_export]
+macro_rules! json_enum {
+    ($name:ident { $($body:tt)* }) => {
+        impl $crate::json::ToJson for $name {
+            fn to_json_value(&self) -> $crate::json::Json {
+                $crate::json_enum!(@to_match self [] $($body)*)
+            }
+        }
+
+        impl $crate::json::FromJson for $name {
+            fn from_json_value(
+                v: &$crate::json::Json,
+            ) -> Result<Self, $crate::json::JsonError> {
+                $crate::json_enum!(@from v, $name ; $($body)*);
+                Err($crate::json::JsonError::msg(format!(
+                    "no variant of {} matches {}",
+                    stringify!($name),
+                    v,
+                )))
+            }
+        }
+    };
+
+    // ---- serialization: accumulate match arms, then emit the match -------
+    (@to_match $self:ident [$($arms:tt)*]) => {
+        match $self { $($arms)* }
+    };
+    (@to_match $self:ident [$($arms:tt)*] $variant:ident $(, $($rest:tt)*)?) => {
+        $crate::json_enum!(@to_match $self [
+            $($arms)*
+            Self::$variant => $crate::json::Json::Str(stringify!($variant).to_string()),
+        ] $($($rest)*)?)
+    };
+    (@to_match $self:ident [$($arms:tt)*] $variant:ident ( $inner:ident ) $(, $($rest:tt)*)?) => {
+        $crate::json_enum!(@to_match $self [
+            $($arms)*
+            Self::$variant($inner) => $crate::json::Json::Obj(vec![(
+                stringify!($variant).to_string(),
+                $crate::json::ToJson::to_json_value($inner),
+            )]),
+        ] $($($rest)*)?)
+    };
+    (@to_match $self:ident [$($arms:tt)*] $variant:ident { $($f:ident),+ $(,)? } $(, $($rest:tt)*)?) => {
+        $crate::json_enum!(@to_match $self [
+            $($arms)*
+            Self::$variant { $($f),+ } => $crate::json::Json::Obj(vec![(
+                stringify!($variant).to_string(),
+                $crate::json::Json::Obj(vec![
+                    $((stringify!($f).to_string(), $crate::json::ToJson::to_json_value($f)),)+
+                ]),
+            )]),
+        ] $($($rest)*)?)
+    };
+
+    // ---- deserialization: one early-return probe per variant -------------
+    (@from $v:ident, $name:ident ;) => {};
+    (@from $v:ident, $name:ident ; $variant:ident $(, $($rest:tt)*)?) => {
+        if $v.as_str() == Some(stringify!($variant)) {
+            return Ok(Self::$variant);
+        }
+        $crate::json_enum!(@from $v, $name ; $($($rest)*)?);
+    };
+    (@from $v:ident, $name:ident ; $variant:ident ( $inner:ident ) $(, $($rest:tt)*)?) => {
+        if let Some(payload) = $crate::json_enum!(@tagged $v, $variant) {
+            return $crate::json::FromJson::from_json_value(payload)
+                .map(Self::$variant)
+                .map_err(|e| e.in_field(stringify!($variant)).in_type(stringify!($name)));
+        }
+        $crate::json_enum!(@from $v, $name ; $($($rest)*)?);
+    };
+    (@from $v:ident, $name:ident ; $variant:ident { $($f:ident),+ $(,)? } $(, $($rest:tt)*)?) => {
+        if let Some(payload) = $crate::json_enum!(@tagged $v, $variant) {
+            $crate::json::check_object(payload, stringify!($name), &[$(stringify!($f)),+])
+                .map_err(|e| e.in_field(stringify!($variant)))?;
+            return Ok(Self::$variant {
+                $($f: $crate::json::field(payload, stringify!($f))
+                    .map_err(|e| e.in_field(stringify!($variant)).in_type(stringify!($name)))?,)+
+            });
+        }
+        $crate::json_enum!(@from $v, $name ; $($($rest)*)?);
+    };
+
+    // Payload of a single-key `{"Variant": …}` object, if the key matches.
+    (@tagged $v:ident, $variant:ident) => {
+        match $v.as_object() {
+            Some(fields) if fields.len() == 1 && fields[0].0 == stringify!($variant) => {
+                Some(&fields[0].1)
+            }
+            _ => None,
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::json::{FromJson, ToJson};
+
+    #[derive(Debug, Clone, PartialEq)]
+    struct Point {
+        x: i32,
+        y: i32,
+    }
+    json_struct!(Point { x, y });
+
+    #[derive(Debug, Clone, Copy, PartialEq)]
+    struct Meters(f64);
+    json_newtype!(Meters);
+
+    #[derive(Debug, Clone, PartialEq)]
+    enum Shape {
+        Empty,
+        Dot(Point),
+        Rect { w: f64, h: f64 },
+    }
+    json_enum!(Shape { Empty, Dot(p), Rect { w, h } });
+
+    #[derive(Debug, Clone, PartialEq)]
+    struct Scene {
+        name: String,
+        shapes: Vec<Shape>,
+        scale: Option<Meters>,
+    }
+    json_struct!(Scene {
+        name,
+        shapes,
+        scale,
+    });
+
+    #[test]
+    fn struct_round_trip_and_strictness() {
+        let p = Point { x: -3, y: 9 };
+        assert_eq!(p.to_json(), r#"{"x":-3,"y":9}"#);
+        assert_eq!(Point::from_json(r#"{"x":-3,"y":9}"#).unwrap(), p);
+        assert_eq!(Point::from_json(r#"{"y":9,"x":-3}"#).unwrap(), p, "field order free");
+
+        let missing = Point::from_json(r#"{"x":1}"#).unwrap_err();
+        assert!(missing.message().contains("missing field `y`"), "{missing}");
+        let unknown = Point::from_json(r#"{"x":1,"y":2,"z":3}"#).unwrap_err();
+        assert!(unknown.message().contains("unknown field `z`"), "{unknown}");
+        let mistyped = Point::from_json(r#"{"x":1,"y":"two"}"#).unwrap_err();
+        assert!(mistyped.message().contains("field `y`"), "{mistyped}");
+        assert!(Point::from_json("[1,2]").is_err());
+    }
+
+    #[test]
+    fn newtype_is_transparent() {
+        assert_eq!(Meters(2.5).to_json(), "2.5");
+        assert_eq!(Meters::from_json("2.5").unwrap(), Meters(2.5));
+        assert!(Meters::from_json("\"2.5\"").is_err());
+    }
+
+    #[test]
+    fn enum_round_trip_all_shapes() {
+        let cases = [
+            (Shape::Empty, r#""Empty""#),
+            (Shape::Dot(Point { x: 1, y: 2 }), r#"{"Dot":{"x":1,"y":2}}"#),
+            (Shape::Rect { w: 1.5, h: 2.0 }, r#"{"Rect":{"w":1.5,"h":2}}"#),
+        ];
+        for (shape, text) in cases {
+            assert_eq!(shape.to_json(), text);
+            assert_eq!(Shape::from_json(text).unwrap(), shape);
+        }
+    }
+
+    #[test]
+    fn enum_rejects_bad_tags_and_payloads() {
+        assert!(Shape::from_json(r#""Dot""#).is_err(), "tuple variant needs payload");
+        assert!(Shape::from_json(r#"{"Empty":1}"#).is_err(), "unit variant takes none");
+        assert!(Shape::from_json(r#""Nope""#).is_err());
+        assert!(Shape::from_json(r#"{"Rect":{"w":1}}"#).is_err(), "missing h");
+        assert!(Shape::from_json(r#"{"Rect":{"w":1,"h":2,"d":3}}"#).is_err());
+        assert!(Shape::from_json("7").is_err());
+    }
+
+    #[test]
+    fn nested_struct_round_trip() {
+        let scene = Scene {
+            name: "s".into(),
+            shapes: vec![Shape::Empty, Shape::Rect { w: 0.5, h: 4.25 }],
+            scale: None,
+        };
+        let text = scene.to_json();
+        assert_eq!(Scene::from_json(&text).unwrap(), scene);
+        let with_scale = Scene { scale: Some(Meters(1.5)), ..scene };
+        assert_eq!(Scene::from_json(&with_scale.to_json()).unwrap(), with_scale);
+    }
+}

@@ -1,0 +1,32 @@
+//! Minimal JSON codec: a value tree, a strict parser, `ToJson`/`FromJson`
+//! traits, and macro-by-example "derives" (see [`crate::json_struct!`],
+//! [`crate::json_newtype!`], [`crate::json_enum!`]).
+//!
+//! Replaces `serde`/`serde_json` for the workspace's needs: device logs,
+//! model snapshots, and round-trip tests. Decoding is strict — wrong types,
+//! missing fields, and unknown fields return [`JsonError`], never panic.
+
+mod error;
+mod macros;
+mod parse;
+mod traits;
+mod value;
+
+pub use error::JsonError;
+pub use traits::{check_object, field, FromJson, JsonKey, ToJson};
+pub use value::Json;
+
+/// Serialize any [`ToJson`] value to compact JSON text.
+pub fn to_string<T: ToJson + ?Sized>(value: &T) -> String {
+    value.to_json()
+}
+
+/// Parse JSON text into any [`FromJson`] type.
+pub fn from_str<T: FromJson>(text: &str) -> Result<T, JsonError> {
+    T::from_json(text)
+}
+
+/// Parse JSON text into a [`Json`] tree.
+pub fn to_value<T: ToJson + ?Sized>(value: &T) -> Json {
+    value.to_json_value()
+}

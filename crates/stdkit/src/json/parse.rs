@@ -1,0 +1,378 @@
+//! Recursive-descent JSON parser: strict grammar, byte-offset errors,
+//! bounded depth, never panics on malformed input.
+
+use super::error::JsonError;
+use super::value::Json;
+
+/// Maximum nesting depth before the parser bails out (guards the stack
+/// against adversarial inputs like `[[[[…`).
+const MAX_DEPTH: usize = 128;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    text: &'a str,
+    pos: usize,
+}
+
+impl Json {
+    /// Parse a complete JSON document. Trailing non-whitespace is an error.
+    pub fn parse(input: &str) -> Result<Json, JsonError> {
+        let mut p = Parser { bytes: input.as_bytes(), text: input, pos: 0 };
+        p.skip_ws();
+        let value = p.value(0)?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(p.err("trailing characters after JSON value"));
+        }
+        Ok(value)
+    }
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: &str) -> JsonError {
+        JsonError::msg(format!("{msg} at byte {}", self.pos))
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8) -> bool {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_literal(&mut self, lit: &str, value: Json) -> Result<Json, JsonError> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(value)
+        } else {
+            Err(self.err("invalid literal"))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Json, JsonError> {
+        if depth > MAX_DEPTH {
+            return Err(self.err("maximum nesting depth exceeded"));
+        }
+        match self.peek() {
+            None => Err(self.err("unexpected end of input")),
+            Some(b'n') => self.expect_literal("null", Json::Null),
+            Some(b't') => self.expect_literal("true", Json::Bool(true)),
+            Some(b'f') => self.expect_literal("false", Json::Bool(false)),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b'[') => self.array(depth),
+            Some(b'{') => self.object(depth),
+            Some(b'-') | Some(b'0'..=b'9') => self.number(),
+            Some(_) => Err(self.err("unexpected character")),
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Json, JsonError> {
+        self.pos += 1; // consume '['
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.eat(b']') {
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            if self.eat(b']') {
+                return Ok(Json::Arr(items));
+            }
+            if !self.eat(b',') {
+                return Err(self.err("expected ',' or ']' in array"));
+            }
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Json, JsonError> {
+        self.pos += 1; // consume '{'
+        let mut fields: Vec<(String, Json)> = Vec::new();
+        self.skip_ws();
+        if self.eat(b'}') {
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            if self.peek() != Some(b'"') {
+                return Err(self.err("expected string key in object"));
+            }
+            let key = self.string()?;
+            self.skip_ws();
+            if !self.eat(b':') {
+                return Err(self.err("expected ':' after object key"));
+            }
+            self.skip_ws();
+            let value = self.value(depth + 1)?;
+            if fields.iter().any(|(k, _)| *k == key) {
+                return Err(self.err("duplicate object key"));
+            }
+            fields.push((key, value));
+            self.skip_ws();
+            if self.eat(b'}') {
+                return Ok(Json::Obj(fields));
+            }
+            if !self.eat(b',') {
+                return Err(self.err("expected ',' or '}' in object"));
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u16, JsonError> {
+        let mut acc: u16 = 0;
+        for _ in 0..4 {
+            let d = match self.peek() {
+                Some(c @ b'0'..=b'9') => c - b'0',
+                Some(c @ b'a'..=b'f') => c - b'a' + 10,
+                Some(c @ b'A'..=b'F') => c - b'A' + 10,
+                _ => return Err(self.err("invalid \\u escape")),
+            };
+            acc = acc * 16 + u16::from(d);
+            self.pos += 1;
+        }
+        Ok(acc)
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.pos += 1; // consume '"'
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{08}'),
+                        Some(b'f') => out.push('\u{0C}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let hi = self.hex4()?;
+                            let c = if (0xD800..0xDC00).contains(&hi) {
+                                // High surrogate: require a low surrogate next.
+                                if !(self.eat(b'\\') && self.eat(b'u')) {
+                                    return Err(self.err("unpaired surrogate"));
+                                }
+                                let lo = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err(self.err("invalid low surrogate"));
+                                }
+                                let code = 0x10000
+                                    + ((u32::from(hi) - 0xD800) << 10)
+                                    + (u32::from(lo) - 0xDC00);
+                                char::from_u32(code).ok_or_else(|| self.err("invalid surrogate pair"))?
+                            } else if (0xDC00..0xE000).contains(&hi) {
+                                return Err(self.err("unpaired low surrogate"));
+                            } else {
+                                char::from_u32(u32::from(hi)).ok_or_else(|| self.err("invalid \\u escape"))?
+                            };
+                            out.push(c);
+                            continue; // hex4 already advanced
+                        }
+                        _ => return Err(self.err("invalid escape sequence")),
+                    }
+                    self.pos += 1;
+                }
+                Some(b) if b < 0x20 => return Err(self.err("unescaped control character in string")),
+                Some(_) => {
+                    // Consume one full UTF-8 scalar (input is &str, so valid).
+                    let rest = &self.text[self.pos..];
+                    let c = rest.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let start = self.pos;
+        let negative = self.eat(b'-');
+        // Integer part: '0' alone or a nonzero-led digit run.
+        match self.peek() {
+            Some(b'0') => {
+                self.pos += 1;
+            }
+            Some(b'1'..=b'9') => {
+                while matches!(self.peek(), Some(b'0'..=b'9')) {
+                    self.pos += 1;
+                }
+            }
+            _ => return Err(self.err("invalid number")),
+        }
+        let mut is_float = false;
+        if self.eat(b'.') {
+            is_float = true;
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.err("expected digits after decimal point"));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e') | Some(b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+') | Some(b'-')) {
+                self.pos += 1;
+            }
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.err("expected digits in exponent"));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = &self.text[start..self.pos];
+        if !is_float {
+            if let Ok(i) = text.parse::<i64>() {
+                // Keep "-0" a float so the sign bit survives round trips.
+                if !(i == 0 && negative) {
+                    return Ok(Json::Int(i));
+                }
+            } else if let Ok(u) = text.parse::<u64>() {
+                return Ok(Json::UInt(u));
+            }
+        }
+        text.parse::<f64>()
+            .map(Json::Float)
+            .map_err(|_| JsonError::msg(format!("number out of range at byte {start}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> Json {
+        Json::parse(s).unwrap()
+    }
+
+    #[test]
+    fn parses_scalars() {
+        assert_eq!(p("null"), Json::Null);
+        assert_eq!(p(" true "), Json::Bool(true));
+        assert_eq!(p("false"), Json::Bool(false));
+        assert_eq!(p("42"), Json::Int(42));
+        assert_eq!(p("-7"), Json::Int(-7));
+        assert_eq!(p("18446744073709551615"), Json::UInt(u64::MAX));
+        assert_eq!(p("1.5e3"), Json::Float(1500.0));
+        assert_eq!(p("\"hi\""), Json::Str("hi".into()));
+    }
+
+    #[test]
+    fn parses_structures() {
+        assert_eq!(
+            p(r#"{"a":[1,2,{"b":null}],"c":"d"}"#),
+            Json::Obj(vec![
+                (
+                    "a".into(),
+                    Json::Arr(vec![
+                        Json::Int(1),
+                        Json::Int(2),
+                        Json::Obj(vec![("b".into(), Json::Null)]),
+                    ]),
+                ),
+                ("c".into(), Json::Str("d".into())),
+            ])
+        );
+        assert_eq!(p("[]"), Json::Arr(vec![]));
+        assert_eq!(p("{}"), Json::Obj(vec![]));
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let original = "quote\" slash\\ nl\n tab\t unicode\u{1F600}é ctrl\u{01}";
+        let rendered = Json::Str(original.into()).to_string();
+        assert_eq!(p(&rendered), Json::Str(original.into()));
+        assert_eq!(p(r#""\ud83d\ude00""#), Json::Str("\u{1F600}".into()));
+        assert_eq!(p(r#""\u00e9""#), Json::Str("é".into()));
+    }
+
+    #[test]
+    fn float_round_trips_are_bit_exact() {
+        for x in [0.1, 1.0 / 3.0, 1e-300, 2.5e300, -0.0, 123456.789, f64::MIN_POSITIVE] {
+            let back = p(&Json::Float(x).to_string());
+            let y = back.as_f64().unwrap();
+            assert_eq!(x.to_bits(), y.to_bits(), "{x} -> {back:?}");
+        }
+        assert_eq!(p(&Json::Int(i64::MIN).to_string()), Json::Int(i64::MIN));
+        assert_eq!(p(&Json::UInt(u64::MAX).to_string()), Json::UInt(u64::MAX));
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in [
+            "",
+            "   ",
+            "{",
+            "[1,",
+            "[1 2]",
+            r#"{"a" 1}"#,
+            r#"{"a":}"#,
+            r#"{"a":1,}"#,
+            "[1,2,]",
+            "tru",
+            "nul",
+            "01",
+            "1.",
+            ".5",
+            "+1",
+            "1e",
+            "--1",
+            "\"unterminated",
+            "\"bad escape \\x\"",
+            r#""\ud800""#,
+            "{\"a\":1}extra",
+            "[1]]",
+            "NaN",
+            "Infinity",
+            "'single'",
+            "{\"dup\":1,\"dup\":2}",
+            "\u{01}",
+        ] {
+            assert!(Json::parse(bad).is_err(), "should reject {bad:?}");
+        }
+    }
+
+    #[test]
+    fn rejects_excessive_depth() {
+        let deep = "[".repeat(200) + &"]".repeat(200);
+        assert!(Json::parse(&deep).is_err());
+        let ok = "[".repeat(100) + &"]".repeat(100);
+        assert!(Json::parse(&ok).is_ok());
+    }
+
+    #[test]
+    fn huge_integers_degrade_to_float() {
+        assert_eq!(p("99999999999999999999999999"), Json::Float(1e26));
+        assert_eq!(p("-0"), Json::Float(-0.0));
+        assert!(p("-0").as_f64().unwrap().is_sign_negative());
+    }
+}

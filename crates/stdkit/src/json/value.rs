@@ -1,0 +1,245 @@
+//! The JSON value tree and its compact serializer.
+
+use std::fmt;
+
+/// A parsed JSON document.
+///
+/// Numbers keep three representations so integer round trips are exact at
+/// full `i64`/`u64` width (seeds and counters in the workspace are `u64`):
+/// the parser yields [`Json::Int`] when the literal fits `i64`,
+/// [`Json::UInt`] for larger unsigned literals, and [`Json::Float`]
+/// otherwise. Objects preserve insertion order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Integer literal within `i64`.
+    Int(i64),
+    /// Integer literal within `u64` but beyond `i64`.
+    UInt(u64),
+    /// Any other number.
+    Float(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Arr(Vec<Json>),
+    /// Object as an ordered field list.
+    Obj(Vec<(String, Json)>),
+}
+
+/// Shared sentinel for out-of-bounds indexing, mirroring `serde_json`'s
+/// `Value::Null` return on missing keys.
+static NULL: Json = Json::Null;
+
+impl Json {
+    /// `true` for `Json::Null`.
+    #[must_use]
+    pub fn is_null(&self) -> bool {
+        matches!(self, Json::Null)
+    }
+
+    /// Boolean payload, if this is a `Bool`.
+    #[must_use]
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Integer payload when exactly representable as `i64`.
+    #[must_use]
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Json::Int(i) => Some(*i),
+            Json::UInt(u) => i64::try_from(*u).ok(),
+            _ => None,
+        }
+    }
+
+    /// Integer payload when exactly representable as `u64`.
+    #[must_use]
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Int(i) => u64::try_from(*i).ok(),
+            Json::UInt(u) => Some(*u),
+            _ => None,
+        }
+    }
+
+    /// Numeric payload coerced to `f64` (lossless for `Float`, best-effort
+    /// for wide integers).
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Int(i) => Some(*i as f64),
+            Json::UInt(u) => Some(*u as f64),
+            Json::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// String payload.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Array payload.
+    #[must_use]
+    pub fn as_array(&self) -> Option<&Vec<Json>> {
+        match self {
+            Json::Arr(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Object payload as the ordered field list.
+    #[must_use]
+    pub fn as_object(&self) -> Option<&Vec<(String, Json)>> {
+        match self {
+            Json::Obj(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    /// Field lookup on objects; `None` for missing keys or non-objects.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(o) => o.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Human-readable name of the variant, for error messages.
+    #[must_use]
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Json::Null => "null",
+            Json::Bool(_) => "bool",
+            Json::Int(_) | Json::UInt(_) | Json::Float(_) => "number",
+            Json::Str(_) => "string",
+            Json::Arr(_) => "array",
+            Json::Obj(_) => "object",
+        }
+    }
+}
+
+impl std::ops::Index<&str> for Json {
+    type Output = Json;
+
+    /// `value["key"]` — `Json::Null` for missing keys, like `serde_json`.
+    fn index(&self, key: &str) -> &Json {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::Index<usize> for Json {
+    type Output = Json;
+
+    /// `value[i]` — `Json::Null` out of bounds, like `serde_json`.
+    fn index(&self, idx: usize) -> &Json {
+        match self {
+            Json::Arr(a) => a.get(idx).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+fn write_escaped(f: &mut fmt::Formatter<'_>, s: &str) -> fmt::Result {
+    f.write_str("\"")?;
+    for c in s.chars() {
+        match c {
+            '"' => f.write_str("\\\"")?,
+            '\\' => f.write_str("\\\\")?,
+            '\n' => f.write_str("\\n")?,
+            '\r' => f.write_str("\\r")?,
+            '\t' => f.write_str("\\t")?,
+            '\u{08}' => f.write_str("\\b")?,
+            '\u{0C}' => f.write_str("\\f")?,
+            c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
+            c => write!(f, "{c}")?,
+        }
+    }
+    f.write_str("\"")
+}
+
+impl fmt::Display for Json {
+    /// Compact (no-whitespace) JSON. Floats use Rust's shortest
+    /// round-trippable form; non-finite floats become `null` (as in
+    /// `serde_json`'s lossy mode).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Json::Null => f.write_str("null"),
+            Json::Bool(b) => write!(f, "{b}"),
+            Json::Int(i) => write!(f, "{i}"),
+            Json::UInt(u) => write!(f, "{u}"),
+            Json::Float(x) if !x.is_finite() => f.write_str("null"),
+            Json::Float(x) if *x == 0.0 && x.is_sign_negative() => f.write_str("-0.0"),
+            Json::Float(x) => write!(f, "{x}"),
+            Json::Str(s) => write_escaped(f, s),
+            Json::Arr(items) => {
+                f.write_str("[")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                f.write_str("]")
+            }
+            Json::Obj(fields) => {
+                f.write_str("{")?;
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write_escaped(f, k)?;
+                    f.write_str(":")?;
+                    write!(f, "{v}")?;
+                }
+                f.write_str("}")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors_and_indexing() {
+        let v = Json::Obj(vec![
+            ("a".into(), Json::Int(3)),
+            ("b".into(), Json::Arr(vec![Json::Bool(true), Json::Str("x".into())])),
+        ]);
+        assert_eq!(v["a"].as_i64(), Some(3));
+        assert_eq!(v["a"].as_u64(), Some(3));
+        assert_eq!(v["a"].as_f64(), Some(3.0));
+        assert_eq!(v["b"][0].as_bool(), Some(true));
+        assert_eq!(v["b"][1].as_str(), Some("x"));
+        assert!(v["missing"].is_null());
+        assert!(v["b"][9].is_null());
+        assert_eq!(Json::Int(-1).as_u64(), None);
+        assert_eq!(Json::UInt(u64::MAX).as_i64(), None);
+    }
+
+    #[test]
+    fn display_escapes_and_compacts() {
+        let v = Json::Obj(vec![(
+            "k\"ey".into(),
+            Json::Arr(vec![Json::Null, Json::Str("a\nb\t\\".into()), Json::Float(1.5)]),
+        )]);
+        assert_eq!(v.to_string(), r#"{"k\"ey":[null,"a\nb\t\\",1.5]}"#);
+        assert_eq!(Json::Float(f64::NAN).to_string(), "null");
+        assert_eq!(Json::Float(-0.0).to_string(), "-0.0");
+        assert_eq!(Json::Str("\u{01}".into()).to_string(), "\"\\u0001\"");
+    }
+}

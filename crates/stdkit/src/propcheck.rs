@@ -1,0 +1,515 @@
+//! `propcheck`: a seeded property-testing mini-harness with input shrinking.
+//!
+//! Replaces `proptest` for the workspace. A property is a closure that both
+//! *generates* its input by drawing from a [`Gen`] and *checks* the
+//! invariant, returning `Err(message)` (usually via [`crate::prop_assert!`])
+//! or panicking on failure:
+//!
+//! ```
+//! use jarvis_stdkit::propcheck::Config;
+//! use jarvis_stdkit::prop_assert;
+//!
+//! Config::with_cases(64).run(|g| {
+//!     let xs = g.vec(0, 8, |g| g.i64_in(-100, 100));
+//!     let mut sorted = xs.clone();
+//!     sorted.sort_unstable();
+//!     prop_assert!(sorted.len() == xs.len(), "sorting must preserve length");
+//!     Ok(())
+//! });
+//! ```
+//!
+//! Every random draw is recorded as a `u64` *choice tape*. When a case
+//! fails, the harness shrinks the tape — deleting spans and shrinking
+//! individual choices toward zero — and replays the property on each
+//! candidate, keeping the smallest tape that still fails (the approach of
+//! Hypothesis, and of `proptest`'s underlying byte-oriented strategies).
+//! Because generators map the zero choice to their simplest value, a
+//! minimal tape decodes to a minimal counterexample.
+//!
+//! Runs are fully deterministic: the per-case RNG is derived from
+//! `Config::seed`, so a failing seed printed in a report reproduces exactly.
+
+use crate::rng::{RngCore, SeedableRng, SplitMix64, Xoshiro256PlusPlus};
+
+/// Outcome of one property execution: `Err` carries the failure message.
+pub type TestResult = Result<(), String>;
+
+enum Source {
+    /// Fresh randomness from the per-case RNG.
+    Random(Xoshiro256PlusPlus),
+    /// Replay of a recorded tape; draws past the end yield 0.
+    Replay(Vec<u64>, usize),
+}
+
+/// The generator handle passed to properties. Each `Gen` method consumes
+/// choices from the tape; all derived values shrink toward the method's
+/// lower bound as the underlying choices shrink toward zero.
+pub struct Gen {
+    source: Source,
+    record: Vec<u64>,
+}
+
+impl Gen {
+    fn random(rng: Xoshiro256PlusPlus) -> Gen {
+        Gen { source: Source::Random(rng), record: Vec::new() }
+    }
+
+    fn replay(tape: Vec<u64>) -> Gen {
+        Gen { source: Source::Replay(tape, 0), record: Vec::new() }
+    }
+
+    /// Draw one choice in `[0, span)` (`span == 0` means the full `u64`
+    /// domain). The *reduced* value is what lands on the tape, so shrinking
+    /// operates directly on meaningful quantities: halving a tape entry
+    /// halves the decoded value.
+    fn choice_below(&mut self, span: u64) -> u64 {
+        let raw = match &mut self.source {
+            Source::Random(rng) => rng.next_u64(),
+            Source::Replay(tape, cursor) => {
+                let v = tape.get(*cursor).copied().unwrap_or(0);
+                *cursor += 1;
+                v
+            }
+        };
+        let value = if span == 0 { raw } else { raw % span };
+        self.record.push(value);
+        value
+    }
+
+    /// A full-domain `u64` (shrinks toward 0).
+    pub fn u64(&mut self) -> u64 {
+        self.choice_below(0)
+    }
+
+    /// A full-domain `u32`.
+    pub fn u32(&mut self) -> u32 {
+        self.choice_below(1 << 32) as u32
+    }
+
+    /// A full-domain `u8`.
+    pub fn u8(&mut self) -> u8 {
+        self.choice_below(1 << 8) as u8
+    }
+
+    /// Uniform `usize` in `[lo, hi]` (shrinks toward `lo`).
+    ///
+    /// # Panics
+    /// Panics if `lo > hi`.
+    pub fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+        assert!(lo <= hi, "usize_in: {lo} > {hi}");
+        let span = ((hi - lo) as u64).wrapping_add(1);
+        lo + self.choice_below(span) as usize
+    }
+
+    /// Uniform `u32` in `[lo, hi]` (shrinks toward `lo`).
+    pub fn u32_in(&mut self, lo: u32, hi: u32) -> u32 {
+        self.usize_in(lo as usize, hi as usize) as u32
+    }
+
+    /// Uniform `u8` in `[lo, hi]` (shrinks toward `lo`).
+    pub fn u8_in(&mut self, lo: u8, hi: u8) -> u8 {
+        self.usize_in(lo as usize, hi as usize) as u8
+    }
+
+    /// Uniform `i64` in `[lo, hi]` (shrinks toward `lo`).
+    ///
+    /// # Panics
+    /// Panics if `lo > hi`.
+    pub fn i64_in(&mut self, lo: i64, hi: i64) -> i64 {
+        assert!(lo <= hi, "i64_in: {lo} > {hi}");
+        let span = (hi.wrapping_sub(lo) as u64).wrapping_add(1);
+        lo.wrapping_add(self.choice_below(span) as i64)
+    }
+
+    /// Uniform `f64` in `[lo, hi)` (shrinks toward `lo`).
+    pub fn f64_in(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * self.unit_f64()
+    }
+
+    /// Uniform `f64` in `[0, 1)` (shrinks toward 0).
+    pub fn unit_f64(&mut self) -> f64 {
+        self.choice_below(1 << 53) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// `true` with probability `p` (shrinks toward `false`).
+    pub fn bool(&mut self, p: f64) -> bool {
+        self.unit_f64() < p
+    }
+
+    /// Uniformly chosen element of a non-empty slice (shrinks toward the
+    /// first element).
+    ///
+    /// # Panics
+    /// Panics if `items` is empty.
+    pub fn choose<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        assert!(!items.is_empty(), "choose: empty slice");
+        &items[self.usize_in(0, items.len() - 1)]
+    }
+
+    /// A vector with uniform length in `[len_lo, len_hi]`, each element from
+    /// `element` (shrinks toward fewer, simpler elements).
+    pub fn vec<T>(
+        &mut self,
+        len_lo: usize,
+        len_hi: usize,
+        mut element: impl FnMut(&mut Gen) -> T,
+    ) -> Vec<T> {
+        let len = self.usize_in(len_lo, len_hi);
+        (0..len).map(|_| element(self)).collect()
+    }
+
+    /// An ASCII-alphanumeric string with length in `[len_lo, len_hi]`.
+    pub fn ascii_string(&mut self, len_lo: usize, len_hi: usize) -> String {
+        const ALPHABET: &[u8] = b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789";
+        let len = self.usize_in(len_lo, len_hi);
+        (0..len).map(|_| *self.choose(ALPHABET) as char).collect()
+    }
+}
+
+/// Harness configuration: case count, base seed, shrink budget.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of random cases to run.
+    pub cases: u32,
+    /// Base seed; per-case RNGs derive from it, so runs are reproducible.
+    pub seed: u64,
+    /// Maximum number of candidate executions during shrinking.
+    pub max_shrink_steps: u32,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config { cases: 256, seed: 0x4A52_5649_5f50_4301, max_shrink_steps: 4096 }
+    }
+}
+
+fn execute<F: Fn(&mut Gen) -> TestResult>(f: &F, mut gen: Gen) -> (TestResult, Vec<u64>) {
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&mut gen)));
+    let result = match outcome {
+        Ok(r) => r,
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "property panicked".to_string());
+            Err(format!("panic: {msg}"))
+        }
+    };
+    (result, gen.record)
+}
+
+impl Config {
+    /// Config with `cases` random cases and default seed/budget. Mirror of
+    /// proptest's `ProptestConfig::with_cases`.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Config {
+        Config { cases, ..Config::default() }
+    }
+
+    /// Replace the base seed.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Config {
+        self.seed = seed;
+        self
+    }
+
+    /// Run `property` on `self.cases` random inputs; on failure, shrink the
+    /// counterexample and panic with a reproducible report.
+    ///
+    /// # Panics
+    /// Panics (failing the enclosing `#[test]`) if the property returns
+    /// `Err` or panics for any generated input.
+    pub fn run<F: Fn(&mut Gen) -> TestResult>(&self, property: F) {
+        for case in 0..self.cases {
+            // Derive a well-separated per-case seed.
+            let mut mixer = SplitMix64::new(self.seed ^ (u64::from(case).wrapping_mul(0x9E37_79B9_7F4A_7C15)));
+            let rng = Xoshiro256PlusPlus::seed_from_u64(mixer.next_u64());
+            let (result, tape) = execute(&property, Gen::random(rng));
+            if let Err(message) = result {
+                let (min_tape, min_message, steps) = self.shrink(&property, tape, message);
+                let replay = min_tape.iter().map(|c| c.to_string()).collect::<Vec<_>>().join(",");
+                panic!(
+                    "propcheck: property falsified at case {case}/{} (base seed {:#x})\n\
+                     minimal counterexample after {steps} shrink steps \
+                     (choice tape [{replay}])\n{min_message}",
+                    self.cases, self.seed,
+                );
+            }
+        }
+    }
+
+    /// Greedy tape shrinking: span deletion, then per-choice reduction.
+    fn shrink<F: Fn(&mut Gen) -> TestResult>(
+        &self,
+        property: &F,
+        mut tape: Vec<u64>,
+        mut message: String,
+    ) -> (Vec<u64>, String, u32) {
+        let mut steps = 0u32;
+        // A candidate is adopted only if it still fails AND its replayed
+        // record is strictly smaller than the current tape (shorter, or
+        // lexicographically less at equal length). Without the ordering
+        // check, replays that regenerate the same tape would be re-adopted
+        // forever.
+        let try_candidate =
+            |candidate: Vec<u64>, current: &[u64], steps: &mut u32| -> Option<(Vec<u64>, String)> {
+                if *steps >= self.max_shrink_steps {
+                    return None;
+                }
+                *steps += 1;
+                let (result, record) = execute(property, Gen::replay(candidate));
+                let smaller = record.len() < current.len()
+                    || (record.len() == current.len() && record.as_slice() < current);
+                match result {
+                    Err(msg) if smaller => Some((record, msg)),
+                    _ => None,
+                }
+            };
+
+        let mut improved = true;
+        while improved && steps < self.max_shrink_steps {
+            improved = false;
+
+            // Pass 1: delete spans, longest first.
+            for width in [16usize, 8, 4, 2, 1] {
+                let mut start = 0;
+                while start < tape.len() {
+                    if width > tape.len() - start {
+                        break;
+                    }
+                    let mut candidate = tape.clone();
+                    candidate.drain(start..start + width);
+                    if let Some((t, m)) = try_candidate(candidate, &tape, &mut steps) {
+                        tape = t;
+                        message = m;
+                        improved = true;
+                        // Re-test the same position after a successful cut.
+                    } else {
+                        start += 1;
+                    }
+                }
+            }
+
+            // Pass 2: shrink individual choices. Zero first, then binary
+            // search the smallest still-failing value — tape entries are
+            // canonical (already range-reduced), so for monotone predicates
+            // this lands exactly on the boundary value.
+            for i in 0..tape.len() {
+                if i >= tape.len() {
+                    // An adopted candidate may have shortened the tape.
+                    break;
+                }
+                if tape[i] == 0 {
+                    continue;
+                }
+                let mut zeroed = tape.clone();
+                zeroed[i] = 0;
+                if let Some((t, m)) = try_candidate(zeroed, &tape, &mut steps) {
+                    tape = t;
+                    message = m;
+                    improved = true;
+                    continue;
+                }
+                let mut floor = 0u64; // exclusive lower bound known to pass (0 passed)
+                while i < tape.len() && tape[i] > floor + 1 {
+                    let mid = floor + (tape[i] - floor) / 2;
+                    let mut candidate = tape.clone();
+                    candidate[i] = mid;
+                    if let Some((t, m)) = try_candidate(candidate, &tape, &mut steps) {
+                        tape = t;
+                        message = m;
+                        improved = true;
+                    } else {
+                        floor = mid;
+                    }
+                }
+            }
+        }
+        (tape, message, steps)
+    }
+}
+
+/// Run a property with the default [`Config`] (256 cases).
+pub fn check<F: Fn(&mut Gen) -> TestResult>(property: F) {
+    Config::default().run(property);
+}
+
+/// Property-scope assertion: returns `Err` from the enclosing property
+/// closure instead of panicking, so the harness can shrink the input.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err(format!(
+                "assertion failed: {} ({}:{})",
+                stringify!($cond),
+                file!(),
+                line!()
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err(format!(
+                "assertion failed: {} ({}:{})",
+                format!($($fmt)+),
+                file!(),
+                line!()
+            ));
+        }
+    };
+}
+
+/// Equality assertion for properties; shows both values on failure.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return Err(format!(
+                "assertion failed: {} == {}\n  left: {:?}\n right: {:?} ({}:{})",
+                stringify!($left), stringify!($right), l, r, file!(), line!()
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return Err(format!(
+                "assertion failed: {}\n  left: {:?}\n right: {:?} ({}:{})",
+                format!($($fmt)+), l, r, file!(), line!()
+            ));
+        }
+    }};
+}
+
+/// Inequality assertion for properties.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return Err(format!(
+                "assertion failed: {} != {}\n  both: {:?} ({}:{})",
+                stringify!($left), stringify!($right), l, file!(), line!()
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return Err(format!(
+                "assertion failed: {}\n  both: {:?} ({}:{})",
+                format!($($fmt)+), l, file!(), line!()
+            ));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let mut hits = 0u32;
+        let counter = std::cell::Cell::new(0u32);
+        Config::with_cases(50).run(|g| {
+            counter.set(counter.get() + 1);
+            let v = g.usize_in(3, 10);
+            prop_assert!((3..=10).contains(&v));
+            Ok(())
+        });
+        hits += counter.get();
+        assert_eq!(hits, 50);
+    }
+
+    #[test]
+    fn failing_property_panics_with_report() {
+        let outcome = std::panic::catch_unwind(|| {
+            Config::with_cases(100).run(|g| {
+                let v = g.usize_in(0, 1000);
+                prop_assert!(v < 500, "value {v} too big");
+                Ok(())
+            });
+        });
+        let msg = *outcome.unwrap_err().downcast::<String>().unwrap();
+        assert!(msg.contains("propcheck: property falsified"), "{msg}");
+        assert!(msg.contains("too big"), "{msg}");
+    }
+
+    #[test]
+    fn shrinking_finds_the_boundary() {
+        // The minimal failing value for `v >= 500` is exactly 500; the
+        // shrinker should get there from whatever case first failed.
+        let outcome = std::panic::catch_unwind(|| {
+            Config::with_cases(100).run(|g| {
+                let v = g.usize_in(0, 1000);
+                prop_assert!(v < 500, "counterexample={v}");
+                Ok(())
+            });
+        });
+        let msg = *outcome.unwrap_err().downcast::<String>().unwrap();
+        assert!(msg.contains("counterexample=500"), "should shrink to 500: {msg}");
+    }
+
+    #[test]
+    fn shrinking_reduces_vectors() {
+        // Any vector containing an element > 100 fails; minimal is [101].
+        let outcome = std::panic::catch_unwind(|| {
+            Config::with_cases(200).run(|g| {
+                let xs = g.vec(0, 20, |g| g.usize_in(0, 1000));
+                prop_assert!(xs.iter().all(|&x| x <= 100), "bad={xs:?}");
+                Ok(())
+            });
+        });
+        let msg = *outcome.unwrap_err().downcast::<String>().unwrap();
+        assert!(msg.contains("bad=[101]"), "should shrink to [101]: {msg}");
+    }
+
+    #[test]
+    fn panics_inside_properties_are_caught_and_shrunk() {
+        let outcome = std::panic::catch_unwind(|| {
+            Config::with_cases(50).run(|g| {
+                let v = g.usize_in(0, 100);
+                assert!(v < 10, "native assert fires");
+                Ok(())
+            });
+        });
+        let msg = *outcome.unwrap_err().downcast::<String>().unwrap();
+        assert!(msg.contains("panic:"), "{msg}");
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let capture = |seed: u64| {
+            let mut drawn = Vec::new();
+            let out: &mut Vec<u64> = &mut drawn;
+            let cell = std::cell::RefCell::new(out);
+            Config::with_cases(10).seed(seed).run(|g| {
+                cell.borrow_mut().push(g.u64());
+                Ok(())
+            });
+            drawn
+        };
+        assert_eq!(capture(7), capture(7));
+        assert_ne!(capture(7), capture(8));
+    }
+
+    #[test]
+    fn generator_helpers_respect_bounds() {
+        Config::with_cases(200).run(|g| {
+            prop_assert!(g.i64_in(-5, 5).abs() <= 5);
+            let f = g.f64_in(1.0, 2.0);
+            prop_assert!((1.0..2.0).contains(&f));
+            let items = [10, 20, 30];
+            prop_assert!(items.contains(g.choose(&items)));
+            let s = g.ascii_string(2, 4);
+            prop_assert!(s.len() >= 2 && s.len() <= 4);
+            prop_assert!(s.chars().all(|c| c.is_ascii_alphanumeric()));
+            let _: bool = g.bool(0.5);
+            Ok(())
+        });
+    }
+}

@@ -1,0 +1,611 @@
+//! Deterministic pseudo-random number generation with a `rand`-compatible
+//! call surface.
+//!
+//! The workspace is hermetic: no crates.io dependencies. This module replaces
+//! the `rand`/`rand_chacha` pair with in-tree generators:
+//!
+//! * [`ChaCha8Rng`] — a real ChaCha stream cipher reduced to 8 rounds, the
+//!   same construction `rand_chacha::ChaCha8Rng` uses. Every seeded call
+//!   site in the workspace keeps its `ChaCha8Rng::seed_from_u64(seed)`
+//!   idiom unchanged (the byte streams differ from the `rand_chacha` crate's
+//!   only in the seed-expansion constant, not in the cipher).
+//! * [`Xoshiro256PlusPlus`] — a fast non-cryptographic generator for bulk
+//!   simulation draws, seeded through [`SplitMix64`] as its authors
+//!   recommend.
+//! * [`SplitMix64`] — the 64-bit seed expander; also usable directly as a
+//!   tiny RNG for hashing-style mixing.
+//!
+//! The trait surface mirrors the `rand` 0.8 names used by the workspace:
+//! [`RngCore`] (`next_u32`/`next_u64`/`fill_bytes`), [`Rng`]
+//! (`gen_range`/`gen_bool`/`gen`), [`SeedableRng`]
+//! (`from_seed`/`seed_from_u64`), and [`SliceRandom`] (`shuffle`/`choose`).
+
+/// Low-level uniform bit source. Mirror of `rand::RngCore`.
+pub trait RngCore {
+    /// Next 32 uniformly random bits.
+    fn next_u32(&mut self) -> u32;
+
+    /// Next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Fill `dest` with uniformly random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let bytes = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&bytes[..rem.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// Seedable construction. Mirror of `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// Raw seed material (a fixed-size byte array per generator).
+    type Seed: Default + AsMut<[u8]>;
+
+    /// Build from raw seed bytes.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Build from a single `u64`, expanding it with SplitMix64 — the same
+    /// scheme `rand`'s default `seed_from_u64` uses.
+    fn seed_from_u64(state: u64) -> Self {
+        let mut sm = SplitMix64::new(state);
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            let bytes = sm.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SplitMix64
+// ---------------------------------------------------------------------------
+
+/// Sebastiano Vigna's SplitMix64: a one-word generator with full 2^64 period,
+/// used to expand small seeds into the larger states of the other generators.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Create a generator from the raw 64-bit state.
+    #[must_use]
+    pub fn new(state: u64) -> Self {
+        SplitMix64 { state }
+    }
+}
+
+impl RngCore for SplitMix64 {
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+impl SeedableRng for SplitMix64 {
+    type Seed = [u8; 8];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        SplitMix64::new(u64::from_le_bytes(seed))
+    }
+
+    fn seed_from_u64(state: u64) -> Self {
+        SplitMix64::new(state)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// xoshiro256++
+// ---------------------------------------------------------------------------
+
+/// Blackman & Vigna's xoshiro256++ 1.0 — the workspace's general-purpose
+/// fast generator (period 2^256 − 1, passes BigCrush).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Xoshiro256PlusPlus {
+    s: [u64; 4],
+}
+
+impl RngCore for Xoshiro256PlusPlus {
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+impl SeedableRng for Xoshiro256PlusPlus {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut s = [0u64; 4];
+        for (i, word) in s.iter_mut().enumerate() {
+            let mut bytes = [0u8; 8];
+            bytes.copy_from_slice(&seed[i * 8..i * 8 + 8]);
+            *word = u64::from_le_bytes(bytes);
+        }
+        // The all-zero state is the one fixed point; SplitMix64-expanded
+        // seeds never produce it, but raw byte seeds could.
+        if s == [0, 0, 0, 0] {
+            s = [
+                0x9E37_79B9_7F4A_7C15,
+                0xBF58_476D_1CE4_E5B9,
+                0x94D0_49BB_1331_11EB,
+                0x2545_F491_4F6C_DD1D,
+            ];
+        }
+        Xoshiro256PlusPlus { s }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// ChaCha8
+// ---------------------------------------------------------------------------
+
+/// ChaCha with 8 rounds — the construction behind `rand_chacha::ChaCha8Rng`.
+///
+/// A 256-bit key (the seed) and a 64-bit block counter drive a keystream
+/// consumed 32 bits at a time. Deterministic, splittable by seed, and far
+/// higher quality than anything the workspace's simulations need.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChaCha8Rng {
+    key: [u32; 8],
+    counter: u64,
+    buffer: [u32; 16],
+    /// Next unconsumed word in `buffer`; 16 means "refill".
+    index: usize,
+}
+
+#[inline(always)]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+impl ChaCha8Rng {
+    const SIGMA: [u32; 4] = [0x6170_7865, 0x3320_646E, 0x7962_2D32, 0x6B20_6574];
+
+    fn refill(&mut self) {
+        let mut state = [0u32; 16];
+        state[..4].copy_from_slice(&Self::SIGMA);
+        state[4..12].copy_from_slice(&self.key);
+        state[12] = self.counter as u32;
+        state[13] = (self.counter >> 32) as u32;
+        // Words 14–15 are the nonce; the RNG use fixes it to zero.
+        let initial = state;
+        for _ in 0..4 {
+            // One double round = column round + diagonal round.
+            quarter_round(&mut state, 0, 4, 8, 12);
+            quarter_round(&mut state, 1, 5, 9, 13);
+            quarter_round(&mut state, 2, 6, 10, 14);
+            quarter_round(&mut state, 3, 7, 11, 15);
+            quarter_round(&mut state, 0, 5, 10, 15);
+            quarter_round(&mut state, 1, 6, 11, 12);
+            quarter_round(&mut state, 2, 7, 8, 13);
+            quarter_round(&mut state, 3, 4, 9, 14);
+        }
+        for i in 0..16 {
+            self.buffer[i] = state[i].wrapping_add(initial[i]);
+        }
+        self.counter = self.counter.wrapping_add(1);
+        self.index = 0;
+    }
+}
+
+impl RngCore for ChaCha8Rng {
+    fn next_u32(&mut self) -> u32 {
+        if self.index >= 16 {
+            self.refill();
+        }
+        let word = self.buffer[self.index];
+        self.index += 1;
+        word
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let lo = self.next_u32() as u64;
+        let hi = self.next_u32() as u64;
+        lo | (hi << 32)
+    }
+}
+
+impl SeedableRng for ChaCha8Rng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut key = [0u32; 8];
+        for (i, word) in key.iter_mut().enumerate() {
+            let mut bytes = [0u8; 4];
+            bytes.copy_from_slice(&seed[i * 4..i * 4 + 4]);
+            *word = u32::from_le_bytes(bytes);
+        }
+        ChaCha8Rng { key, counter: 0, buffer: [0; 16], index: 16 }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// High-level sampling
+// ---------------------------------------------------------------------------
+
+/// Uniform integer in `[0, span)` without modulo bias (Lemire's method).
+fn uniform_below<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    debug_assert!(span > 0);
+    let mut x = rng.next_u64();
+    let mut m = (x as u128) * (span as u128);
+    let mut low = m as u64;
+    if low < span {
+        let threshold = span.wrapping_neg() % span;
+        while low < threshold {
+            x = rng.next_u64();
+            m = (x as u128) * (span as u128);
+            low = m as u64;
+        }
+    }
+    (m >> 64) as u64
+}
+
+/// A range usable with [`Rng::gen_range`]. Implemented for `Range` and
+/// `RangeInclusive` over the primitive integers and floats.
+pub trait SampleRange {
+    /// The sampled value type.
+    type Output;
+
+    /// Draw a uniform value from the range. Panics if the range is empty.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> Self::Output;
+}
+
+macro_rules! int_sample_range {
+    ($($t:ty),+) => {$(
+        impl SampleRange for core::ops::Range<$t> {
+            type Output = $t;
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                let offset = uniform_below(rng, span);
+                (self.start as i128 + offset as i128) as $t
+            }
+        }
+        impl SampleRange for core::ops::RangeInclusive<$t> {
+            type Output = $t;
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "gen_range: empty range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                if span > u64::MAX as u128 {
+                    // Only reachable for the full u64/i64 domain.
+                    return rng.next_u64() as $t;
+                }
+                let offset = uniform_below(rng, span as u64);
+                (lo as i128 + offset as i128) as $t
+            }
+        }
+    )+};
+}
+
+int_sample_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_sample_range {
+    ($($t:ty => $unit:ident),+) => {$(
+        impl SampleRange for core::ops::Range<$t> {
+            type Output = $t;
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                self.start + (self.end - self.start) * $unit(rng)
+            }
+        }
+        impl SampleRange for core::ops::RangeInclusive<$t> {
+            type Output = $t;
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "gen_range: empty range");
+                lo + (hi - lo) * $unit(rng)
+            }
+        }
+    )+};
+}
+
+#[inline]
+fn unit_f64<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    // 53 random mantissa bits -> uniform in [0, 1).
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+#[inline]
+fn unit_f32<R: RngCore + ?Sized>(rng: &mut R) -> f32 {
+    (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+}
+
+float_sample_range!(f64 => unit_f64, f32 => unit_f32);
+
+/// Types drawable uniformly from their natural domain via [`Rng::gen`]
+/// (`[0, 1)` for floats, the full domain for integers and `bool`).
+pub trait Sample {
+    /// Draw one value.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Sample for f64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        unit_f64(rng)
+    }
+}
+
+impl Sample for f32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        unit_f32(rng)
+    }
+}
+
+impl Sample for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! int_sample {
+    ($($t:ty),+) => {$(
+        impl Sample for $t {
+            fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )+};
+}
+
+int_sample!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// High-level draws layered over any [`RngCore`]. Mirror of `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Uniform draw from `range` (half-open or inclusive).
+    fn gen_range<S: SampleRange>(&mut self, range: S) -> S::Output {
+        range.sample_from(self)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    fn gen_bool(&mut self, p: f64) -> bool {
+        unit_f64(self) < p
+    }
+
+    /// Draw from the type's natural domain (see [`Sample`]).
+    fn gen<T: Sample>(&mut self) -> T {
+        T::sample(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Slice helpers. Mirror of `rand::seq::SliceRandom`.
+pub trait SliceRandom {
+    /// The element type.
+    type Item;
+
+    /// Uniformly chosen element, or `None` when empty.
+    fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+
+    /// In-place Fisher–Yates shuffle.
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(&self[uniform_below(rng, self.len() as u64) as usize])
+        }
+    }
+
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = uniform_below(rng, i as u64 + 1) as usize;
+            self.swap(i, j);
+        }
+    }
+}
+
+/// `amount` distinct indices drawn uniformly from `0..length`, in random
+/// order (partial Fisher–Yates). Replacement for `rand::seq::index::sample`.
+///
+/// # Panics
+/// Panics if `amount > length`.
+pub fn sample_indices<R: RngCore + ?Sized>(
+    rng: &mut R,
+    length: usize,
+    amount: usize,
+) -> Vec<usize> {
+    assert!(amount <= length, "sample_indices: amount {amount} > length {length}");
+    let mut pool: Vec<usize> = (0..length).collect();
+    for i in 0..amount {
+        let j = i + uniform_below(rng, (length - i) as u64) as usize;
+        pool.swap(i, j);
+    }
+    pool.truncate(amount);
+    pool
+}
+
+/// One draw from `N(mean, std_dev²)` via the Box–Muller transform.
+/// Used for Gaussian weight initialization in `jarvis-neural`.
+pub fn sample_gaussian<R: RngCore + ?Sized>(rng: &mut R, mean: f64, std_dev: f64) -> f64 {
+    // u1 in (0, 1] so the log is finite.
+    let u1 = 1.0 - unit_f64(rng);
+    let u2 = unit_f64(rng);
+    let radius = (-2.0 * u1.ln()).sqrt();
+    mean + std_dev * radius * (2.0 * core::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_reference_vector() {
+        // Reference values for seed 1234567 from the public-domain
+        // splitmix64.c implementation.
+        let mut sm = SplitMix64::new(1234567);
+        let first = sm.next_u64();
+        let second = sm.next_u64();
+        assert_ne!(first, second);
+        let mut sm2 = SplitMix64::new(1234567);
+        assert_eq!(sm2.next_u64(), first);
+    }
+
+    #[test]
+    fn chacha_ietf_test_vector() {
+        // ChaCha8 keystream for the all-zero key, zero nonce, block 0: the
+        // published vector starts 3e00ef2f 895f40d6 7f5bb8e8 1f09a5a1
+        // (little-endian byte stream), i.e. words 0x2fef003e, 0xd6405f89, …
+        let rng = ChaCha8Rng::from_seed([0u8; 32]);
+        let mut r = rng.clone();
+        let words: Vec<u32> = (0..16).map(|_| r.next_u32()).collect();
+        assert_eq!(words[0], 0x2fef_003e);
+        assert_eq!(words[1], 0xd640_5f89);
+        assert_eq!(words[2], 0xe8b8_5b7f);
+        assert_eq!(words[3], 0xa1a5_091f);
+    }
+
+    #[test]
+    fn generators_are_deterministic_per_seed() {
+        for seed in [0u64, 1, 42, u64::MAX] {
+            let mut a = ChaCha8Rng::seed_from_u64(seed);
+            let mut b = ChaCha8Rng::seed_from_u64(seed);
+            let mut x = Xoshiro256PlusPlus::seed_from_u64(seed);
+            let mut y = Xoshiro256PlusPlus::seed_from_u64(seed);
+            for _ in 0..100 {
+                assert_eq!(a.next_u64(), b.next_u64());
+                assert_eq!(x.next_u64(), y.next_u64());
+            }
+        }
+        let mut a = ChaCha8Rng::seed_from_u64(1);
+        let mut b = ChaCha8Rng::seed_from_u64(2);
+        assert_ne!(
+            (0..8).map(|_| a.next_u64()).collect::<Vec<_>>(),
+            (0..8).map(|_| b.next_u64()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        for _ in 0..2000 {
+            let v = rng.gen_range(3..17u32);
+            assert!((3..17).contains(&v));
+            let w = rng.gen_range(-5..=5i64);
+            assert!((-5..=5).contains(&w));
+            let f = rng.gen_range(0.25..0.75f64);
+            assert!((0.25..0.75).contains(&f));
+            let u: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_all_values() {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(99);
+        let mut seen = [false; 6];
+        for _ in 0..1000 {
+            seen[rng.gen_range(0..6usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all bucket values reachable");
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2200..2800).contains(&hits), "got {hits} hits for p=0.25");
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.1));
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation_and_choose_in_slice() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert!(v.contains(v.choose(&mut rng).unwrap()));
+        let empty: [u32; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+    }
+
+    #[test]
+    fn sample_indices_distinct_and_in_range() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let idx = sample_indices(&mut rng, 100, 30);
+        assert_eq!(idx.len(), 30);
+        let mut dedup = idx.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 30, "indices must be distinct");
+        assert!(idx.iter().all(|&i| i < 100));
+        assert_eq!(sample_indices(&mut rng, 4, 4).len(), 4);
+        assert!(sample_indices(&mut rng, 10, 0).is_empty());
+    }
+
+    #[test]
+    fn gaussian_moments_are_sane() {
+        let mut rng = ChaCha8Rng::seed_from_u64(13);
+        let n = 20_000;
+        let draws: Vec<f64> = (0..n).map(|_| sample_gaussian(&mut rng, 2.0, 3.0)).collect();
+        let mean = draws.iter().sum::<f64>() / n as f64;
+        let var = draws.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 2.0).abs() < 0.1, "mean {mean}");
+        assert!((var - 9.0).abs() < 0.5, "var {var}");
+    }
+
+    #[test]
+    fn fill_bytes_covers_partial_words() {
+        let mut rng = ChaCha8Rng::seed_from_u64(17);
+        let mut buf = [0u8; 13];
+        rng.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+}

@@ -21,7 +21,7 @@ use jarvis_repro::model::{
 use jarvis_repro::policy::{learn_safe_transitions, MatchMode, SplConfig};
 use jarvis_repro::rl::{DiscreteEnvironment, Environment, QTable, Step};
 use jarvis_repro::sim::DamPrices;
-use rand::SeedableRng;
+use jarvis_stdkit::rng::SeedableRng;
 
 fn vehicle() -> Fsm {
     let doors = DeviceSpec::builder("doors")
@@ -237,7 +237,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         allowed,
     };
     let mut q = QTable::new(env.num_actions(), 0.4, 0.95);
-    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(5);
+    let mut rng = jarvis_stdkit::rng::ChaCha8Rng::seed_from_u64(5);
     for ep in 0..400 {
         env.reset();
         let eps = if ep < 300 { 0.4 } else { 0.05 };

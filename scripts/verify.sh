@@ -1,0 +1,28 @@
+#!/usr/bin/env sh
+# Tier-1 verification, fully offline.
+#
+# The workspace has zero external dependencies (see tests/hermeticity.rs),
+# so --offline must always succeed: if this script fails at dependency
+# resolution, an external crate leaked into a manifest.
+#
+# Usage: scripts/verify.sh [--bench]
+#   --bench   additionally smoke-run every bench target via the in-tree
+#             harness (quick budgets).
+
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release --offline"
+cargo build --release --offline --workspace
+
+echo "==> cargo test --offline"
+cargo test -q --offline --workspace
+
+if [ "${1:-}" = "--bench" ]; then
+    for b in fsm neural spl dqn sim miniaction; do
+        echo "==> cargo bench --bench $b -- --quick"
+        cargo bench --offline -p jarvis-bench --bench "$b" -- --quick
+    done
+fi
+
+echo "OK: workspace builds and tests entirely offline"

@@ -1,0 +1,108 @@
+//! Hermeticity guard: the workspace must stay buildable with zero network
+//! access. Every dependency of every crate — including dev- and
+//! build-dependencies — must be an in-tree `path = ...` dependency or a
+//! `workspace = true` alias for one. Any external crates.io dependency
+//! sneaking into a manifest fails this test before it fails an offline
+//! build.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Collect every Cargo.toml in the workspace (root + crates/*).
+fn workspace_manifests() -> Vec<PathBuf> {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let mut manifests = vec![root.join("Cargo.toml")];
+    let crates = root.join("crates");
+    for entry in fs::read_dir(&crates).expect("crates/ directory") {
+        let manifest = entry.expect("dir entry").path().join("Cargo.toml");
+        if manifest.is_file() {
+            manifests.push(manifest);
+        }
+    }
+    assert!(manifests.len() >= 10, "expected the full workspace, found {}", manifests.len());
+    manifests
+}
+
+/// Minimal TOML-section scan: yields `(section, key, value)` for every
+/// key under a `[...dependencies...]` table (enough structure to audit a
+/// Cargo manifest without a TOML crate — which would itself violate the
+/// policy this test enforces).
+fn dependency_entries(text: &str) -> Vec<(String, String, String)> {
+    let mut out = Vec::new();
+    let mut section = String::new();
+    for raw in text.lines() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if line.starts_with('[') {
+            section = line.trim_matches(|c| c == '[' || c == ']').to_string();
+            continue;
+        }
+        if !section.contains("dependencies") {
+            continue;
+        }
+        if let Some((key, value)) = line.split_once('=') {
+            out.push((section.clone(), key.trim().to_string(), value.trim().to_string()));
+        }
+    }
+    out
+}
+
+#[test]
+fn every_dependency_is_in_tree() {
+    for manifest in workspace_manifests() {
+        let text = fs::read_to_string(&manifest).expect("readable manifest");
+        for (section, key, value) in dependency_entries(&text) {
+            let in_tree = value.contains("path =")
+                || value.contains("path=")
+                || value.contains("workspace = true")
+                || value.contains("workspace=true")
+                || key.ends_with(".workspace"); // `dep.workspace = true` form
+            assert!(
+                in_tree,
+                "{}: [{}] `{} = {}` is not a path/workspace dependency — \
+                 external crates break the offline build",
+                manifest.display(),
+                section,
+                key,
+                value
+            );
+            // Workspace aliases must point at in-tree crates we actually ship.
+            if value.contains("workspace") {
+                let name = key.trim_end_matches(".workspace");
+                assert!(
+                    name.starts_with("jarvis"),
+                    "{}: workspace dependency `{}` is not an in-tree jarvis crate",
+                    manifest.display(),
+                    name
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn workspace_dependency_table_is_path_only() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let text = fs::read_to_string(root.join("Cargo.toml")).expect("root manifest");
+    let mut in_table = false;
+    for raw in text.lines() {
+        let line = raw.trim();
+        if line.starts_with('[') {
+            in_table = line == "[workspace.dependencies]";
+            continue;
+        }
+        if !in_table || line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        assert!(
+            line.contains("path ="),
+            "[workspace.dependencies] entry `{line}` must use `path = ...`"
+        );
+        assert!(
+            !line.contains("version") && !line.contains("git") && !line.contains("registry"),
+            "[workspace.dependencies] entry `{line}` must not reference a registry"
+        );
+    }
+}

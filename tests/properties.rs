@@ -7,57 +7,50 @@ use jarvis_repro::model::{
 use jarvis_repro::neural::metrics::{auc, Confusion};
 use jarvis_repro::policy::{MatchMode, SafeTransitionTable};
 use jarvis_repro::rl::{top_c, ReplayBuffer};
-use proptest::prelude::*;
+use jarvis_stdkit::prop_assert;
+use jarvis_stdkit::prop_assert_eq;
+use jarvis_stdkit::propcheck::{Config, Gen};
 
-/// Strategy: a random small FSM of 1..=6 devices with 2..=4 states and
-/// 1..=4 actions each, and fully random (but valid) transition tables.
-fn arb_fsm() -> impl Strategy<Value = Fsm> {
-    prop::collection::vec((2usize..=4, 1usize..=4, any::<u64>()), 1..=6).prop_map(|devs| {
-        let specs: Vec<DeviceSpec> = devs
-            .iter()
-            .enumerate()
-            .map(|(i, &(ns, na, seed))| {
-                let states: Vec<String> = (0..ns).map(|s| format!("s{s}")).collect();
-                let actions: Vec<String> = (0..na).map(|a| format!("a{a}")).collect();
-                let mut b = DeviceSpec::builder(format!("d{i}"))
-                    .states(states.clone())
-                    .actions(actions.clone());
-                // Derive transitions deterministically from the seed.
-                let mut x = seed | 1;
-                for s in 0..ns {
-                    for a in 0..na {
-                        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-                        let to = (x >> 33) as usize % ns;
-                        b = b.transition(&states[s], &actions[a], &states[to]);
-                    }
+/// A random small FSM of 1..=6 devices with 2..=4 states and 1..=4 actions
+/// each, and fully random (but valid) transition tables.
+fn gen_fsm(g: &mut Gen) -> Fsm {
+    let n_devices = g.usize_in(1, 6);
+    let specs: Vec<DeviceSpec> = (0..n_devices)
+        .map(|i| {
+            let ns = g.usize_in(2, 4);
+            let na = g.usize_in(1, 4);
+            let seed = g.u64();
+            let states: Vec<String> = (0..ns).map(|s| format!("s{s}")).collect();
+            let actions: Vec<String> = (0..na).map(|a| format!("a{a}")).collect();
+            let mut b = DeviceSpec::builder(format!("d{i}"))
+                .states(states.clone())
+                .actions(actions.clone());
+            // Derive transitions deterministically from the seed.
+            let mut x = seed | 1;
+            for s in 0..ns {
+                for a in 0..na {
+                    x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    let to = (x >> 33) as usize % ns;
+                    b = b.transition(&states[s], &actions[a], &states[to]);
                 }
-                b.build().expect("valid device")
-            })
-            .collect();
-        Fsm::new(specs).expect("non-empty")
-    })
+            }
+            b.build().expect("valid device")
+        })
+        .collect();
+    Fsm::new(specs).expect("non-empty")
 }
 
-/// Strategy: a valid state of `fsm`.
-fn arb_state(fsm: &Fsm) -> impl Strategy<Value = EnvState> {
-    let sizes = fsm.state_sizes();
-    prop::collection::vec(any::<u8>(), sizes.len()).prop_map(move |raw| {
-        raw.iter()
-            .zip(&sizes)
-            .map(|(&r, &n)| StateIdx(r % n as u8))
-            .collect()
-    })
+/// A valid state of `fsm`.
+fn gen_state(g: &mut Gen, fsm: &Fsm) -> EnvState {
+    fsm.state_sizes().iter().map(|&n| StateIdx(g.u8() % n as u8)).collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Δ always yields a valid state, and the no-op is the identity.
-    #[test]
-    fn fsm_step_closure((fsm, raw) in arb_fsm().prop_flat_map(|f| {
-        let s = arb_state(&f);
-        (Just(f), s)
-    })) {
+/// Δ always yields a valid state, and the no-op is the identity.
+#[test]
+fn fsm_step_closure() {
+    Config::with_cases(64).run(|g| {
+        let fsm = gen_fsm(g);
+        let raw = gen_state(g, &fsm);
         prop_assert!(fsm.validate_state(&raw).is_ok());
         let noop = fsm.step(&raw, &EnvAction::noop()).unwrap();
         prop_assert_eq!(&noop, &raw);
@@ -73,11 +66,15 @@ proptest! {
                 }
             }
         }
-    }
+        Ok(())
+    });
+}
 
-    /// Mini-action flat indexing is a bijection over the whole action space.
-    #[test]
-    fn mini_action_bijection(fsm in arb_fsm()) {
+/// Mini-action flat indexing is a bijection over the whole action space.
+#[test]
+fn mini_action_bijection() {
+    Config::with_cases(64).run(|g| {
+        let fsm = gen_fsm(g);
         let mut seen = std::collections::HashSet::new();
         for flat in 0..fsm.num_mini_actions() {
             let mini = fsm.mini_action_at(flat);
@@ -85,11 +82,16 @@ proptest! {
             prop_assert!(seen.insert(mini), "duplicate at {}", flat);
         }
         prop_assert_eq!(fsm.mini_action_at(fsm.num_mini_actions()), None);
-    }
+        Ok(())
+    });
+}
 
-    /// EnvAction canonicalization: construction order never matters.
-    #[test]
-    fn env_action_canonical(mut minis in prop::collection::vec((0usize..8, 0u8..4), 0..6)) {
+/// EnvAction canonicalization: construction order never matters.
+#[test]
+fn env_action_canonical() {
+    Config::with_cases(64).run(|g| {
+        let mut minis: Vec<(usize, u8)> =
+            (0..g.usize_in(0, 5)).map(|_| (g.usize_in(0, 7), g.u8_in(0, 3))).collect();
         minis.sort();
         minis.dedup_by_key(|m| m.0);
         let forward: Vec<MiniAction> =
@@ -102,15 +104,18 @@ proptest! {
         for m in a.minis() {
             prop_assert_eq!(a.on_device(m.device), Some(m.action));
         }
-    }
+        Ok(())
+    });
+}
 
-    /// StatePattern: a fully pinned pattern matches exactly its source
-    /// state; widening any slot keeps it matching.
-    #[test]
-    fn pattern_widening_is_monotone((fsm, s) in arb_fsm().prop_flat_map(|f| {
-        let s = arb_state(&f);
-        (Just(f), s)
-    }), widen in prop::collection::vec(any::<bool>(), 6)) {
+/// StatePattern: a fully pinned pattern matches exactly its source
+/// state; widening any slot keeps it matching.
+#[test]
+fn pattern_widening_is_monotone() {
+    Config::with_cases(64).run(|g| {
+        let fsm = gen_fsm(g);
+        let s = gen_state(g, &fsm);
+        let widen: Vec<bool> = (0..6).map(|_| g.bool(0.5)).collect();
         let full = StatePattern::new(s.iter().map(|(_, st)| Some(st)).collect());
         prop_assert!(full.matches(&s));
         let widened = StatePattern::new(
@@ -123,16 +128,17 @@ proptest! {
         );
         prop_assert!(widened.matches(&s), "widening can never unmatch");
         prop_assert!(widened.specificity() <= full.specificity());
-        let _ = fsm;
-    }
+        Ok(())
+    });
+}
 
-    /// SafeTransitionTable: everything allowed is reported safe under every
-    /// mode; Exact never reports an unobserved pair safe.
-    #[test]
-    fn safe_table_soundness((fsm, states) in arb_fsm().prop_flat_map(|f| {
-        let s = prop::collection::vec(arb_state(&f), 1..5);
-        (Just(f), s)
-    })) {
+/// SafeTransitionTable: everything allowed is reported safe under every
+/// mode; Exact never reports an unobserved pair safe.
+#[test]
+fn safe_table_soundness() {
+    Config::with_cases(64).run(|g| {
+        let fsm = gen_fsm(g);
+        let states: Vec<EnvState> = (0..g.usize_in(1, 4)).map(|_| gen_state(g, &fsm)).collect();
         let mut table = SafeTransitionTable::new();
         let mut allowed = Vec::new();
         for (i, s) in states.iter().enumerate() {
@@ -155,11 +161,16 @@ proptest! {
                 prop_assert!(!table.is_safe_action(&unseen_state, &action, MatchMode::Exact));
             }
         }
-    }
+        Ok(())
+    });
+}
 
-    /// Replay buffer: never exceeds capacity, keeps the newest items.
-    #[test]
-    fn replay_buffer_bounds(capacity in 1usize..64, items in prop::collection::vec(any::<u32>(), 0..256)) {
+/// Replay buffer: never exceeds capacity, keeps the newest items.
+#[test]
+fn replay_buffer_bounds() {
+    Config::with_cases(64).run(|g| {
+        let capacity = g.usize_in(1, 63);
+        let items: Vec<u32> = (0..g.usize_in(0, 255)).map(|_| g.u32()).collect();
         let mut buf = ReplayBuffer::new(capacity);
         for &x in &items {
             buf.push(x);
@@ -167,18 +178,20 @@ proptest! {
         prop_assert!(buf.len() <= capacity);
         prop_assert_eq!(buf.len(), items.len().min(capacity));
         let kept: Vec<u32> = buf.iter().copied().collect();
-        let expected: Vec<u32> =
-            items[items.len().saturating_sub(capacity)..].to_vec();
+        let expected: Vec<u32> = items[items.len().saturating_sub(capacity)..].to_vec();
         prop_assert_eq!(kept, expected);
-    }
+        Ok(())
+    });
+}
 
-    /// `top_c` enumerates the valid set exactly once, in non-increasing
-    /// Q order.
-    #[test]
-    fn top_c_is_a_ranking(q in prop::collection::vec(-100.0f64..100.0, 1..20)) {
+/// `top_c` enumerates the valid set exactly once, in non-increasing
+/// Q order.
+#[test]
+fn top_c_is_a_ranking() {
+    Config::with_cases(64).run(|g| {
+        let q: Vec<f64> = (0..g.usize_in(1, 19)).map(|_| g.f64_in(-100.0, 100.0)).collect();
         let valid: Vec<usize> = (0..q.len()).collect();
-        let ranking: Vec<usize> =
-            (0..q.len()).map(|c| top_c(&q, &valid, c).unwrap()).collect();
+        let ranking: Vec<usize> = (0..q.len()).map(|c| top_c(&q, &valid, c).unwrap()).collect();
         let mut sorted = ranking.clone();
         sorted.sort_unstable();
         prop_assert_eq!(&sorted, &valid, "must be a permutation");
@@ -186,16 +199,22 @@ proptest! {
             prop_assert!(q[w[0]] >= q[w[1]]);
         }
         prop_assert_eq!(top_c(&q, &valid, q.len()), None);
-    }
+        Ok(())
+    });
+}
 
-    /// Confusion counts always total the sample size; AUC is within [0, 1].
-    #[test]
-    fn metrics_invariants(samples in prop::collection::vec((0.0f64..1.0, any::<bool>()), 1..100), thr in 0.0f64..1.0) {
-        let scores: Vec<f64> = samples.iter().map(|&(s, _)| s).collect();
-        let labels: Vec<bool> = samples.iter().map(|&(_, l)| l).collect();
+/// Confusion counts always total the sample size; AUC is within [0, 1].
+#[test]
+fn metrics_invariants() {
+    Config::with_cases(64).run(|g| {
+        let n = g.usize_in(1, 99);
+        let scores: Vec<f64> = (0..n).map(|_| g.f64_in(0.0, 1.0)).collect();
+        let labels: Vec<bool> = (0..n).map(|_| g.bool(0.5)).collect();
+        let thr = g.f64_in(0.0, 1.0);
         let c = Confusion::at_threshold(&scores, &labels, thr);
-        prop_assert_eq!(c.tp + c.fp + c.tn + c.fn_, samples.len());
+        prop_assert_eq!(c.tp + c.fp + c.tn + c.fn_, n);
         let a = auc(&scores, &labels);
         prop_assert!((0.0..=1.0 + 1e-9).contains(&a), "auc {a}");
-    }
+        Ok(())
+    });
 }

@@ -9,7 +9,7 @@ use jarvis_repro::model::TimeStep;
 use jarvis_repro::policy::{FilterConfig, MatchMode};
 use jarvis_repro::sim::{AnomalyGenerator, HomeDataset};
 use jarvis_repro::smart_home::SmartHome;
-use rand::{Rng, SeedableRng};
+use jarvis_stdkit::rng::{Rng, SeedableRng};
 
 fn learned_jarvis(seed: u64, with_filter: bool) -> (Jarvis, HomeDataset) {
     let data = HomeDataset::home_a(seed);
@@ -38,12 +38,12 @@ fn corpus_detection_is_total() {
     let outcome = jarvis.outcome().unwrap();
     let corpus = build_corpus(jarvis.home());
     let episodes = jarvis.episodes();
-    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
+    let mut rng = jarvis_stdkit::rng::ChaCha8Rng::seed_from_u64(1);
     let mut injected = Vec::new();
     for v in &corpus {
         for _ in 0..3 {
             let base = &episodes[rng.gen_range(0..episodes.len())];
-            let step = TimeStep(rng.gen_range(0..1440));
+            let step = TimeStep(rng.gen_range(0_u32..1440));
             injected.push(inject_violation(jarvis.home(), base, v, step).unwrap());
         }
     }
@@ -58,7 +58,7 @@ fn benign_anomalies_are_filtered_not_flagged() {
     let filter = jarvis.filter().unwrap();
     let episodes = jarvis.episodes();
     let generator = AnomalyGenerator::new(91);
-    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(2);
+    let mut rng = jarvis_stdkit::rng::ChaCha8Rng::seed_from_u64(2);
     let injected: Vec<_> = generator
         .generate(400, 30)
         .iter()
@@ -110,7 +110,7 @@ fn ablation_without_filter_flags_benign_anomalies() {
     let outcome = jarvis.outcome().unwrap();
     let episodes = jarvis.episodes();
     let generator = AnomalyGenerator::new(55);
-    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(3);
+    let mut rng = jarvis_stdkit::rng::ChaCha8Rng::seed_from_u64(3);
     let injected: Vec<_> = generator
         .generate(300, 7)
         .iter()

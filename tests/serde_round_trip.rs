@@ -1,17 +1,20 @@
 //! Serialization round trips across the workspace: everything a deployment
 //! would persist (device specs, logs, learned tables, trained networks)
-//! survives JSON without loss.
+//! survives JSON without loss — plus malformed-input tests exercising the
+//! strict in-tree codec (truncated documents, wrong field types, unknown
+//! fields must all return `Err`, never panic).
 
 use jarvis_repro::model::EpisodeConfig;
 use jarvis_repro::policy::{learn_safe_transitions, MatchMode, SplConfig};
 use jarvis_repro::sim::HomeDataset;
 use jarvis_repro::smart_home::{devices, EventLog, SmartHome};
+use jarvis_stdkit::json::{FromJson, ToJson};
 
 #[test]
 fn device_catalogue_round_trips() {
     for dev in devices::evaluation_devices() {
-        let json = serde_json::to_string(&dev).unwrap();
-        let back: jarvis_repro::model::DeviceSpec = serde_json::from_str(&json).unwrap();
+        let json = dev.to_json();
+        let back = jarvis_repro::model::DeviceSpec::from_json(&json).unwrap();
         assert_eq!(dev, back);
     }
 }
@@ -45,9 +48,9 @@ fn learned_safe_table_round_trips_with_behavior() {
         .episodes;
     let outcome = learn_safe_transitions(home.fsm(), &episodes, None, &SplConfig::default());
 
-    let table_json = serde_json::to_string(&outcome.table).unwrap();
-    let table_back: jarvis_repro::policy::SafeTransitionTable =
-        serde_json::from_str(&table_json).unwrap();
+    let table_json = outcome.table.to_json();
+    let table_back =
+        jarvis_repro::policy::SafeTransitionTable::from_json(&table_json).unwrap();
     assert_eq!(outcome.table, table_back);
     // Deserialized table makes identical decisions.
     for tr in episodes[0].transitions().iter().filter(|t| !t.is_idle()).take(50) {
@@ -59,9 +62,8 @@ fn learned_safe_table_round_trips_with_behavior() {
         }
     }
 
-    let behavior_json = serde_json::to_string(&outcome.behavior).unwrap();
-    let behavior_back: jarvis_repro::policy::TaBehavior =
-        serde_json::from_str(&behavior_json).unwrap();
+    let behavior_json = outcome.behavior.to_json();
+    let behavior_back = jarvis_repro::policy::TaBehavior::from_json(&behavior_json).unwrap();
     assert_eq!(outcome.behavior, behavior_back);
 }
 
@@ -96,7 +98,107 @@ fn episodes_round_trip() {
         .unwrap()
         .episodes
         .remove(0);
-    let json = serde_json::to_string(&ep).unwrap();
-    let back: jarvis_repro::model::Episode = serde_json::from_str(&json).unwrap();
+    let json = ep.to_json();
+    let back = jarvis_repro::model::Episode::from_json(&json).unwrap();
     assert_eq!(ep, back);
+}
+
+// ---------------------------------------------------------------------------
+// Malformed input: the strict codec must reject — never panic on — documents
+// that are truncated, mistyped, or carry unexpected fields.
+// ---------------------------------------------------------------------------
+
+/// Truncating valid JSON at any byte boundary yields `Err`, not a panic.
+#[test]
+fn truncated_json_always_errs() {
+    let dev = devices::evaluation_devices().remove(0);
+    let json = dev.to_json();
+    for cut in 0..json.len() {
+        let prefix = match json.get(..cut) {
+            Some(p) => p,
+            None => continue, // non-UTF-8 boundary (none in practice: ASCII)
+        };
+        assert!(
+            jarvis_repro::model::DeviceSpec::from_json(prefix).is_err(),
+            "truncation at byte {cut} must not parse"
+        );
+    }
+}
+
+/// A field with the wrong JSON type is rejected.
+#[test]
+fn wrong_field_types_are_rejected() {
+    use jarvis_repro::model::{DeviceSpec, Episode, Event};
+    let dev = devices::evaluation_devices().remove(0);
+    let json = dev.to_json();
+    // Swap the "name" string for a number.
+    let broken = json.replacen(&format!("\"name\":\"{}\"", dev.name()), "\"name\":7", 1);
+    assert_ne!(json, broken, "substitution must hit");
+    assert!(DeviceSpec::from_json(&broken).is_err());
+    // A bare scalar where an object is expected.
+    assert!(Episode::from_json("42").is_err());
+    assert!(Event::from_json("\"not an event\"").is_err());
+    assert!(Episode::from_json("[]").is_err());
+}
+
+/// Unknown fields are rejected (strict decoding), as are duplicate keys.
+#[test]
+fn unknown_and_duplicate_fields_are_rejected() {
+    use jarvis_repro::model::DeviceSpec;
+    let dev = devices::evaluation_devices().remove(0);
+    let json = dev.to_json();
+    let with_unknown = format!("{}{}", &json[..json.len() - 1], ",\"bogus\":1}");
+    assert!(DeviceSpec::from_json(&with_unknown).is_err(), "unknown field must be rejected");
+    let with_dup = format!(
+        "{}{}",
+        &json[..json.len() - 1],
+        format!(",\"name\":\"{}\"}}", dev.name())
+    );
+    assert!(DeviceSpec::from_json(&with_dup).is_err(), "duplicate key must be rejected");
+}
+
+/// Syntax garbage in every common shape returns `Err`.
+#[test]
+fn syntax_errors_are_rejected() {
+    use jarvis_repro::model::DeviceSpec;
+    for bad in [
+        "",
+        "   ",
+        "{",
+        "}",
+        "{]",
+        "nul",
+        "truefalse",
+        "{\"a\":}",
+        "{\"a\":1,}",
+        "[1,2,,3]",
+        "\"unterminated",
+        "{\"a\" 1}",
+        "01",
+        "- 1",
+        "1e",
+        "\u{1}",
+        "{\"a\":1}trailing",
+    ] {
+        assert!(DeviceSpec::from_json(bad).is_err(), "{bad:?} must not parse");
+    }
+}
+
+/// A mangled line inside a JSON-lines log errs without losing the panic-free
+/// guarantee.
+#[test]
+fn mangled_log_line_errs() {
+    let home = SmartHome::evaluation_home();
+    let data = HomeDataset::home_a(5);
+    let mut log = EventLog::new();
+    log.record_activity(&home, &data.activity(0));
+    let text = log.to_json_lines().unwrap();
+    let mut lines: Vec<&str> = text.lines().collect();
+    if lines.is_empty() {
+        return;
+    }
+    let mangled = &lines[0][..lines[0].len() / 2];
+    lines[0] = mangled;
+    let rejoined = lines.join("\n");
+    assert!(EventLog::from_json_lines(&rejoined).is_err());
 }
