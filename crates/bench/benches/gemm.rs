@@ -1,0 +1,184 @@
+//! GEMM kernel benchmark with a recorded baseline.
+//!
+//! Measures the naive reference kernels against the blocked (and blocked +
+//! threaded) kernels that now back every network forward/backward pass, and
+//! reports the speedup at each size.
+//!
+//! Beyond printing a table, this bench is the regression gate for
+//! `BENCH_neural.json`:
+//!
+//! * `--json <path>`  — write the measurements as a JSON baseline.
+//! * `--check <path>` — compare against a recorded baseline and exit
+//!   non-zero when any blocked kernel got more than 2× slower.
+//! * `--quick`        — 10× shorter budgets (used by `scripts/verify.sh`).
+
+use std::time::{Duration, Instant};
+
+use jarvis_neural::{Matrix, Parallelism};
+use jarvis_stdkit::json::Json;
+use jarvis_stdkit::rng::{ChaCha8Rng, Rng, SeedableRng};
+
+/// Sizes swept for square `m×k×n` products. 256 is the acceptance size;
+/// 64 sits at the parallel threshold, 128 in between.
+const SIZES: [usize; 3] = [64, 128, 256];
+
+/// Baselines only gate the kernels we ship; the naive reference is recorded
+/// for the speedup column but never fails the check.
+const CHECKED_PREFIXES: [&str; 2] = ["gemm/blocked", "gemm_t/blocked"];
+
+struct Measurement {
+    name: String,
+    median_ns: f64,
+    min_ns: f64,
+}
+
+/// Median/min per-call nanoseconds of `routine` over a wall-clock budget.
+fn measure<O>(budget: Duration, mut routine: impl FnMut() -> O) -> (f64, f64) {
+    // One untimed call to warm caches and page in buffers.
+    std::hint::black_box(routine());
+    let mut samples = Vec::new();
+    let start = Instant::now();
+    while start.elapsed() < budget || samples.len() < 3 {
+        let t0 = Instant::now();
+        std::hint::black_box(routine());
+        samples.push(t0.elapsed().as_secs_f64() * 1e9);
+    }
+    samples.sort_by(|a, b| a.total_cmp(b));
+    (samples[samples.len() / 2], samples[0])
+}
+
+fn random_matrix(rng: &mut ChaCha8Rng, rows: usize, cols: usize) -> Matrix {
+    Matrix::from_fn(rows, cols, |_, _| rng.gen_range(-1.0..1.0))
+}
+
+fn run_suite(budget: Duration) -> Vec<Measurement> {
+    let mut rng = ChaCha8Rng::seed_from_u64(42);
+    let mut results = Vec::new();
+    let mut record = |name: String, (median_ns, min_ns): (f64, f64)| {
+        println!("{name:<34} median {:10.1} µs  min {:10.1} µs", median_ns / 1e3, min_ns / 1e3);
+        results.push(Measurement { name, median_ns, min_ns });
+    };
+
+    for n in SIZES {
+        let a = random_matrix(&mut rng, n, n);
+        let b = random_matrix(&mut rng, n, n);
+        let bt = b.transpose();
+
+        let naive = measure(budget, || a.matmul_naive(&b).unwrap());
+        record(format!("gemm/naive/{n}"), naive);
+        let blocked = measure(budget, || a.matmul_with(&b, Parallelism::Single).unwrap());
+        record(format!("gemm/blocked/{n}"), blocked);
+        let threaded = measure(budget, || a.matmul_with(&b, Parallelism::Threads(4)).unwrap());
+        record(format!("gemm/blocked_t4/{n}"), threaded);
+        println!(
+            "{:<34} blocked {:.2}x  blocked+4t {:.2}x",
+            format!("gemm/speedup_vs_naive/{n}"),
+            naive.0 / blocked.0,
+            naive.0 / threaded.0,
+        );
+
+        let naive_t = measure(budget, || a.matmul_transpose_naive(&bt).unwrap());
+        record(format!("gemm_t/naive/{n}"), naive_t);
+        let blocked_t =
+            measure(budget, || a.matmul_transpose_with(&bt, Parallelism::Single).unwrap());
+        record(format!("gemm_t/blocked/{n}"), blocked_t);
+        let threaded_t =
+            measure(budget, || a.matmul_transpose_with(&bt, Parallelism::Threads(4)).unwrap());
+        record(format!("gemm_t/blocked_t4/{n}"), threaded_t);
+        println!(
+            "{:<34} blocked {:.2}x  blocked+4t {:.2}x",
+            format!("gemm_t/speedup_vs_naive/{n}"),
+            naive_t.0 / blocked_t.0,
+            naive_t.0 / threaded_t.0,
+        );
+    }
+    results
+}
+
+fn to_json(results: &[Measurement]) -> String {
+    let entries: Vec<Json> = results
+        .iter()
+        .map(|m| {
+            Json::Obj(vec![
+                ("name".into(), Json::Str(m.name.clone())),
+                ("median_ns".into(), Json::Float(m.median_ns)),
+                ("min_ns".into(), Json::Float(m.min_ns)),
+            ])
+        })
+        .collect();
+    Json::Obj(vec![
+        ("schema".into(), Json::Str("jarvis-gemm-bench-v1".into())),
+        ("results".into(), Json::Arr(entries)),
+    ])
+    .to_string()
+}
+
+/// Compare `results` against a recorded baseline; returns the names of the
+/// gated kernels that regressed more than 2×.
+fn regressions(results: &[Measurement], baseline: &Json) -> Vec<String> {
+    let recorded = baseline
+        .get("results")
+        .and_then(Json::as_array)
+        .expect("baseline has a results array");
+    let mut failed = Vec::new();
+    for m in results {
+        if !CHECKED_PREFIXES.iter().any(|p| m.name.starts_with(p)) {
+            continue;
+        }
+        let Some(old) = recorded.iter().find(|r| {
+            r.get("name").and_then(Json::as_str) == Some(m.name.as_str())
+        }) else {
+            continue; // new benchmark, nothing recorded yet
+        };
+        let old_median = old.get("median_ns").and_then(Json::as_f64).expect("median_ns");
+        if m.median_ns > 2.0 * old_median {
+            failed.push(format!(
+                "{}: {:.1} µs vs recorded {:.1} µs ({:.2}x)",
+                m.name,
+                m.median_ns / 1e3,
+                old_median / 1e3,
+                m.median_ns / old_median
+            ));
+        }
+    }
+    failed
+}
+
+fn main() {
+    let mut quick = false;
+    let mut json_out: Option<String> = None;
+    let mut check: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--json" => json_out = Some(args.next().expect("--json needs a path")),
+            "--check" => check = Some(args.next().expect("--check needs a path")),
+            // Ignore cargo-bench plumbing flags.
+            "--bench" | "--test" => {}
+            other => eprintln!("ignoring unknown argument {other:?}"),
+        }
+    }
+    let budget = if quick { Duration::from_millis(30) } else { Duration::from_millis(300) };
+
+    let results = run_suite(budget);
+
+    if let Some(path) = json_out {
+        std::fs::write(&path, to_json(&results) + "\n").expect("write baseline");
+        println!("wrote baseline to {path}");
+    }
+    if let Some(path) = check {
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
+        let baseline = Json::parse(&text).expect("baseline parses");
+        let failed = regressions(&results, &baseline);
+        if !failed.is_empty() {
+            eprintln!("GEMM kernels regressed >2x vs {path}:");
+            for f in &failed {
+                eprintln!("  {f}");
+            }
+            std::process::exit(1);
+        }
+        println!("all gated kernels within 2x of {path}");
+    }
+}

@@ -9,7 +9,7 @@
 
 use crate::env::HomeRlEnv;
 use crate::error::JarvisError;
-use jarvis_rl::{DqnAgent, DqnConfig, Environment, EpsilonSchedule, Experience};
+use jarvis_rl::{DqnAgent, DqnConfig, Environment, EpsilonSchedule, Experience, Parallelism};
 use crate::analysis::DayMetrics;
 
 /// Configuration of the optimizer run (the inputs of Algorithm 2).
@@ -34,6 +34,9 @@ pub struct OptimizerConfig {
     pub replay_every: usize,
     /// RNG seed.
     pub seed: u64,
+    /// Kernel worker fan-out for the DNN (`JARVIS_THREADS` honoured under
+    /// [`Parallelism::Auto`]). Bit-identical results at every setting.
+    pub parallelism: Parallelism,
 }
 
 impl Default for OptimizerConfig {
@@ -48,6 +51,7 @@ impl Default for OptimizerConfig {
             schedule: EpsilonSchedule::new(1.0, 0.05, 0.9, f64::INFINITY),
             replay_every: 8,
             seed: 0,
+            parallelism: Parallelism::Single,
         }
     }
 }
@@ -126,6 +130,7 @@ impl Optimizer {
             target_sync_every: None,
             double_dqn: false,
             seed: config.seed,
+            parallelism: config.parallelism,
         };
         Ok(Optimizer { agent: DqnAgent::new(dqn)?, config })
     }

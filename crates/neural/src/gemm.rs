@@ -1,0 +1,488 @@
+//! Cache-blocked, register-tiled, optionally row-parallel GEMM kernels.
+//!
+//! Every Jarvis training step — the DQN `Replay(BSize)` of Algorithm 2 and
+//! the ANN anomaly filter of Algorithm 1 — bottoms out in the two products
+//! this module computes:
+//!
+//! * `C = A · B` ([`matmul`]) — the backward pass (`δᵀ·X`, `δ·W`), and
+//! * `C = A · Bᵀ` ([`matmul_transpose`]) — the forward pass (`X·Wᵀ`).
+//!
+//! # Kernel layout
+//!
+//! Both kernels compute each output element as a **single accumulator
+//! updated in ascending-`k` order**, exactly like the retained naive
+//! references ([`matmul_naive`], [`matmul_transpose_naive`]). Speed comes
+//! from *register tiling*, not from reassociating the reduction:
+//!
+//! * `matmul` processes an `MR × NR` (3 × 8) tile of `C` per micro-kernel
+//!   invocation. The `NR`-wide strips of `B` are contiguous, so the inner
+//!   loop vectorizes, and the 24 accumulators live in registers for the
+//!   whole `k` sweep — eliminating the per-`k` load/store traffic on the
+//!   output row that bounds the naive i-k-j loop. (3 × 8 is deliberate:
+//!   the tile's 12 accumulator vectors plus operands fit the 16-register
+//!   SSE2 file; a 4 × 8 tile spills every iteration.)
+//! * `matmul_transpose` packs each `NR_T`-row panel of `B` into an
+//!   interleaved `k × NR_T` buffer, turning the naive kernel's single
+//!   latency-bound dot-product chain per output (with strided `B` access)
+//!   into the same broadcast-times-contiguous-strip shape as `matmul` —
+//!   `MR × NR_T` independent chains that vectorize. Packing only moves
+//!   values; no chain's order changes.
+//!
+//! Because f64 stores and loads are exact, keeping an accumulator in a
+//! register instead of round-tripping it through the output buffer cannot
+//! change the value: the blocked kernels are **bit-identical** to the naive
+//! references for every input, including NaN and infinity patterns.
+//!
+//! # Determinism under parallelism
+//!
+//! Work fans out across [`std::thread::scope`] workers by *output row
+//! blocks*: each output element is computed entirely by one worker with the
+//! same reduction order as the sequential kernel, so results are
+//! bit-identical at every thread count. `tests/determinism.rs` and the
+//! kernel-equivalence properties in `crates/neural/tests/properties.rs`
+//! enforce this.
+
+use std::num::NonZeroUsize;
+
+/// How many worker threads the linear-algebra kernels may use.
+///
+/// Results are **bit-identical at every setting** (see the module docs);
+/// the knob only trades wall-clock time. The default everywhere is
+/// [`Parallelism::Single`], which never spawns threads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Parallelism {
+    /// Single-threaded; never spawns.
+    Single,
+    /// Exactly `n` workers (clamped to at least 1).
+    Threads(usize),
+    /// `JARVIS_THREADS` when set to a positive integer, else the host's
+    /// available parallelism.
+    Auto,
+}
+
+jarvis_stdkit::json_enum!(Parallelism { Single, Threads(n), Auto });
+
+impl Default for Parallelism {
+    fn default() -> Self {
+        Parallelism::Single
+    }
+}
+
+impl Parallelism {
+    /// The concrete worker count this setting resolves to on this host.
+    #[must_use]
+    pub fn threads(self) -> usize {
+        match self {
+            Parallelism::Single => 1,
+            Parallelism::Threads(n) => n.max(1),
+            Parallelism::Auto => std::env::var("JARVIS_THREADS")
+                .ok()
+                .and_then(|s| s.trim().parse::<usize>().ok())
+                .filter(|&n| n > 0)
+                .unwrap_or_else(|| {
+                    std::thread::available_parallelism().map_or(1, NonZeroUsize::get)
+                }),
+        }
+    }
+}
+
+/// Rows of `C` per `matmul` register tile.
+const MR: usize = 3;
+/// Columns of `C` per `matmul` register tile (one cache line of f64).
+const NR: usize = 8;
+/// `B`-rows per packed `matmul_transpose` panel (the tile's lane width).
+const NR_T: usize = 8;
+
+/// Below this many multiply-adds per output chunk, threading overhead
+/// outweighs the work and the kernels stay sequential.
+const PARALLEL_FLOP_THRESHOLD: usize = 64 * 64 * 64;
+
+/// Reference `C = A·B`: plain i-k-j loops, ascending `k`, one accumulation
+/// into each output element per step. This is the semantic definition the
+/// blocked kernel must match bit-for-bit. Note there is deliberately **no**
+/// zero-skip on `a`: `0 × ∞` and `0 × NaN` must produce NaN, not silence.
+pub(crate) fn matmul_naive(a: &[f64], b: &[f64], out: &mut [f64], k: usize, n: usize) {
+    for (a_row, out_row) in a.chunks_exact(k.max(1)).zip(out.chunks_exact_mut(n.max(1))) {
+        for (kk, b_row) in b.chunks_exact(n.max(1)).enumerate().take(k) {
+            let av = a_row[kk];
+            for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                *o += av * bv;
+            }
+        }
+    }
+}
+
+/// Reference `C = A·Bᵀ`: one serial dot product per output element.
+pub(crate) fn matmul_transpose_naive(a: &[f64], b: &[f64], out: &mut [f64], k: usize, p: usize) {
+    for (a_row, out_row) in a.chunks_exact(k.max(1)).zip(out.chunks_exact_mut(p.max(1))) {
+        for (b_row, o) in b.chunks_exact(k.max(1)).zip(out_row.iter_mut()).take(p) {
+            let mut acc = 0.0;
+            for (&av, &bv) in a_row.iter().zip(b_row) {
+                acc += av * bv;
+            }
+            *o = acc;
+        }
+    }
+}
+
+/// Blocked `C = A·B` over `m × k` and `k × n` operands, fanned across
+/// `par.threads()` workers by output-row blocks.
+pub(crate) fn matmul(
+    a: &[f64],
+    b: &[f64],
+    out: &mut [f64],
+    m: usize,
+    k: usize,
+    n: usize,
+    par: Parallelism,
+) {
+    run_row_blocks(a, out, m, k, n, par, |a_chunk, out_chunk| {
+        matmul_chunk(a_chunk, b, out_chunk, k, n);
+    });
+}
+
+/// Blocked `C = A·Bᵀ` over `m × k` and `p × k` operands, fanned across
+/// `par.threads()` workers by output-row blocks.
+pub(crate) fn matmul_transpose(
+    a: &[f64],
+    b: &[f64],
+    out: &mut [f64],
+    m: usize,
+    k: usize,
+    p: usize,
+    par: Parallelism,
+) {
+    run_row_blocks(a, out, m, k, p, par, |a_chunk, out_chunk| {
+        matmul_transpose_chunk(a_chunk, b, out_chunk, k, p);
+    });
+}
+
+/// Split `a` and `out` into matching row blocks and run `kernel` on each,
+/// sequentially or under [`std::thread::scope`]. Each output row is owned by
+/// exactly one worker, so the reduction order per element never changes.
+fn run_row_blocks(
+    a: &[f64],
+    out: &mut [f64],
+    m: usize,
+    k: usize,
+    n: usize,
+    par: Parallelism,
+    kernel: impl Fn(&[f64], &mut [f64]) + Sync,
+) {
+    if m == 0 || n == 0 {
+        return;
+    }
+    let threads = par.threads().min(m);
+    if threads <= 1 || m.saturating_mul(k).saturating_mul(n) < PARALLEL_FLOP_THRESHOLD {
+        kernel(a, out);
+        return;
+    }
+    let rows_per = m.div_ceil(threads);
+    let kernel = &kernel;
+    std::thread::scope(|scope| {
+        let mut a_rest = a;
+        let mut out_rest = out;
+        for _ in 0..threads {
+            let rows = rows_per.min(out_rest.len() / n);
+            if rows == 0 {
+                break;
+            }
+            let (a_chunk, a_tail) = a_rest.split_at(rows * k);
+            let (out_chunk, out_tail) = out_rest.split_at_mut(rows * n);
+            a_rest = a_tail;
+            out_rest = out_tail;
+            scope.spawn(move || kernel(a_chunk, out_chunk));
+        }
+    });
+}
+
+/// Pack the row chunk of `A` block-by-block into column-major order: block
+/// `i0..i0+mr` lands at `apack[i0 * k..]` with layout `[kk * mr + r]`, so a
+/// micro-kernel reads one contiguous `mr`-wide segment per `k` step instead
+/// of `mr` strided loads. Packing only moves values; it cannot perturb the
+/// accumulation.
+fn pack_a(a: &[f64], k: usize, rows: usize) -> Vec<f64> {
+    let mut apack = vec![0.0f64; rows * k];
+    let mut i = 0;
+    while i < rows {
+        let mr = (rows - i).min(MR);
+        let dst = &mut apack[i * k..(i + mr) * k];
+        for (r, a_row) in a[i * k..].chunks_exact(k.max(1)).take(mr).enumerate() {
+            for (kk, &av) in a_row.iter().enumerate() {
+                dst[kk * mr + r] = av;
+            }
+        }
+        i += mr;
+    }
+    apack
+}
+
+/// Sequential blocked `A·B` on a row chunk: `rows × k` by `k × n`.
+fn matmul_chunk(a: &[f64], b: &[f64], out: &mut [f64], k: usize, n: usize) {
+    if k == 0 || n == 0 {
+        return;
+    }
+    let rows = out.len() / n;
+    let apack = pack_a(a, k, rows);
+    let mut i = 0;
+    while i < rows {
+        let mr = (rows - i).min(MR);
+        let a_block = &a[i * k..(i + mr) * k];
+        let apack_block = &apack[i * k..(i + mr) * k];
+        let out_block = &mut out[i * n..(i + mr) * n];
+        let mut j = 0;
+        while j + NR <= n {
+            match mr {
+                1 => mm_tile::<1>(apack_block, b, out_block, j, n),
+                2 => mm_tile::<2>(apack_block, b, out_block, j, n),
+                3 => mm_tile::<3>(apack_block, b, out_block, j, n),
+                _ => mm_tile::<4>(apack_block, b, out_block, j, n),
+            }
+            j += NR;
+        }
+        if j < n {
+            mm_edge(a_block, b, out_block, j, k, n, mr);
+        }
+        i += mr;
+    }
+}
+
+/// `MRC × NR` register tile of `A·B` at column `j`: `MRC · NR` accumulators
+/// swept over the full `k` extent in ascending order, written back once.
+/// Both operands stream through `chunks_exact`, so the loop body carries no
+/// index arithmetic or bounds checks.
+#[inline]
+fn mm_tile<const MRC: usize>(
+    apack_block: &[f64],
+    b: &[f64],
+    out_block: &mut [f64],
+    j: usize,
+    n: usize,
+) {
+    let mut acc = [[0.0f64; NR]; MRC];
+    for (aseg, b_row) in apack_block.chunks_exact(MRC).zip(b.chunks_exact(n)) {
+        let aseg: &[f64; MRC] = aseg.try_into().expect("MRC-wide A segment");
+        let bseg: &[f64; NR] = b_row[j..j + NR].try_into().expect("NR-wide strip");
+        for (acc_row, &av) in acc.iter_mut().zip(aseg) {
+            for (o, &bv) in acc_row.iter_mut().zip(bseg) {
+                *o += av * bv;
+            }
+        }
+    }
+    for (r, acc_row) in acc.iter().enumerate() {
+        out_block[r * n + j..r * n + j + NR].copy_from_slice(acc_row);
+    }
+}
+
+/// Column remainder (`n % NR` trailing columns) of an `mr`-row block,
+/// ascending `k` per element like everything else.
+fn mm_edge(
+    a_block: &[f64],
+    b: &[f64],
+    out_block: &mut [f64],
+    j0: usize,
+    k: usize,
+    n: usize,
+    mr: usize,
+) {
+    for r in 0..mr {
+        let a_row = &a_block[r * k..(r + 1) * k];
+        for j in j0..n {
+            let mut acc = 0.0;
+            for (kk, &av) in a_row.iter().enumerate() {
+                acc += av * b[kk * n + j];
+            }
+            out_block[r * n + j] = acc;
+        }
+    }
+}
+
+/// Sequential blocked `A·Bᵀ` on a row chunk: `rows × k` by `(p × k)ᵀ`.
+///
+/// Each `NR_T`-row panel of `B` is first packed into an interleaved `k ×
+/// NR_T` buffer (`packed[kk * NR_T + lane] = b[(j0 + lane) * k + kk]`), which
+/// turns the naive kernel's strided column gathers into contiguous vector
+/// loads — the inner loop then has exactly the shape of [`mm_tile`] and
+/// vectorizes the same way. Packing only *moves* values, so every output
+/// element still accumulates `a[kk] · b[kk]` in ascending `k` through a
+/// single chain, and the result stays bit-identical to the naive reference.
+fn matmul_transpose_chunk(a: &[f64], b: &[f64], out: &mut [f64], k: usize, p: usize) {
+    if p == 0 {
+        return;
+    }
+    let rows = out.len() / p;
+    let apack = pack_a(a, k, rows);
+    let mut packed = vec![0.0f64; k * NR_T];
+    let mut j = 0;
+    while j < p {
+        let width = (p - j).min(NR_T);
+        for (lane, b_row) in b[j * k..].chunks_exact(k.max(1)).take(width).enumerate() {
+            for (kk, &bv) in b_row.iter().enumerate() {
+                packed[kk * NR_T + lane] = bv;
+            }
+        }
+        // Lanes past `width` keep stale values; they are never stored.
+        let mut i = 0;
+        while i < rows {
+            let mr = (rows - i).min(MR);
+            let apack_block = &apack[i * k..(i + mr) * k];
+            let out_block = &mut out[i * p..(i + mr) * p];
+            match mr {
+                1 => mt_tile::<1>(apack_block, &packed, out_block, j, p, width),
+                2 => mt_tile::<2>(apack_block, &packed, out_block, j, p, width),
+                3 => mt_tile::<3>(apack_block, &packed, out_block, j, p, width),
+                _ => mt_tile::<4>(apack_block, &packed, out_block, j, p, width),
+            }
+            i += mr;
+        }
+        j += width;
+    }
+}
+
+/// `MRC × NR_T` register tile of `A·Bᵀ` against packed `A` and `B` panels:
+/// `MRC · NR_T` accumulators swept over the full `k` extent in ascending
+/// order, with only the first `width` lanes written back. Like [`mm_tile`],
+/// the loop body is two lockstep `chunks_exact` streams.
+#[inline]
+fn mt_tile<const MRC: usize>(
+    apack_block: &[f64],
+    packed: &[f64],
+    out_block: &mut [f64],
+    j: usize,
+    p: usize,
+    width: usize,
+) {
+    let mut acc = [[0.0f64; NR_T]; MRC];
+    for (aseg, bseg) in apack_block.chunks_exact(MRC).zip(packed.chunks_exact(NR_T)) {
+        let aseg: &[f64; MRC] = aseg.try_into().expect("MRC-wide A segment");
+        let bseg: &[f64; NR_T] = bseg.try_into().expect("NR_T-wide panel row");
+        for (acc_row, &av) in acc.iter_mut().zip(aseg) {
+            for (o, &bv) in acc_row.iter_mut().zip(bseg) {
+                *o += av * bv;
+            }
+        }
+    }
+    for (r, acc_row) in acc.iter().enumerate() {
+        out_block[r * p + j..r * p + j + width].copy_from_slice(&acc_row[..width]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fill(len: usize, seed: u64) -> Vec<f64> {
+        // Small deterministic pseudo-random fill without pulling in rng here.
+        let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).max(1);
+        (0..len)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                (state % 2_000) as f64 / 100.0 - 10.0
+            })
+            .collect()
+    }
+
+    fn bits(v: &[f64]) -> Vec<u64> {
+        v.iter().map(|x| x.to_bits()).collect()
+    }
+
+    #[test]
+    fn blocked_matmul_matches_naive_across_shapes() {
+        for &(m, k, n) in &[
+            (1, 1, 1),
+            (1, 7, 1),
+            (5, 3, 9),
+            (4, 8, 8),
+            (13, 17, 23),
+            (32, 1, 32),
+            (3, 40, 11),
+            (0, 4, 4),
+            (4, 0, 4),
+            (4, 4, 0),
+        ] {
+            let a = fill(m * k, 1 + (m * 100 + k * 10 + n) as u64);
+            let b = fill(k * n, 2 + (m + k + n) as u64);
+            let mut naive = vec![0.0; m * n];
+            matmul_naive(&a, &b, &mut naive, k, n);
+            for par in [Parallelism::Single, Parallelism::Threads(3)] {
+                let mut fast = vec![0.0; m * n];
+                matmul(&a, &b, &mut fast, m, k, n, par);
+                assert_eq!(bits(&naive), bits(&fast), "m={m} k={k} n={n} {par:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn blocked_matmul_transpose_matches_naive_across_shapes() {
+        for &(m, k, p) in &[
+            (1, 1, 1),
+            (1, 9, 2),
+            (5, 3, 9),
+            (2, 16, 4),
+            (13, 17, 23),
+            (7, 1, 5),
+            (0, 4, 4),
+            (4, 0, 4),
+            (4, 4, 0),
+        ] {
+            let a = fill(m * k, 11 + (m * 100 + k * 10 + p) as u64);
+            let b = fill(p * k, 13 + (m + k + p) as u64);
+            let mut naive = vec![0.0; m * p];
+            matmul_transpose_naive(&a, &b, &mut naive, k, p);
+            for par in [Parallelism::Single, Parallelism::Threads(3)] {
+                let mut fast = vec![0.0; m * p];
+                matmul_transpose(&a, &b, &mut fast, m, k, p, par);
+                assert_eq!(bits(&naive), bits(&fast), "m={m} k={k} p={p} {par:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn thread_counts_are_bit_identical_above_threshold() {
+        // Big enough to cross PARALLEL_FLOP_THRESHOLD so threads really spawn.
+        let (m, k, n) = (96, 80, 96);
+        let a = fill(m * k, 5);
+        let b = fill(k * n, 6);
+        let mut one = vec![0.0; m * n];
+        matmul(&a, &b, &mut one, m, k, n, Parallelism::Threads(1));
+        for t in [2, 3, 4, 7] {
+            let mut many = vec![0.0; m * n];
+            matmul(&a, &b, &mut many, m, k, n, Parallelism::Threads(t));
+            assert_eq!(bits(&one), bits(&many), "threads={t}");
+        }
+    }
+
+    #[test]
+    fn parallelism_resolution() {
+        assert_eq!(Parallelism::Single.threads(), 1);
+        assert_eq!(Parallelism::Threads(0).threads(), 1);
+        assert_eq!(Parallelism::Threads(6).threads(), 6);
+        assert!(Parallelism::Auto.threads() >= 1);
+    }
+
+    #[test]
+    fn parallelism_serializes() {
+        use jarvis_stdkit::json::{FromJson, ToJson};
+        for p in [Parallelism::Single, Parallelism::Threads(4), Parallelism::Auto] {
+            let back = Parallelism::from_json(&p.to_json()).unwrap();
+            assert_eq!(p, back);
+        }
+    }
+
+    #[test]
+    fn zero_times_infinity_is_nan() {
+        // 0 · ∞ must propagate as NaN in both kernels; the old zero-skip hid it.
+        let a = [0.0, 1.0];
+        let b = [f64::INFINITY, 0.0, 0.0, 2.0];
+        let mut fast = vec![0.0; 2];
+        matmul(&a, &b, &mut fast, 1, 2, 2, Parallelism::Single);
+        assert!(fast[0].is_nan(), "0*inf + 1*0 must be NaN, got {}", fast[0]);
+        assert_eq!(fast[1], 2.0);
+        let mut naive = vec![0.0; 2];
+        matmul_naive(&a, &b, &mut naive, 2, 2);
+        assert_eq!(bits(&fast), bits(&naive));
+    }
+}

@@ -2,6 +2,7 @@
 
 use crate::activation::Activation;
 use crate::error::NeuralError;
+use crate::gemm::Parallelism;
 use crate::matrix::Matrix;
 use crate::optimizer::{OptState, OptimizerKind};
 use jarvis_stdkit::rng::Rng;
@@ -89,10 +90,15 @@ impl Dense {
         self.weights.rows() * self.weights.cols() + self.bias.len()
     }
 
-    /// Forward pass over a batch (`batch × inputs`).
-    pub(crate) fn forward(&self, input: &Matrix) -> Result<ForwardCache, NeuralError> {
+    /// Forward pass over a batch (`batch × inputs`), on the blocked kernels
+    /// with the given worker fan-out.
+    pub(crate) fn forward(
+        &self,
+        input: &Matrix,
+        par: Parallelism,
+    ) -> Result<ForwardCache, NeuralError> {
         let z = input
-            .matmul_transpose(&self.weights)?
+            .matmul_transpose_with(&self.weights, par)?
             .add_row_broadcast(&self.bias)?;
         let a = z.map(|v| self.activation.apply(v));
         Ok(ForwardCache { z, a })
@@ -109,12 +115,13 @@ impl Dense {
         cache: &ForwardCache,
         dl_da: &Matrix,
         optimizer: &OptimizerKind,
+        par: Parallelism,
     ) -> Result<Matrix, NeuralError> {
         // delta = dL/da ⊙ f'(z), shape batch × units.
         let fprime = cache.z.map(|v| self.activation.derivative(v));
         let delta = dl_da.hadamard(&fprime)?;
         // dW = deltaᵀ · input, shape units × inputs.
-        let dw = delta.transpose().matmul(input)?;
+        let dw = delta.transpose().matmul_with(input, par)?;
         // db = column sums of delta.
         let db: Vec<f64> = {
             let mut sums = vec![0.0; delta.cols()];
@@ -126,10 +133,10 @@ impl Dense {
             sums
         };
         // dL/d(input) = delta · W, shape batch × inputs.
-        let dl_dinput = delta.matmul(&self.weights)?;
+        let dl_dinput = delta.matmul_with(&self.weights, par)?;
 
-        optimizer.update(self.weights.as_mut_slice(), dw.as_slice(), &mut self.w_state);
-        optimizer.update(&mut self.bias, &db, &mut self.b_state);
+        optimizer.update_with(self.weights.as_mut_slice(), dw.as_slice(), &mut self.w_state, par);
+        optimizer.update_with(&mut self.bias, &db, &mut self.b_state, par);
         Ok(dl_dinput)
     }
 }
@@ -176,7 +183,7 @@ mod tests {
     fn forward_shapes_and_linear_identity() {
         let d = layer(3, 2, Activation::Linear);
         let x = Matrix::from_rows(&[&[1.0, 0.0, -1.0], &[0.5, 0.5, 0.5]]).unwrap();
-        let cache = d.forward(&x).unwrap();
+        let cache = d.forward(&x, Parallelism::Single).unwrap();
         assert_eq!(cache.z.shape(), (2, 2));
         // Linear activation: a == z.
         assert_eq!(cache.z, cache.a);
@@ -191,10 +198,10 @@ mod tests {
         let y = Matrix::from_rows(&[&[2.0], &[4.0], &[-2.0]]).unwrap();
         let mut last = f64::INFINITY;
         for _ in 0..200 {
-            let cache = d.forward(&x).unwrap();
+            let cache = d.forward(&x, Parallelism::Single).unwrap();
             let loss = crate::loss::Loss::Mse.value(&cache.a, &y).unwrap();
             let grad = crate::loss::Loss::Mse.gradient(&cache.a, &y).unwrap();
-            d.backward(&x, &cache, &grad, &opt).unwrap();
+            d.backward(&x, &cache, &grad, &opt, Parallelism::Single).unwrap();
             last = loss;
         }
         assert!(last < 1e-4, "loss did not converge: {last}");
@@ -205,9 +212,9 @@ mod tests {
         let mut d = layer(4, 2, Activation::Tanh);
         let opt = OptimizerKind::sgd(0.0); // no update, just shape check
         let x = Matrix::from_rows(&[&[0.1, 0.2, 0.3, 0.4]]).unwrap();
-        let cache = d.forward(&x).unwrap();
+        let cache = d.forward(&x, Parallelism::Single).unwrap();
         let dl_da = Matrix::from_rows(&[&[1.0, -1.0]]).unwrap();
-        let g = d.backward(&x, &cache, &dl_da, &opt).unwrap();
+        let g = d.backward(&x, &cache, &dl_da, &opt, Parallelism::Single).unwrap();
         assert_eq!(g.shape(), (1, 4));
     }
 }

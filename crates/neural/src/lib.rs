@@ -48,6 +48,7 @@
 
 pub mod activation;
 pub mod error;
+pub mod gemm;
 pub mod layer;
 pub mod loss;
 pub mod matrix;
@@ -57,6 +58,7 @@ pub mod optimizer;
 
 pub use activation::Activation;
 pub use error::NeuralError;
+pub use gemm::Parallelism;
 pub use layer::Dense;
 pub use loss::Loss;
 pub use matrix::Matrix;

@@ -2,6 +2,7 @@
 //! batch-processing feed-forward networks.
 
 use crate::error::NeuralError;
+use crate::gemm::{self, Parallelism};
 use std::fmt;
 use jarvis_stdkit::{json_struct};
 
@@ -150,13 +151,28 @@ impl Matrix {
         &mut self.data
     }
 
-    /// Matrix product `self · rhs`.
+    /// Matrix product `self · rhs` on the blocked single-threaded kernel.
+    ///
+    /// Equivalent to [`Matrix::matmul_with`] at [`Parallelism::Single`];
+    /// bit-identical to [`Matrix::matmul_naive`] for every input.
     ///
     /// # Errors
     ///
     /// Returns [`NeuralError::DimensionMismatch`] unless
     /// `self.cols == rhs.rows`.
     pub fn matmul(&self, rhs: &Matrix) -> Result<Matrix, NeuralError> {
+        self.matmul_with(rhs, Parallelism::Single)
+    }
+
+    /// Matrix product `self · rhs` on the blocked kernel with the given
+    /// worker fan-out. Results are bit-identical at every thread count (see
+    /// the [`gemm`](crate::gemm) module docs for the determinism argument).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NeuralError::DimensionMismatch`] unless
+    /// `self.cols == rhs.rows`.
+    pub fn matmul_with(&self, rhs: &Matrix, par: Parallelism) -> Result<Matrix, NeuralError> {
         if self.cols != rhs.rows {
             return Err(NeuralError::DimensionMismatch {
                 op: "matmul",
@@ -165,29 +181,54 @@ impl Matrix {
             });
         }
         let mut out = Matrix::zeros(self.rows, rhs.cols);
-        for i in 0..self.rows {
-            for k in 0..self.cols {
-                let a = self.data[i * self.cols + k];
-                if a == 0.0 {
-                    continue;
-                }
-                let rhs_row = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
-                let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
-                for (o, &b) in out_row.iter_mut().zip(rhs_row) {
-                    *o += a * b;
-                }
-            }
-        }
+        gemm::matmul(&self.data, &rhs.data, &mut out.data, self.rows, self.cols, rhs.cols, par);
         Ok(out)
     }
 
-    /// Matrix product `self · rhsᵀ` without materializing the transpose.
+    /// Reference `self · rhs`: the naive triple loop the blocked kernels are
+    /// tested against. Kept for the kernel-equivalence property suite and
+    /// the `gemm` benchmark; prefer [`Matrix::matmul`] everywhere else.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NeuralError::DimensionMismatch`] unless
+    /// `self.cols == rhs.rows`.
+    pub fn matmul_naive(&self, rhs: &Matrix) -> Result<Matrix, NeuralError> {
+        if self.cols != rhs.rows {
+            return Err(NeuralError::DimensionMismatch {
+                op: "matmul",
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        gemm::matmul_naive(&self.data, &rhs.data, &mut out.data, self.cols, rhs.cols);
+        Ok(out)
+    }
+
+    /// Matrix product `self · rhsᵀ` without materializing the transpose, on
+    /// the blocked single-threaded kernel.
     ///
     /// # Errors
     ///
     /// Returns [`NeuralError::DimensionMismatch`] unless
     /// `self.cols == rhs.cols`.
     pub fn matmul_transpose(&self, rhs: &Matrix) -> Result<Matrix, NeuralError> {
+        self.matmul_transpose_with(rhs, Parallelism::Single)
+    }
+
+    /// Matrix product `self · rhsᵀ` on the blocked kernel with the given
+    /// worker fan-out; bit-identical at every thread count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NeuralError::DimensionMismatch`] unless
+    /// `self.cols == rhs.cols`.
+    pub fn matmul_transpose_with(
+        &self,
+        rhs: &Matrix,
+        par: Parallelism,
+    ) -> Result<Matrix, NeuralError> {
         if self.cols != rhs.cols {
             return Err(NeuralError::DimensionMismatch {
                 op: "matmul_transpose",
@@ -196,17 +237,35 @@ impl Matrix {
             });
         }
         let mut out = Matrix::zeros(self.rows, rhs.rows);
-        for i in 0..self.rows {
-            let a_row = self.row(i);
-            for j in 0..rhs.rows {
-                let b_row = &rhs.data[j * rhs.cols..(j + 1) * rhs.cols];
-                let mut acc = 0.0;
-                for (&a, &b) in a_row.iter().zip(b_row) {
-                    acc += a * b;
-                }
-                out.data[i * rhs.rows + j] = acc;
-            }
+        gemm::matmul_transpose(
+            &self.data,
+            &rhs.data,
+            &mut out.data,
+            self.rows,
+            self.cols,
+            rhs.rows,
+            par,
+        );
+        Ok(out)
+    }
+
+    /// Reference `self · rhsᵀ`: one serial dot product per output element,
+    /// the semantic definition the blocked kernel must match bit-for-bit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NeuralError::DimensionMismatch`] unless
+    /// `self.cols == rhs.cols`.
+    pub fn matmul_transpose_naive(&self, rhs: &Matrix) -> Result<Matrix, NeuralError> {
+        if self.cols != rhs.cols {
+            return Err(NeuralError::DimensionMismatch {
+                op: "matmul_transpose",
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
         }
+        let mut out = Matrix::zeros(self.rows, rhs.rows);
+        gemm::matmul_transpose_naive(&self.data, &rhs.data, &mut out.data, self.cols, rhs.rows);
         Ok(out)
     }
 
@@ -384,6 +443,36 @@ mod tests {
         let c = a.matmul(&b).unwrap();
         assert_eq!(c.as_slice(), &[58.0, 64.0, 139.0, 154.0]);
         assert!(a.matmul(&a).is_err());
+    }
+
+    #[test]
+    fn matmul_propagates_non_finite_inputs() {
+        // Regression: the old kernel skipped `a == 0.0` terms, silently
+        // turning `0 · ∞` (NaN by IEEE 754) into 0. All four kernel entry
+        // points must propagate NaN/inf identically now.
+        let a = m(1, 2, &[0.0, 1.0]);
+        let b = m(2, 2, &[f64::INFINITY, f64::NEG_INFINITY, 0.0, 3.0]);
+        let fast = a.matmul(&b).unwrap();
+        assert!(fast.get(0, 0).is_nan(), "0*inf must contribute NaN");
+        assert!(fast.get(0, 1).is_nan(), "0*-inf must contribute NaN");
+        let naive = a.matmul_naive(&b).unwrap();
+        assert_eq!(
+            fast.as_slice().iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            naive.as_slice().iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+        );
+        // Same through the transpose pair: a · (bᵀ)ᵀ with an inf in b.
+        let bt = b.transpose();
+        let fast_t = a.matmul_transpose(&bt).unwrap();
+        let naive_t = a.matmul_transpose_naive(&bt).unwrap();
+        assert!(fast_t.get(0, 0).is_nan());
+        assert_eq!(
+            fast_t.as_slice().iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            naive_t.as_slice().iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+        );
+        // NaN inputs stay NaN even against a zero row.
+        let nan_in = m(1, 1, &[f64::NAN]);
+        let zero = m(1, 3, &[0.0, 0.0, 0.0]);
+        assert!(nan_in.matmul(&zero).unwrap().as_slice().iter().all(|v| v.is_nan()));
     }
 
     #[test]

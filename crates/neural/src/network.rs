@@ -3,6 +3,7 @@
 
 use crate::activation::Activation;
 use crate::error::NeuralError;
+use crate::gemm::Parallelism;
 use crate::layer::Dense;
 use crate::loss::Loss;
 use crate::matrix::Matrix;
@@ -21,9 +22,10 @@ pub struct Network {
     loss: Loss,
     optimizer: OptimizerKind,
     input_size: usize,
+    parallelism: Parallelism,
 }
 
-json_struct!(Network { layers, loss, optimizer, input_size });
+json_struct!(Network { layers, loss, optimizer, input_size, parallelism });
 
 impl Network {
     /// Start building a network taking `input_size` features.
@@ -35,6 +37,7 @@ impl Network {
             loss: Loss::Mse,
             optimizer: OptimizerKind::adam(0.001),
             seed: 0,
+            parallelism: Parallelism::Single,
         }
     }
 
@@ -68,6 +71,19 @@ impl Network {
         self.loss
     }
 
+    /// The configured kernel worker fan-out.
+    #[must_use]
+    pub fn parallelism(&self) -> Parallelism {
+        self.parallelism
+    }
+
+    /// Change the kernel worker fan-out. Training and inference results are
+    /// bit-identical at every setting (see [`gemm`](crate::gemm)); this only
+    /// trades wall-clock time.
+    pub fn set_parallelism(&mut self, parallelism: Parallelism) {
+        self.parallelism = parallelism;
+    }
+
     /// Run the network on one input vector.
     ///
     /// # Errors
@@ -94,7 +110,7 @@ impl Network {
     pub fn predict_batch(&self, input: &Matrix) -> Result<Matrix, NeuralError> {
         let mut a = input.clone();
         for layer in &self.layers {
-            a = layer.forward(&a)?.a;
+            a = layer.forward(&a, self.parallelism)?.a;
         }
         Ok(a)
     }
@@ -162,7 +178,7 @@ impl Network {
         let mut activations: Vec<Matrix> = vec![x];
         let mut caches = Vec::with_capacity(self.layers.len());
         for layer in &self.layers {
-            let cache = layer.forward(activations.last().expect("non-empty"))?;
+            let cache = layer.forward(activations.last().expect("non-empty"), self.parallelism)?;
             activations.push(cache.a.clone());
             caches.push(cache);
         }
@@ -176,7 +192,7 @@ impl Network {
             grad = grad.hadamard(&m)?;
         }
         for (i, layer) in self.layers.iter_mut().enumerate().rev() {
-            grad = layer.backward(&activations[i], &caches[i], &grad, &self.optimizer)?;
+            grad = layer.backward(&activations[i], &caches[i], &grad, &self.optimizer, self.parallelism)?;
         }
         Ok(loss_value)
     }
@@ -245,6 +261,7 @@ pub struct NetworkBuilder {
     loss: Loss,
     optimizer: OptimizerKind,
     seed: u64,
+    parallelism: Parallelism,
 }
 
 impl NetworkBuilder {
@@ -276,6 +293,14 @@ impl NetworkBuilder {
         self
     }
 
+    /// Set the kernel worker fan-out (default [`Parallelism::Single`]).
+    /// Results are bit-identical at every setting.
+    #[must_use]
+    pub fn parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.parallelism = parallelism;
+        self
+    }
+
     /// Build the network.
     ///
     /// # Errors
@@ -301,6 +326,7 @@ impl NetworkBuilder {
             loss: self.loss,
             optimizer: self.optimizer,
             input_size: self.input_size,
+            parallelism: self.parallelism,
         })
     }
 }

@@ -151,6 +151,123 @@ fn training_descends() {
     });
 }
 
+/// Shape generator for the kernel-equivalence suite: biased toward the
+/// degenerate cases (empty, 1×N, N×1) the blocked kernels must still handle,
+/// otherwise anything up to 40 so every register-tile edge path is hit.
+fn gen_dim(g: &mut Gen) -> usize {
+    if g.bool(0.25) {
+        g.usize_in(0, 1)
+    } else {
+        g.usize_in(2, 40)
+    }
+}
+
+fn bits_equal(a: &Matrix, b: &Matrix) -> bool {
+    a.shape() == b.shape()
+        && a.as_slice().iter().zip(b.as_slice()).all(|(x, y)| x.to_bits() == y.to_bits())
+}
+
+/// The blocked/parallel `matmul` is bit-identical to the naive reference for
+/// random shapes (including empty, 1×N, N×1) at every thread count.
+#[test]
+fn blocked_matmul_matches_naive_bitwise() {
+    Config::with_cases(96).run(|g| {
+        let (m, k, n) = (gen_dim(g), gen_dim(g), gen_dim(g));
+        let a = gen_matrix(g, m, k);
+        let b = gen_matrix(g, k, n);
+        let reference = a.matmul_naive(&b).unwrap();
+        for par in [Parallelism::Single, Parallelism::Threads(2), Parallelism::Threads(5)] {
+            let fast = a.matmul_with(&b, par).unwrap();
+            prop_assert!(
+                bits_equal(&fast, &reference),
+                "matmul {m}x{k}x{n} diverged from naive at {par:?}"
+            );
+        }
+        Ok(())
+    });
+}
+
+/// Same bit-identity guarantee for the fused `matmul_transpose` kernel.
+#[test]
+fn blocked_matmul_transpose_matches_naive_bitwise() {
+    Config::with_cases(96).run(|g| {
+        let (m, k, p) = (gen_dim(g), gen_dim(g), gen_dim(g));
+        let a = gen_matrix(g, m, k);
+        let b = gen_matrix(g, p, k);
+        let reference = a.matmul_transpose_naive(&b).unwrap();
+        for par in [Parallelism::Single, Parallelism::Threads(2), Parallelism::Threads(5)] {
+            let fast = a.matmul_transpose_with(&b, par).unwrap();
+            prop_assert!(
+                bits_equal(&fast, &reference),
+                "matmul_transpose {m}x{k} · {p}x{k}ᵀ diverged from naive at {par:?}"
+            );
+        }
+        Ok(())
+    });
+}
+
+/// Shapes big enough to cross `PARALLEL_FLOP_THRESHOLD` (so worker threads
+/// really spawn) stay bit-identical to the naive reference.
+#[test]
+fn parallel_kernels_match_naive_above_threshold() {
+    Config::with_cases(4).run(|g| {
+        let m = g.usize_in(64, 96);
+        let k = g.usize_in(64, 96);
+        let n = g.usize_in(64, 96);
+        let a = gen_matrix(g, m, k);
+        let b = gen_matrix(g, k, n);
+        let bt = b.transpose();
+        let mm_ref = a.matmul_naive(&b).unwrap();
+        let mt_ref = a.matmul_transpose_naive(&bt).unwrap();
+        for threads in [2, 3, 4, 7] {
+            let par = Parallelism::Threads(threads);
+            prop_assert!(
+                bits_equal(&a.matmul_with(&b, par).unwrap(), &mm_ref),
+                "matmul {m}x{k}x{n} diverged at {threads} threads"
+            );
+            prop_assert!(
+                bits_equal(&a.matmul_transpose_with(&bt, par).unwrap(), &mt_ref),
+                "matmul_transpose {m}x{k}x{n} diverged at {threads} threads"
+            );
+        }
+        Ok(())
+    });
+}
+
+/// Non-finite inputs (NaN, ±inf) propagate identically through the blocked
+/// kernels and the naive reference — no zero-skip shortcuts.
+#[test]
+fn kernels_propagate_non_finite_bitwise() {
+    Config::with_cases(48).run(|g| {
+        let (m, k, n) = (g.usize_in(1, 12), g.usize_in(1, 12), g.usize_in(1, 12));
+        let special = [0.0, -0.0, f64::INFINITY, f64::NEG_INFINITY, f64::NAN];
+        let pick = |g: &mut Gen| {
+            if g.bool(0.3) {
+                special[g.usize_in(0, special.len() - 1)]
+            } else {
+                g.f64_in(-3.0, 3.0)
+            }
+        };
+        let a = Matrix::from_vec(m, k, (0..m * k).map(|_| pick(g)).collect()).unwrap();
+        let b = Matrix::from_vec(k, n, (0..k * n).map(|_| pick(g)).collect()).unwrap();
+        let fast = a.matmul(&b).unwrap();
+        let reference = a.matmul_naive(&b).unwrap();
+        prop_assert!(
+            bits_equal(&fast, &reference),
+            "non-finite propagation diverged for {m}x{k}x{n}"
+        );
+        let bt = b.transpose();
+        prop_assert!(
+            bits_equal(
+                &a.matmul_transpose(&bt).unwrap(),
+                &a.matmul_transpose_naive(&bt).unwrap()
+            ),
+            "transpose non-finite propagation diverged for {m}x{k}x{n}"
+        );
+        Ok(())
+    });
+}
+
 /// ROC/AUC: relabeling by flipping every label maps AUC to 1 − AUC.
 #[test]
 fn auc_flip_symmetry() {

@@ -14,7 +14,7 @@
 use crate::explore::EpsilonSchedule;
 use crate::policy;
 use crate::replay::ReplayBuffer;
-use jarvis_neural::{Activation, Loss, Network, NeuralError, OptimizerKind};
+use jarvis_neural::{Activation, Loss, Network, NeuralError, OptimizerKind, Parallelism};
 use jarvis_stdkit::rng::SliceRandom;
 use jarvis_stdkit::rng::SeedableRng;
 use jarvis_stdkit::rng::ChaCha8Rng;
@@ -66,6 +66,10 @@ pub struct DqnConfig {
     pub double_dqn: bool,
     /// RNG seed for weights, exploration, and replay sampling.
     pub seed: u64,
+    /// Kernel worker fan-out for the DNN's forward/backward GEMMs. Training
+    /// results are bit-identical at every setting; this only trades
+    /// wall-clock time per `Replay(BSize)`.
+    pub parallelism: Parallelism,
 }
 
 impl DqnConfig {
@@ -86,6 +90,7 @@ impl DqnConfig {
             target_sync_every: None,
             double_dqn: false,
             seed: 0,
+            parallelism: Parallelism::Single,
         }
     }
 }
@@ -119,6 +124,7 @@ impl DqnAgent {
             .loss(Loss::Mse)
             .optimizer(OptimizerKind::adam(config.learning_rate))
             .seed(config.seed)
+            .parallelism(config.parallelism)
             .build()?;
         let target = config.target_sync_every.map(|_| net.clone());
         Ok(DqnAgent {

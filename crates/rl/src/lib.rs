@@ -63,6 +63,7 @@ pub mod replay;
 
 pub use constraint::ConstrainedEnv;
 pub use dqn::{DqnAgent, DqnConfig, Experience};
+pub use jarvis_neural::Parallelism;
 pub use env::{DiscreteEnvironment, Environment, Step};
 pub use explore::EpsilonSchedule;
 pub use policy::{argmax, max_q, top_c};

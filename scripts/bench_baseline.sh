@@ -1,0 +1,20 @@
+#!/usr/bin/env sh
+# Record the GEMM kernel baseline that scripts/verify.sh gates against.
+#
+# Runs the gemm bench at full measurement budgets and writes the medians to
+# BENCH_neural.json at the repo root. Re-run (and commit the result) whenever
+# the kernels in crates/neural/src/gemm.rs change deliberately; verify.sh
+# fails if a kernel gets more than 2x slower than what is recorded here.
+#
+# Usage: scripts/bench_baseline.sh
+
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release --offline (bench deps)"
+cargo build --release --offline -p jarvis-bench
+
+echo "==> recording GEMM baseline to BENCH_neural.json"
+cargo bench --offline -p jarvis-bench --bench gemm -- --json "$PWD/BENCH_neural.json"
+
+echo "OK: baseline written to BENCH_neural.json — commit it with the kernel change"

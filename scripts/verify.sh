@@ -18,6 +18,18 @@ cargo build --release --offline --workspace
 echo "==> cargo test --offline"
 cargo test -q --offline --workspace
 
+# GEMM kernel verification: gradient checks, bit-identity vs the naive
+# reference at every thread count, and a quick bench smoke that fails if a
+# blocked kernel regressed >2x against the recorded BENCH_neural.json.
+echo "==> gradient checks (crates/neural/tests/gradcheck.rs)"
+cargo test -q --offline -p jarvis-neural --test gradcheck
+
+echo "==> kernel-equivalence properties (crates/neural/tests/properties.rs)"
+cargo test -q --offline -p jarvis-neural --test properties
+
+echo "==> cargo bench --bench gemm -- --quick --check BENCH_neural.json"
+cargo bench --offline -p jarvis-bench --bench gemm -- --quick --check "$PWD/BENCH_neural.json"
+
 if [ "${1:-}" = "--bench" ]; then
     for b in fsm neural spl dqn sim miniaction; do
         echo "==> cargo bench --bench $b -- --quick"

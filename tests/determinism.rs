@@ -5,8 +5,9 @@
 //! stream and silently invalidated every recorded experiment.
 
 use jarvis_repro::core::{Jarvis, JarvisConfig, OptimizerConfig, RewardWeights};
+use jarvis_repro::neural::{Activation, Loss, Network, OptimizerKind, Parallelism};
 use jarvis_repro::policy::FilterConfig;
-use jarvis_repro::rl::QTable;
+use jarvis_repro::rl::{DqnAgent, DqnConfig, Experience, QTable};
 use jarvis_repro::sim::HomeDataset;
 use jarvis_repro::smart_home::SmartHome;
 use jarvis_stdkit::json::ToJson;
@@ -67,6 +68,87 @@ fn different_seeds_differ() {
     let (eps_a, _, _) = pipeline_artifacts(11);
     let (eps_b, _, _) = pipeline_artifacts(12);
     assert_ne!(eps_a, eps_b, "seed must matter");
+}
+
+/// Masked batch training is bit-identical whether the GEMM kernels run on
+/// one worker or four. The shapes here (batch 64 through 128-wide layers)
+/// cross `PARALLEL_FLOP_THRESHOLD`, so worker threads genuinely spawn on the
+/// multi-threaded side; serialized weights must still match byte for byte.
+#[test]
+fn masked_training_is_thread_count_invariant() {
+    let run = |par: Parallelism| {
+        let mut net = Network::builder(128)
+            .layer(128, Activation::Relu)
+            .layer(128, Activation::Tanh)
+            .layer(16, Activation::Linear)
+            .loss(Loss::Mse)
+            .optimizer(OptimizerKind::adam(0.01))
+            .seed(23)
+            .parallelism(par)
+            .build()
+            .unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(99);
+        let xs: Vec<Vec<f64>> =
+            (0..64).map(|_| (0..128).map(|_| rng.gen_range(-1.0..1.0)).collect()).collect();
+        let ys: Vec<Vec<f64>> =
+            (0..64).map(|_| (0..16).map(|_| rng.gen_range(-1.0..1.0)).collect()).collect();
+        let ms: Vec<Vec<f64>> = (0..64)
+            .map(|i| (0..16).map(|j| f64::from((i + j) % 3 != 0)).collect())
+            .collect();
+        let x: Vec<&[f64]> = xs.iter().map(Vec::as_slice).collect();
+        let y: Vec<&[f64]> = ys.iter().map(Vec::as_slice).collect();
+        let m: Vec<&[f64]> = ms.iter().map(Vec::as_slice).collect();
+        for _ in 0..3 {
+            net.train_batch_masked(&x, &y, Some(&m)).unwrap();
+        }
+        // Normalize the (intentionally different) config knob so the
+        // comparison is about weights and optimizer state only.
+        net.set_parallelism(Parallelism::Single);
+        net.to_json().unwrap()
+    };
+    let single = run(Parallelism::Single);
+    assert_eq!(single, run(Parallelism::Threads(4)), "weights diverged at 4 threads");
+    assert_eq!(single, run(Parallelism::Threads(3)), "weights diverged at 3 threads");
+}
+
+/// A DQN replay step is bit-identical through the parallel kernel path: two
+/// agents differing only in `parallelism` (sized so the replay batch crosses
+/// the parallel threshold) see the same experiences and end with the same
+/// Q values to the last bit.
+#[test]
+fn dqn_replay_is_thread_count_invariant() {
+    let run = |par: Parallelism| {
+        let mut config = DqnConfig::new(8, 4);
+        config.hidden = vec![96, 96];
+        config.batch_size = 48;
+        config.seed = 5;
+        config.parallelism = par;
+        let mut agent = DqnAgent::new(config).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(31);
+        for i in 0..64 {
+            let state: Vec<f64> = (0..8).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let next: Vec<f64> = (0..8).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            agent.remember(Experience {
+                state,
+                action: i % 4,
+                reward: rng.gen_range(-1.0..1.0),
+                next,
+                next_valid: vec![0, 1, 2, 3],
+                done: i % 7 == 0,
+            });
+        }
+        for _ in 0..4 {
+            agent.replay().unwrap().expect("batch is full");
+        }
+        let obs: Vec<f64> = (0..8).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        agent.q_values(&obs).unwrap()
+    };
+    let single = run(Parallelism::Single);
+    let threaded = run(Parallelism::Threads(4));
+    assert!(
+        single.iter().zip(&threaded).all(|(a, b)| a.to_bits() == b.to_bits()),
+        "DQN Q values diverged across thread counts: {single:?} vs {threaded:?}"
+    );
 }
 
 /// Tabular Q-learning is bit-deterministic in (seed, update stream).
