@@ -72,6 +72,10 @@ fn splice(
             action: cur_action,
             next: next.clone(),
             actors,
+            // The splice *observes* an action at the engineered instant, so
+            // that interval is no longer a silent telemetry gap — detectors
+            // must not skip it.
+            gap: tr.gap && tr.step != step,
         });
         state = next;
     }

@@ -1,0 +1,6 @@
+//! Harness binary regenerating one experiment; see `jarvis_bench::experiments`.
+
+fn main() {
+    let args = jarvis_bench::Args::parse();
+    jarvis_bench::experiments::robustness(&args);
+}

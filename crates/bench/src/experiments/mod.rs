@@ -7,10 +7,12 @@
 
 mod ablations;
 mod functionality;
+mod robustness;
 mod security;
 mod tables;
 
 pub use ablations::{ablation_agents, ablation_filter, ablation_modes, ablation_optimizer, active_learning};
 pub use functionality::{fig6_energy, fig7_cost, fig8_temp, fig9_benefit};
+pub use robustness::robustness;
 pub use security::{fig5_roc, security_detection};
 pub use tables::{table1, table2, table3};

@@ -1,0 +1,151 @@
+//! Robustness degradation curves: false-positive rate and detection rate of
+//! the learned safe-transition table as the telemetry fault rate rises.
+//!
+//! Not a paper figure — the paper assumes clean SmartThings logs. This
+//! harness quantifies how the reproduction degrades on lossy streams: a
+//! benign day replayed through a seeded [`FaultPlan`] should stay mostly
+//! un-flagged (graceful FP growth), while engineered violations must stay
+//! detected at every fault rate.
+
+use crate::{banner, row, Args};
+use jarvis::{Jarvis, JarvisConfig, OptimizerConfig};
+use jarvis_attacks::{build_corpus, evaluate_detection, inject_violation};
+use jarvis_iot_model::{Episode, EpisodeConfig, TimeStep};
+use jarvis_policy::{flag_violations, MatchMode, SafeTransitionTable};
+use jarvis_sim::{FaultInjector, FaultKind, FaultPlan, FaultRule, HomeDataset};
+use jarvis_smart_home::{EventLog, SmartHome};
+
+fn learn_clean(seed: u64, days: u32) -> (Jarvis, HomeDataset) {
+    let data = HomeDataset::home_a(seed);
+    let config = JarvisConfig {
+        filter: None,
+        optimizer: OptimizerConfig::fast(),
+        ..JarvisConfig::default()
+    };
+    let mut jarvis = Jarvis::new(SmartHome::evaluation_home(), config);
+    jarvis.learning_phase(&data, 0..days).expect("learning phase");
+    jarvis.learn_policies().expect("policy learning");
+    (jarvis, data)
+}
+
+fn reparse_faulted(data: &HomeDataset, days: u32, plan: FaultPlan) -> Vec<Episode> {
+    let injector = FaultInjector::new(plan).expect("valid plan");
+    let home = SmartHome::evaluation_home();
+    let mut log = EventLog::new();
+    for day in 0..days {
+        log.record_faulted_activity(&home, &injector.inject(data, day));
+    }
+    log.parse_episodes(&home, EpisodeConfig::DAILY_MINUTES)
+        .expect("faulted parse")
+        .episodes
+}
+
+fn fp_rate(table: &SafeTransitionTable, episodes: &[Episode], mode: MatchMode) -> f64 {
+    let mut flagged = 0usize;
+    let mut active = 0usize;
+    for ep in episodes {
+        active += ep.transitions().iter().filter(|tr| !tr.is_idle() && !tr.gap).count();
+        flagged += flag_violations(table, ep, mode).len();
+    }
+    flagged as f64 / active.max(1) as f64
+}
+
+/// Detection rate over a corpus sample engineered into the faulted bases.
+fn detection_rate(jarvis: &Jarvis, table: &SafeTransitionTable, episodes: &[Episode]) -> f64 {
+    let home = jarvis.home();
+    let corpus = build_corpus(home);
+    let steps = [TimeStep(300), TimeStep(800), TimeStep(1200)];
+    let injected: Vec<_> = corpus
+        .iter()
+        .step_by(5)
+        .flat_map(|v| {
+            steps
+                .iter()
+                .filter_map(|&t| inject_violation(home, &episodes[0], v, t).ok())
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    evaluate_detection(table, &injected, MatchMode::Exact).rate()
+}
+
+/// The fault-matrix sweep behind `--bin robustness`.
+pub fn robustness(args: &Args) {
+    banner(
+        "Robustness — FP/detection degradation vs fault rate",
+        "benign stream re-ingested through seeded fault plans; \
+         clean-learned P_safe as detector",
+    );
+    let days: u32 = if args.quick { 2 } else { 5 };
+    let rates: Vec<f64> = if args.quick {
+        vec![0.0, 0.03]
+    } else {
+        vec![0.0, 0.01, 0.02, 0.03, 0.05]
+    };
+    let seeds: Vec<u64> = if args.quick {
+        vec![args.seed]
+    } else {
+        vec![args.seed, args.seed + 1, args.seed + 2]
+    };
+    let widths = [6, 6, 10, 10, 10, 8];
+    println!(
+        "{}",
+        row(
+            &["seed", "drop", "FP(exact)", "FP(gen)", "detect", "gaps"]
+                .map(str::to_owned)
+                .to_vec(),
+            &widths
+        )
+    );
+    for &seed in &seeds {
+        let (jarvis, data) = learn_clean(seed, days);
+        let table = &jarvis.outcome().expect("learned").table;
+        for &rate in &rates {
+            let eps = reparse_faulted(&data, days, FaultPlan::uniform_drop(seed, rate));
+            let gaps: usize = eps.iter().map(Episode::num_gaps).sum();
+            println!(
+                "{}",
+                row(
+                    &[
+                        seed.to_string(),
+                        format!("{rate:.2}"),
+                        format!("{:.4}", fp_rate(table, &eps, MatchMode::Exact)),
+                        format!("{:.4}", fp_rate(table, &eps, MatchMode::Generalized)),
+                        format!("{:.4}", detection_rate(&jarvis, table, &eps)),
+                        gaps.to_string(),
+                    ],
+                    &widths
+                )
+            );
+        }
+        // One offline-heavy plan per seed: known gaps, not silent drops.
+        let plan = FaultPlan {
+            seed,
+            rules: vec![FaultRule::for_device(
+                FaultKind::Offline { windows: 2, max_minutes: 240 },
+                "lock",
+            )],
+        };
+        let eps = reparse_faulted(&data, days, plan);
+        let gaps: usize = eps.iter().map(Episode::num_gaps).sum();
+        println!(
+            "{}",
+            row(
+                &[
+                    seed.to_string(),
+                    "offl".to_owned(),
+                    format!("{:.4}", fp_rate(table, &eps, MatchMode::Exact)),
+                    format!("{:.4}", fp_rate(table, &eps, MatchMode::Generalized)),
+                    format!("{:.4}", detection_rate(&jarvis, table, &eps)),
+                    gaps.to_string(),
+                ],
+                &widths
+            )
+        );
+    }
+    println!(
+        "\ninterpretation: FP(exact) amplifies drops (one lost event skews the\n\
+         joint state until it re-converges); FP(gen) wildcards bystander\n\
+         devices and is the graceful-degradation headline. `offl` rows show\n\
+         known outages absorbed as flagged gaps. detect must stay 1.0."
+    );
+}

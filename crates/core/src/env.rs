@@ -178,7 +178,7 @@ impl<'a> HomeRlEnv<'a> {
     /// indoor temperature (unless the sensor is off or alarming).
     fn sync_temp_sensor(&mut self) {
         let Some(id) = self.home.fsm().device_by_name("temp_sensor") else { return };
-        let dev = self.home.fsm().device(id).expect("valid id");
+        let dev = self.home.fsm().device(id).expect("valid id"); // invariant: id from device_by_name on this FSM
         let current = self.state.device(id).unwrap_or_default();
         let current_name = dev.state_name(current).unwrap_or("");
         if current_name == "off" || current_name == "fire_alarm" {
@@ -233,7 +233,7 @@ impl<'a> HomeRlEnv<'a> {
     ///
     /// Panics when `state` is invalid for the home's FSM.
     pub fn force_state(&mut self, state: EnvState, t: TimeStep) {
-        self.home.fsm().validate_state(&state).expect("valid state");
+        self.home.fsm().validate_state(&state).expect("valid state"); // invariant: documented panic, analysis-only API
         self.state = state;
         self.t = t.0;
     }
@@ -325,7 +325,7 @@ impl<'a> Environment for HomeRlEnv<'a> {
             .home
             .fsm()
             .step(&self.state, &agent_action)
-            .expect("agent actions come from the catalogue");
+            .expect("agent actions come from the catalogue"); // invariant: indices decoded from this env's action space
         if let Some(m) = mini {
             self.satisfy_habit(m);
         }
@@ -334,7 +334,7 @@ impl<'a> Environment for HomeRlEnv<'a> {
                 .home
                 .fsm()
                 .step(&self.state, &EnvAction::single(m))
-                .expect("scripted events come from the catalogue");
+                .expect("scripted events come from the catalogue"); // invariant: scenario built from the same home
         }
 
         // Physics: the house integrates one interval under the (possibly

@@ -23,6 +23,12 @@ pub enum JarvisError {
     },
     /// A log serialization failure, carrying the underlying message.
     Serde(String),
+    /// A training checkpoint could not be written or restored (corrupt
+    /// state, codec failure, or config/network mismatch).
+    Checkpoint(String),
+    /// A fault-injection plan is invalid (rate outside `[0, 1]`, zero
+    /// magnitude, empty scope).
+    Fault(String),
 }
 
 impl fmt::Display for JarvisError {
@@ -34,6 +40,8 @@ impl fmt::Display for JarvisError {
                 write!(f, "cannot {what}: run {requires} first")
             }
             JarvisError::Serde(msg) => write!(f, "serialization error: {msg}"),
+            JarvisError::Checkpoint(msg) => write!(f, "checkpoint error: {msg}"),
+            JarvisError::Fault(msg) => write!(f, "fault-plan error: {msg}"),
         }
     }
 }
@@ -68,10 +76,18 @@ mod tests {
     fn displays_and_sources() {
         let e = JarvisError::from(ModelError::EmptyFsm);
         assert!(e.to_string().contains("model error"));
-        assert!(e.source().is_some());
+        let src = e.source().expect("model errors carry a source");
+        assert!(src.downcast_ref::<ModelError>().is_some());
+        assert_eq!(src.to_string(), ModelError::EmptyFsm.to_string());
         let p = JarvisError::Pipeline { what: "optimize", requires: "learn_policies" };
         assert!(p.to_string().contains("learn_policies"));
         assert!(p.source().is_none());
+        let c = JarvisError::Checkpoint("bad replay length".to_owned());
+        assert!(c.to_string().contains("checkpoint error"));
+        assert!(c.source().is_none());
+        let fp = JarvisError::Fault("rate 1.5 outside [0, 1]".to_owned());
+        assert!(fp.to_string().contains("fault-plan error"));
+        assert!(fp.source().is_none());
     }
 
     #[test]

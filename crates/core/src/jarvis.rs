@@ -12,7 +12,7 @@ use jarvis_policy::{
     learn_safe_transitions, AnomalyFilter, FilterConfig, LearnOutcome, ManualPolicy, MatchMode,
     SplConfig,
 };
-use jarvis_sim::{AnomalyGenerator, HomeDataset};
+use jarvis_sim::{AnomalyGenerator, FaultInjector, FaultPlan, HomeDataset};
 use jarvis_smart_home::{anomaly_signature, EventLog, SmartHome};
 use jarvis_stdkit::rng::{Rng, SeedableRng};
 use std::ops::Range;
@@ -151,6 +151,43 @@ impl Jarvis {
     ) -> Result<usize, JarvisError> {
         for day in days {
             self.log.record_activity(&self.home, &data.activity(day));
+        }
+        let parsed = self.log.parse_episodes(&self.home, self.config.episode)?;
+        self.episodes = parsed.episodes;
+        Ok(self.episodes.len())
+    }
+
+    /// Build a [`FaultInjector`] from a plan, mapping validation failures
+    /// into [`JarvisError::Fault`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JarvisError::Fault`] when the plan is invalid (rate outside
+    /// `[0, 1]`, zero magnitude, empty scope).
+    pub fn fault_injector(plan: FaultPlan) -> Result<FaultInjector, JarvisError> {
+        FaultInjector::new(plan).map_err(JarvisError::Fault)
+    }
+
+    /// [`learning_phase`](Jarvis::learning_phase) through a fault injector:
+    /// each day's event stream is corrupted by the plan before logging, and
+    /// the parser degrades gracefully — offline windows become flagged gaps
+    /// with state carried forward, duplicates are absorbed idempotently, and
+    /// late events follow the recorder's order policy. Returns the number of
+    /// episodes parsed.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JarvisError::Model`] if replaying the logs through the
+    /// FSM fails (catalogue/normalization mismatch).
+    pub fn learning_phase_with_faults(
+        &mut self,
+        data: &HomeDataset,
+        days: Range<u32>,
+        injector: &FaultInjector,
+    ) -> Result<usize, JarvisError> {
+        for day in days {
+            let faulted = injector.inject(data, day);
+            self.log.record_faulted_activity(&self.home, &faulted);
         }
         let parsed = self.log.parse_episodes(&self.home, self.config.episode)?;
         self.episodes = parsed.episodes;
@@ -312,7 +349,7 @@ impl Jarvis {
                 Some(existing) => existing,
                 None => {
                     optimizer = Some(Optimizer::new(&env, self.config.optimizer.clone())?);
-                    optimizer.as_mut().expect("just set")
+                    optimizer.as_mut().expect("just set") // invariant: assigned on the previous line
                 }
             };
             let stats = opt.train(&mut env)?;
@@ -419,6 +456,22 @@ mod tests {
             j.optimize_day(&data, 8),
             Err(JarvisError::Pipeline { requires: "learn_policies", .. })
         ));
+        assert!(matches!(
+            j.optimize_days(&data, 8..10),
+            Err(JarvisError::Pipeline { requires: "learn_policies", .. })
+        ));
+        assert!(matches!(
+            j.save_policies(),
+            Err(JarvisError::Pipeline { requires: "learn_policies", .. })
+        ));
+        assert!(matches!(
+            j.monitor(),
+            Err(JarvisError::Pipeline { requires: "learn_policies", .. })
+        ));
+        // Ordering errors render actionably and have no source.
+        let err = j.save_policies().unwrap_err();
+        assert_eq!(err.to_string(), "cannot save policies: run learn_policies first");
+        assert!(std::error::Error::source(&err).is_none());
     }
 
     #[test]
@@ -497,6 +550,43 @@ mod tests {
             assert_eq!(p.optimized.steps, 1440);
             assert_eq!(p.optimized.violations, 0);
         }
+    }
+
+    #[test]
+    fn faulted_learning_phase_degrades_gracefully() {
+        use jarvis_sim::{FaultKind, FaultRule};
+        let data = HomeDataset::home_a(7);
+        // Zero-fault injection is identical to the clean learning phase.
+        let mut clean = Jarvis::new(SmartHome::evaluation_home(), fast_config());
+        clean.learning_phase(&data, 0..2).unwrap();
+        let mut j = Jarvis::new(SmartHome::evaluation_home(), fast_config());
+        let none = Jarvis::fault_injector(FaultPlan::none(1)).unwrap();
+        j.learning_phase_with_faults(&data, 0..2, &none).unwrap();
+        assert_eq!(j.episodes(), clean.episodes());
+        // A lossy plan still parses, flags gaps, and learns a table.
+        let plan = FaultPlan {
+            seed: 3,
+            rules: vec![
+                FaultRule::all_day(FaultKind::Drop { rate: 0.05 }),
+                FaultRule::for_device(
+                    FaultKind::Offline { windows: 1, max_minutes: 60 },
+                    "lock",
+                ),
+            ],
+        };
+        let inj = Jarvis::fault_injector(plan).unwrap();
+        let mut faulted = Jarvis::new(SmartHome::evaluation_home(), fast_config());
+        let n = faulted.learning_phase_with_faults(&data, 0..2, &inj).unwrap();
+        assert_eq!(n, 2);
+        faulted.learn_policies().unwrap();
+        assert!(faulted.outcome().unwrap().table.len() > 0);
+        let gaps: usize = faulted.episodes().iter().map(Episode::num_gaps).sum();
+        assert!(gaps > 0, "offline windows should flag gaps");
+        // Invalid plans surface as Fault errors, not panics.
+        assert!(matches!(
+            Jarvis::fault_injector(FaultPlan::uniform_drop(0, 2.0)),
+            Err(JarvisError::Fault(_))
+        ));
     }
 
     #[test]

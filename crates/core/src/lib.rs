@@ -64,7 +64,9 @@ pub use env::HomeRlEnv;
 pub use error::JarvisError;
 pub use jarvis::{DayPlan, Jarvis, JarvisConfig, PolicySnapshot};
 pub use monitor::{RuntimeMonitor, Verdict};
-pub use optimizer::{Optimizer, OptimizerConfig, TabularOptimizer, TrainingStats};
+pub use optimizer::{
+    Optimizer, OptimizerCheckpoint, OptimizerConfig, TabularOptimizer, TrainingStats,
+};
 pub use jarvis_rl::Parallelism;
 pub use reward::{
     EnergyCost, EnergyUse, FunctionalityReward, RewardWeights, SmartReward, Snapshot,

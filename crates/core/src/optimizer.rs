@@ -9,7 +9,11 @@
 
 use crate::env::HomeRlEnv;
 use crate::error::JarvisError;
-use jarvis_rl::{DqnAgent, DqnConfig, Environment, EpsilonSchedule, Experience, Parallelism};
+use jarvis_rl::{
+    DqnAgent, DqnCheckpoint, DqnConfig, Environment, EpsilonSchedule, Experience, Parallelism,
+};
+use jarvis_stdkit::json::{FromJson, ToJson};
+use jarvis_stdkit::json_struct;
 use crate::analysis::DayMetrics;
 
 /// Configuration of the optimizer run (the inputs of Algorithm 2).
@@ -56,6 +60,19 @@ impl Default for OptimizerConfig {
     }
 }
 
+json_struct!(OptimizerConfig {
+    episodes,
+    hidden,
+    learning_rate,
+    gamma,
+    batch_size,
+    replay_capacity,
+    schedule,
+    replay_every,
+    seed,
+    parallelism,
+});
+
 impl OptimizerConfig {
     /// A lightweight configuration for tests and examples: fewer episodes,
     /// a smaller network, sparser replay.
@@ -85,7 +102,23 @@ pub struct TrainingStats {
     pub final_epsilon: f64,
 }
 
+json_struct!(TrainingStats {
+    episode_rewards,
+    episode_violations,
+    episode_losses,
+    final_epsilon,
+});
+
 impl TrainingStats {
+    /// Append another run's telemetry (used when a checkpointed run resumes
+    /// and continues training).
+    pub fn merge(&mut self, other: &TrainingStats) {
+        self.episode_rewards.extend_from_slice(&other.episode_rewards);
+        self.episode_violations.extend_from_slice(&other.episode_violations);
+        self.episode_losses.extend_from_slice(&other.episode_losses);
+        self.final_epsilon = other.final_epsilon;
+    }
+
     /// Reward of the best training episode.
     #[must_use]
     pub fn best_reward(&self) -> f64 {
@@ -102,6 +135,24 @@ impl TrainingStats {
             / self.episode_violations.len() as f64
     }
 }
+
+/// A periodic training checkpoint: everything needed to resume Algorithm 2
+/// bit-identically after a crash — the full agent state (network, target,
+/// replay memory, ε-schedule, RNG stream position) plus the run's config
+/// and telemetry so far.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OptimizerCheckpoint {
+    /// The optimizer configuration of the interrupted run.
+    pub config: OptimizerConfig,
+    /// The complete DQN agent state.
+    pub agent: DqnCheckpoint,
+    /// Episodes completed when the checkpoint was taken.
+    pub episodes_done: usize,
+    /// Telemetry accumulated up to the checkpoint.
+    pub stats: TrainingStats,
+}
+
+json_struct!(OptimizerCheckpoint { config, agent, episodes_done, stats });
 
 /// The Algorithm 2 driver: a DQN agent trained on a [`HomeRlEnv`].
 #[derive(Debug, Clone)]
@@ -148,8 +199,24 @@ impl Optimizer {
     /// Returns a [`JarvisError::Neural`] if the network rejects a batch
     /// (indicating an observation-dimension bug).
     pub fn train(&mut self, env: &mut HomeRlEnv<'_>) -> Result<TrainingStats, JarvisError> {
+        let episodes = self.config.episodes;
+        self.train_episodes(env, episodes)
+    }
+
+    /// Run exactly `episodes` training episodes on `env` — the resumable
+    /// unit of Algorithm 2's outer loop.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JarvisError::Neural`] if the network rejects a batch
+    /// (indicating an observation-dimension bug).
+    pub fn train_episodes(
+        &mut self,
+        env: &mut HomeRlEnv<'_>,
+        episodes: usize,
+    ) -> Result<TrainingStats, JarvisError> {
         let mut stats = TrainingStats::default();
-        for _ep in 0..self.config.episodes {
+        for _ep in 0..episodes {
             let mut obs = env.reset();
             let mut losses = Vec::new();
             let mut step_count = 0usize;
@@ -188,6 +255,78 @@ impl Optimizer {
         }
         stats.final_epsilon = self.agent.epsilon();
         Ok(stats)
+    }
+
+    /// Train in chunks of `every` episodes, taking a serialized checkpoint
+    /// after each chunk. Returns the merged telemetry and every checkpoint
+    /// in order; the last checkpoint holds the final state, so a killed run
+    /// resumes from its most recent chunk boundary without divergence.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JarvisError::Neural`] if training fails.
+    pub fn train_checkpointed(
+        &mut self,
+        env: &mut HomeRlEnv<'_>,
+        every: usize,
+    ) -> Result<(TrainingStats, Vec<String>), JarvisError> {
+        let every = every.max(1);
+        let mut stats = TrainingStats::default();
+        let mut checkpoints = Vec::new();
+        let mut done = 0usize;
+        while done < self.config.episodes {
+            let n = every.min(self.config.episodes - done);
+            let chunk = self.train_episodes(env, n)?;
+            stats.merge(&chunk);
+            done += n;
+            checkpoints.push(self.checkpoint(done, &stats));
+        }
+        Ok((stats, checkpoints))
+    }
+
+    /// Serialize the complete training state as a JSON checkpoint.
+    #[must_use]
+    pub fn checkpoint(&self, episodes_done: usize, stats: &TrainingStats) -> String {
+        OptimizerCheckpoint {
+            config: self.config.clone(),
+            agent: self.agent.checkpoint(),
+            episodes_done,
+            stats: stats.clone(),
+        }
+        .to_json()
+    }
+
+    /// Restore an optimizer from a [`checkpoint`](Optimizer::checkpoint)
+    /// string, validating it against `env`. Returns the optimizer, the
+    /// number of episodes already completed, and the telemetry so far; the
+    /// caller finishes the run with
+    /// [`train_episodes`](Optimizer::train_episodes).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JarvisError::Checkpoint`] when the JSON is malformed,
+    /// the recorded dimensions disagree with `env`, or the agent state is
+    /// internally inconsistent.
+    pub fn restore(
+        env: &HomeRlEnv<'_>,
+        json: &str,
+    ) -> Result<(Self, usize, TrainingStats), JarvisError> {
+        let cp = OptimizerCheckpoint::from_json(json)
+            .map_err(|e| JarvisError::Checkpoint(e.to_string()))?;
+        if cp.agent.config.state_dim != env.state_dim()
+            || cp.agent.config.num_actions != env.num_actions()
+        {
+            return Err(JarvisError::Checkpoint(format!(
+                "checkpoint trained on {}-dim/{}-action env, got {}-dim/{}-action",
+                cp.agent.config.state_dim,
+                cp.agent.config.num_actions,
+                env.state_dim(),
+                env.num_actions()
+            )));
+        }
+        let agent = DqnAgent::from_checkpoint(cp.agent)
+            .map_err(|e| JarvisError::Checkpoint(e.to_string()))?;
+        Ok((Optimizer { agent, config: cp.config }, cp.episodes_done, cp.stats))
     }
 
     /// Greedy rollout of the learned policy over one episode; returns the
@@ -362,6 +501,86 @@ mod tests {
         assert!(tab.visited_states() > 100, "a day visits many states");
         let metrics = tab.rollout(&mut env);
         assert_eq!(metrics.steps, 1440);
+    }
+
+    #[test]
+    fn checkpoint_resume_is_bit_identical() {
+        let (home, scenario, reward) = fast_setup(2);
+        let mut cfg = OptimizerConfig::fast();
+        cfg.episodes = 4;
+        cfg.seed = 17;
+        // Straight-through run.
+        let mut env = HomeRlEnv::new(&home, &scenario, &reward);
+        let mut straight = Optimizer::new(&env, cfg.clone()).unwrap();
+        let full = straight.train(&mut env).unwrap();
+        // Interrupted run: 2 episodes, checkpoint, "crash", restore, finish.
+        let mut env2 = HomeRlEnv::new(&home, &scenario, &reward);
+        let mut first = Optimizer::new(&env2, cfg.clone()).unwrap();
+        let chunk = first.train_episodes(&mut env2, 2).unwrap();
+        let cp = first.checkpoint(2, &chunk);
+        drop(first);
+        let mut env3 = HomeRlEnv::new(&home, &scenario, &reward);
+        let (mut resumed, done, mut stats) = Optimizer::restore(&env3, &cp).unwrap();
+        assert_eq!(done, 2);
+        let rest = resumed.train_episodes(&mut env3, cfg.episodes - done).unwrap();
+        stats.merge(&rest);
+        assert_eq!(stats.episode_rewards, full.episode_rewards, "rewards diverged after resume");
+        assert_eq!(stats.episode_losses, full.episode_losses, "losses diverged after resume");
+        assert_eq!(
+            stats.final_epsilon.to_bits(),
+            full.final_epsilon.to_bits(),
+            "epsilon diverged after resume"
+        );
+    }
+
+    #[test]
+    fn train_checkpointed_takes_periodic_checkpoints() {
+        let (home, scenario, reward) = fast_setup(2);
+        let mut env = HomeRlEnv::new(&home, &scenario, &reward);
+        let mut cfg = OptimizerConfig::fast();
+        cfg.episodes = 3;
+        let mut opt = Optimizer::new(&env, cfg).unwrap();
+        let (stats, checkpoints) = opt.train_checkpointed(&mut env, 2).unwrap();
+        assert_eq!(stats.episode_rewards.len(), 3);
+        assert_eq!(checkpoints.len(), 2, "chunks of 2 then 1");
+        let (_, done, prior) = Optimizer::restore(&env, checkpoints.last().unwrap()).unwrap();
+        assert_eq!(done, 3);
+        assert_eq!(prior, stats);
+    }
+
+    #[test]
+    fn restore_rejects_corrupt_and_mismatched_checkpoints() {
+        let (home, scenario, reward) = fast_setup(2);
+        let env = HomeRlEnv::new(&home, &scenario, &reward);
+        assert!(matches!(
+            Optimizer::restore(&env, "{}"),
+            Err(JarvisError::Checkpoint(_))
+        ));
+        // A checkpoint from a smaller home must not restore against this env.
+        let small = SmartHome::example_home();
+        let data = HomeDataset::home_a(31);
+        let scen2 = DayScenario::from_dataset(&small, &data, 2);
+        let reward2 = SmartReward::evaluation(
+            RewardWeights::emphasizing("energy", 0.8),
+            scen2.peak_price(),
+            TaBehavior::new(),
+            scen2.config(),
+            small.fsm().num_devices(),
+        );
+        let env2 = HomeRlEnv::new(&small, &scen2, &reward2);
+        let opt = Optimizer::new(&env2, OptimizerConfig::fast()).unwrap();
+        let cp = opt.checkpoint(0, &TrainingStats::default());
+        assert!(matches!(
+            Optimizer::restore(&env, &cp),
+            Err(JarvisError::Checkpoint(_))
+        ));
+    }
+
+    #[test]
+    fn optimizer_config_round_trips_with_infinite_preferable_loss() {
+        let cfg = OptimizerConfig::default();
+        let back = OptimizerConfig::from_json(&cfg.to_json()).unwrap();
+        assert_eq!(back, cfg);
     }
 
     #[test]

@@ -145,7 +145,7 @@ impl RewardWeights {
             "energy" => RewardWeights { energy: f, cost: rest, comfort: rest },
             "cost" => RewardWeights { energy: rest, cost: f, comfort: rest },
             "comfort" => RewardWeights { energy: rest, cost: rest, comfort: f },
-            other => panic!("unknown functionality `{other}`"),
+            other => panic!("unknown functionality `{other}`"), // invariant: documented panic, config-time constructor
         }
     }
 

@@ -119,9 +119,14 @@ pub struct Transition {
     pub next: EnvState,
     /// Attribution per mini-action, parallel to `action.minis()`.
     pub actors: Vec<Actor>,
+    /// True when this interval is a known *telemetry gap* (device offline,
+    /// stream unobserved): the previous state was carried forward and the
+    /// interval must not be treated as behavioral evidence — the SPL's
+    /// detector skips flagged intervals instead of inflating anomaly counts.
+    pub gap: bool,
 }
 
-json_struct!(Transition { step, state, action, next, actors });
+json_struct!(Transition { step, state, action, next, actors, gap });
 
 impl Transition {
     /// True when this interval saw no actuation (self-loop on `S_t`).
@@ -229,6 +234,69 @@ impl Episode {
     pub fn num_active(&self) -> usize {
         self.transitions.iter().filter(|t| !t.is_idle()).count()
     }
+
+    /// Time instances flagged as telemetry gaps.
+    #[must_use]
+    pub fn gap_steps(&self) -> Vec<TimeStep> {
+        self.transitions.iter().filter(|t| t.gap).map(|t| t.step).collect()
+    }
+
+    /// Number of gap-flagged time instances.
+    #[must_use]
+    pub fn num_gaps(&self) -> usize {
+        self.transitions.iter().filter(|t| t.gap).count()
+    }
+}
+
+/// Policy for events whose timestamp precedes the recorder's current
+/// interval (late arrivals after delay/reorder faults).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OrderPolicy {
+    /// Drop late events: they are counted as stale and never applied.
+    Reject,
+    /// Re-slot a late event into the *current* interval when it is at most
+    /// `tolerance` intervals old; older events are dropped as stale.
+    Reslot {
+        /// Maximum lateness, in intervals, that is still re-slotted.
+        tolerance: u32,
+    },
+}
+
+jarvis_stdkit::json_enum!(OrderPolicy { Reject, Reslot { tolerance } });
+
+impl Default for OrderPolicy {
+    fn default() -> Self {
+        OrderPolicy::Reject
+    }
+}
+
+/// What happened to a submitted event (the graceful-degradation analogue of
+/// [`EpisodeRecorder::submit`]'s boolean).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitOutcome {
+    /// The action was accepted into the current interval.
+    Accepted,
+    /// The action was accepted into the current interval although its
+    /// timestamp was late (re-slotted under [`OrderPolicy::Reslot`]).
+    Reslotted,
+    /// An identical action was already pending on the device this interval;
+    /// the duplicate is idempotently ignored (the interval still applies the
+    /// action exactly once).
+    Duplicate,
+    /// A *different* action already claimed the device this interval; the
+    /// submission lost first-come-first-serve (constraint 4).
+    Conflict,
+    /// The event was too old for the order policy and was dropped.
+    Stale,
+}
+
+impl SubmitOutcome {
+    /// True when the interval will apply the submitted action (either this
+    /// submission or an identical earlier one).
+    #[must_use]
+    pub fn applied(self) -> bool {
+        matches!(self, SubmitOutcome::Accepted | SubmitOutcome::Reslotted | SubmitOutcome::Duplicate)
+    }
 }
 
 /// Records one episode step by step, enforcing the Section III-B constraints:
@@ -271,6 +339,11 @@ pub struct EpisodeRecorder<'a> {
     step: TimeStep,
     pending: Vec<(Actor, MiniAction)>,
     transitions: Vec<Transition>,
+    order: OrderPolicy,
+    gap: bool,
+    duplicates: usize,
+    stale: usize,
+    reslotted: usize,
 }
 
 impl<'a> EpisodeRecorder<'a> {
@@ -295,7 +368,38 @@ impl<'a> EpisodeRecorder<'a> {
             step: TimeStep(0),
             pending: Vec::new(),
             transitions: Vec::new(),
+            order: OrderPolicy::default(),
+            gap: false,
+            duplicates: 0,
+            stale: 0,
+            reslotted: 0,
         })
+    }
+
+    /// Set the policy for late (out-of-order) events submitted through
+    /// [`EpisodeRecorder::submit_at`].
+    #[must_use]
+    pub fn with_order_policy(mut self, order: OrderPolicy) -> Self {
+        self.order = order;
+        self
+    }
+
+    /// Number of idempotently ignored duplicate submissions so far.
+    #[must_use]
+    pub fn duplicates(&self) -> usize {
+        self.duplicates
+    }
+
+    /// Number of late events dropped as stale so far.
+    #[must_use]
+    pub fn stale_events(&self) -> usize {
+        self.stale
+    }
+
+    /// Number of late events re-slotted into their arrival interval so far.
+    #[must_use]
+    pub fn reslotted_events(&self) -> usize {
+        self.reslotted
     }
 
     /// The current time instance.
@@ -318,14 +422,74 @@ impl<'a> EpisodeRecorder<'a> {
 
     /// Submit a mini-action attempt for the *current* interval.
     ///
-    /// Returns `Ok(true)` when the action is accepted, `Ok(false)` when it
-    /// lost a first-come-first-serve conflict on its device (constraint 4).
+    /// Returns `Ok(true)` when the interval will apply the action (including
+    /// the idempotent case where an identical action was already pending on
+    /// the device), `Ok(false)` when it lost a first-come-first-serve
+    /// conflict against a *different* action on its device (constraint 4).
     ///
     /// # Errors
     ///
     /// Returns an authorization error (constraints 2–3), or
     /// [`ModelError::EpisodeComplete`] after the final instance.
     pub fn submit(&mut self, actor: Actor, mini: MiniAction) -> Result<bool, ModelError> {
+        self.submit_current(actor, mini).map(SubmitOutcome::applied)
+    }
+
+    /// Submit a timestamped mini-action attempt, applying the recorder's
+    /// [`OrderPolicy`] to late events.
+    ///
+    /// * `step` equal to the current interval: behaves like
+    ///   [`EpisodeRecorder::submit`], returning [`SubmitOutcome::Accepted`],
+    ///   [`SubmitOutcome::Duplicate`], or [`SubmitOutcome::Conflict`].
+    /// * `step` in the past: under [`OrderPolicy::Reject`] the event is
+    ///   dropped as [`SubmitOutcome::Stale`]; under [`OrderPolicy::Reslot`]
+    ///   it is re-slotted into the *current* interval when it is at most
+    ///   `tolerance` intervals old ([`SubmitOutcome::Reslotted`]), else
+    ///   dropped as stale. Dropping is graceful — faulted streams must not
+    ///   abort episode recording.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::OutOfOrderEvent`] for a *future* `step` (a
+    /// caller bug, not a stream fault), an authorization error (constraints
+    /// 2–3), or [`ModelError::EpisodeComplete`] after the final instance.
+    pub fn submit_at(
+        &mut self,
+        actor: Actor,
+        mini: MiniAction,
+        step: TimeStep,
+    ) -> Result<SubmitOutcome, ModelError> {
+        if self.is_complete() {
+            return Err(ModelError::EpisodeComplete { steps: self.config.steps() });
+        }
+        if step.0 > self.step.0 {
+            return Err(ModelError::OutOfOrderEvent { step, current: self.step });
+        }
+        if step.0 < self.step.0 {
+            let lateness = self.step.0 - step.0;
+            let reslot = match self.order {
+                OrderPolicy::Reject => false,
+                OrderPolicy::Reslot { tolerance } => lateness <= tolerance,
+            };
+            if !reslot {
+                self.stale += 1;
+                return Ok(SubmitOutcome::Stale);
+            }
+            let outcome = self.submit_current(actor, mini)?;
+            if outcome == SubmitOutcome::Accepted {
+                self.reslotted += 1;
+                return Ok(SubmitOutcome::Reslotted);
+            }
+            return Ok(outcome);
+        }
+        self.submit_current(actor, mini)
+    }
+
+    fn submit_current(
+        &mut self,
+        actor: Actor,
+        mini: MiniAction,
+    ) -> Result<SubmitOutcome, ModelError> {
         if self.is_complete() {
             return Err(ModelError::EpisodeComplete { steps: self.config.steps() });
         }
@@ -335,11 +499,27 @@ impl<'a> EpisodeRecorder<'a> {
             return Err(ModelError::InvalidAction { device: mini.device, action: mini.action });
         }
         self.authz.check(actor.user, actor.app, mini.device)?;
-        if self.pending.iter().any(|(_, m)| m.device == mini.device) {
-            return Ok(false); // first come, first serve
+        if let Some((_, pending)) = self.pending.iter().find(|(_, m)| m.device == mini.device) {
+            // Same action again (a duplicated event): idempotent, the
+            // interval still applies the action exactly once. A *different*
+            // action loses first-come-first-serve.
+            return if pending.action == mini.action {
+                self.duplicates += 1;
+                Ok(SubmitOutcome::Duplicate)
+            } else {
+                Ok(SubmitOutcome::Conflict)
+            };
         }
         self.pending.push((actor, mini));
-        Ok(true)
+        Ok(SubmitOutcome::Accepted)
+    }
+
+    /// Flag the current interval as a telemetry gap (e.g. a device-offline
+    /// window): the transition recorded by the next
+    /// [`EpisodeRecorder::advance`] carries `gap = true`, and — when no
+    /// action is pending — the state is carried forward unchanged.
+    pub fn mark_gap(&mut self) {
+        self.gap = true;
     }
 
     /// Close the current interval: apply all accepted mini-actions through
@@ -363,6 +543,8 @@ impl<'a> EpisodeRecorder<'a> {
         };
         let action =
             EnvAction::try_from_minis(pending.into_iter().map(|(_, m)| m).collect())
+                // invariant: submit_current() rejects a second action on a
+                // pending device, so the mini set holds one action per device.
                 .expect("submit() enforces one action per device");
         let next = self.fsm.step(&self.current, &action)?;
         let transition = Transition {
@@ -371,10 +553,12 @@ impl<'a> EpisodeRecorder<'a> {
             action,
             next: next.clone(),
             actors,
+            gap: std::mem::take(&mut self.gap),
         };
         self.transitions.push(transition);
         self.current = next;
         self.step = self.step.next();
+        // invariant: pushed one line above; the vec cannot be empty.
         Ok(self.transitions.last().expect("just pushed"))
     }
 
@@ -547,6 +731,116 @@ mod tests {
         let cfg = EpisodeConfig::new(60, 60).unwrap();
         let bad = EnvState::new(vec![crate::ids::StateIdx(0)]);
         assert!(EpisodeRecorder::new(&fsm, &authz, cfg, bad).is_err());
+    }
+
+    #[test]
+    fn duplicate_submissions_are_idempotent() {
+        let fsm = fsm();
+        let authz = AuthzPolicy::new();
+        let cfg = EpisodeConfig::new(60, 60).unwrap();
+        let mut rec = EpisodeRecorder::new(&fsm, &authz, cfg, fsm.initial_state()).unwrap();
+        // Same device, same action, twice: both "applied", one pending entry.
+        assert!(rec.submit(Actor::manual(UserId(0)), MiniAction::new(DeviceId(0), 1)).unwrap());
+        assert!(rec.submit(Actor::manual(UserId(1)), MiniAction::new(DeviceId(0), 1)).unwrap());
+        assert_eq!(rec.duplicates(), 1);
+        let t = rec.advance().unwrap();
+        assert_eq!(t.action.len(), 1, "duplicate applied exactly once");
+        assert_eq!(t.actors.len(), 1);
+        assert_eq!(t.actors[0].user, UserId(0), "first submission keeps attribution");
+    }
+
+    #[test]
+    fn order_policy_reject_drops_late_events() {
+        let fsm = fsm();
+        let authz = AuthzPolicy::new();
+        let cfg = EpisodeConfig::new(300, 60).unwrap();
+        let mut rec = EpisodeRecorder::new(&fsm, &authz, cfg, fsm.initial_state()).unwrap();
+        rec.advance().unwrap();
+        rec.advance().unwrap(); // now at step 2
+        let out = rec
+            .submit_at(Actor::manual(UserId(0)), MiniAction::new(DeviceId(0), 1), TimeStep(0))
+            .unwrap();
+        assert_eq!(out, SubmitOutcome::Stale);
+        assert!(!out.applied());
+        assert_eq!(rec.stale_events(), 1);
+        let t = rec.advance().unwrap();
+        assert!(t.is_idle(), "stale event must not actuate");
+    }
+
+    #[test]
+    fn order_policy_reslot_within_tolerance() {
+        let fsm = fsm();
+        let authz = AuthzPolicy::new();
+        let cfg = EpisodeConfig::new(300, 60).unwrap();
+        let mut rec = EpisodeRecorder::new(&fsm, &authz, cfg, fsm.initial_state())
+            .unwrap()
+            .with_order_policy(OrderPolicy::Reslot { tolerance: 2 });
+        rec.advance().unwrap();
+        rec.advance().unwrap(); // now at step 2
+        // 2 intervals late: within tolerance, re-slotted into step 2.
+        let out = rec
+            .submit_at(Actor::manual(UserId(0)), MiniAction::new(DeviceId(0), 1), TimeStep(0))
+            .unwrap();
+        assert_eq!(out, SubmitOutcome::Reslotted);
+        assert!(out.applied());
+        assert_eq!(rec.reslotted_events(), 1);
+        let t = rec.advance().unwrap().clone();
+        assert_eq!(t.step, TimeStep(2), "re-slotted into the arrival interval");
+        assert!(!t.is_idle());
+        // 3 intervals late at step 3: beyond tolerance, stale.
+        let out = rec
+            .submit_at(Actor::manual(UserId(0)), MiniAction::new(DeviceId(1), 1), TimeStep(0))
+            .unwrap();
+        assert_eq!(out, SubmitOutcome::Stale);
+    }
+
+    #[test]
+    fn future_events_error() {
+        let fsm = fsm();
+        let authz = AuthzPolicy::new();
+        let cfg = EpisodeConfig::new(300, 60).unwrap();
+        let mut rec = EpisodeRecorder::new(&fsm, &authz, cfg, fsm.initial_state()).unwrap();
+        assert!(matches!(
+            rec.submit_at(Actor::manual(UserId(0)), MiniAction::new(DeviceId(0), 1), TimeStep(3)),
+            Err(ModelError::OutOfOrderEvent { step: TimeStep(3), current: TimeStep(0) })
+        ));
+    }
+
+    #[test]
+    fn submit_at_current_step_matches_submit() {
+        let fsm = fsm();
+        let authz = AuthzPolicy::new();
+        let cfg = EpisodeConfig::new(120, 60).unwrap();
+        let mut rec = EpisodeRecorder::new(&fsm, &authz, cfg, fsm.initial_state()).unwrap();
+        let out = rec
+            .submit_at(Actor::manual(UserId(0)), MiniAction::new(DeviceId(0), 1), TimeStep(0))
+            .unwrap();
+        assert_eq!(out, SubmitOutcome::Accepted);
+        // Conflicting action on the same device still loses FCFS.
+        let out = rec
+            .submit_at(Actor::manual(UserId(1)), MiniAction::new(DeviceId(0), 0), TimeStep(0))
+            .unwrap();
+        assert_eq!(out, SubmitOutcome::Conflict);
+        assert!(!out.applied());
+    }
+
+    #[test]
+    fn gap_marking_flags_interval_and_carries_state() {
+        let fsm = fsm();
+        let authz = AuthzPolicy::new();
+        let cfg = EpisodeConfig::new(180, 60).unwrap();
+        let mut rec = EpisodeRecorder::new(&fsm, &authz, cfg, fsm.initial_state()).unwrap();
+        rec.mark_gap();
+        let t = rec.advance().unwrap().clone();
+        assert!(t.gap);
+        assert_eq!(t.state, t.next, "gap interval carries state forward");
+        // The flag does not stick to later intervals.
+        let t2 = rec.advance().unwrap();
+        assert!(!t2.gap);
+        rec.advance().unwrap();
+        let ep = rec.finish();
+        assert_eq!(ep.num_gaps(), 1);
+        assert_eq!(ep.gap_steps(), vec![TimeStep(0)]);
     }
 
     #[test]

@@ -104,6 +104,15 @@ pub enum ModelError {
         /// Interval `I` in seconds.
         interval_s: u32,
     },
+    /// An event was submitted for a *future* time instance: the recorder can
+    /// re-slot late events (per its order policy) but cannot accept events
+    /// from intervals it has not reached yet.
+    OutOfOrderEvent {
+        /// The time instance the event claimed.
+        step: TimeStep,
+        /// The recorder's current time instance.
+        current: TimeStep,
+    },
 }
 
 impl fmt::Display for ModelError {
@@ -155,6 +164,12 @@ impl fmt::Display for ModelError {
                     "invalid episode configuration: period {period_s}s, interval {interval_s}s"
                 )
             }
+            ModelError::OutOfOrderEvent { step, current } => {
+                write!(
+                    f,
+                    "event for future time instance {step} submitted while recording {current}"
+                )
+            }
         }
     }
 }
@@ -197,6 +212,7 @@ mod tests {
             ModelError::EpisodeComplete { steps: 1440 },
             ModelError::InvalidTimeStep { step: TimeStep(2000), steps: 1440 },
             ModelError::InvalidEpisodeConfig { period_s: 0, interval_s: 60 },
+            ModelError::OutOfOrderEvent { step: TimeStep(9), current: TimeStep(4) },
         ];
         for v in variants {
             assert!(!v.to_string().is_empty());

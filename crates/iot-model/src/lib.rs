@@ -57,7 +57,9 @@ pub mod state;
 pub use action::{EnvAction, MiniAction};
 pub use context::{App, AppId, AuthzPolicy, Group, GroupId, Location, LocationId, User, UserId};
 pub use device::{DeviceBuilder, DeviceKind, DeviceSpec};
-pub use episode::{Actor, Episode, EpisodeConfig, EpisodeRecorder, Transition};
+pub use episode::{
+    Actor, Episode, EpisodeConfig, EpisodeRecorder, OrderPolicy, SubmitOutcome, Transition,
+};
 pub use error::ModelError;
 pub use event::{Event, EventSource};
 pub use fsm::Fsm;

@@ -54,6 +54,12 @@ pub fn learn_safe_transitions(
             if tr.is_idle() {
                 continue;
             }
+            // A flagged gap means the interval's telemetry is known-missing
+            // (device offline): any action recorded there is a partial
+            // observation, not evidence of a safe pair.
+            if tr.gap {
+                continue;
+            }
             if let Some(f) = filter {
                 // A filter error means the episode disagrees with the FSM the
                 // filter was built for; treat the transition as unfiltered
@@ -73,6 +79,10 @@ pub fn learn_safe_transitions(
 /// Scan an episode for transitions `P_safe` does not allow; returns the time
 /// instances of the violations. This is the SPL's runtime detection role
 /// (Section VI-B's security analysis).
+///
+/// Intervals flagged as known telemetry gaps are skipped: the recorded state
+/// there is carried-forward rather than observed, so judging actions against
+/// it would inflate the false-positive count with sensing artifacts.
 #[must_use]
 pub fn flag_violations(
     table: &SafeTransitionTable,
@@ -82,7 +92,7 @@ pub fn flag_violations(
     episode
         .transitions()
         .iter()
-        .filter(|tr| !tr.is_idle() && !table.is_safe_action(&tr.state, &tr.action, mode))
+        .filter(|tr| !tr.gap && !tr.is_idle() && !table.is_safe_action(&tr.state, &tr.action, mode))
         .map(|tr| tr.step)
         .collect()
 }
@@ -188,6 +198,29 @@ mod tests {
         // Even with an empty table, an idle episode has no violations.
         let table = SafeTransitionTable::new();
         assert!(flag_violations(&table, &idle, MatchMode::Exact).is_empty());
+    }
+
+    #[test]
+    fn gap_flagged_intervals_are_skipped_by_learner_and_detector() {
+        let fsm = fsm();
+        let authz = AuthzPolicy::new();
+        let cfg = EpisodeConfig::new(600, 60).unwrap();
+        let mut rec = EpisodeRecorder::new(&fsm, &authz, cfg, fsm.initial_state()).unwrap();
+        for t in 0..10 {
+            if t == 2 {
+                rec.submit(Actor::manual(UserId(0)), MiniAction::new(DeviceId(0), 1)).unwrap();
+                rec.mark_gap();
+            }
+            rec.advance().unwrap();
+        }
+        let ep = rec.finish();
+        assert_eq!(ep.num_gaps(), 1);
+        // The action inside the gap interval is not learned as safe...
+        let out = learn_safe_transitions(&fsm, &[ep.clone()], None, &SplConfig::default());
+        assert_eq!(out.table.len(), 0);
+        // ...and not flagged as a violation even against an empty table.
+        let table = SafeTransitionTable::new();
+        assert!(flag_violations(&table, &ep, MatchMode::Exact).is_empty());
     }
 
     #[test]

@@ -15,6 +15,7 @@ use crate::explore::EpsilonSchedule;
 use crate::policy;
 use crate::replay::ReplayBuffer;
 use jarvis_neural::{Activation, Loss, Network, NeuralError, OptimizerKind, Parallelism};
+use jarvis_stdkit::json_struct;
 use jarvis_stdkit::rng::SliceRandom;
 use jarvis_stdkit::rng::SeedableRng;
 use jarvis_stdkit::rng::ChaCha8Rng;
@@ -36,6 +37,8 @@ pub struct Experience {
     /// True when `S'` terminated the episode.
     pub done: bool,
 }
+
+json_struct!(Experience { state, action, reward, next, next_valid, done });
 
 /// Configuration for a [`DqnAgent`].
 #[derive(Debug, Clone, PartialEq)]
@@ -72,6 +75,21 @@ pub struct DqnConfig {
     pub parallelism: Parallelism,
 }
 
+json_struct!(DqnConfig {
+    state_dim,
+    num_actions,
+    hidden,
+    learning_rate,
+    gamma,
+    replay_capacity,
+    batch_size,
+    schedule,
+    target_sync_every,
+    double_dqn,
+    seed,
+    parallelism,
+});
+
 impl DqnConfig {
     /// Paper-faithful defaults: two hidden layers of 64 ReLU units, Adam at
     /// 0.001, `γ` = 0.95, replay capacity 10 000, batch 32, no target
@@ -94,6 +112,34 @@ impl DqnConfig {
         }
     }
 }
+
+/// The complete serializable state of a [`DqnAgent`] mid-training.
+///
+/// Captures everything that influences future training: the online network
+/// (weights *and* Adam moments), the frozen target network, the replay
+/// memory contents, the exploration schedule, the replay counter, and the
+/// exact RNG stream position. Restoring a checkpoint therefore resumes
+/// training **bit-identically** — an interrupted run and an uninterrupted
+/// run produce the same weights.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DqnCheckpoint {
+    /// The agent's configuration (network shape, seeds, schedule template).
+    pub config: DqnConfig,
+    /// The online Q network, including optimizer state.
+    pub net: Network,
+    /// The frozen target network, when `target_sync_every` is configured.
+    pub target: Option<Network>,
+    /// Replay-memory contents, oldest first.
+    pub replay: Vec<Experience>,
+    /// The live exploration schedule (decayed from the config's template).
+    pub schedule: EpsilonSchedule,
+    /// Number of replays performed so far.
+    pub replays_done: usize,
+    /// The exploration/sampling RNG, mid-stream.
+    pub rng: ChaCha8Rng,
+}
+
+json_struct!(DqnCheckpoint { config, net, target, replay, schedule, replays_done, rng });
 
 /// A deep Q-learning agent: network, replay memory, and ε-greedy policy.
 #[derive(Debug, Clone)]
@@ -196,6 +242,56 @@ impl DqnAgent {
     /// Store one transition in replay memory.
     pub fn remember(&mut self, exp: Experience) {
         self.replay.push(exp);
+    }
+
+    /// Snapshot the agent's complete training state.
+    #[must_use]
+    pub fn checkpoint(&self) -> DqnCheckpoint {
+        DqnCheckpoint {
+            config: self.config.clone(),
+            net: self.net.clone(),
+            target: self.target.clone(),
+            replay: self.replay.iter().cloned().collect(),
+            schedule: self.schedule,
+            replays_done: self.replays_done,
+            rng: self.rng.clone(),
+        }
+    }
+
+    /// Rebuild an agent from a [`DqnCheckpoint`], resuming training exactly
+    /// where the snapshot left off.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`NeuralError`] when the checkpoint's configuration is
+    /// invalid (e.g. zero replay capacity or more stored experiences than
+    /// the capacity admits).
+    pub fn from_checkpoint(cp: DqnCheckpoint) -> Result<Self, NeuralError> {
+        if cp.config.replay_capacity == 0 {
+            return Err(NeuralError::BadVectorLength {
+                what: "checkpoint replay capacity",
+                expected: 1,
+                got: 0,
+            });
+        }
+        if cp.replay.len() > cp.config.replay_capacity {
+            return Err(NeuralError::BadVectorLength {
+                what: "checkpoint replay contents",
+                expected: cp.config.replay_capacity,
+                got: cp.replay.len(),
+            });
+        }
+        let mut replay = ReplayBuffer::new(cp.config.replay_capacity);
+        replay.extend(cp.replay);
+        Ok(DqnAgent {
+            config: cp.config,
+            net: cp.net,
+            target: cp.target,
+            replay,
+            schedule: cp.schedule,
+            replays_done: cp.replays_done,
+            rng: cp.rng,
+        })
     }
 
     /// Algorithm 2's `Replay(BSize)`: sample a mini-batch, compute the
@@ -391,6 +487,83 @@ mod tests {
         }
         let q = agent.q_values(&[0.0]).unwrap();
         assert!((q[0] - 1.0).abs() < 0.1, "q = {q:?}");
+    }
+
+    #[test]
+    fn checkpoint_resume_is_bit_identical() {
+        use jarvis_stdkit::json::{FromJson, ToJson};
+        let mk = || {
+            let mut c = DqnConfig::new(1, 2);
+            c.hidden = vec![8];
+            c.batch_size = 8;
+            c.seed = 19;
+            c.schedule = EpsilonSchedule::new(1.0, 0.05, 0.9, f64::INFINITY);
+            DqnAgent::new(c).unwrap()
+        };
+        let drive = |agent: &mut DqnAgent, steps: usize| {
+            let mut env = Chain::new(4);
+            env.reset();
+            for _ in 0..steps {
+                let obs = env.observe();
+                let a = agent.act(&obs, &env.valid_actions()).unwrap();
+                let step = env.step(a);
+                agent.remember(Experience {
+                    state: obs,
+                    action: a,
+                    reward: step.reward,
+                    next: step.obs,
+                    next_valid: env.valid_actions(),
+                    done: step.done,
+                });
+                agent.replay().unwrap();
+                if step.done {
+                    env.reset();
+                }
+            }
+        };
+        // Train 20 steps, snapshot through a JSON round trip, then continue
+        // both the original agent and the restored copy through the *same*
+        // remaining input stream (drive() rebuilds its env identically). The
+        // streams line up only if the checkpoint restored net + replay +
+        // schedule + RNG exactly.
+        let mut first = mk();
+        drive(&mut first, 20);
+        let json = first.checkpoint().to_json();
+        let cp = DqnCheckpoint::from_json(&json).unwrap();
+        assert_eq!(cp, first.checkpoint(), "JSON round trip must be lossless");
+        let mut resumed = DqnAgent::from_checkpoint(cp).unwrap();
+        drive(&mut resumed, 20);
+        drive(&mut first, 20);
+        let q_resumed = resumed.q_values(&[0.5]).unwrap();
+        let q_first = first.q_values(&[0.5]).unwrap();
+        assert!(
+            q_resumed.iter().zip(&q_first).all(|(a, b)| a.to_bits() == b.to_bits()),
+            "resume diverged: {q_resumed:?} vs {q_first:?}"
+        );
+        assert_eq!(resumed.replay_len(), first.replay_len());
+        assert_eq!(resumed.epsilon().to_bits(), first.epsilon().to_bits());
+    }
+
+    #[test]
+    fn checkpoint_rejects_corrupt_state() {
+        let agent = DqnAgent::new(DqnConfig::new(1, 2)).unwrap();
+        let mut cp = agent.checkpoint();
+        cp.config.replay_capacity = 0;
+        assert!(DqnAgent::from_checkpoint(cp).is_err());
+        let mut cp = agent.checkpoint();
+        cp.config.replay_capacity = 1;
+        cp.replay = vec![
+            Experience {
+                state: vec![0.0],
+                action: 0,
+                reward: 0.0,
+                next: vec![0.0],
+                next_valid: vec![0],
+                done: false,
+            };
+            2
+        ];
+        assert!(DqnAgent::from_checkpoint(cp).is_err());
     }
 
     #[test]

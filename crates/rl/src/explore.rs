@@ -4,8 +4,8 @@
 //! latest replay loss is at most the *preferable loss* `L_p` — the agent
 //! keeps exploring until its Q network has actually started fitting.
 
+use jarvis_stdkit::json::{check_object, field, FromJson, Json, JsonError, ToJson};
 use jarvis_stdkit::rng::Rng;
-use jarvis_stdkit::{json_struct};
 
 /// Exploration schedule `(ε, ε_min, ε_decay, L_p)`.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -16,7 +16,63 @@ pub struct EpsilonSchedule {
     preferable_loss: f64,
 }
 
-json_struct!(EpsilonSchedule { epsilon, min, decay, preferable_loss });
+// Hand-written codec instead of `json_struct!`: `preferable_loss` is
+// `f64::INFINITY` in common configurations ("always decay"), and the strict
+// JSON float codec maps non-finite values to `null`, which would break the
+// bit-identical checkpoint round trip. Non-finite values are tagged strings.
+fn loss_to_json(x: f64) -> Json {
+    if x.is_finite() {
+        ToJson::to_json_value(&x)
+    } else if x.is_nan() {
+        Json::Str("nan".to_owned())
+    } else if x > 0.0 {
+        Json::Str("inf".to_owned())
+    } else {
+        Json::Str("-inf".to_owned())
+    }
+}
+
+fn loss_from_json(v: &Json) -> Result<f64, JsonError> {
+    if let Some(x) = v.as_f64() {
+        return Ok(x);
+    }
+    match v.as_str() {
+        Some("inf") => Ok(f64::INFINITY),
+        Some("-inf") => Ok(f64::NEG_INFINITY),
+        Some("nan") => Ok(f64::NAN),
+        _ => Err(JsonError::msg(format!("expected a number or inf/-inf/nan tag, got {v}"))),
+    }
+}
+
+impl ToJson for EpsilonSchedule {
+    fn to_json_value(&self) -> Json {
+        Json::Obj(vec![
+            ("epsilon".to_string(), ToJson::to_json_value(&self.epsilon)),
+            ("min".to_string(), ToJson::to_json_value(&self.min)),
+            ("decay".to_string(), ToJson::to_json_value(&self.decay)),
+            ("preferable_loss".to_string(), loss_to_json(self.preferable_loss)),
+        ])
+    }
+}
+
+impl FromJson for EpsilonSchedule {
+    fn from_json_value(v: &Json) -> Result<Self, JsonError> {
+        check_object(v, "EpsilonSchedule", &["epsilon", "min", "decay", "preferable_loss"])?;
+        let fields = v.as_object().expect("check_object verified the shape");
+        let loss_field = fields
+            .iter()
+            .find(|(k, _)| k == "preferable_loss")
+            .map(|(_, v)| v)
+            .ok_or_else(|| JsonError::msg("missing field `preferable_loss`"))?;
+        Ok(EpsilonSchedule {
+            epsilon: field(v, "epsilon").map_err(|e| e.in_type("EpsilonSchedule"))?,
+            min: field(v, "min").map_err(|e| e.in_type("EpsilonSchedule"))?,
+            decay: field(v, "decay").map_err(|e| e.in_type("EpsilonSchedule"))?,
+            preferable_loss: loss_from_json(loss_field)
+                .map_err(|e| e.in_field("preferable_loss").in_type("EpsilonSchedule"))?,
+        })
+    }
+}
 
 impl EpsilonSchedule {
     /// Build a schedule.
@@ -139,5 +195,21 @@ mod tests {
     #[should_panic(expected = "0 < decay")]
     fn invalid_decay_panics() {
         EpsilonSchedule::new(1.0, 0.0, 0.0, 0.0);
+    }
+
+    #[test]
+    fn json_round_trip_including_infinite_loss() {
+        let finite = EpsilonSchedule::new(0.7, 0.05, 0.9, 1.25);
+        assert_eq!(EpsilonSchedule::from_json(&finite.to_json()).unwrap(), finite);
+        let inf = EpsilonSchedule::new(1.0, 0.05, 0.9, f64::INFINITY);
+        let json = inf.to_json();
+        assert!(json.contains("\"inf\""), "{json}");
+        assert_eq!(EpsilonSchedule::from_json(&json).unwrap(), inf);
+        let ninf = EpsilonSchedule::new(1.0, 0.05, 0.9, f64::NEG_INFINITY);
+        assert_eq!(EpsilonSchedule::from_json(&ninf.to_json()).unwrap(), ninf);
+        assert!(EpsilonSchedule::from_json(
+            r#"{"epsilon":1,"min":0,"decay":0.9,"preferable_loss":"huge"}"#
+        )
+        .is_err());
     }
 }

@@ -1,0 +1,658 @@
+//! Deterministic, seeded fault injection over a day's event stream.
+//!
+//! Real smart-home telemetry is lossy: hubs drop events, radios retransmit
+//! duplicates, batched uploads arrive late, sensors stick, and devices fall
+//! off the network for whole windows. A [`FaultPlan`] describes such a fault
+//! regime as a list of composable [`FaultRule`]s, each scoped to an optional
+//! device and a minute range; a [`FaultInjector`] applies the plan to a
+//! [`DayActivity`] and yields a [`FaultedDay`] — the corrupted event stream
+//! plus the known [`OfflineWindow`]s and a [`FaultSummary`] of what was done.
+//!
+//! Two properties are load-bearing for the robustness experiments:
+//!
+//! 1. **Determinism.** Injection is a pure function of
+//!    `(plan.seed, day, rule index)` — every rule draws from its own derived
+//!    ChaCha stream, so plans reproduce bit-for-bit across runs and thread
+//!    counts.
+//! 2. **Nested outcomes across rates.** Each rule draws a *fixed* number of
+//!    random values per input event regardless of the outcome. With the same
+//!    seed, the events dropped at rate 0.01 are a subset of those dropped at
+//!    rate 0.05, which keeps degradation curves monotone rather than noisy.
+//!
+//! A plan with no rules (or all rates at `0.0`) is a bit-identical
+//! passthrough: the output events equal the input events exactly.
+
+use crate::dataset::{ActivityEvent, DayActivity, HomeDataset};
+use crate::rng_util;
+use crate::MINUTES_PER_DAY;
+use jarvis_stdkit::rng::Rng;
+use jarvis_stdkit::{json_enum, json_struct};
+use std::collections::BTreeMap;
+
+/// One fault model, parameterized by occurrence rate and magnitude.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultKind {
+    /// Each in-scope event is dropped independently with probability `rate`.
+    Drop {
+        /// Per-event drop probability in `[0, 1]`.
+        rate: f64,
+    },
+    /// Each in-scope event is duplicated (retransmitted) with probability
+    /// `rate`; the duplicate lands at the same minute.
+    Duplicate {
+        /// Per-event duplication probability in `[0, 1]`.
+        rate: f64,
+    },
+    /// Each in-scope event is delayed with probability `rate` by a uniform
+    /// `1..=max_minutes` offset (clamped to the end of the day). Delays
+    /// reorder the stream relative to other devices.
+    Delay {
+        /// Per-event delay probability in `[0, 1]`.
+        rate: f64,
+        /// Maximum delay in minutes (≥ 1).
+        max_minutes: u32,
+    },
+    /// Each in-scope *sensor* event starts a stuck-at episode with
+    /// probability `rate`: the triggering reading and every later reading
+    /// from the same device within `hold_minutes` are suppressed, as if the
+    /// sensor kept reporting its previous value.
+    StuckAt {
+        /// Per-reading stick probability in `[0, 1]`.
+        rate: f64,
+        /// How long the sensor stays stuck, in minutes (≥ 1).
+        hold_minutes: u32,
+    },
+    /// The scoped device (or a uniformly chosen device when the rule has no
+    /// device scope) goes offline for `windows` windows of uniform
+    /// `1..=max_minutes` length. Events inside a window are suppressed, and
+    /// the windows are *reported* in [`FaultedDay::offline`] — downstream
+    /// consumers can flag the gap instead of misreading silence.
+    Offline {
+        /// Number of offline windows to open.
+        windows: u32,
+        /// Maximum window length in minutes (≥ 1).
+        max_minutes: u32,
+    },
+}
+
+json_enum!(FaultKind {
+    Drop { rate },
+    Duplicate { rate },
+    Delay { rate, max_minutes },
+    StuckAt { rate, hold_minutes },
+    Offline { windows, max_minutes },
+});
+
+impl FaultKind {
+    fn rate(&self) -> f64 {
+        match *self {
+            FaultKind::Drop { rate }
+            | FaultKind::Duplicate { rate }
+            | FaultKind::Delay { rate, .. }
+            | FaultKind::StuckAt { rate, .. } => rate,
+            FaultKind::Offline { .. } => 0.0,
+        }
+    }
+}
+
+/// A [`FaultKind`] scoped to an optional device and a minute range.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultRule {
+    /// The fault model to apply.
+    pub kind: FaultKind,
+    /// Restrict the rule to one device by catalogue name; `None` applies to
+    /// every device.
+    pub device: Option<String>,
+    /// First minute of day the rule covers (inclusive).
+    pub from_minute: u32,
+    /// Last minute of day the rule covers (exclusive).
+    pub to_minute: u32,
+}
+
+json_struct!(FaultRule { kind, device, from_minute, to_minute });
+
+impl FaultRule {
+    /// A rule covering every device all day.
+    #[must_use]
+    pub fn all_day(kind: FaultKind) -> Self {
+        FaultRule { kind, device: None, from_minute: 0, to_minute: MINUTES_PER_DAY }
+    }
+
+    /// A rule covering one device all day.
+    #[must_use]
+    pub fn for_device(kind: FaultKind, device: impl Into<String>) -> Self {
+        FaultRule { kind, device: Some(device.into()), from_minute: 0, to_minute: MINUTES_PER_DAY }
+    }
+
+    /// Restrict the rule to `[from, to)` minutes of day.
+    #[must_use]
+    pub fn between(mut self, from_minute: u32, to_minute: u32) -> Self {
+        self.from_minute = from_minute;
+        self.to_minute = to_minute;
+        self
+    }
+
+    fn applies(&self, event: &ActivityEvent) -> bool {
+        event.minute >= self.from_minute
+            && event.minute < self.to_minute
+            && self.device.as_deref().is_none_or_match(&event.device)
+    }
+}
+
+/// Tiny helper so `Option<&str>` scope checks read declaratively.
+trait DeviceScope {
+    fn is_none_or_match(&self, device: &str) -> bool;
+}
+
+impl DeviceScope for Option<&str> {
+    fn is_none_or_match(&self, device: &str) -> bool {
+        match self {
+            None => true,
+            Some(d) => *d == device,
+        }
+    }
+}
+
+/// A seeded, serializable fault regime: the one robustness knob.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Base seed; every `(day, rule)` pair derives its own stream from it.
+    pub seed: u64,
+    /// Rules applied in order; later rules see earlier rules' output.
+    pub rules: Vec<FaultRule>,
+}
+
+json_struct!(FaultPlan { seed, rules });
+
+impl FaultPlan {
+    /// The empty plan: injection is a bit-identical passthrough.
+    #[must_use]
+    pub fn none(seed: u64) -> Self {
+        FaultPlan { seed, rules: Vec::new() }
+    }
+
+    /// A single all-day, all-device drop rule — the canonical sweep knob.
+    #[must_use]
+    pub fn uniform_drop(seed: u64, rate: f64) -> Self {
+        FaultPlan { seed, rules: vec![FaultRule::all_day(FaultKind::Drop { rate })] }
+    }
+
+    /// Validate rates and magnitudes.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first invalid rule: a
+    /// rate outside `[0, 1]` (or non-finite), a zero magnitude, or an empty
+    /// minute range.
+    pub fn validate(&self) -> Result<(), String> {
+        for (i, rule) in self.rules.iter().enumerate() {
+            let rate = rule.kind.rate();
+            if !rate.is_finite() || !(0.0..=1.0).contains(&rate) {
+                return Err(format!("rule {i}: rate {rate} outside [0, 1]"));
+            }
+            match rule.kind {
+                FaultKind::Delay { max_minutes: 0, .. } => {
+                    return Err(format!("rule {i}: delay of 0 minutes"));
+                }
+                FaultKind::StuckAt { hold_minutes: 0, .. } => {
+                    return Err(format!("rule {i}: stuck-at hold of 0 minutes"));
+                }
+                FaultKind::Offline { max_minutes: 0, .. } => {
+                    return Err(format!("rule {i}: offline window of 0 minutes"));
+                }
+                _ => {}
+            }
+            if rule.from_minute >= rule.to_minute {
+                return Err(format!(
+                    "rule {i}: empty minute range {}..{}",
+                    rule.from_minute, rule.to_minute
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A known device outage: downstream consumers flag these intervals as gaps
+/// instead of treating the silence as real.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OfflineWindow {
+    /// The offline device's catalogue name.
+    pub device: String,
+    /// First offline minute (inclusive).
+    pub from_minute: u32,
+    /// Last offline minute (exclusive).
+    pub to_minute: u32,
+}
+
+json_struct!(OfflineWindow { device, from_minute, to_minute });
+
+impl OfflineWindow {
+    /// Whether `minute` falls inside this window.
+    #[must_use]
+    pub fn covers(&self, minute: u32) -> bool {
+        minute >= self.from_minute && minute < self.to_minute
+    }
+}
+
+/// Counts of what the injector did to one day.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultSummary {
+    /// Events removed by `Drop` rules.
+    pub dropped: usize,
+    /// Extra events added by `Duplicate` rules.
+    pub duplicated: usize,
+    /// Events shifted later by `Delay` rules.
+    pub delayed: usize,
+    /// Sensor readings swallowed by `StuckAt` rules.
+    pub stuck_suppressed: usize,
+    /// Events swallowed inside `Offline` windows.
+    pub offline_suppressed: usize,
+}
+
+json_struct!(FaultSummary {
+    dropped,
+    duplicated,
+    delayed,
+    stuck_suppressed,
+    offline_suppressed,
+});
+
+impl FaultSummary {
+    /// Total events affected across all fault models.
+    #[must_use]
+    pub fn total(&self) -> usize {
+        self.dropped
+            + self.duplicated
+            + self.delayed
+            + self.stuck_suppressed
+            + self.offline_suppressed
+    }
+}
+
+/// One day's event stream after fault injection.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultedDay {
+    /// Day index.
+    pub day: u32,
+    /// The corrupted event stream, re-sorted by `(minute, device)` like the
+    /// clean stream.
+    pub events: Vec<ActivityEvent>,
+    /// Known outage windows opened by `Offline` rules.
+    pub offline: Vec<OfflineWindow>,
+    /// What the injector did.
+    pub summary: FaultSummary,
+}
+
+json_struct!(FaultedDay { day, events, offline, summary });
+
+/// Applies a validated [`FaultPlan`] to day event streams.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+}
+
+impl FaultInjector {
+    /// Wrap a plan, validating it first.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`FaultPlan::validate`] message for an invalid plan.
+    pub fn new(plan: FaultPlan) -> Result<Self, String> {
+        plan.validate()?;
+        Ok(FaultInjector { plan })
+    }
+
+    /// The wrapped plan.
+    #[must_use]
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Generate `day` from the dataset and inject faults into it.
+    #[must_use]
+    pub fn inject(&self, data: &HomeDataset, day: u32) -> FaultedDay {
+        self.inject_day(&data.activity(day))
+    }
+
+    /// Inject faults into one day's event stream.
+    #[must_use]
+    pub fn inject_day(&self, activity: &DayActivity) -> FaultedDay {
+        let mut events = activity.events.clone();
+        let mut offline: Vec<OfflineWindow> = Vec::new();
+        let mut summary = FaultSummary::default();
+
+        for (idx, rule) in self.plan.rules.iter().enumerate() {
+            // One independent stream per (seed, day, rule): rules never
+            // perturb each other's draws, and days never correlate.
+            let stream = u64::from(activity.day).wrapping_mul(0x1_0000) | idx as u64;
+            let mut rng = rng_util::derive(self.plan.seed ^ 0xFA17_0000, stream);
+
+            match rule.kind {
+                FaultKind::Drop { rate } => {
+                    events.retain(|e| {
+                        // Always one draw per event so drop sets nest
+                        // across rates under the same seed.
+                        let u = rng.gen::<f64>();
+                        let dropped = rule.applies(e) && u < rate;
+                        if dropped {
+                            summary.dropped += 1;
+                        }
+                        !dropped
+                    });
+                }
+                FaultKind::Duplicate { rate } => {
+                    let mut out = Vec::with_capacity(events.len());
+                    for e in events {
+                        let u = rng.gen::<f64>();
+                        if rule.applies(&e) && u < rate {
+                            summary.duplicated += 1;
+                            out.push(e.clone());
+                        }
+                        out.push(e);
+                    }
+                    events = out;
+                }
+                FaultKind::Delay { rate, max_minutes } => {
+                    for e in &mut events {
+                        // Fixed two draws per event (decision + offset)
+                        // regardless of outcome, for rate-nesting.
+                        let u = rng.gen::<f64>();
+                        let offset = rng.gen_range(1..=max_minutes);
+                        if rule.applies(e) && u < rate {
+                            e.minute = (e.minute + offset).min(MINUTES_PER_DAY - 1);
+                            summary.delayed += 1;
+                        }
+                    }
+                }
+                FaultKind::StuckAt { rate, hold_minutes } => {
+                    let mut held_until: BTreeMap<String, u32> = BTreeMap::new();
+                    let mut out = Vec::with_capacity(events.len());
+                    for e in events {
+                        let u = rng.gen::<f64>();
+                        if !rule.applies(&e) || !e.is_sensor {
+                            out.push(e);
+                            continue;
+                        }
+                        if held_until.get(&e.device).is_some_and(|&until| e.minute < until) {
+                            summary.stuck_suppressed += 1;
+                            continue;
+                        }
+                        if u < rate {
+                            held_until.insert(e.device.clone(), e.minute + hold_minutes);
+                            summary.stuck_suppressed += 1;
+                            continue;
+                        }
+                        out.push(e);
+                    }
+                    events = out;
+                }
+                FaultKind::Offline { windows, max_minutes } => {
+                    // Candidate devices: the scoped one, or every device
+                    // seen in the (current) stream, sorted for determinism.
+                    let candidates: Vec<String> = match &rule.device {
+                        Some(d) => vec![d.clone()],
+                        None => {
+                            let mut names: Vec<String> =
+                                events.iter().map(|e| e.device.clone()).collect();
+                            names.sort();
+                            names.dedup();
+                            names
+                        }
+                    };
+                    for _ in 0..windows {
+                        // Fixed three draws per window even when no device
+                        // qualifies, so plans stay draw-aligned.
+                        let pick = rng.gen_range(0..u64::from(u32::MAX)) as usize;
+                        let start = rng.gen_range(rule.from_minute..rule.to_minute);
+                        let len = rng.gen_range(1..=max_minutes);
+                        if candidates.is_empty() {
+                            continue;
+                        }
+                        let device = candidates[pick % candidates.len()].clone();
+                        let to = (start + len).min(MINUTES_PER_DAY);
+                        offline.push(OfflineWindow { device, from_minute: start, to_minute: to });
+                    }
+                    events.retain(|e| {
+                        let out = offline
+                            .iter()
+                            .any(|w| w.device == e.device && w.covers(e.minute));
+                        if out {
+                            summary.offline_suppressed += 1;
+                        }
+                        !out
+                    });
+                }
+            }
+        }
+
+        // Restore the clean stream's canonical ordering. The sort is stable,
+        // so with no mutations the output is bit-identical to the input.
+        events.sort_by(|a, b| (a.minute, &a.device).cmp(&(b.minute, &b.device)));
+        offline.sort_by(|a, b| {
+            (a.from_minute, &a.device, a.to_minute).cmp(&(b.from_minute, &b.device, b.to_minute))
+        });
+        FaultedDay { day: activity.day, events, offline, summary }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jarvis_stdkit::json::{FromJson, ToJson};
+
+    fn day() -> DayActivity {
+        HomeDataset::home_a(7).activity(2)
+    }
+
+    #[test]
+    fn empty_plan_is_bit_identical_passthrough() {
+        let activity = day();
+        let inj = FaultInjector::new(FaultPlan::none(3)).unwrap();
+        let out = inj.inject_day(&activity);
+        assert_eq!(out.events, activity.events);
+        assert!(out.offline.is_empty());
+        assert_eq!(out.summary, FaultSummary::default());
+    }
+
+    #[test]
+    fn zero_rate_rules_are_bit_identical_passthrough() {
+        let activity = day();
+        let plan = FaultPlan {
+            seed: 11,
+            rules: vec![
+                FaultRule::all_day(FaultKind::Drop { rate: 0.0 }),
+                FaultRule::all_day(FaultKind::Duplicate { rate: 0.0 }),
+                FaultRule::all_day(FaultKind::Delay { rate: 0.0, max_minutes: 5 }),
+                FaultRule::all_day(FaultKind::StuckAt { rate: 0.0, hold_minutes: 5 }),
+            ],
+        };
+        let out = FaultInjector::new(plan).unwrap().inject_day(&activity);
+        assert_eq!(out.events, activity.events);
+        assert_eq!(out.summary.total(), 0);
+    }
+
+    #[test]
+    fn injection_is_deterministic_per_seed_and_plan() {
+        let activity = day();
+        let plan = FaultPlan {
+            seed: 5,
+            rules: vec![
+                FaultRule::all_day(FaultKind::Drop { rate: 0.1 }),
+                FaultRule::all_day(FaultKind::Delay { rate: 0.2, max_minutes: 10 }),
+                FaultRule::all_day(FaultKind::Offline { windows: 2, max_minutes: 60 }),
+            ],
+        };
+        let a = FaultInjector::new(plan.clone()).unwrap().inject_day(&activity);
+        let b = FaultInjector::new(plan).unwrap().inject_day(&activity);
+        assert_eq!(a, b);
+        let other_seed = FaultInjector::new(FaultPlan {
+            seed: 6,
+            rules: vec![FaultRule::all_day(FaultKind::Drop { rate: 0.1 })],
+        })
+        .unwrap()
+        .inject_day(&activity);
+        assert_ne!(other_seed.events.len(), activity.events.len());
+    }
+
+    #[test]
+    fn drop_sets_nest_across_rates() {
+        let activity = day();
+        let at = |rate| {
+            FaultInjector::new(FaultPlan::uniform_drop(9, rate))
+                .unwrap()
+                .inject_day(&activity)
+        };
+        let low = at(0.02);
+        let high = at(0.10);
+        assert!(low.summary.dropped < high.summary.dropped);
+        // Every event surviving the high rate also survives the low rate.
+        for e in &high.events {
+            assert!(low.events.contains(e), "non-nested drop at {}m {}", e.minute, e.device);
+        }
+    }
+
+    #[test]
+    fn duplicates_are_adjacent_copies() {
+        let activity = day();
+        let plan = FaultPlan {
+            seed: 4,
+            rules: vec![FaultRule::all_day(FaultKind::Duplicate { rate: 0.3 })],
+        };
+        let out = FaultInjector::new(plan).unwrap().inject_day(&activity);
+        assert!(out.summary.duplicated > 0);
+        assert_eq!(out.events.len(), activity.events.len() + out.summary.duplicated);
+        let mut seen_dup = 0;
+        for w in out.events.windows(2) {
+            if w[0] == w[1] {
+                seen_dup += 1;
+            }
+        }
+        assert!(seen_dup >= 1, "duplicated events should sort adjacent");
+    }
+
+    #[test]
+    fn delay_moves_events_later_and_within_day() {
+        let activity = day();
+        let plan = FaultPlan {
+            seed: 8,
+            rules: vec![FaultRule::all_day(FaultKind::Delay { rate: 1.0, max_minutes: 30 })],
+        };
+        let out = FaultInjector::new(plan).unwrap().inject_day(&activity);
+        assert_eq!(out.summary.delayed, activity.events.len());
+        assert!(out.events.iter().all(|e| e.minute < MINUTES_PER_DAY));
+        let clean_total: u64 = activity.events.iter().map(|e| u64::from(e.minute)).sum();
+        let fault_total: u64 = out.events.iter().map(|e| u64::from(e.minute)).sum();
+        assert!(fault_total > clean_total, "delays must move events later");
+    }
+
+    #[test]
+    fn offline_windows_suppress_their_device() {
+        let activity = day();
+        let plan = FaultPlan {
+            seed: 2,
+            rules: vec![FaultRule::all_day(FaultKind::Offline { windows: 3, max_minutes: 240 })],
+        };
+        let out = FaultInjector::new(plan).unwrap().inject_day(&activity);
+        assert_eq!(out.offline.len(), 3);
+        for e in &out.events {
+            assert!(
+                !out.offline.iter().any(|w| w.device == e.device && w.covers(e.minute)),
+                "event {}m {} inside an offline window",
+                e.minute,
+                e.device
+            );
+        }
+    }
+
+    #[test]
+    fn device_and_minute_scoping_respected() {
+        let activity = day();
+        let device = activity.events[0].device.clone();
+        let plan = FaultPlan {
+            seed: 1,
+            rules: vec![FaultRule::for_device(FaultKind::Drop { rate: 1.0 }, device.clone())
+                .between(0, 720)],
+        };
+        let out = FaultInjector::new(plan).unwrap().inject_day(&activity);
+        for e in &out.events {
+            assert!(e.device != device || e.minute >= 720);
+        }
+        // Events outside the scope are untouched.
+        let untouched = activity
+            .events
+            .iter()
+            .filter(|e| e.device != device || e.minute >= 720)
+            .count();
+        assert_eq!(out.events.len(), untouched);
+    }
+
+    #[test]
+    fn stuck_at_suppresses_sensor_runs_only() {
+        let activity = day();
+        let plan = FaultPlan {
+            seed: 3,
+            rules: vec![FaultRule::all_day(FaultKind::StuckAt { rate: 0.5, hold_minutes: 120 })],
+        };
+        let out = FaultInjector::new(plan).unwrap().inject_day(&activity);
+        assert!(out.summary.stuck_suppressed > 0);
+        let clean_commands = activity.events.iter().filter(|e| !e.is_sensor).count();
+        let fault_commands = out.events.iter().filter(|e| !e.is_sensor).count();
+        assert_eq!(clean_commands, fault_commands, "commands are never stuck");
+    }
+
+    #[test]
+    fn plan_round_trips_through_json() {
+        let plan = FaultPlan {
+            seed: 77,
+            rules: vec![
+                FaultRule::all_day(FaultKind::Drop { rate: 0.05 }),
+                FaultRule::for_device(FaultKind::Offline { windows: 1, max_minutes: 90 }, "lock")
+                    .between(60, 600),
+            ],
+        };
+        let json = plan.to_json();
+        let back = FaultPlan::from_json(&json).unwrap();
+        assert_eq!(back, plan);
+    }
+
+    #[test]
+    fn faulted_day_round_trips_through_json() {
+        let activity = day();
+        let plan = FaultPlan {
+            seed: 13,
+            rules: vec![
+                FaultRule::all_day(FaultKind::Drop { rate: 0.05 }),
+                FaultRule::all_day(FaultKind::Offline { windows: 1, max_minutes: 45 }),
+            ],
+        };
+        let out = FaultInjector::new(plan).unwrap().inject_day(&activity);
+        let json = out.to_json();
+        let back = FaultedDay::from_json(&json).unwrap();
+        assert_eq!(back, out);
+    }
+
+    #[test]
+    fn invalid_plans_rejected() {
+        let bad_rate = FaultPlan {
+            seed: 0,
+            rules: vec![FaultRule::all_day(FaultKind::Drop { rate: 1.5 })],
+        };
+        assert!(FaultInjector::new(bad_rate).is_err());
+        let bad_range = FaultPlan {
+            seed: 0,
+            rules: vec![FaultRule::all_day(FaultKind::Drop { rate: 0.1 }).between(100, 100)],
+        };
+        assert!(FaultInjector::new(bad_range).is_err());
+        let zero_delay = FaultPlan {
+            seed: 0,
+            rules: vec![FaultRule::all_day(FaultKind::Delay { rate: 0.1, max_minutes: 0 })],
+        };
+        assert!(FaultInjector::new(zero_delay).is_err());
+        let nan_rate = FaultPlan {
+            seed: 0,
+            rules: vec![FaultRule::all_day(FaultKind::Drop { rate: f64::NAN })],
+        };
+        assert!(FaultInjector::new(nan_rate).is_err());
+    }
+}

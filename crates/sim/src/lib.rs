@@ -25,6 +25,7 @@
 
 pub mod anomaly;
 pub mod dataset;
+pub mod faults;
 pub mod occupancy;
 pub mod prices;
 pub mod thermal;
@@ -33,6 +34,9 @@ pub mod weather;
 
 pub use anomaly::{AnomalyClass, AnomalyGenerator, AnomalyInstance};
 pub use dataset::{ActivityEvent, DayActivity, HomeDataset};
+pub use faults::{
+    FaultInjector, FaultKind, FaultPlan, FaultRule, FaultSummary, FaultedDay, OfflineWindow,
+};
 pub use occupancy::{DaySchedule, Household, OccupantProfile, Presence};
 pub use prices::DamPrices;
 pub use thermal::{HvacMode, ThermalModel};

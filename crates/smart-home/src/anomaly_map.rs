@@ -51,7 +51,7 @@ pub fn anomaly_signature(
         AnomalyClass::WaterHeaterOddHour => {
             (vec![pre("water_heater", "idle")], act("water_heater", "start"))
         }
-        other => unreachable!("unmapped anomaly class {other:?}"),
+        other => unreachable!("unmapped anomaly class {other:?}"), // invariant: match above covers every AnomalyClass
     }
 }
 

@@ -162,7 +162,7 @@ impl AppEngine {
             let names: Vec<String> = app
                 .actuated_devices()
                 .iter()
-                .map(|&d| home.fsm().device(d).expect("valid").name().to_owned())
+                .map(|&d| home.fsm().device(d).expect("valid").name().to_owned()) // invariant: app catalogue ids are in range
                 .collect();
             let name_refs: Vec<&str> = names.iter().map(String::as_str).collect();
             home.install_app(app.id, &name_refs);

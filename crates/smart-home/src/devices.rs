@@ -50,7 +50,7 @@ pub fn lock() -> DeviceSpec {
         .transition("off", "power_on", "locked_outside")
         .disutility(0.9) // locks need immediate response (Section V-A-4)
         .build()
-        .expect("catalogue device is well-formed")
+        .expect("catalogue device is well-formed") // invariant: static catalogue, covered by devices::tests
 }
 
 /// Door touch sensor (`D_1`): `sensing`, `auth_user`, `unauth_user`, `off`.
@@ -72,7 +72,7 @@ pub fn door_sensor() -> DeviceSpec {
         .transition("off", "power_on", "sensing")
         .disutility(0.85)
         .build()
-        .expect("catalogue device is well-formed")
+        .expect("catalogue device is well-formed") // invariant: static catalogue, covered by devices::tests
 }
 
 /// Smart light (`D_2`): `off`, `on`.
@@ -86,7 +86,7 @@ pub fn light() -> DeviceSpec {
         .transition("on", "power_off", "off")
         .disutility(0.8)
         .build()
-        .expect("catalogue device is well-formed")
+        .expect("catalogue device is well-formed") // invariant: static catalogue, covered by devices::tests
 }
 
 /// Smart thermostat controller (`D_3`): `heat`, `cool`, `off`.
@@ -105,7 +105,7 @@ pub fn thermostat() -> DeviceSpec {
         .transition("off", "power_on", "heat")
         .disutility(0.1) // deferrable high-power load
         .build()
-        .expect("catalogue device is well-formed")
+        .expect("catalogue device is well-formed") // invariant: static catalogue, covered by devices::tests
 }
 
 /// Temperature sensor (`D_4`): `below_optimal`, `above_optimal`, `optimal`,
@@ -132,7 +132,7 @@ pub fn temp_sensor() -> DeviceSpec {
         .transition("off", "power_on", "optimal")
         .disutility(0.85)
         .build()
-        .expect("catalogue device is well-formed")
+        .expect("catalogue device is well-formed") // invariant: static catalogue, covered by devices::tests
 }
 
 /// Refrigerator: `running`, `door_open`, `off`.
@@ -149,7 +149,7 @@ pub fn fridge() -> DeviceSpec {
         .transition("off", "power_on", "running")
         .disutility(0.6)
         .build()
-        .expect("catalogue device is well-formed")
+        .expect("catalogue device is well-formed") // invariant: static catalogue, covered by devices::tests
 }
 
 /// Oven: `off`, `on`.
@@ -163,7 +163,7 @@ pub fn oven() -> DeviceSpec {
         .transition("on", "power_off", "off")
         .disutility(0.3)
         .build()
-        .expect("catalogue device is well-formed")
+        .expect("catalogue device is well-formed") // invariant: static catalogue, covered by devices::tests
 }
 
 /// Television: `off`, `on`.
@@ -177,7 +177,7 @@ pub fn tv() -> DeviceSpec {
         .transition("on", "power_off", "off")
         .disutility(0.4)
         .build()
-        .expect("catalogue device is well-formed")
+        .expect("catalogue device is well-formed") // invariant: static catalogue, covered by devices::tests
 }
 
 /// Washing machine: `idle`, `running`.
@@ -191,7 +191,7 @@ pub fn washer() -> DeviceSpec {
         .transition("running", "stop", "idle")
         .disutility(0.05) // highly deferrable
         .build()
-        .expect("catalogue device is well-formed")
+        .expect("catalogue device is well-formed") // invariant: static catalogue, covered by devices::tests
 }
 
 /// Dishwasher: `idle`, `running`.
@@ -205,7 +205,7 @@ pub fn dishwasher() -> DeviceSpec {
         .transition("running", "stop", "idle")
         .disutility(0.05)
         .build()
-        .expect("catalogue device is well-formed")
+        .expect("catalogue device is well-formed") // invariant: static catalogue, covered by devices::tests
 }
 
 /// Electric water heater: `idle`, `heating`.
@@ -219,7 +219,7 @@ pub fn water_heater() -> DeviceSpec {
         .transition("heating", "stop", "idle")
         .disutility(0.1)
         .build()
-        .expect("catalogue device is well-formed")
+        .expect("catalogue device is well-formed") // invariant: static catalogue, covered by devices::tests
 }
 
 /// The five devices of the Table I example home, in `D_0..D_4` order.

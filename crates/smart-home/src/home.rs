@@ -54,7 +54,7 @@ impl SmartHome {
     /// Panics when `specs` is empty.
     #[must_use]
     pub fn from_devices(specs: Vec<jarvis_iot_model::DeviceSpec>) -> Self {
-        let fsm = Fsm::new(specs).expect("non-empty device list");
+        let fsm = Fsm::new(specs).expect("non-empty device list"); // invariant: documented panic
         let users = vec![
             User { id: UserId(0), name: "alice".to_owned() },
             User { id: UserId(1), name: "bob".to_owned() },
@@ -100,7 +100,7 @@ impl SmartHome {
     pub fn device_id(&self, name: &str) -> DeviceId {
         self.fsm
             .device_by_name(name)
-            .unwrap_or_else(|| panic!("unknown device `{name}`"))
+            .unwrap_or_else(|| panic!("unknown device `{name}`")) // invariant: documented panic, callers pass catalogue names
     }
 
     /// State index of `state` on device `name`.
@@ -113,9 +113,9 @@ impl SmartHome {
         let id = self.device_id(name);
         self.fsm
             .device(id)
-            .expect("id valid")
+            .expect("id valid") // invariant: id from device_id above
             .state_idx(state)
-            .unwrap_or_else(|| panic!("unknown state `{state}` on `{name}`"))
+            .unwrap_or_else(|| panic!("unknown state `{state}` on `{name}`")) // invariant: documented panic
     }
 
     /// Build a mini-action from device and action names.
@@ -129,9 +129,9 @@ impl SmartHome {
         let a = self
             .fsm
             .device(id)
-            .expect("id valid")
+            .expect("id valid") // invariant: id from device_id above
             .action_idx(action)
-            .unwrap_or_else(|| panic!("unknown action `{action}` on `{device}`"));
+            .unwrap_or_else(|| panic!("unknown action `{action}` on `{device}`")); // invariant: documented panic
         MiniAction { device: id, action: a }
     }
 

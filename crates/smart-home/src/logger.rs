@@ -10,9 +10,11 @@
 use crate::home::SmartHome;
 use jarvis_iot_model::{
     Actor, Episode, EpisodeConfig, EpisodeRecorder, Event, EventSource, MiniAction, ModelError,
-    UserId,
+    OrderPolicy, UserId,
 };
-use jarvis_sim::dataset::DayActivity;
+use jarvis_sim::dataset::{ActivityEvent, DayActivity};
+use jarvis_sim::faults::FaultedDay;
+use jarvis_sim::MINUTES_PER_DAY;
 use jarvis_stdkit::{json_struct};
 
 /// An append-only log of normalized device events.
@@ -31,6 +33,17 @@ pub struct ParsedEpisodes {
     /// Events that no normalization function could map (unknown device or
     /// value); counted rather than silently dropped.
     pub unmapped_events: usize,
+    /// Duplicate submissions the recorders absorbed idempotently
+    /// (retransmissions of the same mini-action in one interval).
+    pub duplicate_events: usize,
+    /// Late events dropped as stale under the recorder's order policy.
+    pub stale_events: usize,
+    /// Late events re-slotted into the current interval under
+    /// [`OrderPolicy::Reslot`].
+    pub reslotted_events: usize,
+    /// Time instances flagged as known telemetry gaps, summed over all
+    /// episodes (see [`Episode::num_gaps`]).
+    pub gap_steps: usize,
 }
 
 /// Map a raw event name to the catalogue action name for `device`.
@@ -84,24 +97,67 @@ impl EventLog {
     /// logger SmartApp captures from its subscriptions).
     pub fn record_activity(&mut self, home: &SmartHome, activity: &DayActivity) {
         for e in &activity.events {
-            // Only log events for devices that exist in this home.
-            if home.fsm().device_by_name(&e.device).is_none() {
+            self.push_activity_event(home, e);
+        }
+    }
+
+    /// Record one day of *faulted* activity: the surviving events plus
+    /// `health` marker records at each [`OfflineWindow`] boundary, so the
+    /// parser flags the covered intervals as known telemetry gaps instead of
+    /// misreading the silence as inactivity.
+    ///
+    /// [`OfflineWindow`]: jarvis_sim::OfflineWindow
+    pub fn record_faulted_activity(&mut self, home: &SmartHome, faulted: &FaultedDay) {
+        for w in &faulted.offline {
+            if home.fsm().device_by_name(&w.device).is_none() {
                 continue;
             }
-            self.records.push(Event {
-                date: u64::from(e.day) * 86_400 + u64::from(e.minute) * 60,
-                data: None,
-                user: e.manual.then(|| "alice".to_owned()),
-                app: None,
-                group: Some("home".to_owned()),
-                location: Some("Home".to_owned()),
-                device_label: e.device.clone(),
-                capability: if e.is_sensor { "sensor" } else { "actuator" }.to_owned(),
-                attribute: "state".to_owned(),
-                attribute_value: e.name.clone(),
-                command: (!e.is_sensor).then(|| e.name.clone()),
-                source: if e.is_sensor { EventSource::Device } else { EventSource::Manual },
-            });
+            self.records.push(Self::health_record(faulted.day, w.from_minute, &w.device, "offline"));
+            if w.to_minute < MINUTES_PER_DAY {
+                self.records
+                    .push(Self::health_record(faulted.day, w.to_minute, &w.device, "online"));
+            }
+        }
+        for e in &faulted.events {
+            self.push_activity_event(home, e);
+        }
+    }
+
+    fn push_activity_event(&mut self, home: &SmartHome, e: &ActivityEvent) {
+        // Only log events for devices that exist in this home.
+        if home.fsm().device_by_name(&e.device).is_none() {
+            return;
+        }
+        self.records.push(Event {
+            date: u64::from(e.day) * 86_400 + u64::from(e.minute) * 60,
+            data: None,
+            user: e.manual.then(|| "alice".to_owned()),
+            app: None,
+            group: Some("home".to_owned()),
+            location: Some("Home".to_owned()),
+            device_label: e.device.clone(),
+            capability: if e.is_sensor { "sensor" } else { "actuator" }.to_owned(),
+            attribute: "state".to_owned(),
+            attribute_value: e.name.clone(),
+            command: (!e.is_sensor).then(|| e.name.clone()),
+            source: if e.is_sensor { EventSource::Device } else { EventSource::Manual },
+        });
+    }
+
+    fn health_record(day: u32, minute: u32, device: &str, value: &str) -> Event {
+        Event {
+            date: u64::from(day) * 86_400 + u64::from(minute) * 60,
+            data: None,
+            user: None,
+            app: None,
+            group: Some("home".to_owned()),
+            location: Some("Home".to_owned()),
+            device_label: device.to_owned(),
+            capability: "health".to_owned(),
+            attribute: "connectivity".to_owned(),
+            attribute_value: value.to_owned(),
+            command: None,
+            source: EventSource::Device,
         }
     }
 
@@ -148,6 +204,29 @@ impl EventLog {
         home: &SmartHome,
         config: EpisodeConfig,
     ) -> Result<ParsedEpisodes, ModelError> {
+        self.parse_episodes_with(home, config, OrderPolicy::default())
+    }
+
+    /// [`parse_episodes`](EventLog::parse_episodes) with an explicit
+    /// [`OrderPolicy`] for late-event handling, for logs recorded from
+    /// faulted streams.
+    ///
+    /// `health` marker records (from
+    /// [`record_faulted_activity`](EventLog::record_faulted_activity)) are
+    /// consumed here: every interval during which at least one device is
+    /// offline is flagged as a known gap on the episode, with state carried
+    /// forward.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ModelError`] if the home's FSM rejects a replayed
+    /// transition (which would indicate a catalogue/normalization bug).
+    pub fn parse_episodes_with(
+        &self,
+        home: &SmartHome,
+        config: EpisodeConfig,
+        order: OrderPolicy,
+    ) -> Result<ParsedEpisodes, ModelError> {
         // Group record indices by day.
         let mut days: std::collections::BTreeMap<u64, Vec<&Event>> =
             std::collections::BTreeMap::new();
@@ -157,6 +236,10 @@ impl EventLog {
 
         let mut episodes = Vec::with_capacity(days.len());
         let mut unmapped = 0usize;
+        let mut duplicates = 0usize;
+        let mut stale = 0usize;
+        let mut reslotted = 0usize;
+        let mut gap_steps = 0usize;
         for (_day, events) in days {
             let mut by_step: std::collections::BTreeMap<u32, Vec<&Event>> =
                 std::collections::BTreeMap::new();
@@ -165,10 +248,25 @@ impl EventLog {
                 by_step.entry(config.step_at(second).0).or_default().push(e);
             }
             let mut rec =
-                EpisodeRecorder::new(home.fsm(), home.authz(), config, home.midnight_state())?;
+                EpisodeRecorder::new(home.fsm(), home.authz(), config, home.midnight_state())?
+                    .with_order_policy(order);
+            let mut offline: std::collections::BTreeSet<&str> = std::collections::BTreeSet::new();
             for t in 0..config.steps() {
                 if let Some(step_events) = by_step.get(&t) {
-                    for e in step_events {
+                    // Health markers first: an `online` at step t closes the
+                    // window before this interval's gap check.
+                    for e in step_events.iter().filter(|e| e.capability == "health") {
+                        match e.attribute_value.as_str() {
+                            "offline" => {
+                                offline.insert(e.device_label.as_str());
+                            }
+                            "online" => {
+                                offline.remove(e.device_label.as_str());
+                            }
+                            _ => {}
+                        }
+                    }
+                    for e in step_events.iter().filter(|e| e.capability != "health") {
                         match self.to_mini_action(home, e) {
                             Some(mini) => {
                                 // FCFS conflicts are fine; authz uses the
@@ -180,11 +278,26 @@ impl EventLog {
                         }
                     }
                 }
+                if !offline.is_empty() {
+                    rec.mark_gap();
+                }
                 rec.advance()?;
             }
-            episodes.push(rec.finish());
+            duplicates += rec.duplicates();
+            stale += rec.stale_events();
+            reslotted += rec.reslotted_events();
+            let ep = rec.finish();
+            gap_steps += ep.num_gaps();
+            episodes.push(ep);
         }
-        Ok(ParsedEpisodes { episodes, unmapped_events: unmapped })
+        Ok(ParsedEpisodes {
+            episodes,
+            unmapped_events: unmapped,
+            duplicate_events: duplicates,
+            stale_events: stale,
+            reslotted_events: reslotted,
+            gap_steps,
+        })
     }
 
     fn to_mini_action(&self, home: &SmartHome, e: &Event) -> Option<MiniAction> {
@@ -296,6 +409,73 @@ mod tests {
         }
         let parsed = log.parse_episodes(&home, EpisodeConfig::DAILY_MINUTES).unwrap();
         assert_eq!(parsed.episodes.len(), 1);
+    }
+
+    #[test]
+    fn zero_fault_plan_records_and_parses_identically() {
+        use jarvis_sim::{FaultInjector, FaultPlan};
+        let home = SmartHome::evaluation_home();
+        let data = HomeDataset::home_a(11);
+        let activity = data.activity(2);
+        let inj = FaultInjector::new(FaultPlan::none(1)).unwrap();
+        let mut clean = EventLog::new();
+        clean.record_activity(&home, &activity);
+        let mut faulted = EventLog::new();
+        faulted.record_faulted_activity(&home, &inj.inject_day(&activity));
+        assert_eq!(clean, faulted);
+        let a = clean.parse_episodes(&home, EpisodeConfig::DAILY_MINUTES).unwrap();
+        let b = faulted.parse_episodes(&home, EpisodeConfig::DAILY_MINUTES).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(b.gap_steps, 0);
+    }
+
+    #[test]
+    fn offline_windows_become_flagged_gaps() {
+        use jarvis_sim::{FaultInjector, FaultKind, FaultPlan, FaultRule};
+        let home = SmartHome::evaluation_home();
+        let data = HomeDataset::home_a(11);
+        let plan = FaultPlan {
+            seed: 21,
+            rules: vec![FaultRule::for_device(
+                FaultKind::Offline { windows: 2, max_minutes: 90 },
+                "lock",
+            )],
+        };
+        let out = FaultInjector::new(plan).unwrap().inject_day(&data.activity(2));
+        assert!(!out.offline.is_empty());
+        let mut log = EventLog::new();
+        log.record_faulted_activity(&home, &out);
+        let parsed = log.parse_episodes(&home, EpisodeConfig::DAILY_MINUTES).unwrap();
+        let expected: usize = out
+            .offline
+            .iter()
+            .map(|w| (w.to_minute - w.from_minute) as usize)
+            .sum();
+        assert!(parsed.gap_steps > 0);
+        assert!(parsed.gap_steps <= expected, "gaps exceed window coverage");
+        assert_eq!(parsed.gap_steps, parsed.episodes[0].num_gaps());
+    }
+
+    #[test]
+    fn duplicated_events_are_absorbed_idempotently() {
+        use jarvis_sim::{FaultInjector, FaultKind, FaultPlan, FaultRule};
+        let home = SmartHome::evaluation_home();
+        let data = HomeDataset::home_a(11);
+        let plan = FaultPlan {
+            seed: 5,
+            rules: vec![FaultRule::all_day(FaultKind::Duplicate { rate: 0.5 })],
+        };
+        let out = FaultInjector::new(plan).unwrap().inject_day(&data.activity(2));
+        assert!(out.summary.duplicated > 0);
+        let mut log = EventLog::new();
+        log.record_faulted_activity(&home, &out);
+        let parsed = log.parse_episodes(&home, EpisodeConfig::DAILY_MINUTES).unwrap();
+        assert!(parsed.duplicate_events > 0);
+        // The parsed episode matches the clean parse: duplicates are no-ops.
+        let mut clean = EventLog::new();
+        clean.record_activity(&home, &data.activity(2));
+        let clean_parsed = clean.parse_episodes(&home, EpisodeConfig::DAILY_MINUTES).unwrap();
+        assert_eq!(parsed.episodes, clean_parsed.episodes);
     }
 
     #[test]

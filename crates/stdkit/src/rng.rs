@@ -267,6 +267,42 @@ impl SeedableRng for ChaCha8Rng {
     }
 }
 
+// The generator state serializes exactly (key, block counter, keystream
+// buffer, read index), so a deserialized generator resumes the stream at the
+// very next word — the property training checkpoints rely on.
+impl crate::json::ToJson for ChaCha8Rng {
+    fn to_json_value(&self) -> crate::json::Json {
+        crate::json::Json::Obj(vec![
+            ("key".to_string(), crate::json::ToJson::to_json_value(&self.key.to_vec())),
+            ("counter".to_string(), crate::json::ToJson::to_json_value(&self.counter)),
+            ("buffer".to_string(), crate::json::ToJson::to_json_value(&self.buffer.to_vec())),
+            ("index".to_string(), crate::json::ToJson::to_json_value(&self.index)),
+        ])
+    }
+}
+
+impl crate::json::FromJson for ChaCha8Rng {
+    fn from_json_value(v: &crate::json::Json) -> Result<Self, crate::json::JsonError> {
+        crate::json::check_object(v, "ChaCha8Rng", &["key", "counter", "buffer", "index"])?;
+        let key_vec: Vec<u32> = crate::json::field(v, "key")?;
+        let buffer_vec: Vec<u32> = crate::json::field(v, "buffer")?;
+        let counter: u64 = crate::json::field(v, "counter")?;
+        let index: usize = crate::json::field(v, "index")?;
+        let key: [u32; 8] = key_vec.try_into().map_err(|_| {
+            crate::json::JsonError::msg("ChaCha8Rng key must hold exactly 8 words")
+        })?;
+        let buffer: [u32; 16] = buffer_vec.try_into().map_err(|_| {
+            crate::json::JsonError::msg("ChaCha8Rng buffer must hold exactly 16 words")
+        })?;
+        if index > 16 {
+            return Err(crate::json::JsonError::msg(
+                "ChaCha8Rng index must be at most 16",
+            ));
+        }
+        Ok(ChaCha8Rng { key, counter, buffer, index })
+    }
+}
+
 // ---------------------------------------------------------------------------
 // High-level sampling
 // ---------------------------------------------------------------------------
@@ -607,5 +643,38 @@ mod tests {
         let mut buf = [0u8; 13];
         rng.fill_bytes(&mut buf);
         assert!(buf.iter().any(|&b| b != 0));
+    }
+
+    #[test]
+    fn chacha_json_round_trip_resumes_mid_stream() {
+        use crate::json::{FromJson, ToJson};
+        let mut rng = ChaCha8Rng::seed_from_u64(41);
+        // Consume an odd number of words so the restored generator must
+        // resume partway through a keystream block.
+        for _ in 0..21 {
+            rng.next_u32();
+        }
+        let json = rng.to_json();
+        let mut restored = ChaCha8Rng::from_json(&json).unwrap();
+        assert_eq!(restored, rng);
+        for _ in 0..40 {
+            assert_eq!(restored.next_u64(), rng.next_u64());
+        }
+    }
+
+    #[test]
+    fn chacha_json_rejects_malformed_state() {
+        use crate::json::FromJson;
+        assert!(ChaCha8Rng::from_json("{}").is_err());
+        assert!(ChaCha8Rng::from_json(
+            r#"{"key":[1,2,3],"counter":0,"buffer":[0],"index":0}"#
+        )
+        .is_err());
+        let mut good = {
+            use crate::json::ToJson;
+            ChaCha8Rng::seed_from_u64(1).to_json()
+        };
+        good = good.replace("\"index\":16", "\"index\":17");
+        assert!(ChaCha8Rng::from_json(&good).is_err(), "index 17 out of range");
     }
 }

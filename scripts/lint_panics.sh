@@ -1,0 +1,42 @@
+#!/usr/bin/env sh
+# Panic-site lint for the pipeline crates.
+#
+# The load-bearing ingest → learn → optimize path (crates/core, crates/policy,
+# crates/smart-home) must not grow new unwrap()/expect()/panic! sites: faults
+# in the telemetry stream are data, not bugs, and belong in JarvisError
+# (`Checkpoint`, `Fault`, ...) — see DESIGN.md §10.
+#
+# A site is allowed only when its line carries an `// invariant: ...`
+# justification stating why it cannot fire (static catalogue, index produced
+# by the same structure, documented panic in an analysis-only API). Test code
+# is exempt: scanning stops at the first `#[cfg(test)]` in each file, and
+# doc-comment lines (`//!`, `///`) are skipped.
+#
+# Usage: scripts/lint_panics.sh   (exits non-zero listing unannotated sites)
+
+set -eu
+cd "$(dirname "$0")/.."
+
+status=0
+for f in $(find crates/core/src crates/policy/src crates/smart-home/src -name '*.rs' | sort); do
+    # Non-test prefix of the file: everything before the first #[cfg(test)].
+    hits=$(awk '
+        /#\[cfg\(test\)\]/ { exit }
+        /^[[:space:]]*\/\// { next }          # comment-only lines (incl. //! and ///)
+        /\.unwrap\(\)|\.expect\(|panic!\(|unreachable!\(/ {
+            if ($0 !~ /\/\/ invariant:/) printf "%s:%d: %s\n", FILENAME, FNR, $0
+        }
+    ' "$f")
+    if [ -n "$hits" ]; then
+        echo "$hits"
+        status=1
+    fi
+done
+
+if [ "$status" -ne 0 ]; then
+    echo ""
+    echo "lint_panics: unannotated panic sites in pipeline crates."
+    echo "Convert them to JarvisError/ModelError, or justify with '// invariant: ...'."
+    exit 1
+fi
+echo "lint_panics: OK (no unannotated panic sites in crates/{core,policy,smart-home}/src)"

@@ -12,6 +12,9 @@
 set -eu
 cd "$(dirname "$0")/.."
 
+echo "==> panic-site lint (scripts/lint_panics.sh)"
+sh scripts/lint_panics.sh
+
 echo "==> cargo build --release --offline"
 cargo build --release --offline --workspace
 
@@ -29,6 +32,11 @@ cargo test -q --offline -p jarvis-neural --test properties
 
 echo "==> cargo bench --bench gemm -- --quick --check BENCH_neural.json"
 cargo bench --offline -p jarvis-bench --bench gemm -- --quick --check "$PWD/BENCH_neural.json"
+
+# Fault-matrix smoke: one seed, two drop rates, through the full
+# inject → ingest → learn → detect path (crates/bench robustness harness).
+echo "==> fault-matrix smoke (robustness --quick)"
+cargo run -q --release --offline -p jarvis-bench --bin robustness -- --quick
 
 if [ "${1:-}" = "--bench" ]; then
     for b in fsm neural spl dqn sim miniaction; do

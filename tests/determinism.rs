@@ -175,3 +175,97 @@ fn qtable_training_is_deterministic() {
     assert!(a.iter().zip(&b).all(|(x, y)| x.to_bits() == y.to_bits()));
     assert_ne!(train(3), train(4));
 }
+
+/// The optimizer's checkpoint format captures *everything* that feeds the
+/// training stream: a run interrupted mid-way and restored from JSON must
+/// end with a byte-identical final checkpoint (network weights, target
+/// network, replay buffer, epsilon schedule, and RNG state) to the run
+/// that never stopped.
+#[test]
+fn optimizer_checkpoint_resume_is_bit_identical() {
+    use jarvis_repro::core::{DayScenario, Optimizer, SmartReward};
+    use jarvis_repro::policy::TaBehavior;
+
+    let home = SmartHome::evaluation_home();
+    let data = HomeDataset::home_a(31);
+    let scenario = DayScenario::from_dataset(&home, &data, 2);
+    let reward = SmartReward::evaluation(
+        RewardWeights::emphasizing("energy", 0.8),
+        scenario.peak_price(),
+        TaBehavior::new(),
+        scenario.config(),
+        home.fsm().num_devices(),
+    );
+    let mut cfg = OptimizerConfig::fast();
+    cfg.episodes = 4;
+    cfg.seed = 17;
+
+    // Straight-through run.
+    let mut env = jarvis_repro::core::HomeRlEnv::new(&home, &scenario, &reward);
+    let mut straight = Optimizer::new(&env, cfg.clone()).unwrap();
+    let full = straight.train(&mut env).unwrap();
+    let straight_cp = straight.checkpoint(4, &full);
+
+    // Interrupted run: 2 episodes, serialize, "crash", restore, finish.
+    let mut env2 = jarvis_repro::core::HomeRlEnv::new(&home, &scenario, &reward);
+    let mut first = Optimizer::new(&env2, cfg.clone()).unwrap();
+    let chunk = first.train_episodes(&mut env2, 2).unwrap();
+    let mid_cp = first.checkpoint(2, &chunk);
+    drop(first);
+    let mut env3 = jarvis_repro::core::HomeRlEnv::new(&home, &scenario, &reward);
+    let (mut resumed, done, mut stats) = Optimizer::restore(&env3, &mid_cp).unwrap();
+    assert_eq!(done, 2);
+    let rest = resumed.train_episodes(&mut env3, cfg.episodes - done).unwrap();
+    stats.merge(&rest);
+    let resumed_cp = resumed.checkpoint(4, &stats);
+
+    assert_eq!(straight_cp, resumed_cp, "checkpoint JSON diverged after resume");
+}
+
+/// Fault injection is a pure function of `(seed, plan)`: sweeping
+/// `JARVIS_THREADS` (which steers `Parallelism::Auto` kernel fan-out) must
+/// not change a single byte of the injected stream, the parsed episodes, or
+/// the table learned from them. The sweep runs serially inside one test so
+/// the env mutation cannot race other tests (everything else here pins
+/// `Parallelism::Single`).
+#[test]
+fn fault_injection_is_thread_count_invariant() {
+    use jarvis_repro::sim::{FaultInjector, FaultKind, FaultPlan, FaultRule};
+    use jarvis_repro::smart_home::EventLog;
+    use jarvis_repro::model::EpisodeConfig;
+    use jarvis_repro::policy::{learn_safe_transitions, SplConfig};
+
+    let plan = FaultPlan {
+        seed: 17,
+        rules: vec![
+            FaultRule::all_day(FaultKind::Drop { rate: 0.04 }),
+            FaultRule::all_day(FaultKind::Delay { rate: 0.03, max_minutes: 5 }),
+            FaultRule::for_device(FaultKind::Offline { windows: 1, max_minutes: 90 }, "lock"),
+        ],
+    };
+    let run = || {
+        let data = HomeDataset::home_a(17);
+        let injector = FaultInjector::new(plan.clone()).unwrap();
+        let home = SmartHome::evaluation_home();
+        let mut log = EventLog::new();
+        let mut faulted_json = String::new();
+        for day in 0..3 {
+            let fd = injector.inject(&data, day);
+            faulted_json.push_str(&fd.to_json());
+            log.record_faulted_activity(&home, &fd);
+        }
+        let eps = log.parse_episodes(&home, EpisodeConfig::DAILY_MINUTES).unwrap().episodes;
+        let outcome = learn_safe_transitions(home.fsm(), &eps, None, &SplConfig::default());
+        (faulted_json, eps.to_json(), outcome.table.to_json())
+    };
+    let mut baseline = None;
+    for threads in ["1", "2", "4"] {
+        std::env::set_var("JARVIS_THREADS", threads);
+        let artifacts = run();
+        match &baseline {
+            None => baseline = Some(artifacts),
+            Some(b) => assert_eq!(b, &artifacts, "injection drifted at JARVIS_THREADS={threads}"),
+        }
+    }
+    std::env::remove_var("JARVIS_THREADS");
+}
