@@ -1,0 +1,217 @@
+//! Serving-runtime throughput benchmark with a recorded baseline.
+//!
+//! Sweeps fleet size × shard count × batching window through
+//! [`jarvis_runtime::ServingRuntime`] and reports events/sec plus decision
+//! latency percentiles. The headline number is the batched-inference
+//! speedup: the same 64-home stream served with `batch_window = 1`
+//! (single-row inference per query) versus `batch_window = 64` (one blocked
+//! GEMM pass per window).
+//!
+//! Like the GEMM bench, this is the regression gate for
+//! `BENCH_runtime.json`:
+//!
+//! * `--json <path>`  — write the measurements as a JSON baseline.
+//! * `--check <path>` — compare against a recorded baseline and exit
+//!   non-zero when the gated batched path got more than 2× slower.
+//! * `--quick`        — skip the threaded sweep (used by
+//!   `scripts/verify.sh`); the gated 64-home pair always runs.
+
+use std::time::Instant;
+
+use jarvis_policy::SafeTransitionTable;
+use jarvis_rl::{DqnAgent, DqnConfig, Parallelism};
+use jarvis_runtime::{RuntimeConfig, ServingRuntime};
+use jarvis_sim::FleetGenerator;
+use jarvis_smart_home::SmartHome;
+use jarvis_stdkit::json::Json;
+
+/// One decision query per home every this many minutes — a decision-heavy
+/// stream (719 queries per home-day) so inference dominates the serve loop.
+const QUERY_EVERY: u32 = 2;
+
+/// Only the shipped batched path is gated; the single-row and threaded
+/// rows are recorded for the speedup/scaling columns but never fail checks.
+const CHECKED_PREFIXES: [&str; 1] = ["runtime/det/homes64/shards1/batch64"];
+
+struct Measurement {
+    name: String,
+    events_per_sec: f64,
+    p50_ns: u64,
+    p99_ns: u64,
+}
+
+struct Fixture {
+    home: SmartHome,
+    policy: DqnAgent,
+}
+
+fn fixture() -> Fixture {
+    let home = SmartHome::evaluation_home();
+    let state_dim = home.fsm().state_sizes().iter().sum::<usize>() + 5;
+    let num_actions = home.agent_mini_actions().len() + 1;
+    let mut cfg = DqnConfig::new(state_dim, num_actions);
+    cfg.seed = 7;
+    cfg.parallelism = Parallelism::Single;
+    let policy = DqnAgent::new(cfg).expect("policy network");
+    Fixture { home, policy }
+}
+
+/// Build a fresh runtime, ingest one fleet day, and time the serve call.
+fn run_once(
+    f: &Fixture,
+    homes: u32,
+    shards: usize,
+    batch_window: usize,
+    deterministic: bool,
+) -> Measurement {
+    let mut config = RuntimeConfig::new(shards);
+    config.batch_window = batch_window;
+    config.deterministic = deterministic;
+    let mut rt = ServingRuntime::new(config, f.policy.clone()).expect("runtime");
+    for id in 0..homes {
+        rt.register_home(u64::from(id), f.home.clone(), SafeTransitionTable::new())
+            .expect("register home");
+    }
+    let fleet = FleetGenerator::new(42, homes);
+    let ingest = rt
+        .ingest_fleet_day(&fleet, 0, None, Some(QUERY_EVERY))
+        .expect("ingest fleet day");
+    let events = ingest.envelopes.len();
+
+    let t0 = Instant::now();
+    let report = rt.serve(ingest.envelopes).expect("serve");
+    let secs = t0.elapsed().as_secs_f64();
+    assert_eq!(report.outcomes.len(), events, "no event may be lost");
+
+    let mode = if deterministic { "det" } else { "threaded" };
+    Measurement {
+        name: format!("runtime/{mode}/homes{homes}/shards{shards}/batch{batch_window}"),
+        events_per_sec: events as f64 / secs,
+        p50_ns: report.latency_percentile(0.50).unwrap_or(0),
+        p99_ns: report.latency_percentile(0.99).unwrap_or(0),
+    }
+}
+
+fn print_row(m: &Measurement) {
+    println!(
+        "{:<44} {:>12.0} ev/s   p50 {:>9.1} µs   p99 {:>9.1} µs",
+        m.name,
+        m.events_per_sec,
+        m.p50_ns as f64 / 1e3,
+        m.p99_ns as f64 / 1e3
+    );
+}
+
+fn to_json(results: &[Measurement], speedup: f64) -> String {
+    let entries: Vec<Json> = results
+        .iter()
+        .map(|m| {
+            Json::Obj(vec![
+                ("name".into(), Json::Str(m.name.clone())),
+                ("events_per_sec".into(), Json::Float(m.events_per_sec)),
+                ("p50_ns".into(), Json::Float(m.p50_ns as f64)),
+                ("p99_ns".into(), Json::Float(m.p99_ns as f64)),
+            ])
+        })
+        .collect();
+    Json::Obj(vec![
+        ("schema".into(), Json::Str("jarvis-runtime-bench-v1".into())),
+        ("batched_speedup_64_homes".into(), Json::Float(speedup)),
+        ("results".into(), Json::Arr(entries)),
+    ])
+    .to_string()
+}
+
+/// Names of gated rows whose events/sec dropped more than 2× vs baseline.
+fn regressions(results: &[Measurement], baseline: &Json) -> Vec<String> {
+    let recorded = baseline
+        .get("results")
+        .and_then(Json::as_array)
+        .expect("baseline has a results array");
+    let mut failed = Vec::new();
+    for m in results {
+        if !CHECKED_PREFIXES.iter().any(|p| m.name.starts_with(p)) {
+            continue;
+        }
+        let Some(old) = recorded
+            .iter()
+            .find(|r| r.get("name").and_then(Json::as_str) == Some(m.name.as_str()))
+        else {
+            continue; // new benchmark, nothing recorded yet
+        };
+        let old_rate = old.get("events_per_sec").and_then(Json::as_f64).expect("events_per_sec");
+        if m.events_per_sec < old_rate / 2.0 {
+            failed.push(format!(
+                "{}: {:.0} ev/s vs recorded {:.0} ev/s ({:.2}x slower)",
+                m.name,
+                m.events_per_sec,
+                old_rate,
+                old_rate / m.events_per_sec
+            ));
+        }
+    }
+    failed
+}
+
+fn main() {
+    let mut quick = false;
+    let mut json_out: Option<String> = None;
+    let mut check: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--json" => json_out = Some(args.next().expect("--json needs a path")),
+            "--check" => check = Some(args.next().expect("--check needs a path")),
+            // Ignore cargo plumbing flags.
+            "--bench" | "--test" => {}
+            other => eprintln!("ignoring unknown argument {other:?}"),
+        }
+    }
+
+    let f = fixture();
+    let mut results = Vec::new();
+
+    // The headline pair: identical 64-home stream, single-row inference vs
+    // a 64-wide batching window, sequential execution so the comparison
+    // isolates the batched forward.
+    let single = run_once(&f, 64, 1, 1, true);
+    print_row(&single);
+    let batched = run_once(&f, 64, 1, 64, true);
+    print_row(&batched);
+    let speedup = batched.events_per_sec / single.events_per_sec;
+    println!("{:<44} {speedup:>11.2}x", "runtime/batched_speedup/homes64");
+    results.push(single);
+    results.push(batched);
+
+    if !quick {
+        // Fleet size × shard count under threaded serving with the default
+        // 16-query window: how the runtime scales past one worker.
+        for homes in [16u32, 64] {
+            for shards in [1usize, 4] {
+                let m = run_once(&f, homes, shards, 16, false);
+                print_row(&m);
+                results.push(m);
+            }
+        }
+    }
+
+    if let Some(path) = json_out {
+        std::fs::write(&path, to_json(&results, speedup) + "\n").expect("write baseline");
+        println!("wrote baseline to {path}");
+    }
+    if let Some(path) = check {
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
+        let baseline = Json::parse(&text).expect("baseline parses");
+        let failed = regressions(&results, &baseline);
+        if !failed.is_empty() {
+            eprintln!("serving runtime regressed >2x vs {path}:");
+            for f in &failed {
+                eprintln!("  {f}");
+            }
+            std::process::exit(1);
+        }
+        println!("gated runtime throughput within 2x of {path}");
+    }
+}

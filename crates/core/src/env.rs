@@ -22,6 +22,35 @@ use jarvis_rl::{DiscreteEnvironment, Environment, Step};
 use jarvis_sim::thermal::{HvacMode, ThermalModel};
 use jarvis_smart_home::SmartHome;
 
+/// Encode one observation vector exactly as [`HomeRlEnv`] does: the one-hot
+/// device states followed by five ambient scalars — sin/cos of the day
+/// phase, and normalized indoor temperature, outdoor temperature, and
+/// electricity price.
+///
+/// This is the *shared* encoding contract between training and serving: the
+/// serving runtime builds policy inputs with this function, so a network
+/// trained against [`HomeRlEnv`] observations sees bit-identical features in
+/// production. Any change here retrains the world.
+#[must_use]
+pub fn encode_observation(
+    state: &EnvState,
+    state_sizes: &[usize],
+    t: u32,
+    steps: u32,
+    indoor_c: f64,
+    outdoor_c: f64,
+    price_per_kwh: f64,
+) -> Vec<f64> {
+    let mut v = state.one_hot(state_sizes);
+    let phase = std::f64::consts::TAU * f64::from(t) / f64::from(steps);
+    v.push(phase.sin());
+    v.push(phase.cos());
+    v.push((indoor_c - 10.0) / 20.0);
+    v.push((outdoor_c + 10.0) / 40.0);
+    v.push(price_per_kwh / 0.15);
+    v
+}
+
 /// The simulated smart-home RL environment.
 pub struct HomeRlEnv<'a> {
     home: &'a SmartHome,
@@ -272,15 +301,15 @@ impl<'a> Environment for HomeRlEnv<'a> {
     }
 
     fn observe(&self) -> Vec<f64> {
-        let mut v = self.state.one_hot(&self.state_sizes);
-        let steps = f64::from(self.scenario.config().steps());
-        let phase = std::f64::consts::TAU * f64::from(self.t) / steps;
-        v.push(phase.sin());
-        v.push(phase.cos());
-        v.push((self.indoor_c - 10.0) / 20.0);
-        v.push((self.scenario.outdoor_at(self.time()) + 10.0) / 40.0);
-        v.push(self.scenario.price_at(self.time()) / 0.15);
-        v
+        encode_observation(
+            &self.state,
+            &self.state_sizes,
+            self.t,
+            self.scenario.config().steps(),
+            self.indoor_c,
+            self.scenario.outdoor_at(self.time()),
+            self.scenario.price_at(self.time()),
+        )
     }
 
     fn valid_actions(&self) -> Vec<usize> {

@@ -102,6 +102,30 @@ impl Network {
         Ok(out.row(0).to_vec())
     }
 
+    /// Run the network on many input vectors packed into one matrix pass.
+    ///
+    /// The rows ride the same blocked GEMM kernels as [`Network::predict`],
+    /// and each kernel reduces every output element with a fixed ascending-k
+    /// order, so row `i` of the result is **bit-identical** to
+    /// `predict(inputs[i])` — batching changes throughput, never values.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NeuralError::BadBatch`] for an empty or ragged batch and
+    /// [`NeuralError::BadVectorLength`] when rows have the wrong width.
+    pub fn forward_batch(&self, inputs: &[&[f64]]) -> Result<Vec<Vec<f64>>, NeuralError> {
+        let x = Matrix::from_rows(inputs)?;
+        if x.cols() != self.input_size {
+            return Err(NeuralError::BadVectorLength {
+                what: "input",
+                expected: self.input_size,
+                got: x.cols(),
+            });
+        }
+        let out = self.predict_batch(&x)?;
+        Ok((0..out.rows()).map(|r| out.row(r).to_vec()).collect())
+    }
+
     /// Run the network on a batch (`batch × input_size`).
     ///
     /// # Errors
@@ -373,6 +397,37 @@ mod tests {
         let x = [0.3, -0.7];
         assert_eq!(a.predict(&x).unwrap(), b.predict(&x).unwrap());
         assert_ne!(a.predict(&x).unwrap(), c.predict(&x).unwrap());
+    }
+
+    #[test]
+    fn forward_batch_rows_match_single_predicts_bitwise() {
+        let n = tiny_net(11);
+        let rows: Vec<Vec<f64>> = (0..7)
+            .map(|i| vec![0.1 * f64::from(i), -0.05 * f64::from(i) + 0.3])
+            .collect();
+        let refs: Vec<&[f64]> = rows.iter().map(Vec::as_slice).collect();
+        let batched = n.forward_batch(&refs).unwrap();
+        for (row, out) in rows.iter().zip(&batched) {
+            let single = n.predict(row).unwrap();
+            assert!(
+                single.iter().zip(out).all(|(a, b)| a.to_bits() == b.to_bits()),
+                "batched row diverged from single forward: {single:?} vs {out:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn forward_batch_validates_shape() {
+        let n = tiny_net(0);
+        assert!(matches!(
+            n.forward_batch(&[]),
+            Err(NeuralError::BadBatch { .. })
+        ));
+        let short = [1.0];
+        assert!(matches!(
+            n.forward_batch(&[&short]),
+            Err(NeuralError::BadVectorLength { what: "input", .. })
+        ));
     }
 
     #[test]

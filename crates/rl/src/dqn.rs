@@ -211,6 +211,20 @@ impl DqnAgent {
         self.net.predict(obs)
     }
 
+    /// Q values for a whole batch of observations in one matrix pass.
+    ///
+    /// Rides [`Network::forward_batch`], so row `i` is bit-identical to
+    /// `q_values(obs[i])` — the serving runtime leans on this to make its
+    /// outputs independent of how queries are grouped into batches.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`NeuralError`] when the batch is empty, ragged, or has the
+    /// wrong row width.
+    pub fn q_values_batch(&self, obs: &[&[f64]]) -> Result<Vec<Vec<f64>>, NeuralError> {
+        self.net.forward_batch(obs)
+    }
+
     /// Greedy action among `valid`, or `None` when `valid` is empty.
     ///
     /// # Errors
@@ -220,7 +234,31 @@ impl DqnAgent {
         Ok(policy::argmax(&self.q_values(obs)?, valid))
     }
 
+    /// Greedy actions for a batch, each masked by its own `valid` set
+    /// (per-home constraint masking in the serving runtime).
+    ///
+    /// Row `i` is `None` exactly when `valid[i]` is empty.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`NeuralError`] when `obs` and `valid` disagree in length or
+    /// the batch is empty, ragged, or mis-sized.
+    pub fn best_action_batch(
+        &self,
+        obs: &[&[f64]],
+        valid: &[&[usize]],
+    ) -> Result<Vec<Option<usize>>, NeuralError> {
+        if obs.len() != valid.len() {
+            return Err(NeuralError::BadBatch { reason: "obs/valid count mismatch" });
+        }
+        let q = self.q_values_batch(obs)?;
+        Ok(q.iter().zip(valid).map(|(row, v)| policy::argmax(row, v)).collect())
+    }
+
     /// ε-greedy action selection among `valid`.
+    ///
+    /// Delegates to [`DqnAgent::act_batch`] with a batch of one so the
+    /// single-state and batched paths cannot drift apart.
     ///
     /// # Errors
     ///
@@ -231,12 +269,58 @@ impl DqnAgent {
     /// Panics when `valid` is empty — Jarvis environments always offer at
     /// least the no-op.
     pub fn act(&mut self, obs: &[f64], valid: &[usize]) -> Result<usize, NeuralError> {
-        assert!(!valid.is_empty(), "no valid action available");
-        if self.schedule.should_explore(&mut self.rng) {
-            Ok(*valid.choose(&mut self.rng).expect("non-empty"))
-        } else {
-            Ok(self.best_action(obs, valid)?.expect("non-empty"))
+        Ok(self.act_batch(&[obs], &[valid])?[0])
+    }
+
+    /// ε-greedy action selection for a whole batch of states.
+    ///
+    /// The RNG is consumed row by row in batch order — one `should_explore`
+    /// draw per row plus one uniform draw when that row explores — exactly
+    /// the stream `act` would consume called sequentially on each row.
+    /// Greedy rows are then answered together through one
+    /// [`DqnAgent::q_values_batch`] matrix pass (which draws no randomness),
+    /// so `act_batch(batch)` is bit-identical to mapping `act` over the batch
+    /// while doing the network work at batched-GEMM throughput.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`NeuralError`] when `obs` and `valid` disagree in length or
+    /// the observations are empty, ragged, or mis-sized.
+    ///
+    /// # Panics
+    ///
+    /// Panics when any `valid` row is empty — Jarvis environments always
+    /// offer at least the no-op.
+    pub fn act_batch(
+        &mut self,
+        obs: &[&[f64]],
+        valid: &[&[usize]],
+    ) -> Result<Vec<usize>, NeuralError> {
+        if obs.len() != valid.len() {
+            return Err(NeuralError::BadBatch { reason: "obs/valid count mismatch" });
         }
+        if obs.is_empty() {
+            return Err(NeuralError::BadBatch { reason: "empty batch" });
+        }
+        let mut chosen: Vec<Option<usize>> = Vec::with_capacity(obs.len());
+        let mut greedy_rows: Vec<usize> = Vec::new();
+        for (i, v) in valid.iter().enumerate() {
+            assert!(!v.is_empty(), "no valid action available");
+            if self.schedule.should_explore(&mut self.rng) {
+                chosen.push(Some(*v.choose(&mut self.rng).expect("non-empty")));
+            } else {
+                chosen.push(None);
+                greedy_rows.push(i);
+            }
+        }
+        if !greedy_rows.is_empty() {
+            let greedy_obs: Vec<&[f64]> = greedy_rows.iter().map(|&i| obs[i]).collect();
+            let q = self.q_values_batch(&greedy_obs)?;
+            for (&i, row) in greedy_rows.iter().zip(&q) {
+                chosen[i] = Some(policy::argmax(row, valid[i]).expect("non-empty"));
+            }
+        }
+        Ok(chosen.into_iter().map(|c| c.expect("every row resolved")).collect())
     }
 
     /// Store one transition in replay memory.

@@ -140,6 +140,68 @@ fn constraint_is_a_subset() {
     });
 }
 
+/// The batched act path is bit-identical to the single-state path: two
+/// identically-seeded agents — one calling `act` row by row, one calling
+/// `act_batch` once — produce the same actions, and for a batch of one
+/// `act == act_batch[0]` exactly (the delegation contract). Greedy Q rows
+/// from the batched forward match single-row forwards bitwise.
+#[test]
+fn dqn_act_batch_matches_sequential_act_bitwise() {
+    Config::with_cases(48).run(|g| {
+        let state_dim = g.usize_in(1, 5);
+        let num_actions = g.usize_in(2, 6);
+        let batch = g.usize_in(1, 12);
+        let seed = g.u64();
+        let mut cfg = DqnConfig::new(state_dim, num_actions);
+        cfg.hidden = vec![g.usize_in(1, 8)];
+        cfg.seed = seed;
+        let eps = g.f64_in(0.0, 1.0);
+        cfg.schedule = EpsilonSchedule::new(eps, eps / 2.0, 0.97, f64::INFINITY);
+        let mut sequential = DqnAgent::new(cfg.clone()).unwrap();
+        let mut batched = DqnAgent::new(cfg).unwrap();
+
+        let obs: Vec<Vec<f64>> = (0..batch)
+            .map(|_| (0..state_dim).map(|_| g.f64_in(-1.0, 1.0)).collect())
+            .collect();
+        let valid: Vec<Vec<usize>> = (0..batch)
+            .map(|_| {
+                let mut v: Vec<usize> = (0..g.usize_in(1, num_actions - 1))
+                    .map(|_| g.usize_in(0, num_actions - 1))
+                    .collect();
+                v.sort_unstable();
+                v.dedup();
+                v
+            })
+            .collect();
+
+        let seq: Vec<usize> = obs
+            .iter()
+            .zip(&valid)
+            .map(|(o, v)| sequential.act(o, v).unwrap())
+            .collect();
+        let obs_refs: Vec<&[f64]> = obs.iter().map(Vec::as_slice).collect();
+        let valid_refs: Vec<&[usize]> = valid.iter().map(Vec::as_slice).collect();
+        let got = batched.act_batch(&obs_refs, &valid_refs).unwrap();
+        prop_assert_eq!(&seq, &got, "batched actions diverged from sequential");
+
+        // Greedy values ride the same GEMM: batched Q rows are bitwise equal
+        // to single-row forwards, so constraint-masked argmax rows agree too.
+        let q_batch = batched.q_values_batch(&obs_refs).unwrap();
+        for (i, o) in obs.iter().enumerate() {
+            let q_single = batched.q_values(o).unwrap();
+            prop_assert!(
+                q_single.iter().zip(&q_batch[i]).all(|(a, b)| a.to_bits() == b.to_bits()),
+                "q row {i} diverged"
+            );
+        }
+        let best_batch = batched.best_action_batch(&obs_refs, &valid_refs).unwrap();
+        for (i, (o, v)) in obs.iter().zip(&valid).enumerate() {
+            prop_assert_eq!(best_batch[i], batched.best_action(o, v).unwrap());
+        }
+        Ok(())
+    });
+}
+
 /// DQN action selection is always within the valid set, for any
 /// observation.
 #[test]

@@ -1,0 +1,131 @@
+//! The wire types of the serving runtime: envelopes in, outcomes out.
+
+use jarvis::Verdict;
+use jarvis_iot_model::MiniAction;
+
+/// What an [`Envelope`] carries.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum EventKind {
+    /// A command observed in a home (an occupant or an app acting on a
+    /// device). The runtime checks it against the home's safe-transition
+    /// table before stepping the home's state — the monitor path.
+    Action(MiniAction),
+    /// An exogenous sensor attribute change (door opened, temperature band
+    /// moved). Applied to the home's state unchecked — the environment is
+    /// never "unsafe", only actions are.
+    Sensor(MiniAction),
+    /// A decision query: "what should this home do right now?" Answered by
+    /// the batched policy path with the ambient telemetry carried here.
+    Query {
+        /// Indoor temperature, °C.
+        indoor_c: f64,
+        /// Outdoor temperature, °C.
+        outdoor_c: f64,
+        /// Current electricity price, $/kWh.
+        price_per_kwh: f64,
+    },
+}
+
+/// One routed unit of work: a home-tagged, globally sequenced event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Envelope {
+    /// Global sequence number, assigned in arrival order at ingest. The
+    /// determinism contract is stated over this ordering: outcomes are
+    /// reported sorted by `seq` whatever the shard count.
+    pub seq: u64,
+    /// The home this event belongs to.
+    pub home: u64,
+    /// Minute-of-day timestamp.
+    pub minute: u32,
+    /// The payload.
+    pub kind: EventKind,
+}
+
+/// One per-event result emitted by a worker shard.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Outcome {
+    /// The safety verdict for an [`EventKind::Action`] event. `Violation`
+    /// means the action was blocked (the home's state did not move) and the
+    /// home's alarm counter was bumped.
+    Verdict {
+        /// The event's global sequence number.
+        seq: u64,
+        /// The home the event belonged to.
+        home: u64,
+        /// The monitor verdict.
+        verdict: Verdict,
+    },
+    /// An [`EventKind::Sensor`] event was applied to the home's state.
+    SensorApplied {
+        /// The event's global sequence number.
+        seq: u64,
+        /// The home the event belonged to.
+        home: u64,
+    },
+    /// The policy's answer to an [`EventKind::Query`]: the best *safe*
+    /// action, found by walking the Q ranking down past unsafe entries
+    /// (the `Max(Q, c)` loop of the paper's Algorithm 2).
+    Decision {
+        /// The event's global sequence number.
+        seq: u64,
+        /// The home the event belonged to.
+        home: u64,
+        /// The suggested mini-action (`None` = do nothing).
+        action: Option<MiniAction>,
+        /// The flat policy-head index of the suggestion (0 = no-op).
+        flat: usize,
+        /// The Q value of the suggestion.
+        q_value: f64,
+        /// How many higher-Q but unsafe actions were skipped.
+        rank: usize,
+    },
+}
+
+impl Outcome {
+    /// The global sequence number of the event this outcome answers.
+    #[must_use]
+    pub fn seq(&self) -> u64 {
+        match *self {
+            Outcome::Verdict { seq, .. }
+            | Outcome::SensorApplied { seq, .. }
+            | Outcome::Decision { seq, .. } => seq,
+        }
+    }
+
+    /// The home the answered event belonged to.
+    #[must_use]
+    pub fn home(&self) -> u64 {
+        match *self {
+            Outcome::Verdict { home, .. }
+            | Outcome::SensorApplied { home, .. }
+            | Outcome::Decision { home, .. } => home,
+        }
+    }
+}
+
+/// What the router does when a shard's bounded ingest queue is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OverloadPolicy {
+    /// Block the router until the shard drains — classic backpressure; no
+    /// event is ever lost, throughput degrades instead.
+    Block,
+    /// Shed the event: it is *not* delivered, and a [`Rejection`] naming its
+    /// sequence number is reported. Nothing is dropped silently.
+    Shed,
+    /// Fail the whole `serve` call with
+    /// [`JarvisError::Overload`](jarvis::JarvisError) on the first full
+    /// queue.
+    Error,
+}
+
+/// The explicit record of one shed event — the runtime's guarantee that
+/// backpressure never drops work silently.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Rejection {
+    /// The shed event's global sequence number.
+    pub seq: u64,
+    /// The home the event belonged to.
+    pub home: u64,
+    /// The shard whose queue was full.
+    pub shard: usize,
+}

@@ -1,0 +1,682 @@
+//! The serving runtime: home registry, event ingest, sharded serve loop,
+//! and shard snapshot/restore.
+
+use crate::event::{Envelope, EventKind, Outcome, OverloadPolicy, Rejection};
+use crate::shard::{self, ShardOutput};
+use crate::slot::{HomeSlot, HomeSnapshot};
+use jarvis::JarvisError;
+use jarvis_policy::{MatchMode, SafeTransitionTable};
+use jarvis_rl::{DqnAgent, DqnCheckpoint};
+use jarvis_sim::{
+    FaultInjector, FaultSummary, FleetGenerator, HomeDataset, MINUTES_PER_DAY,
+};
+use jarvis_smart_home::logger::normalize_action;
+use jarvis_smart_home::SmartHome;
+use jarvis_stdkit::json_struct;
+use jarvis_stdkit::sync::{self, TrySendError};
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+/// Configuration of a [`ServingRuntime`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct RuntimeConfig {
+    /// Number of worker shards. Homes are routed by `home_id % shards`.
+    pub shards: usize,
+    /// Bound of each shard's ingest queue (threaded mode only).
+    pub queue_capacity: usize,
+    /// Maximum queries parked before a batched forward is forced. 1 =
+    /// per-query single-row inference.
+    pub batch_window: usize,
+    /// What the router does when a shard's queue is full (threaded mode).
+    pub overload: OverloadPolicy,
+    /// Run shards sequentially on the caller's thread instead of spawning
+    /// workers. Outputs are bit-identical to threaded `Block` serving for
+    /// any shard count; queue bounds and throttling do not apply.
+    pub deterministic: bool,
+    /// Match mode for safe-transition lookups in the per-home monitors.
+    pub match_mode: MatchMode,
+    /// Artificial per-event worker delay in nanoseconds (threaded mode
+    /// only). Zero in production; non-zero values let tests and benchmarks
+    /// make a shard deterministically slower than the router to exercise
+    /// the overload paths.
+    pub worker_throttle_ns: u64,
+}
+
+impl RuntimeConfig {
+    /// Defaults: `queue_capacity` 256, `batch_window` 16, blocking
+    /// backpressure, threaded execution, exact-match monitoring.
+    #[must_use]
+    pub fn new(shards: usize) -> Self {
+        RuntimeConfig {
+            shards,
+            queue_capacity: 256,
+            batch_window: 16,
+            overload: OverloadPolicy::Block,
+            deterministic: false,
+            match_mode: MatchMode::Exact,
+            worker_throttle_ns: 0,
+        }
+    }
+
+    fn validate(&self) -> Result<(), JarvisError> {
+        if self.shards == 0 {
+            return Err(JarvisError::Config("shard count must be at least 1".into()));
+        }
+        if self.queue_capacity == 0 {
+            return Err(JarvisError::Config("queue capacity must be at least 1".into()));
+        }
+        if self.batch_window == 0 {
+            return Err(JarvisError::Config("batch window must be at least 1".into()));
+        }
+        Ok(())
+    }
+}
+
+/// What `ingest_day` turned a day of home activity into.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IngestReport {
+    /// The sequenced envelopes, ready for [`ServingRuntime::serve`].
+    pub envelopes: Vec<Envelope>,
+    /// Activity events that mapped onto the home's catalogue.
+    pub mapped: usize,
+    /// Decision queries injected.
+    pub queries: usize,
+    /// Activity events whose device or action is outside the catalogue
+    /// (counted, never silently lost).
+    pub unmapped: usize,
+    /// What the fault injector did, when one was attached.
+    pub faults: Option<FaultSummary>,
+}
+
+/// The result of one [`ServingRuntime::serve`] call.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeReport {
+    /// One outcome per delivered event, sorted by global sequence number.
+    pub outcomes: Vec<Outcome>,
+    /// Every event shed under [`OverloadPolicy::Shed`], in routing order.
+    pub rejected: Vec<Rejection>,
+    /// Per-decision latencies (dequeue → answer), unordered. Informational:
+    /// timing is *not* part of the determinism contract.
+    pub latencies_ns: Vec<u64>,
+}
+
+impl ServeReport {
+    /// Delivered outcomes plus explicit rejections — equals the number of
+    /// events submitted (the no-silent-drop invariant).
+    #[must_use]
+    pub fn total_accounted(&self) -> usize {
+        self.outcomes.len() + self.rejected.len()
+    }
+
+    /// Number of policy decisions made.
+    #[must_use]
+    pub fn decisions(&self) -> usize {
+        self.outcomes
+            .iter()
+            .filter(|o| matches!(o, Outcome::Decision { .. }))
+            .count()
+    }
+
+    /// A decision-latency percentile in nanoseconds (`q` in `[0, 1]`), or
+    /// `None` when no decisions were made.
+    #[must_use]
+    pub fn latency_percentile(&self, q: f64) -> Option<u64> {
+        if self.latencies_ns.is_empty() {
+            return None;
+        }
+        let mut sorted = self.latencies_ns.clone();
+        sorted.sort_unstable();
+        let rank = ((sorted.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
+        sorted.get(rank).copied()
+    }
+}
+
+/// A whole-runtime snapshot: fleet policy plus every home's dynamic state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RuntimeSnapshot {
+    /// Shard count the snapshot was taken under.
+    pub shards: usize,
+    /// Next global sequence number.
+    pub next_seq: u64,
+    /// The fleet policy agent, as a PR-3 style bit-exact checkpoint.
+    pub policy: DqnCheckpoint,
+    /// Every registered home's dynamic state, ordered by id.
+    pub homes: Vec<HomeSnapshot>,
+}
+
+json_struct!(RuntimeSnapshot { shards, next_seq, policy, homes });
+
+/// A single shard's snapshot: the fleet policy plus the dynamic state of
+/// the homes that shard owns — everything needed to stand the shard back up.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardSnapshot {
+    /// The shard index.
+    pub shard: usize,
+    /// Shard count the snapshot was taken under (routing depends on it).
+    pub shards: usize,
+    /// The fleet policy agent at snapshot time.
+    pub policy: DqnCheckpoint,
+    /// The shard's homes, ordered by id.
+    pub homes: Vec<HomeSnapshot>,
+}
+
+json_struct!(ShardSnapshot { shard, shards, policy, homes });
+
+/// A sharded multi-home serving runtime over one shared policy agent.
+///
+/// See DESIGN.md §11 for the architecture: shard ownership, queue bounds,
+/// the batching window, and the determinism contract.
+#[derive(Debug)]
+pub struct ServingRuntime {
+    config: RuntimeConfig,
+    policy: DqnAgent,
+    homes: BTreeMap<u64, HomeSlot>,
+    next_seq: u64,
+}
+
+impl ServingRuntime {
+    /// Build a runtime serving `policy` under `config`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JarvisError::Config`] for a zero shard count, queue
+    /// capacity, or batch window.
+    pub fn new(config: RuntimeConfig, policy: DqnAgent) -> Result<Self, JarvisError> {
+        config.validate()?;
+        Ok(ServingRuntime { config, policy, homes: BTreeMap::new(), next_seq: 0 })
+    }
+
+    /// The runtime's configuration.
+    #[must_use]
+    pub fn config(&self) -> &RuntimeConfig {
+        &self.config
+    }
+
+    /// The shared fleet policy agent.
+    #[must_use]
+    pub fn policy(&self) -> &DqnAgent {
+        &self.policy
+    }
+
+    /// Number of registered homes.
+    #[must_use]
+    pub fn num_homes(&self) -> usize {
+        self.homes.len()
+    }
+
+    /// The slot serving home `id`, if registered.
+    #[must_use]
+    pub fn slot(&self, id: u64) -> Option<&HomeSlot> {
+        self.homes.get(&id)
+    }
+
+    /// The shard that owns home `id`.
+    #[must_use]
+    pub fn shard_of(&self, id: u64) -> usize {
+        (id % self.config.shards as u64) as usize
+    }
+
+    /// Register a home with its learned safe-transition table.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JarvisError::Config`] when `id` is already registered or
+    /// the home's observation/action dimensions do not match the policy
+    /// network.
+    pub fn register_home(
+        &mut self,
+        id: u64,
+        home: SmartHome,
+        table: SafeTransitionTable,
+    ) -> Result<(), JarvisError> {
+        if self.homes.contains_key(&id) {
+            return Err(JarvisError::Config(format!("home {id} is already registered")));
+        }
+        let slot = HomeSlot::new(id, home, table, self.config.match_mode);
+        let want_dim = self.policy.config().state_dim;
+        let want_actions = self.policy.config().num_actions;
+        if slot.obs_dim() != want_dim {
+            return Err(JarvisError::Config(format!(
+                "home {id} encodes {}-dim observations, policy expects {want_dim}",
+                slot.obs_dim()
+            )));
+        }
+        if slot.num_actions() != want_actions {
+            return Err(JarvisError::Config(format!(
+                "home {id} has {} actions, policy expects {want_actions}",
+                slot.num_actions()
+            )));
+        }
+        self.homes.insert(id, slot);
+        Ok(())
+    }
+
+    /// Attach an `OptimizerCheckpoint` JSON to a registered home so it
+    /// rides along in shard snapshots.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JarvisError::Config`] when `id` is not registered.
+    pub fn attach_checkpoint(&mut self, id: u64, checkpoint: String) -> Result<(), JarvisError> {
+        match self.homes.get_mut(&id) {
+            Some(slot) => {
+                slot.set_checkpoint(Some(checkpoint));
+                Ok(())
+            }
+            None => Err(JarvisError::Config(format!("home {id} is not registered"))),
+        }
+    }
+
+    /// Turn one home's day of recorded activity into sequenced envelopes:
+    /// catalogue commands become monitor-checked [`EventKind::Action`]s,
+    /// sensor attribute changes become [`EventKind::Sensor`]s, and a
+    /// decision [`EventKind::Query`] carrying the trace's ambient telemetry
+    /// is injected every `query_every` minutes. When a [`FaultInjector`] is
+    /// attached, the stream is corrupted *before* mapping — the ingest
+    /// boundary is where sensors fail in the field.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JarvisError::Config`] when `home` is not registered or
+    /// `query_every` is `Some(0)`.
+    pub fn ingest_day(
+        &mut self,
+        home: u64,
+        data: &HomeDataset,
+        day: u32,
+        injector: Option<&FaultInjector>,
+        query_every: Option<u32>,
+    ) -> Result<IngestReport, JarvisError> {
+        let items = self.day_items(home, data, day, injector, query_every)?;
+        Ok(self.seal(vec![items]))
+    }
+
+    /// Ingest one day for a whole [`FleetGenerator`] fleet: member `i`
+    /// must be registered as home id `i`. Every member's stream is built
+    /// independently, then merged by `(minute, home)` into one fleet-wide
+    /// arrival order before sequencing.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JarvisError::Config`] when a fleet member is not
+    /// registered or `query_every` is `Some(0)`.
+    pub fn ingest_fleet_day(
+        &mut self,
+        fleet: &FleetGenerator,
+        day: u32,
+        injector: Option<&FaultInjector>,
+        query_every: Option<u32>,
+    ) -> Result<IngestReport, JarvisError> {
+        let mut per_home = Vec::with_capacity(fleet.num_homes() as usize);
+        for idx in 0..fleet.num_homes() {
+            let data = fleet.dataset(idx);
+            per_home.push(self.day_items(u64::from(idx), &data, day, injector, query_every)?);
+        }
+        Ok(self.seal(per_home))
+    }
+
+    /// Build one home's unsequenced `(minute, intra, kind)` items for a day.
+    fn day_items(
+        &self,
+        home: u64,
+        data: &HomeDataset,
+        day: u32,
+        injector: Option<&FaultInjector>,
+        query_every: Option<u32>,
+    ) -> Result<DayItems, JarvisError> {
+        let Some(slot) = self.homes.get(&home) else {
+            return Err(JarvisError::Config(format!("home {home} is not registered")));
+        };
+        if query_every == Some(0) {
+            return Err(JarvisError::Config("query_every must be at least 1 minute".into()));
+        }
+        let activity = data.activity(day);
+        let (events, faults) = match injector {
+            Some(inj) => {
+                let faulted = inj.inject_day(&activity);
+                (faulted.events, Some(faulted.summary))
+            }
+            None => (activity.events.clone(), None),
+        };
+
+        let fsm = slot.home().fsm();
+        let mut items: Vec<(u32, u32, EventKind)> = Vec::with_capacity(events.len());
+        let mut unmapped = 0usize;
+        for event in &events {
+            let mapped = fsm.device_by_name(&event.device).and_then(|device| {
+                normalize_action(&event.device, &event.name).and_then(|name| {
+                    fsm.device(device)
+                        .ok()
+                        .and_then(|spec| spec.action_idx(&name))
+                        .map(|action| jarvis_iot_model::MiniAction { device, action })
+                })
+            });
+            match mapped {
+                Some(mini) if event.is_sensor => {
+                    items.push((event.minute, 0, EventKind::Sensor(mini)));
+                }
+                Some(mini) => items.push((event.minute, 0, EventKind::Action(mini))),
+                None => unmapped += 1,
+            }
+        }
+        let mapped = items.len();
+
+        let mut queries = 0usize;
+        if let Some(every) = query_every {
+            let mut minute = every;
+            while minute < MINUTES_PER_DAY {
+                let indoor_c = activity
+                    .trace
+                    .indoor_temp
+                    .get(minute as usize)
+                    .copied()
+                    .unwrap_or(21.0);
+                let outdoor_c = data.weather().outdoor_temp(day, minute);
+                let price_per_kwh = data.prices().price_per_kwh(day, minute / 60);
+                // Queries sort after same-minute events: decide on the state
+                // the home has actually reached by that minute.
+                items.push((minute, 1, EventKind::Query { indoor_c, outdoor_c, price_per_kwh }));
+                queries += 1;
+                minute += every;
+            }
+        }
+        items.sort_by_key(|&(minute, tag, _)| (minute, tag));
+        Ok(DayItems { home, items, mapped, queries, unmapped, faults })
+    }
+
+    /// Merge per-home item lists into fleet arrival order and assign global
+    /// sequence numbers.
+    fn seal(&mut self, per_home: Vec<DayItems>) -> IngestReport {
+        let mut mapped = 0;
+        let mut queries = 0;
+        let mut unmapped = 0;
+        let mut faults: Option<FaultSummary> = None;
+        let mut merged: Vec<(u32, u64, u32, EventKind)> = Vec::new();
+        for day in per_home {
+            mapped += day.mapped;
+            queries += day.queries;
+            unmapped += day.unmapped;
+            if let Some(f) = day.faults {
+                let total = faults.get_or_insert_with(FaultSummary::default);
+                total.dropped += f.dropped;
+                total.duplicated += f.duplicated;
+                total.delayed += f.delayed;
+                total.stuck_suppressed += f.stuck_suppressed;
+                total.offline_suppressed += f.offline_suppressed;
+            }
+            for (minute, tag, kind) in day.items {
+                merged.push((minute, day.home, tag, kind));
+            }
+        }
+        merged.sort_by_key(|&(minute, home, tag, _)| (minute, home, tag));
+        let envelopes = merged
+            .into_iter()
+            .map(|(minute, home, _, kind)| {
+                let seq = self.next_seq;
+                self.next_seq += 1;
+                Envelope { seq, home, minute, kind }
+            })
+            .collect();
+        IngestReport { envelopes, mapped, queries, unmapped, faults }
+    }
+
+    /// Serve a stream of envelopes through the worker shards and report
+    /// one outcome per delivered event, sorted by sequence number.
+    ///
+    /// In deterministic mode the shards run sequentially on the caller's
+    /// thread; in threaded mode each shard owns a scoped worker fed through
+    /// a bounded queue, with the configured [`OverloadPolicy`] deciding what
+    /// a full queue does.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JarvisError::Overload`] under [`OverloadPolicy::Error`]
+    /// when a queue fills, [`JarvisError::Config`] for events targeting
+    /// unregistered homes, and model/neural errors from the slots or the
+    /// policy network.
+    pub fn serve(&mut self, events: Vec<Envelope>) -> Result<ServeReport, JarvisError> {
+        let submitted = events.len();
+        let (outputs, rejected) = if self.config.deterministic {
+            (self.serve_deterministic(events)?, Vec::new())
+        } else {
+            self.serve_threaded(events)?
+        };
+        let mut outcomes = Vec::with_capacity(submitted);
+        let mut latencies_ns = Vec::new();
+        for output in outputs {
+            outcomes.extend(output.outcomes);
+            latencies_ns.extend(output.latencies_ns);
+        }
+        outcomes.sort_by_key(Outcome::seq);
+        Ok(ServeReport { outcomes, rejected, latencies_ns })
+    }
+
+    /// Sequential reference execution: same shard partitioning, no threads,
+    /// no queue bounds — the bit-exact baseline for any shard count.
+    fn serve_deterministic(
+        &mut self,
+        events: Vec<Envelope>,
+    ) -> Result<Vec<ShardOutput>, JarvisError> {
+        let shards = self.config.shards;
+        let mut streams: Vec<Vec<Envelope>> = (0..shards).map(|_| Vec::new()).collect();
+        for env in events {
+            let shard = (env.home % shards as u64) as usize;
+            streams[shard].push(env);
+        }
+        let mut outputs = Vec::with_capacity(shards);
+        for stream in streams {
+            // The full slot map is passed through: shard routing already
+            // confined each stream to the homes that shard owns.
+            outputs.push(shard::process_events(
+                &mut self.homes,
+                &self.policy,
+                self.config.batch_window,
+                Duration::ZERO,
+                stream.into_iter(),
+            )?);
+        }
+        Ok(outputs)
+    }
+
+    /// Threaded execution: one scoped worker per shard behind a bounded
+    /// queue; the router applies the overload policy.
+    fn serve_threaded(
+        &mut self,
+        events: Vec<Envelope>,
+    ) -> Result<(Vec<ShardOutput>, Vec<Rejection>), JarvisError> {
+        let shards = self.config.shards;
+        let mut parts: Vec<BTreeMap<u64, HomeSlot>> = (0..shards).map(|_| BTreeMap::new()).collect();
+        for (id, slot) in std::mem::take(&mut self.homes) {
+            parts[(id % shards as u64) as usize].insert(id, slot);
+        }
+
+        let policy = &self.policy;
+        let batch_window = self.config.batch_window;
+        let throttle = Duration::from_nanos(self.config.worker_throttle_ns);
+        let capacity = self.config.queue_capacity;
+        let overload = self.config.overload;
+
+        let mut rejected: Vec<Rejection> = Vec::new();
+        let mut overload_err: Option<JarvisError> = None;
+        let mut results: Vec<Result<ShardOutput, JarvisError>> = Vec::with_capacity(shards);
+
+        std::thread::scope(|s| {
+            let mut txs = Vec::with_capacity(shards);
+            let mut handles = Vec::with_capacity(shards);
+            for part in &mut parts {
+                let (tx, rx) = sync::bounded::<Envelope>(capacity);
+                txs.push(tx);
+                handles.push(s.spawn(move || {
+                    shard::process_events(part, policy, batch_window, throttle, rx.into_iter())
+                }));
+            }
+            'route: for env in events {
+                let shard_idx = (env.home % shards as u64) as usize;
+                match overload {
+                    OverloadPolicy::Block => {
+                        if txs[shard_idx].send(env).is_err() {
+                            // Worker gone: its error surfaces from the join.
+                            break 'route;
+                        }
+                    }
+                    OverloadPolicy::Shed => match txs[shard_idx].try_send(env) {
+                        Ok(()) => {}
+                        Err(TrySendError::Full(env)) => rejected.push(Rejection {
+                            seq: env.seq,
+                            home: env.home,
+                            shard: shard_idx,
+                        }),
+                        Err(TrySendError::Disconnected(_)) => break 'route,
+                    },
+                    OverloadPolicy::Error => match txs[shard_idx].try_send(env) {
+                        Ok(()) => {}
+                        Err(TrySendError::Full(_)) => {
+                            overload_err =
+                                Some(JarvisError::Overload { shard: shard_idx, capacity });
+                            break 'route;
+                        }
+                        Err(TrySendError::Disconnected(_)) => break 'route,
+                    },
+                }
+            }
+            drop(txs);
+            for handle in handles {
+                results.push(handle.join().unwrap_or_else(|_| {
+                    Err(JarvisError::Config("a worker shard panicked".into()))
+                }));
+            }
+        });
+
+        // Reassemble home ownership before surfacing any error, so the
+        // runtime stays usable after an overload abort.
+        for part in parts {
+            self.homes.extend(part);
+        }
+        if let Some(err) = overload_err {
+            return Err(err);
+        }
+        let mut outputs = Vec::with_capacity(shards);
+        for result in results {
+            outputs.push(result?);
+        }
+        Ok((outputs, rejected))
+    }
+
+    /// Snapshot the whole runtime: fleet policy plus every home.
+    #[must_use]
+    pub fn snapshot(&self) -> RuntimeSnapshot {
+        RuntimeSnapshot {
+            shards: self.config.shards,
+            next_seq: self.next_seq,
+            policy: self.policy.checkpoint(),
+            homes: self.homes.values().map(HomeSlot::snapshot).collect(),
+        }
+    }
+
+    /// Snapshot one shard: the fleet policy plus the homes it owns.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JarvisError::Config`] when `shard` is out of range.
+    pub fn shard_snapshot(&self, shard: usize) -> Result<ShardSnapshot, JarvisError> {
+        if shard >= self.config.shards {
+            return Err(JarvisError::Config(format!(
+                "shard {shard} out of range for {} shards",
+                self.config.shards
+            )));
+        }
+        Ok(ShardSnapshot {
+            shard,
+            shards: self.config.shards,
+            policy: self.policy.checkpoint(),
+            homes: self
+                .homes
+                .values()
+                .filter(|slot| self.shard_of(slot.id()) == shard)
+                .map(HomeSlot::snapshot)
+                .collect(),
+        })
+    }
+
+    /// Restore one shard's homes from a snapshot. The homes must already be
+    /// registered (the device catalogue is deployment configuration, not
+    /// snapshot payload); their dynamic state — table, device state, clock,
+    /// counters, attached checkpoint — is replaced byte-for-byte.
+    ///
+    /// The fleet policy itself is *not* replaced here (it is shared across
+    /// shards); the snapshot's policy checkpoint is validated for
+    /// compatibility instead. Use [`ServingRuntime::restore`] to restore
+    /// policy and homes together.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JarvisError::Config`] when the snapshot was taken under a
+    /// different shard count, names an unregistered home, or carries a
+    /// policy with mismatched dimensions.
+    pub fn restore_shard(&mut self, snap: &ShardSnapshot) -> Result<(), JarvisError> {
+        if snap.shards != self.config.shards {
+            return Err(JarvisError::Config(format!(
+                "snapshot taken under {} shards, runtime has {}",
+                snap.shards, self.config.shards
+            )));
+        }
+        self.check_policy_compat(&snap.policy)?;
+        self.restore_homes(&snap.homes)
+    }
+
+    /// Restore the whole runtime from a [`RuntimeSnapshot`]: the fleet
+    /// policy resumes from its bit-exact checkpoint and every home's
+    /// dynamic state is replaced. Homes must already be registered.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JarvisError::Config`] for unregistered homes and
+    /// [`JarvisError::Neural`] when the policy checkpoint is corrupt.
+    pub fn restore(&mut self, snap: &RuntimeSnapshot) -> Result<(), JarvisError> {
+        self.check_policy_compat(&snap.policy)?;
+        self.restore_homes(&snap.homes)?;
+        self.policy = DqnAgent::from_checkpoint(snap.policy.clone())?;
+        self.next_seq = snap.next_seq;
+        Ok(())
+    }
+
+    fn check_policy_compat(&self, cp: &DqnCheckpoint) -> Result<(), JarvisError> {
+        let mine = self.policy.config();
+        if cp.config.state_dim != mine.state_dim || cp.config.num_actions != mine.num_actions {
+            return Err(JarvisError::Config(format!(
+                "snapshot policy is {}x{}, runtime policy is {}x{}",
+                cp.config.state_dim, cp.config.num_actions, mine.state_dim, mine.num_actions
+            )));
+        }
+        Ok(())
+    }
+
+    fn restore_homes(&mut self, snaps: &[HomeSnapshot]) -> Result<(), JarvisError> {
+        // Validate all ids up front so a failed restore leaves no home
+        // half-updated.
+        for snap in snaps {
+            if !self.homes.contains_key(&snap.id) {
+                return Err(JarvisError::Config(format!(
+                    "snapshot names unregistered home {}",
+                    snap.id
+                )));
+            }
+        }
+        for snap in snaps {
+            if let Some(slot) = self.homes.get_mut(&snap.id) {
+                slot.restore(snap)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// One home's unsequenced ingest items plus accounting.
+struct DayItems {
+    home: u64,
+    items: Vec<(u32, u32, EventKind)>,
+    mapped: usize,
+    queries: usize,
+    unmapped: usize,
+    faults: Option<FaultSummary>,
+}

@@ -1,0 +1,132 @@
+//! The worker-shard event loop: monitor checks, sensor application, and the
+//! batched decision path.
+
+use crate::event::{Envelope, EventKind, Outcome};
+use crate::slot::HomeSlot;
+use jarvis::JarvisError;
+use jarvis_rl::DqnAgent;
+use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
+
+/// What one shard produced from its slice of the event stream.
+#[derive(Debug, Default)]
+pub(crate) struct ShardOutput {
+    /// Outcomes in the shard's processing order (globally re-sorted by the
+    /// runtime before reporting).
+    pub outcomes: Vec<Outcome>,
+    /// Wall-clock nanoseconds from dequeuing each query to emitting its
+    /// decision — the price of the batching window plus inference.
+    pub latencies_ns: Vec<u64>,
+}
+
+/// A query parked in the batching window, its observation and valid set
+/// snapshotted at in-order processing time so later events cannot change
+/// the answer.
+struct Pending {
+    seq: u64,
+    home: u64,
+    obs: Vec<f64>,
+    valid: Vec<usize>,
+    dequeued: Instant,
+}
+
+/// Drive one shard over its event stream.
+///
+/// Events arrive in global-sequence order for every home this shard owns
+/// (the router never reorders), so slot state evolves identically however
+/// homes are distributed across shards. Queries are parked in a batching
+/// window of up to `batch_window` and answered through one
+/// [`DqnAgent::q_values_batch`] matrix pass; because the batched forward is
+/// bit-identical per row to a single-row forward, the batch boundaries —
+/// and therefore the shard count — cannot change any decision.
+pub(crate) fn process_events(
+    slots: &mut BTreeMap<u64, HomeSlot>,
+    policy: &DqnAgent,
+    batch_window: usize,
+    throttle: Duration,
+    events: impl Iterator<Item = Envelope>,
+) -> Result<ShardOutput, JarvisError> {
+    let mut out = ShardOutput::default();
+    let mut pending: Vec<Pending> = Vec::new();
+    for env in events {
+        if !throttle.is_zero() {
+            std::thread::sleep(throttle);
+        }
+        let slot = slots.get_mut(&env.home).ok_or_else(|| {
+            JarvisError::Config(format!("event {} targets unregistered home {}", env.seq, env.home))
+        })?;
+        slot.note_event(env.minute);
+        match env.kind {
+            EventKind::Action(mini) => {
+                let verdict = slot.observe_action(mini)?;
+                out.outcomes.push(Outcome::Verdict { seq: env.seq, home: env.home, verdict });
+            }
+            EventKind::Sensor(mini) => {
+                slot.apply_sensor(mini)?;
+                out.outcomes.push(Outcome::SensorApplied { seq: env.seq, home: env.home });
+            }
+            EventKind::Query { indoor_c, outdoor_c, price_per_kwh } => {
+                pending.push(Pending {
+                    seq: env.seq,
+                    home: env.home,
+                    obs: slot.encode(env.minute, indoor_c, outdoor_c, price_per_kwh),
+                    valid: slot.valid_actions(),
+                    dequeued: Instant::now(),
+                });
+                if pending.len() >= batch_window {
+                    flush(slots, policy, &mut pending, &mut out)?;
+                }
+            }
+        }
+    }
+    flush(slots, policy, &mut pending, &mut out)?;
+    Ok(out)
+}
+
+/// Answer every parked query with one batched forward, walking each home's
+/// Q ranking down to the best action its safe set allows (`Max(Q, c)`).
+fn flush(
+    slots: &BTreeMap<u64, HomeSlot>,
+    policy: &DqnAgent,
+    pending: &mut Vec<Pending>,
+    out: &mut ShardOutput,
+) -> Result<(), JarvisError> {
+    if pending.is_empty() {
+        return Ok(());
+    }
+    let rows: Vec<&[f64]> = pending.iter().map(|p| p.obs.as_slice()).collect();
+    let q_rows = policy.q_values_batch(&rows)?;
+    let mut ranked: Vec<usize> = Vec::new();
+    for (p, q) in pending.drain(..).zip(q_rows) {
+        // Rank the whole head once, descending Q with ascending-index tie
+        // breaks — element `c` is exactly `top_c(&q, &all, c)`, without
+        // re-sorting per walked rank.
+        ranked.clear();
+        ranked.extend(0..q.len());
+        ranked.sort_by(|&a, &b| {
+            q[b].partial_cmp(&q[a]).unwrap_or(std::cmp::Ordering::Equal).then(a.cmp(&b))
+        });
+        let mut decision = None;
+        for (c, &a) in ranked.iter().enumerate() {
+            if p.valid.contains(&a) {
+                decision = Some((a, q[a], c));
+                break;
+            }
+        }
+        // The no-op is always in the valid set, so the walk always lands;
+        // fall back to it defensively anyway.
+        let (flat, q_value, rank) =
+            decision.unwrap_or((0, q.first().copied().unwrap_or(0.0), 0));
+        let action = slots.get(&p.home).and_then(|s| s.mini_for(flat));
+        out.outcomes.push(Outcome::Decision {
+            seq: p.seq,
+            home: p.home,
+            action,
+            flat,
+            q_value,
+            rank,
+        });
+        out.latencies_ns.push(u64::try_from(p.dequeued.elapsed().as_nanos()).unwrap_or(u64::MAX));
+    }
+    Ok(())
+}

@@ -1,0 +1,266 @@
+//! Per-home serving state: the slot a worker shard owns for one home.
+
+use jarvis::{encode_observation, JarvisError, Verdict};
+use jarvis_iot_model::{EnvAction, EnvState, MiniAction};
+use jarvis_policy::{MatchMode, SafeTransitionTable};
+use jarvis_sim::MINUTES_PER_DAY;
+use jarvis_smart_home::SmartHome;
+use jarvis_stdkit::json_struct;
+
+/// The serializable dynamic state of one [`HomeSlot`].
+///
+/// [`SmartHome`] itself (the device catalogue) is *not* serialized: a
+/// snapshot restores onto a runtime whose homes are already registered from
+/// the same deployment catalogue. The `checkpoint` field carries the home's
+/// training state — an `OptimizerCheckpoint` JSON document — so a restored
+/// shard can also resume per-home learning exactly where it stopped.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HomeSnapshot {
+    /// The home's runtime id.
+    pub id: u64,
+    /// The home's learned safe-transition table.
+    pub table: SafeTransitionTable,
+    /// The home's current device state.
+    pub state: EnvState,
+    /// Minute-of-day of the last processed event.
+    pub minute: u32,
+    /// Violations blocked so far.
+    pub alarms: u64,
+    /// Events processed so far.
+    pub processed: u64,
+    /// The home's `OptimizerCheckpoint` JSON, when training state rides
+    /// along with the slot.
+    pub checkpoint: Option<String>,
+}
+
+json_struct!(HomeSnapshot { id, table, state, minute, alarms, processed, checkpoint });
+
+/// One home's complete serving state, owned by exactly one worker shard.
+#[derive(Debug, Clone)]
+pub struct HomeSlot {
+    id: u64,
+    home: SmartHome,
+    table: SafeTransitionTable,
+    mode: MatchMode,
+    state: EnvState,
+    minute: u32,
+    alarms: u64,
+    processed: u64,
+    checkpoint: Option<String>,
+    state_sizes: Vec<usize>,
+    agent_actions: Vec<MiniAction>,
+    /// Memoized [`HomeSlot::valid_actions`] for the current `state`;
+    /// invalidated whenever the state moves. Derived data — never
+    /// serialized, never compared.
+    valid_cache: Option<Vec<usize>>,
+}
+
+impl HomeSlot {
+    /// Build a slot for `home` starting from its midnight state.
+    #[must_use]
+    pub fn new(id: u64, home: SmartHome, table: SafeTransitionTable, mode: MatchMode) -> Self {
+        let state = home.midnight_state();
+        let state_sizes = home.fsm().state_sizes();
+        let agent_actions = home.agent_mini_actions();
+        HomeSlot {
+            id,
+            home,
+            table,
+            mode,
+            state,
+            minute: 0,
+            alarms: 0,
+            processed: 0,
+            checkpoint: None,
+            state_sizes,
+            agent_actions,
+            valid_cache: None,
+        }
+    }
+
+    /// The home's runtime id.
+    #[must_use]
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// The home's device catalogue.
+    #[must_use]
+    pub fn home(&self) -> &SmartHome {
+        &self.home
+    }
+
+    /// The home's current device state.
+    #[must_use]
+    pub fn state(&self) -> &EnvState {
+        &self.state
+    }
+
+    /// Violations blocked so far.
+    #[must_use]
+    pub fn alarms(&self) -> u64 {
+        self.alarms
+    }
+
+    /// Events processed so far.
+    #[must_use]
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Minute-of-day of the last processed event.
+    #[must_use]
+    pub fn minute(&self) -> u32 {
+        self.minute
+    }
+
+    /// Observation width the policy network must accept for this home.
+    #[must_use]
+    pub fn obs_dim(&self) -> usize {
+        self.state_sizes.iter().sum::<usize>() + 5
+    }
+
+    /// Flat action-space size (agent mini-actions + the no-op).
+    #[must_use]
+    pub fn num_actions(&self) -> usize {
+        self.agent_actions.len() + 1
+    }
+
+    /// The agent-executable mini-action behind a flat policy index
+    /// (`None` = no-op / out of range).
+    #[must_use]
+    pub fn mini_for(&self, flat: usize) -> Option<MiniAction> {
+        if flat == 0 {
+            None
+        } else {
+            self.agent_actions.get(flat - 1).copied()
+        }
+    }
+
+    /// Attach (or clear) the home's `OptimizerCheckpoint` JSON.
+    pub fn set_checkpoint(&mut self, checkpoint: Option<String>) {
+        self.checkpoint = checkpoint;
+    }
+
+    /// The home's attached `OptimizerCheckpoint` JSON, if any.
+    #[must_use]
+    pub fn checkpoint_json(&self) -> Option<&str> {
+        self.checkpoint.as_deref()
+    }
+
+    /// Advance the bookkeeping clock for one incoming event.
+    pub(crate) fn note_event(&mut self, minute: u32) {
+        self.minute = self.minute.max(minute);
+        self.processed += 1;
+    }
+
+    /// The monitor path: check `mini` against the safe-transition table,
+    /// step the state when it is safe, block and alarm when it is not.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JarvisError::Model`] when `mini` does not belong to this
+    /// home's catalogue.
+    pub(crate) fn observe_action(&mut self, mini: MiniAction) -> Result<Verdict, JarvisError> {
+        let action = EnvAction::single(mini);
+        if self.table.is_safe_action(&self.state, &action, self.mode) {
+            self.state = self.home.fsm().step(&self.state, &action)?;
+            self.valid_cache = None;
+            Ok(Verdict::Safe)
+        } else {
+            self.alarms += 1;
+            Ok(Verdict::Violation)
+        }
+    }
+
+    /// Apply an exogenous sensor event to the home's state, unchecked.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JarvisError::Model`] when `mini` does not belong to this
+    /// home's catalogue.
+    pub(crate) fn apply_sensor(&mut self, mini: MiniAction) -> Result<(), JarvisError> {
+        self.state = self.home.fsm().step(&self.state, &EnvAction::single(mini))?;
+        self.valid_cache = None;
+        Ok(())
+    }
+
+    /// Encode the policy observation for a query at `minute` with the given
+    /// ambient telemetry — byte-for-byte the encoding `HomeRlEnv` trains
+    /// against.
+    #[must_use]
+    pub(crate) fn encode(
+        &self,
+        minute: u32,
+        indoor_c: f64,
+        outdoor_c: f64,
+        price_per_kwh: f64,
+    ) -> Vec<f64> {
+        encode_observation(
+            &self.state,
+            &self.state_sizes,
+            minute,
+            MINUTES_PER_DAY,
+            indoor_c,
+            outdoor_c,
+            price_per_kwh,
+        )
+    }
+
+    /// Flat indices of the actions the safe-transition table allows right
+    /// now (the no-op is always allowed). Memoized per state: streams are
+    /// query-heavy relative to state changes, so most calls are a clone.
+    #[must_use]
+    pub(crate) fn valid_actions(&mut self) -> Vec<usize> {
+        if let Some(cached) = &self.valid_cache {
+            return cached.clone();
+        }
+        let mut out = vec![0usize];
+        for (i, &mini) in self.agent_actions.iter().enumerate() {
+            if self.table.is_safe_action(&self.state, &EnvAction::single(mini), self.mode) {
+                out.push(i + 1);
+            }
+        }
+        self.valid_cache = Some(out.clone());
+        out
+    }
+
+    /// Snapshot the slot's dynamic state.
+    #[must_use]
+    pub fn snapshot(&self) -> HomeSnapshot {
+        HomeSnapshot {
+            id: self.id,
+            table: self.table.clone(),
+            state: self.state.clone(),
+            minute: self.minute,
+            alarms: self.alarms,
+            processed: self.processed,
+            checkpoint: self.checkpoint.clone(),
+        }
+    }
+
+    /// Restore the slot's dynamic state from a snapshot of the same home.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JarvisError::Config`] when the snapshot names a different
+    /// home and [`JarvisError::Model`] when its state does not validate
+    /// against this home's FSM.
+    pub(crate) fn restore(&mut self, snap: &HomeSnapshot) -> Result<(), JarvisError> {
+        if snap.id != self.id {
+            return Err(JarvisError::Config(format!(
+                "snapshot is for home {}, slot holds home {}",
+                snap.id, self.id
+            )));
+        }
+        self.home.fsm().validate_state(&snap.state)?;
+        self.table = snap.table.clone();
+        self.state = snap.state.clone();
+        self.minute = snap.minute;
+        self.alarms = snap.alarms;
+        self.processed = snap.processed;
+        self.checkpoint = snap.checkpoint.clone();
+        self.valid_cache = None;
+        Ok(())
+    }
+}

@@ -1,0 +1,155 @@
+//! Multi-home fleet generation: the workload source for the serving runtime.
+//!
+//! The paper's testbed is two homes; the ROADMAP north-star is a runtime
+//! serving *fleets* of them. [`FleetGenerator`] scales the two seeded
+//! testbed homes ([`HomeDataset::home_a`] / [`HomeDataset::home_b`]) to `N`
+//! independent households: each fleet member gets its own SplitMix64-derived
+//! seed (so member 7 of fleet seed 42 is the same home everywhere, but no
+//! two members correlate) and alternates between the regular Home-A and the
+//! noisier Home-B behavioral archetypes.
+//!
+//! [`FleetGenerator::day_events`] merges every member's daily activity into
+//! one fleet-wide stream sorted by `(minute, home)` — exactly the arrival
+//! order a multi-tenant event router would see — which both the runtime
+//! throughput benchmark and the fault-matrix experiments replay.
+
+use crate::dataset::{ActivityEvent, HomeDataset};
+use jarvis_stdkit::json_struct;
+
+/// One event in a merged fleet-wide stream: a member's activity event tagged
+/// with the home that produced it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FleetEvent {
+    /// Fleet member index in `0..num_homes`.
+    pub home: u32,
+    /// The member's activity event.
+    pub event: ActivityEvent,
+}
+
+json_struct!(FleetEvent { home, event });
+
+/// A deterministic generator of `N` independent simulated households.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FleetGenerator {
+    seed: u64,
+    homes: u32,
+}
+
+json_struct!(FleetGenerator { seed, homes });
+
+impl FleetGenerator {
+    /// A fleet of `homes` households derived from one base `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `homes` is zero.
+    #[must_use]
+    pub fn new(seed: u64, homes: u32) -> Self {
+        assert!(homes > 0, "a fleet needs at least one home");
+        FleetGenerator { seed, homes }
+    }
+
+    /// Number of homes in the fleet.
+    #[must_use]
+    pub fn num_homes(&self) -> u32 {
+        self.homes
+    }
+
+    /// The base seed the fleet derives from.
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The member seed for home `idx` (SplitMix64 mixing of `(seed, idx)`,
+    /// matching the per-stream derivation used inside the trace generators).
+    #[must_use]
+    pub fn member_seed(&self, idx: u32) -> u64 {
+        let mut z = self.seed ^ u64::from(idx).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// The dataset of fleet member `idx`: even members follow the regular
+    /// Home-A archetype, odd members the noisier Home-B archetype.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `idx` is out of range.
+    #[must_use]
+    pub fn dataset(&self, idx: u32) -> HomeDataset {
+        assert!(idx < self.homes, "home {idx} outside fleet of {}", self.homes);
+        let member_seed = self.member_seed(idx);
+        if idx % 2 == 0 {
+            HomeDataset::home_a(member_seed)
+        } else {
+            HomeDataset::home_b(member_seed)
+        }
+    }
+
+    /// Every member's activity for `day`, merged into one stream sorted by
+    /// `(minute, home)` — the arrival order a fleet-wide event router sees.
+    #[must_use]
+    pub fn day_events(&self, day: u32) -> Vec<FleetEvent> {
+        let mut merged: Vec<FleetEvent> = Vec::new();
+        for idx in 0..self.homes {
+            let activity = self.dataset(idx).activity(day);
+            merged.extend(
+                activity.events.into_iter().map(|event| FleetEvent { home: idx, event }),
+            );
+        }
+        // Per-home event order is already (minute, device); a stable sort on
+        // (minute, home) preserves it inside each member.
+        merged.sort_by_key(|e| (e.event.minute, e.home));
+        merged
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fleet_is_deterministic_per_seed() {
+        let a = FleetGenerator::new(7, 4).day_events(2);
+        let b = FleetGenerator::new(7, 4).day_events(2);
+        assert_eq!(a, b);
+        let c = FleetGenerator::new(8, 4).day_events(2);
+        assert_ne!(a, c, "different fleet seeds should differ");
+    }
+
+    #[test]
+    fn members_are_stable_under_fleet_growth() {
+        // Growing the fleet never changes existing members' behavior.
+        let small = FleetGenerator::new(3, 2);
+        let large = FleetGenerator::new(3, 8);
+        for idx in 0..2 {
+            assert_eq!(small.dataset(idx), large.dataset(idx));
+        }
+    }
+
+    #[test]
+    fn members_do_not_correlate() {
+        let fleet = FleetGenerator::new(5, 4);
+        let a = fleet.dataset(0).activity(1);
+        let b = fleet.dataset(2).activity(1); // same archetype, different seed
+        assert_ne!(a.events, b.events, "derived seeds must decorrelate members");
+    }
+
+    #[test]
+    fn day_events_are_sorted_and_complete() {
+        let fleet = FleetGenerator::new(11, 3);
+        let merged = fleet.day_events(4);
+        assert!(
+            merged.windows(2).all(|w| (w[0].event.minute, w[0].home)
+                <= (w[1].event.minute, w[1].home)),
+            "merged stream must be sorted by (minute, home)"
+        );
+        let per_home: usize = (0..3)
+            .map(|idx| fleet.dataset(idx).activity(4).events.len())
+            .sum();
+        assert_eq!(merged.len(), per_home, "merge must not drop events");
+        assert!(merged.iter().any(|e| e.home == 2), "every member contributes");
+    }
+}

@@ -26,6 +26,7 @@
 pub mod anomaly;
 pub mod dataset;
 pub mod faults;
+pub mod fleet;
 pub mod occupancy;
 pub mod prices;
 pub mod thermal;
@@ -37,6 +38,7 @@ pub use dataset::{ActivityEvent, DayActivity, HomeDataset};
 pub use faults::{
     FaultInjector, FaultKind, FaultPlan, FaultRule, FaultSummary, FaultedDay, OfflineWindow,
 };
+pub use fleet::{FleetEvent, FleetGenerator};
 pub use occupancy::{DaySchedule, Household, OccupantProfile, Presence};
 pub use prices::DamPrices;
 pub use thermal::{HvacMode, ThermalModel};

@@ -11,6 +11,7 @@
 //! | [`json`] | `serde`, `serde_json` | `Json` tree, strict parser, `ToJson`/`FromJson`, `json_struct!`/`json_newtype!`/`json_enum!` derives |
 //! | [`propcheck`] | `proptest` | seeded property harness, choice-tape shrinking, `prop_assert*!` macros |
 //! | [`bench`] | `criterion` | warmup+sampling micro-bench runner, `bench_group!`/`bench_main!` |
+//! | [`sync`] | `crossbeam-channel` | bounded MPSC channels with blocking and shedding sends |
 //!
 //! Everything is deterministic by construction: generators are seeded,
 //! property cases derive from a fixed base seed, and JSON output has a
@@ -22,3 +23,4 @@ pub mod bench;
 pub mod json;
 pub mod propcheck;
 pub mod rng;
+pub mod sync;

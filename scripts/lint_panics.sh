@@ -2,9 +2,10 @@
 # Panic-site lint for the pipeline crates.
 #
 # The load-bearing ingest → learn → optimize path (crates/core, crates/policy,
-# crates/smart-home) must not grow new unwrap()/expect()/panic! sites: faults
-# in the telemetry stream are data, not bugs, and belong in JarvisError
-# (`Checkpoint`, `Fault`, ...) — see DESIGN.md §10.
+# crates/smart-home) and the serving path (crates/runtime) must not grow new
+# unwrap()/expect()/panic! sites: faults in the telemetry stream are data,
+# not bugs, and belong in JarvisError (`Checkpoint`, `Fault`, `Overload`,
+# ...) — see DESIGN.md §10.
 #
 # A site is allowed only when its line carries an `// invariant: ...`
 # justification stating why it cannot fire (static catalogue, index produced
@@ -18,7 +19,7 @@ set -eu
 cd "$(dirname "$0")/.."
 
 status=0
-for f in $(find crates/core/src crates/policy/src crates/smart-home/src -name '*.rs' | sort); do
+for f in $(find crates/core/src crates/policy/src crates/smart-home/src crates/runtime/src -name '*.rs' | sort); do
     # Non-test prefix of the file: everything before the first #[cfg(test)].
     hits=$(awk '
         /#\[cfg\(test\)\]/ { exit }
@@ -39,4 +40,4 @@ if [ "$status" -ne 0 ]; then
     echo "Convert them to JarvisError/ModelError, or justify with '// invariant: ...'."
     exit 1
 fi
-echo "lint_panics: OK (no unannotated panic sites in crates/{core,policy,smart-home}/src)"
+echo "lint_panics: OK (no unannotated panic sites in crates/{core,policy,smart-home,runtime}/src)"

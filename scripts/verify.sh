@@ -33,6 +33,12 @@ cargo test -q --offline -p jarvis-neural --test properties
 echo "==> cargo bench --bench gemm -- --quick --check BENCH_neural.json"
 cargo bench --offline -p jarvis-bench --bench gemm -- --quick --check "$PWD/BENCH_neural.json"
 
+# Serving-runtime smoke: the gated 64-home batched-inference pair, checked
+# against the recorded BENCH_runtime.json (fails on a >2x throughput
+# regression of the batched path).
+echo "==> serving-runtime smoke (throughput --quick --check BENCH_runtime.json)"
+cargo run -q --release --offline -p jarvis-bench --bin throughput -- --quick --check "$PWD/BENCH_runtime.json"
+
 # Fault-matrix smoke: one seed, two drop rates, through the full
 # inject → ingest → learn → detect path (crates/bench robustness harness).
 echo "==> fault-matrix smoke (robustness --quick)"

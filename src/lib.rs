@@ -15,6 +15,7 @@
 //! | [`policy`] (`jarvis-policy`) | the Security Policy Learner: Algorithm 1, ANN filter, `P_safe` |
 //! | [`attacks`] (`jarvis-attacks`) | the 214-violation corpus and episode engineering |
 //! | [`core`] (`jarvis`) | the framework: smart reward, constrained DQN optimizer, analysis |
+//! | [`runtime`] (`jarvis-runtime`) | sharded multi-home serving runtime with batched policy inference |
 //!
 //! See the repository README for a walkthrough and DESIGN.md for the full
 //! system inventory and experiment index.
@@ -45,5 +46,6 @@ pub use jarvis_iot_model as model;
 pub use jarvis_neural as neural;
 pub use jarvis_policy as policy;
 pub use jarvis_rl as rl;
+pub use jarvis_runtime as runtime;
 pub use jarvis_sim as sim;
 pub use jarvis_smart_home as smart_home;
