@@ -67,6 +67,9 @@ fn run_once(
     let mut config = RuntimeConfig::new(shards);
     config.batch_window = batch_window;
     config.deterministic = deterministic;
+    // Opt in to decision-latency telemetry: serving itself never reads a
+    // clock unless one is injected here.
+    config.telemetry = Some(jarvis_stdkit::bench::monotonic_ns);
     let mut rt = ServingRuntime::new(config, f.policy.clone()).expect("runtime");
     for id in 0..homes {
         rt.register_home(u64::from(id), f.home.clone(), SafeTransitionTable::new())

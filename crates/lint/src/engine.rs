@@ -1,0 +1,182 @@
+//! The workspace walker and rule driver.
+
+use crate::rules::{self, Rule, Violation};
+use crate::scan::scan_source;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// What to lint and how.
+#[derive(Debug, Clone)]
+pub struct Options {
+    /// Rules to run (default: all five).
+    pub rules: Vec<Rule>,
+    /// Quick mode: walk only `crates/` plus the root manifest (skips the
+    /// repo-root `src/`; rule results are identical today, the quick walk is
+    /// just the pre-commit fast path).
+    pub quick: bool,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options { rules: Rule::ALL.to_vec(), quick: false }
+    }
+}
+
+/// Directory names never descended into: build output, VCS metadata, the
+/// lint fixture corpus (which exists to *trip* rules), and test/bench/demo
+/// code (every source rule is scoped to shipping, non-test code).
+const SKIP_DIRS: [&str; 6] = ["target", ".git", "fixtures", "tests", "benches", "examples"];
+
+/// Lint the whole workspace rooted at `root`.
+///
+/// # Errors
+///
+/// Returns an error when the tree cannot be read.
+pub fn lint_workspace(root: &Path, opts: &Options) -> io::Result<Vec<Violation>> {
+    let mut files = Vec::new();
+    if opts.quick {
+        collect(&root.join("crates"), root, &mut files)?;
+        let manifest = root.join("Cargo.toml");
+        if manifest.is_file() {
+            files.push(manifest);
+        }
+    } else {
+        collect(root, root, &mut files)?;
+    }
+    lint_files(root, &files, opts, false)
+}
+
+/// Lint explicit paths (files are linted unconditionally with every
+/// requested rule — scope filters apply only to directory walks, so fixture
+/// files and one-off checks work: `jarvis-lint --rule panics some/file.rs`).
+///
+/// # Errors
+///
+/// Returns an error when a path cannot be read.
+pub fn lint_paths(root: &Path, paths: &[PathBuf], opts: &Options) -> io::Result<Vec<Violation>> {
+    let mut walked = Vec::new();
+    let mut explicit = Vec::new();
+    for p in paths {
+        let abs = if p.is_absolute() { p.clone() } else { root.join(p) };
+        if abs.is_dir() {
+            collect(&abs, root, &mut walked)?;
+        } else {
+            explicit.push(abs);
+        }
+    }
+    let mut out = lint_files(root, &walked, opts, false)?;
+    out.extend(lint_files(root, &explicit, opts, true)?);
+    out.sort();
+    out.dedup();
+    Ok(out)
+}
+
+/// Recursively collect lintable files (`.rs` sources and `Cargo.toml`
+/// manifests), sorted for deterministic reports.
+fn collect(dir: &Path, root: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .collect::<Result<Vec<_>, _>>()?
+        .into_iter()
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if SKIP_DIRS.contains(&name) {
+                continue;
+            }
+            collect(&path, root, out)?;
+        } else {
+            let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if name.ends_with(".rs") || name == "Cargo.toml" {
+                out.push(path);
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Workspace-relative display path with `/` separators.
+fn rel_display(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// Run the requested rules over a file list. With `explicit`, scope filters
+/// are bypassed and `.toml` files other than `Cargo.toml` are treated as
+/// manifests (fixture support).
+fn lint_files(
+    root: &Path,
+    files: &[PathBuf],
+    opts: &Options,
+    explicit: bool,
+) -> io::Result<Vec<Violation>> {
+    let mut out = Vec::new();
+    for path in files {
+        let rel = rel_display(root, path);
+        let is_manifest = rel.ends_with(".toml");
+        let text = fs::read_to_string(path)?;
+        if is_manifest {
+            if opts.rules.contains(&Rule::Hermeticity)
+                && (explicit || rules::in_scope(Rule::Hermeticity, &rel))
+            {
+                out.extend(rules::check_manifest(&rel, &text));
+            }
+            continue;
+        }
+        let scanned = scan_source(&text);
+        for &rule in &opts.rules {
+            if rule == Rule::Hermeticity {
+                continue;
+            }
+            if explicit || rules::in_scope(rule, &rel) {
+                out.extend(rules::check_source(rule, &rel, &scanned));
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// Locate the workspace root: walk up from `start` to the first directory
+/// whose `Cargo.toml` declares `[workspace]`.
+#[must_use]
+pub fn find_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start);
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(d.to_path_buf());
+            }
+        }
+        dir = d.parent();
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn find_root_walks_up_from_this_crate() {
+        let here = Path::new(env!("CARGO_MANIFEST_DIR"));
+        let root = find_root(here).expect("workspace root");
+        assert!(root.join("crates/lint").is_dir());
+    }
+
+    #[test]
+    fn rel_display_uses_forward_slashes() {
+        let root = Path::new("/a/b");
+        assert_eq!(rel_display(root, Path::new("/a/b/c/d.rs")), "c/d.rs");
+    }
+}

@@ -1,0 +1,32 @@
+//! `jarvis-lint`: the in-tree determinism & safety lint engine.
+//!
+//! Jarvis's reproduction guarantee is bit-exact determinism — the learning
+//! phase (Algorithm 1) and the constrained DQN (Algorithm 2) are validated
+//! by byte-identical replay across seeds, shard counts, and thread counts.
+//! This crate makes that guarantee a *checked property of the sources*
+//! rather than a hope of the test suite: a zero-dependency static-analysis
+//! tool with a minimal Rust line scanner (comment/string/attribute-aware,
+//! `#[cfg(test)]`-scoped) and five rules walked over every workspace crate.
+//!
+//! | rule | name | what it bans |
+//! |------|------|--------------|
+//! | R1 | `nondet-iter` | `HashMap`/`HashSet` iteration in deterministic crates |
+//! | R2 | `wall-clock` | `Instant::now()`/`SystemTime` outside the bench harnesses |
+//! | R3 | `panics` | unannotated `unwrap`/`expect`/`panic!` in pipeline crates |
+//! | R4 | `float` | `mul_add`/`powf`/lossy `as` float casts in kernel/replay paths |
+//! | R5 | `hermeticity` | non-`path` dependencies in any manifest |
+//!
+//! See DESIGN.md §12 for each rule's rationale and the annotation grammar
+//! (`// invariant:`, `// nondet-ok:`, `// float-ok:`, `// wall-clock-ok:`).
+//!
+//! Run it as `cargo run -p jarvis-lint -- [--quick] [--rule NAME] [paths…]`;
+//! output is machine-readable `file:line: rule: msg`, exit code 1 when any
+//! violation is found.
+
+pub mod engine;
+pub mod rules;
+pub mod scan;
+
+pub use engine::{find_root, lint_paths, lint_workspace, Options};
+pub use rules::{check_manifest, check_source, Rule, Violation};
+pub use scan::{scan_source, ScannedFile};

@@ -1,0 +1,107 @@
+//! CLI for `jarvis-lint`.
+//!
+//! ```text
+//! cargo run -p jarvis-lint -- [--quick] [--rule NAME[,NAME...]] [--root DIR] [paths…]
+//! ```
+//!
+//! With no paths, walks the workspace (scope rules apply — see DESIGN.md
+//! §12). Explicit *file* arguments are linted unconditionally with every
+//! requested rule. Exit codes: 0 clean, 1 violations, 2 usage/IO error.
+
+use jarvis_lint::{find_root, lint_paths, lint_workspace, Options, Rule};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: jarvis-lint [--quick] [--rule NAME[,NAME...]] [--root DIR] [paths...]\n\
+         rules: nondet-iter wall-clock panics float hermeticity (default: all)"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut opts = Options::default();
+    let mut root_arg: Option<PathBuf> = None;
+    let mut paths: Vec<PathBuf> = Vec::new();
+    let mut rules: Vec<Rule> = Vec::new();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => opts.quick = true,
+            "--rule" => {
+                let Some(names) = args.next() else {
+                    eprintln!("--rule needs a name");
+                    return usage();
+                };
+                for name in names.split(',') {
+                    match Rule::from_name(name.trim()) {
+                        Some(r) => rules.push(r),
+                        None => {
+                            eprintln!("unknown rule {name:?}");
+                            return usage();
+                        }
+                    }
+                }
+            }
+            "--root" => {
+                let Some(dir) = args.next() else {
+                    eprintln!("--root needs a directory");
+                    return usage();
+                };
+                root_arg = Some(PathBuf::from(dir));
+            }
+            "--help" | "-h" => {
+                usage();
+                return ExitCode::SUCCESS;
+            }
+            a if a.starts_with('-') => {
+                eprintln!("unknown flag {a:?}");
+                return usage();
+            }
+            a => paths.push(PathBuf::from(a)),
+        }
+    }
+    if !rules.is_empty() {
+        opts.rules = rules;
+    }
+
+    let root = match root_arg.or_else(|| {
+        std::env::current_dir()
+            .ok()
+            .and_then(|d| find_root(&d))
+            .or_else(|| find_root(&PathBuf::from(env!("CARGO_MANIFEST_DIR"))))
+    }) {
+        Some(r) => r,
+        None => {
+            eprintln!("jarvis-lint: cannot locate a workspace root (try --root)");
+            return ExitCode::from(2);
+        }
+    };
+
+    let result = if paths.is_empty() {
+        lint_workspace(&root, &opts)
+    } else {
+        lint_paths(&root, &paths, &opts)
+    };
+    let violations = match result {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("jarvis-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    for v in &violations {
+        println!("{v}");
+    }
+    if violations.is_empty() {
+        let names: Vec<&str> = opts.rules.iter().map(|r| r.name()).collect();
+        eprintln!("jarvis-lint: OK ({})", names.join(", "));
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("jarvis-lint: {} violation(s)", violations.len());
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,372 @@
+//! A minimal Rust line scanner: comment-, string-, and attribute-aware,
+//! with `#[cfg(test)]`/`#[test]` scope tracking.
+//!
+//! This is deliberately *not* a parser. Every rule in the engine works on
+//! per-line token searches, so all the scanner has to guarantee is:
+//!
+//! * string/char-literal *contents* never look like code (they are blanked
+//!   to spaces in [`Line::code`], so `"Instant::now()"` inside a log string
+//!   cannot trip the wall-clock rule);
+//! * comment text never looks like code, but stays available separately in
+//!   [`Line::comment`] so annotation escape hatches (`// invariant: ...`,
+//!   `// nondet-ok: ...`, `// float-ok: ...`, `// wall-clock-ok: ...`) can
+//!   be recognized;
+//! * test-only code is marked: everything inside an item gated by
+//!   `#[cfg(test)]` (or `#[test]`) is flagged [`Line::in_test`], tracked by
+//!   brace depth so code *after* a `mod tests { ... }` block is scanned
+//!   again (the old `lint_panics.sh` awk script simply stopped at the first
+//!   `#[cfg(test)]` and never resumed).
+
+/// One scanned source line.
+#[derive(Debug, Clone)]
+pub struct Line {
+    /// The line with comments removed and string/char contents blanked to
+    /// spaces. Column positions are preserved.
+    pub code: String,
+    /// Text of the line's `//` comment (without the slashes), or empty.
+    /// Doc comments (`///`, `//!`) are included; block-comment text is not
+    /// (annotations must be line comments).
+    pub comment: String,
+    /// True when the line is inside a `#[cfg(test)]`/`#[test]`-gated item.
+    pub in_test: bool,
+}
+
+/// A scanned source file.
+#[derive(Debug, Clone)]
+pub struct ScannedFile {
+    pub lines: Vec<Line>,
+}
+
+impl ScannedFile {
+    /// Is the 0-based line escaped by `tag` (e.g. `"nondet-ok:"`) — either a
+    /// trailing comment on the line itself or a comment-only line directly
+    /// above it? The annotation must carry a non-empty justification after
+    /// the tag.
+    #[must_use]
+    pub fn annotated(&self, idx: usize, tag: &str) -> bool {
+        let has = |line: &Line| {
+            line.comment
+                .find(tag)
+                .map(|p| !line.comment[p + tag.len()..].trim().is_empty())
+                .unwrap_or(false)
+        };
+        if self.lines.get(idx).is_some_and(has) {
+            return true;
+        }
+        // A justification may sit on its own comment line directly above.
+        idx > 0
+            && self
+                .lines
+                .get(idx - 1)
+                .is_some_and(|l| l.code.trim().is_empty() && has(l))
+    }
+}
+
+/// Lexer state carried across lines.
+enum State {
+    Normal,
+    BlockComment(u32),
+    Str,
+    RawStr(u32),
+}
+
+/// Scan one Rust source file into blanked code + comment lines.
+#[must_use]
+pub fn scan_source(text: &str) -> ScannedFile {
+    let mut state = State::Normal;
+    let mut raw_lines: Vec<(String, String)> = Vec::new();
+
+    for line in text.lines() {
+        let chars: Vec<char> = line.chars().collect();
+        let mut code = String::with_capacity(chars.len());
+        let mut comment = String::new();
+        let mut i = 0usize;
+        while i < chars.len() {
+            match state {
+                State::Normal => {
+                    let c = chars[i];
+                    let next = chars.get(i + 1).copied();
+                    match c {
+                        '/' if next == Some('/') => {
+                            // Line comment: capture text, blank the rest.
+                            comment = chars[i + 2..].iter().collect();
+                            break;
+                        }
+                        '/' if next == Some('*') => {
+                            state = State::BlockComment(1);
+                            code.push_str("  ");
+                            i += 2;
+                        }
+                        'r' | 'b'
+                            if is_raw_string_start(&chars, i) =>
+                        {
+                            // r"..."  r#"..."#  br#"..."# — count the hashes.
+                            let mut j = i + 1;
+                            if chars.get(j) == Some(&'r') {
+                                j += 1; // the `b` of `br`
+                            }
+                            let mut hashes = 0u32;
+                            while chars.get(j) == Some(&'#') {
+                                hashes += 1;
+                                j += 1;
+                            }
+                            // j is at the opening quote.
+                            for _ in i..=j {
+                                code.push(' ');
+                            }
+                            state = State::RawStr(hashes);
+                            i = j + 1;
+                        }
+                        '"' => {
+                            code.push('"');
+                            state = State::Str;
+                            i += 1;
+                        }
+                        '\'' => {
+                            // Char literal vs lifetime. A char literal closes
+                            // within a few chars (`'a'`, `'\n'`, `'\u{1F600}'`);
+                            // a lifetime never closes with `'`.
+                            if let Some(close) = char_literal_end(&chars, i) {
+                                code.push('\'');
+                                for _ in i + 1..close {
+                                    code.push(' ');
+                                }
+                                code.push('\'');
+                                i = close + 1;
+                            } else {
+                                code.push('\'');
+                                i += 1;
+                            }
+                        }
+                        _ => {
+                            code.push(c);
+                            i += 1;
+                        }
+                    }
+                }
+                State::BlockComment(depth) => {
+                    if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
+                        state = if depth == 1 {
+                            State::Normal
+                        } else {
+                            State::BlockComment(depth - 1)
+                        };
+                        code.push_str("  ");
+                        i += 2;
+                    } else if chars[i] == '/' && chars.get(i + 1) == Some(&'*') {
+                        state = State::BlockComment(depth + 1);
+                        code.push_str("  ");
+                        i += 2;
+                    } else {
+                        code.push(' ');
+                        i += 1;
+                    }
+                }
+                State::Str => match chars[i] {
+                    '\\' => {
+                        code.push_str("  ");
+                        i += 2;
+                    }
+                    '"' => {
+                        code.push('"');
+                        state = State::Normal;
+                        i += 1;
+                    }
+                    _ => {
+                        code.push(' ');
+                        i += 1;
+                    }
+                },
+                State::RawStr(hashes) => {
+                    if chars[i] == '"' && closes_raw(&chars, i, hashes) {
+                        for _ in 0..=(hashes as usize) {
+                            code.push(' ');
+                        }
+                        state = State::Normal;
+                        i += 1 + hashes as usize;
+                    } else {
+                        code.push(' ');
+                        i += 1;
+                    }
+                }
+            }
+        }
+        // An unterminated escape at line end (string continues) is fine: the
+        // Str state carries over and keeps blanking.
+        raw_lines.push((code, comment));
+    }
+
+    ScannedFile { lines: mark_test_scope(raw_lines) }
+}
+
+/// Does `chars[i]` start a raw (byte) string literal? (`r"`, `r#`, `br"`,
+/// `br#` — with `i` at the `r` or `b`.)
+fn is_raw_string_start(chars: &[char], i: usize) -> bool {
+    // Must not be the tail of an identifier (`for`, `var` ...).
+    if i > 0 {
+        let p = chars[i - 1];
+        if p.is_alphanumeric() || p == '_' {
+            return false;
+        }
+    }
+    let mut j = i;
+    if chars[j] == 'b' {
+        j += 1;
+        if chars.get(j) != Some(&'r') {
+            return false;
+        }
+    }
+    if chars[j] != 'r' {
+        return false;
+    }
+    j += 1;
+    while chars.get(j) == Some(&'#') {
+        j += 1;
+    }
+    chars.get(j) == Some(&'"')
+}
+
+/// If a char literal starts at `i` (the opening `'`), return the index of
+/// its closing quote; `None` for lifetimes.
+fn char_literal_end(chars: &[char], i: usize) -> Option<usize> {
+    let mut j = i + 1;
+    if chars.get(j) == Some(&'\\') {
+        // Escape: skip the backslash and scan to the close (covers \n, \',
+        // \u{...}).
+        j += 2;
+        while j < chars.len() && j < i + 12 {
+            if chars[j] == '\'' {
+                return Some(j);
+            }
+            j += 1;
+        }
+        return None;
+    }
+    // Unescaped: exactly one char then a quote (`'a'`), otherwise lifetime.
+    if chars.get(j).is_some() && chars.get(j + 1) == Some(&'\'') {
+        return Some(j + 1);
+    }
+    None
+}
+
+/// Does the `"` at `i` close a raw string with `hashes` trailing hashes?
+fn closes_raw(chars: &[char], i: usize, hashes: u32) -> bool {
+    (1..=hashes as usize).all(|k| chars.get(i + k) == Some(&'#'))
+}
+
+/// Mark lines inside `#[cfg(test)]`/`#[test]`-gated items via brace depth.
+fn mark_test_scope(raw: Vec<(String, String)>) -> Vec<Line> {
+    let mut lines = Vec::with_capacity(raw.len());
+    let mut depth: i64 = 0;
+    // Depth above which we are inside a test-gated item; None = not in one.
+    let mut test_enter: Option<i64> = None;
+    // A test attribute was seen and we await the item's opening brace.
+    let mut pending_attr = false;
+
+    for (code, comment) in raw {
+        let is_test_attr =
+            code.contains("#[cfg(test)]") || code.contains("#[cfg(any(test") || code.contains("#[test]");
+        let mut in_test = test_enter.is_some() || pending_attr || is_test_attr;
+        if is_test_attr && test_enter.is_none() {
+            pending_attr = true;
+        }
+
+        for c in code.chars() {
+            match c {
+                '{' => {
+                    if pending_attr && test_enter.is_none() {
+                        test_enter = Some(depth);
+                        pending_attr = false;
+                        in_test = true;
+                    }
+                    depth += 1;
+                }
+                '}' => {
+                    depth -= 1;
+                    if test_enter.is_some_and(|d| depth <= d) {
+                        test_enter = None;
+                        // The closing line itself is still test code.
+                    }
+                }
+                ';' => {
+                    // `#[cfg(test)] use foo;` — gated single statement ends.
+                    if pending_attr && test_enter.is_none() {
+                        pending_attr = false;
+                    }
+                }
+                _ => {}
+            }
+        }
+        lines.push(Line { code, comment, in_test });
+    }
+    lines
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_and_comments_are_blanked() {
+        let f = scan_source("let x = \"Instant::now()\"; // Instant::now()\n");
+        assert!(!f.lines[0].code.contains("Instant"));
+        assert!(f.lines[0].comment.contains("Instant::now()"));
+    }
+
+    #[test]
+    fn block_comments_blank_across_lines() {
+        let f = scan_source("a /* panic!(\n.unwrap() */ b\n");
+        assert!(!f.lines[0].code.contains("panic"));
+        assert!(!f.lines[1].code.contains("unwrap"));
+        assert!(f.lines[1].code.contains('b'));
+    }
+
+    #[test]
+    fn raw_strings_are_blanked() {
+        let f = scan_source("let s = r#\".unwrap() \"quoted\" \"#; x.y()\n");
+        assert!(!f.lines[0].code.contains("unwrap"));
+        assert!(f.lines[0].code.contains("x.y()"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let f = scan_source("fn f<'a>(x: &'a str) -> &'a str { x } // .unwrap()\n");
+        assert!(f.lines[0].code.contains("&'a str"));
+        assert!(!f.lines[0].code.contains("unwrap"));
+    }
+
+    #[test]
+    fn char_literal_quote_is_blanked() {
+        let f = scan_source("let c = '\"'; let s = \"x.unwrap()\";\n");
+        assert!(!f.lines[0].code.contains("unwrap"));
+    }
+
+    #[test]
+    fn cfg_test_scope_tracks_braces() {
+        let src = "fn a() { x.unwrap(); }\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n\
+                       fn b() { y.unwrap(); }\n\
+                   }\n\
+                   fn c() { z.unwrap(); }\n";
+        let f = scan_source(src);
+        assert!(!f.lines[0].in_test);
+        assert!(f.lines[1].in_test);
+        assert!(f.lines[2].in_test);
+        assert!(f.lines[3].in_test);
+        assert!(f.lines[4].in_test);
+        assert!(!f.lines[5].in_test, "scanning resumes after the test mod");
+    }
+
+    #[test]
+    fn annotated_same_line_and_preceding_line() {
+        let src = "a.unwrap(); // invariant: index from enumerate\n\
+                   // invariant: static catalogue\n\
+                   b.unwrap();\n\
+                   c.unwrap(); // invariant:\n";
+        let f = scan_source(src);
+        assert!(f.annotated(0, "invariant:"));
+        assert!(f.annotated(2, "invariant:"));
+        assert!(!f.annotated(3, "invariant:"), "empty justification rejected");
+    }
+}

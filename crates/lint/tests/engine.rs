@@ -1,0 +1,118 @@
+//! Fixture-driven integration tests: every rule trips on its trip fixture,
+//! stays quiet on the clean and annotated ones, and the CLI mirrors that
+//! with its exit codes (0 clean, 1 violations, 2 usage error).
+
+use jarvis_lint::{lint_paths, Options, Rule};
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn fixtures() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+fn root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root")
+}
+
+fn run_rule(rule: Rule, fixture: &str) -> Vec<String> {
+    let opts = Options { rules: vec![rule], quick: false };
+    let path = fixtures().join(fixture);
+    assert!(path.is_file(), "missing fixture {}", path.display());
+    lint_paths(&root(), &[path], &opts)
+        .expect("lint fixture")
+        .iter()
+        .map(ToString::to_string)
+        .collect()
+}
+
+/// (rule, trip, clean, annotated) — one triple per rule.
+const CASES: [(Rule, &str, &str, &str); 5] = [
+    (
+        Rule::NondetIter,
+        "nondet_iter/trip.rs",
+        "nondet_iter/clean.rs",
+        "nondet_iter/annotated.rs",
+    ),
+    (Rule::WallClock, "wall_clock/trip.rs", "wall_clock/clean.rs", "wall_clock/annotated.rs"),
+    (Rule::Panics, "panics/trip.rs", "panics/clean.rs", "panics/annotated.rs"),
+    (Rule::Float, "float/trip.rs", "float/clean.rs", "float/annotated.rs"),
+    (
+        Rule::Hermeticity,
+        "hermeticity/trip_manifest.toml",
+        "hermeticity/clean_manifest.toml",
+        "hermeticity/annotated_manifest.toml",
+    ),
+];
+
+#[test]
+fn every_rule_trips_on_its_trip_fixture() {
+    for (rule, trip, _, _) in CASES {
+        let v = run_rule(rule, trip);
+        assert!(!v.is_empty(), "{} did not trip on {trip}", rule.name());
+        for line in &v {
+            assert!(
+                line.contains(&format!(": {}: ", rule.name())),
+                "malformed violation line: {line}"
+            );
+        }
+    }
+}
+
+#[test]
+fn every_rule_passes_clean_and_annotated_fixtures() {
+    for (rule, _, clean, annotated) in CASES {
+        let v = run_rule(rule, clean);
+        assert!(v.is_empty(), "{} tripped on {clean}: {v:?}", rule.name());
+        let v = run_rule(rule, annotated);
+        assert!(v.is_empty(), "{} tripped on {annotated}: {v:?}", rule.name());
+    }
+}
+
+fn cli(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_jarvis-lint"))
+        .args(args)
+        .current_dir(root())
+        .output()
+        .expect("run jarvis-lint")
+}
+
+#[test]
+fn cli_trip_fixture_exits_nonzero_with_report() {
+    for (rule, trip, _, _) in CASES {
+        let path = fixtures().join(trip);
+        let out = cli(&["--rule", rule.name(), path.to_str().unwrap()]);
+        assert_eq!(out.status.code(), Some(1), "{} on {trip}", rule.name());
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(
+            stdout.contains(&format!(": {}: ", rule.name())),
+            "{} stdout lacks a violation line: {stdout}",
+            rule.name()
+        );
+    }
+}
+
+#[test]
+fn cli_clean_and_annotated_fixtures_exit_zero() {
+    for (rule, _, clean, annotated) in CASES {
+        for fixture in [clean, annotated] {
+            let path = fixtures().join(fixture);
+            let out = cli(&["--rule", rule.name(), path.to_str().unwrap()]);
+            assert_eq!(
+                out.status.code(),
+                Some(0),
+                "{} on {fixture}: {}",
+                rule.name(),
+                String::from_utf8_lossy(&out.stdout)
+            );
+        }
+    }
+}
+
+#[test]
+fn cli_unknown_rule_is_a_usage_error() {
+    let out = cli(&["--rule", "nonsense"]);
+    assert_eq!(out.status.code(), Some(2));
+}

@@ -1,0 +1,6 @@
+//! R4 annotated fixture: a cast justified as exact.
+
+pub fn mean(xs: &[f64]) -> f64 {
+    // float-ok: slice lengths are far below 2^53, the cast is exact
+    xs.iter().sum::<f64>() / xs.len().max(1) as f64
+}

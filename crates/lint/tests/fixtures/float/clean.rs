@@ -1,0 +1,5 @@
+//! R4 clean fixture: explicit multiply-add and integer powers.
+
+pub fn poly(x: f64) -> f64 {
+    (x * 2.0 + 1.0) + x.powi(3)
+}

@@ -1,0 +1,5 @@
+//! R4 trip fixture: FMA contraction and libm pow in a kernel path.
+
+pub fn poly(x: f64) -> f64 {
+    x.mul_add(2.0, 1.0) + x.powf(3.0)
+}

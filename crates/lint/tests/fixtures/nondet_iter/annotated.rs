@@ -1,0 +1,11 @@
+//! R1 annotated fixture: justified order-independent fold.
+use std::collections::HashMap;
+
+pub struct Counter {
+    counts: HashMap<u64, u64>,
+}
+
+pub fn total(c: &Counter) -> u64 {
+    // nondet-ok: summation is order-independent
+    c.counts.values().sum()
+}

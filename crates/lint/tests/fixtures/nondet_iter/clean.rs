@@ -1,0 +1,15 @@
+//! R1 clean fixture: ordered iteration, hash collections for membership only.
+use std::collections::{BTreeMap, HashSet};
+
+pub struct Registry {
+    entries: BTreeMap<u64, String>,
+    seen: HashSet<u64>,
+}
+
+pub fn names(r: &Registry) -> Vec<String> {
+    r.entries.values().cloned().collect()
+}
+
+pub fn known(r: &Registry, id: u64) -> bool {
+    r.seen.contains(&id)
+}

@@ -1,0 +1,10 @@
+//! R1 trip fixture: unsorted iteration over a hash map.
+use std::collections::HashMap;
+
+pub struct Registry {
+    entries: HashMap<u64, String>,
+}
+
+pub fn names(r: &Registry) -> Vec<String> {
+    r.entries.values().cloned().collect()
+}

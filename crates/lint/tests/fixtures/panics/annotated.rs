@@ -1,0 +1,6 @@
+//! R3 annotated fixture: a panic site justified as an invariant.
+
+pub fn head(xs: &[u32]) -> u32 {
+    // invariant: callers validate non-emptiness at the ingest boundary
+    *xs.first().unwrap()
+}

@@ -1,0 +1,5 @@
+//! R3 clean fixture: fallible code surfaces errors instead of panicking.
+
+pub fn head(xs: &[u32]) -> Result<u32, String> {
+    xs.first().copied().ok_or_else(|| "empty input".to_string())
+}

@@ -1,0 +1,5 @@
+//! R3 trip fixture: unannotated unwrap in pipeline code.
+
+pub fn head(xs: &[u32]) -> u32 {
+    *xs.first().unwrap()
+}

@@ -1,0 +1,7 @@
+//! R2 annotated fixture: justified informational read.
+use std::time::Instant;
+
+pub fn trace_stamp_ns() -> u128 {
+    // wall-clock-ok: progress logging only, never reaches replayed state
+    Instant::now().elapsed().as_nanos()
+}

@@ -1,0 +1,5 @@
+//! R2 clean fixture: injected clock, zero direct reads.
+
+pub fn latency_ns(clock: Option<fn() -> u64>, t0: u64) -> Option<u64> {
+    clock.map(|now| now().saturating_sub(t0))
+}

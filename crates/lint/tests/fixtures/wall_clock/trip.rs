@@ -1,0 +1,6 @@
+//! R2 trip fixture: direct wall-clock read in serving code.
+use std::time::Instant;
+
+pub fn stamp_ns() -> u128 {
+    Instant::now().elapsed().as_nanos()
+}

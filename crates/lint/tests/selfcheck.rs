@@ -1,0 +1,28 @@
+//! The workspace must lint clean under its own rules — the tree itself is
+//! the ultimate "clean fixture", and this test is what keeps it that way.
+
+use jarvis_lint::{lint_workspace, Options};
+use std::path::{Path, PathBuf};
+
+fn root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root")
+}
+
+#[test]
+fn workspace_lints_clean() {
+    let violations = lint_workspace(&root(), &Options::default()).expect("walk workspace");
+    assert!(
+        violations.is_empty(),
+        "the workspace has lint violations:\n{}",
+        violations.iter().map(ToString::to_string).collect::<Vec<_>>().join("\n")
+    );
+}
+
+#[test]
+fn quick_mode_is_also_clean() {
+    let opts = Options { quick: true, ..Options::default() };
+    assert!(lint_workspace(&root(), &opts).expect("walk workspace").is_empty());
+}

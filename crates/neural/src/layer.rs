@@ -52,7 +52,9 @@ impl Dense {
             return Err(NeuralError::ZeroUnits);
         }
         let limit = match activation {
+            // float-ok: layer widths are far below 2^53, the casts are exact
             Activation::Relu | Activation::LeakyRelu => (6.0 / inputs as f64).sqrt(),
+            // float-ok: layer widths are far below 2^53, the casts are exact
             _ => (6.0 / (inputs + units) as f64).sqrt(),
         };
         let weights =

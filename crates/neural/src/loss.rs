@@ -31,6 +31,7 @@ impl Loss {
     /// Returns [`NeuralError::DimensionMismatch`] on shape mismatch.
     pub fn value(&self, prediction: &Matrix, target: &Matrix) -> Result<f64, NeuralError> {
         check(prediction, target)?;
+        // float-ok: element counts are far below 2^53, the cast is exact
         let n = prediction.as_slice().len().max(1) as f64;
         let total: f64 = prediction
             .as_slice()
@@ -50,6 +51,7 @@ impl Loss {
     /// Returns [`NeuralError::DimensionMismatch`] on shape mismatch.
     pub fn gradient(&self, prediction: &Matrix, target: &Matrix) -> Result<Matrix, NeuralError> {
         check(prediction, target)?;
+        // float-ok: element counts are far below 2^53, the cast is exact
         let n = prediction.as_slice().len().max(1) as f64;
         let data: Vec<f64> = prediction
             .as_slice()

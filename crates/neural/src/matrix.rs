@@ -352,6 +352,7 @@ impl Matrix {
                 *m += v;
             }
         }
+        // float-ok: row counts are far below 2^53, the cast is exact
         let n = self.rows as f64;
         for m in &mut means {
             *m /= n;
@@ -365,6 +366,7 @@ impl Matrix {
         if self.data.is_empty() {
             return 0.0;
         }
+        // float-ok: element counts are far below 2^53, the cast is exact
         self.data.iter().sum::<f64>() / self.data.len() as f64
     }
 

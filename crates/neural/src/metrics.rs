@@ -47,6 +47,7 @@ impl Confusion {
         if total == 0 {
             return 0.0;
         }
+        // float-ok: tally counts are far below 2^53, the casts are exact
         (self.tp + self.tn) as f64 / total as f64
     }
 
@@ -84,6 +85,7 @@ fn ratio(num: usize, den: usize) -> f64 {
     if den == 0 {
         0.0
     } else {
+        // float-ok: tally counts are far below 2^53, the casts are exact
         num as f64 / den as f64
     }
 }

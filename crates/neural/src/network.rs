@@ -250,6 +250,7 @@ impl Network {
                 total += self.train_batch(&xs, &ys)?;
                 batches += 1;
             }
+            // float-ok: batch counts are far below 2^53, the cast is exact
             last = total / batches.max(1) as f64;
         }
         Ok(last)

@@ -17,7 +17,7 @@
 
 use crate::trigger_action::TaBehavior;
 use jarvis_iot_model::{DeviceId, EnvAction, EnvState, Fsm, StateIdx, StatePattern};
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 use jarvis_stdkit::{json_enum, json_struct};
 
 /// How safe-transition queries match against learned behavior.
@@ -45,18 +45,23 @@ json_enum!(MatchMode { Exact, DeviceContext, Generalized });
 ///
 /// Serializes as flat pair lists (`TableRepr`) so JSON round trips work
 /// despite the struct-keyed maps used internally.
+///
+/// Storage is ordered (`BTreeMap`/`BTreeSet`, not the hash variants):
+/// [`SafeTransitionTable::iter`] order reaches Table II renderings, JSON
+/// output, and the learner's replay, so it must be independent of insertion
+/// order and hasher state (lint rule R1, DESIGN.md §12).
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct SafeTransitionTable {
     /// Safe (state, action) pairs.
-    safe_pairs: HashSet<(EnvState, EnvAction)>,
+    safe_pairs: BTreeSet<(EnvState, EnvAction)>,
     /// `P_safe[S] = {S' : P_safe[S, S'] = 1}`.
-    safe_next: HashMap<EnvState, HashSet<EnvState>>,
+    safe_next: BTreeMap<EnvState, BTreeSet<EnvState>>,
     /// Device-level safe triples for [`MatchMode::DeviceContext`].
-    safe_triples: HashSet<(DeviceId, StateIdx, jarvis_iot_model::ActionIdx)>,
+    safe_triples: BTreeSet<(DeviceId, StateIdx, jarvis_iot_model::ActionIdx)>,
     /// Per-triple generalized trigger patterns for [`MatchMode::Generalized`]:
     /// the running intersection of every trigger state the triple was
     /// observed from.
-    patterns: HashMap<(DeviceId, StateIdx, jarvis_iot_model::ActionIdx), StatePattern>,
+    patterns: BTreeMap<(DeviceId, StateIdx, jarvis_iot_model::ActionIdx), StatePattern>,
     /// Whether the no-op action is implicitly safe in every state.
     allow_noop: bool,
 }
@@ -110,23 +115,18 @@ impl jarvis_stdkit::json::FromJson for SafeTransitionTable {
 
 impl From<SafeTransitionTable> for TableRepr {
     fn from(t: SafeTransitionTable) -> Self {
-        let mut pairs: Vec<_> = t.safe_pairs.into_iter().collect();
-        pairs.sort();
-        let mut next: Vec<(EnvState, Vec<EnvState>)> = t
-            .safe_next
-            .into_iter()
-            .map(|(s, set)| {
-                let mut v: Vec<_> = set.into_iter().collect();
-                v.sort();
-                (s, v)
-            })
-            .collect();
-        next.sort();
-        let mut triples: Vec<_> = t.safe_triples.into_iter().collect();
-        triples.sort();
-        let mut patterns: Vec<_> = t.patterns.into_iter().collect();
-        patterns.sort_by_key(|(k, _)| *k);
-        TableRepr { pairs, next, triples, patterns, allow_noop: t.allow_noop }
+        // The ordered storage already yields sorted, deterministic rows.
+        TableRepr {
+            pairs: t.safe_pairs.into_iter().collect(),
+            next: t
+                .safe_next
+                .into_iter()
+                .map(|(s, set)| (s, set.into_iter().collect()))
+                .collect(),
+            triples: t.safe_triples.into_iter().collect(),
+            patterns: t.patterns.into_iter().collect(),
+            allow_noop: t.allow_noop,
+        }
     }
 }
 
@@ -247,19 +247,17 @@ impl SafeTransitionTable {
         self.patterns.get(&(device, state, action))
     }
 
-    /// The safe next states of `state` (excluding the implicit self-loop).
+    /// The safe next states of `state` (excluding the implicit self-loop),
+    /// in sorted order.
     #[must_use]
     pub fn safe_next_states(&self, state: &EnvState) -> Vec<EnvState> {
-        let mut v: Vec<EnvState> = self
-            .safe_next
+        self.safe_next
             .get(state)
             .map(|set| set.iter().cloned().collect())
-            .unwrap_or_default();
-        v.sort();
-        v
+            .unwrap_or_default()
     }
 
-    /// Iterate over the safe (state, action) pairs.
+    /// Iterate over the safe (state, action) pairs, in sorted order.
     pub fn iter(&self) -> impl Iterator<Item = &(EnvState, EnvAction)> {
         self.safe_pairs.iter()
     }

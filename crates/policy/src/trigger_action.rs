@@ -6,12 +6,13 @@
 //! `SafeMem` of Algorithm 1.
 
 use jarvis_iot_model::{EnvAction, EnvState, Episode, Fsm, StatePattern, TimeStep};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use jarvis_stdkit::{json_struct};
 
 /// One trigger-action pair: full environment state plus the joint action
-/// taken in it.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+/// taken in it. Ordered by `(state, action)` — the map-key order below is
+/// the order aggregated behavior reaches JSON output and Table II.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct TaKey {
     /// The trigger: the environment state `S_t`.
     pub state: EnvState,
@@ -25,12 +26,16 @@ json_struct!(TaKey { state, action });
 ///
 /// Serializes as a flat list of `(key, count, times)` rows so JSON round
 /// trips work despite the struct-keyed maps used internally.
+///
+/// Storage is ordered (`BTreeMap`): iteration order reaches the learned
+/// `P_safe` table, tie-breaks in the dis-utility time lookup, and JSON
+/// output, so it must not depend on hasher state (lint rule R1).
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct TaBehavior {
-    counts: HashMap<TaKey, u64>,
+    counts: BTreeMap<TaKey, u64>,
     /// Time instances at which each pair was observed (for the dis-utility
     /// estimate's "closest preferred time instance `t'`", Section IV-B).
-    times: HashMap<TaKey, Vec<TimeStep>>,
+    times: BTreeMap<TaKey, Vec<TimeStep>>,
 }
 
 impl jarvis_stdkit::json::ToJson for TaBehavior {
@@ -57,7 +62,8 @@ json_struct!(TaRepr { rows });
 
 impl From<TaBehavior> for TaRepr {
     fn from(mut ta: TaBehavior) -> Self {
-        let mut rows: Vec<(TaKey, u64, Vec<TimeStep>)> = ta
+        // Ordered storage: rows come out already sorted by (state, action).
+        let rows: Vec<(TaKey, u64, Vec<TimeStep>)> = ta
             .counts
             .into_iter()
             .map(|(k, c)| {
@@ -65,7 +71,6 @@ impl From<TaBehavior> for TaRepr {
                 (k, c, times)
             })
             .collect();
-        rows.sort_by(|a, b| (&a.0.state, &a.0.action).cmp(&(&b.0.state, &b.0.action)));
         TaRepr { rows }
     }
 }

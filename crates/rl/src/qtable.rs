@@ -10,15 +10,19 @@
 use crate::policy;
 use jarvis_stdkit::rng::SliceRandom;
 use jarvis_stdkit::rng::Rng;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// A sparse tabular Q function over dense state ids and flat action indices.
+///
+/// Storage is ordered (`BTreeMap`) so any future iteration over the table
+/// (debug dumps, serialization) is independent of hasher state (lint rule
+/// R1, DESIGN.md §12).
 #[derive(Debug, Clone)]
 pub struct QTable {
     num_actions: usize,
     alpha: f64,
     gamma: f64,
-    table: HashMap<usize, Vec<f64>>,
+    table: BTreeMap<usize, Vec<f64>>,
 }
 
 impl QTable {
@@ -33,7 +37,7 @@ impl QTable {
         assert!(num_actions > 0, "num_actions must be positive");
         assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
         assert!((0.0..=1.0).contains(&gamma), "gamma must be in [0, 1]");
-        QTable { num_actions, alpha, gamma, table: HashMap::new() }
+        QTable { num_actions, alpha, gamma, table: BTreeMap::new() }
     }
 
     /// Number of actions per state.

@@ -18,7 +18,10 @@ use std::collections::BTreeMap;
 use std::time::Duration;
 
 /// Configuration of a [`ServingRuntime`].
-#[derive(Debug, Clone, PartialEq)]
+///
+/// (Not `PartialEq`: the `telemetry` field is a function pointer, whose
+/// comparison is address-based and unpredictable.)
+#[derive(Debug, Clone)]
 pub struct RuntimeConfig {
     /// Number of worker shards. Homes are routed by `home_id % shards`.
     pub shards: usize,
@@ -40,6 +43,12 @@ pub struct RuntimeConfig {
     /// make a shard deterministically slower than the router to exercise
     /// the overload paths.
     pub worker_throttle_ns: u64,
+    /// Injectable telemetry clock for decision latencies (monotonic
+    /// nanoseconds). `None` (the default) makes serving perform zero
+    /// wall-clock calls — timing is not part of the determinism contract,
+    /// so the clock is opt-in (lint rule R2, DESIGN.md §12). Benchmarks
+    /// pass [`jarvis_stdkit::bench::monotonic_ns`].
+    pub telemetry: Option<fn() -> u64>,
 }
 
 impl RuntimeConfig {
@@ -55,6 +64,7 @@ impl RuntimeConfig {
             deterministic: false,
             match_mode: MatchMode::Exact,
             worker_throttle_ns: 0,
+            telemetry: None,
         }
     }
 
@@ -96,7 +106,8 @@ pub struct ServeReport {
     /// Every event shed under [`OverloadPolicy::Shed`], in routing order.
     pub rejected: Vec<Rejection>,
     /// Per-decision latencies (dequeue → answer), unordered. Informational:
-    /// timing is *not* part of the determinism contract.
+    /// timing is *not* part of the determinism contract, and this is empty
+    /// unless [`RuntimeConfig::telemetry`] injected a clock.
     pub latencies_ns: Vec<u64>,
 }
 
@@ -472,6 +483,7 @@ impl ServingRuntime {
                 &self.policy,
                 self.config.batch_window,
                 Duration::ZERO,
+                self.config.telemetry,
                 stream.into_iter(),
             )?);
         }
@@ -495,6 +507,7 @@ impl ServingRuntime {
         let throttle = Duration::from_nanos(self.config.worker_throttle_ns);
         let capacity = self.config.queue_capacity;
         let overload = self.config.overload;
+        let telemetry = self.config.telemetry;
 
         let mut rejected: Vec<Rejection> = Vec::new();
         let mut overload_err: Option<JarvisError> = None;
@@ -507,7 +520,14 @@ impl ServingRuntime {
                 let (tx, rx) = sync::bounded::<Envelope>(capacity);
                 txs.push(tx);
                 handles.push(s.spawn(move || {
-                    shard::process_events(part, policy, batch_window, throttle, rx.into_iter())
+                    shard::process_events(
+                        part,
+                        policy,
+                        batch_window,
+                        throttle,
+                        telemetry,
+                        rx.into_iter(),
+                    )
                 }));
             }
             'route: for env in events {

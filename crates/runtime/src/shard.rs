@@ -6,7 +6,7 @@ use crate::slot::HomeSlot;
 use jarvis::JarvisError;
 use jarvis_rl::DqnAgent;
 use std::collections::BTreeMap;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// What one shard produced from its slice of the event stream.
 #[derive(Debug, Default)]
@@ -14,8 +14,10 @@ pub(crate) struct ShardOutput {
     /// Outcomes in the shard's processing order (globally re-sorted by the
     /// runtime before reporting).
     pub outcomes: Vec<Outcome>,
-    /// Wall-clock nanoseconds from dequeuing each query to emitting its
-    /// decision — the price of the batching window plus inference.
+    /// Nanoseconds from dequeuing each query to emitting its decision — the
+    /// price of the batching window plus inference. Empty unless the caller
+    /// injected a telemetry clock ([`crate::RuntimeConfig::telemetry`]);
+    /// the deterministic path makes zero clock calls (lint rule R2).
     pub latencies_ns: Vec<u64>,
 }
 
@@ -27,7 +29,9 @@ struct Pending {
     home: u64,
     obs: Vec<f64>,
     valid: Vec<usize>,
-    dequeued: Instant,
+    /// Telemetry-clock reading at dequeue time; `None` when no clock was
+    /// injected.
+    dequeued: Option<u64>,
 }
 
 /// Drive one shard over its event stream.
@@ -44,6 +48,7 @@ pub(crate) fn process_events(
     policy: &DqnAgent,
     batch_window: usize,
     throttle: Duration,
+    clock: Option<fn() -> u64>,
     events: impl Iterator<Item = Envelope>,
 ) -> Result<ShardOutput, JarvisError> {
     let mut out = ShardOutput::default();
@@ -71,15 +76,15 @@ pub(crate) fn process_events(
                     home: env.home,
                     obs: slot.encode(env.minute, indoor_c, outdoor_c, price_per_kwh),
                     valid: slot.valid_actions(),
-                    dequeued: Instant::now(),
+                    dequeued: clock.map(|now| now()),
                 });
                 if pending.len() >= batch_window {
-                    flush(slots, policy, &mut pending, &mut out)?;
+                    flush(slots, policy, clock, &mut pending, &mut out)?;
                 }
             }
         }
     }
-    flush(slots, policy, &mut pending, &mut out)?;
+    flush(slots, policy, clock, &mut pending, &mut out)?;
     Ok(out)
 }
 
@@ -88,6 +93,7 @@ pub(crate) fn process_events(
 fn flush(
     slots: &BTreeMap<u64, HomeSlot>,
     policy: &DqnAgent,
+    clock: Option<fn() -> u64>,
     pending: &mut Vec<Pending>,
     out: &mut ShardOutput,
 ) -> Result<(), JarvisError> {
@@ -126,7 +132,9 @@ fn flush(
             q_value,
             rank,
         });
-        out.latencies_ns.push(u64::try_from(p.dequeued.elapsed().as_nanos()).unwrap_or(u64::MAX));
+        if let (Some(now), Some(t0)) = (clock, p.dequeued) {
+            out.latencies_ns.push(now().saturating_sub(t0));
+        }
     }
     Ok(())
 }

@@ -7,13 +7,16 @@
 //! [`EnvState`] is the sum over devices.
 
 use jarvis_iot_model::{EnvState, Fsm};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use jarvis_stdkit::{json_struct};
 
 /// Wattage table keyed by `(device name, state name)`.
+///
+/// Storage is ordered (`BTreeMap`): iteration order reaches JSON output,
+/// so it must not depend on hasher state (lint rule R1, DESIGN.md §12).
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct PowerModel {
-    watts: HashMap<(String, String), f64>,
+    watts: BTreeMap<(String, String), f64>,
 }
 
 /// JSON-friendly serialized form: sorted `(device, state, watts)` rows,
@@ -27,12 +30,12 @@ json_struct!(PowerRepr { rows });
 
 impl jarvis_stdkit::json::ToJson for PowerModel {
     fn to_json_value(&self) -> jarvis_stdkit::json::Json {
-        let mut rows: Vec<(String, String, f64)> = self
+        // Ordered storage: rows come out already sorted by (device, state).
+        let rows: Vec<(String, String, f64)> = self
             .watts
             .iter()
             .map(|((d, s), &w)| (d.clone(), s.clone(), w))
             .collect();
-        rows.sort_by(|a, b| (&a.0, &a.1).cmp(&(&b.0, &b.1)));
         PowerRepr { rows }.to_json_value()
     }
 }

@@ -16,6 +16,21 @@ use std::time::{Duration, Instant};
 /// Re-export so bench code can use `black_box` through the harness.
 pub use std::hint::black_box;
 
+/// Monotonic nanoseconds since an arbitrary process-wide anchor.
+///
+/// The one sanctioned wall-clock source outside the bench harnesses: code
+/// that wants *informational* timing (latency telemetry, progress logs)
+/// takes an injectable `Option<fn() -> u64>` and callers that opt in pass
+/// this function. Deterministic paths pass `None` and make zero clock
+/// calls, which is what lint rule R2 (`wall-clock`) enforces — only this
+/// module and `crates/bench` may touch `Instant`/`SystemTime` directly.
+#[must_use]
+pub fn monotonic_ns() -> u64 {
+    static ANCHOR: std::sync::OnceLock<Instant> = std::sync::OnceLock::new();
+    let anchor = *ANCHOR.get_or_init(Instant::now);
+    u64::try_from(anchor.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
 /// How `iter_batched` amortizes setup cost; accepted for criterion
 /// compatibility (the harness re-runs setup per measured batch regardless).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -225,6 +240,13 @@ mod tests {
             )
         });
         assert_eq!(b.executed(), 1);
+    }
+
+    #[test]
+    fn monotonic_ns_is_nondecreasing() {
+        let a = monotonic_ns();
+        let b = monotonic_ns();
+        assert!(b >= a, "clock went backwards: {a} -> {b}");
     }
 
     #[test]

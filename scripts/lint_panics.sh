@@ -1,43 +1,14 @@
 #!/usr/bin/env sh
-# Panic-site lint for the pipeline crates.
+# Panic-site lint for the pipeline crates — compatibility shim.
 #
-# The load-bearing ingest → learn → optimize path (crates/core, crates/policy,
-# crates/smart-home) and the serving path (crates/runtime) must not grow new
-# unwrap()/expect()/panic! sites: faults in the telemetry stream are data,
-# not bugs, and belong in JarvisError (`Checkpoint`, `Fault`, `Overload`,
-# ...) — see DESIGN.md §10.
+# The awk scanner that used to live here is now rule R3 (`panics`) of the
+# in-tree lint engine, `crates/lint` (jarvis-lint), which scans the same
+# crates with a real comment/string/test-scope-aware scanner. See
+# DESIGN.md §12 for the rule and the `// invariant: <why>` escape hatch.
 #
-# A site is allowed only when its line carries an `// invariant: ...`
-# justification stating why it cannot fire (static catalogue, index produced
-# by the same structure, documented panic in an analysis-only API). Test code
-# is exempt: scanning stops at the first `#[cfg(test)]` in each file, and
-# doc-comment lines (`//!`, `///`) are skipped.
-#
-# Usage: scripts/lint_panics.sh   (exits non-zero listing unannotated sites)
+# Usage: scripts/lint_panics.sh [paths...]   (exit 1 on unannotated sites)
 
 set -eu
 cd "$(dirname "$0")/.."
 
-status=0
-for f in $(find crates/core/src crates/policy/src crates/smart-home/src crates/runtime/src -name '*.rs' | sort); do
-    # Non-test prefix of the file: everything before the first #[cfg(test)].
-    hits=$(awk '
-        /#\[cfg\(test\)\]/ { exit }
-        /^[[:space:]]*\/\// { next }          # comment-only lines (incl. //! and ///)
-        /\.unwrap\(\)|\.expect\(|panic!\(|unreachable!\(/ {
-            if ($0 !~ /\/\/ invariant:/) printf "%s:%d: %s\n", FILENAME, FNR, $0
-        }
-    ' "$f")
-    if [ -n "$hits" ]; then
-        echo "$hits"
-        status=1
-    fi
-done
-
-if [ "$status" -ne 0 ]; then
-    echo ""
-    echo "lint_panics: unannotated panic sites in pipeline crates."
-    echo "Convert them to JarvisError/ModelError, or justify with '// invariant: ...'."
-    exit 1
-fi
-echo "lint_panics: OK (no unannotated panic sites in crates/{core,policy,smart-home,runtime}/src)"
+exec cargo run -q --offline -p jarvis-lint -- --rule panics "$@"

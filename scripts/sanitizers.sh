@@ -1,0 +1,66 @@
+#!/usr/bin/env sh
+# Opt-in dynamic-analysis pass for the hand-rolled concurrency primitives
+# (crates/stdkit/src/sync.rs: the bounded MPSC channel under the threaded
+# serving runtime).
+#
+# Static analysis (jarvis-lint) covers determinism and panic policy; data
+# races are out of its reach, so this script drives ThreadSanitizer and Miri
+# at the stdkit sync/channel tests. Both require a NIGHTLY toolchain with
+# the matching components (rust-src for -Zbuild-std, miri). The script is
+# NOT part of scripts/verify.sh — the pinned toolchain in the offline image
+# is stable — and exits 0 with a notice when nightly is unavailable, so it
+# is always safe to invoke.
+#
+# Usage: scripts/sanitizers.sh [tsan|miri|all]   (default: all)
+
+set -eu
+cd "$(dirname "$0")/.."
+
+mode="${1:-all}"
+target="$(rustc -vV | awk '/^host:/ { print $2 }')"
+
+have_nightly() {
+    rustup toolchain list 2>/dev/null | grep -q nightly
+}
+
+if ! command -v rustup >/dev/null 2>&1 || ! have_nightly; then
+    echo "sanitizers: no nightly toolchain available; skipping (static lint still covers determinism)"
+    exit 0
+fi
+
+have_component() {
+    rustup component list --toolchain nightly 2>/dev/null \
+        | grep -q "^$1.*(installed)"
+}
+
+run_tsan() {
+    if ! have_component rust-src; then
+        echo "sanitizers: nightly rust-src not installed (needed for -Zbuild-std); skipping TSan"
+        return 0
+    fi
+    echo "==> ThreadSanitizer: jarvis-stdkit sync tests"
+    RUSTFLAGS="-Zsanitizer=thread" \
+        cargo +nightly test --offline -p jarvis-stdkit sync \
+        -Zbuild-std --target "$target"
+}
+
+run_miri() {
+    if ! have_component miri; then
+        echo "sanitizers: nightly miri not installed; skipping Miri"
+        return 0
+    fi
+    echo "==> Miri: jarvis-stdkit sync tests"
+    cargo +nightly miri test --offline -p jarvis-stdkit sync
+}
+
+case "$mode" in
+    tsan) run_tsan ;;
+    miri) run_miri ;;
+    all)  run_tsan; run_miri ;;
+    *)
+        echo "usage: scripts/sanitizers.sh [tsan|miri|all]" >&2
+        exit 2
+        ;;
+esac
+
+echo "sanitizers: OK"

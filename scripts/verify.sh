@@ -5,15 +5,32 @@
 # so --offline must always succeed: if this script fails at dependency
 # resolution, an external crate leaked into a manifest.
 #
-# Usage: scripts/verify.sh [--bench]
+# Usage: scripts/verify.sh [--quick|--bench]
+#   --quick   fast pre-commit gate: lint (quick walk) + build + test only.
 #   --bench   additionally smoke-run every bench target via the in-tree
 #             harness (quick budgets).
 
 set -eu
 cd "$(dirname "$0")/.."
 
-echo "==> panic-site lint (scripts/lint_panics.sh)"
-sh scripts/lint_panics.sh
+if [ "${1:-}" = "--quick" ]; then
+    echo "==> jarvis-lint --quick (R1-R5 over crates/)"
+    cargo run -q --offline -p jarvis-lint -- --quick
+
+    echo "==> cargo build --release --offline"
+    cargo build --release --offline --workspace
+
+    echo "==> cargo test --offline"
+    cargo test -q --offline --workspace
+
+    echo "OK (quick): lint clean, workspace builds and tests offline"
+    exit 0
+fi
+
+# Static analysis first: determinism, wall-clock, panic-policy, float, and
+# hermeticity rules over every workspace crate (crates/lint, DESIGN.md §12).
+echo "==> jarvis-lint (R1-R5 over the whole workspace)"
+cargo run -q --offline -p jarvis-lint
 
 echo "==> cargo build --release --offline"
 cargo build --release --offline --workspace

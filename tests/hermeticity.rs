@@ -21,7 +21,7 @@ fn workspace_manifests() -> Vec<PathBuf> {
     }
     assert!(manifests.len() >= 10, "expected the full workspace, found {}", manifests.len());
     // Crates the hermeticity audit must never silently lose track of.
-    for required in ["runtime", "stdkit", "core", "bench"] {
+    for required in ["runtime", "stdkit", "core", "bench", "lint"] {
         assert!(
             manifests.iter().any(|m| m.ends_with(format!("crates/{required}/Cargo.toml"))),
             "crates/{required}/Cargo.toml missing from the hermeticity scan"
