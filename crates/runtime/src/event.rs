@@ -103,7 +103,8 @@ impl Outcome {
     }
 }
 
-/// What the router does when a shard's bounded ingest queue is full.
+/// What the router does when a shard's bounded ingest ring
+/// (a [`jarvis_stdkit::sync::StealQueue`]) is full.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum OverloadPolicy {
     /// Block the router until the shard drains — classic backpressure; no

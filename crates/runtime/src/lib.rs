@@ -7,24 +7,33 @@
 //! The runtime ingests per-home event streams ([`ServingRuntime::ingest_day`]
 //! / [`ServingRuntime::ingest_fleet_day`], optionally corrupted by a
 //! [`FaultInjector`](jarvis_sim::FaultInjector) at the ingest boundary),
-//! routes envelopes to `N` worker shards by `home_id % N` over bounded
-//! [`jarvis_stdkit::sync`] channels, and answers three kinds of events:
+//! places homes onto `N` worker shards with deterministic load-aware bin
+//! packing (see [`Placement`]), routes envelopes over lock-free bounded
+//! [`jarvis_stdkit::sync::StealQueue`](jarvis_stdkit::sync::StealQueue)
+//! ingest rings, and answers three kinds of events:
 //!
 //! - **Actions** are checked against the home's learned safe-transition
 //!   table (the paper's runtime monitor): safe actions step the home's FSM
 //!   state, violations are blocked and alarmed.
 //! - **Sensor** events step the state unchecked (the environment is never
 //!   "unsafe", only actions are).
-//! - **Queries** are parked in a batching window and answered through one
+//! - **Queries** are parked in a batching window (closed adaptively the
+//!   moment the shard's ingest ring runs dry) and answered through one
 //!   [`DqnAgent::q_values_batch`](jarvis_rl::DqnAgent::q_values_batch)
 //!   matrix pass riding the blocked GEMM kernels, then walked down the Q
-//!   ranking to the best action each home's safe set allows.
+//!   ranking to the best action each home's safe set allows. Closed
+//!   batches are published on per-shard run queues; an idle worker
+//!   *steals* batches from its siblings in a fixed victim order, so one
+//!   hot shard's inference backlog drains across the whole pool.
 //!
 //! **Determinism contract.** The batched forward is bit-identical per row
 //! to a single-row forward, every event of one home is processed in global
 //! sequence order whatever the shard count, and decisions draw no
-//! randomness — so for a fixed ingested stream, the outcome list (sorted by
-//! sequence number) is byte-identical across shard counts and between
+//! randomness. Stealing moves only *closed* batches whose observations,
+//! valid-action sets, and action maps were snapshotted at in-order
+//! processing time — pure inference work — so for a fixed ingested stream,
+//! the outcome list (sorted by sequence number) is byte-identical across
+//! shard counts, steal schedules, batching modes, and between
 //! deterministic and threaded-`Block` execution. Backpressure is explicit:
 //! a full queue blocks, sheds with a reported [`Rejection`], or fails with
 //! [`JarvisError::Overload`](jarvis::JarvisError), per [`OverloadPolicy`] —
@@ -65,6 +74,7 @@ mod slot;
 
 pub use event::{Envelope, EventKind, Outcome, OverloadPolicy, Rejection};
 pub use runtime::{
-    IngestReport, RuntimeConfig, RuntimeSnapshot, ServeReport, ServingRuntime, ShardSnapshot,
+    IngestReport, Placement, RuntimeConfig, RuntimeSnapshot, ServeReport, ServingRuntime,
+    ShardSnapshot,
 };
 pub use slot::{HomeSlot, HomeSnapshot};

@@ -2,7 +2,7 @@
 //! and shard snapshot/restore.
 
 use crate::event::{Envelope, EventKind, Outcome, OverloadPolicy, Rejection};
-use crate::shard::{self, ShardOutput};
+use crate::shard::{self, Job, ShardOutput, WorkerShared};
 use crate::slot::{HomeSlot, HomeSnapshot};
 use jarvis::JarvisError;
 use jarvis_policy::{MatchMode, SafeTransitionTable};
@@ -13,9 +13,26 @@ use jarvis_sim::{
 use jarvis_smart_home::logger::normalize_action;
 use jarvis_smart_home::SmartHome;
 use jarvis_stdkit::json_struct;
-use jarvis_stdkit::sync::{self, TrySendError};
+use jarvis_stdkit::sync::PushError;
 use std::collections::BTreeMap;
+use std::sync::atomic::Ordering;
 use std::time::Duration;
+
+/// How homes are assigned to worker shards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Placement {
+    /// Fixed `home_id % shards` routing — placement never moves, whatever
+    /// the load. Kept for comparison benchmarks and hash-stable routing
+    /// experiments.
+    Modulo,
+    /// Load-aware placement: before each serve call the runtime counts the
+    /// stream's events per home and greedily packs homes onto shards,
+    /// heaviest first, always onto the least-loaded shard (longest-
+    /// processing-time-first bin packing). Rebalancing is deterministic —
+    /// ties break by home id and shard index — so the same stream always
+    /// produces the same placement.
+    LoadAware,
+}
 
 /// Configuration of a [`ServingRuntime`].
 ///
@@ -23,18 +40,23 @@ use std::time::Duration;
 /// comparison is address-based and unpredictable.)
 #[derive(Debug, Clone)]
 pub struct RuntimeConfig {
-    /// Number of worker shards. Homes are routed by `home_id % shards`.
+    /// Number of worker shards.
     pub shards: usize,
-    /// Bound of each shard's ingest queue (threaded mode only).
+    /// Bound of each shard's lock-free ingest ring (threaded mode only).
+    /// Values below 2 are served with a 2-slot ring — the sequence
+    /// protocol's minimum — while overload errors still report the
+    /// configured value.
     pub queue_capacity: usize,
     /// Maximum queries parked before a batched forward is forced. 1 =
     /// per-query single-row inference.
     pub batch_window: usize,
-    /// What the router does when a shard's queue is full (threaded mode).
+    /// What the router does when a shard's ingest ring is full (threaded
+    /// mode).
     pub overload: OverloadPolicy,
     /// Run shards sequentially on the caller's thread instead of spawning
-    /// workers. Outputs are bit-identical to threaded `Block` serving for
-    /// any shard count; queue bounds and throttling do not apply.
+    /// workers. Outputs are bit-identical to threaded serving for any shard
+    /// count, steal schedule, or batching mode; queue bounds and throttling
+    /// do not apply.
     pub deterministic: bool,
     /// Match mode for safe-transition lookups in the per-home monitors.
     pub match_mode: MatchMode,
@@ -43,6 +65,20 @@ pub struct RuntimeConfig {
     /// make a shard deterministically slower than the router to exercise
     /// the overload paths.
     pub worker_throttle_ns: u64,
+    /// How homes are placed onto shards. Default: [`Placement::LoadAware`].
+    pub placement: Placement,
+    /// Close a batch as soon as the shard's ingest ring runs dry instead of
+    /// holding parked queries until the window fills (threaded mode only;
+    /// the deterministic path has no queue to drain). Default `true` — this
+    /// is what keeps tail latency flat when a shard's share of the stream
+    /// arrives slower than `batch_window` events at a time. Cannot change
+    /// any decision: batch boundaries only group pure per-row forwards.
+    pub adaptive_batching: bool,
+    /// Stride of the fixed steal schedule: shard `i` tries victims `i +
+    /// stride`, `i + 2·stride`, … (mod `shards`). 1 = ring order. The
+    /// schedule permutes who steals from whom first; outputs are invariant
+    /// because stolen batches are pure.
+    pub steal_stride: usize,
     /// Injectable telemetry clock for decision latencies (monotonic
     /// nanoseconds). `None` (the default) makes serving perform zero
     /// wall-clock calls — timing is not part of the determinism contract,
@@ -53,7 +89,8 @@ pub struct RuntimeConfig {
 
 impl RuntimeConfig {
     /// Defaults: `queue_capacity` 256, `batch_window` 16, blocking
-    /// backpressure, threaded execution, exact-match monitoring.
+    /// backpressure, threaded execution, exact-match monitoring,
+    /// load-aware placement, adaptive batching, steal stride 1.
     #[must_use]
     pub fn new(shards: usize) -> Self {
         RuntimeConfig {
@@ -64,6 +101,9 @@ impl RuntimeConfig {
             deterministic: false,
             match_mode: MatchMode::Exact,
             worker_throttle_ns: 0,
+            placement: Placement::LoadAware,
+            adaptive_batching: true,
+            steal_stride: 1,
             telemetry: None,
         }
     }
@@ -77,6 +117,9 @@ impl RuntimeConfig {
         }
         if self.batch_window == 0 {
             return Err(JarvisError::Config("batch window must be at least 1".into()));
+        }
+        if self.steal_stride == 0 {
+            return Err(JarvisError::Config("steal stride must be at least 1".into()));
         }
         Ok(())
     }
@@ -105,9 +148,10 @@ pub struct ServeReport {
     pub outcomes: Vec<Outcome>,
     /// Every event shed under [`OverloadPolicy::Shed`], in routing order.
     pub rejected: Vec<Rejection>,
-    /// Per-decision latencies (dequeue → answer), unordered. Informational:
-    /// timing is *not* part of the determinism contract, and this is empty
-    /// unless [`RuntimeConfig::telemetry`] injected a clock.
+    /// Per-decision latencies (enqueue → decision: queueing + batch-window
+    /// residency + inference, per event), unordered. Informational: timing
+    /// is *not* part of the determinism contract, and this is empty unless
+    /// [`RuntimeConfig::telemetry`] injected a clock.
     pub latencies_ns: Vec<u64>,
 }
 
@@ -175,13 +219,19 @@ json_struct!(ShardSnapshot { shard, shards, policy, homes });
 
 /// A sharded multi-home serving runtime over one shared policy agent.
 ///
-/// See DESIGN.md §11 for the architecture: shard ownership, queue bounds,
-/// the batching window, and the determinism contract.
+/// See DESIGN.md §11 for the base architecture (shard ownership, queue
+/// bounds, the batching window, the determinism contract) and §13 for the
+/// work-stealing run queues, the fixed steal schedule, and load-aware
+/// placement.
 #[derive(Debug)]
 pub struct ServingRuntime {
     config: RuntimeConfig,
     policy: DqnAgent,
     homes: BTreeMap<u64, HomeSlot>,
+    /// Current home → shard placement. Seeded modulo at registration,
+    /// deterministically rebalanced per serve call under
+    /// [`Placement::LoadAware`].
+    assignments: BTreeMap<u64, usize>,
     next_seq: u64,
 }
 
@@ -194,7 +244,13 @@ impl ServingRuntime {
     /// capacity, or batch window.
     pub fn new(config: RuntimeConfig, policy: DqnAgent) -> Result<Self, JarvisError> {
         config.validate()?;
-        Ok(ServingRuntime { config, policy, homes: BTreeMap::new(), next_seq: 0 })
+        Ok(ServingRuntime {
+            config,
+            policy,
+            homes: BTreeMap::new(),
+            assignments: BTreeMap::new(),
+            next_seq: 0,
+        })
     }
 
     /// The runtime's configuration.
@@ -221,10 +277,57 @@ impl ServingRuntime {
         self.homes.get(&id)
     }
 
-    /// The shard that owns home `id`.
+    /// The shard that currently owns home `id`. Under
+    /// [`Placement::LoadAware`] this reflects the placement of the most
+    /// recent serve call (modulo before the first one); unknown ids fall
+    /// back to modulo routing so their events still reach a shard that can
+    /// reject them loudly.
     #[must_use]
     pub fn shard_of(&self, id: u64) -> usize {
-        (id % self.config.shards as u64) as usize
+        self.assignments
+            .get(&id)
+            .copied()
+            .unwrap_or((id % self.config.shards as u64) as usize)
+    }
+
+    /// Recompute the home → shard placement for a stream about to be
+    /// served. Under [`Placement::Modulo`] this pins `id % shards`. Under
+    /// [`Placement::LoadAware`] it runs deterministic LPT bin packing:
+    /// homes sorted by event count descending (id ascending on ties), each
+    /// assigned to the least-loaded shard (lowest index on ties) weighted
+    /// by `events + 1`, so idle homes still spread across shards for
+    /// snapshot partitioning.
+    fn rebalance(&mut self, events: &[Envelope]) {
+        let shards = self.config.shards as u64;
+        match self.config.placement {
+            Placement::Modulo => {
+                self.assignments =
+                    self.homes.keys().map(|&id| (id, (id % shards) as usize)).collect();
+            }
+            Placement::LoadAware => {
+                let mut counts: BTreeMap<u64, u64> =
+                    self.homes.keys().map(|&id| (id, 0u64)).collect();
+                for env in events {
+                    if let Some(count) = counts.get_mut(&env.home) {
+                        *count += 1;
+                    }
+                }
+                let mut order: Vec<(u64, u64)> =
+                    counts.into_iter().map(|(id, count)| (count, id)).collect();
+                order.sort_by_key(|&(count, id)| (std::cmp::Reverse(count), id));
+                let mut loads = vec![0u64; self.config.shards];
+                self.assignments.clear();
+                for (count, id) in order {
+                    let shard = loads
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|&(idx, &load)| (load, idx))
+                        .map_or(0, |(idx, _)| idx);
+                    loads[shard] += count + 1;
+                    self.assignments.insert(id, shard);
+                }
+            }
+        }
     }
 
     /// Register a home with its learned safe-transition table.
@@ -259,6 +362,7 @@ impl ServingRuntime {
             )));
         }
         self.homes.insert(id, slot);
+        self.assignments.insert(id, (id % self.config.shards as u64) as usize);
         Ok(())
     }
 
@@ -434,10 +538,13 @@ impl ServingRuntime {
     /// Serve a stream of envelopes through the worker shards and report
     /// one outcome per delivered event, sorted by sequence number.
     ///
-    /// In deterministic mode the shards run sequentially on the caller's
-    /// thread; in threaded mode each shard owns a scoped worker fed through
-    /// a bounded queue, with the configured [`OverloadPolicy`] deciding what
-    /// a full queue does.
+    /// Placement is rebalanced for the stream first (see
+    /// [`RuntimeConfig::placement`]). In deterministic mode the shards run
+    /// sequentially on the caller's thread; in threaded mode each shard
+    /// owns a scoped worker fed through a lock-free bounded ingest ring,
+    /// with the configured [`OverloadPolicy`] deciding what a full ring
+    /// does, and idle workers stealing closed inference batches from
+    /// sibling run queues in a fixed victim order.
     ///
     /// # Errors
     ///
@@ -446,6 +553,7 @@ impl ServingRuntime {
     /// unregistered homes, and model/neural errors from the slots or the
     /// policy network.
     pub fn serve(&mut self, events: Vec<Envelope>) -> Result<ServeReport, JarvisError> {
+        self.rebalance(&events);
         let submitted = events.len();
         let (outputs, rejected) = if self.config.deterministic {
             (self.serve_deterministic(events)?, Vec::new())
@@ -463,7 +571,8 @@ impl ServingRuntime {
     }
 
     /// Sequential reference execution: same shard partitioning, no threads,
-    /// no queue bounds — the bit-exact baseline for any shard count.
+    /// no queue bounds — the bit-exact baseline for any shard count and any
+    /// steal schedule.
     fn serve_deterministic(
         &mut self,
         events: Vec<Envelope>,
@@ -471,18 +580,17 @@ impl ServingRuntime {
         let shards = self.config.shards;
         let mut streams: Vec<Vec<Envelope>> = (0..shards).map(|_| Vec::new()).collect();
         for env in events {
-            let shard = (env.home % shards as u64) as usize;
+            let shard = self.shard_of(env.home);
             streams[shard].push(env);
         }
         let mut outputs = Vec::with_capacity(shards);
         for stream in streams {
             // The full slot map is passed through: shard routing already
             // confined each stream to the homes that shard owns.
-            outputs.push(shard::process_events(
+            outputs.push(shard::process_sequential(
                 &mut self.homes,
                 &self.policy,
                 self.config.batch_window,
-                Duration::ZERO,
                 self.config.telemetry,
                 stream.into_iter(),
             )?);
@@ -490,76 +598,97 @@ impl ServingRuntime {
         Ok(outputs)
     }
 
-    /// Threaded execution: one scoped worker per shard behind a bounded
-    /// queue; the router applies the overload policy.
+    /// Threaded work-stealing execution: one scoped worker per shard behind
+    /// a lock-free bounded ingest ring; the router applies the overload
+    /// policy; closed inference batches are published on per-shard run
+    /// queues that idle siblings steal from in a fixed victim order.
     fn serve_threaded(
         &mut self,
         events: Vec<Envelope>,
     ) -> Result<(Vec<ShardOutput>, Vec<Rejection>), JarvisError> {
         let shards = self.config.shards;
+        let route: Vec<usize> = events.iter().map(|env| self.shard_of(env.home)).collect();
         let mut parts: Vec<BTreeMap<u64, HomeSlot>> = (0..shards).map(|_| BTreeMap::new()).collect();
         for (id, slot) in std::mem::take(&mut self.homes) {
-            parts[(id % shards as u64) as usize].insert(id, slot);
+            let shard = self.shard_of(id);
+            parts[shard].insert(id, slot);
         }
 
         let policy = &self.policy;
         let batch_window = self.config.batch_window;
+        let adaptive = self.config.adaptive_batching;
+        let stride = self.config.steal_stride;
         let throttle = Duration::from_nanos(self.config.worker_throttle_ns);
         let capacity = self.config.queue_capacity;
         let overload = self.config.overload;
         let telemetry = self.config.telemetry;
 
+        let shared = WorkerShared::new(shards, capacity);
         let mut rejected: Vec<Rejection> = Vec::new();
         let mut overload_err: Option<JarvisError> = None;
         let mut results: Vec<Result<ShardOutput, JarvisError>> = Vec::with_capacity(shards);
 
         std::thread::scope(|s| {
-            let mut txs = Vec::with_capacity(shards);
+            let shared = &shared;
             let mut handles = Vec::with_capacity(shards);
-            for part in &mut parts {
-                let (tx, rx) = sync::bounded::<Envelope>(capacity);
-                txs.push(tx);
+            for (idx, part) in parts.iter_mut().enumerate() {
                 handles.push(s.spawn(move || {
-                    shard::process_events(
+                    shard::run_worker(
+                        idx,
                         part,
                         policy,
                         batch_window,
+                        adaptive,
+                        stride,
                         throttle,
                         telemetry,
-                        rx.into_iter(),
+                        shared,
                     )
                 }));
             }
-            'route: for env in events {
-                let shard_idx = (env.home % shards as u64) as usize;
+            'route: for (env, &shard_idx) in events.into_iter().zip(&route) {
+                // The enqueue stamp is taken at router hand-off, so reported
+                // latency covers queueing + window residency + inference —
+                // and, under Block backpressure, the blocking wait itself.
+                let mut job = Job { env, enqueued: telemetry.map(|now| now()) };
                 match overload {
-                    OverloadPolicy::Block => {
-                        if txs[shard_idx].send(env).is_err() {
-                            // Worker gone: its error surfaces from the join.
-                            break 'route;
+                    OverloadPolicy::Block => loop {
+                        match shared.ingest[shard_idx].try_push(job) {
+                            Ok(()) => break,
+                            Err(PushError::Full(back)) => {
+                                job = back;
+                                // A shard that stopped consuming mid-route
+                                // died: its error surfaces from the join.
+                                if shared.done[shard_idx].load(Ordering::Acquire)
+                                    || shared.abort.load(Ordering::Acquire)
+                                {
+                                    break 'route;
+                                }
+                                std::thread::yield_now();
+                            }
+                        }
+                    },
+                    OverloadPolicy::Shed => {
+                        if let Err(PushError::Full(back)) = shared.ingest[shard_idx].try_push(job) {
+                            rejected.push(Rejection {
+                                seq: back.env.seq,
+                                home: back.env.home,
+                                shard: shard_idx,
+                            });
                         }
                     }
-                    OverloadPolicy::Shed => match txs[shard_idx].try_send(env) {
-                        Ok(()) => {}
-                        Err(TrySendError::Full(env)) => rejected.push(Rejection {
-                            seq: env.seq,
-                            home: env.home,
-                            shard: shard_idx,
-                        }),
-                        Err(TrySendError::Disconnected(_)) => break 'route,
-                    },
-                    OverloadPolicy::Error => match txs[shard_idx].try_send(env) {
-                        Ok(()) => {}
-                        Err(TrySendError::Full(_)) => {
+                    OverloadPolicy::Error => {
+                        if let Err(PushError::Full(_)) = shared.ingest[shard_idx].try_push(job) {
                             overload_err =
                                 Some(JarvisError::Overload { shard: shard_idx, capacity });
                             break 'route;
                         }
-                        Err(TrySendError::Disconnected(_)) => break 'route,
-                    },
+                    }
                 }
             }
-            drop(txs);
+            for ring in &shared.ingest {
+                ring.close();
+            }
             for handle in handles {
                 results.push(handle.join().unwrap_or_else(|_| {
                     Err(JarvisError::Config("a worker shard panicked".into()))

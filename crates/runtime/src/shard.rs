@@ -1,109 +1,187 @@
 //! The worker-shard event loop: monitor checks, sensor application, and the
-//! batched decision path.
+//! work-stealing batched decision path.
+//!
+//! Two execution flavours share one event-application core:
+//!
+//! - [`process_sequential`] — the deterministic reference: one thread walks
+//!   one shard's stream, closing a decision batch whenever the window fills
+//!   and flushing the remainder at end of stream.
+//! - [`run_worker`] — the threaded work-stealing loop: each worker drains
+//!   its own lock-free ingest ring, parks queries in a batching window,
+//!   publishes closed batches as [`InferenceTask`]s on its own run queue,
+//!   and — when its own queues are dry — *steals* batches from sibling
+//!   shards in a fixed victim order.
+//!
+//! Stealing cannot change any decision: a batch snapshots every query's
+//! observation, valid-action set, and flat→mini action map at in-order
+//! processing time, and the batched forward is bit-identical per row to a
+//! single-row forward, so an [`InferenceTask`] is a pure function of the
+//! policy — whichever worker runs it, whenever, produces the same bytes.
 
 use crate::event::{Envelope, EventKind, Outcome};
 use crate::slot::HomeSlot;
 use jarvis::JarvisError;
+use jarvis_iot_model::MiniAction;
 use jarvis_rl::DqnAgent;
+use jarvis_stdkit::sync::{PushError, StealQueue};
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
-/// What one shard produced from its slice of the event stream.
+/// Bound on queued-but-unexecuted inference batches per shard. When the run
+/// queue is full the owner executes the batch inline instead — lossless,
+/// just momentarily unstealable.
+const TASK_QUEUE_CAPACITY: usize = 32;
+
+/// What one shard's worker produced: outcomes for the events it applied
+/// plus the decisions of every batch it executed (its own and stolen).
 #[derive(Debug, Default)]
 pub(crate) struct ShardOutput {
-    /// Outcomes in the shard's processing order (globally re-sorted by the
-    /// runtime before reporting).
+    /// Outcomes in this worker's processing order (globally re-sorted by
+    /// the runtime before reporting).
     pub outcomes: Vec<Outcome>,
-    /// Nanoseconds from dequeuing each query to emitting its decision — the
-    /// price of the batching window plus inference. Empty unless the caller
-    /// injected a telemetry clock ([`crate::RuntimeConfig::telemetry`]);
-    /// the deterministic path makes zero clock calls (lint rule R2).
+    /// Nanoseconds from each query's enqueue (router hand-off in threaded
+    /// mode, first touch in deterministic mode) to its decision — true
+    /// per-event latency including queueing, window residency, and
+    /// inference. Empty unless the caller injected a telemetry clock
+    /// ([`crate::RuntimeConfig::telemetry`]); the deterministic path makes
+    /// zero clock calls otherwise (lint rule R2).
     pub latencies_ns: Vec<u64>,
 }
 
-/// A query parked in the batching window, its observation and valid set
-/// snapshotted at in-order processing time so later events cannot change
-/// the answer.
+/// One routed event plus its telemetry enqueue stamp (`None` when no clock
+/// is injected).
+pub(crate) struct Job {
+    pub env: Envelope,
+    pub enqueued: Option<u64>,
+}
+
+/// A query parked in the batching window, its observation, valid set, and
+/// action map snapshotted at in-order processing time so neither later
+/// events nor the executing worker can change the answer.
 struct Pending {
     seq: u64,
     home: u64,
     obs: Vec<f64>,
     valid: Vec<usize>,
-    /// Telemetry-clock reading at dequeue time; `None` when no clock was
-    /// injected.
-    dequeued: Option<u64>,
+    /// The home's flat-index → mini-action map (shared, immutable), so a
+    /// thief can materialize the decision without touching the slot.
+    actions: Arc<Vec<MiniAction>>,
+    /// Telemetry-clock reading at enqueue time; `None` without a clock.
+    enqueued: Option<u64>,
 }
 
-/// Drive one shard over its event stream.
-///
-/// Events arrive in global-sequence order for every home this shard owns
-/// (the router never reorders), so slot state evolves identically however
-/// homes are distributed across shards. Queries are parked in a batching
-/// window of up to `batch_window` and answered through one
-/// [`DqnAgent::q_values_batch`] matrix pass; because the batched forward is
-/// bit-identical per row to a single-row forward, the batch boundaries —
-/// and therefore the shard count — cannot change any decision.
-pub(crate) fn process_events(
-    slots: &mut BTreeMap<u64, HomeSlot>,
-    policy: &DqnAgent,
-    batch_window: usize,
-    throttle: Duration,
-    clock: Option<fn() -> u64>,
-    events: impl Iterator<Item = Envelope>,
-) -> Result<ShardOutput, JarvisError> {
-    let mut out = ShardOutput::default();
-    let mut pending: Vec<Pending> = Vec::new();
-    for env in events {
-        if !throttle.is_zero() {
-            std::thread::sleep(throttle);
-        }
-        let slot = slots.get_mut(&env.home).ok_or_else(|| {
-            JarvisError::Config(format!("event {} targets unregistered home {}", env.seq, env.home))
-        })?;
-        slot.note_event(env.minute);
-        match env.kind {
-            EventKind::Action(mini) => {
-                let verdict = slot.observe_action(mini)?;
-                out.outcomes.push(Outcome::Verdict { seq: env.seq, home: env.home, verdict });
-            }
-            EventKind::Sensor(mini) => {
-                slot.apply_sensor(mini)?;
-                out.outcomes.push(Outcome::SensorApplied { seq: env.seq, home: env.home });
-            }
-            EventKind::Query { indoor_c, outdoor_c, price_per_kwh } => {
-                pending.push(Pending {
-                    seq: env.seq,
-                    home: env.home,
-                    obs: slot.encode(env.minute, indoor_c, outdoor_c, price_per_kwh),
-                    valid: slot.valid_actions(),
-                    dequeued: clock.map(|now| now()),
-                });
-                if pending.len() >= batch_window {
-                    flush(slots, policy, clock, &mut pending, &mut out)?;
-                }
-            }
+/// A closed batch of snapshotted queries: self-contained inference work
+/// executable by any worker with bitwise-identical results.
+pub(crate) struct InferenceTask {
+    entries: Vec<Pending>,
+}
+
+/// Everything the worker threads share: per-shard ingest rings, per-shard
+/// run queues of closed batches, per-shard done-publishing flags, and the
+/// abort latch that fails the whole serve call fast.
+pub(crate) struct WorkerShared {
+    pub ingest: Vec<StealQueue<Job>>,
+    pub tasks: Vec<StealQueue<InferenceTask>>,
+    pub done: Vec<AtomicBool>,
+    pub abort: AtomicBool,
+}
+
+impl WorkerShared {
+    pub(crate) fn new(shards: usize, ingest_capacity: usize) -> Self {
+        // The lock-free ring needs at least two slots (see
+        // `StealQueue::new`); a configured capacity of 1 still gets honest
+        // backpressure, just one event later.
+        let ingest_capacity = ingest_capacity.max(2);
+        WorkerShared {
+            ingest: (0..shards).map(|_| StealQueue::new(ingest_capacity)).collect(),
+            tasks: (0..shards).map(|_| StealQueue::new(TASK_QUEUE_CAPACITY)).collect(),
+            done: (0..shards).map(|_| AtomicBool::new(false)).collect(),
+            abort: AtomicBool::new(false),
         }
     }
-    flush(slots, policy, clock, &mut pending, &mut out)?;
-    Ok(out)
 }
 
-/// Answer every parked query with one batched forward, walking each home's
-/// Q ranking down to the best action its safe set allows (`Max(Q, c)`).
-fn flush(
-    slots: &BTreeMap<u64, HomeSlot>,
-    policy: &DqnAgent,
+/// The fixed victim order for shard `idx` among `shards` shards: `idx +
+/// stride`, `idx + 2·stride`, … (mod `shards`), then any shard the stride
+/// skipped (non-coprime strides), in ascending order. Deriving the order
+/// from the shard id keeps every run's steal *schedule* reproducible; the
+/// steal *timing* does not matter because stolen batches are pure.
+pub(crate) fn steal_order(idx: usize, shards: usize, stride: usize) -> Vec<usize> {
+    let mut order = Vec::with_capacity(shards.saturating_sub(1));
+    let mut seen = vec![false; shards];
+    seen[idx] = true;
+    for k in 1..shards {
+        let victim = (idx + k * stride) % shards;
+        if !seen[victim] {
+            seen[victim] = true;
+            order.push(victim);
+        }
+    }
+    for (victim, covered) in seen.iter().enumerate() {
+        if !covered {
+            order.push(victim);
+        }
+    }
+    order
+}
+
+/// Apply one event to its slot: actions are monitor-checked, sensors step
+/// the state, queries snapshot into the batching window.
+fn apply_event(
+    slots: &mut BTreeMap<u64, HomeSlot>,
+    job: Job,
     clock: Option<fn() -> u64>,
     pending: &mut Vec<Pending>,
     out: &mut ShardOutput,
 ) -> Result<(), JarvisError> {
-    if pending.is_empty() {
+    let env = job.env;
+    let slot = slots.get_mut(&env.home).ok_or_else(|| {
+        JarvisError::Config(format!("event {} targets unregistered home {}", env.seq, env.home))
+    })?;
+    slot.note_event(env.minute);
+    match env.kind {
+        EventKind::Action(mini) => {
+            let verdict = slot.observe_action(mini)?;
+            out.outcomes.push(Outcome::Verdict { seq: env.seq, home: env.home, verdict });
+        }
+        EventKind::Sensor(mini) => {
+            slot.apply_sensor(mini)?;
+            out.outcomes.push(Outcome::SensorApplied { seq: env.seq, home: env.home });
+        }
+        EventKind::Query { indoor_c, outdoor_c, price_per_kwh } => {
+            pending.push(Pending {
+                seq: env.seq,
+                home: env.home,
+                obs: slot.encode(env.minute, indoor_c, outdoor_c, price_per_kwh),
+                valid: slot.valid_actions(),
+                actions: slot.actions(),
+                // Deterministic mode stamps at first touch (enqueue ==
+                // dequeue there); threaded mode keeps the router's stamp.
+                enqueued: job.enqueued.or_else(|| clock.map(|now| now())),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Execute one closed batch: a single batched forward, then one
+/// descending-Q ranking walk per row down to the best action each home's
+/// safe set allows (`Max(Q, c)`).
+fn run_batch(
+    task: InferenceTask,
+    policy: &DqnAgent,
+    clock: Option<fn() -> u64>,
+    out: &mut ShardOutput,
+) -> Result<(), JarvisError> {
+    if task.entries.is_empty() {
         return Ok(());
     }
-    let rows: Vec<&[f64]> = pending.iter().map(|p| p.obs.as_slice()).collect();
+    let rows: Vec<&[f64]> = task.entries.iter().map(|p| p.obs.as_slice()).collect();
     let q_rows = policy.q_values_batch(&rows)?;
     let mut ranked: Vec<usize> = Vec::new();
-    for (p, q) in pending.drain(..).zip(q_rows) {
+    for (p, q) in task.entries.into_iter().zip(q_rows) {
         // Rank the whole head once, descending Q with ascending-index tie
         // breaks — element `c` is exactly `top_c(&q, &all, c)`, without
         // re-sorting per walked rank.
@@ -123,7 +201,7 @@ fn flush(
         // fall back to it defensively anyway.
         let (flat, q_value, rank) =
             decision.unwrap_or((0, q.first().copied().unwrap_or(0.0), 0));
-        let action = slots.get(&p.home).and_then(|s| s.mini_for(flat));
+        let action = if flat == 0 { None } else { p.actions.get(flat - 1).copied() };
         out.outcomes.push(Outcome::Decision {
             seq: p.seq,
             home: p.home,
@@ -132,9 +210,171 @@ fn flush(
             q_value,
             rank,
         });
-        if let (Some(now), Some(t0)) = (clock, p.dequeued) {
+        if let (Some(now), Some(t0)) = (clock, p.enqueued) {
             out.latencies_ns.push(now().saturating_sub(t0));
         }
     }
     Ok(())
+}
+
+/// Close the current window: publish it on this shard's run queue so an
+/// idle sibling can steal it, or — when the run queue is full — execute it
+/// inline right now.
+fn close_batch(
+    run_queue: &StealQueue<InferenceTask>,
+    pending: &mut Vec<Pending>,
+    policy: &DqnAgent,
+    clock: Option<fn() -> u64>,
+    out: &mut ShardOutput,
+) -> Result<(), JarvisError> {
+    if pending.is_empty() {
+        return Ok(());
+    }
+    let task = InferenceTask { entries: std::mem::take(pending) };
+    match run_queue.try_push(task) {
+        Ok(()) => Ok(()),
+        Err(PushError::Full(task)) => run_batch(task, policy, clock, out),
+    }
+}
+
+/// Drive one shard sequentially over its whole stream — the bit-exact
+/// deterministic reference for any shard count and any steal schedule.
+pub(crate) fn process_sequential(
+    slots: &mut BTreeMap<u64, HomeSlot>,
+    policy: &DqnAgent,
+    batch_window: usize,
+    clock: Option<fn() -> u64>,
+    events: impl Iterator<Item = Envelope>,
+) -> Result<ShardOutput, JarvisError> {
+    let mut out = ShardOutput::default();
+    let mut pending: Vec<Pending> = Vec::new();
+    for env in events {
+        apply_event(slots, Job { env, enqueued: None }, clock, &mut pending, &mut out)?;
+        if pending.len() >= batch_window {
+            run_batch(InferenceTask { entries: std::mem::take(&mut pending) }, policy, clock, &mut out)?;
+        }
+    }
+    run_batch(InferenceTask { entries: pending }, policy, clock, &mut out)?;
+    Ok(out)
+}
+
+/// Marks this shard done-publishing on every exit path — including panics
+/// and error returns — and trips the abort latch on the unclean ones, so
+/// neither the router nor sibling workers can wait forever on a dead shard.
+struct ExitGuard<'a> {
+    done: &'a AtomicBool,
+    abort: &'a AtomicBool,
+    clean: bool,
+}
+
+impl Drop for ExitGuard<'_> {
+    fn drop(&mut self) {
+        if !self.clean {
+            self.abort.store(true, Ordering::Release);
+        }
+        self.done.store(true, Ordering::Release);
+    }
+}
+
+/// The threaded work-stealing worker loop for shard `idx`.
+pub(crate) fn run_worker(
+    idx: usize,
+    slots: &mut BTreeMap<u64, HomeSlot>,
+    policy: &DqnAgent,
+    batch_window: usize,
+    adaptive: bool,
+    stride: usize,
+    throttle: Duration,
+    clock: Option<fn() -> u64>,
+    shared: &WorkerShared,
+) -> Result<ShardOutput, JarvisError> {
+    let mut guard = ExitGuard { done: &shared.done[idx], abort: &shared.abort, clean: false };
+    let result = worker_loop(idx, slots, policy, batch_window, adaptive, stride, throttle, clock, shared);
+    guard.clean = result.is_ok();
+    drop(guard);
+    result
+}
+
+#[allow(clippy::too_many_arguments)]
+fn worker_loop(
+    idx: usize,
+    slots: &mut BTreeMap<u64, HomeSlot>,
+    policy: &DqnAgent,
+    batch_window: usize,
+    adaptive: bool,
+    stride: usize,
+    throttle: Duration,
+    clock: Option<fn() -> u64>,
+    shared: &WorkerShared,
+) -> Result<ShardOutput, JarvisError> {
+    let ingest = &shared.ingest[idx];
+    let run_queue = &shared.tasks[idx];
+    let victims = steal_order(idx, shared.tasks.len(), stride);
+    let mut out = ShardOutput::default();
+    let mut pending: Vec<Pending> = Vec::new();
+    let mut done_publishing = false;
+
+    loop {
+        let mut progress = false;
+
+        // 1. Drain the ingest ring: monitor/sensor work applies inline,
+        //    queries snapshot into the batching window.
+        while let Some(job) = ingest.pop() {
+            progress = true;
+            if !throttle.is_zero() {
+                std::thread::sleep(throttle);
+            }
+            apply_event(slots, job, clock, &mut pending, &mut out)?;
+            if pending.len() >= batch_window {
+                close_batch(run_queue, &mut pending, policy, clock, &mut out)?;
+            }
+        }
+
+        // 2. Adaptive close: the ring ran dry with queries parked — answer
+        //    them now instead of letting them age until the window fills.
+        if adaptive && !pending.is_empty() {
+            close_batch(run_queue, &mut pending, policy, clock, &mut out)?;
+            progress = true;
+        }
+
+        // 3. End of stream: flush the remainder, then announce that this
+        //    shard will never publish another task.
+        if !done_publishing && ingest.is_drained() {
+            close_batch(run_queue, &mut pending, policy, clock, &mut out)?;
+            shared.done[idx].store(true, Ordering::Release);
+            done_publishing = true;
+        }
+
+        // 4. Execute own batches first (freshest cache), then steal from
+        //    the fixed victim schedule.
+        if let Some(task) = run_queue.pop() {
+            run_batch(task, policy, clock, &mut out)?;
+            continue;
+        }
+        for &victim in &victims {
+            if let Some(task) = shared.tasks[victim].pop() {
+                run_batch(task, policy, clock, &mut out)?;
+                progress = true;
+                break;
+            }
+        }
+        if progress {
+            continue;
+        }
+
+        // 5. Nothing anywhere: abort fast if a sibling failed, terminate
+        //    when every shard is done publishing and every run queue is
+        //    empty, otherwise yield and look again.
+        if shared.abort.load(Ordering::Acquire) {
+            break;
+        }
+        if done_publishing
+            && shared.done.iter().all(|d| d.load(Ordering::Acquire))
+            && shared.tasks.iter().all(StealQueue::is_empty)
+        {
+            break;
+        }
+        std::thread::yield_now();
+    }
+    Ok(out)
 }

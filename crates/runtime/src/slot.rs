@@ -6,6 +6,7 @@ use jarvis_policy::{MatchMode, SafeTransitionTable};
 use jarvis_sim::MINUTES_PER_DAY;
 use jarvis_smart_home::SmartHome;
 use jarvis_stdkit::json_struct;
+use std::sync::Arc;
 
 /// The serializable dynamic state of one [`HomeSlot`].
 ///
@@ -48,7 +49,10 @@ pub struct HomeSlot {
     processed: u64,
     checkpoint: Option<String>,
     state_sizes: Vec<usize>,
-    agent_actions: Vec<MiniAction>,
+    /// The flat-index → mini-action map, shared behind an `Arc` so a closed
+    /// inference batch can carry it to whichever worker steals the batch
+    /// without cloning the catalogue or touching this slot again.
+    agent_actions: Arc<Vec<MiniAction>>,
     /// Memoized [`HomeSlot::valid_actions`] for the current `state`;
     /// invalidated whenever the state moves. Derived data — never
     /// serialized, never compared.
@@ -61,7 +65,7 @@ impl HomeSlot {
     pub fn new(id: u64, home: SmartHome, table: SafeTransitionTable, mode: MatchMode) -> Self {
         let state = home.midnight_state();
         let state_sizes = home.fsm().state_sizes();
-        let agent_actions = home.agent_mini_actions();
+        let agent_actions = Arc::new(home.agent_mini_actions());
         HomeSlot {
             id,
             home,
@@ -135,6 +139,13 @@ impl HomeSlot {
         } else {
             self.agent_actions.get(flat - 1).copied()
         }
+    }
+
+    /// The shared flat-index → mini-action map (entry `i` answers flat
+    /// index `i + 1`; flat 0 is the no-op).
+    #[must_use]
+    pub(crate) fn actions(&self) -> Arc<Vec<MiniAction>> {
+        Arc::clone(&self.agent_actions)
     }
 
     /// Attach (or clear) the home's `OptimizerCheckpoint` JSON.

@@ -11,7 +11,7 @@
 //! | [`json`] | `serde`, `serde_json` | `Json` tree, strict parser, `ToJson`/`FromJson`, `json_struct!`/`json_newtype!`/`json_enum!` derives |
 //! | [`propcheck`] | `proptest` | seeded property harness, choice-tape shrinking, `prop_assert*!` macros |
 //! | [`bench`] | `criterion` | warmup+sampling micro-bench runner, `bench_group!`/`bench_main!` |
-//! | [`sync`] | `crossbeam-channel` | bounded MPSC channels with blocking and shedding sends |
+//! | [`sync`] | `crossbeam-channel` / `crossbeam-deque` | bounded MPSC channels with blocking and shedding sends; lock-free bounded MPMC steal queues |
 //!
 //! Everything is deterministic by construction: generators are seeded,
 //! property cases derive from a fixed base seed, and JSON output has a

@@ -1,7 +1,10 @@
 #!/usr/bin/env sh
 # Opt-in dynamic-analysis pass for the hand-rolled concurrency primitives
-# (crates/stdkit/src/sync.rs: the bounded MPSC channel under the threaded
-# serving runtime).
+# (crates/stdkit/src/sync.rs: the bounded MPSC channel and the lock-free
+# StealQueue ring under the threaded work-stealing serving runtime). The
+# `sync` test filter picks up the whole battery: FIFO/lap ordering,
+# full/empty boundaries, drop-with-pending leak checks, and the seeded
+# router/worker, owner-vs-thieves, and MPMC interleaving stress tests.
 #
 # Static analysis (jarvis-lint) covers determinism and panic policy; data
 # races are out of its reach, so this script drives ThreadSanitizer and Miri
@@ -38,7 +41,7 @@ run_tsan() {
         echo "sanitizers: nightly rust-src not installed (needed for -Zbuild-std); skipping TSan"
         return 0
     fi
-    echo "==> ThreadSanitizer: jarvis-stdkit sync tests"
+    echo "==> ThreadSanitizer: jarvis-stdkit sync tests (MPSC channel + StealQueue)"
     RUSTFLAGS="-Zsanitizer=thread" \
         cargo +nightly test --offline -p jarvis-stdkit sync \
         -Zbuild-std --target "$target"
@@ -49,7 +52,7 @@ run_miri() {
         echo "sanitizers: nightly miri not installed; skipping Miri"
         return 0
     fi
-    echo "==> Miri: jarvis-stdkit sync tests"
+    echo "==> Miri: jarvis-stdkit sync tests (MPSC channel + StealQueue)"
     cargo +nightly miri test --offline -p jarvis-stdkit sync
 }
 

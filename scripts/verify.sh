@@ -6,7 +6,8 @@
 # resolution, an external crate leaked into a manifest.
 #
 # Usage: scripts/verify.sh [--quick|--bench]
-#   --quick   fast pre-commit gate: lint (quick walk) + build + test only.
+#   --quick   fast pre-commit gate: lint (quick walk) + build + test + the
+#             serving-runtime throughput/tail-latency smoke.
 #   --bench   additionally smoke-run every bench target via the in-tree
 #             harness (quick budgets).
 
@@ -23,7 +24,13 @@ if [ "${1:-}" = "--quick" ]; then
     echo "==> cargo test --offline"
     cargo test -q --offline --workspace
 
-    echo "OK (quick): lint clean, workspace builds and tests offline"
+    # Tail-latency regression gate: fails when shard-4 p99 exceeds the
+    # baseline's p99_ratio_gate times shard-1 p99 (or the gated batched
+    # path got >2x slower) against the recorded BENCH_runtime.json.
+    echo "==> serving-runtime smoke (throughput --quick --check BENCH_runtime.json)"
+    cargo run -q --release --offline -p jarvis-bench --bin throughput -- --quick --check "$PWD/BENCH_runtime.json"
+
+    echo "OK (quick): lint clean, workspace builds, tests and latency gates pass offline"
     exit 0
 fi
 
@@ -50,9 +57,10 @@ cargo test -q --offline -p jarvis-neural --test properties
 echo "==> cargo bench --bench gemm -- --quick --check BENCH_neural.json"
 cargo bench --offline -p jarvis-bench --bench gemm -- --quick --check "$PWD/BENCH_neural.json"
 
-# Serving-runtime smoke: the gated 64-home batched-inference pair, checked
-# against the recorded BENCH_runtime.json (fails on a >2x throughput
-# regression of the batched path).
+# Serving-runtime smoke: the gated 64-home batched-inference pair plus the
+# threaded shard-1/shard-4 tail-latency pair, checked against the recorded
+# BENCH_runtime.json (fails on a >2x throughput regression of the batched
+# path OR when shard-4 p99 exceeds p99_ratio_gate times shard-1 p99).
 echo "==> serving-runtime smoke (throughput --quick --check BENCH_runtime.json)"
 cargo run -q --release --offline -p jarvis-bench --bin throughput -- --quick --check "$PWD/BENCH_runtime.json"
 

@@ -269,3 +269,65 @@ fn fault_injection_is_thread_count_invariant() {
     }
     std::env::remove_var("JARVIS_THREADS");
 }
+
+/// The work-stealing serving runtime is a pure function of its ingested
+/// stream: one fleet day served through {deterministic, threaded} modes and
+/// a `JARVIS_THREADS` sweep (which steers `Parallelism::Auto` inside the
+/// policy network's kernels) must end with byte-identical
+/// `RuntimeSnapshot` JSON, bit-identical outcome streams, and identical
+/// rejection accounting. Stolen inference batches are pure, so neither the
+/// steal timing nor the kernel fan-out may leak into any serialized byte.
+/// The env sweep runs serially inside one test, like the injection sweep
+/// above.
+#[test]
+fn work_stealing_serving_is_execution_mode_invariant() {
+    use jarvis_repro::policy::SafeTransitionTable;
+    use jarvis_repro::runtime::{RuntimeConfig, ServingRuntime};
+    use jarvis_repro::sim::FleetGenerator;
+
+    // A learned table + a policy agent sized for the evaluation home.
+    let home = SmartHome::evaluation_home();
+    let mut jarvis = Jarvis::new(home.clone(), fast_config(19));
+    jarvis.learning_phase(&HomeDataset::home_a(3), 0..2).unwrap();
+    jarvis.learn_policies().unwrap();
+    let table: SafeTransitionTable = jarvis.outcome().unwrap().table.clone();
+    let state_dim = home.fsm().state_sizes().iter().sum::<usize>() + 5;
+    let num_actions = home.agent_mini_actions().len() + 1;
+    let mut dqn_cfg = DqnConfig::new(state_dim, num_actions);
+    dqn_cfg.hidden = vec![16];
+    dqn_cfg.seed = 19;
+    let policy = DqnAgent::new(dqn_cfg).unwrap();
+
+    let fleet = FleetGenerator::new(29, 6);
+    let run = |deterministic: bool| {
+        let mut config = RuntimeConfig::new(4);
+        config.deterministic = deterministic;
+        config.batch_window = 8;
+        let mut rt = ServingRuntime::new(config, policy.clone()).unwrap();
+        for id in 0..fleet.num_homes() {
+            rt.register_home(u64::from(id), home.clone(), table.clone()).unwrap();
+        }
+        let ingest = rt.ingest_fleet_day(&fleet, 1, None, Some(45)).unwrap();
+        let report = rt.serve(ingest.envelopes).unwrap();
+        // Debug-format the outcomes: f64s print with shortest-round-trip
+        // precision, so any bit difference shows.
+        (rt.snapshot().to_json(), format!("{:?}", report.outcomes), report.rejected.len())
+    };
+
+    let baseline = run(true);
+    for threads in ["1", "2", "4"] {
+        std::env::set_var("JARVIS_THREADS", threads);
+        let threaded = run(false);
+        assert_eq!(
+            baseline.0, threaded.0,
+            "RuntimeSnapshot bytes drifted at JARVIS_THREADS={threads}"
+        );
+        assert_eq!(
+            baseline.1, threaded.1,
+            "outcome stream drifted at JARVIS_THREADS={threads}"
+        );
+        assert_eq!(baseline.2, 0, "deterministic mode never sheds");
+        assert_eq!(threaded.2, 0, "Block backpressure never sheds");
+    }
+    std::env::remove_var("JARVIS_THREADS");
+}
