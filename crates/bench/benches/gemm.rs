@@ -1,35 +1,85 @@
-//! GEMM kernel benchmark with a recorded baseline.
+//! Neural kernel benchmark with a recorded baseline (schema v2).
 //!
-//! Measures the naive reference kernels against the blocked (and blocked +
-//! threaded) kernels that now back every network forward/backward pass, and
-//! reports the speedup at each size.
+//! Sweeps three layers of the decision-path stack:
 //!
-//! Beyond printing a table, this bench is the regression gate for
-//! `BENCH_neural.json`:
+//! * **GEMM tiers** — the naive reference vs the blocked kernels pinned to
+//!   every available [`SimdTier`] (scalar, SSE2, AVX2, AVX2+FMA), plus the
+//!   detected tier under worker-pool fan-out (`pool4`), for `matmul` and
+//!   the fused `matmul_transpose` at 64/128/256.
+//! * **Batched forward** — a serving-shaped MLP (32 → 64 → 64 → 9) at batch
+//!   sizes 16/32/64/128: f64 pinned to scalar (the pre-SIMD kernels), f64
+//!   at the detected tier, f64 through the pool, and the int8 quantized
+//!   forward at both scalar and the detected tier.
+//! * **Worker pool** — `run_scoped` fork/join overhead vs a fresh
+//!   `thread::scope` spawn for the same task set.
+//!
+//! Beyond printing a table, this bench is the acceptance gate for the SIMD
+//! + quantization work. `--check` enforces, **fresh from this run's own
+//! measurements** (not the recorded file):
+//!
+//! * quantized forward ≥ [`QUANT_SPEEDUP_GATE`]× over the scalar-tier f64
+//!   forward at batches 16/32/64;
+//! * pool-threaded GEMM no slower than [`POOL_PARITY_GATE`]× single-thread
+//!   at 64/128 (threaded dispatch used to *lose* 2–3× there);
+//! * quantized argmax agreement ≥ [`AGREEMENT_GATE`] on the eval corpus;
+//!
+//! plus the v1-style ≤2× regression check of every gated kernel against
+//! the recorded minima in `BENCH_neural.json`.
 //!
 //! * `--json <path>`  — write the measurements as a JSON baseline.
-//! * `--check <path>` — compare against a recorded baseline and exit
-//!   non-zero when any blocked kernel got more than 2× slower.
+//! * `--check <path>` — enforce the gates above and exit non-zero on fail.
 //! * `--quick`        — 10× shorter budgets (used by `scripts/verify.sh`).
 
 use std::time::{Duration, Instant};
 
-use jarvis_neural::{Matrix, Parallelism};
+use jarvis_neural::{
+    gemm, Activation, Loss, Matrix, Network, OptimizerKind, Parallelism, QuantizedNetwork,
+    SimdTier,
+};
 use jarvis_stdkit::json::Json;
+use jarvis_stdkit::pool::WorkerPool;
 use jarvis_stdkit::rng::{ChaCha8Rng, Rng, SeedableRng};
 
 /// Sizes swept for square `m×k×n` products. 256 is the acceptance size;
 /// 64 sits at the parallel threshold, 128 in between.
 const SIZES: [usize; 3] = [64, 128, 256];
 
+/// Batch sizes swept for the serving-shaped forward pass.
+const BATCHES: [usize; 4] = [16, 32, 64, 128];
+
+/// The quantized forward must beat the scalar-tier f64 forward by at least
+/// this factor at batches 16/32/64 (the serving window sizes).
+const QUANT_SPEEDUP_GATE: f64 = 3.0;
+
+/// Pool-threaded GEMM may cost at most this factor over single-thread at
+/// 64/128. Before the persistent pool, per-call spawning made "threaded"
+/// 2–3× *slower* at these sizes. The gate is 1.5 rather than 1.0 because
+/// on a single-core host the pool's extra workers can only time-slice;
+/// the inline-caller path keeps parity near 1.0, but scheduler jitter on
+/// a contended box adds up to ~1.3× at n=128.
+const POOL_PARITY_GATE: f64 = 1.5;
+
+/// Minimum quantized/f64 greedy-argmax agreement on the eval corpus.
+const AGREEMENT_GATE: f64 = 0.95;
+
 /// Baselines only gate the kernels we ship; the naive reference is recorded
-/// for the speedup column but never fails the check.
-const CHECKED_PREFIXES: [&str; 2] = ["gemm/blocked", "gemm_t/blocked"];
+/// for the speedup column but never fails the regression check.
+const CHECKED_PREFIXES: [&str; 3] = ["gemm/", "gemm_t/", "forward/"];
 
 struct Measurement {
     name: String,
     median_ns: f64,
     min_ns: f64,
+}
+
+/// Everything `--check` gates on, computed fresh from one suite run.
+struct Gates {
+    /// batch → scalar-f64-min / quant-min (minima; see `run_suite`).
+    quant_speedup: Vec<(usize, f64)>,
+    /// size → pool4-min / best-single-tier-min.
+    pool_parity: Vec<(usize, f64)>,
+    /// Quantized greedy-argmax agreement with f64 on the eval corpus.
+    argmax_agreement: f64,
 }
 
 /// Median/min per-call nanoseconds of `routine` over a wall-clock budget.
@@ -51,51 +101,241 @@ fn random_matrix(rng: &mut ChaCha8Rng, rows: usize, cols: usize) -> Matrix {
     Matrix::from_fn(rows, cols, |_, _| rng.gen_range(-1.0..1.0))
 }
 
-fn run_suite(budget: Duration) -> Vec<Measurement> {
+/// The serving-shaped benchmark network: 32 observation features, two
+/// 64-unit ReLU hidden layers (the paper's DNN shape), 9 Q heads. Briefly
+/// trained toward a seeded linear target so the heads rank distinctly —
+/// random initialization would make the agreement gate meaninglessly easy
+/// or flaky.
+fn bench_network() -> Network {
+    let (inputs, outputs) = (32usize, 9usize);
+    let mut net = Network::builder(inputs)
+        .layer(64, Activation::Relu)
+        .layer(64, Activation::Relu)
+        .layer(outputs, Activation::Linear)
+        .loss(Loss::Mse)
+        .optimizer(OptimizerKind::adam(0.01))
+        .seed(7)
+        .build()
+        .expect("bench network");
+    let mut rng = ChaCha8Rng::seed_from_u64(77);
+    for _ in 0..100 {
+        let xs: Vec<Vec<f64>> = (0..16)
+            .map(|_| (0..inputs).map(|_| rng.gen_range(-1.0..=1.0)).collect())
+            .collect();
+        let ys: Vec<Vec<f64>> = xs
+            .iter()
+            .map(|x| {
+                (0..outputs)
+                    .map(|h| x.iter().enumerate().map(|(i, v)| v * (((i + h) % 7) as f64 - 3.0)).sum::<f64>() / 8.0)
+                    .collect()
+            })
+            .collect();
+        let xr: Vec<&[f64]> = xs.iter().map(Vec::as_slice).collect();
+        let yr: Vec<&[f64]> = ys.iter().map(Vec::as_slice).collect();
+        net.train_batch(&xr, &yr).expect("bench training step");
+    }
+    net
+}
+
+fn corpus(seed: u64, rows: usize, width: usize) -> Vec<Vec<f64>> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    (0..rows).map(|_| (0..width).map(|_| rng.gen_range(-1.0..=1.0)).collect()).collect()
+}
+
+/// Batched f64 forward pinned to one SIMD tier, composed from the layer
+/// accessors — this is exactly what `Network::forward_batch` computes, but
+/// with the kernel tier under bench control (`Scalar` reproduces the
+/// pre-SIMD blocked kernels this PR's speedups are measured against).
+fn forward_f64_tier(net: &Network, rows: &[Vec<f64>], par: Parallelism, tier: SimdTier) -> Vec<f64> {
+    let batch = rows.len();
+    let mut width = net.input_size();
+    let mut act: Vec<f64> = rows.iter().flat_map(|r| r.iter().copied()).collect();
+    for layer in net.layers() {
+        let units = layer.units();
+        let mut z = vec![0.0; batch * units];
+        gemm::matmul_transpose_with_tier(
+            &act,
+            layer.weights().as_slice(),
+            &mut z,
+            batch,
+            width,
+            units,
+            par,
+            tier,
+        );
+        let bias = layer.bias();
+        let activation = layer.activation();
+        for row in z.chunks_exact_mut(units) {
+            for (v, &b) in row.iter_mut().zip(bias) {
+                *v = activation.apply(*v + b);
+            }
+        }
+        act = z;
+        width = units;
+    }
+    act
+}
+
+fn run_suite(budget: Duration) -> (Vec<Measurement>, Gates) {
     let mut rng = ChaCha8Rng::seed_from_u64(42);
     let mut results = Vec::new();
-    let mut record = |name: String, (median_ns, min_ns): (f64, f64)| {
+    // Returns min_ns: the gates compare minima, not medians — on a busy
+    // box interference only ever *inflates* a sample, so the min is the
+    // noise-robust estimate of true kernel cost.
+    let record = |results: &mut Vec<Measurement>, name: String, (median_ns, min_ns): (f64, f64)| {
         println!("{name:<34} median {:10.1} µs  min {:10.1} µs", median_ns / 1e3, min_ns / 1e3);
         results.push(Measurement { name, median_ns, min_ns });
+        results.last().expect("just pushed").min_ns
     };
 
+    let detected = SimdTier::detect();
+    let tiers = SimdTier::available();
+    println!(
+        "simd tiers: {:?} (detected: {})",
+        tiers.iter().map(|t| t.name()).collect::<Vec<_>>(),
+        detected.name()
+    );
+
+    // --- GEMM per-tier sweep -------------------------------------------
+    let mut pool_parity = Vec::new();
     for n in SIZES {
         let a = random_matrix(&mut rng, n, n);
         let b = random_matrix(&mut rng, n, n);
         let bt = b.transpose();
+        let (am, bm, btm) = (a.as_slice(), b.as_slice(), bt.as_slice());
 
-        let naive = measure(budget, || a.matmul_naive(&b).unwrap());
-        record(format!("gemm/naive/{n}"), naive);
-        let blocked = measure(budget, || a.matmul_with(&b, Parallelism::Single).unwrap());
-        record(format!("gemm/blocked/{n}"), blocked);
-        let threaded = measure(budget, || a.matmul_with(&b, Parallelism::Threads(4)).unwrap());
-        record(format!("gemm/blocked_t4/{n}"), threaded);
-        println!(
-            "{:<34} blocked {:.2}x  blocked+4t {:.2}x",
-            format!("gemm/speedup_vs_naive/{n}"),
-            naive.0 / blocked.0,
-            naive.0 / threaded.0,
+        let naive = measure(budget, || {
+            let mut out = vec![0.0; n * n];
+            gemm::matmul_naive(am, bm, &mut out, n, n);
+            out
+        });
+        record(&mut results, format!("gemm/naive/{n}"), naive);
+        let mut best_single = f64::INFINITY;
+        for &tier in tiers {
+            let med = record(
+                &mut results,
+                format!("gemm/{}/{n}", tier.name()),
+                measure(budget, || {
+                    let mut out = vec![0.0; n * n];
+                    gemm::matmul_with_tier(am, bm, &mut out, n, n, n, Parallelism::Single, tier);
+                    out
+                }),
+            );
+            best_single = best_single.min(med);
+        }
+        let pool4 = record(
+            &mut results,
+            format!("gemm/pool4/{n}"),
+            measure(budget, || {
+                let mut out = vec![0.0; n * n];
+                gemm::matmul_with_tier(am, bm, &mut out, n, n, n, Parallelism::Threads(4), detected);
+                out
+            }),
         );
+        if n < 256 {
+            pool_parity.push((n, pool4 / best_single));
+        }
 
-        let naive_t = measure(budget, || a.matmul_transpose_naive(&bt).unwrap());
-        record(format!("gemm_t/naive/{n}"), naive_t);
-        let blocked_t =
-            measure(budget, || a.matmul_transpose_with(&bt, Parallelism::Single).unwrap());
-        record(format!("gemm_t/blocked/{n}"), blocked_t);
-        let threaded_t =
-            measure(budget, || a.matmul_transpose_with(&bt, Parallelism::Threads(4)).unwrap());
-        record(format!("gemm_t/blocked_t4/{n}"), threaded_t);
-        println!(
-            "{:<34} blocked {:.2}x  blocked+4t {:.2}x",
-            format!("gemm_t/speedup_vs_naive/{n}"),
-            naive_t.0 / blocked_t.0,
-            naive_t.0 / threaded_t.0,
+        for &tier in tiers {
+            record(
+                &mut results,
+                format!("gemm_t/{}/{n}", tier.name()),
+                measure(budget, || {
+                    let mut out = vec![0.0; n * n];
+                    gemm::matmul_transpose_with_tier(am, btm, &mut out, n, n, n, Parallelism::Single, tier);
+                    out
+                }),
+            );
+        }
+        record(
+            &mut results,
+            format!("gemm_t/pool4/{n}"),
+            measure(budget, || {
+                let mut out = vec![0.0; n * n];
+                gemm::matmul_transpose_with_tier(am, btm, &mut out, n, n, n, Parallelism::Threads(4), detected);
+                out
+            }),
         );
     }
-    results
+
+    // --- Serving-shaped forward sweep ----------------------------------
+    let net = bench_network();
+    let calib = corpus(5, 64, net.input_size());
+    let calib_refs: Vec<&[f64]> = calib.iter().map(Vec::as_slice).collect();
+    let qnet = QuantizedNetwork::quantize(&net, &calib_refs).expect("quantize bench net");
+    let eval = corpus(9, 256, net.input_size());
+    let eval_refs: Vec<&[f64]> = eval.iter().map(Vec::as_slice).collect();
+    let argmax_agreement = qnet.argmax_agreement(&net, &eval_refs).expect("agreement");
+    println!("quantized argmax agreement on eval corpus: {argmax_agreement:.4}");
+
+    let mut quant_speedup = Vec::new();
+    for batch in BATCHES {
+        let rows = corpus(100 + batch as u64, batch, net.input_size());
+        let refs: Vec<&[f64]> = rows.iter().map(Vec::as_slice).collect();
+
+        let scalar = record(
+            &mut results,
+            format!("forward/f64_scalar/{batch}"),
+            measure(budget, || forward_f64_tier(&net, &rows, Parallelism::Single, SimdTier::Scalar)),
+        );
+        record(
+            &mut results,
+            format!("forward/f64/{batch}"),
+            measure(budget, || forward_f64_tier(&net, &rows, Parallelism::Single, detected)),
+        );
+        record(
+            &mut results,
+            format!("forward/f64_pool4/{batch}"),
+            measure(budget, || forward_f64_tier(&net, &rows, Parallelism::Threads(4), detected)),
+        );
+        record(
+            &mut results,
+            format!("forward/quant_scalar/{batch}"),
+            measure(budget, || qnet.forward_batch_with_tier(&refs, SimdTier::Scalar).expect("quant")),
+        );
+        let quant = record(
+            &mut results,
+            format!("forward/quant/{batch}"),
+            measure(budget, || qnet.forward_batch_with_tier(&refs, detected).expect("quant")),
+        );
+        let speedup = scalar / quant;
+        println!("{:<34} quant {speedup:.2}x over f64-scalar", format!("forward/speedup/{batch}"));
+        if batch <= 64 {
+            quant_speedup.push((batch, speedup));
+        }
+    }
+
+    // --- Worker-pool fork/join overhead --------------------------------
+    let pool = WorkerPool::with_workers(4);
+    record(
+        &mut results,
+        "pool/run_scoped8".into(),
+        measure(budget, || {
+            let outs = [0u64; 8].map(std::hint::black_box);
+            let tasks: Vec<jarvis_stdkit::pool::ScopedTask<'_>> = outs
+                .iter()
+                .map(|o| Box::new(move || { std::hint::black_box(o); }) as _)
+                .collect();
+            pool.run_scoped(tasks);
+        }),
+    );
+    record(
+        &mut results,
+        "pool/thread_scope8".into(),
+        measure(budget, || {
+            let outs = [0u64; 8].map(std::hint::black_box);
+            std::thread::scope(|s| {
+                for o in &outs {
+                    s.spawn(move || { std::hint::black_box(o); });
+                }
+            });
+        }),
+    );
+
+    (results, Gates { quant_speedup, pool_parity, argmax_agreement })
 }
 
-fn to_json(results: &[Measurement]) -> String {
+fn to_json(results: &[Measurement], gates: &Gates) -> String {
     let entries: Vec<Json> = results
         .iter()
         .map(|m| {
@@ -106,23 +346,93 @@ fn to_json(results: &[Measurement]) -> String {
             ])
         })
         .collect();
+    let speedups: Vec<Json> = gates
+        .quant_speedup
+        .iter()
+        .map(|&(b, s)| {
+            Json::Obj(vec![
+                ("batch".into(), Json::Int(b as i64)),
+                ("speedup".into(), Json::Float(s)),
+            ])
+        })
+        .collect();
+    let parity: Vec<Json> = gates
+        .pool_parity
+        .iter()
+        .map(|&(n, r)| {
+            Json::Obj(vec![("size".into(), Json::Int(n as i64)), ("ratio".into(), Json::Float(r))])
+        })
+        .collect();
     Json::Obj(vec![
-        ("schema".into(), Json::Str("jarvis-gemm-bench-v1".into())),
+        ("schema".into(), Json::Str("jarvis-neural-bench-v2".into())),
+        (
+            "simd_tiers".into(),
+            Json::Arr(
+                SimdTier::available().iter().map(|t| Json::Str(t.name().into())).collect(),
+            ),
+        ),
+        ("detected_tier".into(), Json::Str(SimdTier::detect().name().into())),
+        (
+            "gates".into(),
+            Json::Obj(vec![
+                ("quant_speedup_gate".into(), Json::Float(QUANT_SPEEDUP_GATE)),
+                ("quant_speedup".into(), Json::Arr(speedups)),
+                ("pool_parity_gate".into(), Json::Float(POOL_PARITY_GATE)),
+                ("pool_parity".into(), Json::Arr(parity)),
+                ("argmax_agreement_gate".into(), Json::Float(AGREEMENT_GATE)),
+                ("argmax_agreement".into(), Json::Float(gates.argmax_agreement)),
+            ]),
+        ),
         ("results".into(), Json::Arr(entries)),
     ])
     .to_string()
 }
 
+/// Enforce the acceptance gates from this run's own measurements. Returns
+/// human-readable failures (empty = all gates pass).
+fn gate_failures(gates: &Gates) -> Vec<String> {
+    let mut failed = Vec::new();
+    for &(batch, speedup) in &gates.quant_speedup {
+        if speedup < QUANT_SPEEDUP_GATE {
+            failed.push(format!(
+                "quantized forward at batch {batch} is only {speedup:.2}x over f64-scalar \
+                 (gate: {QUANT_SPEEDUP_GATE}x)"
+            ));
+        }
+    }
+    for &(n, ratio) in &gates.pool_parity {
+        if ratio > POOL_PARITY_GATE {
+            failed.push(format!(
+                "pool-threaded gemm at {n} costs {ratio:.2}x single-thread \
+                 (gate: {POOL_PARITY_GATE}x)"
+            ));
+        }
+    }
+    if gates.argmax_agreement < AGREEMENT_GATE {
+        failed.push(format!(
+            "quantized argmax agreement {:.4} below the {AGREEMENT_GATE} gate",
+            gates.argmax_agreement
+        ));
+    }
+    failed
+}
+
 /// Compare `results` against a recorded baseline; returns the names of the
-/// gated kernels that regressed more than 2×.
+/// gated kernels that regressed more than 2×. Compares minima (see
+/// `run_suite`: interference only inflates samples, so min-vs-min is the
+/// stable regression signal).
 fn regressions(results: &[Measurement], baseline: &Json) -> Vec<String> {
+    if baseline.get("schema").and_then(Json::as_str) != Some("jarvis-neural-bench-v2") {
+        println!("recorded baseline predates schema v2; skipping regression comparison");
+        return Vec::new();
+    }
     let recorded = baseline
         .get("results")
         .and_then(Json::as_array)
         .expect("baseline has a results array");
     let mut failed = Vec::new();
     for m in results {
-        if !CHECKED_PREFIXES.iter().any(|p| m.name.starts_with(p)) {
+        if !CHECKED_PREFIXES.iter().any(|p| m.name.starts_with(p)) || m.name.contains("/naive/") {
             continue;
         }
         let Some(old) = recorded.iter().find(|r| {
@@ -130,14 +440,14 @@ fn regressions(results: &[Measurement], baseline: &Json) -> Vec<String> {
         }) else {
             continue; // new benchmark, nothing recorded yet
         };
-        let old_median = old.get("median_ns").and_then(Json::as_f64).expect("median_ns");
-        if m.median_ns > 2.0 * old_median {
+        let old_min = old.get("min_ns").and_then(Json::as_f64).expect("min_ns");
+        if m.min_ns > 2.0 * old_min {
             failed.push(format!(
                 "{}: {:.1} µs vs recorded {:.1} µs ({:.2}x)",
                 m.name,
-                m.median_ns / 1e3,
-                old_median / 1e3,
-                m.median_ns / old_median
+                m.min_ns / 1e3,
+                old_min / 1e3,
+                m.min_ns / old_min
             ));
         }
     }
@@ -161,24 +471,29 @@ fn main() {
     }
     let budget = if quick { Duration::from_millis(30) } else { Duration::from_millis(300) };
 
-    let results = run_suite(budget);
+    let (results, gates) = run_suite(budget);
 
     if let Some(path) = json_out {
-        std::fs::write(&path, to_json(&results) + "\n").expect("write baseline");
+        std::fs::write(&path, to_json(&results, &gates) + "\n").expect("write baseline");
         println!("wrote baseline to {path}");
     }
     if let Some(path) = check {
+        let mut failed = gate_failures(&gates);
         let text = std::fs::read_to_string(&path)
             .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
         let baseline = Json::parse(&text).expect("baseline parses");
-        let failed = regressions(&results, &baseline);
+        failed.extend(regressions(&results, &baseline));
         if !failed.is_empty() {
-            eprintln!("GEMM kernels regressed >2x vs {path}:");
+            eprintln!("neural kernel gates failed vs {path}:");
             for f in &failed {
                 eprintln!("  {f}");
             }
             std::process::exit(1);
         }
-        println!("all gated kernels within 2x of {path}");
+        println!(
+            "all gates pass: quant >= {QUANT_SPEEDUP_GATE}x at batches 16-64, pool parity \
+             <= {POOL_PARITY_GATE}x at 64/128, agreement >= {AGREEMENT_GATE}, kernels within \
+             2x of {path}"
+        );
     }
 }

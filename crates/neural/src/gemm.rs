@@ -1,4 +1,5 @@
-//! Cache-blocked, register-tiled, optionally row-parallel GEMM kernels.
+//! Cache-blocked, register-tiled, SIMD-dispatched, optionally row-parallel
+//! GEMM kernels.
 //!
 //! Every Jarvis training step — the DQN `Replay(BSize)` of Algorithm 2 and
 //! the ANN anomaly filter of Algorithm 1 — bottoms out in the two products
@@ -18,9 +19,7 @@
 //!   invocation. The `NR`-wide strips of `B` are contiguous, so the inner
 //!   loop vectorizes, and the 24 accumulators live in registers for the
 //!   whole `k` sweep — eliminating the per-`k` load/store traffic on the
-//!   output row that bounds the naive i-k-j loop. (3 × 8 is deliberate:
-//!   the tile's 12 accumulator vectors plus operands fit the 16-register
-//!   SSE2 file; a 4 × 8 tile spills every iteration.)
+//!   output row that bounds the naive i-k-j loop.
 //! * `matmul_transpose` packs each `NR_T`-row panel of `B` into an
 //!   interleaved `k × NR_T` buffer, turning the naive kernel's single
 //!   latency-bound dot-product chain per output (with strided `B` access)
@@ -28,36 +27,49 @@
 //!   `MR × NR_T` independent chains that vectorize. Packing only moves
 //!   values; no chain's order changes.
 //!
-//! Because f64 stores and loads are exact, keeping an accumulator in a
-//! register instead of round-tripping it through the output buffer cannot
-//! change the value: the blocked kernels are **bit-identical** to the naive
-//! references for every input, including NaN and infinity patterns.
+//! # SIMD tiers
+//!
+//! The tile micro-kernels exist at four [`SimdTier`]s — `Scalar` (plain
+//! Rust), `Sse2` (explicit 2-lane `__m128d`), `Avx2` and `Avx2Fma`
+//! (4-lane `__m256d`; see [`simd`](crate::simd) for why the FMA tier
+//! still uses unfused mul+add). Dispatch is per call: [`matmul`] uses the
+//! best runtime-detected tier ([`SimdTier::detect`], overridable once via
+//! `JARVIS_SIMD`), and [`matmul_with_tier`] pins one explicitly. Lanes
+//! map one-to-one onto output columns — each lane is a single scalar
+//! chain — so **every tier is bit-identical** to the naive references for
+//! every input, including NaN and infinity patterns. The conformance
+//! battery in `crates/neural/tests/properties.rs` sweeps every available
+//! tier to enforce this.
 //!
 //! # Determinism under parallelism
 //!
-//! Work fans out across [`std::thread::scope`] workers by *output row
-//! blocks*: each output element is computed entirely by one worker with the
-//! same reduction order as the sequential kernel, so results are
-//! bit-identical at every thread count. `tests/determinism.rs` and the
-//! kernel-equivalence properties in `crates/neural/tests/properties.rs`
-//! enforce this.
+//! Work fans out across the persistent
+//! [`WorkerPool`](jarvis_stdkit::pool::WorkerPool) by *output row blocks*
+//! (chunk count fixed by [`Parallelism`], never by pool occupancy): each
+//! output element is computed entirely by one task with the same reduction
+//! order as the sequential kernel, so results are bit-identical at every
+//! thread count and pool size. `tests/determinism.rs` and the kernel
+//! conformance properties enforce this.
 
-use std::num::NonZeroUsize;
+use jarvis_stdkit::pool::WorkerPool;
+use std::sync::OnceLock;
 
 /// How many worker threads the linear-algebra kernels may use.
 ///
 /// Results are **bit-identical at every setting** (see the module docs);
 /// the knob only trades wall-clock time. The default everywhere is
-/// [`Parallelism::Single`], which never spawns threads.
+/// [`Parallelism::Single`], which never hands work to the pool.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[non_exhaustive]
 pub enum Parallelism {
-    /// Single-threaded; never spawns.
+    /// Single-threaded; never fans out.
     Single,
-    /// Exactly `n` workers (clamped to at least 1).
+    /// Exactly `n` work chunks (clamped to at least 1).
     Threads(usize),
     /// `JARVIS_THREADS` when set to a positive integer, else the host's
-    /// available parallelism.
+    /// available parallelism — resolved **once** per process via
+    /// [`jarvis_stdkit::pool::configured_threads`] (PR 2 re-read the
+    /// environment on every call, a lock on every kernel dispatch).
     Auto,
 }
 
@@ -76,13 +88,96 @@ impl Parallelism {
         match self {
             Parallelism::Single => 1,
             Parallelism::Threads(n) => n.max(1),
-            Parallelism::Auto => std::env::var("JARVIS_THREADS")
-                .ok()
-                .and_then(|s| s.trim().parse::<usize>().ok())
-                .filter(|&n| n > 0)
-                .unwrap_or_else(|| {
-                    std::thread::available_parallelism().map_or(1, NonZeroUsize::get)
-                }),
+            Parallelism::Auto => jarvis_stdkit::pool::configured_threads(),
+        }
+    }
+}
+
+/// Instruction-set tier of the GEMM micro-kernels. All tiers are
+/// bit-identical (module docs); the tier only trades wall-clock time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[non_exhaustive]
+pub enum SimdTier {
+    /// Portable scalar tiles — the fallback on every architecture.
+    Scalar,
+    /// Explicit 2-lane `__m128d` tiles; baseline on x86-64.
+    Sse2,
+    /// Explicit 4-lane `__m256d` tiles; requires runtime `avx2`.
+    Avx2,
+    /// The AVX2 tiles compiled with `fma` also enabled (arithmetic stays
+    /// unfused — see `crate::simd`); requires runtime `avx2` **and** `fma`.
+    Avx2Fma,
+}
+
+impl SimdTier {
+    /// Every tier usable on this host, in ascending preference order.
+    /// Always starts with [`SimdTier::Scalar`].
+    #[must_use]
+    pub fn available() -> &'static [SimdTier] {
+        static AVAILABLE: OnceLock<Vec<SimdTier>> = OnceLock::new();
+        AVAILABLE.get_or_init(|| {
+            #[allow(unused_mut)]
+            let mut tiers = vec![SimdTier::Scalar];
+            #[cfg(target_arch = "x86_64")]
+            {
+                tiers.push(SimdTier::Sse2);
+                if is_x86_feature_detected!("avx2") {
+                    tiers.push(SimdTier::Avx2);
+                    if is_x86_feature_detected!("fma") {
+                        tiers.push(SimdTier::Avx2Fma);
+                    }
+                }
+            }
+            tiers
+        })
+    }
+
+    /// Whether this tier's kernels can run on this host.
+    #[must_use]
+    pub fn is_available(self) -> bool {
+        SimdTier::available().contains(&self)
+    }
+
+    /// The tier [`matmul`] and [`matmul_transpose`] dispatch to: the best
+    /// available one, unless `JARVIS_SIMD` (read **once** per process)
+    /// names an available tier (`scalar` | `sse2` | `avx2` | `avx2fma`).
+    /// Unknown or unavailable names are ignored.
+    #[must_use]
+    pub fn detect() -> SimdTier {
+        static ACTIVE: OnceLock<SimdTier> = OnceLock::new();
+        *ACTIVE.get_or_init(|| {
+            let best = *SimdTier::available().last().unwrap_or(&SimdTier::Scalar);
+            match std::env::var("JARVIS_SIMD").ok().as_deref().map(str::trim) {
+                Some("scalar") => SimdTier::Scalar,
+                Some("sse2") if SimdTier::Sse2.is_available() => SimdTier::Sse2,
+                Some("avx2") if SimdTier::Avx2.is_available() => SimdTier::Avx2,
+                Some("avx2fma") if SimdTier::Avx2Fma.is_available() => SimdTier::Avx2Fma,
+                _ => best,
+            }
+        })
+    }
+
+    /// Short lowercase name, as accepted by `JARVIS_SIMD` and recorded in
+    /// `BENCH_neural.json`.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            SimdTier::Scalar => "scalar",
+            SimdTier::Sse2 => "sse2",
+            SimdTier::Avx2 => "avx2",
+            SimdTier::Avx2Fma => "avx2fma",
+        }
+    }
+
+    /// Clamp to something runnable: an unavailable tier (e.g. `Avx2` on a
+    /// pre-AVX2 host) degrades to `Scalar` instead of invoking kernels
+    /// the CPU cannot execute. This is what keeps the `_with_tier` entry
+    /// points sound as safe functions.
+    fn sanitize(self) -> SimdTier {
+        if self.is_available() {
+            self
+        } else {
+            SimdTier::Scalar
         }
     }
 }
@@ -90,19 +185,19 @@ impl Parallelism {
 /// Rows of `C` per `matmul` register tile.
 const MR: usize = 3;
 /// Columns of `C` per `matmul` register tile (one cache line of f64).
-const NR: usize = 8;
+pub(crate) const NR: usize = 8;
 /// `B`-rows per packed `matmul_transpose` panel (the tile's lane width).
-const NR_T: usize = 8;
+pub(crate) const NR_T: usize = 8;
 
-/// Below this many multiply-adds per output chunk, threading overhead
-/// outweighs the work and the kernels stay sequential.
+/// Below this many multiply-adds per output chunk, parallel fan-out
+/// overhead outweighs the work and the kernels stay sequential.
 const PARALLEL_FLOP_THRESHOLD: usize = 64 * 64 * 64;
 
 /// Reference `C = A·B`: plain i-k-j loops, ascending `k`, one accumulation
 /// into each output element per step. This is the semantic definition the
 /// blocked kernel must match bit-for-bit. Note there is deliberately **no**
 /// zero-skip on `a`: `0 × ∞` and `0 × NaN` must produce NaN, not silence.
-pub(crate) fn matmul_naive(a: &[f64], b: &[f64], out: &mut [f64], k: usize, n: usize) {
+pub fn matmul_naive(a: &[f64], b: &[f64], out: &mut [f64], k: usize, n: usize) {
     for (a_row, out_row) in a.chunks_exact(k.max(1)).zip(out.chunks_exact_mut(n.max(1))) {
         for (kk, b_row) in b.chunks_exact(n.max(1)).enumerate().take(k) {
             let av = a_row[kk];
@@ -114,7 +209,7 @@ pub(crate) fn matmul_naive(a: &[f64], b: &[f64], out: &mut [f64], k: usize, n: u
 }
 
 /// Reference `C = A·Bᵀ`: one serial dot product per output element.
-pub(crate) fn matmul_transpose_naive(a: &[f64], b: &[f64], out: &mut [f64], k: usize, p: usize) {
+pub fn matmul_transpose_naive(a: &[f64], b: &[f64], out: &mut [f64], k: usize, p: usize) {
     for (a_row, out_row) in a.chunks_exact(k.max(1)).zip(out.chunks_exact_mut(p.max(1))) {
         for (b_row, o) in b.chunks_exact(k.max(1)).zip(out_row.iter_mut()).take(p) {
             let mut acc = 0.0;
@@ -126,9 +221,17 @@ pub(crate) fn matmul_transpose_naive(a: &[f64], b: &[f64], out: &mut [f64], k: u
     }
 }
 
-/// Blocked `C = A·B` over `m × k` and `k × n` operands, fanned across
-/// `par.threads()` workers by output-row blocks.
-pub(crate) fn matmul(
+/// Blocked `C = A·B` over `m × k` and `k × n` operands at the detected
+/// [`SimdTier`], fanned across `par.threads()` chunks on the global pool.
+pub fn matmul(a: &[f64], b: &[f64], out: &mut [f64], m: usize, k: usize, n: usize, par: Parallelism) {
+    matmul_with_tier(a, b, out, m, k, n, par, SimdTier::detect());
+}
+
+/// [`matmul`] pinned to one [`SimdTier`] (unavailable tiers degrade to
+/// `Scalar`). Bit-identical to every other tier; used by the conformance
+/// battery and the per-tier bench sweep.
+#[allow(clippy::too_many_arguments)]
+pub fn matmul_with_tier(
     a: &[f64],
     b: &[f64],
     out: &mut [f64],
@@ -136,15 +239,34 @@ pub(crate) fn matmul(
     k: usize,
     n: usize,
     par: Parallelism,
+    tier: SimdTier,
 ) {
-    run_row_blocks(a, out, m, k, n, par, |a_chunk, out_chunk| {
-        matmul_chunk(a_chunk, b, out_chunk, k, n);
+    matmul_on(WorkerPool::global(), a, b, out, m, k, n, par, tier);
+}
+
+/// [`matmul_with_tier`] on an explicit pool — the conformance battery
+/// uses private pools to sweep pool sizes {1, 2, 4, 8} deterministically.
+#[allow(clippy::too_many_arguments)]
+pub fn matmul_on(
+    pool: &WorkerPool,
+    a: &[f64],
+    b: &[f64],
+    out: &mut [f64],
+    m: usize,
+    k: usize,
+    n: usize,
+    par: Parallelism,
+    tier: SimdTier,
+) {
+    let tier = tier.sanitize();
+    run_row_blocks(pool, a, out, m, k, n, par, |a_chunk, out_chunk| {
+        matmul_chunk(a_chunk, b, out_chunk, k, n, tier);
     });
 }
 
-/// Blocked `C = A·Bᵀ` over `m × k` and `p × k` operands, fanned across
-/// `par.threads()` workers by output-row blocks.
-pub(crate) fn matmul_transpose(
+/// Blocked `C = A·Bᵀ` over `m × k` and `p × k` operands at the detected
+/// [`SimdTier`], fanned across `par.threads()` chunks on the global pool.
+pub fn matmul_transpose(
     a: &[f64],
     b: &[f64],
     out: &mut [f64],
@@ -153,15 +275,52 @@ pub(crate) fn matmul_transpose(
     p: usize,
     par: Parallelism,
 ) {
-    run_row_blocks(a, out, m, k, p, par, |a_chunk, out_chunk| {
-        matmul_transpose_chunk(a_chunk, b, out_chunk, k, p);
+    matmul_transpose_with_tier(a, b, out, m, k, p, par, SimdTier::detect());
+}
+
+/// [`matmul_transpose`] pinned to one [`SimdTier`] (unavailable tiers
+/// degrade to `Scalar`).
+#[allow(clippy::too_many_arguments)]
+pub fn matmul_transpose_with_tier(
+    a: &[f64],
+    b: &[f64],
+    out: &mut [f64],
+    m: usize,
+    k: usize,
+    p: usize,
+    par: Parallelism,
+    tier: SimdTier,
+) {
+    matmul_transpose_on(WorkerPool::global(), a, b, out, m, k, p, par, tier);
+}
+
+/// [`matmul_transpose_with_tier`] on an explicit pool (see [`matmul_on`]).
+#[allow(clippy::too_many_arguments)]
+pub fn matmul_transpose_on(
+    pool: &WorkerPool,
+    a: &[f64],
+    b: &[f64],
+    out: &mut [f64],
+    m: usize,
+    k: usize,
+    p: usize,
+    par: Parallelism,
+    tier: SimdTier,
+) {
+    let tier = tier.sanitize();
+    run_row_blocks(pool, a, out, m, k, p, par, |a_chunk, out_chunk| {
+        matmul_transpose_chunk(a_chunk, b, out_chunk, k, p, tier);
     });
 }
 
 /// Split `a` and `out` into matching row blocks and run `kernel` on each,
-/// sequentially or under [`std::thread::scope`]. Each output row is owned by
-/// exactly one worker, so the reduction order per element never changes.
+/// sequentially or as scoped tasks on the persistent worker pool. Each
+/// output row is owned by exactly one task, and the chunk boundaries
+/// depend only on `par.threads()` — never on pool occupancy — so the
+/// reduction order per element is invariant across pool sizes.
+#[allow(clippy::too_many_arguments)]
 fn run_row_blocks(
+    pool: &WorkerPool,
     a: &[f64],
     out: &mut [f64],
     m: usize,
@@ -180,21 +339,21 @@ fn run_row_blocks(
     }
     let rows_per = m.div_ceil(threads);
     let kernel = &kernel;
-    std::thread::scope(|scope| {
-        let mut a_rest = a;
-        let mut out_rest = out;
-        for _ in 0..threads {
-            let rows = rows_per.min(out_rest.len() / n);
-            if rows == 0 {
-                break;
-            }
-            let (a_chunk, a_tail) = a_rest.split_at(rows * k);
-            let (out_chunk, out_tail) = out_rest.split_at_mut(rows * n);
-            a_rest = a_tail;
-            out_rest = out_tail;
-            scope.spawn(move || kernel(a_chunk, out_chunk));
+    let mut tasks: Vec<jarvis_stdkit::pool::ScopedTask<'_>> = Vec::with_capacity(threads);
+    let mut a_rest = a;
+    let mut out_rest = out;
+    for _ in 0..threads {
+        let rows = rows_per.min(out_rest.len() / n);
+        if rows == 0 {
+            break;
         }
-    });
+        let (a_chunk, a_tail) = a_rest.split_at(rows * k);
+        let (out_chunk, out_tail) = out_rest.split_at_mut(rows * n);
+        a_rest = a_tail;
+        out_rest = out_tail;
+        tasks.push(Box::new(move || kernel(a_chunk, out_chunk)));
+    }
+    pool.run_scoped(tasks);
 }
 
 /// Pack the row chunk of `A` block-by-block into column-major order: block
@@ -218,8 +377,75 @@ fn pack_a(a: &[f64], k: usize, rows: usize) -> Vec<f64> {
     apack
 }
 
+/// Dispatch one `MRC × NR` `A·B` tile to the tier's micro-kernel. All
+/// variants implement the identical ascending-`k` lane-per-column chain.
+#[inline]
+fn mm_tile_tier<const MRC: usize>(
+    tier: SimdTier,
+    apack_block: &[f64],
+    b: &[f64],
+    out_block: &mut [f64],
+    j: usize,
+    n: usize,
+) {
+    match tier {
+        SimdTier::Scalar => mm_tile::<MRC>(apack_block, b, out_block, j, n),
+        #[cfg(target_arch = "x86_64")]
+        SimdTier::Sse2 => crate::simd::mm_tile_sse2::<MRC>(apack_block, b, out_block, j, n),
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: `sanitize()` upstream guarantees the features were
+        // runtime-detected before these tiers can be dispatched.
+        #[allow(unsafe_code)]
+        SimdTier::Avx2 => unsafe { crate::simd::mm_tile_avx2::<MRC>(apack_block, b, out_block, j, n) },
+        #[cfg(target_arch = "x86_64")]
+        #[allow(unsafe_code)]
+        SimdTier::Avx2Fma => {
+            // SAFETY: as above — dispatch is reachable only post-detection.
+            unsafe { crate::simd::mm_tile_avx2fma::<MRC>(apack_block, b, out_block, j, n) }
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        _ => mm_tile::<MRC>(apack_block, b, out_block, j, n),
+    }
+}
+
+/// Dispatch one `MRC × NR_T` `A·Bᵀ` tile to the tier's micro-kernel.
+#[inline]
+fn mt_tile_tier<const MRC: usize>(
+    tier: SimdTier,
+    apack_block: &[f64],
+    packed: &[f64],
+    out_block: &mut [f64],
+    j: usize,
+    p: usize,
+    width: usize,
+) {
+    match tier {
+        SimdTier::Scalar => mt_tile::<MRC>(apack_block, packed, out_block, j, p, width),
+        #[cfg(target_arch = "x86_64")]
+        SimdTier::Sse2 => {
+            crate::simd::mt_tile_sse2::<MRC>(apack_block, packed, out_block, j, p, width);
+        }
+        #[cfg(target_arch = "x86_64")]
+        #[allow(unsafe_code)]
+        SimdTier::Avx2 => {
+            // SAFETY: dispatch is reachable only after runtime detection.
+            unsafe { crate::simd::mt_tile_avx2::<MRC>(apack_block, packed, out_block, j, p, width) }
+        }
+        #[cfg(target_arch = "x86_64")]
+        #[allow(unsafe_code)]
+        SimdTier::Avx2Fma => {
+            // SAFETY: dispatch is reachable only after runtime detection.
+            unsafe {
+                crate::simd::mt_tile_avx2fma::<MRC>(apack_block, packed, out_block, j, p, width)
+            }
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        _ => mt_tile::<MRC>(apack_block, packed, out_block, j, p, width),
+    }
+}
+
 /// Sequential blocked `A·B` on a row chunk: `rows × k` by `k × n`.
-fn matmul_chunk(a: &[f64], b: &[f64], out: &mut [f64], k: usize, n: usize) {
+fn matmul_chunk(a: &[f64], b: &[f64], out: &mut [f64], k: usize, n: usize, tier: SimdTier) {
     if k == 0 || n == 0 {
         return;
     }
@@ -234,10 +460,10 @@ fn matmul_chunk(a: &[f64], b: &[f64], out: &mut [f64], k: usize, n: usize) {
         let mut j = 0;
         while j + NR <= n {
             match mr {
-                1 => mm_tile::<1>(apack_block, b, out_block, j, n),
-                2 => mm_tile::<2>(apack_block, b, out_block, j, n),
-                3 => mm_tile::<3>(apack_block, b, out_block, j, n),
-                _ => mm_tile::<4>(apack_block, b, out_block, j, n),
+                1 => mm_tile_tier::<1>(tier, apack_block, b, out_block, j, n),
+                2 => mm_tile_tier::<2>(tier, apack_block, b, out_block, j, n),
+                3 => mm_tile_tier::<3>(tier, apack_block, b, out_block, j, n),
+                _ => mm_tile_tier::<4>(tier, apack_block, b, out_block, j, n),
             }
             j += NR;
         }
@@ -248,10 +474,10 @@ fn matmul_chunk(a: &[f64], b: &[f64], out: &mut [f64], k: usize, n: usize) {
     }
 }
 
-/// `MRC × NR` register tile of `A·B` at column `j`: `MRC · NR` accumulators
-/// swept over the full `k` extent in ascending order, written back once.
-/// Both operands stream through `chunks_exact`, so the loop body carries no
-/// index arithmetic or bounds checks.
+/// `MRC × NR` scalar register tile of `A·B` at column `j`: `MRC · NR`
+/// accumulators swept over the full `k` extent in ascending order, written
+/// back once. Both operands stream through `chunks_exact`, so the loop
+/// body carries no index arithmetic or bounds checks.
 #[inline]
 fn mm_tile<const MRC: usize>(
     apack_block: &[f64],
@@ -276,7 +502,8 @@ fn mm_tile<const MRC: usize>(
 }
 
 /// Column remainder (`n % NR` trailing columns) of an `mr`-row block,
-/// ascending `k` per element like everything else.
+/// ascending `k` per element like everything else. Always scalar: the
+/// chains are identical at every tier, so the remainder needs no variants.
 fn mm_edge(
     a_block: &[f64],
     b: &[f64],
@@ -307,7 +534,7 @@ fn mm_edge(
 /// vectorizes the same way. Packing only *moves* values, so every output
 /// element still accumulates `a[kk] · b[kk]` in ascending `k` through a
 /// single chain, and the result stays bit-identical to the naive reference.
-fn matmul_transpose_chunk(a: &[f64], b: &[f64], out: &mut [f64], k: usize, p: usize) {
+fn matmul_transpose_chunk(a: &[f64], b: &[f64], out: &mut [f64], k: usize, p: usize, tier: SimdTier) {
     if p == 0 {
         return;
     }
@@ -329,10 +556,10 @@ fn matmul_transpose_chunk(a: &[f64], b: &[f64], out: &mut [f64], k: usize, p: us
             let apack_block = &apack[i * k..(i + mr) * k];
             let out_block = &mut out[i * p..(i + mr) * p];
             match mr {
-                1 => mt_tile::<1>(apack_block, &packed, out_block, j, p, width),
-                2 => mt_tile::<2>(apack_block, &packed, out_block, j, p, width),
-                3 => mt_tile::<3>(apack_block, &packed, out_block, j, p, width),
-                _ => mt_tile::<4>(apack_block, &packed, out_block, j, p, width),
+                1 => mt_tile_tier::<1>(tier, apack_block, &packed, out_block, j, p, width),
+                2 => mt_tile_tier::<2>(tier, apack_block, &packed, out_block, j, p, width),
+                3 => mt_tile_tier::<3>(tier, apack_block, &packed, out_block, j, p, width),
+                _ => mt_tile_tier::<4>(tier, apack_block, &packed, out_block, j, p, width),
             }
             i += mr;
         }
@@ -340,10 +567,10 @@ fn matmul_transpose_chunk(a: &[f64], b: &[f64], out: &mut [f64], k: usize, p: us
     }
 }
 
-/// `MRC × NR_T` register tile of `A·Bᵀ` against packed `A` and `B` panels:
-/// `MRC · NR_T` accumulators swept over the full `k` extent in ascending
-/// order, with only the first `width` lanes written back. Like [`mm_tile`],
-/// the loop body is two lockstep `chunks_exact` streams.
+/// `MRC × NR_T` scalar register tile of `A·Bᵀ` against packed `A` and `B`
+/// panels: `MRC · NR_T` accumulators swept over the full `k` extent in
+/// ascending order, with only the first `width` lanes written back. Like
+/// [`mm_tile`], the loop body is two lockstep `chunks_exact` streams.
 #[inline]
 fn mt_tile<const MRC: usize>(
     apack_block: &[f64],
@@ -390,7 +617,7 @@ mod tests {
     }
 
     #[test]
-    fn blocked_matmul_matches_naive_across_shapes() {
+    fn blocked_matmul_matches_naive_across_shapes_and_tiers() {
         for &(m, k, n) in &[
             (1, 1, 1),
             (1, 7, 1),
@@ -407,16 +634,18 @@ mod tests {
             let b = fill(k * n, 2 + (m + k + n) as u64);
             let mut naive = vec![0.0; m * n];
             matmul_naive(&a, &b, &mut naive, k, n);
-            for par in [Parallelism::Single, Parallelism::Threads(3)] {
-                let mut fast = vec![0.0; m * n];
-                matmul(&a, &b, &mut fast, m, k, n, par);
-                assert_eq!(bits(&naive), bits(&fast), "m={m} k={k} n={n} {par:?}");
+            for &tier in SimdTier::available() {
+                for par in [Parallelism::Single, Parallelism::Threads(3)] {
+                    let mut fast = vec![0.0; m * n];
+                    matmul_with_tier(&a, &b, &mut fast, m, k, n, par, tier);
+                    assert_eq!(bits(&naive), bits(&fast), "m={m} k={k} n={n} {par:?} {tier:?}");
+                }
             }
         }
     }
 
     #[test]
-    fn blocked_matmul_transpose_matches_naive_across_shapes() {
+    fn blocked_matmul_transpose_matches_naive_across_shapes_and_tiers() {
         for &(m, k, p) in &[
             (1, 1, 1),
             (1, 9, 2),
@@ -432,17 +661,19 @@ mod tests {
             let b = fill(p * k, 13 + (m + k + p) as u64);
             let mut naive = vec![0.0; m * p];
             matmul_transpose_naive(&a, &b, &mut naive, k, p);
-            for par in [Parallelism::Single, Parallelism::Threads(3)] {
-                let mut fast = vec![0.0; m * p];
-                matmul_transpose(&a, &b, &mut fast, m, k, p, par);
-                assert_eq!(bits(&naive), bits(&fast), "m={m} k={k} p={p} {par:?}");
+            for &tier in SimdTier::available() {
+                for par in [Parallelism::Single, Parallelism::Threads(3)] {
+                    let mut fast = vec![0.0; m * p];
+                    matmul_transpose_with_tier(&a, &b, &mut fast, m, k, p, par, tier);
+                    assert_eq!(bits(&naive), bits(&fast), "m={m} k={k} p={p} {par:?} {tier:?}");
+                }
             }
         }
     }
 
     #[test]
     fn thread_counts_are_bit_identical_above_threshold() {
-        // Big enough to cross PARALLEL_FLOP_THRESHOLD so threads really spawn.
+        // Big enough to cross PARALLEL_FLOP_THRESHOLD so work really fans out.
         let (m, k, n) = (96, 80, 96);
         let a = fill(m * k, 5);
         let b = fill(k * n, 6);
@@ -461,6 +692,8 @@ mod tests {
         assert_eq!(Parallelism::Threads(0).threads(), 1);
         assert_eq!(Parallelism::Threads(6).threads(), 6);
         assert!(Parallelism::Auto.threads() >= 1);
+        // Auto is cached: two resolutions agree even if the env changed.
+        assert_eq!(Parallelism::Auto.threads(), Parallelism::Auto.threads());
     }
 
     #[test]
@@ -469,6 +702,24 @@ mod tests {
         for p in [Parallelism::Single, Parallelism::Threads(4), Parallelism::Auto] {
             let back = Parallelism::from_json(&p.to_json()).unwrap();
             assert_eq!(p, back);
+        }
+    }
+
+    #[test]
+    fn tier_detection_is_sane() {
+        let tiers = SimdTier::available();
+        assert_eq!(tiers.first(), Some(&SimdTier::Scalar));
+        assert!(SimdTier::detect().is_available());
+        assert!(tiers.windows(2).all(|w| w[0] < w[1]), "ascending preference order");
+        #[cfg(target_arch = "x86_64")]
+        assert!(SimdTier::Sse2.is_available(), "SSE2 is x86-64 baseline");
+        // An unavailable tier must degrade to scalar, not hit bad kernels.
+        let probe = [SimdTier::Scalar, SimdTier::Sse2, SimdTier::Avx2, SimdTier::Avx2Fma];
+        for tier in probe {
+            let (a, b) = ([1.0, 2.0], [3.0, 4.0, 5.0, 6.0]);
+            let mut out = vec![0.0; 2];
+            matmul_with_tier(&a, &b, &mut out, 1, 2, 2, Parallelism::Single, tier);
+            assert_eq!(out, vec![13.0, 16.0], "{tier:?}");
         }
     }
 

@@ -86,6 +86,19 @@ impl Dense {
         self.activation
     }
 
+    /// The `units × inputs` weight matrix (read-only — training owns the
+    /// writes). Exposed for quantization and kernel benchmarking.
+    #[must_use]
+    pub fn weights(&self) -> &Matrix {
+        &self.weights
+    }
+
+    /// The per-unit bias vector (read-only).
+    #[must_use]
+    pub fn bias(&self) -> &[f64] {
+        &self.bias
+    }
+
     /// Number of trainable parameters (weights + biases).
     #[must_use]
     pub fn num_params(&self) -> usize {

@@ -43,7 +43,9 @@
 //! # Ok::<(), jarvis_neural::NeuralError>(())
 //! ```
 
-#![forbid(unsafe_code)]
+// Unsafe is denied crate-wide; the one sanctioned island is `simd`, whose
+// `std::arch` micro-kernels opt back in with documented shape contracts.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod activation;
@@ -55,12 +57,15 @@ pub mod matrix;
 pub mod metrics;
 pub mod network;
 pub mod optimizer;
+pub mod quant;
+mod simd;
 
 pub use activation::Activation;
 pub use error::NeuralError;
-pub use gemm::Parallelism;
+pub use gemm::{Parallelism, SimdTier};
 pub use layer::Dense;
 pub use loss::Loss;
 pub use matrix::Matrix;
 pub use network::{Network, NetworkBuilder};
 pub use optimizer::OptimizerKind;
+pub use quant::QuantizedNetwork;

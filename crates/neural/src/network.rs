@@ -71,6 +71,13 @@ impl Network {
         self.loss
     }
 
+    /// The dense layers, input-side first (read-only — training owns the
+    /// writes). Exposed for quantization and kernel benchmarking.
+    #[must_use]
+    pub fn layers(&self) -> &[Dense] {
+        &self.layers
+    }
+
     /// The configured kernel worker fan-out.
     #[must_use]
     pub fn parallelism(&self) -> Parallelism {

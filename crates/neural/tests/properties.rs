@@ -162,9 +162,20 @@ fn gen_dim(g: &mut Gen) -> usize {
     }
 }
 
+/// Bitwise equality, modulo NaN payload: every non-NaN value must match
+/// bit for bit (including ±0 and ±∞ signs), and NaN must meet NaN. NaN
+/// *payloads* are the one thing the kernels cannot pin — which payload an
+/// x86 add propagates depends on operand order, and LLVM picks `addsd`
+/// operands by register allocation, differently across opt levels. NaN
+/// *placement* is order-independent (the product multiset is fixed), so
+/// NaN-class agreement is the exact provable contract.
+fn value_bits_equal(x: f64, y: f64) -> bool {
+    x.to_bits() == y.to_bits() || (x.is_nan() && y.is_nan())
+}
+
 fn bits_equal(a: &Matrix, b: &Matrix) -> bool {
     a.shape() == b.shape()
-        && a.as_slice().iter().zip(b.as_slice()).all(|(x, y)| x.to_bits() == y.to_bits())
+        && a.as_slice().iter().zip(b.as_slice()).all(|(&x, &y)| value_bits_equal(x, y))
 }
 
 /// The blocked/parallel `matmul` is bit-identical to the naive reference for
@@ -282,6 +293,95 @@ fn auc_flip_symmetry() {
         let a = metrics::auc(&scores, &labels);
         let b = metrics::auc(&scores, &flipped);
         prop_assert!((a + b - 1.0).abs() < 1e-9, "auc {a} + flipped {b} != 1");
+        Ok(())
+    });
+}
+
+fn slice_bits_equal(a: &[f64], b: &[f64]) -> bool {
+    a.len() == b.len() && a.iter().zip(b).all(|(&x, &y)| value_bits_equal(x, y))
+}
+
+/// The kernel-conformance battery: naive == blocked == SIMD **bitwise**, at
+/// every detected [`SimdTier`] plus forced scalar, across worker-pool sizes
+/// {1, 2, 4, 8}, over random, degenerate (0×N, 1×1, non-multiple-of-tile),
+/// and non-finite (NaN, ±∞, ±0) inputs — for both `matmul` and the fused
+/// `matmul_transpose`. One divergent bit anywhere fails the property
+/// (modulo NaN payload; see [`value_bits_equal`]).
+#[test]
+fn conformance_battery_every_tier_and_pool_size() {
+    use jarvis_neural::gemm;
+    use jarvis_stdkit::pool::WorkerPool;
+
+    let pools: Vec<(usize, WorkerPool)> =
+        [1usize, 2, 4, 8].iter().map(|&w| (w, WorkerPool::with_workers(w))).collect();
+    let special = [0.0, -0.0, f64::INFINITY, f64::NEG_INFINITY, f64::NAN];
+    Config::with_cases(24).run(|g| {
+        let (m, k, n) = (gen_dim(g), gen_dim(g), gen_dim(g));
+        let mut pick = |g: &mut Gen| {
+            if g.bool(0.2) {
+                special[g.usize_in(0, special.len() - 1)]
+            } else {
+                g.f64_in(-5.0, 5.0)
+            }
+        };
+        let a: Vec<f64> = (0..m * k).map(|_| pick(g)).collect();
+        let b: Vec<f64> = (0..k * n).map(|_| pick(g)).collect();
+        // Same logical operand, stored n×k for the fused-transpose kernel.
+        let bt: Vec<f64> = (0..n * k).map(|_| pick(g)).collect();
+
+        let mut mm_ref = vec![0.0; m * n];
+        gemm::matmul_naive(&a, &b, &mut mm_ref, k, n);
+        let mut mt_ref = vec![0.0; m * n];
+        gemm::matmul_transpose_naive(&a, &bt, &mut mt_ref, k, n);
+
+        for &tier in SimdTier::available() {
+            for (workers, pool) in &pools {
+                for par in [Parallelism::Single, Parallelism::Threads(3)] {
+                    let mut out = vec![0.0; m * n];
+                    gemm::matmul_on(pool, &a, &b, &mut out, m, k, n, par, tier);
+                    prop_assert!(
+                        slice_bits_equal(&out, &mm_ref),
+                        "matmul {m}x{k}x{n} diverged at {tier:?}, {workers} workers, {par:?}"
+                    );
+                    let mut out = vec![0.0; m * n];
+                    gemm::matmul_transpose_on(pool, &a, &bt, &mut out, m, k, n, par, tier);
+                    prop_assert!(
+                        slice_bits_equal(&out, &mt_ref),
+                        "matmul_transpose {m}x{k}·{n}x{k}ᵀ diverged at {tier:?}, \
+                         {workers} workers, {par:?}"
+                    );
+                }
+            }
+        }
+        Ok(())
+    });
+}
+
+/// Above the parallel threshold the pool actually fans out — the battery
+/// must still be bitwise across tiers and pool sizes there.
+#[test]
+fn conformance_battery_above_parallel_threshold() {
+    use jarvis_neural::gemm;
+    use jarvis_stdkit::pool::WorkerPool;
+
+    Config::with_cases(2).run(|g| {
+        let (m, k, n) = (g.usize_in(64, 80), g.usize_in(64, 80), g.usize_in(64, 80));
+        let a: Vec<f64> = (0..m * k).map(|_| g.f64_in(-2.0, 2.0)).collect();
+        let b: Vec<f64> = (0..k * n).map(|_| g.f64_in(-2.0, 2.0)).collect();
+        let mut mm_ref = vec![0.0; m * n];
+        gemm::matmul_naive(&a, &b, &mut mm_ref, k, n);
+        for &tier in SimdTier::available() {
+            for workers in [1usize, 4, 8] {
+                let pool = WorkerPool::with_workers(workers);
+                let mut out = vec![0.0; m * n];
+                gemm::matmul_on(&pool, &a, &b, &mut out, m, k, n, Parallelism::Threads(4), tier);
+                prop_assert!(
+                    slice_bits_equal(&out, &mm_ref),
+                    "threshold-crossing matmul {m}x{k}x{n} diverged at {tier:?}, \
+                     {workers} workers"
+                );
+            }
+        }
         Ok(())
     });
 }

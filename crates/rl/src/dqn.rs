@@ -14,7 +14,9 @@
 use crate::explore::EpsilonSchedule;
 use crate::policy;
 use crate::replay::ReplayBuffer;
-use jarvis_neural::{Activation, Loss, Network, NeuralError, OptimizerKind, Parallelism};
+use jarvis_neural::{
+    Activation, Loss, Network, NeuralError, OptimizerKind, Parallelism, QuantizedNetwork,
+};
 use jarvis_stdkit::json_struct;
 use jarvis_stdkit::rng::SliceRandom;
 use jarvis_stdkit::rng::SeedableRng;
@@ -140,6 +142,71 @@ pub struct DqnCheckpoint {
 }
 
 json_struct!(DqnCheckpoint { config, net, target, replay, schedule, replays_done, rng });
+
+/// An int8-quantized, read-only snapshot of a [`DqnAgent`]'s online network
+/// for the serving decision path.
+///
+/// Built by [`DqnAgent::quantize_policy`]. Q values come out of the
+/// fixed-point [`QuantizedNetwork`] forward (i32 accumulation, so results
+/// are bit-identical across SIMD tiers, worker-pool sizes, and batch
+/// groupings), and the recorded `agreement` is the fraction of calibration
+/// states whose greedy argmax matched the f64 network — the serving runtime
+/// gates deployment on it.
+#[derive(Debug, Clone)]
+pub struct QuantizedPolicy {
+    qnet: QuantizedNetwork,
+    agreement: f64,
+}
+
+impl QuantizedPolicy {
+    /// Fraction of calibration states whose greedy action matched the f64
+    /// network, measured at quantization time.
+    #[must_use]
+    pub fn agreement(&self) -> f64 {
+        self.agreement
+    }
+
+    /// Observation vector length the policy expects.
+    #[must_use]
+    pub fn state_dim(&self) -> usize {
+        self.qnet.input_size()
+    }
+
+    /// Flat action-space size (one Q head per mini-action).
+    #[must_use]
+    pub fn num_actions(&self) -> usize {
+        self.qnet.output_size()
+    }
+
+    /// Q values for a whole batch of observations through the int8 forward.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`NeuralError`] when the batch is empty, ragged, or has the
+    /// wrong row width.
+    pub fn q_values_batch(&self, obs: &[&[f64]]) -> Result<Vec<Vec<f64>>, NeuralError> {
+        self.qnet.forward_batch(obs)
+    }
+
+    /// Greedy actions for a batch, each masked by its own `valid` set —
+    /// the quantized mirror of [`DqnAgent::best_action_batch`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`NeuralError`] when `obs` and `valid` disagree in length or
+    /// the batch is empty, ragged, or mis-sized.
+    pub fn best_action_batch(
+        &self,
+        obs: &[&[f64]],
+        valid: &[&[usize]],
+    ) -> Result<Vec<Option<usize>>, NeuralError> {
+        if obs.len() != valid.len() {
+            return Err(NeuralError::BadBatch { reason: "obs/valid count mismatch" });
+        }
+        let q = self.q_values_batch(obs)?;
+        Ok(q.iter().zip(valid).map(|(row, v)| policy::argmax(row, v)).collect())
+    }
+}
 
 /// A deep Q-learning agent: network, replay memory, and ε-greedy policy.
 #[derive(Debug, Clone)]
@@ -321,6 +388,24 @@ impl DqnAgent {
             }
         }
         Ok(chosen.into_iter().map(|c| c.expect("every row resolved")).collect())
+    }
+
+    /// Quantize the online network to int8 fixed-point for serving,
+    /// calibrating activation scales on `calib` and measuring how often the
+    /// quantized greedy action agrees with the f64 one on that same corpus.
+    ///
+    /// The caller decides whether the returned
+    /// [`agreement`](QuantizedPolicy::agreement) is good enough to deploy;
+    /// the serving runtime's `quantize_policy` enforces a minimum.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`NeuralError`] when `calib` is empty, ragged, or has the
+    /// wrong row width.
+    pub fn quantize_policy(&self, calib: &[&[f64]]) -> Result<QuantizedPolicy, NeuralError> {
+        let qnet = QuantizedNetwork::quantize(&self.net, calib)?;
+        let agreement = qnet.argmax_agreement(&self.net, calib)?;
+        Ok(QuantizedPolicy { qnet, agreement })
     }
 
     /// Store one transition in replay memory.
@@ -703,6 +788,50 @@ mod tests {
             .unwrap()
             .unwrap();
         assert_eq!(a, 1, "double-DQN agent should prefer moving right");
+    }
+
+    #[test]
+    fn quantized_policy_tracks_the_trained_agent() {
+        let (agent, mut env) = train_on_chain(DqnConfig::new(1, 2));
+        // Calibrate on the observation range the chain actually visits.
+        let calib_rows: Vec<Vec<f64>> = (0..=4).map(|p| vec![f64::from(p)]).collect();
+        let calib: Vec<&[f64]> = calib_rows.iter().map(Vec::as_slice).collect();
+        let qp = agent.quantize_policy(&calib).unwrap();
+        assert_eq!(qp.state_dim(), 1);
+        assert_eq!(qp.num_actions(), 2);
+        assert!(
+            qp.agreement() >= 0.8,
+            "quantized argmax should track f64 on calib: {}",
+            qp.agreement()
+        );
+        // The quantized greedy rollout still solves the chain.
+        env.reset();
+        let mut steps = 0;
+        loop {
+            let obs = env.observe();
+            let valid = env.valid_actions();
+            let a = qp
+                .best_action_batch(&[&obs], &[&valid])
+                .unwrap()[0]
+                .unwrap();
+            let s = env.step(a);
+            steps += 1;
+            if s.done {
+                break;
+            }
+            assert!(steps < 12, "quantized greedy policy wanders");
+        }
+        assert_eq!(steps, 4);
+    }
+
+    #[test]
+    fn quantized_policy_validates_calibration() {
+        let agent = DqnAgent::new(DqnConfig::new(2, 2)).unwrap();
+        assert!(agent.quantize_policy(&[]).is_err(), "empty calib must fail");
+        assert!(
+            agent.quantize_policy(&[&[1.0]]).is_err(),
+            "wrong-width calib must fail"
+        );
     }
 
     #[test]

@@ -62,7 +62,7 @@ pub mod qtable;
 pub mod replay;
 
 pub use constraint::ConstrainedEnv;
-pub use dqn::{DqnAgent, DqnCheckpoint, DqnConfig, Experience};
+pub use dqn::{DqnAgent, DqnCheckpoint, DqnConfig, Experience, QuantizedPolicy};
 pub use jarvis_neural::Parallelism;
 pub use env::{DiscreteEnvironment, Environment, Step};
 pub use explore::EpsilonSchedule;

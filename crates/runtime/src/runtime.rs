@@ -6,7 +6,7 @@ use crate::shard::{self, Job, ShardOutput, WorkerShared};
 use crate::slot::{HomeSlot, HomeSnapshot};
 use jarvis::JarvisError;
 use jarvis_policy::{MatchMode, SafeTransitionTable};
-use jarvis_rl::{DqnAgent, DqnCheckpoint};
+use jarvis_rl::{DqnAgent, DqnCheckpoint, QuantizedPolicy};
 use jarvis_sim::{
     FaultInjector, FaultSummary, FleetGenerator, HomeDataset, MINUTES_PER_DAY,
 };
@@ -227,6 +227,10 @@ json_struct!(ShardSnapshot { shard, shards, policy, homes });
 pub struct ServingRuntime {
     config: RuntimeConfig,
     policy: DqnAgent,
+    /// An int8 fixed-point snapshot of `policy` for the decision path,
+    /// deployed by [`ServingRuntime::quantize_policy`] after passing its
+    /// rank-ordering accuracy gate. `None` (the default) serves f64.
+    quantized: Option<QuantizedPolicy>,
     homes: BTreeMap<u64, HomeSlot>,
     /// Current home → shard placement. Seeded modulo at registration,
     /// deterministically rebalanced per serve call under
@@ -247,6 +251,7 @@ impl ServingRuntime {
         Ok(ServingRuntime {
             config,
             policy,
+            quantized: None,
             homes: BTreeMap::new(),
             assignments: BTreeMap::new(),
             next_seq: 0,
@@ -263,6 +268,77 @@ impl ServingRuntime {
     #[must_use]
     pub fn policy(&self) -> &DqnAgent {
         &self.policy
+    }
+
+    /// The deployed quantized policy, when one passed the gate.
+    #[must_use]
+    pub fn quantized_policy(&self) -> Option<&QuantizedPolicy> {
+        self.quantized.as_ref()
+    }
+
+    /// Observation vectors covering every registered home over a fixed grid
+    /// of (minute, indoor °C, outdoor °C, price/kWh) ambient conditions —
+    /// the default calibration corpus for [`ServingRuntime::quantize_policy`].
+    /// Deterministic: ordered by home id, then grid order.
+    #[must_use]
+    pub fn calibration_observations(&self) -> Vec<Vec<f64>> {
+        const MINUTES: [u32; 4] = [0, 480, 960, 1439];
+        const INDOOR_C: [f64; 3] = [16.0, 21.0, 26.0];
+        const OUTDOOR_C: [f64; 3] = [-5.0, 10.0, 30.0];
+        const PRICE: [f64; 3] = [0.05, 0.15, 0.45];
+        let mut rows = Vec::with_capacity(self.homes.len() * 108);
+        for slot in self.homes.values() {
+            for &minute in &MINUTES {
+                for &indoor in &INDOOR_C {
+                    for &outdoor in &OUTDOOR_C {
+                        for &price in &PRICE {
+                            rows.push(slot.encode(minute, indoor, outdoor, price));
+                        }
+                    }
+                }
+            }
+        }
+        rows
+    }
+
+    /// Quantize the fleet policy to int8 fixed-point and deploy it on the
+    /// decision path — **iff** it passes the rank-ordering accuracy gate:
+    /// the quantized greedy argmax must agree with the f64 network on at
+    /// least `min_agreement` of the calibration corpus (pass the
+    /// [`ServingRuntime::calibration_observations`] grid, or any corpus of
+    /// states the deployment actually visits). Returns the measured
+    /// agreement on success; on gate failure the runtime keeps serving f64.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JarvisError::Config`] when the gate fails or `calib` is
+    /// empty, and [`JarvisError::Neural`] for ragged or mis-sized rows.
+    pub fn quantize_policy(
+        &mut self,
+        calib: &[&[f64]],
+        min_agreement: f64,
+    ) -> Result<f64, JarvisError> {
+        if calib.is_empty() {
+            return Err(JarvisError::Config(
+                "quantization needs a non-empty calibration corpus".into(),
+            ));
+        }
+        let qp = self.policy.quantize_policy(calib)?;
+        let agreement = qp.agreement();
+        if agreement < min_agreement {
+            return Err(JarvisError::Config(format!(
+                "quantized policy agreement {agreement:.4} below the {min_agreement:.4} gate \
+                 on {} calibration states; keeping the f64 policy",
+                calib.len()
+            )));
+        }
+        self.quantized = Some(qp);
+        Ok(agreement)
+    }
+
+    /// Undeploy the quantized policy and return to f64 serving.
+    pub fn clear_quantized_policy(&mut self) {
+        self.quantized = None;
     }
 
     /// Number of registered homes.
@@ -590,6 +666,7 @@ impl ServingRuntime {
             outputs.push(shard::process_sequential(
                 &mut self.homes,
                 &self.policy,
+                self.quantized.as_ref(),
                 self.config.batch_window,
                 self.config.telemetry,
                 stream.into_iter(),
@@ -615,6 +692,7 @@ impl ServingRuntime {
         }
 
         let policy = &self.policy;
+        let quantized = self.quantized.as_ref();
         let batch_window = self.config.batch_window;
         let adaptive = self.config.adaptive_batching;
         let stride = self.config.steal_stride;
@@ -637,6 +715,7 @@ impl ServingRuntime {
                         idx,
                         part,
                         policy,
+                        quantized,
                         batch_window,
                         adaptive,
                         stride,
@@ -785,6 +864,9 @@ impl ServingRuntime {
         self.check_policy_compat(&snap.policy)?;
         self.restore_homes(&snap.homes)?;
         self.policy = DqnAgent::from_checkpoint(snap.policy.clone())?;
+        // The quantized snapshot was taken from the *old* weights; a
+        // restored policy must be re-quantized (and re-gated) explicitly.
+        self.quantized = None;
         self.next_seq = snap.next_seq;
         Ok(())
     }

@@ -22,7 +22,7 @@ use crate::event::{Envelope, EventKind, Outcome};
 use crate::slot::HomeSlot;
 use jarvis::JarvisError;
 use jarvis_iot_model::MiniAction;
-use jarvis_rl::DqnAgent;
+use jarvis_rl::{DqnAgent, QuantizedPolicy};
 use jarvis_stdkit::sync::{PushError, StealQueue};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -169,9 +169,17 @@ fn apply_event(
 /// Execute one closed batch: a single batched forward, then one
 /// descending-Q ranking walk per row down to the best action each home's
 /// safe set allows (`Max(Q, c)`).
+///
+/// When a deployed [`QuantizedPolicy`] is supplied, the batched forward
+/// runs through its int8 fixed-point network instead of the f64 agent —
+/// the ranking walk is identical, only the Q source changes. Quantized Q
+/// values are bit-deterministic across SIMD tiers, pool sizes, and batch
+/// groupings (i32 accumulation), so the serving determinism contract is
+/// unchanged.
 fn run_batch(
     task: InferenceTask,
     policy: &DqnAgent,
+    quantized: Option<&QuantizedPolicy>,
     clock: Option<fn() -> u64>,
     out: &mut ShardOutput,
 ) -> Result<(), JarvisError> {
@@ -179,7 +187,10 @@ fn run_batch(
         return Ok(());
     }
     let rows: Vec<&[f64]> = task.entries.iter().map(|p| p.obs.as_slice()).collect();
-    let q_rows = policy.q_values_batch(&rows)?;
+    let q_rows = match quantized {
+        Some(qp) => qp.q_values_batch(&rows)?,
+        None => policy.q_values_batch(&rows)?,
+    };
     let mut ranked: Vec<usize> = Vec::new();
     for (p, q) in task.entries.into_iter().zip(q_rows) {
         // Rank the whole head once, descending Q with ascending-index tie
@@ -224,6 +235,7 @@ fn close_batch(
     run_queue: &StealQueue<InferenceTask>,
     pending: &mut Vec<Pending>,
     policy: &DqnAgent,
+    quantized: Option<&QuantizedPolicy>,
     clock: Option<fn() -> u64>,
     out: &mut ShardOutput,
 ) -> Result<(), JarvisError> {
@@ -233,7 +245,7 @@ fn close_batch(
     let task = InferenceTask { entries: std::mem::take(pending) };
     match run_queue.try_push(task) {
         Ok(()) => Ok(()),
-        Err(PushError::Full(task)) => run_batch(task, policy, clock, out),
+        Err(PushError::Full(task)) => run_batch(task, policy, quantized, clock, out),
     }
 }
 
@@ -242,6 +254,7 @@ fn close_batch(
 pub(crate) fn process_sequential(
     slots: &mut BTreeMap<u64, HomeSlot>,
     policy: &DqnAgent,
+    quantized: Option<&QuantizedPolicy>,
     batch_window: usize,
     clock: Option<fn() -> u64>,
     events: impl Iterator<Item = Envelope>,
@@ -251,10 +264,16 @@ pub(crate) fn process_sequential(
     for env in events {
         apply_event(slots, Job { env, enqueued: None }, clock, &mut pending, &mut out)?;
         if pending.len() >= batch_window {
-            run_batch(InferenceTask { entries: std::mem::take(&mut pending) }, policy, clock, &mut out)?;
+            run_batch(
+                InferenceTask { entries: std::mem::take(&mut pending) },
+                policy,
+                quantized,
+                clock,
+                &mut out,
+            )?;
         }
     }
-    run_batch(InferenceTask { entries: pending }, policy, clock, &mut out)?;
+    run_batch(InferenceTask { entries: pending }, policy, quantized, clock, &mut out)?;
     Ok(out)
 }
 
@@ -277,10 +296,12 @@ impl Drop for ExitGuard<'_> {
 }
 
 /// The threaded work-stealing worker loop for shard `idx`.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn run_worker(
     idx: usize,
     slots: &mut BTreeMap<u64, HomeSlot>,
     policy: &DqnAgent,
+    quantized: Option<&QuantizedPolicy>,
     batch_window: usize,
     adaptive: bool,
     stride: usize,
@@ -289,7 +310,9 @@ pub(crate) fn run_worker(
     shared: &WorkerShared,
 ) -> Result<ShardOutput, JarvisError> {
     let mut guard = ExitGuard { done: &shared.done[idx], abort: &shared.abort, clean: false };
-    let result = worker_loop(idx, slots, policy, batch_window, adaptive, stride, throttle, clock, shared);
+    let result = worker_loop(
+        idx, slots, policy, quantized, batch_window, adaptive, stride, throttle, clock, shared,
+    );
     guard.clean = result.is_ok();
     drop(guard);
     result
@@ -300,6 +323,7 @@ fn worker_loop(
     idx: usize,
     slots: &mut BTreeMap<u64, HomeSlot>,
     policy: &DqnAgent,
+    quantized: Option<&QuantizedPolicy>,
     batch_window: usize,
     adaptive: bool,
     stride: usize,
@@ -326,21 +350,21 @@ fn worker_loop(
             }
             apply_event(slots, job, clock, &mut pending, &mut out)?;
             if pending.len() >= batch_window {
-                close_batch(run_queue, &mut pending, policy, clock, &mut out)?;
+                close_batch(run_queue, &mut pending, policy, quantized, clock, &mut out)?;
             }
         }
 
         // 2. Adaptive close: the ring ran dry with queries parked — answer
         //    them now instead of letting them age until the window fills.
         if adaptive && !pending.is_empty() {
-            close_batch(run_queue, &mut pending, policy, clock, &mut out)?;
+            close_batch(run_queue, &mut pending, policy, quantized, clock, &mut out)?;
             progress = true;
         }
 
         // 3. End of stream: flush the remainder, then announce that this
         //    shard will never publish another task.
         if !done_publishing && ingest.is_drained() {
-            close_batch(run_queue, &mut pending, policy, clock, &mut out)?;
+            close_batch(run_queue, &mut pending, policy, quantized, clock, &mut out)?;
             shared.done[idx].store(true, Ordering::Release);
             done_publishing = true;
         }
@@ -348,12 +372,12 @@ fn worker_loop(
         // 4. Execute own batches first (freshest cache), then steal from
         //    the fixed victim schedule.
         if let Some(task) = run_queue.pop() {
-            run_batch(task, policy, clock, &mut out)?;
+            run_batch(task, policy, quantized, clock, &mut out)?;
             continue;
         }
         for &victim in &victims {
             if let Some(task) = shared.tasks[victim].pop() {
-                run_batch(task, policy, clock, &mut out)?;
+                run_batch(task, policy, quantized, clock, &mut out)?;
                 progress = true;
                 break;
             }

@@ -208,3 +208,81 @@ fn steal_stride_zero_is_rejected() {
     config.steal_stride = 0;
     assert!(ServingRuntime::new(config, f.policy.clone()).is_err());
 }
+
+/// Deploy the quantized policy on a runtime (gate at `min_agreement`) and
+/// return the measured agreement.
+fn deploy_quantized(rt: &mut ServingRuntime, min_agreement: f64) -> f64 {
+    let calib = rt.calibration_observations();
+    let rows: Vec<&[f64]> = calib.iter().map(Vec::as_slice).collect();
+    rt.quantize_policy(&rows, min_agreement).expect("quantize + gate")
+}
+
+#[test]
+fn quantized_serving_is_invariant_across_shards_and_modes() {
+    let f = fixture();
+    let fleet = FleetGenerator::new(83, 6);
+
+    // Quantized single-shard deterministic serve is the quantized oracle.
+    let mut config = RuntimeConfig::new(1);
+    config.deterministic = true;
+    let mut rt = build_runtime(&f, config, fleet.num_homes());
+    let agreement = deploy_quantized(&mut rt, 0.0);
+    assert!((0.0..=1.0).contains(&agreement));
+    let ingest = rt.ingest_fleet_day(&fleet, 1, None, Some(30)).expect("ingest");
+    let envelopes = ingest.envelopes;
+    let want = rt.serve(envelopes.clone()).expect("quantized oracle").outcomes;
+    assert!(want.iter().any(|o| matches!(o, Outcome::Decision { .. })));
+
+    // Every shard count × execution mode reproduces it bit for bit: the
+    // int8 forward is i32-associative, so batch grouping, stealing, and
+    // pool scheduling cannot move a single bit.
+    for shards in [2usize, 4] {
+        for deterministic in [true, false] {
+            let mut config = RuntimeConfig::new(shards);
+            config.deterministic = deterministic;
+            config.batch_window = 8;
+            let mut rt = build_runtime(&f, config, fleet.num_homes());
+            deploy_quantized(&mut rt, 0.0);
+            let mut ingest_rt = rt.ingest_fleet_day(&fleet, 1, None, Some(30)).expect("ingest");
+            assert_eq!(envelopes, ingest_rt.envelopes);
+            let report = rt.serve(std::mem::take(&mut ingest_rt.envelopes)).expect("serve");
+            assert_outcomes_bit_identical(
+                &want,
+                &report.outcomes,
+                &format!("quantized {shards} shards det={deterministic}"),
+            );
+        }
+    }
+}
+
+#[test]
+fn quantized_gate_rejects_and_keeps_f64_serving() {
+    let f = fixture();
+    let fleet = FleetGenerator::new(83, 2);
+    let mut config = RuntimeConfig::new(1);
+    config.deterministic = true;
+    let mut rt = build_runtime(&f, config, fleet.num_homes());
+
+    // An impossible gate (> 1.0) must fail and leave the f64 path deployed.
+    let calib = rt.calibration_observations();
+    let rows: Vec<&[f64]> = calib.iter().map(Vec::as_slice).collect();
+    assert!(rt.quantize_policy(&rows, 1.5).is_err(), "gate above 1.0 cannot pass");
+    assert!(rt.quantized_policy().is_none(), "failed gate must not deploy");
+    assert!(rt.quantize_policy(&[], 0.0).is_err(), "empty calibration corpus");
+
+    // f64 outcomes after the failed gate match a never-quantized runtime.
+    let (_, want) = oracle(&f, &fleet, 1);
+    let ingest = rt.ingest_fleet_day(&fleet, 1, None, Some(30)).expect("ingest");
+    let report = rt.serve(ingest.envelopes).expect("serve");
+    assert_outcomes_bit_identical(&want, &report.outcomes, "f64 after failed gate");
+
+    // A passing gate deploys; clearing undeploys and f64 serving returns.
+    let agreement = deploy_quantized(&mut rt, 0.0);
+    assert!(rt.quantized_policy().is_some());
+    assert!(
+        rt.quantized_policy().map(jarvis_rl::QuantizedPolicy::agreement)
+            == Some(agreement)
+    );
+    rt.clear_quantized_policy();
+    assert!(rt.quantized_policy().is_none());
+}

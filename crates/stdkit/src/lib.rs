@@ -12,6 +12,7 @@
 //! | [`propcheck`] | `proptest` | seeded property harness, choice-tape shrinking, `prop_assert*!` macros |
 //! | [`bench`] | `criterion` | warmup+sampling micro-bench runner, `bench_group!`/`bench_main!` |
 //! | [`sync`] | `crossbeam-channel` / `crossbeam-deque` | bounded MPSC channels with blocking and shedding sends; lock-free bounded MPMC steal queues |
+//! | [`pool`] | `rayon` (scoped pools) | persistent lazily-started worker pool with `StealQueue` handoff, caller participation, and scoped fork/join |
 //!
 //! Everything is deterministic by construction: generators are seeded,
 //! property cases derive from a fixed base seed, and JSON output has a
@@ -21,6 +22,7 @@
 
 pub mod bench;
 pub mod json;
+pub mod pool;
 pub mod propcheck;
 pub mod rng;
 pub mod sync;

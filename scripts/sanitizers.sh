@@ -1,10 +1,13 @@
 #!/usr/bin/env sh
 # Opt-in dynamic-analysis pass for the hand-rolled concurrency primitives
 # (crates/stdkit/src/sync.rs: the bounded MPSC channel and the lock-free
-# StealQueue ring under the threaded work-stealing serving runtime). The
-# `sync` test filter picks up the whole battery: FIFO/lap ordering,
-# full/empty boundaries, drop-with-pending leak checks, and the seeded
-# router/worker, owner-vs-thieves, and MPMC interleaving stress tests.
+# StealQueue ring under the threaded work-stealing serving runtime;
+# crates/stdkit/src/pool.rs: the persistent worker pool and its scoped
+# fork/join handoff). The `sync` and `pool` test filters pick up the whole
+# battery: FIFO/lap ordering, full/empty boundaries, drop-with-pending leak
+# checks, the seeded router/worker, owner-vs-thieves, and MPMC interleaving
+# stress tests, plus pool reuse, panic containment, nested-join progress,
+# and ring-overflow fallback.
 #
 # Static analysis (jarvis-lint) covers determinism and panic policy; data
 # races are out of its reach, so this script drives ThreadSanitizer and Miri
@@ -41,9 +44,9 @@ run_tsan() {
         echo "sanitizers: nightly rust-src not installed (needed for -Zbuild-std); skipping TSan"
         return 0
     fi
-    echo "==> ThreadSanitizer: jarvis-stdkit sync tests (MPSC channel + StealQueue)"
+    echo "==> ThreadSanitizer: jarvis-stdkit sync + pool tests (channel, StealQueue, WorkerPool)"
     RUSTFLAGS="-Zsanitizer=thread" \
-        cargo +nightly test --offline -p jarvis-stdkit sync \
+        cargo +nightly test --offline -p jarvis-stdkit sync pool \
         -Zbuild-std --target "$target"
 }
 
@@ -52,8 +55,8 @@ run_miri() {
         echo "sanitizers: nightly miri not installed; skipping Miri"
         return 0
     fi
-    echo "==> Miri: jarvis-stdkit sync tests (MPSC channel + StealQueue)"
-    cargo +nightly miri test --offline -p jarvis-stdkit sync
+    echo "==> Miri: jarvis-stdkit sync + pool tests (channel, StealQueue, WorkerPool)"
+    cargo +nightly miri test --offline -p jarvis-stdkit sync pool
 }
 
 case "$mode" in

@@ -24,13 +24,25 @@ if [ "${1:-}" = "--quick" ]; then
     echo "==> cargo test --offline"
     cargo test -q --offline --workspace
 
+    # Kernel smoke: the neural crate's unit + integration tests (SIMD
+    # conformance battery, quantization, gradcheck) in one pass.
+    echo "==> neural kernel smoke (cargo test -p jarvis-neural)"
+    cargo test -q --offline -p jarvis-neural
+
+    # SIMD/quantization gates, recomputed fresh each run: quantized
+    # forward >=3x over the scalar-tier f64 forward at batches 16-64,
+    # pool-threaded GEMM no slower than 1.5x single-thread at 64/128,
+    # argmax agreement >=0.95 — plus <=2x regression vs BENCH_neural.json.
+    echo "==> cargo bench --bench gemm -- --quick --check BENCH_neural.json"
+    cargo bench --offline -p jarvis-bench --bench gemm -- --quick --check "$PWD/BENCH_neural.json"
+
     # Tail-latency regression gate: fails when shard-4 p99 exceeds the
     # baseline's p99_ratio_gate times shard-1 p99 (or the gated batched
     # path got >2x slower) against the recorded BENCH_runtime.json.
     echo "==> serving-runtime smoke (throughput --quick --check BENCH_runtime.json)"
     cargo run -q --release --offline -p jarvis-bench --bin throughput -- --quick --check "$PWD/BENCH_runtime.json"
 
-    echo "OK (quick): lint clean, workspace builds, tests and latency gates pass offline"
+    echo "OK (quick): lint clean, workspace builds, tests, kernel and latency gates pass offline"
     exit 0
 fi
 

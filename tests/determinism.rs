@@ -331,3 +331,66 @@ fn work_stealing_serving_is_execution_mode_invariant() {
     }
     std::env::remove_var("JARVIS_THREADS");
 }
+
+/// The int8 quantized serving path is as deterministic as the f64 one:
+/// two independently constructed agents with the same seed quantize to
+/// identical policies, and the quantized outcome stream is bit-identical
+/// across execution modes, shard counts, and parallelism settings.
+#[test]
+fn quantized_serving_is_seed_and_execution_invariant() {
+    use jarvis_repro::policy::SafeTransitionTable;
+    use jarvis_repro::runtime::{RuntimeConfig, ServingRuntime};
+    use jarvis_repro::sim::FleetGenerator;
+
+    let home = SmartHome::evaluation_home();
+    let mut jarvis = Jarvis::new(home.clone(), fast_config(23));
+    jarvis.learning_phase(&HomeDataset::home_a(3), 0..2).unwrap();
+    jarvis.learn_policies().unwrap();
+    let table: SafeTransitionTable = jarvis.outcome().unwrap().table.clone();
+    let state_dim = home.fsm().state_sizes().iter().sum::<usize>() + 5;
+    let num_actions = home.agent_mini_actions().len() + 1;
+    let make_policy = |par: Parallelism| {
+        let mut cfg = DqnConfig::new(state_dim, num_actions);
+        cfg.hidden = vec![16];
+        cfg.seed = 23;
+        cfg.parallelism = par;
+        DqnAgent::new(cfg).unwrap()
+    };
+
+    let fleet = FleetGenerator::new(41, 4);
+    let run = |policy: &DqnAgent, shards: usize, deterministic: bool| {
+        let mut config = RuntimeConfig::new(shards);
+        config.deterministic = deterministic;
+        config.batch_window = 8;
+        let mut rt = ServingRuntime::new(config, policy.clone()).unwrap();
+        for id in 0..fleet.num_homes() {
+            rt.register_home(u64::from(id), home.clone(), table.clone()).unwrap();
+        }
+        let calib = rt.calibration_observations();
+        let rows: Vec<&[f64]> = calib.iter().map(Vec::as_slice).collect();
+        let agreement = rt.quantize_policy(&rows, 0.0).unwrap();
+        let ingest = rt.ingest_fleet_day(&fleet, 1, None, Some(45)).unwrap();
+        let report = rt.serve(ingest.envelopes).unwrap();
+        (format!("{:?}", report.outcomes), agreement.to_bits())
+    };
+
+    // Same seed, independently built agents, different GEMM parallelism:
+    // identical quantized agreement and identical served bytes.
+    let baseline = run(&make_policy(Parallelism::Single), 1, true);
+    for par in [Parallelism::Single, Parallelism::Threads(3), Parallelism::Auto] {
+        let policy = make_policy(par);
+        for shards in [1usize, 4] {
+            for deterministic in [true, false] {
+                let got = run(&policy, shards, deterministic);
+                assert_eq!(
+                    baseline.1, got.1,
+                    "quantized agreement drifted at {par:?}, {shards} shards"
+                );
+                assert_eq!(
+                    baseline.0, got.0,
+                    "quantized outcomes drifted at {par:?}, {shards} shards, det={deterministic}"
+                );
+            }
+        }
+    }
+}
