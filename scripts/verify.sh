@@ -33,6 +33,10 @@ if [ "${1:-}" = "--quick" ]; then
     # forward >=3x over the scalar-tier f64 forward at batches 16-64,
     # pool-threaded GEMM no slower than 1.5x single-thread at 64/128,
     # argmax agreement >=0.95 — plus <=2x regression vs BENCH_neural.json.
+    # The two speedup/parity gates are perf targets calibrated on the AVX2
+    # baseline box; below AVX2 the bench demotes them to warnings so a
+    # correct build on weaker hardware still verifies (agreement and the
+    # bitwise-conformance tests above remain unconditional).
     echo "==> cargo bench --bench gemm -- --quick --check BENCH_neural.json"
     cargo bench --offline -p jarvis-bench --bench gemm -- --quick --check "$PWD/BENCH_neural.json"
 
