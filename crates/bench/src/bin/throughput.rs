@@ -7,7 +7,7 @@
 //! p50/p99 measure enqueue → decision (queueing + window residency +
 //! inference) rather than whole-batch residency.
 //!
-//! Two headline comparisons:
+//! Four headline comparisons (schema v3):
 //!
 //! * **Batched speedup** — the same 64-home stream served with
 //!   `batch_window = 1` (single-row inference per query) versus
@@ -16,17 +16,29 @@
 //!   homes. The work-stealing run queues and adaptive batch windows exist
 //!   to keep this flat; the recorded `p99_ratio_gate` turns it into a
 //!   regression gate.
+//! * **Recovery time** — the same stream served through
+//!   [`ServingRuntime::serve_supervised`] with seeded panics injected; the
+//!   supervisor's telemetry clock stamps each crash → first post-recovery
+//!   decision. The run doubles as the recovery-determinism gate: its
+//!   outcomes and snapshot bytes must be bitwise equal to the
+//!   uninterrupted oracle.
+//! * **Degraded-mode throughput** — the stream served with the neural
+//!   path offline (every query answered by the SPL safe-table fallback);
+//!   the `degraded_ratio_gate` requires it to stay within 0.5× of healthy
+//!   serving.
 //!
 //! Like the GEMM bench, this is the regression gate for
 //! `BENCH_runtime.json`:
 //!
 //! * `--json <path>`  — write the measurements as a JSON baseline.
 //! * `--check <path>` — compare against a recorded baseline and exit
-//!   non-zero when the gated batched path got more than 2× slower **or**
-//!   the shard-4/shard-1 p99 ratio exceeds the baseline's recorded gate.
+//!   non-zero when the gated batched path got more than 2× slower, the
+//!   shard-4/shard-1 p99 ratio exceeds the baseline's recorded gate, the
+//!   chaos run was not bitwise identical to the oracle, or degraded-mode
+//!   throughput fell below the recorded ratio gate.
 //! * `--quick`        — skip the full threaded sweep but keep the gated
-//!   pair and the two rows the p99 gate needs (used by
-//!   `scripts/verify.sh --quick`).
+//!   pair, the two rows the p99 gate needs, and the recovery/degraded
+//!   runs (used by `scripts/verify.sh --quick`).
 //!
 //! The recorded `parallelism` field is `available_parallelism()` at
 //! baseline time: shard-count *throughput* scaling is bounded by physical
@@ -36,10 +48,10 @@ use std::time::Instant;
 
 use jarvis_policy::SafeTransitionTable;
 use jarvis_rl::{DqnAgent, DqnConfig, Parallelism};
-use jarvis_runtime::{RuntimeConfig, ServingRuntime};
-use jarvis_sim::FleetGenerator;
+use jarvis_runtime::{RuntimeConfig, ServingRuntime, SupervisorConfig};
+use jarvis_sim::{ChaosInjector, ChaosPlan, FleetGenerator};
 use jarvis_smart_home::SmartHome;
-use jarvis_stdkit::json::Json;
+use jarvis_stdkit::json::{Json, ToJson};
 
 /// One decision query per home every this many minutes — a decision-heavy
 /// stream (719 queries per home-day) so inference dominates the serve loop.
@@ -82,14 +94,8 @@ fn fixture() -> Fixture {
     Fixture { home, policy }
 }
 
-/// Build a fresh runtime, ingest one fleet day, and time the serve call.
-fn run_once(
-    f: &Fixture,
-    homes: u32,
-    shards: usize,
-    batch_window: usize,
-    deterministic: bool,
-) -> Measurement {
+/// A fresh runtime with `homes` registered and latency telemetry on.
+fn build_rt(f: &Fixture, homes: u32, shards: usize, batch_window: usize, deterministic: bool) -> ServingRuntime {
     let mut config = RuntimeConfig::new(shards);
     config.batch_window = batch_window;
     config.deterministic = deterministic;
@@ -102,6 +108,18 @@ fn run_once(
         rt.register_home(u64::from(id), f.home.clone(), SafeTransitionTable::new())
             .expect("register home");
     }
+    rt
+}
+
+/// Build a fresh runtime, ingest one fleet day, and time the serve call.
+fn run_once(
+    f: &Fixture,
+    homes: u32,
+    shards: usize,
+    batch_window: usize,
+    deterministic: bool,
+) -> Measurement {
+    let mut rt = build_rt(f, homes, shards, batch_window, deterministic);
     let fleet = FleetGenerator::new(42, homes);
     let ingest = rt
         .ingest_fleet_day(&fleet, 0, None, Some(QUERY_EVERY))
@@ -119,6 +137,91 @@ fn run_once(
         events_per_sec: events as f64 / secs,
         p50_ns: report.latency_percentile(0.50).unwrap_or(0),
         p99_ns: report.latency_percentile(0.99).unwrap_or(0),
+    }
+}
+
+/// Self-healing telemetry from the supervised chaos run.
+struct RecoveryStats {
+    /// Crash → first post-recovery decision, telemetry-clock ns (sorted).
+    recovery_ns: Vec<u64>,
+    /// Restarts the supervisor performed.
+    restarts: u64,
+    /// Whether the chaos run's outcomes and snapshot bytes were bitwise
+    /// equal to the uninterrupted oracle — the recovery-determinism gate.
+    deterministic: bool,
+}
+
+/// Serve the 64-home stream through the supervisor with seeded panics
+/// injected, measuring throughput, recovery times, and bitwise recovery
+/// determinism against an uninterrupted oracle run.
+fn run_recovery(f: &Fixture, homes: u32) -> (Measurement, RecoveryStats) {
+    let fleet = FleetGenerator::new(42, homes);
+    // Uninterrupted oracle on a fresh runtime.
+    let mut oracle_rt = build_rt(f, homes, 1, 64, true);
+    let envelopes =
+        oracle_rt.ingest_fleet_day(&fleet, 0, None, Some(QUERY_EVERY)).expect("ingest").envelopes;
+    let want = oracle_rt.serve(envelopes).expect("oracle serve");
+    let want_snap = oracle_rt.snapshot().to_json();
+
+    // The chaos run: a panic on every 499th envelope, single attempt each,
+    // unlimited restart budget so every crash is recovered (not degraded).
+    let mut rt = build_rt(f, homes, 1, 64, true);
+    let envelopes =
+        rt.ingest_fleet_day(&fleet, 0, None, Some(QUERY_EVERY)).expect("ingest").envelopes;
+    let events = envelopes.len();
+    let chaos = ChaosInjector::new(ChaosPlan::periodic_panic(42, 499, 1))
+        .expect("chaos plan")
+        .schedule(envelopes.iter().map(|e| e.seq).collect::<Vec<_>>());
+    let mut sup = SupervisorConfig::default();
+    sup.restart_budget = u32::MAX;
+    sup.checkpoint_every = 64;
+
+    let t0 = Instant::now();
+    let got = rt.serve_supervised(envelopes, &sup, Some(&chaos)).expect("supervised serve");
+    let secs = t0.elapsed().as_secs_f64();
+
+    let deterministic = want.outcomes == got.report.outcomes
+        && format!("{:?}", want.outcomes) == format!("{:?}", got.report.outcomes)
+        && want_snap == rt.snapshot().to_json();
+    let mut recovery_ns = got.recovery.recovery_ns.clone();
+    recovery_ns.sort_unstable();
+    let stats = RecoveryStats {
+        recovery_ns,
+        restarts: got.recovery.restarts.len() as u64,
+        deterministic,
+    };
+    let m = Measurement {
+        name: format!("runtime/recovery/homes{homes}/shards1/batch64"),
+        events_per_sec: events as f64 / secs,
+        p50_ns: got.report.latency_percentile(0.50).unwrap_or(0),
+        p99_ns: got.report.latency_percentile(0.99).unwrap_or(0),
+    };
+    (m, stats)
+}
+
+/// Serve the stream with the neural path offline from the start: every
+/// query is answered by the SPL safe-table fallback while the monitor path
+/// keeps enforcing — the disaster-recovery floor.
+fn run_degraded(f: &Fixture, homes: u32) -> Measurement {
+    let mut rt = build_rt(f, homes, 1, 64, true);
+    let fleet = FleetGenerator::new(42, homes);
+    let envelopes =
+        rt.ingest_fleet_day(&fleet, 0, None, Some(QUERY_EVERY)).expect("ingest").envelopes;
+    let events = envelopes.len();
+    let mut sup = SupervisorConfig::default();
+    sup.policy_offline = true;
+
+    let t0 = Instant::now();
+    let report = rt.serve_supervised(envelopes, &sup, None).expect("degraded serve");
+    let secs = t0.elapsed().as_secs_f64();
+    assert_eq!(report.report.outcomes.len(), events, "no event may be lost");
+    assert!(report.recovery.fallback_decisions > 0, "degraded mode must answer by fallback");
+
+    Measurement {
+        name: format!("runtime/degraded/homes{homes}/shards1/batch64"),
+        events_per_sec: events as f64 / secs,
+        p50_ns: report.report.latency_percentile(0.50).unwrap_or(0),
+        p99_ns: report.report.latency_percentile(0.99).unwrap_or(0),
     }
 }
 
@@ -143,7 +246,13 @@ fn p99_ratio(results: &[Measurement]) -> Option<f64> {
     Some(num.p99_ns as f64 / den.p99_ns as f64)
 }
 
-fn to_json(results: &[Measurement], speedup: f64, ratio: Option<f64>) -> String {
+fn to_json(
+    results: &[Measurement],
+    speedup: f64,
+    ratio: Option<f64>,
+    degraded_ratio: f64,
+    stats: &RecoveryStats,
+) -> String {
     let entries: Vec<Json> = results
         .iter()
         .map(|m| {
@@ -156,8 +265,10 @@ fn to_json(results: &[Measurement], speedup: f64, ratio: Option<f64>) -> String 
         })
         .collect();
     let parallelism = std::thread::available_parallelism().map_or(1, usize::from);
+    let recovery_p50 = stats.recovery_ns.get(stats.recovery_ns.len() / 2).copied().unwrap_or(0);
+    let recovery_max = stats.recovery_ns.last().copied().unwrap_or(0);
     Json::Obj(vec![
-        ("schema".into(), Json::Str("jarvis-runtime-bench-v2".into())),
+        ("schema".into(), Json::Str("jarvis-runtime-bench-v3".into())),
         ("parallelism".into(), Json::Float(parallelism as f64)),
         ("batched_speedup_64_homes".into(), Json::Float(speedup)),
         (
@@ -168,15 +279,32 @@ fn to_json(results: &[Measurement], speedup: f64, ratio: Option<f64>) -> String 
         // scheduler noise, an order of magnitude below the ~27x blowup the
         // blocking-MPSC design produced.
         ("p99_ratio_gate".into(), Json::Float(4.0)),
+        // Self-healing telemetry: crash -> first post-recovery decision
+        // under the one-panic-per-499-envelopes chaos plan, and whether the
+        // chaos run was bitwise identical to the uninterrupted oracle.
+        ("recovery_restarts".into(), Json::Float(stats.restarts as f64)),
+        ("recovery_p50_ns".into(), Json::Float(recovery_p50 as f64)),
+        ("recovery_max_ns".into(), Json::Float(recovery_max as f64)),
+        ("recovery_deterministic".into(), Json::Bool(stats.deterministic)),
+        // Degraded-mode serving (neural path offline, safe-table fallback)
+        // must stay within this fraction of healthy throughput.
+        ("degraded_throughput_ratio_64_homes".into(), Json::Float(degraded_ratio)),
+        ("degraded_ratio_gate".into(), Json::Float(0.5)),
         ("results".into(), Json::Arr(entries)),
     ])
     .to_string()
 }
 
 /// Gate failures against a recorded baseline: throughput drops >2× on the
-/// gated rows, plus the shard-4/shard-1 p99 ratio against the baseline's
-/// recorded ceiling.
-fn regressions(results: &[Measurement], baseline: &Json) -> Vec<String> {
+/// gated rows, the shard-4/shard-1 p99 ratio against the baseline's
+/// recorded ceiling, bitwise recovery determinism, and the degraded-mode
+/// throughput floor.
+fn regressions(
+    results: &[Measurement],
+    baseline: &Json,
+    degraded_ratio: f64,
+    stats: &RecoveryStats,
+) -> Vec<String> {
     let recorded = baseline
         .get("results")
         .and_then(Json::as_array)
@@ -212,6 +340,20 @@ fn regressions(results: &[Measurement], baseline: &Json) -> Vec<String> {
             None => failed.push(format!(
                 "tail latency gate needs rows {P99_RATIO_NUM} and {P99_RATIO_DEN} with nonzero p99"
             )),
+        }
+    }
+    if !stats.deterministic {
+        failed.push(
+            "recovery determinism: the chaos run's outcomes/snapshot diverged from the \
+             uninterrupted oracle"
+                .to_string(),
+        );
+    }
+    if let Some(gate) = baseline.get("degraded_ratio_gate").and_then(Json::as_f64) {
+        if degraded_ratio < gate {
+            failed.push(format!(
+                "degraded-mode throughput is {degraded_ratio:.2}x healthy (gate {gate:.2}x)"
+            ));
         }
     }
     failed
@@ -275,16 +417,43 @@ fn main() {
         println!("{:<46} {ratio:>11.2}x", "runtime/p99_ratio/shards4_vs_1/homes64");
     }
 
+    // Self-healing rows, always measured: supervised serving with injected
+    // panics (recovery time + determinism) and degraded-mode serving.
+    let healthy_rate = results
+        .iter()
+        .find(|m| m.name == "runtime/det/homes64/shards1/batch64")
+        .map_or(1.0, |m| m.events_per_sec);
+    let (recovery_row, stats) = run_recovery(&f, 64);
+    print_row(&recovery_row);
+    let recovery_p50 = stats.recovery_ns.get(stats.recovery_ns.len() / 2).copied().unwrap_or(0);
+    println!(
+        "{:<46} {:>9} restarts   p50 {:>9.1} µs   max {:>9.1} µs   bitwise {}",
+        "runtime/recovery/crash_to_decision",
+        stats.restarts,
+        recovery_p50 as f64 / 1e3,
+        stats.recovery_ns.last().copied().unwrap_or(0) as f64 / 1e3,
+        if stats.deterministic { "ok" } else { "DIVERGED" },
+    );
+    results.push(recovery_row);
+    let degraded = run_degraded(&f, 64);
+    print_row(&degraded);
+    let degraded_ratio = degraded.events_per_sec / healthy_rate;
+    println!("{:<46} {degraded_ratio:>11.2}x", "runtime/degraded_ratio/homes64");
+    results.push(degraded);
+
     if let Some(path) = json_out {
-        std::fs::write(&path, to_json(&results, speedup, p99_ratio(&results)) + "\n")
-            .expect("write baseline");
+        std::fs::write(
+            &path,
+            to_json(&results, speedup, p99_ratio(&results), degraded_ratio, &stats) + "\n",
+        )
+        .expect("write baseline");
         println!("wrote baseline to {path}");
     }
     if let Some(path) = check {
         let text = std::fs::read_to_string(&path)
             .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
         let baseline = Json::parse(&text).expect("baseline parses");
-        let failed = regressions(&results, &baseline);
+        let failed = regressions(&results, &baseline, degraded_ratio, &stats);
         if !failed.is_empty() {
             eprintln!("serving runtime regressed vs {path}:");
             for f in &failed {

@@ -6,7 +6,7 @@
 //! This crate makes that guarantee a *checked property of the sources*
 //! rather than a hope of the test suite: a zero-dependency static-analysis
 //! tool with a minimal Rust line scanner (comment/string/attribute-aware,
-//! `#[cfg(test)]`-scoped) and five rules walked over every workspace crate.
+//! `#[cfg(test)]`-scoped) and six rules walked over every workspace crate.
 //!
 //! | rule | name | what it bans |
 //! |------|------|--------------|
@@ -15,9 +15,11 @@
 //! | R3 | `panics` | unannotated `unwrap`/`expect`/`panic!` in pipeline crates |
 //! | R4 | `float` | `mul_add`/`powf`/lossy `as` float casts in kernel/replay paths |
 //! | R5 | `hermeticity` | non-`path` dependencies in any manifest |
+//! | R6 | `unwind` | bare `catch_unwind` outside stdkit::pool / runtime::supervisor |
 //!
 //! See DESIGN.md §12 for each rule's rationale and the annotation grammar
-//! (`// invariant:`, `// nondet-ok:`, `// float-ok:`, `// wall-clock-ok:`).
+//! (`// invariant:`, `// nondet-ok:`, `// float-ok:`, `// wall-clock-ok:`,
+//! `// unwind-ok:`).
 //!
 //! Run it as `cargo run -p jarvis-lint -- [--quick] [--rule NAME] [paths…]`;
 //! output is machine-readable `file:line: rule: msg`, exit code 1 when any

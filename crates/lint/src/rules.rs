@@ -17,16 +17,19 @@ pub enum Rule {
     Float,
     /// R5: non-path dependencies in any manifest.
     Hermeticity,
+    /// R6: bare `catch_unwind` outside the sanctioned supervision boundaries.
+    Unwind,
 }
 
 impl Rule {
     /// Every rule, in reporting order.
-    pub const ALL: [Rule; 5] = [
+    pub const ALL: [Rule; 6] = [
         Rule::NondetIter,
         Rule::WallClock,
         Rule::Panics,
         Rule::Float,
         Rule::Hermeticity,
+        Rule::Unwind,
     ];
 
     /// Stable rule name used in output and `--rule` arguments.
@@ -38,6 +41,7 @@ impl Rule {
             Rule::Panics => "panics",
             Rule::Float => "float",
             Rule::Hermeticity => "hermeticity",
+            Rule::Unwind => "unwind",
         }
     }
 
@@ -50,6 +54,7 @@ impl Rule {
             "panics" | "panic" | "r3" => Some(Rule::Panics),
             "float" | "r4" => Some(Rule::Float),
             "hermeticity" | "hermetic" | "r5" => Some(Rule::Hermeticity),
+            "unwind" | "r6" => Some(Rule::Unwind),
             _ => None,
         }
     }
@@ -86,6 +91,13 @@ pub const PIPELINE_CRATES: [&str; 4] = ["core", "policy", "smart-home", "runtime
 /// Crates holding the numeric kernels and the replay path: R4's scope.
 pub const FLOAT_CRATES: [&str; 2] = ["neural", "rl"];
 
+/// The sanctioned panic boundaries: the only files allowed a bare
+/// `catch_unwind`. Everywhere else a caught panic must either feed a
+/// supervised recovery path or carry an `// unwind-ok:` justification —
+/// silently swallowing a panic hides corrupted state (R6's scope).
+pub const UNWIND_BOUNDARY_FILES: [&str; 2] =
+    ["crates/stdkit/src/pool.rs", "crates/runtime/src/supervisor.rs"];
+
 /// Which workspace crate (directory under `crates/`) a relative path is in,
 /// and whether it is under that crate's `src/`.
 #[must_use]
@@ -118,6 +130,7 @@ pub fn in_scope(rule: Rule, rel_path: &str) -> bool {
                 && rel_path != "crates/stdkit/src/bench.rs"
         }
         Rule::Hermeticity => rel_path.ends_with(".toml"),
+        Rule::Unwind => !UNWIND_BOUNDARY_FILES.contains(&rel_path),
     }
 }
 
@@ -130,6 +143,7 @@ pub fn check_source(rule: Rule, rel_path: &str, file: &ScannedFile) -> Vec<Viola
         Rule::Panics => check_panics(rel_path, file),
         Rule::Float => check_float(rel_path, file),
         Rule::Hermeticity => Vec::new(),
+        Rule::Unwind => check_unwind(rel_path, file),
     }
 }
 
@@ -583,6 +597,39 @@ pub fn check_manifest(rel_path: &str, text: &str) -> Vec<Violation> {
     out
 }
 
+// ---------------------------------------------------------------------------
+// R6: panic boundaries
+// ---------------------------------------------------------------------------
+
+fn check_unwind(rel_path: &str, file: &ScannedFile) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for (idx, line) in file.lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        if !line.code.contains("catch_unwind") {
+            continue;
+        }
+        // Imports are harmless; the rule polices call sites.
+        if line.code.trim_start().starts_with("use ") {
+            continue;
+        }
+        if file.annotated(idx, "unwind-ok:") {
+            continue;
+        }
+        out.push(Violation {
+            file: rel_path.to_string(),
+            line: idx + 1,
+            rule: Rule::Unwind,
+            msg: "`catch_unwind` outside stdkit::pool / runtime::supervisor: a swallowed \
+                  panic hides corrupted state; route the failure through the supervised \
+                  recovery path or justify with `// unwind-ok: <why>`"
+                .to_string(),
+        });
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -701,6 +748,33 @@ mod tests {
         assert_eq!(v[0].line, 3);
         assert_eq!(v[1].line, 4);
         assert_eq!(v[2].line, 7);
+    }
+
+    #[test]
+    fn unwind_flags_bare_catch_unwind_and_escapes() {
+        let src = "fn f() { let _ = std::panic::catch_unwind(|| risky()); }\n\
+                   fn g() {\n\
+                       // unwind-ok: propcheck must report the failing case, not die with it\n\
+                       let _ = std::panic::catch_unwind(|| risky());\n\
+                   }\n";
+        let v = check(Rule::Unwind, "crates/core/src/x.rs", src);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].line, 1);
+    }
+
+    #[test]
+    fn unwind_exempts_the_sanctioned_boundaries_on_walks() {
+        for file in UNWIND_BOUNDARY_FILES {
+            assert!(!in_scope(Rule::Unwind, file), "{file} must be exempt");
+        }
+        assert!(in_scope(Rule::Unwind, "crates/core/src/x.rs"));
+        assert!(in_scope(Rule::Unwind, "src/main.rs"));
+    }
+
+    #[test]
+    fn unwind_skips_test_code() {
+        let src = "#[cfg(test)]\nmod t { fn g() { let _ = catch_unwind(|| 1); } }\n";
+        assert!(check(Rule::Unwind, "crates/core/src/x.rs", src).is_empty());
     }
 
     #[test]

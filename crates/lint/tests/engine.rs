@@ -29,7 +29,7 @@ fn run_rule(rule: Rule, fixture: &str) -> Vec<String> {
 }
 
 /// (rule, trip, clean, annotated) — one triple per rule.
-const CASES: [(Rule, &str, &str, &str); 5] = [
+const CASES: [(Rule, &str, &str, &str); 6] = [
     (
         Rule::NondetIter,
         "nondet_iter/trip.rs",
@@ -45,6 +45,7 @@ const CASES: [(Rule, &str, &str, &str); 5] = [
         "hermeticity/clean_manifest.toml",
         "hermeticity/annotated_manifest.toml",
     ),
+    (Rule::Unwind, "unwind/trip.rs", "unwind/clean.rs", "unwind/annotated.rs"),
 ];
 
 #[test]

@@ -1,0 +1,7 @@
+//! R6 annotated fixture: justified boundary in a test harness.
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+pub fn survives(f: impl FnOnce()) -> bool {
+    // unwind-ok: harness reports the failing case instead of dying with it
+    catch_unwind(AssertUnwindSafe(f)).is_ok()
+}

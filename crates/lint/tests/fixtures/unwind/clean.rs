@@ -1,0 +1,5 @@
+//! R6 clean fixture: failures travel as values, no panic boundary at all.
+
+pub fn guarded(f: impl FnOnce() -> Result<(), String>) -> Result<(), String> {
+    f()
+}

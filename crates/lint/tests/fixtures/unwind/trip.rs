@@ -1,0 +1,6 @@
+//! R6 trip fixture: bare panic boundary that swallows the failure.
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+pub fn swallow(f: impl FnOnce()) -> bool {
+    catch_unwind(AssertUnwindSafe(f)).is_ok()
+}

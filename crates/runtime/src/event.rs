@@ -2,6 +2,7 @@
 
 use jarvis::Verdict;
 use jarvis_iot_model::MiniAction;
+use jarvis_stdkit::{json_enum, json_struct};
 
 /// What an [`Envelope`] carries.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -26,6 +27,12 @@ pub enum EventKind {
     },
 }
 
+json_enum!(EventKind {
+    Action(mini),
+    Sensor(mini),
+    Query { indoor_c, outdoor_c, price_per_kwh },
+});
+
 /// One routed unit of work: a home-tagged, globally sequenced event.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Envelope {
@@ -40,6 +47,24 @@ pub struct Envelope {
     /// The payload.
     pub kind: EventKind,
 }
+
+json_struct!(Envelope { seq, home, minute, kind });
+
+/// Which machinery answered a decision query — the degraded-mode telemetry
+/// of the self-healing runtime (DESIGN.md §15).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecisionSource {
+    /// The neural policy path: a batched Q forward walked down the ranking
+    /// to the best action the home's safe set allows.
+    Policy,
+    /// The SPL safe-table fallback: the policy path was quarantined or the
+    /// shard had exhausted its restart budget, so the runtime answered with
+    /// the always-safe no-op while the monitor kept enforcing. Enforcement
+    /// never lapses; only *suggestions* degrade.
+    SafeTableFallback,
+}
+
+json_enum!(DecisionSource { Policy, SafeTableFallback });
 
 /// One per-event result emitted by a worker shard.
 #[derive(Debug, Clone, PartialEq)]
@@ -78,6 +103,9 @@ pub enum Outcome {
         q_value: f64,
         /// How many higher-Q but unsafe actions were skipped.
         rank: usize,
+        /// Which machinery produced the answer (policy vs degraded-mode
+        /// safe-table fallback).
+        source: DecisionSource,
     },
 }
 

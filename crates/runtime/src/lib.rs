@@ -71,10 +71,17 @@ mod event;
 mod runtime;
 mod shard;
 mod slot;
+mod supervisor;
+mod wal;
 
-pub use event::{Envelope, EventKind, Outcome, OverloadPolicy, Rejection};
+pub use event::{DecisionSource, Envelope, EventKind, Outcome, OverloadPolicy, Rejection};
 pub use runtime::{
     IngestReport, Placement, RuntimeConfig, RuntimeSnapshot, ServeReport, ServingRuntime,
     ShardSnapshot,
 };
 pub use slot::{HomeSlot, HomeSnapshot};
+pub use supervisor::{
+    FailureCause, QuarantineRecord, RecoveryReport, RestartRecord, SupervisedReport,
+    SupervisorConfig,
+};
+pub use wal::ShardWal;

@@ -4,11 +4,12 @@
 use crate::event::{Envelope, EventKind, Outcome, OverloadPolicy, Rejection};
 use crate::shard::{self, Job, ShardOutput, WorkerShared};
 use crate::slot::{HomeSlot, HomeSnapshot};
+use crate::supervisor::{RecoveryReport, ShardSupervisor, SupervisedReport, SupervisorConfig};
 use jarvis::JarvisError;
 use jarvis_policy::{MatchMode, SafeTransitionTable};
 use jarvis_rl::{DqnAgent, DqnCheckpoint, QuantizedPolicy};
 use jarvis_sim::{
-    FaultInjector, FaultSummary, FleetGenerator, HomeDataset, MINUTES_PER_DAY,
+    ChaosSchedule, FaultInjector, FaultSummary, FleetGenerator, HomeDataset, MINUTES_PER_DAY,
 };
 use jarvis_smart_home::logger::normalize_action;
 use jarvis_smart_home::SmartHome;
@@ -644,6 +645,121 @@ impl ServingRuntime {
         }
         outcomes.sort_by_key(Outcome::seq);
         Ok(ServeReport { outcomes, rejected, latencies_ns })
+    }
+
+    /// Serve a stream under supervision: every shard runs inside a
+    /// `catch_unwind` panic boundary with a write-ahead log, and failures —
+    /// worker panics or deadline-overrunning stalls, optionally injected by
+    /// a [`ChaosSchedule`] — are recovered by restoring the shard's last
+    /// WAL checkpoint, replaying the logged suffix, and retrying, with
+    /// seeded exponential backoff in virtual ticks (see
+    /// [`SupervisorConfig`] and DESIGN.md §15).
+    ///
+    /// Recovery is deterministic: with a transient chaos plan (attempt
+    /// counts below the quarantine threshold) the supervised run's
+    /// outcomes, snapshot bytes, and rejection/quarantine accounting are
+    /// bitwise identical to an uninterrupted [`ServingRuntime::serve`] in
+    /// deterministic mode. Poison pills and exhausted restart budgets
+    /// degrade to safe-table-only serving
+    /// ([`DecisionSource::SafeTableFallback`](crate::DecisionSource)) —
+    /// enforcement never lapses.
+    ///
+    /// In deterministic mode shards run sequentially on the caller's
+    /// thread; otherwise each shard owns one scoped supervised worker.
+    /// Both modes are bitwise identical (shards are independent here —
+    /// supervised serving uses no ingest rings, so `rejected` is always
+    /// empty and no queue bound applies).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JarvisError::Config`] for invalid supervisor settings,
+    /// events targeting unregistered homes, or a shard that fails again
+    /// after exhausting its restart budget, plus model/neural errors from
+    /// the slots or the policy network.
+    pub fn serve_supervised(
+        &mut self,
+        events: Vec<Envelope>,
+        sup: &SupervisorConfig,
+        chaos: Option<&ChaosSchedule>,
+    ) -> Result<SupervisedReport, JarvisError> {
+        sup.validate()?;
+        self.rebalance(&events);
+        let shards = self.config.shards;
+        let submitted = events.len();
+        let mut streams: Vec<Vec<Envelope>> = (0..shards).map(|_| Vec::new()).collect();
+        for env in events {
+            let shard = self.shard_of(env.home);
+            streams[shard].push(env);
+        }
+        let mut parts: Vec<BTreeMap<u64, HomeSlot>> =
+            (0..shards).map(|_| BTreeMap::new()).collect();
+        for (id, slot) in std::mem::take(&mut self.homes) {
+            let shard = self.shard_of(id);
+            parts[shard].insert(id, slot);
+        }
+
+        let policy = &self.policy;
+        let quantized = self.quantized.as_ref();
+        let batch_window = self.config.batch_window;
+        let clock = self.config.telemetry;
+        let mut results: Vec<Result<(ShardOutput, RecoveryReport), JarvisError>> =
+            Vec::with_capacity(shards);
+
+        if self.config.deterministic {
+            for (idx, (part, stream)) in parts.iter_mut().zip(streams).enumerate() {
+                results.push(ShardSupervisor::new(idx, sup, chaos).run(
+                    part,
+                    policy,
+                    quantized,
+                    batch_window,
+                    clock,
+                    stream,
+                ));
+            }
+        } else {
+            std::thread::scope(|s| {
+                let mut handles = Vec::with_capacity(shards);
+                for (idx, (part, stream)) in parts.iter_mut().zip(streams).enumerate() {
+                    handles.push(s.spawn(move || {
+                        ShardSupervisor::new(idx, sup, chaos).run(
+                            part,
+                            policy,
+                            quantized,
+                            batch_window,
+                            clock,
+                            stream,
+                        )
+                    }));
+                }
+                for handle in handles {
+                    results.push(handle.join().unwrap_or_else(|_| {
+                        Err(JarvisError::Config(
+                            "a supervised shard worker died outside its panic boundary".into(),
+                        ))
+                    }));
+                }
+            });
+        }
+
+        // Reassemble home ownership before surfacing any error, so the
+        // runtime stays usable after a failed supervised serve.
+        for part in parts {
+            self.homes.extend(part);
+        }
+        let mut outcomes = Vec::with_capacity(submitted);
+        let mut latencies_ns = Vec::new();
+        let mut recovery = RecoveryReport::default();
+        for result in results {
+            let (output, shard_recovery) = result?;
+            outcomes.extend(output.outcomes);
+            latencies_ns.extend(output.latencies_ns);
+            recovery.absorb(shard_recovery);
+        }
+        outcomes.sort_by_key(Outcome::seq);
+        Ok(SupervisedReport {
+            report: ServeReport { outcomes, rejected: Vec::new(), latencies_ns },
+            recovery,
+        })
     }
 
     /// Sequential reference execution: same shard partitioning, no threads,

@@ -18,7 +18,7 @@
 //! single-row forward, so an [`InferenceTask`] is a pure function of the
 //! policy — whichever worker runs it, whenever, produces the same bytes.
 
-use crate::event::{Envelope, EventKind, Outcome};
+use crate::event::{DecisionSource, Envelope, EventKind, Outcome};
 use crate::slot::HomeSlot;
 use jarvis::JarvisError;
 use jarvis_iot_model::MiniAction;
@@ -60,7 +60,7 @@ pub(crate) struct Job {
 /// A query parked in the batching window, its observation, valid set, and
 /// action map snapshotted at in-order processing time so neither later
 /// events nor the executing worker can change the answer.
-struct Pending {
+pub(crate) struct Pending {
     seq: u64,
     home: u64,
     obs: Vec<f64>,
@@ -75,7 +75,7 @@ struct Pending {
 /// A closed batch of snapshotted queries: self-contained inference work
 /// executable by any worker with bitwise-identical results.
 pub(crate) struct InferenceTask {
-    entries: Vec<Pending>,
+    pub(crate) entries: Vec<Pending>,
 }
 
 /// Everything the worker threads share: per-shard ingest rings, per-shard
@@ -129,7 +129,7 @@ pub(crate) fn steal_order(idx: usize, shards: usize, stride: usize) -> Vec<usize
 
 /// Apply one event to its slot: actions are monitor-checked, sensors step
 /// the state, queries snapshot into the batching window.
-fn apply_event(
+pub(crate) fn apply_event(
     slots: &mut BTreeMap<u64, HomeSlot>,
     job: Job,
     clock: Option<fn() -> u64>,
@@ -176,7 +176,7 @@ fn apply_event(
 /// values are bit-deterministic across SIMD tiers, pool sizes, and batch
 /// groupings (i32 accumulation), so the serving determinism contract is
 /// unchanged.
-fn run_batch(
+pub(crate) fn run_batch(
     task: InferenceTask,
     policy: &DqnAgent,
     quantized: Option<&QuantizedPolicy>,
@@ -220,6 +220,7 @@ fn run_batch(
             flat,
             q_value,
             rank,
+            source: DecisionSource::Policy,
         });
         if let (Some(now), Some(t0)) = (clock, p.enqueued) {
             out.latencies_ns.push(now().saturating_sub(t0));

@@ -1,0 +1,613 @@
+//! The supervision layer that makes the serving runtime self-healing.
+//!
+//! Every shard's event loop runs inside a `catch_unwind` panic boundary.
+//! When processing an envelope dies — a worker panic, or a stall that
+//! overruns the virtual deadline — the supervisor recovers it
+//! deterministically: restore the shard's last [`ShardWal`] checkpoint,
+//! replay the logged envelope suffix (bitwise-identical outcomes, because
+//! serving draws no randomness), and retry the failing envelope after a
+//! seeded exponential backoff charged in *virtual ticks* — the supervised
+//! path performs zero wall-clock calls unless a telemetry clock is
+//! injected (lint rule R2).
+//!
+//! Failure containment is layered (DESIGN.md §15):
+//!
+//! 1. **Transient faults** (fewer consecutive failures than
+//!    [`SupervisorConfig::quarantine_after`]) are invisible: the recovered
+//!    run's outcomes, snapshot bytes, and accounting are bitwise identical
+//!    to an uninterrupted run.
+//! 2. **Poison pills** — a query whose processing keeps dying — are
+//!    quarantined after `quarantine_after` consecutive failures: the query
+//!    is answered by the SPL safe-table fallback (the always-valid no-op,
+//!    [`DecisionSource::SafeTableFallback`]) with a [`QuarantineRecord`],
+//!    and the shard moves on.
+//! 3. **Budget exhaustion** — more restarts than
+//!    [`SupervisorConfig::restart_budget`] — degrades the shard: its
+//!    neural decision path is taken offline for the rest of the call, all
+//!    remaining queries are answered by the safe-table fallback, and the
+//!    monitor path keeps enforcing. Enforcement never lapses; only
+//!    suggestions degrade.
+//!
+//! Injected chaos ([`ChaosSchedule`]) models failures *of the neural
+//! decision path*; once a shard is degraded that path is offline, so chaos
+//! stops firing for the shard — this is what guarantees liveness after
+//! budget exhaustion. Injected panics unwind via
+//! [`std::panic::resume_unwind`] with a typed payload, so they never
+//! invoke the global panic hook (no stderr spam under test), while *real*
+//! panics from bugs still report normally — and are recovered through the
+//! exact same path.
+
+use crate::event::{DecisionSource, Envelope, EventKind, Outcome};
+use crate::runtime::ServeReport;
+use crate::shard::{self, InferenceTask, Job, Pending, ShardOutput};
+use crate::slot::HomeSlot;
+use crate::wal::ShardWal;
+use jarvis::JarvisError;
+use jarvis_rl::{DqnAgent, QuantizedPolicy};
+use jarvis_sim::{ChaosKind, ChaosSchedule};
+use jarvis_stdkit::rng::{ChaCha8Rng, Rng, SeedableRng};
+use jarvis_stdkit::{json_enum, json_struct};
+use std::collections::{BTreeMap, BTreeSet};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+/// Supervision policy for [`crate::ServingRuntime::serve_supervised`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SupervisorConfig {
+    /// Maximum shard restarts per serve call; one more failure degrades the
+    /// shard to safe-table-only serving.
+    pub restart_budget: u32,
+    /// Base of the seeded exponential backoff, in virtual ticks: restart
+    /// `n` charges `base · 2^(n-1)` plus uniform jitter below `base`.
+    pub backoff_base_ticks: u64,
+    /// Seed of the per-shard backoff jitter streams.
+    pub backoff_seed: u64,
+    /// Virtual-tick budget one envelope may charge before the watchdog
+    /// treats the worker as hung and recovers it like a panic.
+    pub deadline_ticks: u64,
+    /// Consecutive failures on the same query before it is quarantined as a
+    /// poison pill and answered by the safe-table fallback.
+    pub quarantine_after: u32,
+    /// Envelopes between WAL checkpoints (per shard). Smaller = shorter
+    /// replays, more snapshot work.
+    pub checkpoint_every: u64,
+    /// Serve degraded from the start: the neural path is treated as offline
+    /// everywhere and every query gets the safe-table fallback. For
+    /// disaster-recovery drills and the degraded-throughput benchmark.
+    pub policy_offline: bool,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> Self {
+        SupervisorConfig {
+            restart_budget: 8,
+            backoff_base_ticks: 16,
+            backoff_seed: 0xB0FF,
+            deadline_ticks: 1_000,
+            quarantine_after: 3,
+            checkpoint_every: 64,
+            policy_offline: false,
+        }
+    }
+}
+
+impl SupervisorConfig {
+    pub(crate) fn validate(&self) -> Result<(), JarvisError> {
+        if self.backoff_base_ticks == 0 {
+            return Err(JarvisError::Config("backoff base must be at least 1 tick".into()));
+        }
+        if self.deadline_ticks == 0 {
+            return Err(JarvisError::Config("deadline must be at least 1 tick".into()));
+        }
+        if self.quarantine_after == 0 {
+            return Err(JarvisError::Config("quarantine threshold must be at least 1".into()));
+        }
+        if self.checkpoint_every == 0 {
+            return Err(JarvisError::Config("checkpoint cadence must be at least 1".into()));
+        }
+        Ok(())
+    }
+}
+
+/// Why a shard was recovered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailureCause {
+    /// Processing the envelope panicked (injected or real).
+    Panic,
+    /// Processing the envelope charged more virtual ticks than
+    /// [`SupervisorConfig::deadline_ticks`] — a hung worker.
+    DeadlineOverrun,
+}
+
+json_enum!(FailureCause { Panic, DeadlineOverrun });
+
+/// One shard restart: failure, backoff, restore, replay, retry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RestartRecord {
+    /// The recovered shard.
+    pub shard: usize,
+    /// Sequence number of the envelope whose processing failed.
+    pub seq: u64,
+    /// What killed the worker.
+    pub cause: FailureCause,
+    /// Consecutive failures of this envelope so far (this one included).
+    pub failures: u32,
+    /// Virtual ticks of seeded exponential backoff charged before retry.
+    pub backoff_ticks: u64,
+    /// WAL entries replayed to rebuild the shard's state.
+    pub replayed: usize,
+}
+
+json_struct!(RestartRecord { shard, seq, cause, failures, backoff_ticks, replayed });
+
+/// One poison-pill quarantine: a query answered by the safe-table fallback
+/// after repeated failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuarantineRecord {
+    /// The shard that quarantined the query.
+    pub shard: usize,
+    /// The quarantined query's sequence number.
+    pub seq: u64,
+    /// The home the query belonged to.
+    pub home: u64,
+    /// Consecutive failures that triggered the quarantine.
+    pub failures: u32,
+}
+
+json_struct!(QuarantineRecord { shard, seq, home, failures });
+
+/// Everything the supervisor did during one serve call. All fields except
+/// `recovery_ns` are deterministic accounting — bitwise identical across
+/// deterministic/threaded execution and across runs; `recovery_ns` is
+/// informational wall-clock telemetry, populated only when
+/// [`crate::RuntimeConfig::telemetry`] injects a clock.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RecoveryReport {
+    /// Every restart, in shard order then occurrence order.
+    pub restarts: Vec<RestartRecord>,
+    /// Every poison-pill quarantine.
+    pub quarantined: Vec<QuarantineRecord>,
+    /// Shards that exhausted their restart budget and degraded to
+    /// safe-table-only serving.
+    pub degraded_shards: Vec<usize>,
+    /// Decisions answered by the safe-table fallback
+    /// ([`DecisionSource::SafeTableFallback`]).
+    pub fallback_decisions: u64,
+    /// WAL checkpoints taken across all shards.
+    pub checkpoints: u64,
+    /// Stall ticks charged but tolerated (within the deadline).
+    pub tolerated_stall_ticks: u64,
+    /// Total virtual ticks charged: one per applied envelope, plus stall
+    /// charges, plus backoff.
+    pub virtual_ticks: u64,
+    /// Crash → first post-recovery decision, in telemetry-clock
+    /// nanoseconds; empty without an injected clock.
+    pub recovery_ns: Vec<u64>,
+}
+
+json_struct!(RecoveryReport {
+    restarts,
+    quarantined,
+    degraded_shards,
+    fallback_decisions,
+    checkpoints,
+    tolerated_stall_ticks,
+    virtual_ticks,
+    recovery_ns,
+});
+
+impl RecoveryReport {
+    /// Fold one shard's accounting into the runtime-wide report (called in
+    /// shard order, so merged records stay deterministic).
+    pub(crate) fn absorb(&mut self, other: RecoveryReport) {
+        self.restarts.extend(other.restarts);
+        self.quarantined.extend(other.quarantined);
+        self.degraded_shards.extend(other.degraded_shards);
+        self.fallback_decisions += other.fallback_decisions;
+        self.checkpoints += other.checkpoints;
+        self.tolerated_stall_ticks += other.tolerated_stall_ticks;
+        self.virtual_ticks += other.virtual_ticks;
+        self.recovery_ns.extend(other.recovery_ns);
+    }
+}
+
+/// A [`ServeReport`] plus the supervisor's recovery accounting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SupervisedReport {
+    /// The ordinary serve results (outcomes sorted by seq; `rejected` is
+    /// always empty — supervised serving has no bounded ingest rings).
+    pub report: ServeReport,
+    /// What the supervisor did.
+    pub recovery: RecoveryReport,
+}
+
+/// Typed payload of an injected chaos panic. Unwinding with
+/// [`resume_unwind`] skips the global panic hook, so chaos-heavy test runs
+/// stay quiet while real panics still report.
+struct ChaosPanicPayload {
+    /// Carried for debuggability of escaped payloads; the supervisor itself
+    /// recovers injected and real panics identically and never reads it.
+    #[allow(dead_code)]
+    seq: u64,
+}
+
+/// What one supervised processing attempt produced.
+enum Attempt {
+    /// The envelope applied cleanly.
+    Applied,
+    /// The watchdog killed a stall that overran the deadline.
+    Overrun,
+    /// The worker panicked (payload dropped; injected and real panics are
+    /// recovered identically).
+    Panicked,
+}
+
+/// Per-shard supervision state and accounting.
+pub(crate) struct ShardSupervisor<'a> {
+    shard: usize,
+    sup: &'a SupervisorConfig,
+    chaos: Option<&'a ChaosSchedule>,
+    /// Times chaos has fired per armed seq; a fire is live while its count
+    /// is below the rule's `attempts`. Models the external failure process,
+    /// so it is *never* rolled back by recovery.
+    fired: BTreeMap<u64, u32>,
+    /// Consecutive failures per seq (resets never — seqs are unique).
+    failures: BTreeMap<u64, u32>,
+    quarantined: BTreeSet<u64>,
+    degraded: bool,
+    restarts_used: u32,
+    backoff_rng: ChaCha8Rng,
+    /// Telemetry stamp of the crash whose recovery retry is in flight;
+    /// closed (crash → first post-recovery decision) once the retry lands.
+    pending_recovery_stamp: Option<u64>,
+    recovery: RecoveryReport,
+}
+
+impl<'a> ShardSupervisor<'a> {
+    pub(crate) fn new(
+        shard: usize,
+        sup: &'a SupervisorConfig,
+        chaos: Option<&'a ChaosSchedule>,
+    ) -> Self {
+        // SplitMix-style fold keeps per-shard jitter streams independent.
+        let mut z = sup.backoff_seed ^ (shard as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        ShardSupervisor {
+            shard,
+            sup,
+            chaos,
+            fired: BTreeMap::new(),
+            failures: BTreeMap::new(),
+            quarantined: BTreeSet::new(),
+            degraded: sup.policy_offline,
+            restarts_used: 0,
+            backoff_rng: ChaCha8Rng::seed_from_u64(z),
+            pending_recovery_stamp: None,
+            recovery: RecoveryReport::default(),
+        }
+    }
+
+    /// The chaos fire armed for `seq` right now, if any: scheduled, still
+    /// below its attempt count, and the shard's neural path is still up.
+    fn armed(&self, seq: u64) -> Option<ChaosKind> {
+        if self.degraded {
+            return None;
+        }
+        let fire = self.chaos?.get(&seq)?;
+        let attempts = match fire.kind {
+            ChaosKind::Panic { attempts } | ChaosKind::Stall { attempts, .. } => attempts,
+        };
+        (self.fired.get(&seq).copied().unwrap_or(0) < attempts).then_some(fire.kind)
+    }
+
+    /// Emit the degraded-mode answer for a query: the always-valid no-op
+    /// from the SPL safe table, with full bookkeeping on the slot.
+    fn fallback_decision(
+        slots: &mut BTreeMap<u64, HomeSlot>,
+        env: &Envelope,
+        out: &mut ShardOutput,
+    ) -> Result<(), JarvisError> {
+        let slot = slots.get_mut(&env.home).ok_or_else(|| {
+            JarvisError::Config(format!(
+                "event {} targets unregistered home {}",
+                env.seq, env.home
+            ))
+        })?;
+        slot.note_event(env.minute);
+        out.outcomes.push(Outcome::Decision {
+            seq: env.seq,
+            home: env.home,
+            action: None,
+            flat: 0,
+            q_value: 0.0,
+            rank: 0,
+            source: DecisionSource::SafeTableFallback,
+        });
+        Ok(())
+    }
+
+    /// Restore the WAL checkpoint and replay the logged suffix, truncating
+    /// the output back to the checkpoint marks first. Returns the number of
+    /// envelopes replayed.
+    #[allow(clippy::too_many_arguments)]
+    fn restore_and_replay(
+        &mut self,
+        slots: &mut BTreeMap<u64, HomeSlot>,
+        policy: &DqnAgent,
+        quantized: Option<&QuantizedPolicy>,
+        batch_window: usize,
+        clock: Option<fn() -> u64>,
+        wal: &ShardWal,
+        marks: (usize, usize),
+        pending: &mut Vec<Pending>,
+        out: &mut ShardOutput,
+    ) -> Result<usize, JarvisError> {
+        out.outcomes.truncate(marks.0);
+        out.latencies_ns.truncate(marks.1);
+        pending.clear();
+        for snap in &wal.snapshot {
+            let slot = slots.get_mut(&snap.id).ok_or_else(|| {
+                JarvisError::Config(format!("WAL names unregistered home {}", snap.id))
+            })?;
+            slot.restore(snap)?;
+        }
+        let suffix = wal.replay_suffix();
+        for env in suffix {
+            if self.quarantined.contains(&env.seq) {
+                Self::fallback_decision(slots, env, out)?;
+                continue;
+            }
+            shard::apply_event(slots, Job { env: env.clone(), enqueued: None }, clock, pending, out)?;
+            if pending.len() >= batch_window {
+                shard::run_batch(
+                    InferenceTask { entries: std::mem::take(pending) },
+                    policy,
+                    quantized,
+                    clock,
+                    out,
+                )?;
+            }
+        }
+        Ok(suffix.len())
+    }
+
+    /// One guarded attempt at processing `env`: arm any scheduled chaos,
+    /// apply the event inside a panic boundary, and classify the result.
+    fn attempt(
+        &mut self,
+        slots: &mut BTreeMap<u64, HomeSlot>,
+        env: &Envelope,
+        clock: Option<fn() -> u64>,
+        pending: &mut Vec<Pending>,
+        out: &mut ShardOutput,
+    ) -> Result<Attempt, JarvisError> {
+        let armed = self.armed(env.seq);
+        if let Some(ChaosKind::Stall { ticks, .. }) = armed {
+            *self.fired.entry(env.seq).or_insert(0) += 1;
+            self.recovery.virtual_ticks += ticks;
+            if ticks > self.sup.deadline_ticks {
+                // The watchdog kills the hung worker before the envelope
+                // touches any state; recovery replays and retries it.
+                return Ok(Attempt::Overrun);
+            }
+            self.recovery.tolerated_stall_ticks += ticks;
+        }
+        let fired = &mut self.fired;
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            let applied =
+                shard::apply_event(slots, Job { env: env.clone(), enqueued: None }, clock, pending, out);
+            if applied.is_ok() {
+                if let Some(ChaosKind::Panic { .. }) = armed {
+                    // Fire *after* the event mutated the slot: recovery must
+                    // genuinely discard dirty state, not skip clean state.
+                    *fired.entry(env.seq).or_insert(0) += 1;
+                    resume_unwind(Box::new(ChaosPanicPayload { seq: env.seq }));
+                }
+            }
+            applied
+        }));
+        match caught {
+            Ok(Ok(())) => {
+                self.recovery.virtual_ticks += 1;
+                Ok(Attempt::Applied)
+            }
+            Ok(Err(err)) => Err(err),
+            Err(_payload) => Ok(Attempt::Panicked),
+        }
+    }
+
+    /// Drive one shard's whole stream under supervision.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn run(
+        mut self,
+        slots: &mut BTreeMap<u64, HomeSlot>,
+        policy: &DqnAgent,
+        quantized: Option<&QuantizedPolicy>,
+        batch_window: usize,
+        clock: Option<fn() -> u64>,
+        stream: Vec<Envelope>,
+    ) -> Result<(ShardOutput, RecoveryReport), JarvisError> {
+        let mut out = ShardOutput::default();
+        let mut pending: Vec<Pending> = Vec::new();
+        let snapshot = |slots: &BTreeMap<u64, HomeSlot>| {
+            slots.values().map(HomeSlot::snapshot).collect::<Vec<_>>()
+        };
+        let mut wal = ShardWal::new(self.shard, snapshot(slots));
+        let mut marks = (0usize, 0usize);
+        let mut since_checkpoint = 0u64;
+
+        for env in stream {
+            // Write-ahead: the envelope is durable before any attempt.
+            wal.append(env.clone());
+
+            if self.quarantined.contains(&env.seq)
+                || (self.degraded && matches!(env.kind, EventKind::Query { .. }))
+            {
+                Self::fallback_decision(slots, &env, &mut out)?;
+                since_checkpoint += 1;
+            } else {
+                loop {
+                    match self.attempt(slots, &env, clock, &mut pending, &mut out)? {
+                        Attempt::Applied => {
+                            since_checkpoint += 1;
+                            break;
+                        }
+                        kind @ (Attempt::Overrun | Attempt::Panicked) => {
+                            let cause = match kind {
+                                Attempt::Overrun => FailureCause::DeadlineOverrun,
+                                _ => FailureCause::Panic,
+                            };
+                            let crashed_at = clock.map(|now| now());
+                            let failures = {
+                                let f = self.failures.entry(env.seq).or_insert(0);
+                                *f += 1;
+                                *f
+                            };
+                            let is_query = matches!(env.kind, EventKind::Query { .. });
+                            if is_query && failures >= self.sup.quarantine_after {
+                                // Poison pill: stop retrying, serve the
+                                // safe-table answer, move on.
+                                self.restore_and_replay(
+                                    slots, policy, quantized, batch_window, clock, &wal,
+                                    marks, &mut pending, &mut out,
+                                )?;
+                                self.quarantined.insert(env.seq);
+                                self.recovery.quarantined.push(QuarantineRecord {
+                                    shard: self.shard,
+                                    seq: env.seq,
+                                    home: env.home,
+                                    failures,
+                                });
+                                Self::fallback_decision(slots, &env, &mut out)?;
+                                since_checkpoint += 1;
+                                if let (Some(now), Some(t0)) = (clock, crashed_at) {
+                                    self.recovery.recovery_ns.push(now().saturating_sub(t0));
+                                }
+                                break;
+                            }
+                            if self.restarts_used >= self.sup.restart_budget {
+                                // Budget exhausted: the neural path goes
+                                // offline for the rest of the call.
+                                self.restore_and_replay(
+                                    slots, policy, quantized, batch_window, clock, &wal,
+                                    marks, &mut pending, &mut out,
+                                )?;
+                                self.degraded = true;
+                                self.recovery.degraded_shards.push(self.shard);
+                                if is_query {
+                                    Self::fallback_decision(slots, &env, &mut out)?;
+                                } else {
+                                    // Monitor-path work continues directly;
+                                    // chaos no longer fires (`armed` checks
+                                    // the degraded flag). A *real* panic
+                                    // here has no budget left to recover
+                                    // with — fail loudly, never drop.
+                                    match self
+                                        .attempt(slots, &env, clock, &mut pending, &mut out)?
+                                    {
+                                        Attempt::Applied => {}
+                                        Attempt::Overrun | Attempt::Panicked => {
+                                            return Err(JarvisError::Config(format!(
+                                                "shard {} failed at seq {} after its \
+                                                 restart budget was exhausted",
+                                                self.shard, env.seq
+                                            )));
+                                        }
+                                    }
+                                }
+                                since_checkpoint += 1;
+                                if let (Some(now), Some(t0)) = (clock, crashed_at) {
+                                    self.recovery.recovery_ns.push(now().saturating_sub(t0));
+                                }
+                                break;
+                            }
+                            // Ordinary restart: seeded exponential backoff
+                            // in virtual ticks, restore, replay, retry.
+                            self.restarts_used += 1;
+                            let shift = u32::min(self.restarts_used - 1, 32);
+                            let backoff_ticks = self
+                                .sup
+                                .backoff_base_ticks
+                                .saturating_mul(1u64 << shift)
+                                .saturating_add(
+                                    self.backoff_rng.gen_range(0..self.sup.backoff_base_ticks),
+                                );
+                            self.recovery.virtual_ticks += backoff_ticks;
+                            let replayed = self.restore_and_replay(
+                                slots, policy, quantized, batch_window, clock, &wal, marks,
+                                &mut pending, &mut out,
+                            )?;
+                            self.recovery.restarts.push(RestartRecord {
+                                shard: self.shard,
+                                seq: env.seq,
+                                cause,
+                                failures,
+                                backoff_ticks,
+                                replayed,
+                            });
+                            // Answer the aged queries as soon as the retry
+                            // lands (next loop iteration), and stamp the
+                            // crash → first-decision recovery time.
+                            if let Some(t0) = crashed_at {
+                                // Retry happens on the next loop pass; the
+                                // stamp closes there via `recovery_pending`.
+                                self.pending_recovery_stamp = Some(t0);
+                            }
+                        }
+                    }
+                }
+                // A recovery retry just landed: flush the window so the aged
+                // queries (including the retried one) decide *now*, and
+                // close the crash → first-decision stamp.
+                if let Some(t0) = self.pending_recovery_stamp.take() {
+                    if !pending.is_empty() {
+                        shard::run_batch(
+                            InferenceTask { entries: std::mem::take(&mut pending) },
+                            policy,
+                            quantized,
+                            clock,
+                            &mut out,
+                        )?;
+                    }
+                    if let Some(now) = clock {
+                        self.recovery.recovery_ns.push(now().saturating_sub(t0));
+                    }
+                }
+            }
+
+            if since_checkpoint >= self.sup.checkpoint_every {
+                // Flush the window first so the checkpoint is a batch
+                // boundary and the WAL suffix stays self-contained.
+                if !pending.is_empty() {
+                    shard::run_batch(
+                        InferenceTask { entries: std::mem::take(&mut pending) },
+                        policy,
+                        quantized,
+                        clock,
+                        &mut out,
+                    )?;
+                }
+                wal.checkpoint(snapshot(slots));
+                marks = (out.outcomes.len(), out.latencies_ns.len());
+                self.recovery.checkpoints += 1;
+                since_checkpoint = 0;
+            }
+        }
+
+        // End of stream: answer whatever is still parked.
+        shard::run_batch(
+            InferenceTask { entries: pending },
+            policy,
+            quantized,
+            clock,
+            &mut out,
+        )?;
+        self.recovery.fallback_decisions = out
+            .outcomes
+            .iter()
+            .filter(|o| {
+                matches!(o, Outcome::Decision { source: DecisionSource::SafeTableFallback, .. })
+            })
+            .count() as u64;
+        Ok((out, self.recovery))
+    }
+}

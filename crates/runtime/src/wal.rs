@@ -1,0 +1,140 @@
+//! The per-shard write-ahead log behind deterministic crash recovery.
+//!
+//! A [`ShardWal`] pairs the shard's last state checkpoint (the
+//! [`HomeSnapshot`]s of every slot the shard owns) with the envelopes
+//! logged since. The supervisor appends each envelope *before* processing
+//! it — classic write-ahead discipline — so after a caught panic the log
+//! always contains the complete suffix of work since the checkpoint,
+//! including the envelope that failed. Recovery is then purely mechanical:
+//! restore the checkpoint, replay every logged envelope but the last
+//! (regenerating bitwise-identical outcomes, because serving draws no
+//! randomness), and retry the last one.
+//!
+//! The log is an in-memory structure serialized through stdkit's strict
+//! JSON codec ([`jarvis_stdkit::json`]), so a WAL — checkpoint, suffix and
+//! all — round-trips byte-for-byte. Checkpoints are only taken at batch
+//! boundaries (the supervisor flushes the pending decision window first),
+//! which keeps the replay self-contained: every query a replay re-parks
+//! has its source envelope in the log. Forcing a batch closed at a
+//! checkpoint cannot change any decision — batch grouping only clusters
+//! pure per-row forwards (DESIGN.md §13).
+
+use crate::event::Envelope;
+use crate::slot::HomeSnapshot;
+use jarvis_stdkit::json_struct;
+
+/// One shard's write-ahead log: last checkpoint + envelope suffix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardWal {
+    /// The shard this log belongs to.
+    pub shard: usize,
+    /// The shard's slots at the last checkpoint, ordered by home id.
+    pub snapshot: Vec<HomeSnapshot>,
+    /// Envelopes logged since the checkpoint, in processing (seq) order.
+    /// The last entry is the envelope currently being processed.
+    pub entries: Vec<Envelope>,
+}
+
+json_struct!(ShardWal { shard, snapshot, entries });
+
+impl ShardWal {
+    /// Open a log for `shard` at an initial checkpoint.
+    #[must_use]
+    pub fn new(shard: usize, snapshot: Vec<HomeSnapshot>) -> Self {
+        ShardWal { shard, snapshot, entries: Vec::new() }
+    }
+
+    /// Log an envelope ahead of processing it.
+    pub fn append(&mut self, env: Envelope) {
+        self.entries.push(env);
+    }
+
+    /// Replace the checkpoint with a fresh snapshot and clear the suffix —
+    /// everything before `snapshot` is now durable state.
+    pub fn checkpoint(&mut self, snapshot: Vec<HomeSnapshot>) {
+        self.snapshot = snapshot;
+        self.entries.clear();
+    }
+
+    /// The envelopes to re-apply during recovery: every logged entry except
+    /// the failing last one (which the supervisor retries separately).
+    /// Empty when the failure hit the first envelope after a checkpoint.
+    #[must_use]
+    pub fn replay_suffix(&self) -> &[Envelope] {
+        match self.entries.split_last() {
+            Some((_failing, prefix)) => prefix,
+            None => &[],
+        }
+    }
+
+    /// Number of envelopes logged since the checkpoint.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the suffix is empty (a checkpoint just happened).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+    use crate::slot::HomeSlot;
+    use jarvis_policy::{MatchMode, SafeTransitionTable};
+    use jarvis_smart_home::SmartHome;
+    use jarvis_stdkit::json::{FromJson, ToJson};
+
+    fn snapshot() -> Vec<HomeSnapshot> {
+        let home = SmartHome::evaluation_home();
+        let slot = HomeSlot::new(3, home, SafeTransitionTable::new(), MatchMode::Exact);
+        vec![slot.snapshot()]
+    }
+
+    fn env(seq: u64) -> Envelope {
+        Envelope {
+            seq,
+            home: 3,
+            minute: 10 + seq as u32,
+            kind: EventKind::Query { indoor_c: 21.0, outdoor_c: 5.0, price_per_kwh: 0.12 },
+        }
+    }
+
+    #[test]
+    fn write_ahead_then_checkpoint_clears_suffix() {
+        let mut wal = ShardWal::new(0, snapshot());
+        assert!(wal.is_empty());
+        for seq in 0..5 {
+            wal.append(env(seq));
+        }
+        assert_eq!(wal.len(), 5);
+        assert_eq!(wal.replay_suffix().len(), 4);
+        assert_eq!(wal.entries.last().unwrap().seq, 4);
+        wal.checkpoint(snapshot());
+        assert!(wal.is_empty());
+        assert_eq!(wal.replay_suffix(), &[]);
+    }
+
+    #[test]
+    fn wal_round_trips_byte_for_byte() {
+        let mut wal = ShardWal::new(2, snapshot());
+        wal.append(env(7));
+        wal.append(Envelope {
+            seq: 8,
+            home: 3,
+            minute: 30,
+            kind: EventKind::Action(jarvis_iot_model::MiniAction {
+                device: jarvis_iot_model::DeviceId(0),
+                action: jarvis_iot_model::ActionIdx(0),
+            }),
+        });
+        let json = wal.to_json();
+        let back = ShardWal::from_json(&json).unwrap();
+        assert_eq!(back, wal);
+        assert_eq!(back.to_json(), json, "serialization must be byte-stable");
+    }
+}

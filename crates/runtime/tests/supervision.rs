@@ -1,0 +1,380 @@
+//! Self-healing invariants: supervised serving equals plain serving when
+//! nothing fails, crash recovery is bitwise invisible for transient chaos,
+//! the deadline watchdog catches stalls, poison pills quarantine into the
+//! safe-table fallback, exhausted budgets degrade without dropping
+//! enforcement, and all recovery accounting is deterministic.
+//!
+//! Sizes scale down under Miri (`cfg(miri)`) so the battery stays inside
+//! the interpreter's time budget; the properties checked are identical.
+
+use jarvis::{Jarvis, JarvisConfig, OptimizerConfig};
+use jarvis_policy::SafeTransitionTable;
+use jarvis_rl::{DqnAgent, DqnConfig};
+use jarvis_runtime::{
+    DecisionSource, FailureCause, Outcome, RuntimeConfig, ServingRuntime, SupervisorConfig,
+};
+use jarvis_sim::{
+    ChaosInjector, ChaosKind, ChaosPlan, ChaosRule, ChaosSchedule, FleetGenerator, HomeDataset,
+};
+use jarvis_smart_home::SmartHome;
+use jarvis_stdkit::json::ToJson;
+
+/// A home catalogue, a table learned from a short learning phase, and a
+/// policy agent sized for that home.
+struct Fixture {
+    home: SmartHome,
+    table: SafeTransitionTable,
+    policy: DqnAgent,
+}
+
+fn fixture() -> Fixture {
+    let home = SmartHome::evaluation_home();
+    let config = JarvisConfig { optimizer: OptimizerConfig::fast(), ..JarvisConfig::default() };
+    let mut jarvis = Jarvis::new(home.clone(), config);
+    let learn_days = if cfg!(miri) { 0..1 } else { 0..2 };
+    jarvis.learning_phase(&HomeDataset::home_a(3), learn_days).expect("learning phase");
+    jarvis.learn_policies().expect("SPL");
+    let table = jarvis.outcome().expect("outcome").table.clone();
+
+    let state_dim = home.fsm().state_sizes().iter().sum::<usize>() + 5;
+    let num_actions = home.agent_mini_actions().len() + 1;
+    let mut cfg = DqnConfig::new(state_dim, num_actions);
+    cfg.hidden = vec![16];
+    cfg.seed = 7;
+    let policy = DqnAgent::new(cfg).expect("policy net");
+    Fixture { home, table, policy }
+}
+
+fn build_runtime(f: &Fixture, config: RuntimeConfig, homes: u32) -> ServingRuntime {
+    let mut rt = ServingRuntime::new(config, f.policy.clone()).expect("runtime");
+    for id in 0..homes {
+        rt.register_home(u64::from(id), f.home.clone(), f.table.clone()).expect("register");
+    }
+    rt
+}
+
+fn det_config(shards: usize) -> RuntimeConfig {
+    let mut config = RuntimeConfig::new(shards);
+    config.deterministic = true;
+    config.batch_window = 8;
+    config
+}
+
+fn fleet_size() -> u32 {
+    if cfg!(miri) {
+        2
+    } else {
+        6
+    }
+}
+
+fn query_every() -> u32 {
+    if cfg!(miri) {
+        240
+    } else {
+        45
+    }
+}
+
+/// Bitwise comparison of outcome lists: `PartialEq` plus the Debug
+/// rendering, which prints `f64`s with shortest-round-trip precision and so
+/// distinguishes any bit difference (signed zero included).
+fn assert_outcomes_bit_identical(a: &[Outcome], b: &[Outcome], what: &str) {
+    assert_eq!(a, b, "{what}: outcome lists differ");
+    assert_eq!(format!("{a:?}"), format!("{b:?}"), "{what}: f64 bits differ");
+}
+
+/// The uninterrupted oracle: plain deterministic serve plus final snapshot
+/// bytes, from a fresh runtime.
+fn oracle(f: &Fixture, shards: usize, fleet: &FleetGenerator) -> (Vec<Outcome>, String) {
+    let mut rt = build_runtime(f, det_config(shards), fleet.num_homes());
+    let ingest = rt.ingest_fleet_day(fleet, 1, None, Some(query_every())).expect("ingest");
+    let report = rt.serve(ingest.envelopes).expect("serve");
+    (report.outcomes, rt.snapshot().to_json())
+}
+
+fn supervised(
+    f: &Fixture,
+    shards: usize,
+    fleet: &FleetGenerator,
+    sup: &SupervisorConfig,
+    chaos: Option<&ChaosSchedule>,
+    deterministic: bool,
+) -> (jarvis_runtime::SupervisedReport, String) {
+    let mut config = det_config(shards);
+    config.deterministic = deterministic;
+    let mut rt = build_runtime(f, config, fleet.num_homes());
+    let ingest = rt.ingest_fleet_day(fleet, 1, None, Some(query_every())).expect("ingest");
+    let report = rt.serve_supervised(ingest.envelopes, sup, chaos).expect("serve_supervised");
+    let snap = rt.snapshot().to_json();
+    (report, snap)
+}
+
+#[test]
+fn supervised_without_chaos_equals_plain_serve() {
+    let f = fixture();
+    let fleet = FleetGenerator::new(17, fleet_size());
+    let sup = SupervisorConfig::default();
+    for shards in [1usize, 3] {
+        let (want, want_snap) = oracle(&f, shards, &fleet);
+        let (got, got_snap) = supervised(&f, shards, &fleet, &sup, None, true);
+        assert_outcomes_bit_identical(&want, &got.report.outcomes, "no-chaos supervised");
+        assert_eq!(want_snap, got_snap, "snapshot bytes must match");
+        assert!(got.recovery.restarts.is_empty());
+        assert!(got.recovery.quarantined.is_empty());
+        assert!(got.recovery.degraded_shards.is_empty());
+        assert_eq!(got.recovery.fallback_decisions, 0);
+        assert!(got.recovery.checkpoints > 0, "checkpoints should be taken");
+    }
+}
+
+#[test]
+fn transient_panic_recovery_is_bitwise_invisible() {
+    let f = fixture();
+    let fleet = FleetGenerator::new(17, fleet_size());
+    // attempts=2 < quarantine_after=3: every armed envelope fails twice and
+    // then succeeds — pure transient faults.
+    let plan = ChaosPlan::periodic_panic(5, if cfg!(miri) { 4 } else { 13 }, 2);
+    let mut sup = SupervisorConfig::default();
+    sup.restart_budget = u32::MAX;
+    sup.checkpoint_every = 16;
+    for shards in [1usize, 2] {
+        let (want, want_snap) = oracle(&f, shards, &fleet);
+        let chaos = build_schedule(&f, shards, &fleet, &plan);
+        assert!(!chaos.is_empty(), "plan must arm something");
+        let (got, got_snap) = supervised(&f, shards, &fleet, &sup, Some(&chaos), true);
+        assert_outcomes_bit_identical(&want, &got.report.outcomes, "recovered run");
+        assert_eq!(want_snap, got_snap, "snapshot bytes must survive recovery");
+        assert!(!got.recovery.restarts.is_empty(), "panics must have been recovered");
+        assert!(got.recovery.restarts.iter().all(|r| r.cause == FailureCause::Panic));
+        assert!(got.recovery.quarantined.is_empty());
+        assert_eq!(got.recovery.fallback_decisions, 0);
+    }
+}
+
+/// Evaluate a plan against the exact seqs a fresh ingest would produce.
+fn build_schedule(
+    f: &Fixture,
+    shards: usize,
+    fleet: &FleetGenerator,
+    plan: &ChaosPlan,
+) -> ChaosSchedule {
+    let mut rt = build_runtime(f, det_config(shards), fleet.num_homes());
+    let ingest = rt.ingest_fleet_day(fleet, 1, None, Some(query_every())).expect("ingest");
+    ChaosInjector::new(plan.clone())
+        .expect("plan")
+        .schedule(ingest.envelopes.iter().map(|e| e.seq).collect::<Vec<_>>())
+}
+
+#[test]
+fn threaded_supervised_matches_deterministic_supervised() {
+    let f = fixture();
+    let fleet = FleetGenerator::new(23, fleet_size());
+    let plan = ChaosPlan::periodic_panic(9, 11, 1);
+    let mut sup = SupervisorConfig::default();
+    sup.checkpoint_every = 16;
+    let chaos = build_schedule(&f, 2, &fleet, &plan);
+    let (det, det_snap) = supervised(&f, 2, &fleet, &sup, Some(&chaos), true);
+    let (thr, thr_snap) = supervised(&f, 2, &fleet, &sup, Some(&chaos), false);
+    assert_outcomes_bit_identical(
+        &det.report.outcomes,
+        &thr.report.outcomes,
+        "threaded vs deterministic supervised",
+    );
+    assert_eq!(det_snap, thr_snap);
+    assert_eq!(det.recovery, thr.recovery, "recovery accounting must be mode-invariant");
+}
+
+#[test]
+fn stall_overrun_trips_the_watchdog_and_recovers() {
+    let f = fixture();
+    let fleet = FleetGenerator::new(29, fleet_size());
+    let mut sup = SupervisorConfig::default();
+    sup.restart_budget = u32::MAX;
+    sup.deadline_ticks = 100;
+    sup.checkpoint_every = 16;
+    // One stall above the deadline (killed + recovered), one below
+    // (tolerated), armed on different strides.
+    let plan = ChaosPlan {
+        seed: 3,
+        rules: vec![
+            ChaosRule::every_kth(ChaosKind::Stall { ticks: 500, attempts: 1 }, 17),
+            ChaosRule::every_kth(ChaosKind::Stall { ticks: 40, attempts: 1 }, 23),
+        ],
+    };
+    let (want, want_snap) = oracle(&f, 2, &fleet);
+    let chaos = build_schedule(&f, 2, &fleet, &plan);
+    let (got, got_snap) = supervised(&f, 2, &fleet, &sup, Some(&chaos), true);
+    assert_outcomes_bit_identical(&want, &got.report.outcomes, "stall-recovered run");
+    assert_eq!(want_snap, got_snap);
+    assert!(!got.recovery.restarts.is_empty());
+    assert!(got
+        .recovery
+        .restarts
+        .iter()
+        .all(|r| r.cause == FailureCause::DeadlineOverrun));
+    assert!(got.recovery.tolerated_stall_ticks > 0, "sub-deadline stalls are tolerated");
+}
+
+#[test]
+fn poison_pill_is_quarantined_into_safe_table_fallback() {
+    let f = fixture();
+    let fleet = FleetGenerator::new(17, fleet_size());
+    let mut rt = build_runtime(&f, det_config(1), fleet.num_homes());
+    let ingest = rt.ingest_fleet_day(&fleet, 1, None, Some(query_every())).expect("ingest");
+    // Find a query envelope and poison exactly it with more attempts than
+    // the quarantine threshold.
+    let victim = ingest
+        .envelopes
+        .iter()
+        .find(|e| matches!(e.kind, jarvis_runtime::EventKind::Query { .. }))
+        .expect("a query")
+        .clone();
+    let plan = ChaosPlan {
+        seed: 0,
+        rules: vec![ChaosRule::at_seq(ChaosKind::Panic { attempts: 100 }, victim.seq)],
+    };
+    let chaos = ChaosInjector::new(plan)
+        .expect("plan")
+        .schedule(ingest.envelopes.iter().map(|e| e.seq).collect::<Vec<_>>());
+    let mut sup = SupervisorConfig::default();
+    sup.quarantine_after = 3;
+    let report = rt.serve_supervised(ingest.envelopes.clone(), &sup, Some(&chaos)).expect("serve");
+
+    assert_eq!(report.recovery.quarantined.len(), 1);
+    let q = &report.recovery.quarantined[0];
+    assert_eq!(q.seq, victim.seq);
+    assert_eq!(q.home, victim.home);
+    assert_eq!(q.failures, 3);
+    // Two ordinary restarts preceded the quarantine.
+    assert_eq!(report.recovery.restarts.len(), 2);
+    assert_eq!(report.recovery.fallback_decisions, 1);
+    // The poisoned query was answered by the fallback; every other outcome
+    // matches the oracle bitwise.
+    let (want, _) = oracle(&f, 1, &fleet);
+    assert_eq!(want.len(), report.report.outcomes.len(), "nothing dropped");
+    for (w, g) in want.iter().zip(&report.report.outcomes) {
+        if w.seq() == victim.seq {
+            match g {
+                Outcome::Decision { action, flat, q_value, rank, source, .. } => {
+                    assert_eq!(*source, DecisionSource::SafeTableFallback);
+                    assert_eq!(*action, None);
+                    assert_eq!(*flat, 0);
+                    assert_eq!(*q_value, 0.0);
+                    assert_eq!(*rank, 0);
+                }
+                other => panic!("expected a fallback decision, got {other:?}"),
+            }
+        } else {
+            assert_eq!(w, g, "non-quarantined outcomes must match the oracle");
+        }
+    }
+    // Accounting is itself deterministic: rerunning reproduces it bitwise.
+    let mut rt2 = build_runtime(&f, det_config(1), fleet.num_homes());
+    let ingest2 = rt2.ingest_fleet_day(&fleet, 1, None, Some(query_every())).expect("ingest");
+    let report2 = rt2.serve_supervised(ingest2.envelopes, &sup, Some(&chaos)).expect("serve");
+    assert_eq!(report.recovery, report2.recovery);
+    assert_eq!(report.recovery.to_json(), report2.recovery.to_json());
+}
+
+#[test]
+fn exhausted_restart_budget_degrades_without_dropping_enforcement() {
+    let f = fixture();
+    let fleet = FleetGenerator::new(17, fleet_size());
+    // Panic on every query with huge attempt counts: the budget drains,
+    // then the shard must serve the rest of the day degraded.
+    let plan = ChaosPlan {
+        seed: 1,
+        rules: vec![ChaosRule::every_kth(ChaosKind::Panic { attempts: 1_000 }, 1)],
+    };
+    let mut sup = SupervisorConfig::default();
+    sup.restart_budget = 2;
+    sup.quarantine_after = u32::MAX; // force the budget path, not quarantine
+    let mut rt = build_runtime(&f, det_config(1), fleet.num_homes());
+    let ingest = rt.ingest_fleet_day(&fleet, 1, None, Some(query_every())).expect("ingest");
+    let queries = ingest
+        .envelopes
+        .iter()
+        .filter(|e| matches!(e.kind, jarvis_runtime::EventKind::Query { .. }))
+        .count();
+    let chaos = ChaosInjector::new(plan)
+        .expect("plan")
+        .schedule(ingest.envelopes.iter().map(|e| e.seq).collect::<Vec<_>>());
+    let total = ingest.envelopes.len();
+    let report = rt.serve_supervised(ingest.envelopes, &sup, Some(&chaos)).expect("serve");
+
+    assert_eq!(report.recovery.degraded_shards, vec![0]);
+    assert_eq!(report.recovery.restarts.len(), 2, "budget bounds the restarts");
+    assert_eq!(report.report.outcomes.len(), total, "every event answered");
+    // Enforcement never lapsed: all verdicts/sensor outcomes match the
+    // oracle (the monitor path is policy-free); every query after the
+    // degradation point got the safe-table fallback.
+    let (want, _) = oracle(&f, 1, &fleet);
+    let fallbacks = report
+        .report
+        .outcomes
+        .iter()
+        .filter(|o| {
+            matches!(o, Outcome::Decision { source: DecisionSource::SafeTableFallback, .. })
+        })
+        .count();
+    assert_eq!(fallbacks as u64, report.recovery.fallback_decisions);
+    assert_eq!(fallbacks, queries, "all queries served by fallback after degradation");
+    for (w, g) in want.iter().zip(&report.report.outcomes) {
+        if !matches!(w, Outcome::Decision { .. }) {
+            assert_eq!(w, g, "monitor-path outcomes must be unaffected");
+        }
+    }
+}
+
+#[test]
+fn degraded_from_start_serves_every_query_by_fallback() {
+    let f = fixture();
+    let fleet = FleetGenerator::new(17, fleet_size());
+    let mut sup = SupervisorConfig::default();
+    sup.policy_offline = true;
+    let mut rt = build_runtime(&f, det_config(2), fleet.num_homes());
+    let ingest = rt.ingest_fleet_day(&fleet, 1, None, Some(query_every())).expect("ingest");
+    let queries = ingest
+        .envelopes
+        .iter()
+        .filter(|e| matches!(e.kind, jarvis_runtime::EventKind::Query { .. }))
+        .count();
+    let report = rt.serve_supervised(ingest.envelopes, &sup, None).expect("serve");
+    assert_eq!(report.recovery.fallback_decisions as usize, queries);
+    assert!(report
+        .report
+        .outcomes
+        .iter()
+        .filter_map(|o| match o {
+            Outcome::Decision { source, .. } => Some(*source),
+            _ => None,
+        })
+        .all(|s| s == DecisionSource::SafeTableFallback));
+}
+
+#[test]
+fn recovery_accounting_round_trips_through_json() {
+    let f = fixture();
+    let fleet = FleetGenerator::new(17, fleet_size());
+    let plan = ChaosPlan::periodic_panic(5, if cfg!(miri) { 4 } else { 13 }, 2);
+    let mut sup = SupervisorConfig::default();
+    sup.checkpoint_every = 16;
+    let chaos = build_schedule(&f, 1, &fleet, &plan);
+    let (got, _) = supervised(&f, 1, &fleet, &sup, Some(&chaos), true);
+    let json = got.recovery.to_json();
+    let back = jarvis_runtime::RecoveryReport::from_json_str(&json);
+    assert_eq!(back, got.recovery);
+}
+
+/// Helper so the test reads naturally; `FromJson` is on the type already.
+trait FromJsonStr: Sized {
+    fn from_json_str(s: &str) -> Self;
+}
+
+impl FromJsonStr for jarvis_runtime::RecoveryReport {
+    fn from_json_str(s: &str) -> Self {
+        use jarvis_stdkit::json::FromJson;
+        Self::from_json(s).expect("recovery report json")
+    }
+}

@@ -1,0 +1,394 @@
+//! Deterministic, seeded chaos injection against the serving runtime itself.
+//!
+//! [`super::faults`] corrupts the *data* a runtime ingests; this module
+//! breaks the *runtime*: worker panics and inference stalls at chosen
+//! envelope sequence numbers, so every crash-recovery path is reproducible
+//! bit-for-bit in tests. A [`ChaosPlan`] is the serializable regime — a
+//! seed plus composable [`ChaosRule`]s, each scoped to a seq range — and a
+//! [`ChaosInjector`] evaluates the plan against a sequenced stream into a
+//! [`ChaosSchedule`]: the exact map of seq → [`ChaosFire`] a supervisor
+//! consults while serving.
+//!
+//! The schedule is computed *up front*, single-threaded, in seq order, so
+//! injection is a pure function of `(plan.seed, rule index, stream)` —
+//! sibling of [`FaultPlan`](super::FaultPlan)'s guarantees:
+//!
+//! 1. **Determinism.** Each rule draws from its own ChaCha stream derived
+//!    from `(seed, rule index)`; worker scheduling can never perturb which
+//!    envelopes fail.
+//! 2. **Nested outcomes across rates.** Every rule draws exactly one value
+//!    per in-scope seq regardless of outcome, so the seqs that fire at
+//!    `rate` 0.01 are a subset of those firing at 0.05 under the same seed.
+//!
+//! A plan with no rules (or all rates at `0.0`) yields an empty schedule:
+//! serving under it is the uninterrupted run.
+
+use crate::rng_util;
+use jarvis_stdkit::rng::Rng;
+use jarvis_stdkit::{json_enum, json_struct};
+use std::collections::BTreeMap;
+
+/// One runtime-failure model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ChaosKind {
+    /// The worker panics while processing the armed envelope. The panic
+    /// repeats on each retry until the envelope has failed `attempts`
+    /// times, then processing succeeds — `attempts` below the supervisor's
+    /// quarantine threshold models a transient fault (recovery must be
+    /// bitwise invisible); at or above it, a poison pill.
+    Panic {
+        /// Consecutive failures before the envelope processes cleanly (≥ 1).
+        attempts: u32,
+    },
+    /// Processing the armed envelope charges `ticks` of virtual time to the
+    /// supervisor's deadline watchdog. Charges above the deadline are
+    /// treated as a hung worker — killed and recovered exactly like a
+    /// panic; charges within it are tolerated latency. Repeats until the
+    /// envelope has stalled `attempts` times.
+    Stall {
+        /// Virtual ticks charged per stall (≥ 1).
+        ticks: u64,
+        /// Consecutive stalls before the envelope processes cleanly (≥ 1).
+        attempts: u32,
+    },
+}
+
+json_enum!(ChaosKind {
+    Panic { attempts },
+    Stall { ticks, attempts },
+});
+
+impl ChaosKind {
+    fn attempts(&self) -> u32 {
+        match *self {
+            ChaosKind::Panic { attempts } | ChaosKind::Stall { attempts, .. } => attempts,
+        }
+    }
+}
+
+/// A [`ChaosKind`] scoped to a seq range, a periodic stride, and a rate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosRule {
+    /// The failure model to arm.
+    pub kind: ChaosKind,
+    /// First sequence number the rule covers (inclusive).
+    pub from_seq: u64,
+    /// Last sequence number the rule covers (exclusive); `u64::MAX` = open.
+    pub to_seq: u64,
+    /// Arm every k-th in-scope envelope (the k-th, 2k-th, …; ≥ 1).
+    pub every: u64,
+    /// Probabilistic thinning on top of `every`, in `[0, 1]`; `1.0` fires
+    /// every stride hit deterministically.
+    pub rate: f64,
+}
+
+json_struct!(ChaosRule { kind, from_seq, to_seq, every, rate });
+
+impl ChaosRule {
+    /// Arm every `every`-th envelope of the whole stream, rate 1.
+    #[must_use]
+    pub fn every_kth(kind: ChaosKind, every: u64) -> Self {
+        ChaosRule { kind, from_seq: 0, to_seq: u64::MAX, every, rate: 1.0 }
+    }
+
+    /// Arm exactly one envelope: the first in-scope seq at or after `seq`.
+    #[must_use]
+    pub fn at_seq(kind: ChaosKind, seq: u64) -> Self {
+        ChaosRule { kind, from_seq: seq, to_seq: u64::MAX, every: 1, rate: 1.0 }
+            .between(seq, seq.saturating_add(1))
+    }
+
+    /// Restrict the rule to `[from, to)` sequence numbers.
+    #[must_use]
+    pub fn between(mut self, from_seq: u64, to_seq: u64) -> Self {
+        self.from_seq = from_seq;
+        self.to_seq = to_seq;
+        self
+    }
+
+    /// Thin the stride hits to fire with probability `rate` each.
+    #[must_use]
+    pub fn with_rate(mut self, rate: f64) -> Self {
+        self.rate = rate;
+        self
+    }
+
+    fn in_scope(&self, seq: u64) -> bool {
+        seq >= self.from_seq && seq < self.to_seq
+    }
+}
+
+/// A seeded, serializable runtime-failure regime: the one chaos knob.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosPlan {
+    /// Base seed; every rule derives its own stream from it.
+    pub seed: u64,
+    /// Rules evaluated in order; the first rule to fire on a seq owns it.
+    pub rules: Vec<ChaosRule>,
+}
+
+json_struct!(ChaosPlan { seed, rules });
+
+impl ChaosPlan {
+    /// The empty plan: serving under it is the uninterrupted run.
+    #[must_use]
+    pub fn none(seed: u64) -> Self {
+        ChaosPlan { seed, rules: Vec::new() }
+    }
+
+    /// A single whole-stream panic rule at stride `every` — the canonical
+    /// crash-matrix knob.
+    #[must_use]
+    pub fn periodic_panic(seed: u64, every: u64, attempts: u32) -> Self {
+        ChaosPlan {
+            seed,
+            rules: vec![ChaosRule::every_kth(ChaosKind::Panic { attempts }, every)],
+        }
+    }
+
+    /// Validate strides, rates, and magnitudes.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first invalid rule: a
+    /// zero stride or attempt count, a zero stall charge, a rate outside
+    /// `[0, 1]` (or non-finite), or an empty seq range.
+    pub fn validate(&self) -> Result<(), String> {
+        for (i, rule) in self.rules.iter().enumerate() {
+            if rule.every == 0 {
+                return Err(format!("rule {i}: stride of 0"));
+            }
+            if rule.kind.attempts() == 0 {
+                return Err(format!("rule {i}: 0 attempts never fires"));
+            }
+            if let ChaosKind::Stall { ticks: 0, .. } = rule.kind {
+                return Err(format!("rule {i}: stall of 0 ticks"));
+            }
+            if !rule.rate.is_finite() || !(0.0..=1.0).contains(&rule.rate) {
+                return Err(format!("rule {i}: rate {} outside [0, 1]", rule.rate));
+            }
+            if rule.from_seq >= rule.to_seq {
+                return Err(format!(
+                    "rule {i}: empty seq range {}..{}",
+                    rule.from_seq, rule.to_seq
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// One armed envelope in a [`ChaosSchedule`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChaosFire {
+    /// What happens when the envelope is processed.
+    pub kind: ChaosKind,
+    /// Index of the [`ChaosRule`] that armed it (accounting).
+    pub rule: usize,
+}
+
+json_struct!(ChaosFire { kind, rule });
+
+/// The evaluated plan: which sequence numbers fail, and how. Consumers
+/// (the runtime supervisor) treat this as read-only — all randomness was
+/// spent at evaluation time, so threaded serving stays deterministic.
+pub type ChaosSchedule = BTreeMap<u64, ChaosFire>;
+
+/// Evaluates a validated [`ChaosPlan`] against sequenced streams.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosInjector {
+    plan: ChaosPlan,
+}
+
+impl ChaosInjector {
+    /// Wrap a plan, validating it first.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`ChaosPlan::validate`] message for an invalid plan.
+    pub fn new(plan: ChaosPlan) -> Result<Self, String> {
+        plan.validate()?;
+        Ok(ChaosInjector { plan })
+    }
+
+    /// The wrapped plan.
+    #[must_use]
+    pub fn plan(&self) -> &ChaosPlan {
+        &self.plan
+    }
+
+    /// Evaluate the plan against a stream's sequence numbers (pass them in
+    /// stream order). The first rule to fire on a seq owns it; later rules
+    /// still draw for that seq, so their fire sets are unperturbed.
+    #[must_use]
+    pub fn schedule(&self, seqs: impl IntoIterator<Item = u64> + Clone) -> ChaosSchedule {
+        let mut out = ChaosSchedule::new();
+        for (idx, rule) in self.plan.rules.iter().enumerate() {
+            // One independent stream per (seed, rule): rules never perturb
+            // each other's draws, and plans never correlate across seeds.
+            let mut rng = rng_util::derive(self.plan.seed ^ 0xC4A0_5000, idx as u64);
+            let mut hits = 0u64;
+            for seq in seqs.clone() {
+                if !rule.in_scope(seq) {
+                    continue;
+                }
+                // Always one draw per in-scope seq so fire sets nest
+                // across rates under the same seed.
+                let u = rng.gen::<f64>();
+                hits += 1;
+                if hits % rule.every == 0 && u < rule.rate {
+                    out.entry(seq).or_insert(ChaosFire { kind: rule.kind, rule: idx });
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jarvis_stdkit::json::{FromJson, ToJson};
+
+    #[test]
+    fn empty_plan_schedules_nothing() {
+        let inj = ChaosInjector::new(ChaosPlan::none(9)).unwrap();
+        assert!(inj.schedule(0..1000).is_empty());
+    }
+
+    #[test]
+    fn periodic_panic_arms_every_kth() {
+        let inj = ChaosInjector::new(ChaosPlan::periodic_panic(1, 5, 2)).unwrap();
+        let sched = inj.schedule(0..20);
+        let seqs: Vec<u64> = sched.keys().copied().collect();
+        assert_eq!(seqs, vec![4, 9, 14, 19]);
+        for fire in sched.values() {
+            assert_eq!(fire.kind, ChaosKind::Panic { attempts: 2 });
+            assert_eq!(fire.rule, 0);
+        }
+    }
+
+    #[test]
+    fn schedule_is_deterministic_per_seed() {
+        let plan = ChaosPlan {
+            seed: 7,
+            rules: vec![ChaosRule::every_kth(ChaosKind::Panic { attempts: 1 }, 3)
+                .with_rate(0.5)],
+        };
+        let a = ChaosInjector::new(plan.clone()).unwrap().schedule(0..500);
+        let b = ChaosInjector::new(plan.clone()).unwrap().schedule(0..500);
+        assert_eq!(a, b);
+        let other = ChaosInjector::new(ChaosPlan { seed: 8, ..plan }).unwrap().schedule(0..500);
+        assert_ne!(a, other);
+    }
+
+    #[test]
+    fn fire_sets_nest_across_rates() {
+        let at = |rate| {
+            let plan = ChaosPlan {
+                seed: 3,
+                rules: vec![ChaosRule::every_kth(ChaosKind::Panic { attempts: 1 }, 1)
+                    .with_rate(rate)],
+            };
+            ChaosInjector::new(plan).unwrap().schedule(0..2000)
+        };
+        let low = at(0.02);
+        let high = at(0.10);
+        assert!(low.len() < high.len());
+        for seq in low.keys() {
+            assert!(high.contains_key(seq), "non-nested fire at seq {seq}");
+        }
+    }
+
+    #[test]
+    fn first_rule_owns_contested_seqs_without_perturbing_later_draws() {
+        let stall = ChaosRule::every_kth(ChaosKind::Stall { ticks: 9, attempts: 1 }, 4);
+        let panic = ChaosRule::every_kth(ChaosKind::Panic { attempts: 1 }, 2);
+        let both = ChaosInjector::new(ChaosPlan {
+            seed: 5,
+            rules: vec![stall.clone(), panic.clone()],
+        })
+        .unwrap()
+        .schedule(0..40);
+        // Seq 3 (4th) hits both rules; the stall rule is listed first.
+        assert_eq!(both[&3].kind, ChaosKind::Stall { ticks: 9, attempts: 1 });
+        assert_eq!(both[&1].kind, ChaosKind::Panic { attempts: 1 });
+        // The panic rule's own fire set is unchanged by the stall rule.
+        let alone = ChaosInjector::new(ChaosPlan { seed: 5, rules: vec![panic] })
+            .unwrap()
+            .schedule(0..40);
+        for (seq, fire) in &alone {
+            assert!(both.contains_key(seq), "panic fire at {seq} lost under composition");
+            let _ = fire;
+        }
+    }
+
+    #[test]
+    fn seq_scoping_respected() {
+        let plan = ChaosPlan {
+            seed: 2,
+            rules: vec![ChaosRule::every_kth(ChaosKind::Panic { attempts: 1 }, 1)
+                .between(10, 20)],
+        };
+        let sched = ChaosInjector::new(plan).unwrap().schedule(0..100);
+        assert_eq!(sched.len(), 10);
+        assert!(sched.keys().all(|&s| (10..20).contains(&s)));
+    }
+
+    #[test]
+    fn at_seq_arms_exactly_one() {
+        let plan = ChaosPlan {
+            seed: 0,
+            rules: vec![ChaosRule::at_seq(ChaosKind::Panic { attempts: 3 }, 17)],
+        };
+        let sched = ChaosInjector::new(plan).unwrap().schedule(0..100);
+        assert_eq!(sched.len(), 1);
+        assert_eq!(sched[&17].kind, ChaosKind::Panic { attempts: 3 });
+    }
+
+    #[test]
+    fn plan_round_trips_through_json() {
+        let plan = ChaosPlan {
+            seed: 77,
+            rules: vec![
+                ChaosRule::every_kth(ChaosKind::Panic { attempts: 2 }, 7),
+                ChaosRule::every_kth(ChaosKind::Stall { ticks: 50, attempts: 1 }, 11)
+                    .between(100, 900)
+                    .with_rate(0.25),
+            ],
+        };
+        let back = ChaosPlan::from_json(&plan.to_json()).unwrap();
+        assert_eq!(back, plan);
+    }
+
+    #[test]
+    fn invalid_plans_rejected() {
+        let zero_stride = ChaosPlan {
+            seed: 0,
+            rules: vec![ChaosRule::every_kth(ChaosKind::Panic { attempts: 1 }, 0)],
+        };
+        assert!(ChaosInjector::new(zero_stride).is_err());
+        let zero_attempts = ChaosPlan {
+            seed: 0,
+            rules: vec![ChaosRule::every_kth(ChaosKind::Panic { attempts: 0 }, 1)],
+        };
+        assert!(ChaosInjector::new(zero_attempts).is_err());
+        let zero_ticks = ChaosPlan {
+            seed: 0,
+            rules: vec![ChaosRule::every_kth(ChaosKind::Stall { ticks: 0, attempts: 1 }, 1)],
+        };
+        assert!(ChaosInjector::new(zero_ticks).is_err());
+        let bad_rate = ChaosPlan {
+            seed: 0,
+            rules: vec![ChaosRule::every_kth(ChaosKind::Panic { attempts: 1 }, 1)
+                .with_rate(1.5)],
+        };
+        assert!(ChaosInjector::new(bad_rate).is_err());
+        let empty_range = ChaosPlan {
+            seed: 0,
+            rules: vec![ChaosRule::every_kth(ChaosKind::Panic { attempts: 1 }, 1)
+                .between(5, 5)],
+        };
+        assert!(ChaosInjector::new(empty_range).is_err());
+    }
+}

@@ -24,6 +24,7 @@
 #![warn(missing_docs)]
 
 pub mod anomaly;
+pub mod chaos;
 pub mod dataset;
 pub mod faults;
 pub mod fleet;
@@ -34,6 +35,7 @@ pub mod traces;
 pub mod weather;
 
 pub use anomaly::{AnomalyClass, AnomalyGenerator, AnomalyInstance};
+pub use chaos::{ChaosFire, ChaosInjector, ChaosKind, ChaosPlan, ChaosRule, ChaosSchedule};
 pub use dataset::{ActivityEvent, DayActivity, HomeDataset};
 pub use faults::{
     FaultInjector, FaultKind, FaultPlan, FaultRule, FaultSummary, FaultedDay, OfflineWindow,

@@ -40,15 +40,19 @@
 //!
 //! Task panics are caught in the executing thread (worker threads
 //! survive), recorded on the job, and re-raised on the *submitting*
-//! thread — but only after every task of the job has finished, so the
-//! borrowed data the tasks reference stays alive for as long as any
-//! worker can touch it. A panicking task therefore cannot deadlock the
-//! pool or poison subsequent calls.
+//! thread with the original payload ([`std::panic::resume_unwind`]; the
+//! first panic wins, later ones are dropped) — but only after every task
+//! of the job has finished, so the borrowed data the tasks reference
+//! stays alive for as long as any worker can touch it. A panicking task
+//! therefore cannot deadlock the pool or poison subsequent calls, and the
+//! supervisor above can classify the caught payload as if the task had
+//! panicked inline.
 
 use crate::sync::{PushError, StealQueue};
+use std::any::Any;
 use std::cell::UnsafeCell;
 use std::num::NonZeroUsize;
-use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 
@@ -96,7 +100,8 @@ unsafe impl Sync for TaskCell<'_> {}
 /// Completion state of a job, guarded by `Job::state`.
 struct JobState {
     done: usize,
-    panicked: bool,
+    /// The first panicking task's payload, re-raised on the submitter.
+    payload: Option<Box<dyn Any + Send>>,
 }
 
 /// A stack-allocated fork/join job: the task cells plus a completion
@@ -208,8 +213,8 @@ impl WorkerPool {
     ///
     /// # Panics
     ///
-    /// Re-raises (as a fresh panic) after all tasks finish if any task
-    /// panicked, mirroring `std::thread::scope` join semantics.
+    /// Re-raises the first panicking task's original payload after all
+    /// tasks finish, mirroring `std::thread::scope` join semantics.
     pub fn run_scoped<'s>(&self, tasks: Vec<ScopedTask<'s>>) {
         let n = tasks.len();
         if n == 0 {
@@ -225,7 +230,7 @@ impl WorkerPool {
         }
         let job = Job {
             tasks: tasks.into_iter().map(|t| TaskCell(UnsafeCell::new(Some(t)))).collect(),
-            state: Mutex::new(JobState { done: 0, panicked: false }),
+            state: Mutex::new(JobState { done: 0, payload: None }),
             cv: Condvar::new(),
         };
         // SAFETY: the erased-lifetime pointer never escapes this frame
@@ -249,12 +254,12 @@ impl WorkerPool {
         // parking only while it is empty.
         loop {
             {
-                let state = job.state.lock().expect("pool job state");
+                let mut state = job.state.lock().expect("pool job state");
                 if state.done == n {
-                    let panicked = state.panicked;
+                    let payload = state.payload.take();
                     drop(state);
-                    if panicked {
-                        panic!("a task panicked in WorkerPool::run_scoped");
+                    if let Some(payload) = payload {
+                        resume_unwind(payload);
                     }
                     return;
                 }
@@ -309,14 +314,15 @@ fn run_ticket(ticket: Ticket) {
     // cell `index`.
     let job = unsafe { &*ticket.job };
     let task = unsafe { (*job.tasks[ticket.index].0.get()).take() };
-    let panicked = match task {
-        Some(task) => catch_unwind(AssertUnwindSafe(task)).is_err(),
-        None => false,
+    let payload = match task {
+        Some(task) => catch_unwind(AssertUnwindSafe(task)).err(),
+        None => None,
     };
     let mut state = job.state.lock().expect("pool job state");
     state.done += 1;
-    if panicked {
-        state.panicked = true;
+    if let Some(payload) = payload {
+        // First panic wins; later payloads are dropped.
+        state.payload.get_or_insert(payload);
     }
     // Notify *while holding the guard*: the instant the mutex is released,
     // a submitter spinning in its help loop can observe `done == n` and
@@ -455,6 +461,34 @@ mod tests {
             .collect();
         pool.run_scoped(tasks);
         assert_eq!(after.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn panic_payload_is_preserved_for_the_submitter() {
+        // The supervisor layers above classify caught payloads, so the
+        // pool must re-raise the task's own payload, not a fresh message.
+        for workers in [0usize, 2] {
+            let pool = WorkerPool::with_workers(scale(workers));
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                let tasks: Vec<ScopedTask<'_>> = (0..4)
+                    .map(|i| {
+                        Box::new(move || {
+                            if i == 1 {
+                                panic!("poison seq 42");
+                            }
+                        }) as ScopedTask<'_>
+                    })
+                    .collect();
+                pool.run_scoped(tasks);
+            }));
+            let payload = result.expect_err("the submitter must observe the panic");
+            let msg = payload
+                .downcast_ref::<&str>()
+                .copied()
+                .or_else(|| payload.downcast_ref::<String>().map(String::as_str))
+                .expect("payload must survive the handoff");
+            assert_eq!(msg, "poison seq 42", "workers={workers}");
+        }
     }
 
     #[test]

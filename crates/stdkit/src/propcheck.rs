@@ -184,6 +184,7 @@ impl Default for Config {
 }
 
 fn execute<F: Fn(&mut Gen) -> TestResult>(f: &F, mut gen: Gen) -> (TestResult, Vec<u64>) {
+    // unwind-ok: the harness reports the panicking property as a shrinkable failing case
     let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&mut gen)));
     let result = match outcome {
         Ok(r) => r,

@@ -9,6 +9,12 @@
 # stress tests, plus pool reuse, panic containment, nested-join progress,
 # and ring-overflow fallback.
 #
+# The supervision battery (crates/runtime/tests/supervision.rs: catch_unwind
+# shard boundaries, WAL restore/replay, threaded-vs-deterministic recovery
+# parity, quarantine and degraded serving) rides along under both tools —
+# panic recovery plus scoped threads is exactly the code TSan and Miri are
+# best at breaking. JARVIS_SIMD=scalar keeps Miri off the SIMD intrinsics.
+#
 # Static analysis (jarvis-lint) covers determinism and panic policy; data
 # races are out of its reach, so this script drives ThreadSanitizer and Miri
 # at the stdkit sync/channel tests. Both require a NIGHTLY toolchain with
@@ -48,6 +54,10 @@ run_tsan() {
     RUSTFLAGS="-Zsanitizer=thread" \
         cargo +nightly test --offline -p jarvis-stdkit sync pool \
         -Zbuild-std --target "$target"
+    echo "==> ThreadSanitizer: jarvis-runtime supervision battery (supervisor, WAL, chaos recovery)"
+    RUSTFLAGS="-Zsanitizer=thread" \
+        cargo +nightly test --offline -p jarvis-runtime --test supervision \
+        -Zbuild-std --target "$target"
 }
 
 run_miri() {
@@ -57,6 +67,9 @@ run_miri() {
     fi
     echo "==> Miri: jarvis-stdkit sync + pool tests (channel, StealQueue, WorkerPool)"
     cargo +nightly miri test --offline -p jarvis-stdkit sync pool
+    echo "==> Miri: jarvis-runtime supervision battery (supervisor, WAL, chaos recovery)"
+    JARVIS_SIMD=scalar \
+        cargo +nightly miri test --offline -p jarvis-runtime --test supervision
 }
 
 case "$mode" in

@@ -15,7 +15,7 @@ set -eu
 cd "$(dirname "$0")/.."
 
 if [ "${1:-}" = "--quick" ]; then
-    echo "==> jarvis-lint --quick (R1-R5 over crates/)"
+    echo "==> jarvis-lint --quick (R1-R6 over crates/)"
     cargo run -q --offline -p jarvis-lint -- --quick
 
     echo "==> cargo build --release --offline"
@@ -40,10 +40,13 @@ if [ "${1:-}" = "--quick" ]; then
     echo "==> cargo bench --bench gemm -- --quick --check BENCH_neural.json"
     cargo bench --offline -p jarvis-bench --bench gemm -- --quick --check "$PWD/BENCH_neural.json"
 
-    # Tail-latency regression gate: fails when shard-4 p99 exceeds the
-    # baseline's p99_ratio_gate times shard-1 p99 (or the gated batched
-    # path got >2x slower) against the recorded BENCH_runtime.json.
-    echo "==> serving-runtime smoke (throughput --quick --check BENCH_runtime.json)"
+    # Serving-runtime gates against the recorded BENCH_runtime.json:
+    # >2x throughput regression of the gated batched path, shard-4 p99
+    # above p99_ratio_gate times shard-1 p99, the one-panic-per-499
+    # chaos run not bitwise identical to the uninterrupted oracle
+    # (recovery-determinism smoke), or degraded-mode throughput below
+    # degraded_ratio_gate times healthy.
+    echo "==> serving-runtime + recovery smoke (throughput --quick --check BENCH_runtime.json)"
     cargo run -q --release --offline -p jarvis-bench --bin throughput -- --quick --check "$PWD/BENCH_runtime.json"
 
     echo "OK (quick): lint clean, workspace builds, tests, kernel and latency gates pass offline"
@@ -52,7 +55,7 @@ fi
 
 # Static analysis first: determinism, wall-clock, panic-policy, float, and
 # hermeticity rules over every workspace crate (crates/lint, DESIGN.md §12).
-echo "==> jarvis-lint (R1-R5 over the whole workspace)"
+echo "==> jarvis-lint (R1-R6 over the whole workspace)"
 cargo run -q --offline -p jarvis-lint
 
 echo "==> cargo build --release --offline"
@@ -73,11 +76,16 @@ cargo test -q --offline -p jarvis-neural --test properties
 echo "==> cargo bench --bench gemm -- --quick --check BENCH_neural.json"
 cargo bench --offline -p jarvis-bench --bench gemm -- --quick --check "$PWD/BENCH_neural.json"
 
-# Serving-runtime smoke: the gated 64-home batched-inference pair plus the
-# threaded shard-1/shard-4 tail-latency pair, checked against the recorded
-# BENCH_runtime.json (fails on a >2x throughput regression of the batched
-# path OR when shard-4 p99 exceeds p99_ratio_gate times shard-1 p99).
-echo "==> serving-runtime smoke (throughput --quick --check BENCH_runtime.json)"
+# Self-healing battery: supervised shards, WAL crash recovery, quarantine
+# and degraded serving (crates/runtime/tests/supervision.rs).
+echo "==> supervision battery (cargo test -p jarvis-runtime --test supervision)"
+cargo test -q --offline -p jarvis-runtime --test supervision
+
+# Serving-runtime smoke: the gated 64-home batched-inference pair, the
+# threaded shard-1/shard-4 tail-latency pair, the one-panic recovery run
+# (bitwise recovery-determinism gate), and degraded-mode throughput,
+# checked against the recorded BENCH_runtime.json.
+echo "==> serving-runtime + recovery smoke (throughput --quick --check BENCH_runtime.json)"
 cargo run -q --release --offline -p jarvis-bench --bin throughput -- --quick --check "$PWD/BENCH_runtime.json"
 
 # Fault-matrix smoke: one seed, two drop rates, through the full

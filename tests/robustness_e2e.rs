@@ -4,16 +4,30 @@
 //! and (near-)monotone in the fault rate, known gaps never inflate it, and
 //! no pipeline stage panics at any swept rate.
 //!
+//! The second half is the crash-recovery matrix: panics injected at every
+//! k-th envelope × shard counts × seeds through the supervised serving
+//! runtime, asserting the recovered run is *bitwise* equal to the
+//! uninterrupted oracle — outcomes, snapshot bytes, and full detection of
+//! engineered violations — plus a stall variant for the deadline watchdog.
+//!
 //! The degradation curves themselves are regenerated at larger scale by
 //! `cargo run -p jarvis-bench --bin robustness` and recorded in
 //! EXPERIMENTS.md.
 
 use jarvis_repro::attacks::{build_corpus, evaluate_detection, inject_violation};
-use jarvis_repro::core::{Jarvis, JarvisConfig, OptimizerConfig};
+use jarvis_repro::core::{Jarvis, JarvisConfig, OptimizerConfig, Verdict};
 use jarvis_repro::model::{Episode, EpisodeConfig, TimeStep};
 use jarvis_repro::policy::{flag_violations, MatchMode, SafeTransitionTable};
-use jarvis_repro::sim::{FaultInjector, FaultKind, FaultPlan, FaultRule, HomeDataset};
+use jarvis_repro::rl::{DqnAgent, DqnConfig};
+use jarvis_repro::runtime::{
+    Envelope, EventKind, Outcome, RuntimeConfig, ServingRuntime, SupervisorConfig,
+};
+use jarvis_repro::sim::{
+    ChaosInjector, ChaosKind, ChaosPlan, ChaosRule, ChaosSchedule, FaultInjector, FaultKind,
+    FaultPlan, FaultRule, FleetGenerator, HomeDataset,
+};
 use jarvis_repro::smart_home::{EventLog, SmartHome};
+use jarvis_stdkit::json::ToJson;
 
 const LEARN_DAYS: std::ops::Range<u32> = 0..3;
 
@@ -167,4 +181,172 @@ fn combined_fault_kinds_never_panic_and_detection_survives() {
             "seed {seed}: faults must not mask engineered violations"
         );
     }
+}
+
+// ---------------------------------------------------------------------------
+// Crash-recovery matrix: supervised serving under chaos injection
+// ---------------------------------------------------------------------------
+
+const FLEET_HOMES: u32 = 6;
+const QUERY_EVERY: u32 = 45;
+
+/// A serving fixture: the evaluation home, a table learned from a short
+/// learning phase, and a policy net sized for that home.
+struct ServeFixture {
+    home: SmartHome,
+    table: SafeTransitionTable,
+    policy: DqnAgent,
+}
+
+fn serve_fixture() -> ServeFixture {
+    let home = SmartHome::evaluation_home();
+    let mut jarvis = Jarvis::new(home.clone(), fast_config());
+    jarvis.learning_phase(&HomeDataset::home_a(3), 0..2).unwrap();
+    jarvis.learn_policies().unwrap();
+    let table = jarvis.outcome().unwrap().table.clone();
+    let state_dim = home.fsm().state_sizes().iter().sum::<usize>() + 5;
+    let num_actions = home.agent_mini_actions().len() + 1;
+    let mut cfg = DqnConfig::new(state_dim, num_actions);
+    cfg.hidden = vec![16];
+    cfg.seed = 7;
+    let policy = DqnAgent::new(cfg).unwrap();
+    ServeFixture { home, table, policy }
+}
+
+fn serving_runtime(f: &ServeFixture, shards: usize) -> ServingRuntime {
+    let mut config = RuntimeConfig::new(shards);
+    config.deterministic = true;
+    config.batch_window = 8;
+    let mut rt = ServingRuntime::new(config, f.policy.clone()).unwrap();
+    for id in 0..FLEET_HOMES {
+        rt.register_home(u64::from(id), f.home.clone(), f.table.clone()).unwrap();
+    }
+    rt
+}
+
+/// One fleet day of envelopes with engineered violations appended: a
+/// never-learned action per home at the end of the day. Returns the stream
+/// and the violating sequence numbers.
+fn violating_stream(
+    f: &ServeFixture,
+    rt: &mut ServingRuntime,
+    fleet: &FleetGenerator,
+) -> (Vec<Envelope>, Vec<u64>) {
+    let mut envelopes =
+        rt.ingest_fleet_day(fleet, 1, None, Some(QUERY_EVERY)).unwrap().envelopes;
+    let violation = f.home.mini_action("door_sensor", "power_off");
+    let mut seq = envelopes.last().map_or(0, |e| e.seq + 1);
+    let mut injected = Vec::new();
+    for home in 0..u64::from(FLEET_HOMES) {
+        envelopes.push(Envelope { seq, home, minute: 1439, kind: EventKind::Action(violation) });
+        injected.push(seq);
+        seq += 1;
+    }
+    (envelopes, injected)
+}
+
+/// Fraction of the injected violations the monitor flagged.
+fn detection_rate(outcomes: &[Outcome], injected: &[u64]) -> f64 {
+    let detected = injected
+        .iter()
+        .filter(|&&seq| {
+            outcomes.iter().any(|o| {
+                matches!(o, Outcome::Verdict { seq: s, verdict: Verdict::Violation, .. } if *s == seq)
+            })
+        })
+        .count();
+    detected as f64 / injected.len().max(1) as f64
+}
+
+/// Run oracle + supervised-under-chaos for one (shards, plan) cell and
+/// assert the recovered run is bitwise indistinguishable.
+fn assert_recovery_is_bitwise(
+    f: &ServeFixture,
+    fleet: &FleetGenerator,
+    shards: usize,
+    plan: &ChaosPlan,
+    sup: &SupervisorConfig,
+) -> jarvis_repro::runtime::RecoveryReport {
+    let mut oracle_rt = serving_runtime(f, shards);
+    let (stream, injected) = violating_stream(f, &mut oracle_rt, fleet);
+    let want = oracle_rt.serve(stream.clone()).unwrap();
+    let want_snap = oracle_rt.snapshot().to_json();
+    assert_eq!(detection_rate(&want.outcomes, &injected), 1.0, "oracle must detect everything");
+
+    let chaos: ChaosSchedule = ChaosInjector::new(plan.clone())
+        .unwrap()
+        .schedule(stream.iter().map(|e| e.seq).collect::<Vec<_>>());
+    assert!(!chaos.is_empty(), "the plan must arm at least one envelope");
+    let mut rt = serving_runtime(f, shards);
+    // The supervised runtime re-ingests the same fleet day — bitwise the
+    // same stream, and its sequence counter advances identically.
+    let (stream2, _) = violating_stream(f, &mut rt, fleet);
+    assert_eq!(stream, stream2, "ingest must be deterministic");
+    let got = rt.serve_supervised(stream2, sup, Some(&chaos)).unwrap();
+    let got_snap = rt.snapshot().to_json();
+
+    assert_eq!(want.outcomes, got.report.outcomes, "shards={shards}: outcomes diverged");
+    assert_eq!(
+        format!("{:?}", want.outcomes),
+        format!("{:?}", got.report.outcomes),
+        "shards={shards}: f64 bits diverged"
+    );
+    if want_snap != got_snap {
+        let i = want_snap
+            .bytes()
+            .zip(got_snap.bytes())
+            .position(|(a, b)| a != b)
+            .unwrap_or(want_snap.len().min(got_snap.len()));
+        let lo = i.saturating_sub(120);
+        panic!(
+            "shards={shards}: snapshot bytes diverged at byte {i}\n oracle: …{}…\n got:    …{}…",
+            &want_snap[lo..(i + 120).min(want_snap.len())],
+            &got_snap[lo..(i + 120).min(got_snap.len())]
+        );
+    }
+    assert_eq!(
+        detection_rate(&got.report.outcomes, &injected),
+        1.0,
+        "shards={shards}: recovery must not mask violations"
+    );
+    got.recovery
+}
+
+#[test]
+fn crash_recovery_matrix_is_bitwise_equal_to_oracle() {
+    let f = serve_fixture();
+    let mut sup = SupervisorConfig::default();
+    sup.restart_budget = u32::MAX;
+    sup.checkpoint_every = 32;
+    for seed in [11u64, 29] {
+        let fleet = FleetGenerator::new(seed, FLEET_HOMES);
+        for shards in [1usize, 2, 4] {
+            let plan = ChaosPlan::periodic_panic(seed, 7, 1);
+            let recovery = assert_recovery_is_bitwise(&f, &fleet, shards, &plan, &sup);
+            assert!(!recovery.restarts.is_empty(), "panics must actually fire");
+            assert!(recovery.quarantined.is_empty(), "single-attempt panics never quarantine");
+            assert!(recovery.degraded_shards.is_empty());
+            assert_eq!(recovery.fallback_decisions, 0);
+        }
+    }
+}
+
+#[test]
+fn stall_injection_exercises_the_deadline_watchdog() {
+    let f = serve_fixture();
+    let mut sup = SupervisorConfig::default();
+    sup.restart_budget = u32::MAX;
+    sup.deadline_ticks = 100;
+    sup.checkpoint_every = 32;
+    let fleet = FleetGenerator::new(17, FLEET_HOMES);
+    let plan = ChaosPlan {
+        seed: 17,
+        rules: vec![ChaosRule::every_kth(ChaosKind::Stall { ticks: 300, attempts: 1 }, 19)],
+    };
+    let recovery = assert_recovery_is_bitwise(&f, &fleet, 2, &plan, &sup);
+    assert!(!recovery.restarts.is_empty(), "over-deadline stalls must trip the watchdog");
+    assert!(recovery
+        .restarts
+        .iter()
+        .all(|r| r.cause == jarvis_repro::runtime::FailureCause::DeadlineOverrun));
 }
