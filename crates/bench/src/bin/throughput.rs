@@ -7,7 +7,7 @@
 //! p50/p99 measure enqueue → decision (queueing + window residency +
 //! inference) rather than whole-batch residency.
 //!
-//! Four headline comparisons (schema v3):
+//! Headline comparisons (schema v4):
 //!
 //! * **Batched speedup** — the same 64-home stream served with
 //!   `batch_window = 1` (single-row inference per query) versus
@@ -26,6 +26,25 @@
 //!   path offline (every query answered by the SPL safe-table fallback);
 //!   the `degraded_ratio_gate` requires it to stay within 0.5× of healthy
 //!   serving.
+//! * **Swap latency** (v4) — the stall [`ServingRuntime::serve_online`]
+//!   inserts between stream segments when a scheduled policy swap fires
+//!   (agent rebuild from the stored checkpoint plus store bookkeeping),
+//!   measured on an empty segment so nothing else is timed. The gate
+//!   requires the median stall to fit inside **one batch window** of
+//!   events at the healthy serving rate: a hot-swap must never cost more
+//!   than the batching latency the runtime already budgets for.
+//! * **Drift adaptation** (v4) — a [`jarvis_sim::DriftSchedule`]
+//!   occupant change served by a frozen runtime versus a continual one
+//!   (`enable_online`) on bitwise-identical traffic, with engineered
+//!   violations injected throughout. The gate requires the continual
+//!   runtime's benign false alarms after the change day to stay at or
+//!   below the frozen runtime's, while detection of the injected
+//!   violations stays exactly 1.0 — adaptation must never buy alarm
+//!   reduction by masking real attacks.
+//! * **1024-home sweep row** (v4, full mode) — the threaded shard-4 path
+//!   at 16× the gated fleet size, recorded for the scaling column. Never
+//!   gated; on a single-core host it is measured but flagged with a
+//!   warning, since threaded scaling numbers are meaningless there.
 //!
 //! Like the GEMM bench, this is the regression gate for
 //! `BENCH_runtime.json`:
@@ -34,8 +53,10 @@
 //! * `--check <path>` — compare against a recorded baseline and exit
 //!   non-zero when the gated batched path got more than 2× slower, the
 //!   shard-4/shard-1 p99 ratio exceeds the baseline's recorded gate, the
-//!   chaos run was not bitwise identical to the oracle, or degraded-mode
-//!   throughput fell below the recorded ratio gate.
+//!   chaos run was not bitwise identical to the oracle, degraded-mode
+//!   throughput fell below the recorded ratio gate, the median swap stall
+//!   exceeded one batch window, or the drift-adaptation run regressed
+//!   (continual false alarms above frozen, or detection below 1.0).
 //! * `--quick`        — skip the full threaded sweep but keep the gated
 //!   pair, the two rows the p99 gate needs, and the recovery/degraded
 //!   runs (used by `scripts/verify.sh --quick`).
@@ -46,10 +67,14 @@
 
 use std::time::Instant;
 
+use jarvis::{Jarvis, JarvisConfig, OptimizerConfig, Verdict};
 use jarvis_policy::SafeTransitionTable;
 use jarvis_rl::{DqnAgent, DqnConfig, Parallelism};
-use jarvis_runtime::{RuntimeConfig, ServingRuntime, SupervisorConfig};
-use jarvis_sim::{ChaosInjector, ChaosPlan, FleetGenerator};
+use jarvis_runtime::{
+    EventKind, OnlineConfig, Outcome, RuntimeConfig, ServingRuntime, ShadowGates, SupervisorConfig,
+    SwapPoint,
+};
+use jarvis_sim::{ChaosInjector, ChaosPlan, DriftSchedule, FleetGenerator};
 use jarvis_smart_home::SmartHome;
 use jarvis_stdkit::json::{Json, ToJson};
 
@@ -225,6 +250,228 @@ fn run_degraded(f: &Fixture, homes: u32) -> Measurement {
     }
 }
 
+/// Swap-latency telemetry: the stall `serve_online` inserts between
+/// stream segments when a scheduled swap fires.
+struct SwapStats {
+    /// Median per-swap stall, wall-clock ns.
+    stall_p50_ns: u64,
+    /// Worst per-swap stall, wall-clock ns.
+    stall_max_ns: u64,
+    /// One batch window of events at the healthy serving rate, ns — the
+    /// stall budget the gate enforces.
+    window_ns: u64,
+}
+
+/// An online-enabled runtime with a second policy version registered,
+/// ready for swap plans. Returns the runtime and the alt version id.
+fn online_rt(f: &Fixture, homes: u32, shards: usize) -> (ServingRuntime, u64) {
+    let mut rt = build_rt(f, homes, shards, 64, true);
+    rt.enable_online(OnlineConfig::default(), ShadowGates::default()).expect("enable online");
+    let cfg = f.policy.config();
+    let mut alt_cfg = DqnConfig::new(cfg.state_dim, cfg.num_actions);
+    alt_cfg.seed = 99;
+    alt_cfg.parallelism = Parallelism::Single;
+    let alt = DqnAgent::new(alt_cfg).expect("alt policy network");
+    // invariant: enable_online succeeded, so the store exists
+    let version = rt.policy_store_mut().expect("store exists").register(alt.checkpoint());
+    (rt, version)
+}
+
+/// Measure the per-swap stall in isolation: `serve_online` on an empty
+/// segment does exactly the swap work (validate, rebuild the agent from
+/// the stored checkpoint, record the swap) and nothing else. The gate
+/// budget is one batch window of events at the healthy serving rate —
+/// a hot-swap may cost at most the batching latency already budgeted.
+fn run_swap(f: &Fixture, healthy_rate: f64) -> (Measurement, SwapStats) {
+    let (mut rt, version) = online_rt(f, 64, 1);
+    let mut stalls_ns: Vec<u64> = Vec::new();
+    for i in 0..32u64 {
+        let plan = [SwapPoint { at_seq: i, version }];
+        let t0 = Instant::now();
+        rt.serve_online(Vec::new(), &plan).expect("swap on empty segment");
+        stalls_ns.push(t0.elapsed().as_nanos() as u64);
+    }
+    stalls_ns.sort_unstable();
+    let stats = SwapStats {
+        stall_p50_ns: stalls_ns[stalls_ns.len() / 2],
+        stall_max_ns: *stalls_ns.last().expect("32 samples"),
+        window_ns: (64.0 / healthy_rate * 1e9) as u64,
+    };
+
+    // The throughput row: the same 64-home day served through serve_online
+    // with three mid-stream swaps (out to the alt version, back, and out
+    // again) — continual serving with hot-swaps on the decision path.
+    let (mut rt, version) = online_rt(f, 64, 1);
+    let fleet = FleetGenerator::new(42, 64);
+    let envelopes =
+        rt.ingest_fleet_day(&fleet, 0, None, Some(QUERY_EVERY)).expect("ingest").envelopes;
+    let events = envelopes.len();
+    let n = events as u64;
+    let plan = [
+        SwapPoint { at_seq: n / 4, version },
+        SwapPoint { at_seq: n / 2, version: 0 },
+        SwapPoint { at_seq: 3 * n / 4, version },
+    ];
+    let t0 = Instant::now();
+    let report = rt.serve_online(envelopes, &plan).expect("online serve");
+    let secs = t0.elapsed().as_secs_f64();
+    assert_eq!(report.outcomes.len(), events, "no event may be lost");
+    let m = Measurement {
+        name: "runtime/online/homes64/shards1/batch64".into(),
+        events_per_sec: events as f64 / secs,
+        p50_ns: report.latency_percentile(0.50).unwrap_or(0),
+        p99_ns: report.latency_percentile(0.99).unwrap_or(0),
+    };
+    (m, stats)
+}
+
+/// Drift-adaptation telemetry: a frozen runtime versus a continual one on
+/// bitwise-identical drifting traffic with engineered violations injected.
+struct DriftStats {
+    /// Benign false alarms per experiment day, frozen runtime.
+    frozen_fp: Vec<u64>,
+    /// Benign false alarms per experiment day, continual runtime.
+    continual_fp: Vec<u64>,
+    /// First experiment day served by the after-change household.
+    change_day: u32,
+    /// Injected violations the continual runtime flagged.
+    detections: u64,
+    /// Violations injected across the whole run.
+    injections: u64,
+    /// SPL folds the continual runtime performed.
+    folds: u64,
+    /// Shadow-delta pairs hysteresis admitted into the safe table.
+    admitted: u64,
+}
+
+impl DriftStats {
+    /// Post-change benign false alarms (the adaptation comparison window).
+    fn post_change(fp: &[u64], change_day: u32) -> u64 {
+        fp.iter().skip(change_day as usize).sum()
+    }
+
+    fn frozen_post(&self) -> u64 {
+        Self::post_change(&self.frozen_fp, self.change_day)
+    }
+
+    fn continual_post(&self) -> u64 {
+        Self::post_change(&self.continual_fp, self.change_day)
+    }
+
+    fn detection(&self) -> f64 {
+        if self.injections == 0 {
+            return 0.0;
+        }
+        self.detections as f64 / self.injections as f64
+    }
+}
+
+/// Violations injected per experiment day, spread across the stream so the
+/// attack pair is never supported inside one fold window.
+const DRIFT_INJECT_PER_DAY: usize = 4;
+
+/// Days the drift experiment serves (change at day [`DRIFT_CHANGE_DAY`]).
+const DRIFT_DAYS: u32 = 6;
+const DRIFT_CHANGE_DAY: u32 = 2;
+
+/// Count a day's outcomes: benign false alarms (violations outside the
+/// injected seqs) and detected injections.
+fn count_day(outcomes: &[Outcome], injected: &[u64]) -> (u64, u64) {
+    let mut fp = 0u64;
+    let mut detected = 0u64;
+    for out in outcomes {
+        if let Outcome::Verdict { seq, verdict: Verdict::Violation, .. } = out {
+            if injected.binary_search(seq).is_ok() {
+                detected += 1;
+            } else {
+                fp += 1;
+            }
+        }
+    }
+    (fp, detected)
+}
+
+/// Serve a [`DriftSchedule`] occupant change through a frozen and a
+/// continual runtime on identical traffic. Both start from the same table
+/// learned on the before-change household; only the continual runtime may
+/// fold routine shifts in. Engineered violations are spliced into every
+/// day; the continual runtime must keep flagging them all.
+fn run_drift(f: &Fixture) -> DriftStats {
+    let sched = DriftSchedule::occupant_change(42, DRIFT_CHANGE_DAY);
+    let config = JarvisConfig { optimizer: OptimizerConfig::fast(), ..JarvisConfig::default() };
+    let mut jarvis = Jarvis::new(f.home.clone(), config);
+    jarvis.learning_phase(&sched.before, 0..2).expect("learning phase");
+    jarvis.learn_policies().expect("SPL");
+    let table = jarvis.outcome().expect("outcome").table.clone();
+
+    let build = |online: bool| {
+        let mut config = RuntimeConfig::new(1);
+        config.batch_window = 64;
+        config.deterministic = true;
+        let mut rt = ServingRuntime::new(config, f.policy.clone()).expect("runtime");
+        rt.register_home(0, f.home.clone(), table.clone()).expect("register home");
+        if online {
+            // A fold cadence of ~11 windows per day with light support so
+            // recurring post-change routines clear hysteresis within days.
+            let cfg = OnlineConfig { support_threshold: 2, ..OnlineConfig::default() };
+            rt.enable_online(cfg, ShadowGates::default()).expect("enable online");
+        }
+        rt
+    };
+    let mut frozen = build(false);
+    let mut continual = build(true);
+    let attack = f.home.mini_action("door_sensor", "power_off");
+
+    let mut stats = DriftStats {
+        frozen_fp: Vec::new(),
+        continual_fp: Vec::new(),
+        change_day: DRIFT_CHANGE_DAY,
+        detections: 0,
+        injections: 0,
+        folds: 0,
+        admitted: 0,
+    };
+    for day in 0..DRIFT_DAYS {
+        let data = sched.dataset(day);
+        let eff = sched.effective_day(day);
+        let mut envelopes = frozen
+            .ingest_day(0, data, eff, None, Some(QUERY_EVERY))
+            .expect("ingest drift day")
+            .envelopes;
+        let twin = continual
+            .ingest_day(0, data, eff, None, Some(QUERY_EVERY))
+            .expect("ingest drift day")
+            .envelopes;
+        assert_eq!(envelopes, twin, "both runtimes must see identical traffic");
+
+        // Splice the engineered violation over a few existing slots, far
+        // enough apart that the attack pair never gathers fold support.
+        let mut injected = Vec::new();
+        let n = envelopes.len();
+        for k in 1..=DRIFT_INJECT_PER_DAY {
+            let at = n * k / (DRIFT_INJECT_PER_DAY + 1);
+            envelopes[at].kind = EventKind::Action(attack.clone());
+            injected.push(envelopes[at].seq);
+        }
+        injected.sort_unstable();
+        stats.injections += injected.len() as u64;
+
+        let frozen_out = frozen.serve(envelopes.clone()).expect("frozen serve").outcomes;
+        let continual_out = continual.serve(envelopes).expect("continual serve").outcomes;
+        let (fp_f, det_f) = count_day(&frozen_out, &injected);
+        let (fp_c, det_c) = count_day(&continual_out, &injected);
+        assert_eq!(det_f, injected.len() as u64, "the frozen table never admits the attack");
+        stats.frozen_fp.push(fp_f);
+        stats.continual_fp.push(fp_c);
+        stats.detections += det_c;
+    }
+    if let Some(learner) = continual.slot(0).and_then(|s| s.online()) {
+        stats.folds = learner.folds;
+        stats.admitted = learner.admitted;
+    }
+    stats
+}
+
 fn print_row(m: &Measurement) {
     println!(
         "{:<46} {:>12.0} ev/s   p50 {:>9.1} µs   p99 {:>9.1} µs",
@@ -252,6 +499,8 @@ fn to_json(
     ratio: Option<f64>,
     degraded_ratio: f64,
     stats: &RecoveryStats,
+    swap: &SwapStats,
+    drift: &DriftStats,
 ) -> String {
     let entries: Vec<Json> = results
         .iter()
@@ -267,8 +516,9 @@ fn to_json(
     let parallelism = std::thread::available_parallelism().map_or(1, usize::from);
     let recovery_p50 = stats.recovery_ns.get(stats.recovery_ns.len() / 2).copied().unwrap_or(0);
     let recovery_max = stats.recovery_ns.last().copied().unwrap_or(0);
+    let fp_curve = |fp: &[u64]| Json::Arr(fp.iter().map(|&v| Json::Float(v as f64)).collect());
     Json::Obj(vec![
-        ("schema".into(), Json::Str("jarvis-runtime-bench-v3".into())),
+        ("schema".into(), Json::Str("jarvis-runtime-bench-v4".into())),
         ("parallelism".into(), Json::Float(parallelism as f64)),
         ("batched_speedup_64_homes".into(), Json::Float(speedup)),
         (
@@ -290,6 +540,23 @@ fn to_json(
         // must stay within this fraction of healthy throughput.
         ("degraded_throughput_ratio_64_homes".into(), Json::Float(degraded_ratio)),
         ("degraded_ratio_gate".into(), Json::Float(0.5)),
+        // Hot-swap stall vs the one-batch-window budget at the healthy
+        // serving rate: a mid-stream policy swap must never cost more than
+        // the batching latency the runtime already accepts.
+        ("swap_stall_p50_ns".into(), Json::Float(swap.stall_p50_ns as f64)),
+        ("swap_stall_max_ns".into(), Json::Float(swap.stall_max_ns as f64)),
+        ("swap_window_ns".into(), Json::Float(swap.window_ns as f64)),
+        // Drift adaptation: per-day benign false alarms for the frozen vs
+        // continual runtime over the occupant-change scenario, plus the
+        // detection rate on the injected engineered violations.
+        ("drift_change_day".into(), Json::Float(drift.change_day as f64)),
+        ("drift_frozen_fp_by_day".into(), fp_curve(&drift.frozen_fp)),
+        ("drift_continual_fp_by_day".into(), fp_curve(&drift.continual_fp)),
+        ("drift_frozen_fp_post_change".into(), Json::Float(drift.frozen_post() as f64)),
+        ("drift_continual_fp_post_change".into(), Json::Float(drift.continual_post() as f64)),
+        ("drift_detection".into(), Json::Float(drift.detection())),
+        ("drift_folds".into(), Json::Float(drift.folds as f64)),
+        ("drift_admitted".into(), Json::Float(drift.admitted as f64)),
         ("results".into(), Json::Arr(entries)),
     ])
     .to_string()
@@ -297,13 +564,15 @@ fn to_json(
 
 /// Gate failures against a recorded baseline: throughput drops >2× on the
 /// gated rows, the shard-4/shard-1 p99 ratio against the baseline's
-/// recorded ceiling, bitwise recovery determinism, and the degraded-mode
-/// throughput floor.
+/// recorded ceiling, bitwise recovery determinism, the degraded-mode
+/// throughput floor, the hot-swap stall budget, and drift adaptation.
 fn regressions(
     results: &[Measurement],
     baseline: &Json,
     degraded_ratio: f64,
     stats: &RecoveryStats,
+    swap: &SwapStats,
+    drift: &DriftStats,
 ) -> Vec<String> {
     let recorded = baseline
         .get("results")
@@ -355,6 +624,32 @@ fn regressions(
                 "degraded-mode throughput is {degraded_ratio:.2}x healthy (gate {gate:.2}x)"
             ));
         }
+    }
+    // Both v4 gates are computed fresh each run (like recovery
+    // determinism): the budgets are structural, not recorded numbers.
+    if swap.stall_p50_ns > swap.window_ns {
+        failed.push(format!(
+            "hot-swap stall: median {:.1} µs exceeds one batch window ({:.1} µs at the healthy \
+             serving rate)",
+            swap.stall_p50_ns as f64 / 1e3,
+            swap.window_ns as f64 / 1e3
+        ));
+    }
+    if drift.continual_post() > drift.frozen_post() {
+        failed.push(format!(
+            "drift adaptation: continual runtime raised {} benign alarms post-change vs frozen {}",
+            drift.continual_post(),
+            drift.frozen_post()
+        ));
+    }
+    if drift.detection() < 1.0 {
+        failed.push(format!(
+            "drift adaptation: detection fell to {:.3} ({} of {} injected violations flagged) — \
+             learning may never mask attacks",
+            drift.detection(),
+            drift.detections,
+            drift.injections
+        ));
     }
     failed
 }
@@ -411,6 +706,19 @@ fn main() {
                 results.push(m);
             }
         }
+        // The 1024-home row: 16× the gated fleet through the threaded
+        // shard-4 path. Recorded for the scaling column, never gated — and
+        // on a single-core host flagged rather than failed, since threaded
+        // scaling numbers are meaningless there.
+        let m = run_once(&f, 1024, 4, 64, false);
+        print_row(&m);
+        if std::thread::available_parallelism().map_or(1, usize::from) == 1 {
+            eprintln!(
+                "warning: 1024-home row measured on a single core; recorded for completeness, \
+                 not comparable to multi-core baselines"
+            );
+        }
+        results.push(m);
     }
 
     if let Some(ratio) = p99_ratio(&results) {
@@ -441,10 +749,37 @@ fn main() {
     println!("{:<46} {degraded_ratio:>11.2}x", "runtime/degraded_ratio/homes64");
     results.push(degraded);
 
+    // Continual-learning rows, always measured: hot-swap stall vs the
+    // one-batch-window budget, online serving with mid-stream swaps, and
+    // the frozen-vs-continual drift-adaptation comparison.
+    let (online_row, swap) = run_swap(&f, healthy_rate);
+    print_row(&online_row);
+    results.push(online_row);
+    println!(
+        "{:<46} p50 {:>9.1} µs   max {:>9.1} µs   budget {:>9.1} µs",
+        "runtime/swap/stall_vs_batch_window",
+        swap.stall_p50_ns as f64 / 1e3,
+        swap.stall_max_ns as f64 / 1e3,
+        swap.window_ns as f64 / 1e3,
+    );
+    let drift = run_drift(&f);
+    println!(
+        "{:<46} frozen {:?} vs continual {:?} (change day {})",
+        "runtime/drift/benign_fp_by_day", drift.frozen_fp, drift.continual_fp, drift.change_day,
+    );
+    println!(
+        "{:<46} detection {:>6.3}   folds {}   admitted {}",
+        "runtime/drift/adaptation",
+        drift.detection(),
+        drift.folds,
+        drift.admitted,
+    );
+
     if let Some(path) = json_out {
         std::fs::write(
             &path,
-            to_json(&results, speedup, p99_ratio(&results), degraded_ratio, &stats) + "\n",
+            to_json(&results, speedup, p99_ratio(&results), degraded_ratio, &stats, &swap, &drift)
+                + "\n",
         )
         .expect("write baseline");
         println!("wrote baseline to {path}");
@@ -453,7 +788,7 @@ fn main() {
         let text = std::fs::read_to_string(&path)
             .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
         let baseline = Json::parse(&text).expect("baseline parses");
-        let failed = regressions(&results, &baseline, degraded_ratio, &stats);
+        let failed = regressions(&results, &baseline, degraded_ratio, &stats, &swap, &drift);
         if !failed.is_empty() {
             eprintln!("serving runtime regressed vs {path}:");
             for f in &failed {

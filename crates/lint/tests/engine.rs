@@ -72,6 +72,27 @@ fn every_rule_passes_clean_and_annotated_fixtures() {
     }
 }
 
+#[test]
+fn nondeterministic_fold_order_trips_r1() {
+    let v = run_rule(Rule::NondetIter, "nondet_iter/fold_trip.rs");
+    assert!(!v.is_empty(), "a HashMap-order SPL fold must trip R1");
+    assert!(
+        v.iter().any(|line| line.contains("support.iter")),
+        "the violation should point at the fold's hash-map iteration: {v:?}"
+    );
+}
+
+#[test]
+fn continual_learning_sources_are_in_lint_scope() {
+    use jarvis_lint::rules::in_scope;
+    for file in ["crates/runtime/src/online.rs", "crates/runtime/src/policy_store.rs"] {
+        assert!(in_scope(Rule::NondetIter, file), "{file} must be under R1");
+        assert!(in_scope(Rule::WallClock, file), "{file} must be under R2");
+        assert!(in_scope(Rule::Panics, file), "{file} must be under R3");
+    }
+    assert!(in_scope(Rule::NondetIter, "crates/policy/src/incremental.rs"));
+}
+
 fn cli(args: &[&str]) -> std::process::Output {
     Command::new(env!("CARGO_BIN_EXE_jarvis-lint"))
         .args(args)

@@ -1,0 +1,19 @@
+//! R1 trip fixture for continual learning: folding an SPL delta by
+//! iterating a hash map accumulates `P_safe` support counts in storage
+//! order, so two runs admit pairs in different orders — exactly the
+//! nondeterminism the online-learning determinism contract forbids.
+use std::collections::HashMap;
+
+pub struct Delta {
+    support: HashMap<(u64, u64), u64>,
+}
+
+pub fn fold(delta: &Delta, threshold: u64) -> Vec<(u64, u64)> {
+    let mut admitted = Vec::new();
+    for (pair, count) in delta.support.iter() {
+        if *count >= threshold {
+            admitted.push(*pair);
+        }
+    }
+    admitted
+}

@@ -42,12 +42,14 @@
 #![warn(missing_docs)]
 
 pub mod filter;
+pub mod incremental;
 pub mod learner;
 pub mod manual;
 pub mod psafe;
 pub mod trigger_action;
 
 pub use filter::{AnomalyFilter, FilterConfig, TransitionFeaturizer};
+pub use incremental::{FoldOutcome, SplDelta};
 pub use learner::{flag_violations, learn_safe_transitions, LearnOutcome, SplConfig};
 pub use manual::{flag_violations_stacked, ManualPolicy, ManualRule, RuleEffect};
 pub use psafe::{MatchMode, SafeTransitionTable};

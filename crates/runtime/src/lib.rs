@@ -68,6 +68,8 @@
 #![warn(missing_docs)]
 
 mod event;
+mod online;
+mod policy_store;
 mod runtime;
 mod shard;
 mod slot;
@@ -75,6 +77,12 @@ mod supervisor;
 mod wal;
 
 pub use event::{DecisionSource, Envelope, EventKind, Outcome, OverloadPolicy, Rejection};
+pub use online::{
+    AmbientTelemetry, FineTuneConfig, FineTuneReport, OnlineConfig, OnlineLearner,
+};
+pub use policy_store::{
+    PolicyStore, PolicyVersion, ShadowGates, ShadowRow, ShadowScore, SwapPoint, SwapRecord,
+};
 pub use runtime::{
     IngestReport, Placement, RuntimeConfig, RuntimeSnapshot, ServeReport, ServingRuntime,
     ShardSnapshot,
@@ -84,4 +92,4 @@ pub use supervisor::{
     FailureCause, QuarantineRecord, RecoveryReport, RestartRecord, SupervisedReport,
     SupervisorConfig,
 };
-pub use wal::ShardWal;
+pub use wal::{ShardWal, WalRecord};

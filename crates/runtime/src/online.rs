@@ -1,0 +1,279 @@
+//! Online continual learning in the serving path (DESIGN.md §16).
+//!
+//! The paper freezes enforcement after the learning phase; a production
+//! fleet can't. This module gives each [`crate::HomeSlot`] a serializable
+//! [`OnlineLearner`] that keeps learning *while* the slot serves:
+//!
+//! - **Incremental SPL** — monitor-flagged (state, action) pairs
+//!   accumulate in a shadow [`SplDelta`](jarvis_policy::SplDelta) and fold
+//!   into the slot's `P_safe` on a deterministic per-home envelope cadence
+//!   with hysteresis ([`OnlineConfig::fold_every`],
+//!   [`OnlineConfig::hysteresis_folds`]), so a routine shift is eventually
+//!   admitted while a single anomalous day never is. Quarantined and
+//!   degraded-mode windows pass `learn = false` down the event path and
+//!   never contribute.
+//! - **Replay deltas** — safely executed actions append
+//!   [`Experience`](jarvis_rl::Experience) transitions to a bounded
+//!   per-slot replay delta that the [`ServingRuntime::fine_tune`]
+//!   background pass drains into the home's attached PR-3
+//!   `OptimizerCheckpoint` and into a fleet-level candidate policy, through
+//!   the [`jarvis_stdkit::pool`] worker pool, off the decision path.
+//!
+//! Everything here is state, not machinery: the learner rides inside
+//! [`HomeSnapshot`](crate::HomeSnapshot) and therefore inside WAL
+//! checkpoints and [`RuntimeSnapshot`](crate::RuntimeSnapshot)s, which is
+//! what makes crash recovery and rollback byte-identical with online
+//! learning enabled.
+//!
+//! [`ServingRuntime::fine_tune`]: crate::ServingRuntime::fine_tune
+
+use jarvis::JarvisError;
+use jarvis_policy::SplDelta;
+use jarvis_rl::Experience;
+use jarvis_stdkit::json_struct;
+
+/// Tuning knobs of the per-slot online learner.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OnlineConfig {
+    /// Per-home envelopes between SPL folds (the virtual-tick cadence; the
+    /// runtime never reads a wall clock for this).
+    pub fold_every: u64,
+    /// Minimum observations of a candidate pair within one fold window for
+    /// the window to count as supporting it.
+    pub support_threshold: u64,
+    /// Consecutive supported folds before a candidate pair enters the safe
+    /// table. With a fold window of roughly a day, `>= 2` guarantees one
+    /// anomalous day can never poison `P_safe`.
+    pub hysteresis_folds: u32,
+    /// Bound on the per-slot replay delta; the oldest experience is dropped
+    /// first when full.
+    pub replay_delta_cap: usize,
+}
+
+json_struct!(OnlineConfig { fold_every, support_threshold, hysteresis_folds, replay_delta_cap });
+
+impl Default for OnlineConfig {
+    fn default() -> Self {
+        OnlineConfig {
+            fold_every: 256,
+            support_threshold: 3,
+            hysteresis_folds: 2,
+            replay_delta_cap: 256,
+        }
+    }
+}
+
+impl OnlineConfig {
+    pub(crate) fn validate(&self) -> Result<(), JarvisError> {
+        if self.fold_every == 0 {
+            return Err(JarvisError::Config("fold cadence must be at least 1 envelope".into()));
+        }
+        if self.support_threshold == 0 {
+            return Err(JarvisError::Config("support threshold must be at least 1".into()));
+        }
+        if self.hysteresis_folds == 0 {
+            return Err(JarvisError::Config("hysteresis must be at least 1 fold".into()));
+        }
+        if self.replay_delta_cap == 0 {
+            return Err(JarvisError::Config("replay delta cap must be at least 1".into()));
+        }
+        Ok(())
+    }
+}
+
+/// The last ambient telemetry a slot saw (carried by decision queries),
+/// used to encode replay-delta observations between queries.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AmbientTelemetry {
+    /// Indoor temperature, °C.
+    pub indoor_c: f64,
+    /// Outdoor temperature, °C.
+    pub outdoor_c: f64,
+    /// Electricity price, $/kWh.
+    pub price_per_kwh: f64,
+}
+
+json_struct!(AmbientTelemetry { indoor_c, outdoor_c, price_per_kwh });
+
+impl Default for AmbientTelemetry {
+    fn default() -> Self {
+        AmbientTelemetry { indoor_c: 21.0, outdoor_c: 10.0, price_per_kwh: 0.15 }
+    }
+}
+
+/// One slot's continual-learning state: the shadow SPL delta, the fold
+/// counters, and the bounded replay delta. Pure serializable state — it
+/// rides in [`HomeSnapshot`](crate::HomeSnapshot)s, WAL checkpoints, and
+/// [`RuntimeSnapshot`](crate::RuntimeSnapshot)s byte-for-byte, so recovery
+/// and rollback restore learning progress exactly.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OnlineLearner {
+    /// The learner's configuration.
+    pub config: OnlineConfig,
+    /// The shadow safe-table delta under hysteresis.
+    pub delta: SplDelta,
+    /// Learning-eligible envelopes seen since the last fold.
+    pub since_fold: u64,
+    /// Folds performed over this slot's lifetime.
+    pub folds: u64,
+    /// Pairs admitted into the safe table over this slot's lifetime.
+    pub admitted: u64,
+    /// Safe transitions waiting to be drained by the fine-tuner, oldest
+    /// first.
+    pub replay: Vec<Experience>,
+    /// Experiences dropped because the replay delta was full.
+    pub dropped: u64,
+    /// Ambient telemetry of the most recent decision query.
+    pub ambient: AmbientTelemetry,
+}
+
+json_struct!(OnlineLearner {
+    config,
+    delta,
+    since_fold,
+    folds,
+    admitted,
+    replay,
+    dropped,
+    ambient,
+});
+
+impl OnlineLearner {
+    /// A fresh learner under `config`.
+    #[must_use]
+    pub fn new(config: OnlineConfig) -> Self {
+        OnlineLearner {
+            config,
+            delta: SplDelta::new(),
+            since_fold: 0,
+            folds: 0,
+            admitted: 0,
+            replay: Vec::new(),
+            dropped: 0,
+            ambient: AmbientTelemetry::default(),
+        }
+    }
+
+    /// Append a safe transition to the replay delta, dropping the oldest
+    /// entry when the bound is hit.
+    pub(crate) fn push_experience(&mut self, exp: Experience) {
+        if self.replay.len() >= self.config.replay_delta_cap {
+            self.replay.remove(0);
+            self.dropped += 1;
+        }
+        self.replay.push(exp);
+    }
+
+    /// Take the accumulated replay delta, leaving the learner empty.
+    pub(crate) fn drain_replay(&mut self) -> Vec<Experience> {
+        std::mem::take(&mut self.replay)
+    }
+}
+
+/// Tuning knobs of one [`ServingRuntime::fine_tune`] background pass.
+///
+/// [`ServingRuntime::fine_tune`]: crate::ServingRuntime::fine_tune
+#[derive(Debug, Clone, PartialEq)]
+pub struct FineTuneConfig {
+    /// Gradient steps replayed per tuned agent (per home, and once more for
+    /// the fleet candidate).
+    pub replay_steps: u32,
+    /// Minimum experiences in a slot's replay delta before the slot is
+    /// tuned; smaller deltas are left to accumulate.
+    pub min_delta: usize,
+}
+
+json_struct!(FineTuneConfig { replay_steps, min_delta });
+
+impl Default for FineTuneConfig {
+    fn default() -> Self {
+        FineTuneConfig { replay_steps: 4, min_delta: 8 }
+    }
+}
+
+impl FineTuneConfig {
+    pub(crate) fn validate(&self) -> Result<(), JarvisError> {
+        if self.min_delta == 0 {
+            return Err(JarvisError::Config("min_delta must be at least 1".into()));
+        }
+        Ok(())
+    }
+}
+
+/// What one [`ServingRuntime::fine_tune`] pass did.
+///
+/// [`ServingRuntime::fine_tune`]: crate::ServingRuntime::fine_tune
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FineTuneReport {
+    /// Homes whose attached `OptimizerCheckpoint` was updated in place.
+    pub homes_tuned: usize,
+    /// Homes skipped: replay delta below `min_delta`, or no attached
+    /// checkpoint to tune.
+    pub homes_skipped: usize,
+    /// Experiences drained across all tuned homes.
+    pub experiences: usize,
+    /// The staged fleet-candidate policy version produced from the pooled
+    /// deltas, when any home was tuned (`None` = nothing to learn from).
+    pub candidate: Option<u64>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jarvis_stdkit::json::{FromJson, ToJson};
+
+    #[test]
+    fn replay_delta_is_bounded_oldest_first() {
+        let mut learner =
+            OnlineLearner::new(OnlineConfig { replay_delta_cap: 2, ..OnlineConfig::default() });
+        for reward in 0..4 {
+            learner.push_experience(Experience {
+                state: vec![0.0],
+                action: 0,
+                reward: f64::from(reward),
+                next: vec![1.0],
+                next_valid: vec![0],
+                done: false,
+            });
+        }
+        assert_eq!(learner.replay.len(), 2);
+        assert_eq!(learner.dropped, 2);
+        assert_eq!(learner.replay[0].reward, 2.0, "oldest entries are dropped first");
+        assert_eq!(learner.drain_replay().len(), 2);
+        assert!(learner.replay.is_empty());
+    }
+
+    #[test]
+    fn learner_round_trips_byte_for_byte() {
+        let mut learner = OnlineLearner::new(OnlineConfig::default());
+        learner.since_fold = 17;
+        learner.folds = 3;
+        learner.admitted = 1;
+        learner.ambient = AmbientTelemetry { indoor_c: 19.5, outdoor_c: -3.0, price_per_kwh: 0.4 };
+        learner.push_experience(Experience {
+            state: vec![0.5, 1.0],
+            action: 2,
+            reward: 1.0,
+            next: vec![0.25, 0.75],
+            next_valid: vec![0, 2],
+            done: false,
+        });
+        let json = learner.to_json();
+        let back = OnlineLearner::from_json(&json).unwrap();
+        assert_eq!(back, learner);
+        assert_eq!(back.to_json(), json, "serialization must be byte-stable");
+    }
+
+    #[test]
+    fn config_validation_rejects_zeroes() {
+        for cfg in [
+            OnlineConfig { fold_every: 0, ..OnlineConfig::default() },
+            OnlineConfig { support_threshold: 0, ..OnlineConfig::default() },
+            OnlineConfig { hysteresis_folds: 0, ..OnlineConfig::default() },
+            OnlineConfig { replay_delta_cap: 0, ..OnlineConfig::default() },
+        ] {
+            assert!(cfg.validate().is_err());
+        }
+        assert!(OnlineConfig::default().validate().is_ok());
+    }
+}

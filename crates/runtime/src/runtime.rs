@@ -2,18 +2,25 @@
 //! and shard snapshot/restore.
 
 use crate::event::{Envelope, EventKind, Outcome, OverloadPolicy, Rejection};
-use crate::shard::{self, Job, ShardOutput, WorkerShared};
+use crate::online::{FineTuneConfig, FineTuneReport, OnlineConfig};
+use crate::policy_store::{PolicyStore, ShadowGates, ShadowRow, SwapPoint, SwapRecord};
+use crate::shard::{self, Job, PolicyView, ShardOutput, WorkerShared};
 use crate::slot::{HomeSlot, HomeSnapshot};
-use crate::supervisor::{RecoveryReport, ShardSupervisor, SupervisedReport, SupervisorConfig};
-use jarvis::JarvisError;
+use crate::supervisor::{
+    RecoveryReport, Roster, ShardSupervisor, SupervisedReport, SupervisorConfig,
+};
+use crate::wal::ShardWal;
+use jarvis::{JarvisError, OptimizerCheckpoint};
 use jarvis_policy::{MatchMode, SafeTransitionTable};
-use jarvis_rl::{DqnAgent, DqnCheckpoint, QuantizedPolicy};
+use jarvis_rl::{DqnAgent, DqnCheckpoint, Experience, QuantizedPolicy};
 use jarvis_sim::{
     ChaosSchedule, FaultInjector, FaultSummary, FleetGenerator, HomeDataset, MINUTES_PER_DAY,
 };
 use jarvis_smart_home::logger::normalize_action;
 use jarvis_smart_home::SmartHome;
+use jarvis_stdkit::json::{FromJson, ToJson};
 use jarvis_stdkit::json_struct;
+use jarvis_stdkit::pool::{ScopedTask, WorkerPool};
 use jarvis_stdkit::sync::PushError;
 use std::collections::BTreeMap;
 use std::sync::atomic::Ordering;
@@ -198,9 +205,14 @@ pub struct RuntimeSnapshot {
     pub policy: DqnCheckpoint,
     /// Every registered home's dynamic state, ordered by id.
     pub homes: Vec<HomeSnapshot>,
+    /// The continual-learning configuration, when online learning is on.
+    pub online: Option<OnlineConfig>,
+    /// The versioned policy store, when online learning is on. Restoring
+    /// it alongside `policy` is what makes rollback byte-identical.
+    pub store: Option<PolicyStore>,
 }
 
-json_struct!(RuntimeSnapshot { shards, next_seq, policy, homes });
+json_struct!(RuntimeSnapshot { shards, next_seq, policy, homes, online, store });
 
 /// A single shard's snapshot: the fleet policy plus the dynamic state of
 /// the homes that shard owns — everything needed to stand the shard back up.
@@ -238,6 +250,13 @@ pub struct ServingRuntime {
     /// [`Placement::LoadAware`].
     assignments: BTreeMap<u64, usize>,
     next_seq: u64,
+    /// Continual-learning configuration; `None` until
+    /// [`ServingRuntime::enable_online`].
+    online: Option<OnlineConfig>,
+    /// Versioned policy storage with shadow evaluation; created by
+    /// [`ServingRuntime::enable_online`] with the current policy as
+    /// version 0.
+    store: Option<PolicyStore>,
 }
 
 impl ServingRuntime {
@@ -256,6 +275,8 @@ impl ServingRuntime {
             homes: BTreeMap::new(),
             assignments: BTreeMap::new(),
             next_seq: 0,
+            online: None,
+            store: None,
         })
     }
 
@@ -340,6 +361,53 @@ impl ServingRuntime {
     /// Undeploy the quantized policy and return to f64 serving.
     pub fn clear_quantized_policy(&mut self) {
         self.quantized = None;
+    }
+
+    /// Turn on online continual learning (DESIGN.md §16): every registered
+    /// home (and every home registered later) gets an [`OnlineLearner`]
+    /// under `cfg`, and a [`PolicyStore`] is created with the current fleet
+    /// policy as version 0, active, gated by `gates`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JarvisError::Config`] for invalid `cfg` or when online
+    /// learning is already enabled.
+    ///
+    /// [`OnlineLearner`]: crate::OnlineLearner
+    pub fn enable_online(
+        &mut self,
+        cfg: OnlineConfig,
+        gates: ShadowGates,
+    ) -> Result<(), JarvisError> {
+        cfg.validate()?;
+        if self.online.is_some() {
+            return Err(JarvisError::Config("online learning is already enabled".into()));
+        }
+        for slot in self.homes.values_mut() {
+            slot.enable_online(cfg.clone());
+        }
+        self.store = Some(PolicyStore::new(self.policy.checkpoint(), gates));
+        self.online = Some(cfg);
+        Ok(())
+    }
+
+    /// The continual-learning configuration, when enabled.
+    #[must_use]
+    pub fn online_config(&self) -> Option<&OnlineConfig> {
+        self.online.as_ref()
+    }
+
+    /// The versioned policy store, when online learning is enabled.
+    #[must_use]
+    pub fn policy_store(&self) -> Option<&PolicyStore> {
+        self.store.as_ref()
+    }
+
+    /// Mutable access to the policy store (staging candidates, adjusting
+    /// swap history in tests). The store's own API guards its invariants.
+    #[must_use]
+    pub fn policy_store_mut(&mut self) -> Option<&mut PolicyStore> {
+        self.store.as_mut()
     }
 
     /// Number of registered homes.
@@ -437,6 +505,10 @@ impl ServingRuntime {
                 "home {id} has {} actions, policy expects {want_actions}",
                 slot.num_actions()
             )));
+        }
+        let mut slot = slot;
+        if let Some(cfg) = &self.online {
+            slot.enable_online(cfg.clone());
         }
         self.homes.insert(id, slot);
         self.assignments.insert(id, (id % self.config.shards as u64) as usize);
@@ -632,19 +704,47 @@ impl ServingRuntime {
     pub fn serve(&mut self, events: Vec<Envelope>) -> Result<ServeReport, JarvisError> {
         self.rebalance(&events);
         let submitted = events.len();
+        let shadow = self.shadow_agent()?;
         let (outputs, rejected) = if self.config.deterministic {
-            (self.serve_deterministic(events)?, Vec::new())
+            (self.serve_deterministic(events, shadow.as_ref())?, Vec::new())
         } else {
-            self.serve_threaded(events)?
+            self.serve_threaded(events, shadow.as_ref())?
         };
         let mut outcomes = Vec::with_capacity(submitted);
         let mut latencies_ns = Vec::new();
+        let mut shadow_rows: Vec<ShadowRow> = Vec::new();
         for output in outputs {
             outcomes.extend(output.outcomes);
             latencies_ns.extend(output.latencies_ns);
+            shadow_rows.extend(output.shadow);
         }
         outcomes.sort_by_key(Outcome::seq);
+        self.absorb_shadow(shadow_rows);
         Ok(ServeReport { outcomes, rejected, latencies_ns })
+    }
+
+    /// Materialize the staged candidate as a shadow agent, when one is
+    /// staged. Rebuilt per serve call from the store's immutable bytes.
+    fn shadow_agent(&self) -> Result<Option<DqnAgent>, JarvisError> {
+        let Some(store) = &self.store else { return Ok(None) };
+        let Some(candidate) = store.candidate() else { return Ok(None) };
+        let version = store.version(candidate).ok_or_else(|| {
+            JarvisError::Config(format!("staged candidate {candidate} is not stored"))
+        })?;
+        Ok(Some(DqnAgent::from_checkpoint(version.checkpoint.clone())?))
+    }
+
+    /// Fold shadow rows into the staged candidate's score, sorted by seq so
+    /// the floating-point accumulation is independent of shard count, steal
+    /// schedule, and batch grouping.
+    fn absorb_shadow(&mut self, mut rows: Vec<ShadowRow>) {
+        if rows.is_empty() {
+            return;
+        }
+        if let Some(store) = self.store.as_mut() {
+            rows.sort_by_key(|r| r.seq);
+            store.absorb(&rows);
+        }
     }
 
     /// Serve a stream under supervision: every shard runs inside a
@@ -682,6 +782,61 @@ impl ServingRuntime {
         sup: &SupervisorConfig,
         chaos: Option<&ChaosSchedule>,
     ) -> Result<SupervisedReport, JarvisError> {
+        let shadow = self.shadow_agent()?;
+        let active = self.policy.clone();
+        self.serve_supervised_epochs(events, sup, chaos, &[], &[active], shadow.as_ref())
+    }
+
+    /// Serve a stream under supervision with a scheduled mid-stream policy
+    /// swap plan: `swaps[k]` activates its version for every envelope with
+    /// `seq >= at_seq` (see [`SwapPoint`]). Shards flush their batching
+    /// window at epoch boundaries — a batch never spans a swap — and log a
+    /// WAL swap record, so crash recovery replays every envelope under the
+    /// policy that first served it and lands on the same active version.
+    /// After the call, the last swap's version is the runtime's active
+    /// policy and the store records every swap.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`ServingRuntime::serve_supervised`] returns, plus
+    /// [`JarvisError::Config`] when online learning is not enabled or the
+    /// swap plan is unordered / names unknown versions.
+    pub fn serve_online_supervised(
+        &mut self,
+        events: Vec<Envelope>,
+        sup: &SupervisorConfig,
+        chaos: Option<&ChaosSchedule>,
+        swaps: &[SwapPoint],
+    ) -> Result<SupervisedReport, JarvisError> {
+        self.validate_swaps(swaps)?;
+        // invariant: validate_swaps errored already if the store is missing
+        let store = self.store.as_ref().expect("validate_swaps checked the store");
+        let mut epoch_agents = Vec::with_capacity(swaps.len() + 1);
+        epoch_agents.push(self.policy.clone());
+        for sp in swaps {
+            // invariant: validate_swaps checked every plan version exists
+            let version = store.version(sp.version).expect("validate_swaps checked versions");
+            epoch_agents.push(DqnAgent::from_checkpoint(version.checkpoint.clone())?);
+        }
+        let shadow = self.shadow_agent()?;
+        let report =
+            self.serve_supervised_epochs(events, sup, chaos, swaps, &epoch_agents, shadow.as_ref())?;
+        self.commit_swaps(swaps, epoch_agents)?;
+        Ok(report)
+    }
+
+    /// The shared supervised-serving core: one epoch per entry of
+    /// `epoch_agents` (`swaps.len() + 1` of them; `epoch_agents[0]` is the
+    /// policy active at entry, later entries the swapped-in versions).
+    fn serve_supervised_epochs(
+        &mut self,
+        events: Vec<Envelope>,
+        sup: &SupervisorConfig,
+        chaos: Option<&ChaosSchedule>,
+        swaps: &[SwapPoint],
+        epoch_agents: &[DqnAgent],
+        shadow: Option<&DqnAgent>,
+    ) -> Result<SupervisedReport, JarvisError> {
         sup.validate()?;
         self.rebalance(&events);
         let shards = self.config.shards;
@@ -698,37 +853,37 @@ impl ServingRuntime {
             parts[shard].insert(id, slot);
         }
 
-        let policy = &self.policy;
+        // The quantized deployment belongs to the entry policy; swapped-in
+        // epochs serve f64 until re-quantized and re-gated explicitly.
         let quantized = self.quantized.as_ref();
+        let views: Vec<PolicyView<'_>> = epoch_agents
+            .iter()
+            .enumerate()
+            .map(|(k, agent)| {
+                PolicyView::new(agent, if k == 0 { quantized } else { None }, shadow)
+            })
+            .collect();
+        let roster = Roster { views, swaps };
+        let roster = &roster;
         let batch_window = self.config.batch_window;
         let clock = self.config.telemetry;
-        let mut results: Vec<Result<(ShardOutput, RecoveryReport), JarvisError>> =
+        let mut results: Vec<Result<(ShardOutput, RecoveryReport, ShardWal), JarvisError>> =
             Vec::with_capacity(shards);
 
         if self.config.deterministic {
             for (idx, (part, stream)) in parts.iter_mut().zip(streams).enumerate() {
-                results.push(ShardSupervisor::new(idx, sup, chaos).run(
-                    part,
-                    policy,
-                    quantized,
-                    batch_window,
-                    clock,
-                    stream,
-                ));
+                results.push(
+                    ShardSupervisor::new(idx, sup, chaos)
+                        .run(part, roster, batch_window, clock, stream),
+                );
             }
         } else {
             std::thread::scope(|s| {
                 let mut handles = Vec::with_capacity(shards);
                 for (idx, (part, stream)) in parts.iter_mut().zip(streams).enumerate() {
                     handles.push(s.spawn(move || {
-                        ShardSupervisor::new(idx, sup, chaos).run(
-                            part,
-                            policy,
-                            quantized,
-                            batch_window,
-                            clock,
-                            stream,
-                        )
+                        ShardSupervisor::new(idx, sup, chaos)
+                            .run(part, roster, batch_window, clock, stream)
                     }));
                 }
                 for handle in handles {
@@ -748,18 +903,263 @@ impl ServingRuntime {
         }
         let mut outcomes = Vec::with_capacity(submitted);
         let mut latencies_ns = Vec::new();
+        let mut shadow_rows: Vec<ShadowRow> = Vec::new();
         let mut recovery = RecoveryReport::default();
+        let mut wals = Vec::with_capacity(shards);
         for result in results {
-            let (output, shard_recovery) = result?;
+            let (output, shard_recovery, wal) = result?;
             outcomes.extend(output.outcomes);
             latencies_ns.extend(output.latencies_ns);
+            shadow_rows.extend(output.shadow);
             recovery.absorb(shard_recovery);
+            wals.push(wal);
         }
         outcomes.sort_by_key(Outcome::seq);
+        self.absorb_shadow(shadow_rows);
         Ok(SupervisedReport {
             report: ServeReport { outcomes, rejected: Vec::new(), latencies_ns },
             recovery,
+            wals,
         })
+    }
+
+    /// Serve a stream with a scheduled mid-stream policy swap plan:
+    /// `swaps[k]` activates its version for every envelope with `seq >=
+    /// at_seq`. The stream is split at each swap point and served segment by
+    /// segment, so a batching window never spans a swap; each applied swap
+    /// is recorded in the store. Every scheduled swap is applied even when
+    /// the stream ends early — the plan is a commitment, not a hint — and
+    /// after the call the last swap's version is the active policy.
+    ///
+    /// The swap schedule is part of the determinism contract: the same
+    /// `(stream, swaps)` pair reproduces outcomes bitwise across shard
+    /// counts, steal schedules, and serving modes.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`ServingRuntime::serve`] returns, plus
+    /// [`JarvisError::Config`] when online learning is not enabled or the
+    /// swap plan is unordered / names unknown versions.
+    pub fn serve_online(
+        &mut self,
+        events: Vec<Envelope>,
+        swaps: &[SwapPoint],
+    ) -> Result<ServeReport, JarvisError> {
+        self.validate_swaps(swaps)?;
+        let mut remaining = events;
+        remaining.sort_by_key(|env| env.seq);
+        let mut report =
+            ServeReport { outcomes: Vec::new(), rejected: Vec::new(), latencies_ns: Vec::new() };
+        let absorb = |report: &mut ServeReport, part: ServeReport| {
+            report.outcomes.extend(part.outcomes);
+            report.rejected.extend(part.rejected);
+            report.latencies_ns.extend(part.latencies_ns);
+        };
+        for sp in swaps {
+            let cut = remaining.partition_point(|env| env.seq < sp.at_seq);
+            let tail = remaining.split_off(cut);
+            let head = std::mem::replace(&mut remaining, tail);
+            if !head.is_empty() {
+                let part = self.serve(head)?;
+                absorb(&mut report, part);
+            }
+            self.apply_swap(*sp)?;
+        }
+        if !remaining.is_empty() {
+            let part = self.serve(remaining)?;
+            absorb(&mut report, part);
+        }
+        report.outcomes.sort_by_key(Outcome::seq);
+        Ok(report)
+    }
+
+    /// Check a swap plan: online learning enabled, `at_seq` strictly
+    /// increasing, every version registered.
+    fn validate_swaps(&self, swaps: &[SwapPoint]) -> Result<(), JarvisError> {
+        let Some(store) = &self.store else {
+            return Err(JarvisError::Config(
+                "scheduled policy swaps need online learning enabled (enable_online)".into(),
+            ));
+        };
+        let mut last: Option<u64> = None;
+        for sp in swaps {
+            if store.version(sp.version).is_none() {
+                return Err(JarvisError::Config(format!(
+                    "swap plan names unregistered policy version {}",
+                    sp.version
+                )));
+            }
+            if last.is_some_and(|prev| sp.at_seq <= prev) {
+                return Err(JarvisError::Config(
+                    "swap plan must be strictly increasing in at_seq".into(),
+                ));
+            }
+            last = Some(sp.at_seq);
+        }
+        Ok(())
+    }
+
+    /// Activate one scheduled swap: rebuild the agent from the stored
+    /// bytes, record the swap, drop the (old-weights) quantized deployment.
+    fn apply_swap(&mut self, sp: SwapPoint) -> Result<(), JarvisError> {
+        // invariant: validate_swaps errored already if the store is missing
+        let store = self.store.as_mut().expect("validate_swaps checked the store");
+        // invariant: validate_swaps checked every plan version exists
+        let version = store.version(sp.version).expect("validate_swaps checked versions");
+        let agent = DqnAgent::from_checkpoint(version.checkpoint.clone())?;
+        store.force_swap(sp.at_seq, sp.version)?;
+        self.policy = agent;
+        self.quantized = None;
+        Ok(())
+    }
+
+    /// Record an already-executed supervised swap plan in the store and
+    /// install the final epoch's policy as active.
+    fn commit_swaps(
+        &mut self,
+        swaps: &[SwapPoint],
+        mut epoch_agents: Vec<DqnAgent>,
+    ) -> Result<(), JarvisError> {
+        if swaps.is_empty() {
+            return Ok(());
+        }
+        // invariant: validate_swaps errored already if the store is missing
+        let store = self.store.as_mut().expect("validate_swaps checked the store");
+        for sp in swaps {
+            store.force_swap(sp.at_seq, sp.version)?;
+        }
+        // invariant: callers pass swaps.len() + 1 epoch agents, never zero
+        self.policy = epoch_agents.pop().expect("one agent per epoch");
+        self.quantized = None;
+        Ok(())
+    }
+
+    /// One background fine-tuning pass (DESIGN.md §16): drain every
+    /// eligible slot's replay delta — at least
+    /// [`FineTuneConfig::min_delta`] experiences and an attached
+    /// `OptimizerCheckpoint` — and replay it into that home's checkpoint
+    /// through `pool`, off the decision path. The drained deltas are then
+    /// pooled (in home-id order) into a fleet-level candidate: the current
+    /// policy's checkpoint replayed over every drained experience,
+    /// registered in the store and staged for shadow evaluation.
+    ///
+    /// Deterministic across pool sizes: the pool schedules *where* each
+    /// per-home tune runs, never *what* it computes, and per-home results
+    /// land in pre-assigned slots.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JarvisError::Config`] for invalid `cfg`, when online
+    /// learning is not enabled, or when a home carries a corrupt optimizer
+    /// checkpoint, and [`JarvisError::Neural`] from the replay passes.
+    pub fn fine_tune(
+        &mut self,
+        pool: &WorkerPool,
+        cfg: &FineTuneConfig,
+    ) -> Result<FineTuneReport, JarvisError> {
+        cfg.validate()?;
+        if self.store.is_none() {
+            return Err(JarvisError::Config(
+                "fine-tuning needs online learning enabled (enable_online)".into(),
+            ));
+        }
+        let mut homes_skipped = 0usize;
+        let mut work: Vec<(u64, OptimizerCheckpoint, Vec<Experience>)> = Vec::new();
+        let mut pooled: Vec<Experience> = Vec::new();
+        for (&id, slot) in &mut self.homes {
+            let Some(learner) = slot.online() else { continue };
+            if learner.replay.len() < cfg.min_delta {
+                homes_skipped += 1;
+                continue;
+            }
+            let Some(json) = slot.checkpoint_json() else {
+                homes_skipped += 1;
+                continue;
+            };
+            let ocp = OptimizerCheckpoint::from_json(json).map_err(|err| {
+                JarvisError::Config(format!(
+                    "home {id} carries a corrupt optimizer checkpoint: {err}"
+                ))
+            })?;
+            // invariant: slot.online() returned Some a few lines up
+            let delta = slot.online_mut().expect("learner checked above").drain_replay();
+            pooled.extend(delta.iter().cloned());
+            work.push((id, ocp, delta));
+        }
+
+        let steps = cfg.replay_steps;
+        let mut tuned: Vec<Option<Result<(u64, String), JarvisError>>> =
+            work.iter().map(|_| None).collect();
+        {
+            let mut tasks: Vec<ScopedTask<'_>> = Vec::with_capacity(work.len());
+            for (out, (id, ocp, delta)) in tuned.iter_mut().zip(&work) {
+                tasks.push(Box::new(move || {
+                    *out = Some(tune_one(*id, ocp, delta, steps));
+                }));
+            }
+            pool.run_scoped(tasks);
+        }
+
+        let mut homes_tuned = 0usize;
+        let mut experiences = 0usize;
+        for (result, (_, _, delta)) in tuned.into_iter().zip(&work) {
+            // invariant: run_scoped returns only after every task executed
+            let (id, json) = result.expect("the pool runs every task")?;
+            if let Some(slot) = self.homes.get_mut(&id) {
+                slot.set_checkpoint(Some(json));
+            }
+            homes_tuned += 1;
+            experiences += delta.len();
+        }
+
+        let mut candidate = None;
+        if !pooled.is_empty() {
+            let mut agent = DqnAgent::from_checkpoint(self.policy.checkpoint())?;
+            for exp in &pooled {
+                agent.remember(exp.clone());
+            }
+            for _ in 0..steps {
+                agent.replay()?;
+            }
+            // invariant: fine_tune errored at entry if the store is missing
+            let store = self.store.as_mut().expect("checked above");
+            let id = store.register(agent.checkpoint());
+            // A candidate whose bytes dedup to the active version learned
+            // nothing — don't stage a self-shadow.
+            if id != store.active() {
+                if store.candidate() != Some(id) {
+                    store.stage(id)?;
+                }
+                candidate = Some(id);
+            }
+        }
+        Ok(FineTuneReport { homes_tuned, homes_skipped, experiences, candidate })
+    }
+
+    /// Promote the staged shadow candidate iff its accumulated score clears
+    /// every [`ShadowGates`] gate, swapping it in as the active policy at
+    /// the current stream position. Returns the swap record on promotion,
+    /// `None` when the gates hold it back.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JarvisError::Config`] when online learning is not enabled
+    /// and [`JarvisError::Neural`] for a corrupt stored checkpoint.
+    pub fn try_promote(&mut self) -> Result<Option<SwapRecord>, JarvisError> {
+        let at_seq = self.next_seq;
+        let Some(store) = self.store.as_mut() else {
+            return Err(JarvisError::Config(
+                "promotion needs online learning enabled (enable_online)".into(),
+            ));
+        };
+        let Some(record) = store.try_promote(at_seq) else {
+            return Ok(None);
+        };
+        // invariant: try_promote only returns ids the store holds
+        let version = store.version(record.to).expect("promoted version is stored");
+        self.policy = DqnAgent::from_checkpoint(version.checkpoint.clone())?;
+        self.quantized = None;
+        Ok(Some(record))
     }
 
     /// Sequential reference execution: same shard partitioning, no threads,
@@ -768,6 +1168,7 @@ impl ServingRuntime {
     fn serve_deterministic(
         &mut self,
         events: Vec<Envelope>,
+        shadow: Option<&DqnAgent>,
     ) -> Result<Vec<ShardOutput>, JarvisError> {
         let shards = self.config.shards;
         let mut streams: Vec<Vec<Envelope>> = (0..shards).map(|_| Vec::new()).collect();
@@ -775,14 +1176,14 @@ impl ServingRuntime {
             let shard = self.shard_of(env.home);
             streams[shard].push(env);
         }
+        let view = PolicyView::new(&self.policy, self.quantized.as_ref(), shadow);
         let mut outputs = Vec::with_capacity(shards);
         for stream in streams {
             // The full slot map is passed through: shard routing already
             // confined each stream to the homes that shard owns.
             outputs.push(shard::process_sequential(
                 &mut self.homes,
-                &self.policy,
-                self.quantized.as_ref(),
+                view,
                 self.config.batch_window,
                 self.config.telemetry,
                 stream.into_iter(),
@@ -798,6 +1199,7 @@ impl ServingRuntime {
     fn serve_threaded(
         &mut self,
         events: Vec<Envelope>,
+        shadow: Option<&DqnAgent>,
     ) -> Result<(Vec<ShardOutput>, Vec<Rejection>), JarvisError> {
         let shards = self.config.shards;
         let route: Vec<usize> = events.iter().map(|env| self.shard_of(env.home)).collect();
@@ -807,8 +1209,7 @@ impl ServingRuntime {
             parts[shard].insert(id, slot);
         }
 
-        let policy = &self.policy;
-        let quantized = self.quantized.as_ref();
+        let view = PolicyView::new(&self.policy, self.quantized.as_ref(), shadow);
         let batch_window = self.config.batch_window;
         let adaptive = self.config.adaptive_batching;
         let stride = self.config.steal_stride;
@@ -830,8 +1231,7 @@ impl ServingRuntime {
                     shard::run_worker(
                         idx,
                         part,
-                        policy,
-                        quantized,
+                        view,
                         batch_window,
                         adaptive,
                         stride,
@@ -914,6 +1314,8 @@ impl ServingRuntime {
             next_seq: self.next_seq,
             policy: self.policy.checkpoint(),
             homes: self.homes.values().map(HomeSlot::snapshot).collect(),
+            online: self.online.clone(),
+            store: self.store.clone(),
         }
     }
 
@@ -984,6 +1386,10 @@ impl ServingRuntime {
         // restored policy must be re-quantized (and re-gated) explicitly.
         self.quantized = None;
         self.next_seq = snap.next_seq;
+        // Online learning state travels with the snapshot: restoring the
+        // store alongside the policy is what makes rollback byte-identical.
+        self.online = snap.online.clone();
+        self.store = snap.store.clone();
         Ok(())
     }
 
@@ -1016,6 +1422,27 @@ impl ServingRuntime {
         }
         Ok(())
     }
+}
+
+/// Replay one home's drained delta into its optimizer checkpoint. Pure:
+/// the result depends only on the inputs, so the worker pool can run these
+/// on any thread in any order without affecting the bytes produced.
+fn tune_one(
+    id: u64,
+    ocp: &OptimizerCheckpoint,
+    delta: &[Experience],
+    steps: u32,
+) -> Result<(u64, String), JarvisError> {
+    let mut agent = DqnAgent::from_checkpoint(ocp.agent.clone())?;
+    for exp in delta {
+        agent.remember(exp.clone());
+    }
+    for _ in 0..steps {
+        agent.replay()?;
+    }
+    let mut updated = ocp.clone();
+    updated.agent = agent.checkpoint();
+    Ok((id, updated.to_json()))
 }
 
 /// One home's unsequenced ingest items plus accounting.

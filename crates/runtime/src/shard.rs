@@ -19,6 +19,7 @@
 //! policy — whichever worker runs it, whenever, produces the same bytes.
 
 use crate::event::{DecisionSource, Envelope, EventKind, Outcome};
+use crate::policy_store::ShadowRow;
 use crate::slot::HomeSlot;
 use jarvis::JarvisError;
 use jarvis_iot_model::MiniAction;
@@ -34,6 +35,29 @@ use std::time::Duration;
 /// just momentarily unstealable.
 const TASK_QUEUE_CAPACITY: usize = 32;
 
+/// The policies one batch executes against: the active agent, its optional
+/// quantized deployment, and an optional shadow candidate scored alongside
+/// the active policy without ever answering a query (DESIGN.md §16).
+#[derive(Clone, Copy)]
+pub(crate) struct PolicyView<'a> {
+    /// The active f64 policy agent.
+    pub policy: &'a DqnAgent,
+    /// The active policy's deployed int8 snapshot, if any.
+    pub quantized: Option<&'a QuantizedPolicy>,
+    /// The staged shadow candidate, if any.
+    pub shadow: Option<&'a DqnAgent>,
+}
+
+impl<'a> PolicyView<'a> {
+    pub(crate) fn new(
+        policy: &'a DqnAgent,
+        quantized: Option<&'a QuantizedPolicy>,
+        shadow: Option<&'a DqnAgent>,
+    ) -> Self {
+        PolicyView { policy, quantized, shadow }
+    }
+}
+
 /// What one shard's worker produced: outcomes for the events it applied
 /// plus the decisions of every batch it executed (its own and stolen).
 #[derive(Debug, Default)]
@@ -48,6 +72,10 @@ pub(crate) struct ShardOutput {
     /// ([`crate::RuntimeConfig::telemetry`]); the deterministic path makes
     /// zero clock calls otherwise (lint rule R2).
     pub latencies_ns: Vec<u64>,
+    /// Per-decision shadow-evaluation rows, when a candidate is staged.
+    /// Aggregated sorted by seq, so the accumulated score is independent of
+    /// shard count, steal schedule, and batch grouping.
+    pub shadow: Vec<ShadowRow>,
 }
 
 /// One routed event plus its telemetry enqueue stamp (`None` when no clock
@@ -61,7 +89,7 @@ pub(crate) struct Job {
 /// action map snapshotted at in-order processing time so neither later
 /// events nor the executing worker can change the answer.
 pub(crate) struct Pending {
-    seq: u64,
+    pub(crate) seq: u64,
     home: u64,
     obs: Vec<f64>,
     valid: Vec<usize>,
@@ -129,10 +157,15 @@ pub(crate) fn steal_order(idx: usize, shards: usize, stride: usize) -> Vec<usize
 
 /// Apply one event to its slot: actions are monitor-checked, sensors step
 /// the state, queries snapshot into the batching window.
+///
+/// `learn` gates the slot's continual-learning hooks: normal serving
+/// passes `true`; quarantined and degraded-mode windows pass `false` so
+/// anomalous traffic never feeds the SPL delta or the replay delta.
 pub(crate) fn apply_event(
     slots: &mut BTreeMap<u64, HomeSlot>,
     job: Job,
     clock: Option<fn() -> u64>,
+    learn: bool,
     pending: &mut Vec<Pending>,
     out: &mut ShardOutput,
 ) -> Result<(), JarvisError> {
@@ -140,10 +173,10 @@ pub(crate) fn apply_event(
     let slot = slots.get_mut(&env.home).ok_or_else(|| {
         JarvisError::Config(format!("event {} targets unregistered home {}", env.seq, env.home))
     })?;
-    slot.note_event(env.minute);
+    slot.note_event(env.minute, learn);
     match env.kind {
         EventKind::Action(mini) => {
-            let verdict = slot.observe_action(mini)?;
+            let verdict = slot.observe_action(mini, learn)?;
             out.outcomes.push(Outcome::Verdict { seq: env.seq, home: env.home, verdict });
         }
         EventKind::Sensor(mini) => {
@@ -151,6 +184,9 @@ pub(crate) fn apply_event(
             out.outcomes.push(Outcome::SensorApplied { seq: env.seq, home: env.home });
         }
         EventKind::Query { indoor_c, outdoor_c, price_per_kwh } => {
+            if learn {
+                slot.note_ambient(indoor_c, outdoor_c, price_per_kwh);
+            }
             pending.push(Pending {
                 seq: env.seq,
                 home: env.home,
@@ -178,8 +214,7 @@ pub(crate) fn apply_event(
 /// unchanged.
 pub(crate) fn run_batch(
     task: InferenceTask,
-    policy: &DqnAgent,
-    quantized: Option<&QuantizedPolicy>,
+    view: PolicyView<'_>,
     clock: Option<fn() -> u64>,
     out: &mut ShardOutput,
 ) -> Result<(), JarvisError> {
@@ -187,12 +222,18 @@ pub(crate) fn run_batch(
         return Ok(());
     }
     let rows: Vec<&[f64]> = task.entries.iter().map(|p| p.obs.as_slice()).collect();
-    let q_rows = match quantized {
+    let q_rows = match view.quantized {
         Some(qp) => qp.q_values_batch(&rows)?,
-        None => policy.q_values_batch(&rows)?,
+        None => view.policy.q_values_batch(&rows)?,
+    };
+    // The shadow candidate sees the exact observations the active policy
+    // answered — scored, never served.
+    let shadow_rows = match view.shadow {
+        Some(sh) => Some(sh.q_values_batch(&rows)?),
+        None => None,
     };
     let mut ranked: Vec<usize> = Vec::new();
-    for (p, q) in task.entries.into_iter().zip(q_rows) {
+    for (i, (p, q)) in task.entries.into_iter().zip(q_rows).enumerate() {
         // Rank the whole head once, descending Q with ascending-index tie
         // breaks — element `c` is exactly `top_c(&q, &all, c)`, without
         // re-sorting per walked rank.
@@ -212,6 +253,9 @@ pub(crate) fn run_batch(
         // fall back to it defensively anyway.
         let (flat, q_value, rank) =
             decision.unwrap_or((0, q.first().copied().unwrap_or(0.0), 0));
+        if let Some(shadow_q) = &shadow_rows {
+            out.shadow.push(score_shadow(&p, flat, &q, &shadow_q[i], &mut ranked));
+        }
         let action = if flat == 0 { None } else { p.actions.get(flat - 1).copied() };
         out.outcomes.push(Outcome::Decision {
             seq: p.seq,
@@ -229,14 +273,49 @@ pub(crate) fn run_batch(
     Ok(())
 }
 
+/// Score one shadow decision: the candidate's constrained choice under the
+/// same `Max(Q, c)` walk, safety parity of the unconstrained argmaxes, and
+/// Q-regret of the candidate's choice under the active policy's estimate.
+fn score_shadow(
+    p: &Pending,
+    active_flat: usize,
+    active_q: &[f64],
+    shadow_q: &[f64],
+    ranked: &mut Vec<usize>,
+) -> ShadowRow {
+    ranked.clear();
+    ranked.extend(0..shadow_q.len());
+    ranked.sort_by(|&a, &b| {
+        shadow_q[b]
+            .partial_cmp(&shadow_q[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+    let shadow_flat = ranked.iter().copied().find(|a| p.valid.contains(a)).unwrap_or(0);
+    let raw_argmax = |q: &[f64]| {
+        let mut best = 0usize;
+        for a in 1..q.len() {
+            if q[a] > q[best] {
+                best = a;
+            }
+        }
+        best
+    };
+    let parity_ok =
+        p.valid.contains(&raw_argmax(active_q)) == p.valid.contains(&raw_argmax(shadow_q));
+    let regret = (active_q.get(active_flat).copied().unwrap_or(0.0)
+        - active_q.get(shadow_flat).copied().unwrap_or(0.0))
+    .max(0.0);
+    ShadowRow { seq: p.seq, agree: shadow_flat == active_flat, parity_ok, regret }
+}
+
 /// Close the current window: publish it on this shard's run queue so an
 /// idle sibling can steal it, or — when the run queue is full — execute it
 /// inline right now.
 fn close_batch(
     run_queue: &StealQueue<InferenceTask>,
     pending: &mut Vec<Pending>,
-    policy: &DqnAgent,
-    quantized: Option<&QuantizedPolicy>,
+    view: PolicyView<'_>,
     clock: Option<fn() -> u64>,
     out: &mut ShardOutput,
 ) -> Result<(), JarvisError> {
@@ -246,7 +325,7 @@ fn close_batch(
     let task = InferenceTask { entries: std::mem::take(pending) };
     match run_queue.try_push(task) {
         Ok(()) => Ok(()),
-        Err(PushError::Full(task)) => run_batch(task, policy, quantized, clock, out),
+        Err(PushError::Full(task)) => run_batch(task, view, clock, out),
     }
 }
 
@@ -254,8 +333,7 @@ fn close_batch(
 /// deterministic reference for any shard count and any steal schedule.
 pub(crate) fn process_sequential(
     slots: &mut BTreeMap<u64, HomeSlot>,
-    policy: &DqnAgent,
-    quantized: Option<&QuantizedPolicy>,
+    view: PolicyView<'_>,
     batch_window: usize,
     clock: Option<fn() -> u64>,
     events: impl Iterator<Item = Envelope>,
@@ -263,18 +341,17 @@ pub(crate) fn process_sequential(
     let mut out = ShardOutput::default();
     let mut pending: Vec<Pending> = Vec::new();
     for env in events {
-        apply_event(slots, Job { env, enqueued: None }, clock, &mut pending, &mut out)?;
+        apply_event(slots, Job { env, enqueued: None }, clock, true, &mut pending, &mut out)?;
         if pending.len() >= batch_window {
             run_batch(
                 InferenceTask { entries: std::mem::take(&mut pending) },
-                policy,
-                quantized,
+                view,
                 clock,
                 &mut out,
             )?;
         }
     }
-    run_batch(InferenceTask { entries: pending }, policy, quantized, clock, &mut out)?;
+    run_batch(InferenceTask { entries: pending }, view, clock, &mut out)?;
     Ok(out)
 }
 
@@ -301,8 +378,7 @@ impl Drop for ExitGuard<'_> {
 pub(crate) fn run_worker(
     idx: usize,
     slots: &mut BTreeMap<u64, HomeSlot>,
-    policy: &DqnAgent,
-    quantized: Option<&QuantizedPolicy>,
+    view: PolicyView<'_>,
     batch_window: usize,
     adaptive: bool,
     stride: usize,
@@ -311,9 +387,8 @@ pub(crate) fn run_worker(
     shared: &WorkerShared,
 ) -> Result<ShardOutput, JarvisError> {
     let mut guard = ExitGuard { done: &shared.done[idx], abort: &shared.abort, clean: false };
-    let result = worker_loop(
-        idx, slots, policy, quantized, batch_window, adaptive, stride, throttle, clock, shared,
-    );
+    let result =
+        worker_loop(idx, slots, view, batch_window, adaptive, stride, throttle, clock, shared);
     guard.clean = result.is_ok();
     drop(guard);
     result
@@ -323,8 +398,7 @@ pub(crate) fn run_worker(
 fn worker_loop(
     idx: usize,
     slots: &mut BTreeMap<u64, HomeSlot>,
-    policy: &DqnAgent,
-    quantized: Option<&QuantizedPolicy>,
+    view: PolicyView<'_>,
     batch_window: usize,
     adaptive: bool,
     stride: usize,
@@ -349,23 +423,23 @@ fn worker_loop(
             if !throttle.is_zero() {
                 std::thread::sleep(throttle);
             }
-            apply_event(slots, job, clock, &mut pending, &mut out)?;
+            apply_event(slots, job, clock, true, &mut pending, &mut out)?;
             if pending.len() >= batch_window {
-                close_batch(run_queue, &mut pending, policy, quantized, clock, &mut out)?;
+                close_batch(run_queue, &mut pending, view, clock, &mut out)?;
             }
         }
 
         // 2. Adaptive close: the ring ran dry with queries parked — answer
         //    them now instead of letting them age until the window fills.
         if adaptive && !pending.is_empty() {
-            close_batch(run_queue, &mut pending, policy, quantized, clock, &mut out)?;
+            close_batch(run_queue, &mut pending, view, clock, &mut out)?;
             progress = true;
         }
 
         // 3. End of stream: flush the remainder, then announce that this
         //    shard will never publish another task.
         if !done_publishing && ingest.is_drained() {
-            close_batch(run_queue, &mut pending, policy, quantized, clock, &mut out)?;
+            close_batch(run_queue, &mut pending, view, clock, &mut out)?;
             shared.done[idx].store(true, Ordering::Release);
             done_publishing = true;
         }
@@ -373,12 +447,12 @@ fn worker_loop(
         // 4. Execute own batches first (freshest cache), then steal from
         //    the fixed victim schedule.
         if let Some(task) = run_queue.pop() {
-            run_batch(task, policy, quantized, clock, &mut out)?;
+            run_batch(task, view, clock, &mut out)?;
             continue;
         }
         for &victim in &victims {
             if let Some(task) = shared.tasks[victim].pop() {
-                run_batch(task, policy, quantized, clock, &mut out)?;
+                run_batch(task, view, clock, &mut out)?;
                 progress = true;
                 break;
             }

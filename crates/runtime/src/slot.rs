@@ -1,8 +1,10 @@
 //! Per-home serving state: the slot a worker shard owns for one home.
 
+use crate::online::{OnlineConfig, OnlineLearner};
 use jarvis::{encode_observation, JarvisError, Verdict};
 use jarvis_iot_model::{EnvAction, EnvState, MiniAction};
 use jarvis_policy::{MatchMode, SafeTransitionTable};
+use jarvis_rl::Experience;
 use jarvis_sim::MINUTES_PER_DAY;
 use jarvis_smart_home::SmartHome;
 use jarvis_stdkit::json_struct;
@@ -32,9 +34,13 @@ pub struct HomeSnapshot {
     /// The home's `OptimizerCheckpoint` JSON, when training state rides
     /// along with the slot.
     pub checkpoint: Option<String>,
+    /// The home's continual-learning state, when online learning is
+    /// enabled (DESIGN.md §16). Riding in the snapshot is what makes WAL
+    /// recovery and rollback byte-identical with learning on.
+    pub online: Option<OnlineLearner>,
 }
 
-json_struct!(HomeSnapshot { id, table, state, minute, alarms, processed, checkpoint });
+json_struct!(HomeSnapshot { id, table, state, minute, alarms, processed, checkpoint, online });
 
 /// One home's complete serving state, owned by exactly one worker shard.
 #[derive(Debug, Clone)]
@@ -48,6 +54,9 @@ pub struct HomeSlot {
     alarms: u64,
     processed: u64,
     checkpoint: Option<String>,
+    /// Continual-learning state; `None` until
+    /// [`crate::ServingRuntime::enable_online`] installs a learner.
+    online: Option<Box<OnlineLearner>>,
     state_sizes: Vec<usize>,
     /// The flat-index → mini-action map, shared behind an `Arc` so a closed
     /// inference batch can carry it to whichever worker steals the batch
@@ -76,6 +85,7 @@ impl HomeSlot {
             alarms: 0,
             processed: 0,
             checkpoint: None,
+            online: None,
             state_sizes,
             agent_actions,
             valid_cache: None,
@@ -159,29 +169,136 @@ impl HomeSlot {
         self.checkpoint.as_deref()
     }
 
-    /// Advance the bookkeeping clock for one incoming event.
-    pub(crate) fn note_event(&mut self, minute: u32) {
+    /// Install (or replace) the slot's continual-learning state.
+    pub(crate) fn enable_online(&mut self, config: OnlineConfig) {
+        self.online = Some(Box::new(OnlineLearner::new(config)));
+    }
+
+    /// The slot's continual-learning state, when enabled.
+    #[must_use]
+    pub fn online(&self) -> Option<&OnlineLearner> {
+        self.online.as_deref()
+    }
+
+    /// Mutable continual-learning state (the fine-tuner drains replay
+    /// deltas through this).
+    pub(crate) fn online_mut(&mut self) -> Option<&mut OnlineLearner> {
+        self.online.as_deref_mut()
+    }
+
+    /// `(folds, admitted)` lifetime counters of the online learner — the
+    /// supervisor diffs these around event application to emit WAL fold
+    /// records.
+    #[must_use]
+    pub(crate) fn online_stats(&self) -> Option<(u64, u64)> {
+        self.online.as_ref().map(|o| (o.folds, o.admitted))
+    }
+
+    /// Advance the bookkeeping clock for one incoming event. With `learn`
+    /// set and a learner installed, the event also advances the SPL fold
+    /// cadence, folding the shadow delta into the safe table when due —
+    /// quarantined and degraded-mode paths pass `learn = false`, so
+    /// anomalous windows never move the cadence or the table.
+    pub(crate) fn note_event(&mut self, minute: u32, learn: bool) {
         self.minute = self.minute.max(minute);
         self.processed += 1;
+        if !learn {
+            return;
+        }
+        let Some(online) = self.online.as_deref_mut() else { return };
+        online.since_fold += 1;
+        if online.since_fold < online.config.fold_every {
+            return;
+        }
+        online.since_fold = 0;
+        let outcome = online.delta.fold(
+            self.home.fsm(),
+            &mut self.table,
+            online.config.support_threshold,
+            online.config.hysteresis_folds,
+        );
+        online.folds += 1;
+        online.admitted += outcome.admitted.len() as u64;
+        if !outcome.admitted.is_empty() {
+            // The safe set just grew: memoized valid actions are stale.
+            self.valid_cache = None;
+        }
+    }
+
+    /// Record a decision query's ambient telemetry so between-query replay
+    /// experiences encode against the conditions the home actually sees.
+    pub(crate) fn note_ambient(&mut self, indoor_c: f64, outdoor_c: f64, price_per_kwh: f64) {
+        if let Some(online) = self.online.as_deref_mut() {
+            online.ambient =
+                crate::online::AmbientTelemetry { indoor_c, outdoor_c, price_per_kwh };
+        }
     }
 
     /// The monitor path: check `mini` against the safe-transition table,
     /// step the state when it is safe, block and alarm when it is not.
     ///
+    /// With `learn` set and a learner installed, a blocked action feeds the
+    /// shadow SPL delta (a candidate for hysteresis admission) and a safe
+    /// agent-action appends a replay-delta [`Experience`] for the
+    /// fine-tuner.
+    ///
     /// # Errors
     ///
     /// Returns a [`JarvisError::Model`] when `mini` does not belong to this
     /// home's catalogue.
-    pub(crate) fn observe_action(&mut self, mini: MiniAction) -> Result<Verdict, JarvisError> {
+    pub(crate) fn observe_action(
+        &mut self,
+        mini: MiniAction,
+        learn: bool,
+    ) -> Result<Verdict, JarvisError> {
         let action = EnvAction::single(mini);
+        let learning = learn && self.online.is_some();
         if self.table.is_safe_action(&self.state, &action, self.mode) {
+            // Snapshot the pre-step observation only when a replay
+            // experience will actually be recorded.
+            let flat = if learning {
+                self.agent_actions.iter().position(|&m| m == mini).map(|i| i + 1)
+            } else {
+                None
+            };
+            let before = flat.map(|_| self.encode_ambient(self.minute));
             self.state = self.home.fsm().step(&self.state, &action)?;
             self.valid_cache = None;
+            if let (Some(flat), Some(state)) = (flat, before) {
+                let next = self.encode_ambient(self.minute);
+                let next_valid = self.valid_actions();
+                if let Some(online) = self.online.as_deref_mut() {
+                    online.push_experience(Experience {
+                        state,
+                        action: flat,
+                        reward: 1.0,
+                        next,
+                        next_valid,
+                        done: false,
+                    });
+                }
+            }
             Ok(Verdict::Safe)
         } else {
             self.alarms += 1;
+            if learning {
+                if let Some(online) = self.online.as_deref_mut() {
+                    online.delta.observe(&self.state, &action);
+                }
+            }
             Ok(Verdict::Violation)
         }
+    }
+
+    /// Encode the current state against the learner's last-seen ambient
+    /// telemetry (defaults before the first query).
+    fn encode_ambient(&self, minute: u32) -> Vec<f64> {
+        let ambient = self
+            .online
+            .as_deref()
+            .map(|o| o.ambient.clone())
+            .unwrap_or_default();
+        self.encode(minute, ambient.indoor_c, ambient.outdoor_c, ambient.price_per_kwh)
     }
 
     /// Apply an exogenous sensor event to the home's state, unchecked.
@@ -247,6 +364,7 @@ impl HomeSlot {
             alarms: self.alarms,
             processed: self.processed,
             checkpoint: self.checkpoint.clone(),
+            online: self.online.as_deref().cloned(),
         }
     }
 
@@ -271,6 +389,7 @@ impl HomeSlot {
         self.alarms = snap.alarms;
         self.processed = snap.processed;
         self.checkpoint = snap.checkpoint.clone();
+        self.online = snap.online.clone().map(Box::new);
         self.valid_cache = None;
         Ok(())
     }

@@ -38,17 +38,40 @@
 //! exact same path.
 
 use crate::event::{DecisionSource, Envelope, EventKind, Outcome};
+use crate::policy_store::SwapPoint;
 use crate::runtime::ServeReport;
-use crate::shard::{self, InferenceTask, Job, Pending, ShardOutput};
+use crate::shard::{self, InferenceTask, Job, Pending, PolicyView, ShardOutput};
 use crate::slot::HomeSlot;
-use crate::wal::ShardWal;
+use crate::wal::{ShardWal, WalRecord};
 use jarvis::JarvisError;
-use jarvis_rl::{DqnAgent, QuantizedPolicy};
 use jarvis_sim::{ChaosKind, ChaosSchedule};
 use jarvis_stdkit::rng::{ChaCha8Rng, Rng, SeedableRng};
 use jarvis_stdkit::{json_enum, json_struct};
 use std::collections::{BTreeMap, BTreeSet};
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+/// The policy timeline one supervised serve call runs against: `views[0]`
+/// serves until `swaps[0].at_seq`, `views[k]` from `swaps[k-1].at_seq` to
+/// `swaps[k].at_seq`, and so on (`views.len() == swaps.len() + 1`). The
+/// epoch of an envelope is a pure function of its seq, so a recovery replay
+/// re-serves every envelope under the exact policy that first served it.
+pub(crate) struct Roster<'a> {
+    /// Per-epoch policy views, in timeline order.
+    pub views: Vec<PolicyView<'a>>,
+    /// The swap schedule, strictly ascending by `at_seq`.
+    pub swaps: &'a [SwapPoint],
+}
+
+impl<'a> Roster<'a> {
+    /// The epoch serving `seq`: swaps take effect *at* their seq.
+    fn epoch_of(&self, seq: u64) -> usize {
+        self.swaps.partition_point(|s| s.at_seq <= seq)
+    }
+
+    fn view(&self, epoch: usize) -> PolicyView<'a> {
+        self.views[epoch.min(self.views.len() - 1)]
+    }
+}
 
 /// Supervision policy for [`crate::ServingRuntime::serve_supervised`].
 #[derive(Debug, Clone, PartialEq)]
@@ -218,6 +241,10 @@ pub struct SupervisedReport {
     pub report: ServeReport,
     /// What the supervisor did.
     pub recovery: RecoveryReport,
+    /// Each shard's final write-ahead log, in shard order — the last
+    /// checkpoint, the envelope suffix since, and the full
+    /// continual-learning record trail ([`WalRecord`]).
+    pub wals: Vec<ShardWal>,
 }
 
 /// Typed payload of an injected chaos panic. Unwinding with
@@ -259,6 +286,12 @@ pub(crate) struct ShardSupervisor<'a> {
     /// Telemetry stamp of the crash whose recovery retry is in flight;
     /// closed (crash → first post-recovery decision) once the retry lands.
     pending_recovery_stamp: Option<u64>,
+    /// Per-home `(folds, admitted)` already committed to the WAL record
+    /// trail. Recovery replays re-run folds in slot state but never move a
+    /// counter past its committed value, so records are exactly-once.
+    recorded_folds: BTreeMap<u64, (u64, u64)>,
+    /// Swap points already committed to the WAL record trail.
+    recorded_swaps: usize,
     recovery: RecoveryReport,
 }
 
@@ -282,6 +315,8 @@ impl<'a> ShardSupervisor<'a> {
             restarts_used: 0,
             backoff_rng: ChaCha8Rng::seed_from_u64(z),
             pending_recovery_stamp: None,
+            recorded_folds: BTreeMap::new(),
+            recorded_swaps: 0,
             recovery: RecoveryReport::default(),
         }
     }
@@ -312,7 +347,9 @@ impl<'a> ShardSupervisor<'a> {
                 env.seq, env.home
             ))
         })?;
-        slot.note_event(env.minute);
+        // Fallback answers come from anomalous windows (quarantine,
+        // degraded mode); they must never feed the continual learner.
+        slot.note_event(env.minute, false);
         out.outcomes.push(Outcome::Decision {
             seq: env.seq,
             home: env.home,
@@ -326,24 +363,27 @@ impl<'a> ShardSupervisor<'a> {
     }
 
     /// Restore the WAL checkpoint and replay the logged suffix, truncating
-    /// the output back to the checkpoint marks first. Returns the number of
-    /// envelopes replayed.
+    /// the output back to the checkpoint marks first. Replayed envelopes are
+    /// re-served under the exact policy epoch that first served them
+    /// ([`Roster::epoch_of`]). Returns the number of envelopes replayed.
     #[allow(clippy::too_many_arguments)]
     fn restore_and_replay(
         &mut self,
         slots: &mut BTreeMap<u64, HomeSlot>,
-        policy: &DqnAgent,
-        quantized: Option<&QuantizedPolicy>,
+        roster: &Roster<'_>,
         batch_window: usize,
         clock: Option<fn() -> u64>,
         wal: &ShardWal,
-        marks: (usize, usize),
+        marks: (usize, usize, usize),
         pending: &mut Vec<Pending>,
+        pending_epoch: &mut Option<usize>,
         out: &mut ShardOutput,
     ) -> Result<usize, JarvisError> {
         out.outcomes.truncate(marks.0);
         out.latencies_ns.truncate(marks.1);
+        out.shadow.truncate(marks.2);
         pending.clear();
+        *pending_epoch = None;
         for snap in &wal.snapshot {
             let slot = slots.get_mut(&snap.id).ok_or_else(|| {
                 JarvisError::Config(format!("WAL names unregistered home {}", snap.id))
@@ -356,12 +396,29 @@ impl<'a> ShardSupervisor<'a> {
                 Self::fallback_decision(slots, env, out)?;
                 continue;
             }
-            shard::apply_event(slots, Job { env: env.clone(), enqueued: None }, clock, pending, out)?;
+            let epoch = roster.epoch_of(env.seq);
+            if !pending.is_empty() && *pending_epoch != Some(epoch) {
+                shard::run_batch(
+                    InferenceTask { entries: std::mem::take(pending) },
+                    roster.view(pending_epoch.unwrap_or(epoch)),
+                    clock,
+                    out,
+                )?;
+            }
+            *pending_epoch = Some(epoch);
+            let learn = !self.degraded;
+            shard::apply_event(
+                slots,
+                Job { env: env.clone(), enqueued: None },
+                clock,
+                learn,
+                pending,
+                out,
+            )?;
             if pending.len() >= batch_window {
                 shard::run_batch(
                     InferenceTask { entries: std::mem::take(pending) },
-                    policy,
-                    quantized,
+                    roster.view(epoch),
                     clock,
                     out,
                 )?;
@@ -391,10 +448,17 @@ impl<'a> ShardSupervisor<'a> {
             }
             self.recovery.tolerated_stall_ticks += ticks;
         }
+        let learn = !self.degraded;
         let fired = &mut self.fired;
         let caught = catch_unwind(AssertUnwindSafe(|| {
-            let applied =
-                shard::apply_event(slots, Job { env: env.clone(), enqueued: None }, clock, pending, out);
+            let applied = shard::apply_event(
+                slots,
+                Job { env: env.clone(), enqueued: None },
+                clock,
+                learn,
+                pending,
+                out,
+            );
             if applied.is_ok() {
                 if let Some(ChaosKind::Panic { .. }) = armed {
                     // Fire *after* the event mutated the slot: recovery must
@@ -415,29 +479,80 @@ impl<'a> ShardSupervisor<'a> {
         }
     }
 
+    /// Commit any fold the slot performed while handling the last envelope
+    /// to the WAL record trail. Counters only ever move forward past their
+    /// committed marks on first application — recovery replays rebuild slot
+    /// state up to (never beyond) the committed counters — so each fold is
+    /// recorded exactly once, at the envelope that first landed it.
+    fn commit_fold_records(
+        &mut self,
+        slots: &BTreeMap<u64, HomeSlot>,
+        home: u64,
+        wal: &mut ShardWal,
+    ) {
+        let Some(slot) = slots.get(&home) else { return };
+        let Some((folds, admitted)) = slot.online_stats() else { return };
+        let committed = self.recorded_folds.entry(home).or_insert((0, 0));
+        if folds > committed.0 {
+            wal.append_record(WalRecord::Fold {
+                home,
+                fold: folds,
+                admitted: admitted - committed.1,
+            });
+            *committed = (folds, admitted);
+        }
+    }
+
     /// Drive one shard's whole stream under supervision.
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn run(
         mut self,
         slots: &mut BTreeMap<u64, HomeSlot>,
-        policy: &DqnAgent,
-        quantized: Option<&QuantizedPolicy>,
+        roster: &Roster<'_>,
         batch_window: usize,
         clock: Option<fn() -> u64>,
         stream: Vec<Envelope>,
-    ) -> Result<(ShardOutput, RecoveryReport), JarvisError> {
+    ) -> Result<(ShardOutput, RecoveryReport, ShardWal), JarvisError> {
         let mut out = ShardOutput::default();
         let mut pending: Vec<Pending> = Vec::new();
+        let mut pending_epoch: Option<usize> = None;
         let snapshot = |slots: &BTreeMap<u64, HomeSlot>| {
             slots.values().map(HomeSlot::snapshot).collect::<Vec<_>>()
         };
         let mut wal = ShardWal::new(self.shard, snapshot(slots));
-        let mut marks = (0usize, 0usize);
+        let mut marks = (0usize, 0usize, 0usize);
         let mut since_checkpoint = 0u64;
+        // Folds that predate this serve call (resumed snapshots) are not
+        // this WAL's to report.
+        for (id, slot) in slots.iter() {
+            if let Some(stats) = slot.online_stats() {
+                self.recorded_folds.insert(*id, stats);
+            }
+        }
 
         for env in stream {
             // Write-ahead: the envelope is durable before any attempt.
             wal.append(env.clone());
+
+            // Commit swap points this envelope's epoch has crossed, then
+            // flush the batching window if the epoch moved — a batch never
+            // spans a swap, so every query is answered by the policy that
+            // was active at its seq.
+            let epoch = roster.epoch_of(env.seq);
+            while self.recorded_swaps < epoch.min(roster.swaps.len()) {
+                let sp = roster.swaps[self.recorded_swaps];
+                wal.append_record(WalRecord::Swap { at_seq: sp.at_seq, version: sp.version });
+                self.recorded_swaps += 1;
+            }
+            if !pending.is_empty() && pending_epoch != Some(epoch) {
+                shard::run_batch(
+                    InferenceTask { entries: std::mem::take(&mut pending) },
+                    roster.view(pending_epoch.unwrap_or(epoch)),
+                    clock,
+                    &mut out,
+                )?;
+            }
+            pending_epoch = Some(epoch);
 
             if self.quarantined.contains(&env.seq)
                 || (self.degraded && matches!(env.kind, EventKind::Query { .. }))
@@ -467,8 +582,8 @@ impl<'a> ShardSupervisor<'a> {
                                 // Poison pill: stop retrying, serve the
                                 // safe-table answer, move on.
                                 self.restore_and_replay(
-                                    slots, policy, quantized, batch_window, clock, &wal,
-                                    marks, &mut pending, &mut out,
+                                    slots, roster, batch_window, clock, &wal, marks,
+                                    &mut pending, &mut pending_epoch, &mut out,
                                 )?;
                                 self.quarantined.insert(env.seq);
                                 self.recovery.quarantined.push(QuarantineRecord {
@@ -488,8 +603,8 @@ impl<'a> ShardSupervisor<'a> {
                                 // Budget exhausted: the neural path goes
                                 // offline for the rest of the call.
                                 self.restore_and_replay(
-                                    slots, policy, quantized, batch_window, clock, &wal,
-                                    marks, &mut pending, &mut out,
+                                    slots, roster, batch_window, clock, &wal, marks,
+                                    &mut pending, &mut pending_epoch, &mut out,
                                 )?;
                                 self.degraded = true;
                                 self.recovery.degraded_shards.push(self.shard);
@@ -533,8 +648,8 @@ impl<'a> ShardSupervisor<'a> {
                                 );
                             self.recovery.virtual_ticks += backoff_ticks;
                             let replayed = self.restore_and_replay(
-                                slots, policy, quantized, batch_window, clock, &wal, marks,
-                                &mut pending, &mut out,
+                                slots, roster, batch_window, clock, &wal, marks,
+                                &mut pending, &mut pending_epoch, &mut out,
                             )?;
                             self.recovery.restarts.push(RestartRecord {
                                 shard: self.shard,
@@ -562,8 +677,7 @@ impl<'a> ShardSupervisor<'a> {
                     if !pending.is_empty() {
                         shard::run_batch(
                             InferenceTask { entries: std::mem::take(&mut pending) },
-                            policy,
-                            quantized,
+                            roster.view(pending_epoch.unwrap_or(epoch)),
                             clock,
                             &mut out,
                         )?;
@@ -574,30 +688,33 @@ impl<'a> ShardSupervisor<'a> {
                 }
             }
 
+            // Commit any fold this envelope landed — after the slot
+            // mutation survived every failure path, never before.
+            self.commit_fold_records(slots, env.home, &mut wal);
+
             if since_checkpoint >= self.sup.checkpoint_every {
                 // Flush the window first so the checkpoint is a batch
                 // boundary and the WAL suffix stays self-contained.
                 if !pending.is_empty() {
                     shard::run_batch(
                         InferenceTask { entries: std::mem::take(&mut pending) },
-                        policy,
-                        quantized,
+                        roster.view(pending_epoch.unwrap_or(epoch)),
                         clock,
                         &mut out,
                     )?;
                 }
                 wal.checkpoint(snapshot(slots));
-                marks = (out.outcomes.len(), out.latencies_ns.len());
+                marks = (out.outcomes.len(), out.latencies_ns.len(), out.shadow.len());
                 self.recovery.checkpoints += 1;
                 since_checkpoint = 0;
             }
         }
 
         // End of stream: answer whatever is still parked.
+        let final_epoch = pending_epoch.unwrap_or(0);
         shard::run_batch(
             InferenceTask { entries: pending },
-            policy,
-            quantized,
+            roster.view(final_epoch),
             clock,
             &mut out,
         )?;
@@ -608,6 +725,6 @@ impl<'a> ShardSupervisor<'a> {
                 matches!(o, Outcome::Decision { source: DecisionSource::SafeTableFallback, .. })
             })
             .count() as u64;
-        Ok((out, self.recovery))
+        Ok((out, self.recovery, wal))
     }
 }

@@ -21,7 +21,38 @@
 
 use crate::event::Envelope;
 use crate::slot::HomeSnapshot;
-use jarvis_stdkit::json_struct;
+use jarvis_stdkit::{json_enum, json_struct};
+
+/// A durable continual-learning record (DESIGN.md §16). Unlike envelope
+/// entries, records are *not* cleared at checkpoints: they are the audit
+/// trail that lets recovery — and offline verification — reconstruct which
+/// SPL folds landed and which policy version was active at every seq,
+/// independent of where the last checkpoint fell.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WalRecord {
+    /// A slot folded its SPL delta into `P_safe`.
+    Fold {
+        /// The home whose delta folded.
+        home: u64,
+        /// The slot's lifetime fold ordinal (1-based, == `folds` after).
+        fold: u64,
+        /// Pairs admitted into the safe table by this fold.
+        admitted: u64,
+    },
+    /// The active policy version changed.
+    Swap {
+        /// The stream seq at which the swap took effect: decisions with
+        /// `seq >= at_seq` were served by `version`.
+        at_seq: u64,
+        /// The now-active policy version id.
+        version: u64,
+    },
+}
+
+json_enum!(WalRecord {
+    Fold { home, fold, admitted },
+    Swap { at_seq, version },
+});
 
 /// One shard's write-ahead log: last checkpoint + envelope suffix.
 #[derive(Debug, Clone, PartialEq)]
@@ -33,15 +64,18 @@ pub struct ShardWal {
     /// Envelopes logged since the checkpoint, in processing (seq) order.
     /// The last entry is the envelope currently being processed.
     pub entries: Vec<Envelope>,
+    /// Continual-learning records for the whole run, in commit order.
+    /// Checkpoints do not clear them.
+    pub records: Vec<WalRecord>,
 }
 
-json_struct!(ShardWal { shard, snapshot, entries });
+json_struct!(ShardWal { shard, snapshot, entries, records });
 
 impl ShardWal {
     /// Open a log for `shard` at an initial checkpoint.
     #[must_use]
     pub fn new(shard: usize, snapshot: Vec<HomeSnapshot>) -> Self {
-        ShardWal { shard, snapshot, entries: Vec::new() }
+        ShardWal { shard, snapshot, entries: Vec::new(), records: Vec::new() }
     }
 
     /// Log an envelope ahead of processing it.
@@ -49,8 +83,16 @@ impl ShardWal {
         self.entries.push(env);
     }
 
+    /// Commit a continual-learning record. Appended *after* the learning
+    /// state change it describes lands in slot state, so a crash between
+    /// the two replays the change rather than double-reporting it.
+    pub fn append_record(&mut self, record: WalRecord) {
+        self.records.push(record);
+    }
+
     /// Replace the checkpoint with a fresh snapshot and clear the suffix —
-    /// everything before `snapshot` is now durable state.
+    /// everything before `snapshot` is now durable state. Learning records
+    /// survive: they describe the whole run, not the suffix.
     pub fn checkpoint(&mut self, snapshot: Vec<HomeSnapshot>) {
         self.snapshot = snapshot;
         self.entries.clear();
@@ -132,9 +174,41 @@ mod tests {
                 action: jarvis_iot_model::ActionIdx(0),
             }),
         });
+        wal.append_record(WalRecord::Fold { home: 3, fold: 1, admitted: 2 });
+        wal.append_record(WalRecord::Swap { at_seq: 9, version: 1 });
         let json = wal.to_json();
         let back = ShardWal::from_json(&json).unwrap();
         assert_eq!(back, wal);
         assert_eq!(back.to_json(), json, "serialization must be byte-stable");
+    }
+
+    #[test]
+    fn learning_records_survive_checkpoints() {
+        let mut wal = ShardWal::new(0, snapshot());
+        wal.append(env(0));
+        wal.append_record(WalRecord::Fold { home: 3, fold: 1, admitted: 0 });
+        wal.checkpoint(snapshot());
+        assert!(wal.is_empty(), "checkpoint clears the envelope suffix");
+        assert_eq!(
+            wal.records,
+            vec![WalRecord::Fold { home: 3, fold: 1, admitted: 0 }],
+            "checkpoint must not clear the learning audit trail"
+        );
+        wal.append_record(WalRecord::Swap { at_seq: 5, version: 2 });
+        wal.checkpoint(snapshot());
+        assert_eq!(wal.records.len(), 2);
+    }
+
+    #[test]
+    fn wal_record_round_trips_byte_for_byte() {
+        for record in [
+            WalRecord::Fold { home: 11, fold: 4, admitted: 1 },
+            WalRecord::Swap { at_seq: 1024, version: 3 },
+        ] {
+            let json = record.to_json();
+            let back = WalRecord::from_json(&json).unwrap();
+            assert_eq!(back, record);
+            assert_eq!(back.to_json(), json, "serialization must be byte-stable");
+        }
     }
 }

@@ -378,3 +378,151 @@ impl FromJsonStr for jarvis_runtime::RecoveryReport {
         Self::from_json(s).expect("recovery report json")
     }
 }
+
+// ---------------------------------------------------------------------------
+// Continual learning under supervision (DESIGN.md §16): the WAL audit
+// trail and crash recovery through a mid-stream policy swap
+// ---------------------------------------------------------------------------
+
+use jarvis_runtime::{OnlineConfig, ShadowGates, SwapPoint, WalRecord};
+use std::collections::BTreeMap;
+
+/// A supervised runtime with online learning on (short fold cadence) and a
+/// second policy version registered as a swap target.
+fn online_runtime(f: &Fixture, shards: usize, homes: u32) -> (ServingRuntime, u64) {
+    let mut rt = build_runtime(f, det_config(shards), homes);
+    let online = OnlineConfig {
+        fold_every: if cfg!(miri) { 16 } else { 24 },
+        ..OnlineConfig::default()
+    };
+    rt.enable_online(online, ShadowGates::default()).expect("enable online");
+    let cfg = f.policy.config();
+    let mut alt = DqnConfig::new(cfg.state_dim, cfg.num_actions);
+    alt.hidden = vec![16];
+    alt.seed = 99;
+    let alt = DqnAgent::new(alt).expect("alt policy");
+    let version = rt.policy_store_mut().expect("store").register(alt.checkpoint());
+    (rt, version)
+}
+
+#[test]
+fn supervised_wal_records_the_learning_audit_trail() {
+    let f = fixture();
+    let fleet = FleetGenerator::new(37, fleet_size());
+    let shards = 2;
+    let (mut rt, version) = online_runtime(&f, shards, fleet.num_homes());
+    let ingest = rt.ingest_fleet_day(&fleet, 1, None, Some(query_every())).expect("ingest");
+    let at_seq = ingest.envelopes[ingest.envelopes.len() / 2].seq;
+    let swaps = [SwapPoint { at_seq, version }];
+    let mut sup = SupervisorConfig::default();
+    sup.checkpoint_every = 16;
+    let report = rt.serve_online_supervised(ingest.envelopes, &sup, None, &swaps).expect("serve");
+    assert!(report.recovery.checkpoints > 0, "checkpoints must be taken");
+    assert_eq!(report.wals.len(), shards);
+
+    // Fold records: per home, consecutive ordinals summing to exactly the
+    // slot's lifetime counters — and they survived every checkpoint.
+    let mut trail: BTreeMap<u64, (u64, u64)> = BTreeMap::new();
+    let mut swap_records = 0usize;
+    for wal in &report.wals {
+        for record in &wal.records {
+            match record {
+                WalRecord::Fold { home, fold, admitted } => {
+                    let entry = trail.entry(*home).or_insert((0, 0));
+                    assert_eq!(*fold, entry.0 + 1, "home {home}: fold ordinals must be consecutive");
+                    entry.0 = *fold;
+                    entry.1 += admitted;
+                }
+                WalRecord::Swap { at_seq: a, version: v } => {
+                    assert_eq!((*a, *v), (at_seq, version), "unexpected swap record");
+                    swap_records += 1;
+                }
+            }
+        }
+    }
+    assert_eq!(swap_records, shards, "every shard crossing the swap logs it once");
+    assert!(!trail.is_empty(), "the stream must be long enough to fold");
+    for id in 0..u64::from(fleet.num_homes()) {
+        let learner = rt.slot(id).expect("slot").online().expect("learner");
+        let (folds, admitted) = trail.get(&id).copied().unwrap_or((0, 0));
+        assert_eq!(folds, learner.folds, "home {id}: fold trail diverged from the slot");
+        assert_eq!(admitted, learner.admitted, "home {id}: admitted trail diverged");
+    }
+
+    // The full WALs — checkpoint, suffix, and record trail — round-trip
+    // byte-for-byte through the strict JSON codec.
+    for wal in &report.wals {
+        let json = wal.to_json();
+        use jarvis_stdkit::json::FromJson;
+        let back = jarvis_runtime::ShardWal::from_json(&json).expect("wal json");
+        assert_eq!(&back, wal);
+        assert_eq!(back.to_json(), json, "WAL serialization must be byte-stable");
+    }
+}
+
+#[test]
+fn recovery_through_a_swap_is_bitwise_and_lands_on_the_active_version() {
+    let f = fixture();
+    let fleet = FleetGenerator::new(41, fleet_size());
+    let mut sup = SupervisorConfig::default();
+    sup.restart_budget = u32::MAX;
+    sup.checkpoint_every = 16;
+    for shards in [1usize, 2] {
+        // The uninterrupted oracle, and a plain serve_online cross-check:
+        // supervision and segment-splitting must agree bitwise.
+        let (mut oracle_rt, version) = online_runtime(&f, shards, fleet.num_homes());
+        let ingest = oracle_rt.ingest_fleet_day(&fleet, 1, None, Some(query_every())).expect("ingest");
+        let envelopes = ingest.envelopes;
+        let at_seq = envelopes[envelopes.len() / 2].seq;
+        let swaps = [SwapPoint { at_seq, version }];
+        let want =
+            oracle_rt.serve_online_supervised(envelopes.clone(), &sup, None, &swaps).expect("oracle");
+        let want_snap = oracle_rt.snapshot().to_json();
+
+        let (mut plain_rt, _) = online_runtime(&f, shards, fleet.num_homes());
+        let ingest = plain_rt.ingest_fleet_day(&fleet, 1, None, Some(query_every())).expect("ingest");
+        let plain = plain_rt.serve_online(ingest.envelopes, &swaps).expect("serve_online");
+        assert_outcomes_bit_identical(
+            &want.report.outcomes,
+            &plain.outcomes,
+            "supervised swap vs segment-split serve_online",
+        );
+        assert_eq!(want_snap, plain_rt.snapshot().to_json());
+
+        // Panics peppered across the whole stream — some fire before the
+        // swap, some after — must recover bitwise onto the same timeline.
+        let plan = ChaosPlan::periodic_panic(13, if cfg!(miri) { 5 } else { 11 }, 1);
+        let chaos: ChaosSchedule = ChaosInjector::new(plan)
+            .expect("plan")
+            .schedule(envelopes.iter().map(|e| e.seq).collect::<Vec<_>>());
+        let (mut rt, _) = online_runtime(&f, shards, fleet.num_homes());
+        let ingest = rt.ingest_fleet_day(&fleet, 1, None, Some(query_every())).expect("ingest");
+        let got = rt
+            .serve_online_supervised(ingest.envelopes, &sup, Some(&chaos), &swaps)
+            .expect("chaos serve");
+        assert_outcomes_bit_identical(
+            &want.report.outcomes,
+            &got.report.outcomes,
+            &format!("{shards} shards: recovery through swap"),
+        );
+        assert_eq!(want_snap, rt.snapshot().to_json(), "{shards} shards: snapshot bytes diverged");
+        assert!(!got.recovery.restarts.is_empty(), "panics must actually fire");
+        assert!(
+            got.recovery.restarts.iter().any(|r| r.seq < at_seq)
+                && got.recovery.restarts.iter().any(|r| r.seq >= at_seq),
+            "the chaos plan must span the swap point"
+        );
+
+        // The recovered runtime lands on the oracle's active version, with
+        // the swap recorded and the stored bytes installed.
+        let store = rt.policy_store().expect("store");
+        assert_eq!(store.active(), version);
+        assert_eq!(store.swaps().len(), 1);
+        assert_eq!(store.swaps()[0].at_seq, at_seq);
+        assert_eq!(
+            rt.policy().checkpoint().to_json(),
+            store.version(version).expect("version").checkpoint.to_json(),
+            "active weights must be the stored bytes, exactly"
+        );
+    }
+}

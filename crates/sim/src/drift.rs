@@ -1,0 +1,160 @@
+//! Drift scenarios: deterministic distribution shift for continual
+//! learning experiments (DESIGN.md §16).
+//!
+//! The paper's evaluation freezes each home's behavior; real homes drift.
+//! A [`DriftSchedule`] wraps two [`HomeDataset`]s and replays a composed
+//! timeline over them:
+//!
+//! - **Occupant change** — up to `change_day` the stream comes from the
+//!   *before* household; from `change_day` onward it comes from the *after*
+//!   household (e.g. a two-occupant Home A becomes a three-occupant Home B
+//!   overnight: new routines, new appliance habits, new lock patterns).
+//! - **Seasonal ramp** — each elapsed day advances the underlying
+//!   generators' calendar by `1 + season_ramp` days, compressing a season
+//!   change into the experiment window so thermostat behavior shifts
+//!   gradually rather than abruptly.
+//!
+//! Everything is a pure function of `(seed, day)`: the same schedule
+//! replays the same drifting stream bit for bit, which is what lets the
+//! continual-learning experiments compare a frozen policy against an
+//! adapting one on identical traffic.
+
+use crate::dataset::{DayActivity, HomeDataset};
+use jarvis_stdkit::json_struct;
+
+/// A deterministic drift scenario over one home's event stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DriftSchedule {
+    /// The household before the change day.
+    pub before: HomeDataset,
+    /// The household from the change day onward.
+    pub after: HomeDataset,
+    /// First day served by `after`. `u32::MAX` disables the occupant
+    /// change (seasonal-only drift).
+    pub change_day: u32,
+    /// Extra calendar days the season advances per elapsed day (0 = real
+    /// time). With `season_ramp = 6`, a 14-day experiment sweeps ~3 months
+    /// of weather.
+    pub season_ramp: u32,
+}
+
+json_struct!(DriftSchedule { before, after, change_day, season_ramp });
+
+impl DriftSchedule {
+    /// An occupant-change scenario: Home A's routines until `change_day`,
+    /// Home B's from then on, both seeded from `seed`.
+    #[must_use]
+    pub fn occupant_change(seed: u64, change_day: u32) -> Self {
+        DriftSchedule {
+            before: HomeDataset::home_a(seed),
+            after: HomeDataset::home_b(seed ^ 0xD41F7),
+            change_day,
+            season_ramp: 0,
+        }
+    }
+
+    /// A seasonal-only scenario: one household, calendar compressed by
+    /// `season_ramp` extra days per elapsed day.
+    #[must_use]
+    pub fn seasonal(seed: u64, season_ramp: u32) -> Self {
+        DriftSchedule {
+            before: HomeDataset::home_a(seed),
+            after: HomeDataset::home_a(seed),
+            change_day: u32::MAX,
+            season_ramp,
+        }
+    }
+
+    /// Add a seasonal ramp to an existing scenario.
+    #[must_use]
+    pub fn with_season_ramp(mut self, season_ramp: u32) -> Self {
+        self.season_ramp = season_ramp;
+        self
+    }
+
+    /// Whether `day` falls after the occupant change.
+    #[must_use]
+    pub fn changed(&self, day: u32) -> bool {
+        day >= self.change_day
+    }
+
+    /// The dataset serving `day`.
+    #[must_use]
+    pub fn dataset(&self, day: u32) -> &HomeDataset {
+        if self.changed(day) {
+            &self.after
+        } else {
+            &self.before
+        }
+    }
+
+    /// The generator-calendar day backing experiment day `day` (the
+    /// seasonal ramp compresses the calendar).
+    #[must_use]
+    pub fn effective_day(&self, day: u32) -> u32 {
+        day.saturating_mul(1 + self.season_ramp)
+    }
+
+    /// The normalized event stream for experiment day `day` under the full
+    /// drift scenario.
+    #[must_use]
+    pub fn activity(&self, day: u32) -> DayActivity {
+        self.dataset(day).activity(self.effective_day(day))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn occupant_change_switches_households_at_the_boundary() {
+        let sched = DriftSchedule::occupant_change(11, 5);
+        assert!(!sched.changed(4));
+        assert!(sched.changed(5));
+        assert_eq!(sched.dataset(0).name(), "Home A");
+        assert_eq!(sched.dataset(5).name(), "Home B");
+        assert_eq!(sched.dataset(4).household().len(), 2);
+        assert_eq!(sched.dataset(5).household().len(), 3);
+    }
+
+    #[test]
+    fn drifted_activity_is_deterministic() {
+        let a = DriftSchedule::occupant_change(3, 7).with_season_ramp(4);
+        let b = DriftSchedule::occupant_change(3, 7).with_season_ramp(4);
+        for day in [0, 6, 7, 12] {
+            assert_eq!(a.activity(day), b.activity(day));
+        }
+    }
+
+    #[test]
+    fn seasonal_ramp_compresses_the_calendar() {
+        let sched = DriftSchedule::seasonal(9, 6);
+        assert_eq!(sched.effective_day(0), 0);
+        assert_eq!(sched.effective_day(10), 70);
+        // The compressed calendar must actually move the weather: mean
+        // outdoor temperature 10 weeks apart differs measurably.
+        let mean = |day: u32| {
+            let w = sched.dataset(day).weather();
+            (0..crate::MINUTES_PER_DAY)
+                .step_by(60)
+                .map(|m| w.outdoor_temp(sched.effective_day(day), m))
+                .sum::<f64>()
+                / 24.0
+        };
+        assert!(
+            (mean(10) - mean(0)).abs() > 1.0,
+            "a 70-day seasonal jump should shift mean outdoor temperature"
+        );
+    }
+
+    #[test]
+    fn schedule_round_trips_byte_for_byte() {
+        use jarvis_stdkit::json::{FromJson, ToJson};
+        let sched = DriftSchedule::occupant_change(21, 3).with_season_ramp(2);
+        let json = sched.to_json();
+        let back = DriftSchedule::from_json(&json).unwrap();
+        assert_eq!(back, sched);
+        assert_eq!(back.to_json(), json, "serialization must be byte-stable");
+    }
+}

@@ -26,6 +26,7 @@
 pub mod anomaly;
 pub mod chaos;
 pub mod dataset;
+pub mod drift;
 pub mod faults;
 pub mod fleet;
 pub mod occupancy;
@@ -37,6 +38,7 @@ pub mod weather;
 pub use anomaly::{AnomalyClass, AnomalyGenerator, AnomalyInstance};
 pub use chaos::{ChaosFire, ChaosInjector, ChaosKind, ChaosPlan, ChaosRule, ChaosSchedule};
 pub use dataset::{ActivityEvent, DayActivity, HomeDataset};
+pub use drift::DriftSchedule;
 pub use faults::{
     FaultInjector, FaultKind, FaultPlan, FaultRule, FaultSummary, FaultedDay, OfflineWindow,
 };

@@ -15,6 +15,12 @@
 # panic recovery plus scoped threads is exactly the code TSan and Miri are
 # best at breaking. JARVIS_SIMD=scalar keeps Miri off the SIMD intrinsics.
 #
+# The continual-learning battery (crates/runtime/tests/online.rs) rides
+# along too: background fine-tuning runs per-home replay passes through the
+# scoped worker pool, and the battery's pool-size-invariance tests are the
+# sharpest probe of that fork/join path under both tools. Sizes scale down
+# automatically under Miri (cfg(miri) in the test).
+#
 # Static analysis (jarvis-lint) covers determinism and panic policy; data
 # races are out of its reach, so this script drives ThreadSanitizer and Miri
 # at the stdkit sync/channel tests. Both require a NIGHTLY toolchain with
@@ -58,6 +64,10 @@ run_tsan() {
     RUSTFLAGS="-Zsanitizer=thread" \
         cargo +nightly test --offline -p jarvis-runtime --test supervision \
         -Zbuild-std --target "$target"
+    echo "==> ThreadSanitizer: jarvis-runtime continual-learning battery (fine-tune pool, swaps)"
+    RUSTFLAGS="-Zsanitizer=thread" \
+        cargo +nightly test --offline -p jarvis-runtime --test online \
+        -Zbuild-std --target "$target"
 }
 
 run_miri() {
@@ -70,6 +80,9 @@ run_miri() {
     echo "==> Miri: jarvis-runtime supervision battery (supervisor, WAL, chaos recovery)"
     JARVIS_SIMD=scalar \
         cargo +nightly miri test --offline -p jarvis-runtime --test supervision
+    echo "==> Miri: jarvis-runtime continual-learning battery (fine-tune pool, swaps)"
+    JARVIS_SIMD=scalar \
+        cargo +nightly miri test --offline -p jarvis-runtime --test online
 }
 
 case "$mode" in

@@ -40,12 +40,20 @@ if [ "${1:-}" = "--quick" ]; then
     echo "==> cargo bench --bench gemm -- --quick --check BENCH_neural.json"
     cargo bench --offline -p jarvis-bench --bench gemm -- --quick --check "$PWD/BENCH_neural.json"
 
+    # Continual-learning smoke: online serving bitwise across shard
+    # counts/modes, fold hysteresis, shadow-eval and promotion-gate
+    # determinism, pool-size-invariant fine-tuning, rollback.
+    echo "==> continual-learning smoke (cargo test -p jarvis-runtime --test online)"
+    cargo test -q --offline -p jarvis-runtime --test online
+
     # Serving-runtime gates against the recorded BENCH_runtime.json:
     # >2x throughput regression of the gated batched path, shard-4 p99
     # above p99_ratio_gate times shard-1 p99, the one-panic-per-499
     # chaos run not bitwise identical to the uninterrupted oracle
-    # (recovery-determinism smoke), or degraded-mode throughput below
-    # degraded_ratio_gate times healthy.
+    # (recovery-determinism smoke), degraded-mode throughput below
+    # degraded_ratio_gate times healthy, the hot-swap stall above one
+    # batch window, or the drift-adaptation gate (continual false alarms
+    # above frozen, or detection below 1.0).
     echo "==> serving-runtime + recovery smoke (throughput --quick --check BENCH_runtime.json)"
     cargo run -q --release --offline -p jarvis-bench --bin throughput -- --quick --check "$PWD/BENCH_runtime.json"
 
@@ -80,6 +88,12 @@ cargo bench --offline -p jarvis-bench --bench gemm -- --quick --check "$PWD/BENC
 # and degraded serving (crates/runtime/tests/supervision.rs).
 echo "==> supervision battery (cargo test -p jarvis-runtime --test supervision)"
 cargo test -q --offline -p jarvis-runtime --test supervision
+
+# Continual-learning battery: online serving determinism, fold hysteresis,
+# shadow evaluation and promotion gates, fine-tuning pool invariance, and
+# byte-for-byte rollback (crates/runtime/tests/online.rs).
+echo "==> continual-learning battery (cargo test -p jarvis-runtime --test online)"
+cargo test -q --offline -p jarvis-runtime --test online
 
 # Serving-runtime smoke: the gated 64-home batched-inference pair, the
 # threaded shard-1/shard-4 tail-latency pair, the one-panic recovery run

@@ -332,6 +332,73 @@ fn crash_recovery_matrix_is_bitwise_equal_to_oracle() {
 }
 
 #[test]
+fn continual_learning_never_masks_detection() {
+    use jarvis_repro::rl::DqnConfig;
+    use jarvis_repro::runtime::{OnlineConfig, ShadowGates, SwapPoint};
+
+    // Online learning on (short fold cadence so many folds fire mid-stream)
+    // and a mid-stream policy swap: engineered violations sprayed across
+    // the whole day — before, between, and after folds and the swap — must
+    // every one be flagged. Injections are spaced wider than a fold window
+    // per home, so no window ever supports the attack pairs and hysteresis
+    // never admits them, even while the benign routine is being admitted.
+    let f = serve_fixture();
+    let mut rt = serving_runtime(&f, 2);
+    rt.enable_online(
+        OnlineConfig { fold_every: 64, ..OnlineConfig::default() },
+        ShadowGates::default(),
+    )
+    .unwrap();
+    let mut alt = DqnConfig::new(f.policy.config().state_dim, f.policy.config().num_actions);
+    alt.hidden = vec![16];
+    alt.seed = 99;
+    let alt = jarvis_repro::rl::DqnAgent::new(alt).unwrap();
+    let version = rt.policy_store_mut().unwrap().register(alt.checkpoint());
+
+    let fleet = FleetGenerator::new(47, FLEET_HOMES);
+    let base = rt.ingest_fleet_day(&fleet, 1, None, Some(QUERY_EVERY)).unwrap().envelopes;
+    let violation = f.home.mini_action("door_sensor", "power_off");
+    let mut stream = Vec::with_capacity(base.len() + base.len() / 150 + 1);
+    let mut injected = Vec::new();
+    for (i, env) in base.into_iter().enumerate() {
+        stream.push(env);
+        if i % 150 == 149 {
+            let minute = stream.last().map_or(0, |e: &Envelope| e.minute);
+            let home = (i / 150) as u64 % u64::from(FLEET_HOMES);
+            injected.push(stream.len());
+            stream.push(Envelope { seq: 0, home, minute, kind: EventKind::Action(violation) });
+        }
+    }
+    for (seq, env) in stream.iter_mut().enumerate() {
+        env.seq = seq as u64;
+    }
+    let injected: Vec<u64> = injected.into_iter().map(|pos| pos as u64).collect();
+    let at_seq = stream.len() as u64 / 2;
+    let report = rt.serve_online(stream, &[SwapPoint { at_seq, version }]).unwrap();
+
+    assert_eq!(
+        detection_rate(&report.outcomes, &injected),
+        1.0,
+        "folds and swaps must not mask engineered violations"
+    );
+    let pre = injected.iter().filter(|&&s| s < at_seq).count();
+    assert!(pre > 0 && pre < injected.len(), "injections must span the swap point");
+    let folds: u64 = (0..u64::from(FLEET_HOMES))
+        .filter_map(|id| rt.slot(id).and_then(|s| s.online()).map(|o| o.folds))
+        .sum();
+    assert!(folds > 0, "folds must actually fire mid-stream");
+    // The benign routine *does* get admitted over the day — the table
+    // genuinely grows online — yet detection above stayed 1.0: had any
+    // attack pair been admitted, a later injection of it would have been
+    // served as Safe and detection would have dropped below 1.0.
+    let admitted: u64 = (0..u64::from(FLEET_HOMES))
+        .filter_map(|id| rt.slot(id).and_then(|s| s.online()).map(|o| o.admitted))
+        .sum();
+    assert!(admitted > 0, "the benign routine shift should clear hysteresis");
+    assert_eq!(rt.policy_store().unwrap().active(), version, "the swap must have landed");
+}
+
+#[test]
 fn stall_injection_exercises_the_deadline_watchdog() {
     let f = serve_fixture();
     let mut sup = SupervisorConfig::default();
