@@ -2,14 +2,16 @@
 
 use crate::rules::{self, Rule, Violation};
 use crate::scan::scan_source;
+use crate::syntax::SyntaxFile;
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
+use std::time::Duration;
 
 /// What to lint and how.
 #[derive(Debug, Clone)]
 pub struct Options {
-    /// Rules to run (default: all five).
+    /// Rules to run (default: all ten).
     pub rules: Vec<Rule>,
     /// Quick mode: walk only `crates/` plus the root manifest (skips the
     /// repo-root `src/`; rule results are identical today, the quick walk is
@@ -23,6 +25,19 @@ impl Default for Options {
     }
 }
 
+/// A full lint run: the findings plus where the walk spent its time (the
+/// verify.sh budget gate and the human `--timing` output both read this).
+#[derive(Debug, Clone)]
+pub struct LintReport {
+    /// All violations, sorted and deduplicated.
+    pub violations: Vec<Violation>,
+    /// Cumulative per-rule check time across every file, in [`Rule::ALL`]
+    /// order (only rules that ran appear).
+    pub timings: Vec<(Rule, Duration)>,
+    /// Number of files scanned.
+    pub files: usize,
+}
+
 /// Directory names never descended into: build output, VCS metadata, the
 /// lint fixture corpus (which exists to *trip* rules), and test/bench/demo
 /// code (every source rule is scoped to shipping, non-test code).
@@ -34,6 +49,15 @@ const SKIP_DIRS: [&str; 6] = ["target", ".git", "fixtures", "tests", "benches", 
 ///
 /// Returns an error when the tree cannot be read.
 pub fn lint_workspace(root: &Path, opts: &Options) -> io::Result<Vec<Violation>> {
+    lint_workspace_report(root, opts).map(|r| r.violations)
+}
+
+/// [`lint_workspace`] with per-rule timing and file counts.
+///
+/// # Errors
+///
+/// Returns an error when the tree cannot be read.
+pub fn lint_workspace_report(root: &Path, opts: &Options) -> io::Result<LintReport> {
     let mut files = Vec::new();
     if opts.quick {
         collect(&root.join("crates"), root, &mut files)?;
@@ -55,6 +79,19 @@ pub fn lint_workspace(root: &Path, opts: &Options) -> io::Result<Vec<Violation>>
 ///
 /// Returns an error when a path cannot be read.
 pub fn lint_paths(root: &Path, paths: &[PathBuf], opts: &Options) -> io::Result<Vec<Violation>> {
+    lint_paths_report(root, paths, opts).map(|r| r.violations)
+}
+
+/// [`lint_paths`] with per-rule timing and file counts.
+///
+/// # Errors
+///
+/// Returns an error when a path cannot be read.
+pub fn lint_paths_report(
+    root: &Path,
+    paths: &[PathBuf],
+    opts: &Options,
+) -> io::Result<LintReport> {
     let mut walked = Vec::new();
     let mut explicit = Vec::new();
     for p in paths {
@@ -65,11 +102,19 @@ pub fn lint_paths(root: &Path, paths: &[PathBuf], opts: &Options) -> io::Result<
             explicit.push(abs);
         }
     }
-    let mut out = lint_files(root, &walked, opts, false)?;
-    out.extend(lint_files(root, &explicit, opts, true)?);
-    out.sort();
-    out.dedup();
-    Ok(out)
+    let mut report = lint_files(root, &walked, opts, false)?;
+    let extra = lint_files(root, &explicit, opts, true)?;
+    report.violations.extend(extra.violations);
+    report.violations.sort();
+    report.violations.dedup();
+    report.files += extra.files;
+    for (rule, d) in extra.timings {
+        match report.timings.iter_mut().find(|(r, _)| *r == rule) {
+            Some((_, total)) => *total += d,
+            None => report.timings.push((rule, d)),
+        }
+    }
+    Ok(report)
 }
 
 /// Recursively collect lintable files (`.rs` sources and `Cargo.toml`
@@ -110,6 +155,16 @@ fn rel_display(root: &Path, path: &Path) -> String {
         .join("/")
 }
 
+/// Does any requested syntax rule (R7–R10) apply to this file?
+fn needs_syntax(opts: &Options, rel: &str, explicit: bool) -> bool {
+    opts.rules.iter().any(|&r| {
+        matches!(
+            r,
+            Rule::UnsafeAudit | Rule::AtomicOrdering | Rule::LockDiscipline | Rule::ResultDiscard
+        ) && (explicit || rules::in_scope(r, rel))
+    })
+}
+
 /// Run the requested rules over a file list. With `explicit`, scope filters
 /// are bypassed and `.toml` files other than `Cargo.toml` are treated as
 /// manifests (fixture support).
@@ -118,8 +173,16 @@ fn lint_files(
     files: &[PathBuf],
     opts: &Options,
     explicit: bool,
-) -> io::Result<Vec<Violation>> {
+) -> io::Result<LintReport> {
     let mut out = Vec::new();
+    let mut timings: Vec<(Rule, Duration)> =
+        opts.rules.iter().map(|&r| (r, Duration::ZERO)).collect();
+    let mut spent = |rule: Rule, d: Duration| {
+        if let Some((_, total)) = timings.iter_mut().find(|(r, _)| *r == rule) {
+            *total += d;
+        }
+    };
+    let no_syntax = SyntaxFile::parse("");
     for path in files {
         let rel = rel_display(root, path);
         let is_manifest = rel.ends_with(".toml");
@@ -128,22 +191,38 @@ fn lint_files(
             if opts.rules.contains(&Rule::Hermeticity)
                 && (explicit || rules::in_scope(Rule::Hermeticity, &rel))
             {
+                // wall-clock-ok: lint self-timing for the verify.sh gate
+                let t0 = std::time::Instant::now();
                 out.extend(rules::check_manifest(&rel, &text));
+                spent(Rule::Hermeticity, t0.elapsed());
             }
             continue;
         }
         let scanned = scan_source(&text);
+        // The token-tree pass is built once per file and shared by every
+        // syntax rule; files no syntax rule touches skip it entirely.
+        let parsed;
+        let syntax = if needs_syntax(opts, &rel, explicit) {
+            parsed = SyntaxFile::parse(&text);
+            &parsed
+        } else {
+            &no_syntax
+        };
         for &rule in &opts.rules {
             if rule == Rule::Hermeticity {
                 continue;
             }
             if explicit || rules::in_scope(rule, &rel) {
-                out.extend(rules::check_source(rule, &rel, &scanned));
+                // wall-clock-ok: lint self-timing for the verify.sh gate
+                let t0 = std::time::Instant::now();
+                out.extend(rules::check_source(rule, &rel, &scanned, syntax));
+                spent(rule, t0.elapsed());
             }
         }
     }
     out.sort();
-    Ok(out)
+    timings.retain(|(_, d)| !d.is_zero());
+    Ok(LintReport { violations: out, timings, files: files.len() })
 }
 
 /// Locate the workspace root: walk up from `start` to the first directory
@@ -178,5 +257,14 @@ mod tests {
     fn rel_display_uses_forward_slashes() {
         let root = Path::new("/a/b");
         assert_eq!(rel_display(root, Path::new("/a/b/c/d.rs")), "c/d.rs");
+    }
+
+    #[test]
+    fn report_carries_timing_for_rules_that_ran() {
+        let root = find_root(Path::new(env!("CARGO_MANIFEST_DIR"))).expect("root");
+        let opts = Options { rules: vec![Rule::UnsafeAudit], quick: true };
+        let report = lint_workspace_report(&root, &opts).expect("walk");
+        assert!(report.files > 0);
+        assert!(report.timings.iter().any(|(r, _)| *r == Rule::UnsafeAudit));
     }
 }

@@ -2,11 +2,13 @@
 //!
 //! Jarvis's reproduction guarantee is bit-exact determinism — the learning
 //! phase (Algorithm 1) and the constrained DQN (Algorithm 2) are validated
-//! by byte-identical replay across seeds, shard counts, and thread counts.
-//! This crate makes that guarantee a *checked property of the sources*
-//! rather than a hope of the test suite: a zero-dependency static-analysis
-//! tool with a minimal Rust line scanner (comment/string/attribute-aware,
-//! `#[cfg(test)]`-scoped) and six rules walked over every workspace crate.
+//! by byte-identical replay across seeds, shard counts, and thread counts —
+//! and its serving core now rests on hand-rolled lock-free code and
+//! `unsafe` SIMD kernels. This crate makes both a *checked property of the
+//! sources*: a zero-dependency static-analysis tool with two passes — a
+//! fast line scanner (comment/string/attribute-aware, `#[cfg(test)]`-scoped)
+//! for R1–R6, and a full Rust lexer + token-tree/scope pass
+//! ([`lexer`]/[`syntax`]) for the R7–R10 concurrency-audit family.
 //!
 //! | rule | name | what it bans |
 //! |------|------|--------------|
@@ -16,19 +18,34 @@
 //! | R4 | `float` | `mul_add`/`powf`/lossy `as` float casts in kernel/replay paths |
 //! | R5 | `hermeticity` | non-`path` dependencies in any manifest |
 //! | R6 | `unwind` | bare `catch_unwind` outside stdkit::pool / runtime::supervisor |
+//! | R7 | `unsafe-audit` | `unsafe` without a non-empty `// safety:` justification |
+//! | R8 | `atomic-ordering` | atomics without explicit (and justified) `Ordering::` |
+//! | R9 | `lock-discipline` | guards across blocking calls, re-locks, notify-after-release |
+//! | R10 | `result-discard` | `let _ =` / stray `.ok();` on core-path `Result`s |
 //!
-//! See DESIGN.md §12 for each rule's rationale and the annotation grammar
+//! See DESIGN.md §12 (line rules) and §17 (token-tree pass, audit family)
+//! for each rule's rationale and the full annotation grammar
 //! (`// invariant:`, `// nondet-ok:`, `// float-ok:`, `// wall-clock-ok:`,
-//! `// unwind-ok:`).
+//! `// unwind-ok:`, `// safety:`, `// ordering:`, `// lock-ok:`,
+//! `// discard-ok:`).
 //!
-//! Run it as `cargo run -p jarvis-lint -- [--quick] [--rule NAME] [paths…]`;
-//! output is machine-readable `file:line: rule: msg`, exit code 1 when any
-//! violation is found.
+//! Run it as `cargo run -p jarvis-lint -- [--quick] [--rule NAME] [--json]
+//! [--timing] [--budget-ms N] [paths…]`; output is machine-readable
+//! `file:line: rule: msg` (or a JSON array with `--json`), exit code 1 when
+//! any violation is found, 3 when the walk blows its time budget.
 
+pub mod audit;
 pub mod engine;
+pub mod lexer;
 pub mod rules;
 pub mod scan;
+pub mod syntax;
 
-pub use engine::{find_root, lint_paths, lint_workspace, Options};
+pub use engine::{
+    find_root, lint_paths, lint_paths_report, lint_workspace, lint_workspace_report, LintReport,
+    Options,
+};
+pub use lexer::{lex, Token, TokenKind};
 pub use rules::{check_manifest, check_source, Rule, Violation};
 pub use scan::{scan_source, ScannedFile};
+pub use syntax::{Scope, ScopeKind, SyntaxFile};

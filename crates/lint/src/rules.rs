@@ -1,8 +1,11 @@
-//! The five lint rules. Each works on a [`ScannedFile`] plus the file's
-//! workspace-relative path; see DESIGN.md §12 for rationale and the
+//! The lint rules. R1–R6 work on a [`ScannedFile`] (fast line scan); the
+//! R7–R10 concurrency-audit family works on a [`SyntaxFile`] (token-tree
+//! pass, see [`crate::audit`]). See DESIGN.md §12/§17 for rationale and the
 //! annotation grammar.
 
+use crate::audit;
 use crate::scan::ScannedFile;
+use crate::syntax::SyntaxFile;
 
 /// A rule identifier, stable across output and CLI.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -19,17 +22,31 @@ pub enum Rule {
     Hermeticity,
     /// R6: bare `catch_unwind` outside the sanctioned supervision boundaries.
     Unwind,
+    /// R7: `unsafe` regions without a non-empty `// safety:` justification.
+    UnsafeAudit,
+    /// R8: atomic accesses without an explicit (and, for Relaxed/SeqCst,
+    /// justified) `Ordering::`.
+    AtomicOrdering,
+    /// R9: live lock guards across blocking calls, same-mutex re-locks, and
+    /// condvar notifies after the guard was released.
+    LockDiscipline,
+    /// R10: silently discarded `Result`s in the pipeline/runtime core.
+    ResultDiscard,
 }
 
 impl Rule {
     /// Every rule, in reporting order.
-    pub const ALL: [Rule; 6] = [
+    pub const ALL: [Rule; 10] = [
         Rule::NondetIter,
         Rule::WallClock,
         Rule::Panics,
         Rule::Float,
         Rule::Hermeticity,
         Rule::Unwind,
+        Rule::UnsafeAudit,
+        Rule::AtomicOrdering,
+        Rule::LockDiscipline,
+        Rule::ResultDiscard,
     ];
 
     /// Stable rule name used in output and `--rule` arguments.
@@ -42,6 +59,28 @@ impl Rule {
             Rule::Float => "float",
             Rule::Hermeticity => "hermeticity",
             Rule::Unwind => "unwind",
+            Rule::UnsafeAudit => "unsafe-audit",
+            Rule::AtomicOrdering => "atomic-ordering",
+            Rule::LockDiscipline => "lock-discipline",
+            Rule::ResultDiscard => "result-discard",
+        }
+    }
+
+    /// The escape-hatch annotation tag each rule accepts (always with a
+    /// non-empty justification after it).
+    #[must_use]
+    pub fn annotation_tag(self) -> &'static str {
+        match self {
+            Rule::NondetIter => "nondet-ok:",
+            Rule::WallClock => "wall-clock-ok:",
+            Rule::Panics => "invariant:",
+            Rule::Float => "float-ok:",
+            Rule::Hermeticity => "hermetic-ok:",
+            Rule::Unwind => "unwind-ok:",
+            Rule::UnsafeAudit => "safety:",
+            Rule::AtomicOrdering => "ordering:",
+            Rule::LockDiscipline => "lock-ok:",
+            Rule::ResultDiscard => "discard-ok:",
         }
     }
 
@@ -55,6 +94,10 @@ impl Rule {
             "float" | "r4" => Some(Rule::Float),
             "hermeticity" | "hermetic" | "r5" => Some(Rule::Hermeticity),
             "unwind" | "r6" => Some(Rule::Unwind),
+            "unsafe-audit" | "unsafe" | "r7" => Some(Rule::UnsafeAudit),
+            "atomic-ordering" | "atomic" | "r8" => Some(Rule::AtomicOrdering),
+            "lock-discipline" | "lock" | "r9" => Some(Rule::LockDiscipline),
+            "result-discard" | "discard" | "r10" => Some(Rule::ResultDiscard),
             _ => None,
         }
     }
@@ -98,6 +141,10 @@ pub const FLOAT_CRATES: [&str; 2] = ["neural", "rl"];
 pub const UNWIND_BOUNDARY_FILES: [&str; 2] =
     ["crates/stdkit/src/pool.rs", "crates/runtime/src/supervisor.rs"];
 
+/// Crates where a silently dropped `Result` can hide a pipeline fault:
+/// R10's scope (R7–R9 are workspace-wide).
+pub const DISCARD_CRATES: [&str; 4] = ["core", "policy", "runtime", "stdkit"];
+
 /// Which workspace crate (directory under `crates/`) a relative path is in,
 /// and whether it is under that crate's `src/`.
 #[must_use]
@@ -131,12 +178,25 @@ pub fn in_scope(rule: Rule, rel_path: &str) -> bool {
         }
         Rule::Hermeticity => rel_path.ends_with(".toml"),
         Rule::Unwind => !UNWIND_BOUNDARY_FILES.contains(&rel_path),
+        // The concurrency audit is workspace-wide: unsafe/atomics/locks are
+        // load-bearing wherever they appear.
+        Rule::UnsafeAudit | Rule::AtomicOrdering | Rule::LockDiscipline => {
+            rel_path.ends_with(".rs")
+        }
+        Rule::ResultDiscard => {
+            crate_of(rel_path).is_some_and(|(c, src)| src && DISCARD_CRATES.contains(&c))
+        }
     }
 }
 
-/// Run one source-code rule over a scanned file.
+/// Run one source-code rule over a scanned + parsed file.
 #[must_use]
-pub fn check_source(rule: Rule, rel_path: &str, file: &ScannedFile) -> Vec<Violation> {
+pub fn check_source(
+    rule: Rule,
+    rel_path: &str,
+    file: &ScannedFile,
+    syntax: &SyntaxFile,
+) -> Vec<Violation> {
     match rule {
         Rule::NondetIter => check_nondet_iter(rel_path, file),
         Rule::WallClock => check_wall_clock(rel_path, file),
@@ -144,6 +204,10 @@ pub fn check_source(rule: Rule, rel_path: &str, file: &ScannedFile) -> Vec<Viola
         Rule::Float => check_float(rel_path, file),
         Rule::Hermeticity => Vec::new(),
         Rule::Unwind => check_unwind(rel_path, file),
+        Rule::UnsafeAudit => audit::check_unsafe_audit(rel_path, syntax),
+        Rule::AtomicOrdering => audit::check_atomic_ordering(rel_path, syntax),
+        Rule::LockDiscipline => audit::check_lock_discipline(rel_path, syntax),
+        Rule::ResultDiscard => audit::check_result_discard(rel_path, syntax),
     }
 }
 
@@ -636,7 +700,7 @@ mod tests {
     use crate::scan::scan_source;
 
     fn check(rule: Rule, path: &str, src: &str) -> Vec<Violation> {
-        check_source(rule, path, &scan_source(src))
+        check_source(rule, path, &scan_source(src), &SyntaxFile::parse(src))
     }
 
     #[test]

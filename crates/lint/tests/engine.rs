@@ -29,7 +29,7 @@ fn run_rule(rule: Rule, fixture: &str) -> Vec<String> {
 }
 
 /// (rule, trip, clean, annotated) — one triple per rule.
-const CASES: [(Rule, &str, &str, &str); 6] = [
+const CASES: [(Rule, &str, &str, &str); 10] = [
     (
         Rule::NondetIter,
         "nondet_iter/trip.rs",
@@ -46,6 +46,30 @@ const CASES: [(Rule, &str, &str, &str); 6] = [
         "hermeticity/annotated_manifest.toml",
     ),
     (Rule::Unwind, "unwind/trip.rs", "unwind/clean.rs", "unwind/annotated.rs"),
+    (
+        Rule::UnsafeAudit,
+        "unsafe_audit/trip.rs",
+        "unsafe_audit/clean.rs",
+        "unsafe_audit/annotated.rs",
+    ),
+    (
+        Rule::AtomicOrdering,
+        "atomic_ordering/trip.rs",
+        "atomic_ordering/clean.rs",
+        "atomic_ordering/annotated.rs",
+    ),
+    (
+        Rule::LockDiscipline,
+        "lock_discipline/trip.rs",
+        "lock_discipline/clean.rs",
+        "lock_discipline/annotated.rs",
+    ),
+    (
+        Rule::ResultDiscard,
+        "result_discard/trip.rs",
+        "result_discard/clean.rs",
+        "result_discard/annotated.rs",
+    ),
 ];
 
 #[test]
@@ -93,6 +117,33 @@ fn continual_learning_sources_are_in_lint_scope() {
     assert!(in_scope(Rule::NondetIter, "crates/policy/src/incremental.rs"));
 }
 
+/// The R9 trip fixture reproduces the PR-7 pool race shape (condvar notify
+/// after the guard drop on a stack job) and must flag exactly that line;
+/// the clean fixture ships the fix pattern (notify under the guard) and
+/// must stay silent.
+#[test]
+fn r9_trip_is_the_pr7_race_and_clean_is_the_fix() {
+    let v = run_rule(Rule::LockDiscipline, "lock_discipline/trip.rs");
+    assert!(
+        v.iter()
+            .any(|l| l.contains("after the guard was released") && l.contains("notify_all")),
+        "the PR-7 notify-after-release shape must trip R9: {v:?}"
+    );
+    assert!(
+        v.iter().any(|l| l.contains("live across blocking")),
+        "the guard-across-send shape must trip R9: {v:?}"
+    );
+    assert!(
+        v.iter().any(|l| l.contains("re-locking")),
+        "the same-mutex re-lock shape must trip R9: {v:?}"
+    );
+    let clean = run_rule(Rule::LockDiscipline, "lock_discipline/clean.rs");
+    assert!(
+        clean.is_empty(),
+        "the shipped notify-under-the-guard fix must pass R9: {clean:?}"
+    );
+}
+
 fn cli(args: &[&str]) -> std::process::Output {
     Command::new(env!("CARGO_BIN_EXE_jarvis-lint"))
         .args(args)
@@ -137,4 +188,60 @@ fn cli_clean_and_annotated_fixtures_exit_zero() {
 fn cli_unknown_rule_is_a_usage_error() {
     let out = cli(&["--rule", "nonsense"]);
     assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn cli_json_output_carries_all_finding_fields() {
+    let path = fixtures().join("atomic_ordering/trip.rs");
+    let out = cli(&["--json", "--rule", "atomic-ordering", path.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1), "trip fixture still exits 1 under --json");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let trimmed = stdout.trim();
+    assert!(trimmed.starts_with('[') && trimmed.ends_with(']'), "not a JSON array: {stdout}");
+    for field in
+        ["\"file\":", "\"line\":", "\"rule\": \"atomic-ordering\"", "\"msg\":", "\"annotation\": \"ordering:\""]
+    {
+        assert!(stdout.contains(field), "JSON output lacks {field}: {stdout}");
+    }
+}
+
+#[test]
+fn cli_json_clean_run_is_an_empty_array() {
+    let path = fixtures().join("atomic_ordering/clean.rs");
+    let out = cli(&["--json", "--rule", "atomic-ordering", path.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(stdout.trim().replace(char::is_whitespace, ""), "[]");
+}
+
+#[test]
+fn cli_timing_prints_a_per_rule_table() {
+    let path = fixtures().join("unsafe_audit/clean.rs");
+    let out = cli(&["--timing", "--rule", "unsafe-audit", path.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(0));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unsafe-audit") && stderr.contains("ms"), "{stderr}");
+}
+
+#[test]
+fn cli_budget_exceeded_exits_3() {
+    // A zero-millisecond budget cannot be met by any real walk.
+    let path = fixtures().join("unsafe_audit/clean.rs");
+    let out = cli(&["--budget-ms", "0", "--rule", "unsafe-audit", path.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(3));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("BUDGET EXCEEDED"), "{stderr}");
+}
+
+#[test]
+fn cli_help_documents_exit_codes_and_all_rules() {
+    let out = cli(&["--help"]);
+    assert_eq!(out.status.code(), Some(0));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    for needle in ["exit codes", "0  clean", "1  violations", "2  usage", "3  --budget-ms"] {
+        assert!(stderr.contains(needle), "--help lacks {needle:?}: {stderr}");
+    }
+    for (rule, _, _, _) in CASES {
+        assert!(stderr.contains(rule.name()), "--help lacks rule {}", rule.name());
+    }
 }

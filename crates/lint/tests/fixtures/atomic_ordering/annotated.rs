@@ -1,0 +1,31 @@
+//! R8 annotated fixture: Relaxed and SeqCst uses carry their
+//! happens-before argument.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+pub struct Flags {
+    ready: AtomicBool,
+    epoch: AtomicUsize,
+}
+
+pub fn stat_read(flags: &Flags) -> bool {
+    // ordering: Relaxed — racy health probe; the caller re-reads under the
+    // shard lock before acting, so no edge is needed here.
+    flags.ready.load(Ordering::Relaxed)
+}
+
+pub fn epoch_fence(flags: &Flags) -> usize {
+    // ordering: SeqCst — the epoch read must totally order against the
+    // store in quarantine() on another thread; Acquire alone would allow
+    // both sides to read the pre-flip value.
+    flags.epoch.load(Ordering::SeqCst)
+}
+
+pub fn claim(flags: &Flags, cur: usize) -> bool {
+    // ordering: Relaxed/Relaxed — the CAS only claims the ticket; the data
+    // it guards is published by a later Release store.
+    flags
+        .epoch
+        .compare_exchange(cur, cur + 1, Ordering::Relaxed, Ordering::Relaxed)
+        .is_ok()
+}

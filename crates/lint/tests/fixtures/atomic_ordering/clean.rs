@@ -1,0 +1,21 @@
+//! R8 clean fixture: explicit Acquire/Release edges and the pure-counter
+//! idiom — nothing needs a written justification.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+pub struct Latch {
+    ready: AtomicBool,
+    hits: AtomicU64,
+}
+
+pub fn publish(latch: &Latch) {
+    latch.ready.store(true, Ordering::Release);
+}
+
+pub fn observe(latch: &Latch) -> bool {
+    latch.ready.load(Ordering::Acquire)
+}
+
+pub fn count(latch: &Latch) {
+    latch.hits.fetch_add(1, Ordering::Relaxed);
+}

@@ -1,0 +1,21 @@
+//! R8 trip fixture: implicit, unjustified-Relaxed, and unjustified-SeqCst
+//! atomic accesses.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+pub struct Flags {
+    ready: AtomicBool,
+    epoch: AtomicUsize,
+}
+
+pub fn implicit(flags: &Flags, order: Ordering) -> bool {
+    flags.ready.load(order)
+}
+
+pub fn relaxed_non_counter(flags: &Flags) {
+    flags.ready.store(true, Ordering::Relaxed);
+}
+
+pub fn seqcst_everywhere(flags: &Flags) -> usize {
+    flags.epoch.load(Ordering::SeqCst)
+}

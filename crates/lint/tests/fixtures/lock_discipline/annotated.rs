@@ -1,0 +1,25 @@
+//! R9 annotated fixture: notify-after-release and a guard across a
+//! blocking call, each justified with `// lock-ok:`.
+
+use std::sync::{Arc, Condvar, Mutex};
+
+pub struct Shared {
+    state: Mutex<usize>,
+    cv: Condvar,
+}
+
+pub fn bump(shared: &Arc<Shared>) {
+    let mut state = shared.state.lock().expect("shared state");
+    *state += 1;
+    drop(state);
+    // lock-ok: the condvar lives in the same Arc as the mutex, so it
+    // outlives every waiter; waiters re-check the count under the lock.
+    shared.cv.notify_one();
+}
+
+pub fn drain(shared: &Arc<Shared>, tx: &std::sync::mpsc::Sender<usize>) {
+    let state = shared.state.lock().expect("shared state");
+    // lock-ok: the channel is unbounded and the receiver never takes this
+    // mutex, so the send cannot block on a lock cycle.
+    tx.send(*state).expect("peer alive");
+}

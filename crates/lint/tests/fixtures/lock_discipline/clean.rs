@@ -1,0 +1,38 @@
+//! R9 clean fixture: the shipped PR-7 fix — notify *while holding* the
+//! guard, so the unlock is this thread's last touch of the job — plus the
+//! sanctioned condvar-wait loop (wait consumes the guard).
+
+use std::sync::{Condvar, Mutex};
+
+pub struct Job {
+    state: Mutex<JobState>,
+    cv: Condvar,
+}
+
+pub struct JobState {
+    remaining: usize,
+}
+
+pub fn run_ticket(job: &Job) {
+    let mut state = job.state.lock().expect("pool job state");
+    state.remaining -= 1;
+    if state.remaining == 0 {
+        job.cv.notify_all();
+    }
+    drop(state);
+}
+
+pub fn wait_done(job: &Job) {
+    let mut state = job.state.lock().expect("pool job state");
+    while state.remaining > 0 {
+        state = job.cv.wait(state).expect("pool job state");
+    }
+}
+
+pub fn snapshot(job: &Job, tx: &std::sync::mpsc::Sender<usize>) {
+    let remaining = {
+        let state = job.state.lock().expect("pool job state");
+        state.remaining
+    };
+    tx.send(remaining).expect("peer alive");
+}

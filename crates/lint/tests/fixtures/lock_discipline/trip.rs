@@ -1,0 +1,36 @@
+//! R9 trip fixture: the PR-7 pool race, plus a blocking send under a live
+//! guard and a same-mutex re-lock.
+//!
+//! The race shape: `job` lives on the *submitter's stack*. The submitter
+//! spins on `done == n` under the job mutex; the instant this worker drops
+//! the guard, the submitter can observe completion, return, and pop the
+//! job's stack frame — so the `notify_all` below touches freed memory.
+
+use std::sync::{Condvar, Mutex};
+
+pub struct Job {
+    state: Mutex<JobState>,
+    cv: Condvar,
+}
+
+pub struct JobState {
+    remaining: usize,
+}
+
+pub fn run_ticket(job: &Job) {
+    let mut state = job.state.lock().expect("pool job state");
+    state.remaining -= 1;
+    drop(state);
+    job.cv.notify_all();
+}
+
+pub fn forward(job: &Job, tx: &std::sync::mpsc::Sender<usize>) {
+    let state = job.state.lock().expect("pool job state");
+    tx.send(state.remaining).expect("peer alive");
+}
+
+pub fn double_count(job: &Job) -> usize {
+    let a = job.state.lock().expect("pool job state");
+    let b = job.state.lock().expect("pool job state");
+    a.remaining + b.remaining
+}

@@ -1,0 +1,12 @@
+//! R10 annotated fixture: deliberate discards with written reasons.
+
+pub fn fire_and_forget(tx: &std::sync::mpsc::Sender<u32>) {
+    // discard-ok: a closed channel means the receiver shut down first;
+    // there is nothing left to deliver to.
+    let _ = tx.send(1);
+}
+
+pub fn best_effort_cleanup(path: &str) {
+    // discard-ok: temp-file removal is best-effort; the next run truncates.
+    std::fs::remove_file(path).ok();
+}

@@ -1,0 +1,16 @@
+//! R10 clean fixture: every Result is handled or propagated; `.ok()` is
+//! only used as a value-producing adapter.
+
+pub fn forward(tx: &std::sync::mpsc::Sender<u32>) -> Result<(), String> {
+    tx.send(1).map_err(|e| e.to_string())
+}
+
+pub fn last_modified(path: &str) -> Option<std::time::SystemTime> {
+    // wall-clock-ok: fixture code; never walked by the workspace lint.
+    let meta = std::fs::metadata(path).ok();
+    meta.and_then(|m| m.modified().ok())
+}
+
+pub fn not_a_discard(x: u32) {
+    let _ = x;
+}

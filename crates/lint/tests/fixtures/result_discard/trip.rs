@@ -1,0 +1,9 @@
+//! R10 trip fixture: silently dropped Results.
+
+pub fn fire_and_forget(tx: &std::sync::mpsc::Sender<u32>) {
+    let _ = tx.send(1);
+}
+
+pub fn swallow(path: &str) {
+    std::fs::remove_file(path).ok();
+}

@@ -1,0 +1,27 @@
+//! R7 annotated fixture: every unsafe region states its invariant.
+
+pub struct RawRing {
+    ptr: *mut u8,
+    len: usize,
+}
+
+// SAFETY: the ring owns its allocation and the raw pointer never escapes;
+// moving it across threads moves ownership with it.
+unsafe impl Send for RawRing {}
+
+/// # Safety: `p` must point to a live, readable byte for the duration of
+/// the call.
+pub unsafe fn read_raw(p: *const u8) -> u8 {
+    // safety: the caller upholds the fn contract above — `p` is live and
+    // readable for the whole call.
+    unsafe { *p }
+}
+
+pub fn poke(ring: &RawRing, i: usize) {
+    assert!(i < ring.len);
+    // safety: `i` was bounds-checked against the live allocation above,
+    // and `&RawRing` access is externally synchronized by its owner.
+    unsafe {
+        *ring.ptr.add(i) = 0;
+    }
+}

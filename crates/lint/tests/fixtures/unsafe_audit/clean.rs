@@ -1,0 +1,11 @@
+//! R7 clean fixture: no unsafe at all — the safe API keeps bounds checks.
+
+pub struct Ring {
+    buf: Vec<u8>,
+}
+
+pub fn poke(ring: &mut Ring, i: usize) {
+    if let Some(slot) = ring.buf.get_mut(i) {
+        *slot = 0;
+    }
+}

@@ -1,0 +1,17 @@
+//! R7 trip fixture: unsafe regions with no safety justification.
+
+pub struct RawRing {
+    ptr: *mut u8,
+}
+
+unsafe impl Send for RawRing {}
+
+pub unsafe fn read_raw(p: *const u8) -> u8 {
+    *p
+}
+
+pub fn poke(ring: &RawRing, i: usize) {
+    unsafe {
+        *ring.ptr.add(i) = 0;
+    }
+}

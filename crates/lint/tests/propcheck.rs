@@ -1,0 +1,171 @@
+//! Property tests pitting the token lexer against the line scanner on the
+//! scanner's historical blind spots: nested block comments, raw identifiers
+//! (`r#type`), quote-bearing char literals (`'"'`, `'\''`), and raw strings
+//! with `#` fences.
+//!
+//! Two properties over generated token soup:
+//!
+//! 1. **Round-trip** — `lex(render(lex(src)))` equals `lex(src)` on
+//!    `(kind, text)`. `render` is the lexer's own inverse up to whitespace,
+//!    so any lexing ambiguity shows up as a diff here.
+//! 2. **Comment-map agreement** — the scanner must classify every character
+//!    the same way the lexer does: comment/string marker words never leak
+//!    into blanked [`scan` code], plain code tokens survive at their exact
+//!    columns, and line-comment text matches char-for-char.
+
+use jarvis_lint::lexer::{lex, render, Token, TokenKind};
+use jarvis_lint::scan::scan_source;
+use jarvis_stdkit::propcheck::{Config, Gen, TestResult};
+
+/// One well-formed fragment of token soup. Marker words encode intent:
+/// `cmark` only ever appears inside comments, `smark` only inside string or
+/// char literals — so neither may survive into the scanner's blanked code.
+fn fragment(g: &mut Gen) -> String {
+    match g.u32_in(0, 13) {
+        0 => format!("kmark{}", g.u32_in(0, 99)),
+        1 => (*g.choose(&["r#type", "r#match", "r#fn", "r#unsafe"])).to_string(),
+        2 => (*g.choose(&["{", "}", "(", ")", ";", ",", ".", "#", "&", "::", "->"])).to_string(),
+        3 => (*g.choose(&["0", "42", "0x1f", "3.25", "1_000", "7u32"])).to_string(),
+        4 => (*g.choose(&["'a", "'static", "'_"])).to_string(),
+        5 => (*g.choose(&["'x'", "'\\''", "'\"'", "'\\n'", "'{'", "b'q'"])).to_string(),
+        6 => format!("\"smark {} \\\" esc\"", g.u32_in(0, 9)),
+        7 => (*g.choose(&[
+            "r\"smark plain\"",
+            "r#\"smark \"quoted\" inside\"#",
+            "r##\"smark \"# half fence\"##",
+            "br#\"smark bytes\"#",
+            "b\"smark\"",
+        ]))
+        .to_string(),
+        8 => format!("// cmark line {}", g.u32_in(0, 9)),
+        9 => "/* cmark flat */".to_string(),
+        10 => "/* cmark /* nested cmark */ tail cmark */".to_string(),
+        11 => "/* cmark\n   multi /* deep cmark\n   */ cmark */".to_string(),
+        12 => (*g.choose(&["fn", "let", "unsafe", "impl", "match", "loop"])).to_string(),
+        _ => format!("kmark_{}", g.ascii_string(1, 6)),
+    }
+}
+
+/// Assemble fragments with random whitespace between them. A line comment is
+/// always followed by a newline so it cannot swallow the next fragment —
+/// swallowing is legal lexing, but it would turn `cmark` marker words into
+/// code on the comment's continuation lines and void the marker invariant.
+fn soup(g: &mut Gen) -> String {
+    let n = g.usize_in(3, 40);
+    let mut src = String::new();
+    for _ in 0..n {
+        let f = fragment(g);
+        let line_comment = f.starts_with("//");
+        src.push_str(&f);
+        if line_comment {
+            src.push('\n');
+        }
+        let sep: &str = *g.choose(&[" ", "  ", "\n", "\t", " \n  "]);
+        src.push_str(sep);
+    }
+    src
+}
+
+fn fmt_tokens(toks: &[Token]) -> String {
+    toks.iter().map(|t| format!("  {:?} {:?}\n", t.kind, t.text)).collect()
+}
+
+fn check_round_trip(src: &str, toks: &[Token]) -> TestResult {
+    let again = lex(&render(toks));
+    let a: Vec<(TokenKind, &str)> = toks.iter().map(|t| (t.kind, t.text.as_str())).collect();
+    let b: Vec<(TokenKind, &str)> = again.iter().map(|t| (t.kind, t.text.as_str())).collect();
+    if a != b {
+        return Err(format!(
+            "render round-trip diverged on {src:?}\nfirst:\n{}second:\n{}",
+            fmt_tokens(toks),
+            fmt_tokens(&again)
+        ));
+    }
+    Ok(())
+}
+
+fn check_agreement(src: &str, toks: &[Token]) -> TestResult {
+    let scanned = scan_source(src);
+    for (i, line) in scanned.lines.iter().enumerate() {
+        if line.code.contains("cmark") {
+            return Err(format!(
+                "comment text leaked into scanner code at line {i} of {src:?}: {:?}",
+                line.code
+            ));
+        }
+        if line.code.contains("smark") {
+            return Err(format!(
+                "string contents leaked into scanner code at line {i} of {src:?}: {:?}",
+                line.code
+            ));
+        }
+    }
+    let code_lines: Vec<Vec<char>> =
+        scanned.lines.iter().map(|l| l.code.chars().collect()).collect();
+    for t in toks {
+        match t.kind {
+            // Plain code must survive blanking at its exact column.
+            TokenKind::Ident | TokenKind::Lifetime | TokenKind::Number | TokenKind::Punct => {
+                let line = code_lines.get(t.line).map_or(&[][..], Vec::as_slice);
+                let got: String =
+                    line.iter().skip(t.col).take(t.text.chars().count()).collect();
+                if got != t.text {
+                    return Err(format!(
+                        "scanner lost {:?} token {:?} at {}:{} of {src:?} — code line is {:?}",
+                        t.kind, t.text, t.line, t.col, scanned.lines[t.line].code
+                    ));
+                }
+            }
+            // Line-comment text must land in the scanner's comment map,
+            // char-for-char after the leading slashes.
+            TokenKind::LineComment => {
+                let body: String = t.text.chars().skip(2).collect();
+                let got = &scanned.lines[t.line].comment;
+                if *got != body {
+                    return Err(format!(
+                        "scanner comment map disagrees at line {} of {src:?}: \
+                         lexer saw {body:?}, scanner saw {got:?}",
+                        t.line
+                    ));
+                }
+            }
+            _ => {}
+        }
+    }
+    Ok(())
+}
+
+#[test]
+fn token_soup_round_trips_and_agrees_with_the_scanner() {
+    Config::with_cases(300).seed(0x4a52_5649_u64).run(|g: &mut Gen| {
+        let src = soup(g);
+        let toks = lex(&src);
+        check_round_trip(&src, &toks)?;
+        check_agreement(&src, &toks)
+    });
+}
+
+/// The same two properties over real workspace sources — the lexer and the
+/// scanner walk these files on every lint run, so they must agree on them.
+#[test]
+fn real_sources_round_trip_and_agree() {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    for rel in [
+        "crates/lint/src/lexer.rs",
+        "crates/lint/src/scan.rs",
+        "crates/lint/src/syntax.rs",
+        "crates/lint/src/audit.rs",
+        "crates/stdkit/src/sync.rs",
+        "crates/stdkit/src/pool.rs",
+        "crates/neural/src/simd.rs",
+    ] {
+        let src = std::fs::read_to_string(root.join(rel)).expect(rel);
+        let toks = lex(&src);
+        if let Err(e) = check_round_trip(&src, &toks) {
+            panic!("{rel}: {e}");
+        }
+        if let Err(e) = check_agreement(&src, &toks) {
+            panic!("{rel}: {e}");
+        }
+    }
+}

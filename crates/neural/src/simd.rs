@@ -98,6 +98,9 @@ pub(crate) fn mm_tile_sse2<const MRC: usize>(
 /// Shared AVX2 body for `mm_tile`: two 4-lane accumulators per row.
 /// `#[inline(always)]` so the `target_feature` wrappers compile it with
 /// their feature set enabled.
+/// # Safety: same slice-shape contract as `mm_tile_sse2` (`apack_block` is
+/// `MRC`-strided, `out_block` rows reach `j + NR <= n`), and the CPU must
+/// support AVX2 — callers reach this only through sanitized tier dispatch.
 #[cfg(target_arch = "x86_64")]
 #[inline(always)]
 unsafe fn mm_tile_avx_body<const MRC: usize>(
@@ -136,6 +139,8 @@ unsafe fn mm_tile_avx_body<const MRC: usize>(
 }
 
 /// AVX2 `mm_tile`. Caller must have verified `avx2` via tier detection.
+/// # Safety: caller must have verified `avx2` via tier detection; slice
+/// shapes forward `mm_tile_avx_body`'s contract unchanged.
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2")]
 pub(crate) unsafe fn mm_tile_avx2<const MRC: usize>(
@@ -151,6 +156,8 @@ pub(crate) unsafe fn mm_tile_avx2<const MRC: usize>(
 
 /// AVX2+FMA `mm_tile`: identical unfused arithmetic (see module docs),
 /// compiled with the `fma` feature enabled for instruction selection.
+/// # Safety: caller must have verified `avx2`+`fma` via tier detection;
+/// slice shapes forward `mm_tile_avx_body`'s contract unchanged.
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2", enable = "fma")]
 pub(crate) unsafe fn mm_tile_avx2fma<const MRC: usize>(
@@ -211,6 +218,8 @@ pub(crate) fn mt_tile_sse2<const MRC: usize>(
 
 /// Shared AVX2 body for `mt_tile`; see `mm_tile_avx_body` for the
 /// inlining scheme and `mt_tile_sse2` for the shape contract.
+/// # Safety: same slice-shape contract as `mt_tile_sse2`, and the CPU must
+/// support AVX2 — callers reach this only through sanitized tier dispatch.
 #[cfg(target_arch = "x86_64")]
 #[inline(always)]
 unsafe fn mt_tile_avx_body<const MRC: usize>(
@@ -249,6 +258,8 @@ unsafe fn mt_tile_avx_body<const MRC: usize>(
 }
 
 /// AVX2 `mt_tile`. Caller must have verified `avx2` via tier detection.
+/// # Safety: caller must have verified `avx2` via tier detection; slice
+/// shapes forward `mt_tile_avx_body`'s contract unchanged.
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2")]
 pub(crate) unsafe fn mt_tile_avx2<const MRC: usize>(
@@ -265,6 +276,8 @@ pub(crate) unsafe fn mt_tile_avx2<const MRC: usize>(
 
 /// AVX2+FMA `mt_tile`: identical unfused arithmetic, `fma` enabled for
 /// instruction selection only (module docs).
+/// # Safety: caller must have verified `avx2`+`fma` via tier detection;
+/// slice shapes forward `mt_tile_avx_body`'s contract unchanged.
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2", enable = "fma")]
 pub(crate) unsafe fn mt_tile_avx2fma<const MRC: usize>(
@@ -296,6 +309,8 @@ pub(crate) fn dot_i8_scalar(x: &[i8], w: &[i8]) -> i32 {
 /// `pmaddwd` lane is at most `2 · 127²  = 32258`, so i32 accumulation is
 /// exact (no wraparound) for any `k` below ~66 million — far beyond any
 /// layer width here. Caller must have verified `avx2`.
+/// # Safety: caller must have verified `avx2` via tier detection; all loads
+/// are bounds-guarded against `len` inside the body.
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2")]
 pub(crate) unsafe fn dot_i8_avx2(x: &[i8], w: &[i8]) -> i32 {
@@ -351,6 +366,8 @@ pub(crate) fn requant_relu_one(acc: i32, bias: f64, dequant: f64, inv_next: f64)
 /// stays tier-invariant. The saturating `packs` steps are no-ops — values
 /// are already in `[0, 127]` — they only narrow. Caller must have
 /// verified `avx2`.
+/// # Safety: caller must have verified `avx2` via tier detection; loads are
+/// guarded by the `accs`/`bias` length checks in the body.
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2")]
 pub(crate) unsafe fn requant_relu_avx2(
@@ -439,6 +456,8 @@ pub(crate) fn gemm_q8_scalar(x: &[i8], w: &[i16], out: &mut [i32], k: usize, uni
 /// (`pmaddwd` lane bound: `2 · 127² = 32258`, no wraparound below
 /// `k ≈ 66·10⁶`), so the result is bit-identical to the scalar kernel.
 /// Caller must have verified `avx2`.
+/// # Safety: caller must have verified `avx2` via tier detection and upheld
+/// the `gemm_q8_scalar` layout contract (`x: k`, `w: units*k`, `out: units`).
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2")]
 pub(crate) unsafe fn gemm_q8_avx2(x: &[i8], w: &[i16], out: &mut [i32], k: usize, units: usize) {

@@ -196,12 +196,15 @@ impl WorkerPool {
     /// across jobs (reuse, not respawn) and across task panics.
     #[must_use]
     pub fn spawned_workers(&self) -> usize {
+        // ordering: Relaxed — monotonic stat counter read; tests only look
+        // after join points, which already order the increments.
         self.inner.spawned.load(Ordering::Relaxed)
     }
 
     /// Jobs executed through this pool since it started.
     #[must_use]
     pub fn jobs_run(&self) -> u64 {
+        // ordering: Relaxed — monotonic stat counter read (see above).
         self.inner.jobs.load(Ordering::Relaxed)
     }
 
@@ -285,6 +288,10 @@ impl WorkerPool {
             let mut generation = self.inner.gate.lock().expect("pool gate");
             *generation = generation.wrapping_add(1);
         }
+        // lock-ok: the gate condvar lives in the pool's Arc<Inner>, which
+        // outlives every worker; parked workers re-check the generation
+        // under the gate lock, so a notify landing after the unlock can
+        // never be lost or touch freed state.
         self.inner.cv.notify_all();
     }
 }
@@ -296,9 +303,14 @@ impl Drop for WorkerPool {
             let mut generation = self.inner.gate.lock().expect("pool gate");
             *generation = generation.wrapping_add(1);
         }
+        // lock-ok: same shape as wake_workers — Arc-owned gate condvar,
+        // workers re-check generation + shutdown under the lock.
         self.inner.cv.notify_all();
         let handles = std::mem::take(&mut *self.handles.lock().expect("pool handle registry"));
         for handle in handles {
+            // discard-ok: a worker that panicked outside a task already
+            // surfaced its payload through the job latch; at teardown the
+            // join error carries nothing actionable.
             let _ = handle.join();
         }
     }
@@ -313,6 +325,8 @@ fn run_ticket(ticket: Ticket) {
     // reaches `n` (see `Job`), and this ticket grants exclusive access to
     // cell `index`.
     let job = unsafe { &*ticket.job };
+    // SAFETY: ticket indices are handed out exactly once per cell, so this
+    // UnsafeCell take is the cell's only concurrent access.
     let task = unsafe { (*job.tasks[ticket.index].0.get()).take() };
     let payload = match task {
         Some(task) => catch_unwind(AssertUnwindSafe(task)).err(),

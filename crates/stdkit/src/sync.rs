@@ -113,6 +113,10 @@ impl<T> Sender<T> {
             if state.queue.len() < state.capacity {
                 state.queue.push_back(value);
                 drop(state);
+                // lock-ok: the condvar shares the channel's Arc with the
+                // mutex, so the notified state outlives every waiter; recv
+                // re-checks the queue under the lock, and notifying after
+                // the unlock spares the woken receiver an immediate block.
                 self.shared.filled.notify_one();
                 return Ok(());
             }
@@ -141,6 +145,8 @@ impl<T> Sender<T> {
         }
         state.queue.push_back(value);
         drop(state);
+        // lock-ok: Arc-shared condvar + predicate re-check in recv (see
+        // send); notify-after-unlock avoids a pessimistic wakeup.
         self.shared.filled.notify_one();
         Ok(())
     }
@@ -163,6 +169,9 @@ impl<T> Drop for Sender<T> {
         drop(state);
         if last {
             // Wake a receiver blocked in recv() so it can observe the close.
+            // lock-ok: the receiver holds its own Arc clone of the shared
+            // state, so the condvar outlives this sender; recv re-checks
+            // `senders == 0` under the lock before returning None.
             self.shared.filled.notify_all();
         }
     }
@@ -178,6 +187,8 @@ impl<T> Receiver<T> {
         loop {
             if let Some(value) = state.queue.pop_front() {
                 drop(state);
+                // lock-ok: Arc-shared condvar + capacity re-check in send;
+                // notify-after-unlock spares the woken sender a block.
                 self.shared.drained.notify_one();
                 return Some(value);
             }
@@ -199,6 +210,8 @@ impl<T> Receiver<T> {
         let value = state.queue.pop_front();
         drop(state);
         if value.is_some() {
+            // lock-ok: Arc-shared condvar + capacity re-check in send (see
+            // recv); the queue slot freed above stays freed.
             self.shared.drained.notify_one();
         }
         value
@@ -217,6 +230,9 @@ impl<T> Drop for Receiver<T> {
         state.receiver_alive = false;
         drop(state);
         // Wake senders blocked in send() so they can observe the close.
+        // lock-ok: senders hold their own Arc clones, so the condvar
+        // outlives this receiver; send re-checks `receiver_alive` under
+        // the lock before retrying.
         self.shared.drained.notify_all();
     }
 }
@@ -324,6 +340,8 @@ pub struct StealQueue<T> {
 // to exactly one consumer with Release/Acquire ordering, so sharing the
 // ring only requires the values themselves to be sendable.
 unsafe impl<T: Send> Send for StealQueue<T> {}
+// SAFETY: same argument as Send above — the seq handoff protocol is the
+// synchronization, so `&StealQueue` is shareable whenever T itself is Send.
 unsafe impl<T: Send> Sync for StealQueue<T> {}
 
 impl<T> StealQueue<T> {
@@ -361,12 +379,17 @@ impl<T> StealQueue<T> {
     /// at capacity — the caller chooses whether to retry, shed, or run the
     /// work inline.
     pub fn try_push(&self, value: T) -> Result<(), PushError<T>> {
+        // ordering: Relaxed — the ticket value is only a CAS hint; the
+        // happens-before edge producers rely on is seq's Release/Acquire.
         let mut tail = self.tail.load(Ordering::Relaxed);
         loop {
             let slot = &self.slots[tail % self.capacity];
             let seq = slot.seq.load(Ordering::Acquire);
             if seq == tail {
                 // Slot free for this lap: claim the ticket, then publish.
+                // ordering: Relaxed/Relaxed — the CAS only claims the
+                // ticket atomically; publication happens-before is carried
+                // by the seq Release store below, never by the ticket.
                 match self.tail.compare_exchange_weak(
                     tail,
                     tail + 1,
@@ -389,6 +412,7 @@ impl<T> StealQueue<T> {
                 return Err(PushError::Full(value));
             } else {
                 // Another producer advanced past us; reload the ticket.
+                // ordering: Relaxed — CAS hint only (see the load above).
                 tail = self.tail.load(Ordering::Relaxed);
             }
             std::hint::spin_loop();
@@ -398,12 +422,17 @@ impl<T> StealQueue<T> {
     /// Dequeue the oldest value without blocking; `None` when the ring is
     /// currently empty.
     pub fn pop(&self) -> Option<T> {
+        // ordering: Relaxed — ticket hint only; the value read is ordered
+        // by seq's Acquire load seeing the producer's Release store.
         let mut head = self.head.load(Ordering::Relaxed);
         loop {
             let slot = &self.slots[head % self.capacity];
             let seq = slot.seq.load(Ordering::Acquire);
             if seq == head + 1 {
                 // Value published for this ticket: claim it, read, recycle.
+                // ordering: Relaxed/Relaxed — claims the consumer ticket
+                // only; the data edge is seq Acquire (above) and the slot
+                // recycle edge is seq's Release store below.
                 match self.head.compare_exchange_weak(
                     head,
                     head + 1,
@@ -427,6 +456,7 @@ impl<T> StealQueue<T> {
                 return None;
             } else {
                 // Another consumer advanced past us; reload the ticket.
+                // ordering: Relaxed — CAS hint only (see the load above).
                 head = self.head.load(Ordering::Relaxed);
             }
             std::hint::spin_loop();

@@ -21,8 +21,14 @@
 # sharpest probe of that fork/join path under both tools. Sizes scale down
 # automatically under Miri (cfg(miri) in the test).
 #
-# Static analysis (jarvis-lint) covers determinism and panic policy; data
-# races are out of its reach, so this script drives ThreadSanitizer and Miri
+# Static analysis (jarvis-lint) covers determinism and panic policy, and
+# since lint v2 also audits the concurrency core itself: R8 requires every
+# non-default atomic ordering (Relaxed outside the pure-counter idiom,
+# any SeqCst) to carry a written `// ordering:` justification. Those
+# justifications are memory-model *claims*, and this script is what tests
+# them: every annotated site must live in a module driven here under TSan
+# and Miri, which check_ordering_coverage enforces below. Data races are
+# out of static reach, so this script drives ThreadSanitizer and Miri
 # at the stdkit sync/channel tests. Both require a NIGHTLY toolchain with
 # the matching components (rust-src for -Zbuild-std, miri). The script is
 # NOT part of scripts/verify.sh — the pinned toolchain in the offline image
@@ -36,6 +42,37 @@ cd "$(dirname "$0")/.."
 
 mode="${1:-all}"
 target="$(rustc -vV | awk '/^host:/ { print $2 }')"
+
+# Every R8 `// ordering:` annotation admits a non-default atomic ordering on
+# the strength of a prose argument. Keep those arguments honest: the file
+# holding one must be in the set this script actually exercises under
+# TSan/Miri (stdkit sync + pool test filters, runtime via the supervision
+# and online test targets). A new annotation in an undriven module means
+# either extend the batteries here or move the atomic behind a driven API.
+check_ordering_coverage() {
+    uncovered=0
+    for f in $(grep -rl -- '// ordering:' crates/*/src 2>/dev/null || true); do
+        case "$f" in
+            crates/stdkit/src/sync.rs | crates/stdkit/src/pool.rs) ;;
+            crates/runtime/src/*) ;;
+            # The analyzer necessarily spells its own tag in rule docs and
+            # violation messages; the lint engine itself is single-threaded
+            # and holds no atomics to annotate.
+            crates/lint/src/*) ;;
+            *)
+                echo "sanitizers: $f has '// ordering:' sites but no TSan/Miri battery drives it" >&2
+                uncovered=1
+                ;;
+        esac
+    done
+    if [ "$uncovered" -ne 0 ]; then
+        echo "sanitizers: R8 ordering-annotation coverage check FAILED" >&2
+        exit 1
+    fi
+    echo "sanitizers: R8 ordering-annotation sites are all in TSan/Miri-driven modules"
+}
+
+check_ordering_coverage
 
 have_nightly() {
     rustup toolchain list 2>/dev/null | grep -q nightly

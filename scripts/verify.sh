@@ -14,9 +14,17 @@
 set -eu
 cd "$(dirname "$0")/.."
 
+# The lint walk is budget-gated (<0.5 s, exit 3 on overrun), so it always
+# runs from the release binary: a debug walk pays ~4x on the token-tree
+# pass and would trip the budget on machine noise alone.
+build_lint() {
+    cargo build -q --release --offline -p jarvis-lint
+}
+
 if [ "${1:-}" = "--quick" ]; then
-    echo "==> jarvis-lint --quick (R1-R6 over crates/)"
-    cargo run -q --offline -p jarvis-lint -- --quick
+    echo "==> jarvis-lint --quick (R1-R10 over crates/, 500ms budget)"
+    build_lint
+    ./target/release/jarvis-lint --quick --budget-ms 500
 
     echo "==> cargo build --release --offline"
     cargo build --release --offline --workspace
@@ -62,9 +70,12 @@ if [ "${1:-}" = "--quick" ]; then
 fi
 
 # Static analysis first: determinism, wall-clock, panic-policy, float, and
-# hermeticity rules over every workspace crate (crates/lint, DESIGN.md §12).
-echo "==> jarvis-lint (R1-R6 over the whole workspace)"
-cargo run -q --offline -p jarvis-lint
+# hermeticity line rules plus the token-tree concurrency audit (unsafe,
+# atomic orderings, lock discipline, result discards) over every workspace
+# crate (crates/lint, DESIGN.md §12/§17).
+echo "==> jarvis-lint (R1-R10 over the whole workspace, 500ms budget)"
+build_lint
+./target/release/jarvis-lint --budget-ms 500
 
 echo "==> cargo build --release --offline"
 cargo build --release --offline --workspace
